@@ -1,0 +1,55 @@
+"""Figure 8: harmonic-mean compression speeds.
+
+Paper shape: TCgen and VPC3 dominate the special-purpose compressors; SBC
+is slower on every trace (up to 180x) and SEQUITUR up to 17x slower.
+As in Figure 7, standalone BZIP2's native-C throughput is reported but
+excluded from cross-language shape assertions.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+from harness import full_comparison, render_figure
+
+from repro.baselines import SbcCompressor, SequiturCompressor, TCgenCompressor
+
+
+def test_figure8_compression_speeds(benchmark, trace_suite):
+    table = benchmark.pedantic(
+        full_comparison, args=(trace_suite,), rounds=1, iterations=1
+    )
+    text = render_figure(
+        table,
+        "compression_speed",
+        "Figure 8: harmonic-mean compression speeds (bytes/second)",
+        note=(
+            "note: standalone BZIP2 is native C and excluded from shape\n"
+            "comparisons (see EXPERIMENTS.md)."
+        ),
+    )
+    report("fig8_compression_speed", text)
+
+    summary = table.summary("compression_speed")
+    kinds = table.kinds()
+
+    # Paper: VPC3 is within 2% of TCgen on compression speed; both
+    # dominate the other special-purpose compressors.
+    for kind in kinds:
+        assert summary[("TCgen", kind)] > summary[("VPC3", kind)] * 0.75, kind
+
+    # SEQUITUR is the slowest special-purpose compressor by a wide margin
+    # (paper: SBC and SEQUITUR are the two slow outliers).
+    for kind in kinds:
+        assert summary[("SEQUITUR", kind)] < summary[("TCgen", kind)], kind
+
+
+def test_benchmark_sequitur_compress(benchmark, representative_trace):
+    compressor = SequiturCompressor()
+    blob = benchmark(compressor.compress, representative_trace)
+    assert compressor.decompress(blob) == representative_trace
+
+
+def test_benchmark_sbc_compress(benchmark, representative_trace):
+    compressor = SbcCompressor()
+    blob = benchmark(compressor.compress, representative_trace)
+    assert compressor.decompress(blob) == representative_trace

@@ -1,0 +1,56 @@
+"""Table 1: information about the traces.
+
+Regenerates the paper's trace inventory — per workload, the language and
+type plus the sizes of the three trace kinds (here synthetic, so sizes are
+scaled down; the *relative* distribution follows Table 1's weights).  The
+pytest-benchmark entry times end-to-end trace generation, including the
+cache-simulator pass that produces the miss traces.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE, SEED, report, suite_names
+from repro.traces import TRACE_KINDS, build_trace, generate_events
+from repro.traces.workloads import WORKLOADS
+
+
+def test_table1_inventory(benchmark, trace_suite):
+    lines = [
+        "Table 1: information about the (synthetic) traces",
+        "",
+        f"{'program':10s} {'lang':5s} {'type':15s} "
+        f"{'store addr':>12s} {'cache miss':>12s} {'load values':>12s}",
+    ]
+    for workload in suite_names():
+        info = WORKLOADS[workload]
+        sizes = []
+        for kind in TRACE_KINDS:
+            raw = trace_suite[kind][workload]
+            sizes.append(f"{len(raw) / 1024:10.1f}kB")
+        lines.append(
+            f"{workload:10s} {info.lang:5s} {info.kind:15s} "
+            + " ".join(f"{s:>12s}" for s in sizes)
+        )
+        for kind in TRACE_KINDS:
+            assert len(trace_suite[kind][workload]) > 4, (workload, kind)
+    report("table1_traces", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_trace_records_frame_exactly(benchmark, trace_suite):
+    def check():
+        for kind, traces in trace_suite.items():
+            for workload, raw in traces.items():
+                assert (len(raw) - 4) % 12 == 0, (kind, workload)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_benchmark_trace_generation(benchmark):
+    raw = benchmark(build_trace, "gcc", "cache_miss_addresses", SCALE, SEED)
+    assert len(raw) > 4
+
+
+def test_benchmark_event_generation(benchmark):
+    events = benchmark(generate_events, "mcf", SCALE, SEED)
+    assert len(events) > 0

@@ -1,0 +1,100 @@
+"""Table 2: performance impact of TCgen's optimizations.
+
+Re-runs the generated TCgen(A) compressor with each optimization disabled
+in turn (and all four together) over the three trace types.  Expected
+shape, per the paper:
+
+- disabling table sharing or the fast hash leaves the compression rate
+  *unchanged* (asserted exactly) but slows the code down;
+- disabling the smart update policy or type minimization changes the
+  compression rate (smart update strictly helps on the suite average);
+- disabling everything is worst overall.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import report
+from harness import KIND_LABELS
+
+from repro import generate_compressor, tcgen_a
+from repro.metrics import harmonic_mean
+from repro.model.optimize import TABLE2_ROWS
+
+
+def _measure_row(options, trace_suite):
+    """Per trace kind: (harmonic rate, harmonic d.speed, harmonic c.speed)."""
+    module = generate_compressor(tcgen_a(), options)
+    results = {}
+    for kind, traces in trace_suite.items():
+        rates, dspeeds, cspeeds = [], [], []
+        for raw in traces.values():
+            start = time.perf_counter()
+            blob = module.compress(raw)
+            ctime = time.perf_counter() - start
+            start = time.perf_counter()
+            out = module.decompress(blob)
+            dtime = time.perf_counter() - start
+            assert out == raw
+            rates.append(len(raw) / len(blob))
+            dspeeds.append(len(raw) / max(dtime, 1e-9))
+            cspeeds.append(len(raw) / max(ctime, 1e-9))
+        results[kind] = (
+            harmonic_mean(rates),
+            harmonic_mean(dspeeds),
+            harmonic_mean(cspeeds),
+        )
+    return results
+
+
+def test_table2_optimization_ablations(benchmark, trace_suite):
+    def sweep():
+        return {
+            name: _measure_row(options, trace_suite)
+            for name, options in TABLE2_ROWS
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    kinds = list(trace_suite)
+    header = f"{'':24s}" + "".join(
+        f"{KIND_LABELS[k]:>14s}{'':>1s}{'rate':>9s}{'d.spd':>10s}{'c.spd':>10s}"
+        for k in []
+    )
+    lines = ["Table 2: performance impact of TCgen's optimizations", ""]
+    head = f"{'configuration':24s}"
+    for kind in kinds:
+        head += f" | {KIND_LABELS[kind]:>30s}"
+    lines.append(head)
+    sub = f"{'':24s}"
+    for _ in kinds:
+        sub += f" | {'rate':>10s}{'d.spd':>10s}{'c.spd':>10s}"
+    lines.append(sub)
+    for name, per_kind in rows.items():
+        line = f"{name:24s}"
+        for kind in kinds:
+            rate, dspd, cspd = per_kind[kind]
+            line += f" | {rate:10.1f}{dspd / 1e6:9.2f}M{cspd / 1e6:9.2f}M"
+        lines.append(line)
+    report("table2_optimizations", "\n".join(lines))
+
+    full = rows["full optimizations"]
+    # Sharing and the fast hash must not change the rate at all.
+    for name in ("no shared tables", "no fast hash function"):
+        for kind in kinds:
+            assert rows[name][kind][0] == full[kind][0], (name, kind)
+    # The smart update policy improves the suite-average rate.
+    for kind in kinds:
+        assert full[kind][0] >= rows["no smart update"][kind][0] * 0.999, kind
+    # Disabling everything never improves the rate.
+    for kind in kinds:
+        assert rows["all of the above"][kind][0] <= full[kind][0] * 1.001, kind
+
+
+def test_benchmark_full_vs_deoptimized_compress(benchmark, representative_trace):
+    from repro.model import OptimizationOptions
+
+    module = generate_compressor(tcgen_a(), OptimizationOptions.none())
+    blob = benchmark(module.compress, representative_trace)
+    assert module.decompress(blob) == representative_trace

@@ -1,0 +1,72 @@
+"""Cross-validation on executed-program traces.
+
+The headline comparisons (Figures 6-8) run on the synthetic workload
+suite.  This bench re-checks the central compression-rate orderings on a
+fully independent trace source: kernels executed instruction-by-
+instruction on the bundled virtual machine (`repro.vm`).  If the paper's
+shape only held because of how the synthetic generator is built, it would
+break here.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.baselines import all_compressors
+from repro.metrics import ResultTable, harmonic_mean, measure
+from repro.traces import TRACE_KINDS
+from repro.vm import program_names, vm_trace
+
+#: Kernels used for the cross-check (kept small; the VM is interpreted).
+KERNELS = ("matmul", "list_sum", "binsearch", "hashtable", "quicksort",
+           "strsearch", "fib", "stencil")
+
+
+def test_vm_trace_comparison(benchmark):
+    def sweep():
+        table = ResultTable()
+        traces = {
+            (kernel, kind): vm_trace(kernel, kind)
+            for kernel in KERNELS
+            for kind in TRACE_KINDS
+        }
+        for (kernel, kind), raw in traces.items():
+            for compressor in all_compressors():
+                table.add(measure(compressor, raw, workload=kernel, kind=kind))
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Cross-validation: compression rates on executed-program traces",
+        "",
+        table.render("compression_rate"),
+        "",
+        "relative to TCgen:",
+        table.render("compression_rate", relative_to="TCgen"),
+        "",
+        "note: the kernels' working sets mostly fit in the 16kB cache, so",
+        "cache-miss traces have only a handful of records (fib: 7) and are",
+        "dominated by container floors — orderings are asserted only for",
+        "the trace kinds with >= 1000 records on average.",
+    ]
+    report("vm_cross_validation", "\n".join(lines))
+
+    summary = table.summary("compression_rate")
+    for kind in table.kinds():
+        records = sorted(
+            m.uncompressed_bytes // 12 for m in table.select(kind=kind)
+        )
+        if records[len(records) // 2] < 1000:  # median trace too small
+            continue  # floor-dominated (see the report note)
+        tcgen = summary[("TCgen", kind)]
+        # The orderings asserted on the synthetic suite must also hold on
+        # executed programs: TCgen >= VPC3 (the enhancement claim) and
+        # TCgen > SEQUITUR.  Offset-based schemes (PDATS II/MACHE) are
+        # allowed to win single-kernel *store* traces: with only one live
+        # store site, a global delta plus run-collapse is near-optimal —
+        # the paper itself records PDATS II winning 3 of 19 store traces.
+        assert tcgen >= summary[("VPC3", kind)] * 0.98, kind
+        assert tcgen > summary[("SEQUITUR", kind)], kind
+        if kind == "load_values":
+            assert tcgen > summary[("PDATS II", kind)], kind

@@ -1,0 +1,66 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` — workload scale factor (default 0.25; the paper
+  uses multi-gigabyte traces, we default to tens of thousands of records);
+- ``REPRO_FULL_SUITE=1`` — run all 22 workloads instead of the default 8;
+- ``REPRO_BENCH_SEED`` — trace generation seed (default 2005).
+
+Every ``bench_*`` module computes one paper table or figure, registers its
+rendered text via :func:`report`, and the terminal-summary hook prints all
+reports at the end of the run (they are also written to
+``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.traces import TRACE_KINDS, build_trace, default_suite, workload_names
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2.0"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2005"))
+FULL_SUITE = os.environ.get("REPRO_FULL_SUITE", "") == "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_reports: list[tuple[str, str]] = []
+
+
+def suite_names() -> list[str]:
+    return workload_names() if FULL_SUITE else default_suite()
+
+
+def report(name: str, text: str) -> None:
+    """Register a rendered result table for the terminal summary."""
+    _reports.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    for name, text in _reports:
+        terminalreporter.write_sep("=", name)
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def trace_suite():
+    """All evaluation traces: {kind: {workload: raw bytes}}."""
+    return {
+        kind: {
+            workload: build_trace(workload, kind, scale=SCALE, seed=SEED)
+            for workload in suite_names()
+        }
+        for kind in TRACE_KINDS
+    }
+
+
+@pytest.fixture(scope="session")
+def representative_trace():
+    """One medium trace used for the pytest-benchmark timing anchors."""
+    return build_trace("gzip", "store_addresses", scale=SCALE, seed=SEED)

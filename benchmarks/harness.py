@@ -1,0 +1,79 @@
+"""Measurement helpers shared by the figure/table benchmarks."""
+
+from __future__ import annotations
+
+from repro.baselines import all_compressors
+from repro.metrics import Measurement, ResultTable, measure
+
+#: Pretty labels for the trace kinds, matching the paper's terminology.
+KIND_LABELS = {
+    "store_addresses": "store addresses",
+    "cache_miss_addresses": "cache miss addrs",
+    "load_values": "load values",
+}
+
+_comparison_cache: dict[int, ResultTable] = {}
+
+
+def full_comparison(trace_suite) -> ResultTable:
+    """Measure all seven algorithms over the whole suite (cached).
+
+    Figures 6, 7, and 8 are three views of the same run, so the expensive
+    sweep happens once per session.
+    """
+    key = id(trace_suite)
+    if key not in _comparison_cache:
+        table = ResultTable()
+        for kind, traces in trace_suite.items():
+            for workload, raw in traces.items():
+                for compressor in all_compressors():
+                    table.add(
+                        measure(compressor, raw, workload=workload, kind=kind)
+                    )
+        _comparison_cache[key] = table
+    return _comparison_cache[key]
+
+
+def render_figure(table: ResultTable, metric: str, title: str, note: str = "") -> str:
+    """Paper-figure style rendering: absolute + relative-to-TCgen."""
+    parts = [title, ""]
+    parts.append("absolute (harmonic mean over the suite):")
+    parts.append(table.render(metric))
+    parts.append("")
+    parts.append("relative to TCgen (the paper's figures normalize this way):")
+    parts.append(table.render(metric, relative_to="TCgen"))
+    if note:
+        parts += ["", note]
+    return "\n".join(parts)
+
+
+def per_trace_extremes(table: ResultTable, metric: str) -> str:
+    """The Section 7.1-style per-trace detail: wins and best-case factors."""
+    lines = []
+    kinds = table.kinds()
+    algorithms = [a for a in table.algorithms() if a != "TCgen"]
+    wins = 0
+    total = 0
+    best_factors = {a: 0.0 for a in algorithms}
+    for kind in kinds:
+        workloads = {m.workload for m in table.select(kind=kind)}
+        for workload in workloads:
+            total += 1
+            values = {
+                m.algorithm: getattr(m, metric)
+                for m in table.select(kind=kind)
+                if m.workload == workload
+            }
+            tcgen = values["TCgen"]
+            if all(tcgen >= v for a, v in values.items() if a != "TCgen"):
+                wins += 1
+            for algorithm in algorithms:
+                factor = tcgen / values[algorithm]
+                best_factors[algorithm] = max(best_factors[algorithm], factor)
+    lines.append(
+        f"TCgen best on {wins} of {total} traces "
+        f"(paper: 36 of 55 for compression rate)"
+    )
+    for algorithm, factor in best_factors.items():
+        lines.append(f"  best-case factor over {algorithm}: {factor:.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Automatic predictor selection from a trace sample.
+
+Instead of hand-tuning a specification, analyze the trace and let the
+recommender build one: per-field statistics explain the trace's structure,
+candidate predictors are scored on a sample, and a complete specification
+is assembled under a memory budget.  The recommended compressor is then
+compared against the paper's hand-tuned TCgen(A).
+
+Run:  python examples/auto_recommend.py [workload] [kind]
+"""
+
+import sys
+
+from repro import build_model, format_spec, generate_compressor, tcgen_a
+from repro.analysis import analyze_trace, recommend_spec, score_candidates
+from repro.tio import VPC_FORMAT
+from repro.traces import TRACE_KINDS, build_trace, workload_names
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "equake"
+    kind = sys.argv[2] if len(sys.argv) > 2 else "cache_miss_addresses"
+    if workload not in workload_names() or kind not in TRACE_KINDS:
+        raise SystemExit(f"usage: auto_recommend.py [{'/'.join(workload_names()[:4])}...] "
+                         f"[{'/'.join(TRACE_KINDS)}]")
+
+    raw = build_trace(workload, kind, scale=1.0)
+
+    print("trace statistics:")
+    print(analyze_trace(VPC_FORMAT, raw).render())
+    print()
+
+    print("candidate predictor hit ratios (20k-record sample):")
+    for score in score_candidates(VPC_FORMAT, raw):
+        print(f"  field {score.field_index}  {score.predictor!s:9s}  "
+              f"{score.hit_ratio:6.1%}")
+    print()
+
+    spec = recommend_spec(VPC_FORMAT, raw, budget_bytes=32 << 20)
+    print("recommended specification:")
+    print(format_spec(spec))
+    model = build_model(spec)
+    print(f"({model.total_predictions()} predictions, "
+          f"{model.table_bytes() / 2**20:.1f}MB of tables)")
+    print()
+
+    recommended = generate_compressor(spec)
+    reference = generate_compressor(tcgen_a())
+    blob_r = recommended.compress(raw)
+    blob_a = reference.compress(raw)
+    assert recommended.decompress(blob_r) == raw
+    print(f"recommended spec : rate {len(raw) / len(blob_r):7.1f}x")
+    print(f"hand-tuned TCgen(A): rate {len(raw) / len(blob_a):7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

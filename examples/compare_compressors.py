@@ -1,0 +1,46 @@
+"""Head-to-head: TCgen against the paper's six comparison algorithms.
+
+Runs BZIP2, MACHE, PDATS II, SEQUITUR, SBC, VPC3, and the TCgen-generated
+compressor on one synthetic workload's three trace types and prints a
+Section 7-style table (compression rate, decompression speed, compression
+speed per algorithm).
+
+Run:  python examples/compare_compressors.py [workload] [scale]
+"""
+
+import sys
+
+from repro.baselines import all_compressors
+from repro.metrics import ResultTable, measure
+from repro.traces import TRACE_KINDS, build_trace, workload_names
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    if workload not in workload_names():
+        raise SystemExit(
+            f"unknown workload {workload!r}; pick one of: "
+            + ", ".join(workload_names())
+        )
+
+    table = ResultTable()
+    for kind in TRACE_KINDS:
+        raw = build_trace(workload, kind, scale=scale)
+        print(f"{kind}: {len(raw):,} bytes")
+        for compressor in all_compressors():
+            result = measure(compressor, raw, workload=workload, kind=kind)
+            table.add(result)
+            print(
+                f"  {result.algorithm:10s} rate {result.compression_rate:8.1f}x"
+                f"  decompress {result.decompression_speed / 1e6:6.2f} MB/s"
+                f"  compress {result.compression_speed / 1e6:6.2f} MB/s"
+            )
+        print()
+
+    print("harmonic-mean compression rates, relative to TCgen:")
+    print(table.render("compression_rate", relative_to="TCgen"))
+
+
+if __name__ == "__main__":
+    main()

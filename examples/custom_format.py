@@ -1,0 +1,65 @@
+"""Custom trace formats: the point of a compressor *generator*.
+
+The paper's motivation: every time the trace format changes, hand-written
+compressors must be re-implemented.  With TCgen you only change the
+specification.  This example defines a brand-new three-field format — a
+memory-access trace with an 8-bit access-type tag, a 32-bit PC, and a
+64-bit effective address — generates a compressor for it, and compares
+the result against plain BZIP2 on the same bytes.
+
+Run:  python examples/custom_format.py
+"""
+
+import bz2
+
+import numpy as np
+
+from repro import generate_compressor, parse_spec
+from repro.tio import TraceFormat, pack_records
+
+SPEC_TEXT = """
+# A custom format: tag byte + PC + effective address, no header.
+TCgen Trace Specification;
+8-Bit Field 1 = {L1 = 256, L2 = 1024: FCM2[2], LV[2]};
+32-Bit Field 2 = {L1 = 1, L2 = 65536: FCM3[2], FCM1[2]};
+64-Bit Field 3 = {L1 = 16384, L2 = 65536: DFCM2[2], DFCM1[2], LV[2]};
+PC = Field 2;
+"""
+
+
+def synthesize_trace(records: int = 30_000, seed: int = 42) -> bytes:
+    """A loop nest issuing tagged loads/stores over three arrays."""
+    rng = np.random.default_rng(seed)
+    loop = np.arange(records) % 24
+    pcs = (0x8000 + loop * 4).astype(np.uint64)
+    tags = (loop % 3).astype(np.uint64)  # 0 = load, 1 = store, 2 = prefetch
+    bases = np.array([0x10_0000, 0x20_0000, 0x30_0000], dtype=np.uint64)
+    strides = np.array([8, 16, 64], dtype=np.uint64)
+    position = (np.arange(records) // 24).astype(np.uint64)
+    addrs = bases[loop % 3] + position * strides[loop % 3]
+    jitter = rng.integers(0, 50, records) == 0  # rare irregular accesses
+    addrs[jitter] = rng.integers(0, 1 << 40, int(jitter.sum()), dtype=np.int64)
+    fmt = TraceFormat(header_bits=0, field_bits=(8, 32, 64), pc_field=2)
+    return pack_records(fmt, b"", [tags, pcs, addrs.astype(np.uint64)])
+
+
+def main() -> None:
+    spec = parse_spec(SPEC_TEXT)
+    compressor = generate_compressor(spec)
+    raw = synthesize_trace()
+    print(f"custom-format trace: {len(raw):,} bytes")
+
+    blob = compressor.compress(raw)
+    assert compressor.decompress(blob) == raw
+    bzip2_blob = bz2.compress(raw, 9)
+
+    print(f"TCgen-generated compressor: {len(blob):,} bytes "
+          f"(rate {len(raw) / len(blob):.1f}x)")
+    print(f"plain BZIP2:                {len(bzip2_blob):,} bytes "
+          f"(rate {len(raw) / len(bzip2_blob):.1f}x)")
+    print()
+    print("Changing the format again?  Edit the specification — nothing else.")
+
+
+if __name__ == "__main__":
+    main()

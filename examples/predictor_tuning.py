@@ -1,0 +1,99 @@
+"""Predictor tuning with usage feedback (the paper's Section 7.5 workflow).
+
+The paper recommends: "start with a trace specification that covers a wide
+range of predictors and then eliminate the useless predictors as
+determined by the predictor usage information output after each
+compression."  This example automates exactly that loop:
+
+1. compress a trace with the wide TCgen(B) configuration;
+2. read the per-code usage counts;
+3. drop every predictor whose codes together serve under 2% of records;
+4. regenerate and compare rate and memory.
+
+Run:  python examples/predictor_tuning.py [workload]
+"""
+
+import sys
+
+from repro import build_model, format_spec, generate_compressor, tcgen_b
+from repro.runtime import TraceEngine
+from repro.spec.ast import FieldSpec, TraceSpec
+from repro.traces import build_trace
+
+PRUNE_THRESHOLD = 0.02
+
+
+def prune_spec(spec: TraceSpec, usage) -> TraceSpec:
+    """Drop predictors whose prediction codes are nearly unused."""
+    new_fields = []
+    for field, field_usage in zip(spec.fields, usage.fields):
+        total = max(field_usage.records, 1)
+        kept = []
+        code = 0
+        for predictor in field.predictors:
+            hits = sum(
+                field_usage.counts[code + slot] for slot in range(predictor.depth)
+            )
+            code += predictor.depth
+            if hits / total >= PRUNE_THRESHOLD:
+                kept.append(predictor)
+        if not kept:  # every field needs at least one predictor
+            kept = [max(
+                field.predictors,
+                key=lambda p: sum(
+                    field_usage.counts[c]
+                    for c in range(
+                        sum(q.depth for q in field.predictors[: field.predictors.index(p)]),
+                        sum(q.depth for q in field.predictors[: field.predictors.index(p)])
+                        + p.depth,
+                    )
+                ),
+            )]
+        new_fields.append(
+            FieldSpec(
+                bits=field.bits,
+                index=field.index,
+                predictors=tuple(kept),
+                l1=field.l1,
+                l2=field.l2,
+            )
+        )
+    return TraceSpec(
+        header_bits=spec.header_bits,
+        fields=tuple(new_fields),
+        pc_field=spec.pc_field,
+    )
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "equake"
+    raw = build_trace(workload, "load_values", scale=1.0)
+
+    wide_spec = tcgen_b()
+    # The interpreted engine exposes structured usage statistics.
+    engine = TraceEngine(wide_spec)
+    wide_blob = engine.compress(raw)
+    usage = engine.last_usage
+
+    pruned_spec = prune_spec(wide_spec, usage)
+    pruned = generate_compressor(pruned_spec)
+    pruned_blob = pruned.compress(raw)
+    assert pruned.decompress(pruned_blob) == raw
+
+    wide_model = build_model(wide_spec)
+    pruned_model = build_model(pruned_spec)
+
+    print("wide configuration (TCgen(B), paper Figure 9):")
+    print(f"  rate {len(raw) / len(wide_blob):8.2f}x   "
+          f"{wide_model.total_predictions()} predictions, "
+          f"{wide_model.table_bytes() / 2**20:.0f}MB tables")
+    print()
+    print(f"pruned configuration (predictors under {PRUNE_THRESHOLD:.0%} usage dropped):")
+    print(format_spec(pruned_spec))
+    print(f"  rate {len(raw) / len(pruned_blob):8.2f}x   "
+          f"{pruned_model.total_predictions()} predictions, "
+          f"{pruned_model.table_bytes() / 2**20:.0f}MB tables")
+
+
+if __name__ == "__main__":
+    main()

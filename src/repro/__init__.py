@@ -1,0 +1,98 @@
+"""TCgen: automatic generation of high-performance trace compressors.
+
+A reproduction of Burtscher & Sam, "Automatic Generation of
+High-Performance Trace Compressors" (CGO 2005).  The package contains:
+
+- the trace-specification language (:mod:`repro.spec`),
+- the value predictors LV/FCM/DFCM (:mod:`repro.predictors`),
+- the resolved compressor model with the paper's optimizations
+  (:mod:`repro.model`),
+- Python and C code generators (:mod:`repro.codegen`),
+- the interpreted reference engine (:mod:`repro.runtime`),
+- the six comparison compressors (:mod:`repro.baselines`),
+- synthetic SPEC-like trace generation with a cache simulator
+  (:mod:`repro.traces`, :mod:`repro.cachesim`),
+- the measurement harness (:mod:`repro.metrics`).
+
+Quickstart::
+
+    from repro import parse_spec, generate_compressor
+
+    spec = parse_spec(open("format.tc").read())
+    compressor = generate_compressor(spec)       # generated Python module
+    blob = compressor.compress(trace_bytes)
+    assert compressor.decompress(blob) == trace_bytes
+"""
+
+from repro.errors import (
+    CodegenError,
+    CompressedFormatError,
+    LexError,
+    ParseError,
+    ReproError,
+    SpecError,
+    TraceFormatError,
+    ValidationError,
+)
+from repro.model import CompressorModel, OptimizationOptions, build_model
+from repro.spec import (
+    TraceSpec,
+    format_spec,
+    parse_spec,
+    tcgen_a,
+    tcgen_b,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodegenError",
+    "CompressedFormatError",
+    "CompressorModel",
+    "LexError",
+    "OptimizationOptions",
+    "ParseError",
+    "ReproError",
+    "SpecError",
+    "TraceFormatError",
+    "TraceSpec",
+    "ValidationError",
+    "build_model",
+    "format_spec",
+    "generate_compressor",
+    "generate_c_source",
+    "parse_spec",
+    "tcgen_a",
+    "tcgen_b",
+    "__version__",
+]
+
+
+def generate_compressor(
+    spec: TraceSpec,
+    options: OptimizationOptions | None = None,
+    codec: str = "bzip2",
+):
+    """Generate, compile, and load a Python compressor for ``spec``.
+
+    Returns a module exposing ``compress``, ``decompress``,
+    ``usage_report``, and ``main``.  This is the package's main entry
+    point — the Python analog of running the ``tcgen`` tool and compiling
+    its output.
+    """
+    from repro.codegen import generate_python, load_python_module
+
+    model = build_model(spec, options)
+    return load_python_module(generate_python(model, codec=codec))
+
+
+def generate_c_source(
+    spec: TraceSpec,
+    options: OptimizationOptions | None = None,
+    codec: str = "bzip2",
+) -> str:
+    """Generate the C source of a compressor for ``spec`` (paper output)."""
+    from repro.codegen import generate_c
+
+    model = build_model(spec, options)
+    return generate_c(model, codec=codec)

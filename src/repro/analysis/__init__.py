@@ -1,0 +1,30 @@
+"""Trace analysis and automatic predictor selection.
+
+The paper asks users to pick predictors by hand, guided by the usage
+feedback the generated code prints after each compression (Section 7.5).
+This package automates the whole workflow:
+
+- :mod:`repro.analysis.stats` — field-level statistics of a raw trace
+  (entropy, unique values, stride histograms, per-PC locality), useful
+  for understanding *why* a trace is hard or easy to compress;
+- :mod:`repro.analysis.predictability` — measures how well each candidate
+  predictor family/order would do on each field of a sample;
+- :mod:`repro.analysis.recommend` — turns those measurements into a
+  complete :class:`~repro.spec.TraceSpec` under a memory budget.
+"""
+
+from repro.analysis.predictability import (
+    CandidateScore,
+    score_candidates,
+)
+from repro.analysis.recommend import recommend_spec
+from repro.analysis.stats import FieldStats, TraceStats, analyze_trace
+
+__all__ = [
+    "CandidateScore",
+    "FieldStats",
+    "TraceStats",
+    "analyze_trace",
+    "recommend_spec",
+    "score_candidates",
+]

@@ -1,0 +1,102 @@
+"""Measuring candidate-predictor accuracy on trace samples.
+
+For each field of a trace, run a set of candidate predictors (standalone
+LV/FCM/DFCM instances with realistic table sizes) over a sample of
+records and record their hit ratios.  This quantifies what the paper's
+post-compression usage feedback reveals, but *before* generating any
+compressor — the input to automatic specification recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.dfcm import DFCMPredictor
+from repro.predictors.fcm import FCMPredictor
+from repro.predictors.lastvalue import LastValuePredictor
+from repro.spec.ast import PredictorKind, PredictorSpec
+from repro.tio.traceformat import TraceFormat, unpack_records
+
+#: Candidate predictor shapes tried per field, cheap to expensive.
+DEFAULT_CANDIDATES: tuple[PredictorSpec, ...] = (
+    PredictorSpec(PredictorKind.LV, 0, 1),
+    PredictorSpec(PredictorKind.LV, 0, 4),
+    PredictorSpec(PredictorKind.FCM, 1, 2),
+    PredictorSpec(PredictorKind.FCM, 3, 2),
+    PredictorSpec(PredictorKind.DFCM, 1, 2),
+    PredictorSpec(PredictorKind.DFCM, 3, 2),
+)
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Hit ratio of one candidate predictor on one field's sample."""
+
+    field_index: int
+    predictor: PredictorSpec
+    hits: int
+    records: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.records if self.records else 0.0
+
+
+def _build_predictor(
+    candidate: PredictorSpec, width_bits: int, l1_lines: int, l2_size: int
+):
+    if candidate.kind is PredictorKind.LV:
+        return LastValuePredictor(candidate.depth, lines=l1_lines, width_bits=width_bits)
+    if candidate.kind is PredictorKind.FCM:
+        return FCMPredictor(
+            candidate.order, candidate.depth, l2_size,
+            lines=l1_lines, width_bits=width_bits,
+        )
+    return DFCMPredictor(
+        candidate.order, candidate.depth, l2_size,
+        lines=l1_lines, width_bits=width_bits,
+    )
+
+
+def score_candidates(
+    fmt: TraceFormat,
+    raw: bytes,
+    candidates: tuple[PredictorSpec, ...] = DEFAULT_CANDIDATES,
+    sample_records: int = 20_000,
+    l1_lines: int = 4096,
+    l2_size: int = 16384,
+) -> list[CandidateScore]:
+    """Hit ratios of every candidate on every field of a trace sample.
+
+    The PC field (``fmt.pc_field``) is scored without a PC index (its own
+    L1 is forced to one line, as the specification language requires);
+    other fields index their tables with the record's PC.
+    """
+    _, columns = unpack_records(fmt, raw)
+    count = min(len(columns[0]) if columns else 0, sample_records)
+    pcs = columns[fmt.pc_field - 1][:count].tolist()
+
+    scores: list[CandidateScore] = []
+    for position, column in enumerate(columns):
+        field_index = position + 1
+        width = fmt.field_bits[position]
+        is_pc = field_index == fmt.pc_field
+        values = column[:count].tolist()
+        for candidate in candidates:
+            lines = 1 if is_pc else l1_lines
+            predictor = _build_predictor(candidate, width, lines, l2_size)
+            hits = 0
+            for pc, value in zip(pcs, values):
+                index = 0 if is_pc else pc
+                if value in predictor.predict(index):
+                    hits += 1
+                predictor.update(value, index)
+            scores.append(
+                CandidateScore(
+                    field_index=field_index,
+                    predictor=candidate,
+                    hits=hits,
+                    records=count,
+                )
+            )
+    return scores

@@ -1,0 +1,110 @@
+"""Automatic specification recommendation.
+
+Builds a complete :class:`~repro.spec.TraceSpec` for a trace format from
+measured candidate-predictor accuracy: per field, keep the candidates
+whose hit ratio clears a usefulness threshold *and* adds coverage beyond
+the already-selected set, subject to a total table-memory budget.  This
+mechanizes the paper's recommendation ("start with a wide range of
+predictors, then eliminate the useless ones") into a one-call API.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.predictability import DEFAULT_CANDIDATES, score_candidates
+from repro.model.layout import build_model
+from repro.spec.ast import FieldSpec, PredictorKind, PredictorSpec, TraceSpec
+from repro.spec.validate import validate_spec
+from repro.tio.traceformat import TraceFormat
+
+#: A candidate must predict at least this share of sampled records.
+MIN_HIT_RATIO = 0.05
+#: ...and improve on the best already-chosen candidate by this much,
+#: unless it is of a different family (diverse families complement).
+MIN_IMPROVEMENT = 0.02
+
+
+def recommend_spec(
+    fmt: TraceFormat,
+    raw: bytes,
+    budget_bytes: int = 64 << 20,
+    l1_lines: int = 4096,
+    l2_size: int = 16384,
+    sample_records: int = 20_000,
+) -> TraceSpec:
+    """Recommend a specification for ``fmt`` based on a sample of ``raw``.
+
+    Always returns a valid specification: if nothing predicts well, each
+    field falls back to the best-scoring candidate anyway (every field
+    needs at least one predictor).
+    """
+    scores = score_candidates(
+        fmt, raw, sample_records=sample_records, l1_lines=l1_lines, l2_size=l2_size
+    )
+
+    fields: list[FieldSpec] = []
+    for position, bits in enumerate(fmt.field_bits):
+        field_index = position + 1
+        is_pc = field_index == fmt.pc_field
+        field_scores = sorted(
+            (s for s in scores if s.field_index == field_index),
+            key=lambda s: s.hit_ratio,
+            reverse=True,
+        )
+        chosen: list[PredictorSpec] = []
+        families: dict[PredictorKind, float] = {}
+        for score in field_scores:
+            candidate = score.predictor
+            if chosen and score.hit_ratio < MIN_HIT_RATIO:
+                break
+            best_in_family = families.get(candidate.kind, 0.0)
+            if (
+                chosen
+                and score.hit_ratio < best_in_family + MIN_IMPROVEMENT
+                and candidate.kind in families
+            ):
+                continue
+            chosen.append(candidate)
+            families[candidate.kind] = max(best_in_family, score.hit_ratio)
+        if not chosen:
+            chosen = [field_scores[0].predictor]
+        fields.append(
+            FieldSpec(
+                bits=bits,
+                index=field_index,
+                predictors=tuple(chosen),
+                l1=1 if is_pc else l1_lines,
+                l2=l2_size,
+            )
+        )
+
+    spec = TraceSpec(
+        header_bits=fmt.header_bits, fields=tuple(fields), pc_field=fmt.pc_field
+    )
+    validate_spec(spec)
+    spec = _fit_budget(spec, budget_bytes)
+    return spec
+
+
+def _fit_budget(spec: TraceSpec, budget_bytes: int) -> TraceSpec:
+    """Shrink L2 sizes (halving) until the table footprint fits."""
+    while build_model(spec).table_bytes() > budget_bytes:
+        shrunk = []
+        shrank_any = False
+        for field in spec.fields:
+            l2 = field.l2_size
+            if l2 > 256:
+                shrunk.append(
+                    FieldSpec(
+                        bits=field.bits, index=field.index,
+                        predictors=field.predictors, l1=field.l1, l2=l2 // 2,
+                    )
+                )
+                shrank_any = True
+            else:
+                shrunk.append(field)
+        if not shrank_any:
+            break
+        spec = TraceSpec(
+            header_bits=spec.header_bits, fields=tuple(shrunk), pc_field=spec.pc_field
+        )
+    return spec

@@ -1,0 +1,127 @@
+"""Field-level statistics of raw traces."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.tio.traceformat import TraceFormat, unpack_records
+
+
+@dataclass
+class FieldStats:
+    """Summary statistics for one record field."""
+
+    index: int
+    bits: int
+    count: int
+    unique_values: int
+    value_entropy_bits: float  # Shannon entropy of the value distribution
+    top_values: list[tuple[int, int]]  # (value, occurrences), most common first
+    # Stride structure (differences between consecutive values):
+    unique_strides: int
+    stride_entropy_bits: float
+    top_strides: list[tuple[int, int]]
+    zero_stride_fraction: float  # repeats
+    constant_stride_fraction: float  # share covered by the single best stride
+
+    @property
+    def value_redundancy(self) -> float:
+        """1 - entropy/width: how far values fall short of random bits."""
+        if self.bits == 0:
+            return 1.0
+        return max(0.0, 1.0 - self.value_entropy_bits / self.bits)
+
+
+@dataclass
+class TraceStats:
+    """Per-field statistics plus simple whole-trace facts."""
+
+    record_count: int
+    record_bytes: int
+    fields: list[FieldStats] = dc_field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"{self.record_count:,} records x {self.record_bytes} bytes"]
+        for f in self.fields:
+            lines.append(
+                f"field {f.index} ({f.bits}-bit): "
+                f"{f.unique_values:,} unique values, "
+                f"value entropy {f.value_entropy_bits:.1f} bits, "
+                f"stride entropy {f.stride_entropy_bits:.1f} bits, "
+                f"{f.zero_stride_fraction:.0%} repeats, "
+                f"{f.constant_stride_fraction:.0%} best-stride"
+            )
+        return "\n".join(lines)
+
+
+def _entropy_bits(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts / total
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def _column_stats(index: int, bits: int, column: np.ndarray, top: int) -> FieldStats:
+    count = len(column)
+    values, value_counts = np.unique(column, return_counts=True)
+    order = np.argsort(value_counts)[::-1]
+    top_values = [
+        (int(values[i]), int(value_counts[i])) for i in order[:top]
+    ]
+
+    if count > 1:
+        strides = np.diff(column)  # uint64 arithmetic wraps, as the predictors do
+        stride_values, stride_counts = np.unique(strides, return_counts=True)
+        stride_order = np.argsort(stride_counts)[::-1]
+
+        def signed(value: np.uint64) -> int:
+            v = int(value)
+            return v - (1 << 64) if v >= 1 << 63 else v
+
+        top_strides = [
+            (signed(stride_values[i]), int(stride_counts[i]))
+            for i in stride_order[:top]
+        ]
+        zero_fraction = float(stride_counts[stride_values == 0].sum()) / len(strides)
+        best_fraction = float(stride_counts[stride_order[0]]) / len(strides)
+        stride_entropy = _entropy_bits(stride_counts)
+        unique_strides = len(stride_values)
+    else:
+        top_strides = []
+        zero_fraction = 0.0
+        best_fraction = 0.0
+        stride_entropy = 0.0
+        unique_strides = 0
+
+    return FieldStats(
+        index=index,
+        bits=bits,
+        count=count,
+        unique_values=len(values),
+        value_entropy_bits=_entropy_bits(value_counts),
+        top_values=top_values,
+        unique_strides=unique_strides,
+        stride_entropy_bits=stride_entropy,
+        top_strides=top_strides,
+        zero_stride_fraction=zero_fraction,
+        constant_stride_fraction=best_fraction,
+    )
+
+
+def analyze_trace(fmt: TraceFormat, raw: bytes, top: int = 5) -> TraceStats:
+    """Compute per-field statistics for a raw trace."""
+    _, columns = unpack_records(fmt, raw)
+    stats = TraceStats(
+        record_count=len(columns[0]) if columns else 0,
+        record_bytes=fmt.record_bytes,
+    )
+    for position, column in enumerate(columns):
+        stats.fields.append(
+            _column_stats(position + 1, fmt.field_bits[position], column, top)
+        )
+    return stats

@@ -1,0 +1,167 @@
+"""Self-describing adaptive archives (the paper's Section 7.5 proposal)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompressedFormatError
+from repro.model.optimize import OptimizationOptions
+from repro.runtime.engine import TraceEngine
+from repro.runtime.stats import UsageReport
+from repro.spec.ast import FieldSpec, TraceSpec
+from repro.spec.canonical import format_spec
+from repro.spec.parser import parse_spec
+from repro.spec.presets import tcgen_a, tcgen_b
+from repro.tio.blockio import ByteReader, ByteWriter
+
+#: Archive magic ("TCgen Adaptive").
+MAGIC = b"TCGA"
+
+#: Predictors whose codes together serve less than this share of records
+#: are dropped during usage-based refinement.
+PRUNE_THRESHOLD = 0.02
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive compression: archive plus provenance."""
+
+    archive: bytes
+    spec: TraceSpec
+    candidate_sizes: dict[str, int]  # canonical spec text -> blob size
+
+    @property
+    def spec_text(self) -> str:
+        return format_spec(self.spec)
+
+
+def default_candidates() -> list[TraceSpec]:
+    """A cheap-to-wide ladder of configurations for the evaluation format.
+
+    Ordered so that earlier (cheaper) candidates win ties.
+    """
+    minimal = parse_spec(
+        "TCgen Trace Specification;\n"
+        "32-Bit Header;\n"
+        "32-Bit Field 1 = {L1 = 1, L2 = 65536: FCM2[2]};\n"
+        "64-Bit Field 2 = {L1 = 65536, L2 = 65536: DFCM1[2], LV[2]};\n"
+        "PC = Field 1;\n"
+    )
+    return [minimal, tcgen_a(), tcgen_b()]
+
+
+def prune_by_usage(spec: TraceSpec, usage: UsageReport, threshold: float = PRUNE_THRESHOLD) -> TraceSpec:
+    """Drop predictors whose prediction codes are nearly unused.
+
+    Implements the paper's recommendation to "eliminate the useless
+    predictors as determined by the predictor usage information output
+    after each compression".  Every field keeps at least its most-used
+    predictor.
+    """
+    new_fields = []
+    for field, field_usage in zip(spec.fields, usage.fields):
+        total = max(field_usage.records, 1)
+        hits_per_predictor = []
+        code = 0
+        for predictor in field.predictors:
+            hits = sum(
+                field_usage.counts[code + slot] for slot in range(predictor.depth)
+            )
+            hits_per_predictor.append(hits)
+            code += predictor.depth
+        kept = tuple(
+            predictor
+            for predictor, hits in zip(field.predictors, hits_per_predictor)
+            if hits / total >= threshold
+        )
+        if not kept:
+            best = max(
+                range(len(field.predictors)), key=lambda i: hits_per_predictor[i]
+            )
+            kept = (field.predictors[best],)
+        new_fields.append(
+            FieldSpec(
+                bits=field.bits, index=field.index, predictors=kept,
+                l1=field.l1, l2=field.l2,
+            )
+        )
+    return TraceSpec(
+        header_bits=spec.header_bits, fields=tuple(new_fields), pc_field=spec.pc_field
+    )
+
+
+def _pack_archive(spec: TraceSpec, blob: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.write_bytes(MAGIC)
+    text = format_spec(spec).encode()
+    writer.write_varint(len(text))
+    writer.write_bytes(text)
+    writer.write_bytes(blob)
+    return writer.getvalue()
+
+
+def read_archive_spec(archive: bytes) -> tuple[TraceSpec, bytes]:
+    """Split an adaptive archive into its specification and payload."""
+    reader = ByteReader(archive)
+    if reader.read_bytes(4) != MAGIC:
+        raise CompressedFormatError("not a TCgen adaptive archive")
+    length = reader.read_varint()
+    text = reader.read_bytes(length).decode()
+    spec = parse_spec(text)
+    payload = archive[reader.position :]
+    return spec, payload
+
+
+def compress_adaptive(
+    raw: bytes,
+    candidates: list[TraceSpec] | None = None,
+    options: OptimizationOptions | None = None,
+    codec: str = "bzip2",
+    refine: bool = True,
+) -> AdaptiveResult:
+    """Pick the best specification for this trace and embed it.
+
+    Tries every candidate, then (with ``refine``) additionally prunes the
+    best candidate's unused predictors using the usage feedback and keeps
+    the pruned variant if it does not lose compression.  Ties go to the
+    configuration with the smaller predictor-table footprint.
+    """
+    candidates = candidates or default_candidates()
+    options = options or OptimizationOptions.full()
+
+    sizes: dict[str, int] = {}
+    best_spec: TraceSpec | None = None
+    best_blob: bytes | None = None
+    best_usage: UsageReport | None = None
+    for spec in candidates:
+        engine = TraceEngine(spec, options, codec=codec)
+        blob = engine.compress(raw)
+        sizes[format_spec(spec)] = len(blob)
+        if best_blob is None or len(blob) < len(best_blob):
+            best_spec, best_blob, best_usage = spec, blob, engine.last_usage
+
+    if refine and best_usage is not None:
+        pruned = prune_by_usage(best_spec, best_usage)
+        if pruned != best_spec:
+            engine = TraceEngine(pruned, options, codec=codec)
+            blob = engine.compress(raw)
+            sizes[format_spec(pruned)] = len(blob)
+            if len(blob) <= len(best_blob):
+                best_spec, best_blob = pruned, blob
+
+    return AdaptiveResult(
+        archive=_pack_archive(best_spec, best_blob),
+        spec=best_spec,
+        candidate_sizes=sizes,
+    )
+
+
+def decompress_adaptive(
+    archive: bytes,
+    options: OptimizationOptions | None = None,
+    codec: str = "bzip2",
+) -> bytes:
+    """Regenerate the matching decompressor from the embedded spec and run it."""
+    spec, payload = read_archive_spec(archive)
+    engine = TraceEngine(spec, options or OptimizationOptions.full(), codec=codec)
+    return engine.decompress(payload)

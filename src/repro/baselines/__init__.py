@@ -1,0 +1,40 @@
+"""The six comparison compressors from the paper's Section 2.1.
+
+Every baseline implements :class:`~repro.baselines.common.TraceCompressor`
+and operates on the evaluation trace format (32-bit header, records of a
+32-bit PC and a 64-bit data value).  As in the paper, each special-purpose
+algorithm is adapted to this format and extended with a BZIP2
+post-compression stage; BZIP2 itself is evaluated standalone.
+
+====================  ====================================================
+:class:`Bzip2Compressor`      general-purpose block-sorting baseline
+:class:`MacheCompressor`      base + one-byte differences (Samples 1989)
+:class:`PdatsCompressor`      PDATS II header-byte offset records
+:class:`SequiturCompressor`   digram-unique context-free grammars
+:class:`SbcCompressor`        stream-based compression (Milenkovic 2003)
+:class:`Vpc3Compressor`       value-prediction compressor TCgen emulates
+:class:`TCgenCompressor`      this paper's generated compressor
+====================  ====================================================
+"""
+
+from repro.baselines.common import TraceCompressor, all_baselines, all_compressors
+from repro.baselines.bzip2_only import Bzip2Compressor
+from repro.baselines.mache import MacheCompressor
+from repro.baselines.pdats import PdatsCompressor
+from repro.baselines.sbc import SbcCompressor
+from repro.baselines.sequitur import SequiturCompressor
+from repro.baselines.tcgen import TCgenCompressor
+from repro.baselines.vpc3 import Vpc3Compressor
+
+__all__ = [
+    "TraceCompressor",
+    "all_baselines",
+    "all_compressors",
+    "Bzip2Compressor",
+    "MacheCompressor",
+    "PdatsCompressor",
+    "SbcCompressor",
+    "SequiturCompressor",
+    "TCgenCompressor",
+    "Vpc3Compressor",
+]

@@ -1,0 +1,24 @@
+"""Standalone BZIP2 (paper Section 2.1).
+
+The general-purpose block-sorting baseline: the whole raw trace is handed
+to BZIP2 at byte granularity with the ``--best`` block size, with no
+trace-aware preprocessing at all.
+"""
+
+from __future__ import annotations
+
+import bz2
+
+from repro.baselines.common import TraceCompressor
+
+
+class Bzip2Compressor(TraceCompressor):
+    """BZIP2 1.0-style compression of the raw trace bytes."""
+
+    name = "BZIP2"
+
+    def compress(self, raw: bytes) -> bytes:
+        return bz2.compress(raw, 9)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return bz2.decompress(blob)

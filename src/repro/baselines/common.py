@@ -1,0 +1,87 @@
+"""Common interface and helpers for the comparison compressors."""
+
+from __future__ import annotations
+
+import bz2
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import CompressedFormatError
+from repro.tio.traceformat import VPC_FORMAT, pack_records, unpack_records
+
+
+class TraceCompressor(ABC):
+    """A single-pass, lossless trace compressor (paper Section 2.1).
+
+    All implementations consume and produce raw trace bytes in the
+    evaluation format (:data:`~repro.tio.traceformat.VPC_FORMAT`):
+    ``compress(decompress(blob)) == blob`` framing is private per
+    algorithm, but ``decompress(compress(raw)) == raw`` always holds.
+    """
+
+    #: Short display name used in result tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, raw: bytes) -> bytes:
+        """Compress raw trace bytes into an opaque blob."""
+
+    @abstractmethod
+    def decompress(self, blob: bytes) -> bytes:
+        """Reconstruct the exact original trace bytes."""
+
+
+def split_trace(raw: bytes) -> tuple[bytes, list[int], list[int]]:
+    """Split a VPC-format trace into (header, pc list, data list)."""
+    header, columns = unpack_records(VPC_FORMAT, raw)
+    return bytes(header), columns[0].tolist(), columns[1].tolist()
+
+
+def join_trace(header: bytes, pcs: list[int], data: list[int]) -> bytes:
+    """Inverse of :func:`split_trace`."""
+    return pack_records(
+        VPC_FORMAT,
+        header,
+        [np.array(pcs, dtype=np.uint64), np.array(data, dtype=np.uint64)],
+    )
+
+
+def post_compress(tag: bytes, payload: bytes) -> bytes:
+    """Apply the shared BZIP2 post-compression stage with a format tag."""
+    return tag + bz2.compress(payload, 9)
+
+
+def post_decompress(tag: bytes, blob: bytes) -> bytes:
+    """Undo :func:`post_compress`, validating the format tag."""
+    if blob[: len(tag)] != tag:
+        raise CompressedFormatError(
+            f"blob does not start with tag {tag!r} (got {blob[:len(tag)]!r})"
+        )
+    return bz2.decompress(blob[len(tag) :])
+
+
+def all_baselines() -> list[TraceCompressor]:
+    """Fresh instances of the six comparison algorithms, paper order."""
+    from repro.baselines.bzip2_only import Bzip2Compressor
+    from repro.baselines.mache import MacheCompressor
+    from repro.baselines.pdats import PdatsCompressor
+    from repro.baselines.sbc import SbcCompressor
+    from repro.baselines.sequitur import SequiturCompressor
+    from repro.baselines.vpc3 import Vpc3Compressor
+
+    return [
+        Bzip2Compressor(),
+        MacheCompressor(),
+        PdatsCompressor(),
+        SequiturCompressor(),
+        SbcCompressor(),
+        Vpc3Compressor(),
+    ]
+
+
+def all_compressors() -> list[TraceCompressor]:
+    """The six baselines plus the TCgen(A) generated compressor."""
+    from repro.baselines.tcgen import TCgenCompressor
+
+    return all_baselines() + [TCgenCompressor()]

@@ -1,0 +1,189 @@
+"""PDATS II address-trace compression (Johnson 1999), paper-adapted.
+
+Every output record describes one or more input records with a header byte
+followed by optional offset bytes and an optional repeat count:
+
+- *PC offsets* are stored in units of the default instruction stride
+  (4 bytes), in 0, 1, 2, or 4 bytes (code in header bits 0-1);
+- *data offsets* use header bits 2-5: six codes for the common offsets
+  ±16, ±32 and ±64 the paper packs into the header byte, a zero-offset
+  code, and sized codes for 1-, 2-, 4-, 6- and 8-byte signed offsets
+  (the 6- and 8-byte extensions are the paper's);
+- *repeat counts*: runs of records with identical PC and data deltas
+  collapse into one record (PDATS II's combined jump + strided-sequence
+  records); header bits 6-7 select a 0-, 1-, 2-, or 4-byte count.
+
+Read and write references are not distinguished (the paper's traces have
+only one reference type, freeing the header bit used for the ±16/32/64
+codes).  A BZIP2 post-compression stage follows.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    TraceCompressor,
+    join_trace,
+    post_compress,
+    post_decompress,
+    split_trace,
+)
+from repro.errors import CompressedFormatError
+
+_TAG = b"PDT2"
+_MASK64 = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+
+#: Data-offset codes 0..5 are these common offsets, stored entirely in the
+#: header byte; 6 = zero offset; 7..11 = 1/2/4/6/8-byte signed offsets.
+_SPECIAL_OFFSETS = (16, -16, 32, -32, 64, -64)
+_DATA_SIZED_BYTES = {7: 1, 8: 2, 9: 4, 10: 6, 11: 8}
+
+#: PC-offset codes: units of the 4-byte instruction stride.
+_PC_SIZED_BYTES = {1: 1, 2: 2, 3: 4}
+
+
+def _signed(value: int, mask: int) -> int:
+    """Reinterpret a masked unsigned delta as signed."""
+    if value > mask // 2:
+        return value - mask - 1
+    return value
+
+
+def _fits(value: int, nbytes: int) -> bool:
+    limit = 1 << (8 * nbytes - 1)
+    return -limit <= value < limit
+
+
+class PdatsCompressor(TraceCompressor):
+    """PDATS II with the paper's modifications and BZIP2 post-stage."""
+
+    name = "PDATS II"
+
+    def compress(self, raw: bytes) -> bytes:
+        header, pcs, data = split_trace(raw)
+        out = bytearray()
+        out += header
+        count = len(pcs)
+        prev_pc = 0
+        prev_data = 0
+        i = 0
+        while i < count:
+            pc_delta = _signed((pcs[i] - prev_pc) & _MASK32, _MASK32)
+            data_delta = _signed((data[i] - prev_data) & _MASK64, _MASK64)
+            # Run detection: identical (pc, data) deltas repeat.
+            run = 1
+            rp, rd = pcs[i], data[i]
+            while i + run < count:
+                next_pc_delta = _signed((pcs[i + run] - rp) & _MASK32, _MASK32)
+                next_data_delta = _signed((data[i + run] - rd) & _MASK64, _MASK64)
+                if next_pc_delta != pc_delta or next_data_delta != data_delta:
+                    break
+                rp, rd = pcs[i + run], data[i + run]
+                run += 1
+            repeats = run - 1
+
+            pc_code, pc_payload = self._encode_pc_delta(pc_delta, pcs[i])
+            data_code, data_payload = self._encode_data_delta(data_delta)
+            if repeats == 0:
+                repeat_code, repeat_payload = 0, b""
+            elif repeats < 1 << 8:
+                repeat_code, repeat_payload = 1, repeats.to_bytes(1, "little")
+            elif repeats < 1 << 16:
+                repeat_code, repeat_payload = 2, repeats.to_bytes(2, "little")
+            else:
+                repeat_code, repeat_payload = 3, repeats.to_bytes(4, "little")
+
+            out.append(pc_code | (data_code << 2) | (repeat_code << 6))
+            out += pc_payload
+            out += data_payload
+            out += repeat_payload
+
+            prev_pc, prev_data = rp, rd
+            i += run
+        return post_compress(_TAG, bytes(out))
+
+    def _encode_pc_delta(self, delta: int, pc: int) -> tuple[int, bytes]:
+        if delta % 4 == 0:
+            units = delta // 4
+            for code, nbytes in _PC_SIZED_BYTES.items():
+                if _fits(units, nbytes):
+                    return code, (units & ((1 << (8 * nbytes)) - 1)).to_bytes(
+                        nbytes, "little"
+                    )
+        # Unaligned or huge jump: code 0 stores the absolute 4-byte PC.
+        return 0, pc.to_bytes(4, "little")
+
+    def _encode_data_delta(self, delta: int) -> tuple[int, bytes]:
+        if delta == 0:
+            return 6, b""
+        for code, special in enumerate(_SPECIAL_OFFSETS):
+            if delta == special:
+                return code, b""
+        for code, nbytes in _DATA_SIZED_BYTES.items():
+            if _fits(delta, nbytes):
+                return code, (delta & ((1 << (8 * nbytes)) - 1)).to_bytes(
+                    nbytes, "little"
+                )
+        raise AssertionError("64-bit offsets always fit in 8 bytes")
+
+    def decompress(self, blob: bytes) -> bytes:
+        encoded = post_decompress(_TAG, blob)
+        header = encoded[:4]
+        pos = 4
+        length = len(encoded)
+        pcs: list[int] = []
+        data: list[int] = []
+        prev_pc = 0
+        prev_data = 0
+        while pos < length:
+            head = encoded[pos]
+            pos += 1
+            pc_code = head & 0x3
+            data_code = (head >> 2) & 0xF
+            repeat_code = (head >> 6) & 0x3
+
+            if pc_code == 0:
+                pc = int.from_bytes(encoded[pos : pos + 4], "little")
+                pos += 4
+                pc_delta = _signed((pc - prev_pc) & _MASK32, _MASK32)
+            else:
+                nbytes = _PC_SIZED_BYTES[pc_code]
+                units = _signed(
+                    int.from_bytes(encoded[pos : pos + nbytes], "little"),
+                    (1 << (8 * nbytes)) - 1,
+                )
+                pos += nbytes
+                pc_delta = units * 4
+                pc = (prev_pc + pc_delta) & _MASK32
+
+            if data_code < 6:
+                data_delta = _SPECIAL_OFFSETS[data_code]
+            elif data_code == 6:
+                data_delta = 0
+            elif data_code in _DATA_SIZED_BYTES:
+                nbytes = _DATA_SIZED_BYTES[data_code]
+                data_delta = _signed(
+                    int.from_bytes(encoded[pos : pos + nbytes], "little"),
+                    (1 << (8 * nbytes)) - 1,
+                )
+                pos += nbytes
+            else:
+                raise CompressedFormatError(f"PDATS II: bad data code {data_code}")
+            value = (prev_data + data_delta) & _MASK64
+
+            if repeat_code == 0:
+                repeats = 0
+            else:
+                nbytes = {1: 1, 2: 2, 3: 4}[repeat_code]
+                repeats = int.from_bytes(encoded[pos : pos + nbytes], "little")
+                pos += nbytes
+
+            pcs.append(pc)
+            data.append(value)
+            for _ in range(repeats):
+                pc = (pc + pc_delta) & _MASK32
+                value = (value + data_delta) & _MASK64
+                pcs.append(pc)
+                data.append(value)
+            prev_pc, prev_data = pc, value
+        return join_trace(header, pcs, data)

@@ -1,0 +1,170 @@
+"""Stream-Based Compression (Milenkovic & Milenkovic 2003), paper-adapted.
+
+SBC splits a trace into *instruction streams* and replaces groups of
+records belonging to the same stream with a stream-table index; data
+addresses attached to a stream are compressed with per-slot stride
+prediction.  The paper's adaptation for traces that contain only some
+instructions, kept here: a stream is a maximal sequence in which each
+subsequent PC is strictly greater than the previous one and the difference
+between subsequent PCs is below a threshold of four instructions (16
+bytes), which the authors found to give the best compression rate.
+
+Compression state per stream-table entry and per slot in the stream is the
+last data address and the last stride; a data value that equals
+``last + stride`` costs one flag bit-byte, anything else emits the full
+value and retrains the stride.  The encoded streams (stream ids, new
+stream definitions, flags, and missed values) pass through the shared
+BZIP2 post-compression stage.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    TraceCompressor,
+    join_trace,
+    post_compress,
+    post_decompress,
+    split_trace,
+)
+from repro.errors import CompressedFormatError
+from repro.tio.blockio import ByteReader, ByteWriter
+
+_TAG = b"SBC1"
+_MASK64 = (1 << 64) - 1
+
+#: Maximum PC gap (bytes) inside one instruction stream: four instructions.
+_STREAM_GAP = 16
+
+
+def _split_streams(pcs: list[int]) -> list[tuple[int, int]]:
+    """Split record indices into (start, length) runs forming streams."""
+    runs: list[tuple[int, int]] = []
+    count = len(pcs)
+    start = 0
+    while start < count:
+        end = start + 1
+        while (
+            end < count
+            and pcs[end] > pcs[end - 1]
+            and pcs[end] - pcs[end - 1] <= _STREAM_GAP
+        ):
+            end += 1
+        runs.append((start, end - start))
+        start = end
+    return runs
+
+
+class _StreamEntry:
+    """Stream-table entry: the PC signature plus per-slot stride state."""
+
+    __slots__ = ("pcs", "last_values", "strides")
+
+    def __init__(self, pcs: tuple[int, ...]) -> None:
+        self.pcs = pcs
+        self.last_values = [0] * len(pcs)
+        self.strides = [0] * len(pcs)
+
+    def predict(self, slot: int) -> int:
+        return (self.last_values[slot] + self.strides[slot]) & _MASK64
+
+    def train(self, slot: int, value: int) -> None:
+        self.strides[slot] = (value - self.last_values[slot]) & _MASK64
+        self.last_values[slot] = value
+
+
+class SbcCompressor(TraceCompressor):
+    """SBC with the paper's redefined streams and BZIP2 post-stage."""
+
+    name = "SBC"
+
+    def compress(self, raw: bytes) -> bytes:
+        header, pcs, data = split_trace(raw)
+        runs = _split_streams(pcs)
+
+        table: dict[tuple[int, ...], int] = {}
+        entries: list[_StreamEntry] = []
+        ids = ByteWriter()  # stream index sequence (varints)
+        definitions = ByteWriter()  # new stream signatures
+        flags = bytearray()  # one byte per record: 1 = stride predicted
+        misses = ByteWriter()  # full values for unpredicted data
+
+        for start, length in runs:
+            signature = tuple(pcs[start : start + length])
+            index = table.get(signature)
+            if index is None:
+                index = len(entries)
+                table[signature] = index
+                entries.append(_StreamEntry(signature))
+                ids.write_varint(0)  # 0 announces a new stream definition
+                definitions.write_varint(length)
+                for pc in signature:
+                    definitions.write_u32(pc)
+            else:
+                ids.write_varint(index + 1)
+            entry = entries[index]
+            for slot in range(length):
+                value = data[start + slot]
+                if value == entry.predict(slot):
+                    flags.append(1)
+                else:
+                    flags.append(0)
+                    misses.write_u64(value)
+                entry.train(slot, value)
+
+        writer = ByteWriter()
+        writer.write_bytes(header)
+        writer.write_varint(len(pcs))
+        writer.write_varint(len(runs))
+        for section in (ids, definitions, misses):
+            payload = section.getvalue()
+            writer.write_varint(len(payload))
+            writer.write_bytes(payload)
+        writer.write_varint(len(flags))
+        writer.write_bytes(bytes(flags))
+        return post_compress(_TAG, writer.getvalue())
+
+    def decompress(self, blob: bytes) -> bytes:
+        reader = ByteReader(post_decompress(_TAG, blob))
+        header = reader.read_bytes(4)
+        record_count = reader.read_varint()
+        run_count = reader.read_varint()
+        sections = []
+        for _ in range(3):
+            length = reader.read_varint()
+            sections.append(ByteReader(reader.read_bytes(length)))
+        ids, definitions, misses = sections
+        flag_count = reader.read_varint()
+        flags = reader.read_bytes(flag_count)
+
+        entries: list[_StreamEntry] = []
+        pcs: list[int] = []
+        data: list[int] = []
+        flag_pos = 0
+        for _ in range(run_count):
+            token = ids.read_varint()
+            if token == 0:
+                length = definitions.read_varint()
+                signature = tuple(definitions.read_u32() for _ in range(length))
+                entries.append(_StreamEntry(signature))
+                entry = entries[-1]
+            else:
+                if token > len(entries):
+                    raise CompressedFormatError(f"SBC: stream id {token} out of range")
+                entry = entries[token - 1]
+            for slot, pc in enumerate(entry.pcs):
+                if flag_pos >= flag_count:
+                    raise CompressedFormatError("SBC: flag stream exhausted")
+                predicted = flags[flag_pos]
+                flag_pos += 1
+                if predicted:
+                    value = entry.predict(slot)
+                else:
+                    value = misses.read_u64()
+                entry.train(slot, value)
+                pcs.append(pc)
+                data.append(value)
+        if len(pcs) != record_count:
+            raise CompressedFormatError(
+                f"SBC: reconstructed {len(pcs)} records, expected {record_count}"
+            )
+        return join_trace(header, pcs, data)

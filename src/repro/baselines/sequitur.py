@@ -1,0 +1,389 @@
+"""SEQUITUR grammar-based compression (Nevill-Manning & Witten), adapted.
+
+SEQUITUR infers a context-free grammar from a sequence online, maintaining
+two invariants: every digram (pair of adjacent symbols) appears at most
+once in the grammar (*digram uniqueness*), and every rule is used more
+than once (*rule utility*).  Repeated structure condenses into rules,
+compressing the sequence.
+
+The paper's adaptations, reproduced here:
+
+- 64-bit trace entries are mapped to unique dense symbol ids;
+- two grammars are built, one over the PC entries and one over the data
+  entries;
+- to cap the (input-dependent) memory usage, a new grammar segment is
+  started when the current one grows past configurable symbol/unique-value
+  limits — the scaled-down analog of the paper's 8M-unique-symbol /
+  384MB cutoffs;
+- decompression (grammar expansion) is included;
+- a BZIP2 post-compression stage follows.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    TraceCompressor,
+    join_trace,
+    post_compress,
+    post_decompress,
+    split_trace,
+)
+from repro.errors import CompressedFormatError
+from repro.tio.blockio import ByteReader, ByteWriter
+
+_TAG = b"SQT1"
+
+
+class _Symbol:
+    """A grammar symbol in a doubly linked rule body.
+
+    ``terminal`` holds the value id for terminals; ``rule`` points to the
+    referenced :class:`_Rule` for nonterminals; guard symbols delimit rule
+    bodies and have ``guard_of`` set.
+    """
+
+    __slots__ = ("grammar", "next", "prev", "terminal", "rule", "guard_of")
+
+    def __init__(self, grammar: "Grammar", terminal=None, rule=None, guard_of=None):
+        self.grammar = grammar
+        self.next: "_Symbol | None" = None
+        self.prev: "_Symbol | None" = None
+        self.terminal = terminal
+        self.rule: "_Rule | None" = rule
+        self.guard_of: "_Rule | None" = guard_of
+        if rule is not None:
+            rule.count += 1
+
+    # -- classification ----------------------------------------------------
+
+    def is_guard(self) -> bool:
+        return self.guard_of is not None
+
+    def is_nonterminal(self) -> bool:
+        return self.rule is not None
+
+    def key(self):
+        """Hashable identity used in the digram index."""
+        if self.rule is not None:
+            return ("r", self.rule.id)
+        return ("t", self.terminal)
+
+    # -- linking -----------------------------------------------------------
+
+    def join(self, right: "_Symbol") -> None:
+        """Link ``self -> right``, retiring any digram ``self`` started."""
+        if self.next is not None:
+            self.delete_digram()
+        self.next = right
+        right.prev = self
+
+    def delete_digram(self) -> None:
+        """Remove the digram starting at ``self`` from the index."""
+        if self.is_guard() or self.next is None or self.next.is_guard():
+            return
+        digrams = self.grammar.digrams
+        key = (self.key(), self.next.key())
+        if digrams.get(key) is self:
+            del digrams[key]
+
+    def insert_after(self, symbol: "_Symbol") -> None:
+        symbol.join(self.next)
+        self.join(symbol)
+
+    def unlink(self) -> None:
+        """Remove ``self`` from its rule, maintaining the digram index."""
+        self.prev.join(self.next)
+        if not self.is_guard():
+            self.delete_digram()
+            if self.rule is not None:
+                self.rule.count -= 1
+
+    # -- the two invariants --------------------------------------------------
+
+    def check(self) -> bool:
+        """Enforce digram uniqueness for the digram starting at ``self``."""
+        if self.is_guard() or self.next is None or self.next.is_guard():
+            return False
+        digrams = self.grammar.digrams
+        key = (self.key(), self.next.key())
+        match = digrams.get(key)
+        if match is None:
+            digrams[key] = self
+            return False
+        if match is self or match.next is self:
+            # The same or an overlapping occurrence (e.g. "aaa").
+            return False
+        self._process_match(match)
+        return True
+
+    def _process_match(self, match: "_Symbol") -> None:
+        grammar = self.grammar
+        if match.prev.is_guard() and match.next.next.is_guard():
+            # The matching digram is a complete rule body: reuse that rule.
+            rule = match.prev.guard_of
+            self._substitute(rule)
+        else:
+            rule = _Rule(grammar)
+            rule.append(_Symbol(grammar, terminal=self.terminal, rule=self.rule))
+            rule.append(
+                _Symbol(grammar, terminal=self.next.terminal, rule=self.next.rule)
+            )
+            match._substitute(rule)
+            self._substitute(rule)
+            first = rule.first()
+            grammar.digrams[(first.key(), first.next.key())] = first
+        # Rule utility: a rule referenced exactly once gets inlined.  Any
+        # rule that just became under-used necessarily has its remaining
+        # reference inside ``rule``'s (two-symbol) body, so scanning the
+        # body until it is clean restores the invariant.  (The original
+        # C++ implementation checks only the first body symbol and can
+        # leave a once-used rule behind when it sits in the second slot.)
+        expanded = True
+        while expanded:
+            expanded = False
+            symbol = rule.first()
+            while not symbol.is_guard():
+                if symbol.is_nonterminal() and symbol.rule.count == 1:
+                    symbol.expand()
+                    expanded = True
+                    break
+                symbol = symbol.next
+
+    def _substitute(self, rule: "_Rule") -> None:
+        """Replace the digram starting at ``self`` with a rule reference."""
+        grammar = self.grammar
+        prev = self.prev
+        self.unlink()
+        prev.next.unlink()
+        replacement = _Symbol(grammar, rule=rule)
+        prev.insert_after(replacement)
+        if not prev.check():
+            replacement.check()
+
+    def expand(self) -> None:
+        """Inline this (sole) reference to its rule (rule utility)."""
+        rule = self.rule
+        left = self.prev
+        right = self.next
+        first = rule.first()
+        last = rule.last()
+        self.delete_digram()
+        digrams = self.grammar.digrams
+        key = (self.key(), right.key()) if not right.is_guard() else None
+        if key is not None and digrams.get(key) is self:
+            del digrams[key]
+        self.grammar.rules.discard(rule)
+        left.join(first)
+        last.join(right)
+        if not last.is_guard() and not right.is_guard():
+            digrams[(last.key(), right.key())] = last
+
+
+class _Rule:
+    """One grammar rule: a circular list of symbols around a guard."""
+
+    def __init__(self, grammar: "Grammar") -> None:
+        self.id = grammar.next_rule_id
+        grammar.next_rule_id += 1
+        self.count = 0  # references from other rules
+        self.guard = _Symbol(grammar, guard_of=self)
+        self.guard.next = self.guard
+        self.guard.prev = self.guard
+        grammar.rules.add(self)
+
+    def first(self) -> _Symbol:
+        return self.guard.next
+
+    def last(self) -> _Symbol:
+        return self.guard.prev
+
+    def append(self, symbol: _Symbol) -> None:
+        self.last().insert_after(symbol)
+
+
+class Grammar:
+    """An online SEQUITUR grammar over integer symbols."""
+
+    def __init__(self) -> None:
+        self.digrams: dict = {}
+        self.rules: set[_Rule] = set()
+        self.next_rule_id = 0
+        self.start = _Rule(self)
+        self.symbol_count = 0
+
+    def push(self, value: int) -> None:
+        """Append one terminal to the sequence and restore the invariants."""
+        self.start.append(_Symbol(self, terminal=value))
+        last = self.start.last()
+        if last.prev is not self.start.guard:
+            last.prev.check()
+        self.symbol_count += 1
+
+    # -- introspection used by tests -----------------------------------------
+
+    def rule_bodies(self) -> dict[int, list]:
+        """Map rule id -> list of symbol keys (terminals and rule refs)."""
+        bodies: dict[int, list] = {}
+        for rule in self.rules:
+            body = []
+            symbol = rule.first()
+            while not symbol.is_guard():
+                body.append(symbol.key())
+                symbol = symbol.next
+            bodies[rule.id] = body
+        return bodies
+
+    def expand_start(self) -> list[int]:
+        """The full sequence the grammar represents."""
+        out: list[int] = []
+        stack = [self.start.first()]
+        while stack:
+            symbol = stack.pop()
+            while symbol is not None and not symbol.is_guard():
+                if symbol.is_nonterminal():
+                    stack.append(symbol.next)
+                    symbol = symbol.rule.first()
+                    continue
+                out.append(symbol.terminal)
+                symbol = symbol.next
+        return out
+
+
+def _serialize_grammar(grammar: Grammar, writer: ByteWriter) -> None:
+    """Emit one grammar: rule count, then each body as symbol codes.
+
+    Terminals encode as ``value_id * 2`` and rule references as
+    ``dense_rule_number * 2 + 1``; the start rule is rule number 0.
+    """
+    order: list[_Rule] = [grammar.start]
+    numbers: dict[int, int] = {grammar.start.id: 0}
+    cursor = 0
+    while cursor < len(order):
+        rule = order[cursor]
+        cursor += 1
+        symbol = rule.first()
+        while not symbol.is_guard():
+            if symbol.is_nonterminal() and symbol.rule.id not in numbers:
+                numbers[symbol.rule.id] = len(order)
+                order.append(symbol.rule)
+            symbol = symbol.next
+    writer.write_varint(len(order))
+    for rule in order:
+        body: list[int] = []
+        symbol = rule.first()
+        while not symbol.is_guard():
+            if symbol.is_nonterminal():
+                body.append(numbers[symbol.rule.id] * 2 + 1)
+            else:
+                body.append(symbol.terminal * 2)
+            symbol = symbol.next
+        writer.write_varint(len(body))
+        for code in body:
+            writer.write_varint(code)
+
+
+def _deserialize_sequence(reader: ByteReader) -> list[int]:
+    """Read one grammar and expand it to its value-id sequence."""
+    rule_count = reader.read_varint()
+    bodies: list[list[int]] = []
+    for _ in range(rule_count):
+        length = reader.read_varint()
+        bodies.append([reader.read_varint() for _ in range(length)])
+    if not bodies:
+        return []
+    out: list[int] = []
+    # Iterative expansion of rule 0 (stack of (body, position) frames).
+    stack: list[tuple[list[int], int]] = [(bodies[0], 0)]
+    while stack:
+        body, position = stack.pop()
+        while position < len(body):
+            code = body[position]
+            position += 1
+            if code & 1:
+                rule_number = code >> 1
+                if rule_number >= len(bodies):
+                    raise CompressedFormatError(
+                        f"SEQUITUR: rule {rule_number} out of range"
+                    )
+                stack.append((body, position))
+                body, position = bodies[rule_number], 0
+                continue
+            out.append(code >> 1)
+    return out
+
+
+class SequiturCompressor(TraceCompressor):
+    """SEQUITUR over PC and data entry sequences with BZIP2 post-stage."""
+
+    name = "SEQUITUR"
+
+    def __init__(
+        self, max_symbols_per_grammar: int = 1 << 20, max_unique_values: int = 1 << 18
+    ) -> None:
+        self.max_symbols = max_symbols_per_grammar
+        self.max_unique = max_unique_values
+
+    def _compress_sequence(self, values: list[int], writer: ByteWriter) -> None:
+        """Build grammar segments over ``values`` and serialize them."""
+        value_ids: dict[int, int] = {}
+        table: list[int] = []
+        segments: list[Grammar] = []
+        grammar = Grammar()
+        segment_unique = 0
+        for value in values:
+            value_id = value_ids.get(value)
+            if value_id is None:
+                value_id = len(table)
+                value_ids[value] = value_id
+                table.append(value)
+                segment_unique += 1
+            grammar.push(value_id)
+            if (
+                grammar.symbol_count >= self.max_symbols
+                or segment_unique >= self.max_unique
+            ):
+                segments.append(grammar)
+                grammar = Grammar()
+                segment_unique = 0
+        if grammar.symbol_count or not segments:
+            segments.append(grammar)
+        writer.write_varint(len(table))
+        for value in table:
+            writer.write_u64(value)
+        writer.write_varint(len(segments))
+        for segment in segments:
+            _serialize_grammar(segment, writer)
+
+    def _decompress_sequence(self, reader: ByteReader) -> list[int]:
+        table_size = reader.read_varint()
+        table = [reader.read_u64() for _ in range(table_size)]
+        segment_count = reader.read_varint()
+        out: list[int] = []
+        for _ in range(segment_count):
+            for value_id in _deserialize_sequence(reader):
+                if value_id >= len(table):
+                    raise CompressedFormatError("SEQUITUR: value id out of range")
+                out.append(table[value_id])
+        return out
+
+    def compress(self, raw: bytes) -> bytes:
+        header, pcs, data = split_trace(raw)
+        writer = ByteWriter()
+        writer.write_bytes(header)
+        writer.write_varint(len(pcs))
+        self._compress_sequence(pcs, writer)
+        self._compress_sequence(data, writer)
+        return post_compress(_TAG, writer.getvalue())
+
+    def decompress(self, blob: bytes) -> bytes:
+        reader = ByteReader(post_decompress(_TAG, blob))
+        header = reader.read_bytes(4)
+        count = reader.read_varint()
+        pcs = self._decompress_sequence(reader)
+        data = self._decompress_sequence(reader)
+        if len(pcs) != count or len(data) != count:
+            raise CompressedFormatError(
+                f"SEQUITUR: expected {count} records, got {len(pcs)} PCs "
+                f"and {len(data)} data values"
+            )
+        return join_trace(header, pcs, data)

@@ -1,0 +1,46 @@
+"""The TCgen-generated compressor, wrapped in the comparison interface.
+
+This is the paper's artifact under evaluation: the *generated* compressor
+(Python backend) for a given specification with full optimizations.  The
+default configuration is TCgen(A) (paper Figure 5); pass
+``spec=tcgen_b()`` for the TCgen(B) sensitivity configuration, or any
+custom :class:`~repro.spec.TraceSpec`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import TraceCompressor
+from repro.codegen.compile import load_python_module
+from repro.codegen.python_backend import generate_python
+from repro.model.layout import build_model
+from repro.model.optimize import OptimizationOptions
+from repro.spec.ast import TraceSpec
+from repro.spec.presets import tcgen_a
+
+
+class TCgenCompressor(TraceCompressor):
+    """A generated TCgen compressor (default: TCgen(A), fully optimized)."""
+
+    name = "TCgen"
+
+    def __init__(
+        self,
+        spec: TraceSpec | None = None,
+        options: OptimizationOptions | None = None,
+        name: str | None = None,
+    ) -> None:
+        spec = spec or tcgen_a()
+        self.model = build_model(spec, options or OptimizationOptions.full())
+        self._module = load_python_module(generate_python(self.model))
+        if name:
+            self.name = name
+
+    def compress(self, raw: bytes) -> bytes:
+        return self._module.compress(raw)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return self._module.decompress(blob)
+
+    def usage_report(self) -> str:
+        """Predictor-usage feedback from the most recent compression."""
+        return self._module.usage_report()

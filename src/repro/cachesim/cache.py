@@ -1,0 +1,161 @@
+"""Set-associative and direct-mapped cache models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a cache: total size, line size, and associativity."""
+
+    size_bytes: int
+    line_bytes: int
+    ways: int = 1
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("size_bytes", self.size_bytes),
+            ("line_bytes", self.line_bytes),
+            ("ways", self.ways),
+        ):
+            if not _is_power_of_two(value):
+                raise ReproError(f"cache {name} must be a power of two, got {value}")
+        if self.size_bytes < self.line_bytes * self.ways:
+            raise ReproError("cache smaller than one set")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def line_bits(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def set_bits(self) -> int:
+        return self.sets.bit_length() - 1
+
+
+#: The paper's configuration: 16kB, direct-mapped, 64-byte lines,
+#: write-allocate (Section 6.3).
+PAPER_CACHE = CacheConfig(size_bytes=16 * 1024, line_bytes=64, ways=1)
+
+
+class DirectMappedCache:
+    """A direct-mapped, write-allocate cache with vectorized filtering.
+
+    Because a direct-mapped set holds exactly one line, an access misses
+    iff it is the first touch of its set or the previous access to the
+    same set carried a different tag.  That property lets
+    :meth:`miss_mask` classify a whole access sequence with numpy
+    (sort-by-set, compare neighbours, scatter back) instead of a per-access
+    Python loop.
+    """
+
+    def __init__(self, config: CacheConfig = PAPER_CACHE) -> None:
+        if config.ways != 1:
+            raise ReproError("DirectMappedCache requires ways == 1")
+        self.config = config
+        self._tags = np.full(config.sets, -1, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+
+    def miss_mask(self, addresses: np.ndarray) -> np.ndarray:
+        """Boolean mask: True where the access misses (updates cache state)."""
+        config = self.config
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        lines = addresses >> np.uint64(config.line_bits)
+        sets = (lines & np.uint64(config.sets - 1)).astype(np.int64)
+        tags = (lines >> np.uint64(config.set_bits)).astype(np.int64)
+
+        n = len(addresses)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        order = np.lexsort((np.arange(n), sets))
+        sorted_sets = sets[order]
+        sorted_tags = tags[order]
+
+        # Previous tag within the same set; the first access of each set
+        # compares against the resident tag carried over from before.
+        prev_tags = np.empty(n, dtype=np.int64)
+        prev_tags[1:] = sorted_tags[:-1]
+        first_of_set = np.empty(n, dtype=bool)
+        first_of_set[0] = True
+        first_of_set[1:] = sorted_sets[1:] != sorted_sets[:-1]
+        prev_tags[first_of_set] = self._tags[sorted_sets[first_of_set]]
+
+        sorted_miss = sorted_tags != prev_tags
+        misses = np.empty(n, dtype=bool)
+        misses[order] = sorted_miss
+
+        # Persist the final resident tag of every touched set.
+        last_of_set = np.empty(n, dtype=bool)
+        last_of_set[-1] = True
+        last_of_set[:-1] = sorted_sets[1:] != sorted_sets[:-1]
+        self._tags[sorted_sets[last_of_set]] = sorted_tags[last_of_set]
+        return misses
+
+    def access(self, address: int) -> bool:
+        """Single access; returns True on a miss."""
+        return bool(self.miss_mask(np.array([address], dtype=np.uint64))[0])
+
+
+class SetAssociativeCache:
+    """A general set-associative cache with LRU or FIFO replacement.
+
+    Sequential (per-access) implementation; use :class:`DirectMappedCache`
+    for bulk filtering when associativity is one.
+    """
+
+    def __init__(self, config: CacheConfig, policy: str = "lru") -> None:
+        if policy not in ("lru", "fifo"):
+            raise ReproError(f"unknown replacement policy {policy!r}")
+        self.config = config
+        self.policy = policy
+        # Each set is an ordered list of tags, most recent first.
+        self._sets: list[list[int]] = [[] for _ in range(config.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.config.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access one address; returns True on a miss."""
+        config = self.config
+        line = address >> config.line_bits
+        set_index = line & (config.sets - 1)
+        tag = line >> config.set_bits
+        entries = self._sets[set_index]
+        if tag in entries:
+            self.hits += 1
+            if self.policy == "lru":
+                entries.remove(tag)
+                entries.insert(0, tag)
+            return False
+        self.misses += 1
+        entries.insert(0, tag)
+        if len(entries) > config.ways:
+            entries.pop()
+        return True
+
+    def miss_mask(self, addresses) -> np.ndarray:
+        """Per-access miss mask (sequential loop)."""
+        return np.array([self.access(int(a)) for a in addresses], dtype=bool)
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,176 @@
+"""Command-line tools.
+
+``tcgen``
+    The generator itself: read a trace specification, write generated
+    source to stdout (``--lang python`` or ``--lang c``), exactly like the
+    paper's tool ("unless TCgen terminates with a parse error, it will
+    write the synthesized C code to the standard output").
+
+``tcgen-trace``
+    Generate synthetic evaluation traces (workload x trace kind).
+
+``tcgen-bench``
+    Run the full comparison (all seven algorithms over the trace suite)
+    and print the paper-style harmonic-mean tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def tcgen_main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``tcgen`` generator."""
+    parser = argparse.ArgumentParser(
+        prog="tcgen",
+        description="Generate a trace compressor from a specification.",
+    )
+    parser.add_argument(
+        "spec", nargs="?", help="specification file (default: stdin)"
+    )
+    parser.add_argument(
+        "--lang", choices=("python", "c"), default="c",
+        help="output language (default: c, like the paper)",
+    )
+    parser.add_argument(
+        "--codec", default="bzip2", help="post-compression codec (default: bzip2)"
+    )
+    parser.add_argument(
+        "--no-optimize", action="store_true",
+        help="disable all application-specific optimizations (Table 2)",
+    )
+    parser.add_argument(
+        "--disable", action="append", default=[],
+        metavar="OPT",
+        help="disable one optimization: smart_update, type_minimization, "
+        "shared_tables, fast_hash, adaptive_shift (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.codegen import generate_c, generate_python
+    from repro.model import OptimizationOptions, build_model
+    from repro.spec import parse_spec
+
+    text = open(args.spec).read() if args.spec else sys.stdin.read()
+    try:
+        spec = parse_spec(text)
+        options = OptimizationOptions.none() if args.no_optimize else OptimizationOptions.full()
+        for name in args.disable:
+            options = options.without(name)
+        model = build_model(spec, options)
+        if args.lang == "python":
+            sys.stdout.write(generate_python(model, codec=args.codec))
+        else:
+            sys.stdout.write(generate_c(model, codec=args.codec))
+    except (ReproError, ValueError) as exc:
+        print(f"tcgen: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-trace``: emit a synthetic trace to stdout."""
+    from repro.traces import TRACE_KINDS, build_trace, workload_names
+
+    parser = argparse.ArgumentParser(
+        prog="tcgen-trace", description="Generate a synthetic evaluation trace."
+    )
+    parser.add_argument("workload", choices=workload_names())
+    parser.add_argument("kind", choices=TRACE_KINDS)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+    sys.stdout.buffer.write(
+        build_trace(args.workload, args.kind, scale=args.scale, seed=args.seed)
+    )
+    return 0
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-bench``: print paper-style result tables."""
+    from repro.baselines import all_compressors
+    from repro.metrics import ResultTable, measure
+    from repro.traces import TRACE_KINDS, build_trace, default_suite, workload_names
+
+    parser = argparse.ArgumentParser(
+        prog="tcgen-bench",
+        description="Compare all compression algorithms on the trace suite.",
+    )
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument(
+        "--full", action="store_true", help="all 22 workloads (default: 8)"
+    )
+    parser.add_argument(
+        "--kind", choices=TRACE_KINDS, action="append",
+        help="limit to one or more trace kinds (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    suite = workload_names() if args.full else default_suite()
+    kinds = args.kind or list(TRACE_KINDS)
+    table = ResultTable()
+    for kind in kinds:
+        for workload in suite:
+            raw = build_trace(workload, kind, scale=args.scale, seed=args.seed)
+            for compressor in all_compressors():
+                result = measure(compressor, raw, workload=workload, kind=kind)
+                table.add(result)
+                print(
+                    f"{kind:22s} {workload:9s} {result.algorithm:9s} "
+                    f"rate={result.compression_rate:9.2f} "
+                    f"d.spd={result.decompression_speed / 1e6:7.2f}MB/s "
+                    f"c.spd={result.compression_speed / 1e6:7.2f}MB/s",
+                    file=sys.stderr,
+                )
+    for metric, title in (
+        ("compression_rate", "Compression rate (harmonic mean)"),
+        ("decompression_speed", "Decompression speed (harmonic mean, B/s)"),
+        ("compression_speed", "Compression speed (harmonic mean, B/s)"),
+    ):
+        print(f"\n== {title} ==")
+        print(table.render(metric))
+        print(f"\n== {title}, relative to TCgen ==")
+        print(table.render(metric, relative_to="TCgen"))
+    return 0
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-analyze``: statistics + recommendation."""
+    from repro.analysis import analyze_trace, recommend_spec
+    from repro.spec import format_spec
+    from repro.tio import VPC_FORMAT
+
+    parser = argparse.ArgumentParser(
+        prog="tcgen-analyze",
+        description="Analyze a VPC-format trace and recommend a specification.",
+    )
+    parser.add_argument("trace", nargs="?", help="trace file (default: stdin)")
+    parser.add_argument(
+        "--budget-mb", type=int, default=64,
+        help="table-memory budget for the recommendation (default 64)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        with open(args.trace, "rb") as handle:
+            raw = handle.read()
+    else:
+        raw = sys.stdin.buffer.read()
+    try:
+        print(analyze_trace(VPC_FORMAT, raw).render())
+        print()
+        spec = recommend_spec(VPC_FORMAT, raw, budget_bytes=args.budget_mb << 20)
+        print("recommended specification:")
+        print(format_spec(spec), end="")
+    except ReproError as exc:
+        print(f"tcgen-analyze: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(tcgen_main())

@@ -1,0 +1,36 @@
+"""Code generation: the TCgen compiler proper.
+
+Given a resolved :class:`~repro.model.CompressorModel`, the backends in
+this package synthesize complete, self-contained trace compressors:
+
+- :func:`generate_python` — a Python module exposing ``compress`` /
+  ``decompress`` / ``usage_report`` plus a stdin/stdout ``main``;
+- :func:`generate_c` — a single C source file in the style the paper
+  describes (static functions, register locals, block I/O, one statement
+  per line, meaningful names), compiled with the system C compiler.
+
+Both backends specialize the emitted code for the exact trace format and
+predictor selection: constants are inlined, predictor loops are unrolled,
+dead code (unused strides, absent headers, untaken policies) is never
+emitted, and table index arithmetic uses masks because table sizes are
+powers of two.  The generated compressors produce containers that are
+stream-for-stream identical to the interpreted engine.
+"""
+
+from repro.codegen.compile import (
+    CompiledC,
+    compile_c,
+    generate_and_compile_c,
+    load_python_module,
+)
+from repro.codegen.c_backend import generate_c
+from repro.codegen.python_backend import generate_python
+
+__all__ = [
+    "CompiledC",
+    "compile_c",
+    "generate_and_compile_c",
+    "generate_c",
+    "generate_python",
+    "load_python_module",
+]

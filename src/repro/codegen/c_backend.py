@@ -1,0 +1,886 @@
+"""C code generation backend.
+
+Emits one self-contained C source file in the style the paper describes
+(Section 5.1): all functions except ``main`` are ``static``, globals are
+``static``, locals are ``register`` where possible, there are no macros,
+one statement per line, meaningful names, and all I/O uses block calls
+with values assembled byte-by-byte to avoid alignment problems.
+
+The compiled binary is a filter: it compresses a trace from stdin to a
+container on stdout (printing the predictor-usage feedback to stderr) and
+decompresses with the ``-d`` flag.  Containers are stream-for-stream
+identical to the interpreted engine and the generated Python module; when
+the system's libbz2 matches the one behind Python's ``bz2`` they are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import ChainStruct, FieldPlan, plan_field
+from repro.codegen.writer import CodeWriter
+from repro.errors import CodegenError
+from repro.model.layout import CompressorModel
+from repro.postcompress import codec_by_name
+from repro.predictors.hashing import HashParams
+from repro.spec.ast import PredictorKind
+from repro.spec.canonical import format_spec
+
+_CTYPES = {1: "u8", 2: "u16", 4: "u32", 8: "u64"}
+
+
+def _hex64(value: int) -> str:
+    return f"0x{value:x}ULL"
+
+
+def _fold_expr(var: str, width_bits: int, params: HashParams) -> str:
+    fb = params.fold_bits
+    if width_bits <= fb:
+        return var
+    parts = [var]
+    shift = fb
+    while shift < width_bits:
+        parts.append(f"({var} >> {shift})")
+        shift += fb
+    return f"({' ^ '.join(parts)}) & {_hex64((1 << fb) - 1)}"
+
+
+class _CFieldEmitter:
+    """Emits C begin/commit logic for one field (mirrors the kernel)."""
+
+    def __init__(self, plan: FieldPlan, smart: bool) -> None:
+        self.plan = plan
+        self.layout = plan.layout
+        self.smart = smart
+        self.f = self.layout.index
+
+    def _base_expr(self, line_var: str | None, span: int) -> str | None:
+        if line_var is None:
+            return None
+        if span == 1:
+            return line_var
+        return f"{line_var} * {span}"
+
+    def _slot(self, base: str | None, offset: int) -> str:
+        if base is None:
+            return str(offset)
+        if offset == 0:
+            return base
+        return f"{base} + {offset}"
+
+    def emit_begin(self, w: CodeWriter, pc_var: str) -> dict:
+        layout = self.layout
+        f = self.f
+        w.line(f"/* field {f}: compute table indices and predictions */")
+        line_var = None
+        if layout.l1_lines > 1:
+            line_var = f"line{f}"
+            w.line(f"register u64 {line_var} = {pc_var} & {layout.l1_lines - 1}ULL;")
+
+        vars: dict = {
+            "line": line_var,
+            "lv_base": None,
+            "last_first": None,
+            "chain_bases": {},
+            "index_vars": {},
+            "l2_bases": {},
+            "predictions": [],
+        }
+        lasts = self.plan.lasts
+        if lasts:
+            first = lasts[0]
+            base = self._base_expr(line_var, first.depth)
+            if base is not None and first.depth > 1:
+                vars["lv_base"] = f"lvbase{f}"
+                w.line(f"register u64 {vars['lv_base']} = {base};")
+            elif base is not None:
+                vars["lv_base"] = base
+            if layout.needs_stride:
+                vars["last_first"] = f"last{f}"
+                w.line(
+                    f"register u64 {vars['last_first']} = "
+                    f"{first.name}[{self._slot(vars['lv_base'], 0)}];"
+                )
+
+        for chain in self.plan.chains:
+            base = self._base_expr(line_var, chain.span)
+            if base is not None and ("*" in base or chain.span > 1):
+                name = f"{chain.name}_base"
+                w.line(f"register u64 {name} = {base};")
+                vars["chain_bases"][chain.name] = name
+            else:
+                vars["chain_bases"][chain.name] = base
+
+        for pred in self.plan.predictors:
+            if pred.chain is None:
+                continue
+            index_var = f"index{f}_{pred.slot}"
+            vars["index_vars"][pred.slot] = index_var
+            base = vars["chain_bases"][pred.chain.name]
+            if pred.chain.fast:
+                w.line(
+                    f"register u64 {index_var} = "
+                    f"{pred.chain.name}[{self._slot(base, pred.order - 1)}];"
+                )
+            else:
+                self._emit_scratch_hash(w, pred, base, index_var)
+
+        code = 0
+        for pred in self.plan.predictors:
+            if pred.kind is PredictorKind.LV:
+                lv = pred.last
+                base = vars["lv_base"]
+                if lv is not lasts[0]:
+                    base = self._base_expr(line_var, lv.depth)
+                for slot in range(pred.depth):
+                    pvar = f"pred{f}_{code}"
+                    w.line(f"register u64 {pvar} = {lv.name}[{self._slot(base, slot)}];")
+                    vars["predictions"].append(pvar)
+                    code += 1
+                continue
+            l2_base = f"l2base{f}_{pred.slot}"
+            index_var = vars["index_vars"][pred.slot]
+            if pred.depth > 1:
+                w.line(f"register u64 {l2_base} = {index_var} * {pred.depth};")
+            else:
+                l2_base = index_var
+            vars["l2_bases"][pred.slot] = l2_base
+            if pred.kind is PredictorKind.FCM:
+                for slot in range(pred.depth):
+                    pvar = f"pred{f}_{code}"
+                    w.line(
+                        f"register u64 {pvar} = "
+                        f"{pred.l2.name}[{self._slot(l2_base, slot)}];"
+                    )
+                    vars["predictions"].append(pvar)
+                    code += 1
+            else:
+                last_var = vars["last_first"]
+                if pred.last is not lasts[0]:
+                    private = self._base_expr(line_var, 1)
+                    last_var = f"last{f}_{pred.slot}"
+                    w.line(
+                        f"register u64 {last_var} = "
+                        f"{pred.last.name}[{self._slot(private, 0)}];"
+                    )
+                for slot in range(pred.depth):
+                    pvar = f"pred{f}_{code}"
+                    w.line(
+                        f"register u64 {pvar} = ({last_var} + "
+                        f"{pred.l2.name}[{self._slot(l2_base, slot)}]) & "
+                        f"{_hex64(self.layout.mask)};"
+                    )
+                    vars["predictions"].append(pvar)
+                    code += 1
+        return vars
+
+    def _emit_scratch_hash(self, w: CodeWriter, pred, base: str | None, out: str) -> None:
+        chain = pred.chain
+        params = chain.params
+        w.line(f"/* order-{pred.order} hash of {chain.name} from scratch */")
+        hash_var = f"scratch{self.f}_{pred.slot}"
+        for step in range(1, pred.order + 1):
+            position = pred.order - step
+            slot = self._slot(base, position)
+            fold = _fold_expr(
+                f"(u64){chain.name}[{slot}]", self.layout.width_bits, params
+            )
+            mask = _hex64(params.order_mask(step))
+            if step == 1:
+                w.line(f"u64 {hash_var} = ({fold}) & {mask};")
+            else:
+                w.line(
+                    f"{hash_var} = (({hash_var} << {params.shift}) ^ ({fold})) & {mask};"
+                )
+        w.line(f"register u64 {out} = {hash_var};")
+
+    def emit_commit(self, w: CodeWriter, vars: dict, value: str) -> None:
+        layout = self.layout
+        f = self.f
+        w.line(f"/* field {f}: update predictor tables */")
+        stride_var = None
+        if layout.needs_stride:
+            stride_var = f"stride{f}"
+            w.line(
+                f"register u64 {stride_var} = "
+                f"({value} - {vars['last_first']}) & {_hex64(layout.mask)};"
+            )
+        for pred in self.plan.predictors:
+            if pred.l2 is None:
+                continue
+            update_value = value if pred.kind is PredictorKind.FCM else stride_var
+            self._emit_line_update(
+                w,
+                pred.l2.name,
+                vars["l2_bases"][pred.slot],
+                pred.depth,
+                update_value,
+                pred.l2.elem_bytes,
+            )
+        for chain in self.plan.chains:
+            feed = value if chain.kind is PredictorKind.FCM else stride_var
+            base = vars["chain_bases"][chain.name]
+            if chain.fast:
+                self._emit_chain_absorb(w, chain, base, feed)
+            else:
+                self._emit_history_shift(w, chain, base, feed)
+        for last in self.plan.lasts:
+            base = vars["lv_base"]
+            if last is not self.plan.lasts[0]:
+                base = self._base_expr(vars["line"], last.depth)
+            self._emit_line_update(w, last.name, base, last.depth, value, last.elem_bytes)
+
+    def _emit_line_update(
+        self,
+        w: CodeWriter,
+        table: str,
+        base: str | None,
+        depth: int,
+        value: str,
+        elem_bytes: int,
+    ) -> None:
+        ctype = _CTYPES[elem_bytes]
+        first = f"{table}[{self._slot(base, 0)}]"
+
+        def emit_body() -> None:
+            for slot in range(depth - 1, 0, -1):
+                w.line(
+                    f"{table}[{self._slot(base, slot)}] = "
+                    f"{table}[{self._slot(base, slot - 1)}];"
+                )
+            w.line(f"{first} = ({ctype}){value};")
+
+        if self.smart:
+            w.line(f"if ({first} != ({ctype}){value}) {{")
+            w.indent()
+            emit_body()
+            w.dedent()
+            w.line("}")
+        else:
+            emit_body()
+
+    def _emit_chain_absorb(
+        self, w: CodeWriter, chain: ChainStruct, base: str | None, feed: str
+    ) -> None:
+        params = chain.params
+        ctype = _CTYPES[chain.elem_bytes]
+        fold_var = f"fold_{chain.name}"
+        w.line(
+            f"register u64 {fold_var} = "
+            f"{_fold_expr(feed, self.layout.width_bits, params)};"
+        )
+        temps = []
+        for level in range(chain.span, 1, -1):
+            temp = f"hash_{chain.name}_{level}"
+            prev = f"(u64){chain.name}[{self._slot(base, level - 2)}]"
+            w.line(
+                f"register u64 {temp} = (({prev} << {params.shift}) ^ {fold_var}) "
+                f"& {_hex64(params.order_mask(level))};"
+            )
+            temps.append((level, temp))
+        for level, temp in temps:
+            w.line(f"{chain.name}[{self._slot(base, level - 1)}] = ({ctype}){temp};")
+        w.line(
+            f"{chain.name}[{self._slot(base, 0)}] = "
+            f"({ctype})({fold_var} & {_hex64(params.order_mask(1))});"
+        )
+
+    def _emit_history_shift(
+        self, w: CodeWriter, chain: ChainStruct, base: str | None, feed: str
+    ) -> None:
+        ctype = _CTYPES[chain.elem_bytes]
+        for slot in range(chain.span - 1, 0, -1):
+            w.line(
+                f"{chain.name}[{self._slot(base, slot)}] = "
+                f"{chain.name}[{self._slot(base, slot - 1)}];"
+            )
+        w.line(f"{chain.name}[{self._slot(base, 0)}] = ({ctype}){feed};")
+
+
+def _emit_value_read(w: CodeWriter, target: str, source: str, pos: str, nbytes: int) -> None:
+    """Byte-by-byte little-endian assembly (alignment-safe block I/O)."""
+    parts = [f"(u64){source}[{pos}]"]
+    for i in range(1, nbytes):
+        parts.append(f"((u64){source}[{pos} + {i}] << {8 * i})")
+    w.line(f"register u64 {target} = {' | '.join(parts)};")
+
+
+def _emit_value_write(w: CodeWriter, buffer: str, value: str, nbytes: int) -> None:
+    for i in range(nbytes):
+        shifted = value if i == 0 else f"{value} >> {8 * i}"
+        w.line(f"buffer_append_byte(&{buffer}, (u8)({shifted}));")
+
+
+def generate_c(model: CompressorModel, codec: str = "bzip2") -> str:
+    """Generate the source text of a specialized C compressor."""
+    codec_obj = codec_by_name(codec)
+    if codec_obj.name == "lzma":
+        raise CodegenError("the C backend supports bzip2, zlib, and identity codecs")
+    plans = [plan_field(layout, model.options) for layout in model.fields]
+    plan_by_index = {plan.layout.index: plan for plan in plans}
+    order = [plan_by_index[layout.index] for layout in model.process_order]
+    spec = model.spec
+
+    w = CodeWriter()
+    w.line("/* Trace compressor generated by TCgen (C backend).")
+    w.line(" *")
+    w.line(" * Trace specification (canonical form):")
+    comments = {
+        layout.index: (
+            f"field {layout.index}: {layout.total_predictions} predictions, "
+            f"{layout.table_bytes(model.options.shared_tables)} table bytes"
+        )
+        for layout in model.fields
+    }
+    for line in format_spec(spec, comments).rstrip("\n").split("\n"):
+        w.line(f" *   {line}")
+    w.line(" */")
+    w.line()
+    w.line("#include <stdio.h>")
+    w.line("#include <stdlib.h>")
+    w.line("#include <string.h>")
+    if codec_obj.name == "bzip2":
+        w.line("#include <bzlib.h>")
+    elif codec_obj.name == "zlib":
+        w.line("#include <zlib.h>")
+    w.line()
+    w.line("typedef unsigned char u8;")
+    w.line("typedef unsigned short u16;")
+    w.line("typedef unsigned int u32;")
+    w.line("typedef unsigned long long u64;")
+    w.line()
+    w.line(f"static const u64 fingerprint = {_hex64(spec.fingerprint())};")
+    w.line(f"static const u32 codec_id = {codec_obj.codec_id};")
+    w.line(f"static const u64 header_bytes = {spec.header_bytes};")
+    w.line(f"static const u64 record_bytes = {spec.record_bytes};")
+    w.line(f"static const u32 stream_count = {model.stream_count};")
+    w.line()
+
+    _emit_c_utilities(w, codec_obj.name)
+    _emit_c_tables(w, plans)
+    _emit_c_compress(w, model, plans, order)
+    _emit_c_decompress(w, model, plans, order)
+    _emit_c_main(w)
+    return w.getvalue()
+
+
+def _emit_c_utilities(w: CodeWriter, codec_name: str) -> None:
+    w.line("/* ---- growable byte buffer ---- */")
+    w.line()
+    w.line("typedef struct {")
+    w.indent()
+    w.line("u8 *data;")
+    w.line("size_t length;")
+    w.line("size_t capacity;")
+    w.dedent()
+    w.line("} buffer;")
+    w.line()
+    with w.block("static void buffer_init(buffer *b) {"):
+        w.line("b->capacity = 65536;")
+        w.line("b->length = 0;")
+        w.line("b->data = (u8 *)malloc(b->capacity);")
+        w.line("if (b->data == NULL) {")
+        w.indent()
+        w.line('fprintf(stderr, "out of memory\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_reserve(buffer *b, size_t extra) {"):
+        w.line("if (b->length + extra <= b->capacity) {")
+        w.indent()
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.line("while (b->length + extra > b->capacity) {")
+        w.indent()
+        w.line("b->capacity *= 2;")
+        w.dedent()
+        w.line("}")
+        w.line("b->data = (u8 *)realloc(b->data, b->capacity);")
+        w.line("if (b->data == NULL) {")
+        w.indent()
+        w.line('fprintf(stderr, "out of memory\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_append_byte(buffer *b, u8 value) {"):
+        w.line("buffer_reserve(b, 1);")
+        w.line("b->data[b->length] = value;")
+        w.line("b->length += 1;")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_append(buffer *b, const u8 *src, size_t n) {"):
+        w.line("buffer_reserve(b, n);")
+        w.line("memcpy(b->data + b->length, src, n);")
+        w.line("b->length += n;")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_write_varint(buffer *b, u64 value) {"):
+        w.line("for (;;) {")
+        w.indent()
+        w.line("u8 byte = (u8)(value & 0x7F);")
+        w.line("value >>= 7;")
+        w.line("if (value != 0) {")
+        w.indent()
+        w.line("buffer_append_byte(b, (u8)(byte | 0x80));")
+        w.dedent()
+        w.line("} else {")
+        w.indent()
+        w.line("buffer_append_byte(b, byte);")
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.dedent()
+        w.line("}")
+    w.line("}")
+    w.line()
+    with w.block("static u64 read_varint(const u8 *data, size_t length, size_t *pos) {"):
+        w.line("u64 result = 0;")
+        w.line("u32 shift = 0;")
+        w.line("for (;;) {")
+        w.indent()
+        w.line("if (*pos >= length) {")
+        w.indent()
+        w.line('fprintf(stderr, "truncated varint\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+        w.line("u8 byte = data[*pos];")
+        w.line("*pos += 1;")
+        w.line("result |= (u64)(byte & 0x7F) << shift;")
+        w.line("if ((byte & 0x80) == 0) {")
+        w.indent()
+        w.line("return result;")
+        w.dedent()
+        w.line("}")
+        w.line("shift += 7;")
+        w.dedent()
+        w.line("}")
+    w.line("}")
+    w.line()
+    w.line("/* ---- post-compression stage ---- */")
+    w.line()
+    if codec_name == "bzip2":
+        with w.block("static u8 *post_compress(const u8 *src, size_t n, size_t *out_len) {"):
+            w.line("unsigned int dest_len = (unsigned int)(n + n / 100 + 600);")
+            w.line("u8 *dest = (u8 *)malloc(dest_len ? dest_len : 1);")
+            w.line(
+                "int rc = BZ2_bzBuffToBuffCompress((char *)dest, &dest_len, "
+                "(char *)src, (unsigned int)n, 9, 0, 0);"
+            )
+            w.line("if (rc != BZ_OK) {")
+            w.indent()
+            w.line('fprintf(stderr, "bzip2 compression failed (%d)\\n", rc);')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            w.line("*out_len = dest_len;")
+            w.line("return dest;")
+        w.line("}")
+        w.line()
+        with w.block(
+            "static u8 *post_decompress(const u8 *src, size_t n, size_t raw_len) {"
+        ):
+            w.line("unsigned int dest_len = (unsigned int)raw_len;")
+            w.line("u8 *dest = (u8 *)malloc(raw_len ? raw_len : 1);")
+            w.line(
+                "int rc = BZ2_bzBuffToBuffDecompress((char *)dest, &dest_len, "
+                "(char *)src, (unsigned int)n, 0, 0);"
+            )
+            w.line("if (rc != BZ_OK || dest_len != raw_len) {")
+            w.indent()
+            w.line('fprintf(stderr, "bzip2 decompression failed (%d)\\n", rc);')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            w.line("return dest;")
+        w.line("}")
+    elif codec_name == "zlib":
+        with w.block("static u8 *post_compress(const u8 *src, size_t n, size_t *out_len) {"):
+            w.line("uLongf dest_len = compressBound((uLong)n);")
+            w.line("u8 *dest = (u8 *)malloc(dest_len ? dest_len : 1);")
+            w.line("int rc = compress2(dest, &dest_len, src, (uLong)n, 9);")
+            w.line("if (rc != Z_OK) {")
+            w.indent()
+            w.line('fprintf(stderr, "zlib compression failed (%d)\\n", rc);')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            w.line("*out_len = dest_len;")
+            w.line("return dest;")
+        w.line("}")
+        w.line()
+        with w.block(
+            "static u8 *post_decompress(const u8 *src, size_t n, size_t raw_len) {"
+        ):
+            w.line("uLongf dest_len = (uLongf)raw_len;")
+            w.line("u8 *dest = (u8 *)malloc(raw_len ? raw_len : 1);")
+            w.line("int rc = uncompress(dest, &dest_len, src, (uLong)n);")
+            w.line("if (rc != Z_OK || dest_len != raw_len) {")
+            w.indent()
+            w.line('fprintf(stderr, "zlib decompression failed (%d)\\n", rc);')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            w.line("return dest;")
+        w.line("}")
+    else:
+        with w.block("static u8 *post_compress(const u8 *src, size_t n, size_t *out_len) {"):
+            w.line("u8 *dest = (u8 *)malloc(n ? n : 1);")
+            w.line("memcpy(dest, src, n);")
+            w.line("*out_len = n;")
+            w.line("return dest;")
+        w.line("}")
+        w.line()
+        with w.block(
+            "static u8 *post_decompress(const u8 *src, size_t n, size_t raw_len) {"
+        ):
+            w.line("if (n != raw_len) {")
+            w.indent()
+            w.line('fprintf(stderr, "identity stream length mismatch\\n");')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            w.line("u8 *dest = (u8 *)malloc(n ? n : 1);")
+            w.line("memcpy(dest, src, n);")
+            w.line("return dest;")
+        w.line("}")
+    w.line()
+    w.line("/* ---- block I/O ---- */")
+    w.line()
+    with w.block("static u8 *read_entire_file(FILE *file, size_t *out_len) {"):
+        w.line("size_t capacity = 1 << 20;")
+        w.line("size_t length = 0;")
+        w.line("u8 *data = (u8 *)malloc(capacity);")
+        w.line("for (;;) {")
+        w.indent()
+        w.line("if (length == capacity) {")
+        w.indent()
+        w.line("capacity *= 2;")
+        w.line("data = (u8 *)realloc(data, capacity);")
+        w.dedent()
+        w.line("}")
+        w.line("size_t got = fread(data + length, 1, capacity - length, file);")
+        w.line("if (got == 0) {")
+        w.indent()
+        w.line("break;")
+        w.dedent()
+        w.line("}")
+        w.line("length += got;")
+        w.dedent()
+        w.line("}")
+        w.line("*out_len = length;")
+        w.line("return data;")
+    w.line("}")
+    w.line()
+
+
+def _emit_c_tables(w: CodeWriter, plans: list[FieldPlan]) -> None:
+    w.line("/* ---- predictor tables ---- */")
+    w.line()
+    allocations: list[tuple[str, str, int]] = []
+    for plan in plans:
+        for last in plan.lasts:
+            ctype = _CTYPES[last.elem_bytes]
+            w.line(f"static {ctype} *{last.name};")
+            allocations.append((last.name, ctype, last.lines * last.depth))
+        for chain in plan.chains:
+            ctype = _CTYPES[chain.elem_bytes]
+            w.line(f"static {ctype} *{chain.name};")
+            allocations.append((chain.name, ctype, chain.lines * chain.span))
+        for l2 in plan.l2s:
+            ctype = _CTYPES[l2.elem_bytes]
+            w.line(f"static {ctype} *{l2.name};")
+            allocations.append((l2.name, ctype, l2.lines * l2.depth))
+    for plan in plans:
+        f = plan.layout.index
+        w.line(f"static u64 usage{f}[{plan.layout.total_predictions + 1}];")
+    w.line()
+    with w.block("static void allocate_tables(void) {"):
+        for name, ctype, count in allocations:
+            w.line(f"{name} = ({ctype} *)calloc({count}, sizeof({ctype}));")
+        names = " && ".join(name for name, _, _ in allocations)
+        w.line(f"if (!({names})) {{")
+        w.indent()
+        w.line('fprintf(stderr, "table allocation failed\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+    w.line("}")
+    w.line()
+
+
+def _emit_c_compress(
+    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+) -> None:
+    spec = model.spec
+    pc_f = model.pc_field.index
+    with w.block("static void compress_trace(const u8 *input, size_t input_length) {"):
+        w.line("if ((input_length - header_bytes) % record_bytes != 0) {")
+        w.indent()
+        w.line('fprintf(stderr, "trace does not frame into records\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+        w.line("u64 record_count = (input_length - header_bytes) / record_bytes;")
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"buffer codes{f};")
+            w.line(f"buffer values{f};")
+            w.line(f"buffer_init(&codes{f});")
+            w.line(f"buffer_init(&values{f});")
+        w.line("size_t pos = header_bytes;")
+        w.line("u64 record;")
+        with w.block("for (record = 0; record < record_count; record++) {"):
+            offset = 0
+            for plan in plans:
+                layout = plan.layout
+                _emit_value_read(
+                    w, f"value{layout.index}", "input", f"pos + {offset}", layout.spec.bytes
+                )
+                offset += layout.spec.bytes
+            w.line("pos += record_bytes;")
+            for plan in order:
+                layout = plan.layout
+                f = layout.index
+                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                pc_var = "0" if layout.is_pc else f"value{pc_f}"
+                vars = emitter.emit_begin(w, pc_var)
+                w.line(f"/* field {f}: match the value against the predictions */")
+                w.line(f"register u32 code{f};")
+                for code, pvar in enumerate(vars["predictions"]):
+                    keyword = "if" if code == 0 else "} else if"
+                    w.line(f"{keyword} (value{f} == {pvar}) {{")
+                    w.indent()
+                    w.line(f"code{f} = {code};")
+                    w.dedent()
+                w.line("} else {")
+                w.indent()
+                w.line(f"code{f} = {layout.miss_code};")
+                _emit_value_write(w, f"values{f}", f"value{f}", layout.value_bytes)
+                w.dedent()
+                w.line("}")
+                if layout.code_bytes == 1:
+                    w.line(f"buffer_append_byte(&codes{f}, (u8)code{f});")
+                else:
+                    _emit_value_write(w, f"codes{f}", f"(u64)code{f}", layout.code_bytes)
+                w.line(f"usage{f}[code{f}] += 1;")
+                emitter.emit_commit(w, vars, f"value{f}")
+        w.line("}")
+        w.line("/* assemble and emit the container */")
+        w.line(f"buffer *streams[{model.stream_count}];")
+        stream_index = 0
+        if spec.header_bits:
+            w.line("buffer header_stream;")
+            w.line("buffer_init(&header_stream);")
+            w.line("buffer_append(&header_stream, input, header_bytes);")
+            w.line(f"streams[{stream_index}] = &header_stream;")
+            stream_index += 1
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"streams[{stream_index}] = &codes{f};")
+            w.line(f"streams[{stream_index + 1}] = &values{f};")
+            stream_index += 2
+        w.line("buffer out;")
+        w.line("buffer_init(&out);")
+        w.line('buffer_append(&out, (const u8 *)"TCGN", 4);')
+        w.line("buffer_append_byte(&out, 1);")
+        w.line("u32 i;")
+        with w.block("for (i = 0; i < 8; i++) {"):
+            w.line("buffer_append_byte(&out, (u8)(fingerprint >> (8 * i)));")
+        w.line("}")
+        w.line("buffer_write_varint(&out, record_count);")
+        w.line("buffer_write_varint(&out, stream_count);")
+        w.line(f"u8 *payloads[{model.stream_count}];")
+        w.line(f"size_t payload_lengths[{model.stream_count}];")
+        with w.block("for (i = 0; i < stream_count; i++) {"):
+            w.line(
+                "payloads[i] = post_compress(streams[i]->data, streams[i]->length, "
+                "&payload_lengths[i]);"
+            )
+            w.line("buffer_append_byte(&out, (u8)codec_id);")
+            w.line("buffer_write_varint(&out, streams[i]->length);")
+            w.line("buffer_write_varint(&out, payload_lengths[i]);")
+        w.line("}")
+        with w.block("for (i = 0; i < stream_count; i++) {"):
+            w.line("buffer_append(&out, payloads[i], payload_lengths[i]);")
+        w.line("}")
+        w.line("fwrite(out.data, 1, out.length, stdout);")
+        w.line("/* predictor usage feedback (paper Section 4) */")
+        w.line('fprintf(stderr, "predictor usage:\\n");')
+        for plan in plans:
+            f = plan.layout.index
+            total = plan.layout.total_predictions
+            with w.block(f"for (i = 0; i <= {total}; i++) {{"):
+                w.line(
+                    f'fprintf(stderr, "  field {f} code %u: %llu\\n", i, usage{f}[i]);'
+                )
+            w.line("}")
+    w.line("}")
+    w.line()
+
+
+def _emit_c_decompress(
+    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+) -> None:
+    spec = model.spec
+    pc_f = model.pc_field.index
+    with w.block("static void decompress_trace(const u8 *input, size_t input_length) {"):
+        w.line('if (input_length < 13 || memcmp(input, "TCGN", 4) != 0 || input[4] != 1) {')
+        w.indent()
+        w.line('fprintf(stderr, "not a TCgen container\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+        w.line("u64 blob_fingerprint = 0;")
+        w.line("u32 i;")
+        with w.block("for (i = 0; i < 8; i++) {"):
+            w.line("blob_fingerprint |= (u64)input[5 + i] << (8 * i);")
+        w.line("}")
+        w.line("if (blob_fingerprint != fingerprint) {")
+        w.indent()
+        w.line('fprintf(stderr, "compressed trace does not match this specification\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+        w.line("size_t pos = 13;")
+        w.line("u64 record_count = read_varint(input, input_length, &pos);")
+        w.line("u64 blob_streams = read_varint(input, input_length, &pos);")
+        w.line("if (blob_streams != stream_count) {")
+        w.indent()
+        w.line('fprintf(stderr, "unexpected stream count\\n");')
+        w.line("exit(1);")
+        w.dedent()
+        w.line("}")
+        w.line(f"u64 raw_lengths[{model.stream_count}];")
+        w.line(f"u64 stored_lengths[{model.stream_count}];")
+        with w.block("for (i = 0; i < stream_count; i++) {"):
+            w.line("if (pos >= input_length || input[pos] != codec_id) {")
+            w.indent()
+            w.line('fprintf(stderr, "unexpected stream codec\\n");')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            w.line("pos += 1;")
+            w.line("raw_lengths[i] = read_varint(input, input_length, &pos);")
+            w.line("stored_lengths[i] = read_varint(input, input_length, &pos);")
+        w.line("}")
+        w.line(f"u8 *streams[{model.stream_count}];")
+        with w.block("for (i = 0; i < stream_count; i++) {"):
+            w.line("if (pos + (size_t)stored_lengths[i] > input_length) {")
+            w.indent()
+            w.line('fprintf(stderr, "truncated stream payload\\n");')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            w.line(
+                "streams[i] = post_decompress(input + pos, (size_t)stored_lengths[i], "
+                "(size_t)raw_lengths[i]);"
+            )
+            w.line("pos += (size_t)stored_lengths[i];")
+        w.line("}")
+        stream_index = 0
+        if spec.header_bits:
+            w.line(f"const u8 *header_stream = streams[{stream_index}];")
+            stream_index += 1
+        for plan in plans:
+            f = plan.layout.index
+            cb = plan.layout.code_bytes
+            w.line(f"const u8 *codes{f} = streams[{stream_index}];")
+            w.line(f"const u8 *values{f} = streams[{stream_index + 1}];")
+            w.line(f"size_t vpos{f} = 0;")
+            w.line(f"size_t vlen{f} = (size_t)raw_lengths[{stream_index + 1}];")
+            w.line(f"if (raw_lengths[{stream_index}] != record_count * {cb}) {{")
+            w.indent()
+            w.line(f'fprintf(stderr, "field {f} code stream length mismatch\\n");')
+            w.line("exit(1);")
+            w.dedent()
+            w.line("}")
+            stream_index += 2
+        w.line("buffer out;")
+        w.line("buffer_init(&out);")
+        if spec.header_bits:
+            w.line("buffer_append(&out, header_stream, header_bytes);")
+        w.line("u64 record;")
+        with w.block("for (record = 0; record < record_count; record++) {"):
+            for plan in order:
+                layout = plan.layout
+                f = layout.index
+                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                pc_var = "0" if layout.is_pc else f"value{pc_f}"
+                vars = emitter.emit_begin(w, pc_var)
+                cb = layout.code_bytes
+                if cb == 1:
+                    w.line(f"register u32 code{f} = codes{f}[record];")
+                else:
+                    parts = [f"(u32)codes{f}[record * {cb}]"]
+                    for i in range(1, cb):
+                        parts.append(f"((u32)codes{f}[record * {cb} + {i}] << {8 * i})")
+                    w.line(f"register u32 code{f} = {' | '.join(parts)};")
+                w.line(f"register u64 value{f};")
+                for code, pvar in enumerate(vars["predictions"]):
+                    keyword = "if" if code == 0 else "} else if"
+                    w.line(f"{keyword} (code{f} == {code}) {{")
+                    w.indent()
+                    w.line(f"value{f} = {pvar};")
+                    w.dedent()
+                w.line(f"}} else if (code{f} == {layout.miss_code}) {{")
+                w.indent()
+                vb = layout.value_bytes
+                w.line(f"if (vpos{f} + {vb} > vlen{f}) {{")
+                w.indent()
+                w.line(f'fprintf(stderr, "field {f} value stream exhausted\\n");')
+                w.line("exit(1);")
+                w.dedent()
+                w.line("}")
+                parts = [f"(u64)values{f}[vpos{f}]"]
+                for i in range(1, vb):
+                    parts.append(f"((u64)values{f}[vpos{f} + {i}] << {8 * i})")
+                w.line(f"value{f} = ({' | '.join(parts)}) & {_hex64(layout.mask)};")
+                w.line(f"vpos{f} += {vb};")
+                w.dedent()
+                w.line("} else {")
+                w.indent()
+                w.line(f'fprintf(stderr, "field {f}: invalid code\\n");')
+                w.line("exit(1);")
+                w.dedent()
+                w.line("}")
+                emitter.emit_commit(w, vars, f"value{f}")
+            for plan in plans:
+                layout = plan.layout
+                _emit_value_write(w, "out", f"value{layout.index}", layout.spec.bytes)
+        w.line("}")
+        w.line("fwrite(out.data, 1, out.length, stdout);")
+    w.line("}")
+    w.line()
+
+
+def _emit_c_main(w: CodeWriter) -> None:
+    with w.block("int main(int argc, char *argv[]) {"):
+        w.line("int decompress_mode = 0;")
+        w.line("int i;")
+        with w.block("for (i = 1; i < argc; i++) {"):
+            w.line('if (strcmp(argv[i], "-d") == 0) {')
+            w.indent()
+            w.line("decompress_mode = 1;")
+            w.dedent()
+            w.line("}")
+        w.line("}")
+        w.line("allocate_tables();")
+        w.line("size_t input_length;")
+        w.line("u8 *input = read_entire_file(stdin, &input_length);")
+        w.line("if (decompress_mode) {")
+        w.indent()
+        w.line("decompress_trace(input, input_length);")
+        w.dedent()
+        w.line("} else {")
+        w.indent()
+        w.line("compress_trace(input, input_length);")
+        w.dedent()
+        w.line("}")
+        w.line("free(input);")
+        w.line("return 0;")
+    w.line("}")

@@ -1,0 +1,120 @@
+"""Loading and compiling generated compressors.
+
+Generated Python modules are compiled with :func:`compile` and executed in
+a fresh module namespace; generated C is compiled with the system C
+compiler (``cc``/``gcc``) and driven through stdin/stdout pipes, exactly
+like the paper's workflow of synthesizing, compiling with ``-O3``, and
+running the resulting filter.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import types
+from dataclasses import dataclass
+
+from repro.errors import CodegenError
+
+_module_counter = 0
+
+
+def load_python_module(source: str, name: str | None = None) -> types.ModuleType:
+    """Compile and import generated Python source as a fresh module."""
+    global _module_counter
+    _module_counter += 1
+    name = name or f"tcgen_generated_{_module_counter}"
+    module = types.ModuleType(name)
+    module.__file__ = f"<{name}>"
+    try:
+        code = compile(source, module.__file__, "exec")
+    except SyntaxError as exc:
+        raise CodegenError(f"generated Python does not compile: {exc}") from exc
+    exec(code, module.__dict__)
+    for required in ("compress", "decompress"):
+        if not callable(module.__dict__.get(required)):
+            raise CodegenError(f"generated module lacks {required}()")
+    return module
+
+
+def find_c_compiler() -> str | None:
+    """Locate a C compiler, preferring ``cc`` like the paper's platform."""
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+@dataclass
+class CompiledC:
+    """A compiled generated-C compressor, driven via pipes."""
+
+    binary_path: str
+    source_path: str
+
+    def compress(self, raw: bytes) -> bytes:
+        return self._run([], raw)
+
+    def decompress(self, blob: bytes) -> bytes:
+        return self._run(["-d"], blob)
+
+    def _run(self, args: list[str], data: bytes) -> bytes:
+        result = subprocess.run(
+            [self.binary_path, *args],
+            input=data,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        if result.returncode != 0:
+            raise CodegenError(
+                f"generated binary failed ({result.returncode}): "
+                f"{result.stderr.decode(errors='replace')[:500]}"
+            )
+        return result.stdout
+
+
+def compile_c(
+    source: str,
+    workdir: str | None = None,
+    compiler: str | None = None,
+    libs: tuple[str, ...] = ("-lbz2",),
+) -> CompiledC:
+    """Compile generated C source into an executable filter."""
+    compiler = compiler or find_c_compiler()
+    if compiler is None:
+        raise CodegenError("no C compiler found (tried cc, gcc, clang)")
+    workdir = workdir or tempfile.mkdtemp(prefix="tcgen_c_")
+    source_path = os.path.join(workdir, "compressor.c")
+    binary_path = os.path.join(workdir, "compressor")
+    with open(source_path, "w") as handle:
+        handle.write(source)
+    command = [compiler, "-O3", "-o", binary_path, source_path, *libs]
+    result = subprocess.run(command, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    if result.returncode != 0:
+        raise CodegenError(
+            "C compilation failed:\n" + result.stderr.decode(errors="replace")[:2000]
+        )
+    return CompiledC(binary_path=binary_path, source_path=source_path)
+
+
+def generate_and_compile_c(model, codec: str = "bzip2", workdir: str | None = None) -> CompiledC:
+    """Convenience: generate C for ``model`` and compile it."""
+    from repro.codegen.c_backend import generate_c
+
+    source = generate_c(model, codec=codec)
+    libs: tuple[str, ...]
+    if codec == "bzip2":
+        libs = ("-lbz2",)
+    elif codec == "zlib":
+        libs = ("-lz",)
+    else:
+        libs = ()
+    return compile_c(source, workdir=workdir, libs=libs)
+
+
+def default_python_executable() -> str:
+    return sys.executable

@@ -1,0 +1,231 @@
+"""Structure planning for code generation.
+
+Turns a field layout plus optimization options into the concrete list of
+state structures the generated code will declare — which last-value tables
+exist, which hash chains serve which predictors, and which second-level
+tables belong to whom.  With table sharing on, lower-order predictors ride
+on the field's single chain; with sharing off, every predictor owns private
+replicas.  Both backends (and the tests that cross-check memory accounting)
+consume this plan, so the sharing logic lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.model.layout import FieldLayout
+from repro.model.optimize import OptimizationOptions
+from repro.predictors.hashing import HashParams
+from repro.spec.ast import PredictorKind
+
+
+@dataclass
+class LastValueStruct:
+    """A last-value table: ``lines x depth`` most-recent values."""
+
+    name: str
+    lines: int
+    depth: int
+    elem_bytes: int
+    smart_updatable: bool = True  # depth-1 private DFCM copies skip the shift
+
+
+@dataclass
+class ChainStruct:
+    """A first-level hash structure (partial hashes or raw history)."""
+
+    name: str
+    kind: PredictorKind  # FCM or DFCM — what it is fed with
+    params: HashParams
+    lines: int
+    fast: bool
+    orders_served: tuple[int, ...]
+    elem_bytes: int  # partial-hash width (fast) or value width (slow)
+
+    @property
+    def span(self) -> int:
+        """Slots per line: partial hashes (or history) up to the max order."""
+        return max(self.orders_served)
+
+
+@dataclass
+class L2Struct:
+    """A second-level (hash-indexed) table owned by one predictor."""
+
+    name: str
+    lines: int
+    depth: int
+    elem_bytes: int
+
+
+@dataclass
+class PlannedPredictor:
+    """One predictor with references into the structure plan."""
+
+    slot: int
+    kind: PredictorKind
+    order: int
+    depth: int
+    first_code: int
+    last: LastValueStruct | None = None
+    chain: ChainStruct | None = None
+    l2: L2Struct | None = None
+
+
+@dataclass
+class FieldPlan:
+    """Everything the generators need to emit one field's logic."""
+
+    layout: FieldLayout
+    predictors: list[PlannedPredictor]
+    lasts: list[LastValueStruct] = dc_field(default_factory=list)
+    chains: list[ChainStruct] = dc_field(default_factory=list)
+    l2s: list[L2Struct] = dc_field(default_factory=list)
+
+    @property
+    def prefix(self) -> str:
+        return f"field{self.layout.index}"
+
+    def table_bytes(self) -> int:
+        """Footprint of every structure in the plan."""
+        total = 0
+        for last in self.lasts:
+            total += last.lines * last.depth * last.elem_bytes
+        for chain in self.chains:
+            total += chain.lines * chain.span * chain.elem_bytes
+        for l2 in self.l2s:
+            total += l2.lines * l2.depth * l2.elem_bytes
+        return total
+
+
+def plan_field(layout: FieldLayout, options: OptimizationOptions) -> FieldPlan:
+    """Build the structure plan for one field."""
+    prefix = f"field{layout.index}"
+    predictors = [
+        PlannedPredictor(
+            slot=slot,
+            kind=res.spec.kind,
+            order=res.spec.order,
+            depth=res.spec.depth,
+            first_code=res.first_code,
+        )
+        for slot, res in enumerate(layout.predictors)
+    ]
+    plan = FieldPlan(layout=layout, predictors=predictors)
+
+    if options.shared_tables:
+        shared_last = None
+        if layout.lv_depth:
+            shared_last = LastValueStruct(
+                name=f"{prefix}_lastvalue",
+                lines=layout.l1_lines,
+                depth=layout.lv_depth,
+                elem_bytes=layout.elem_bytes,
+            )
+            plan.lasts.append(shared_last)
+        shared_fcm = None
+        if layout.fcm_params is not None:
+            orders = tuple(
+                sorted({p.order for p in predictors if p.kind is PredictorKind.FCM})
+            )
+            shared_fcm = ChainStruct(
+                name=f"{prefix}_fcm_chain",
+                kind=PredictorKind.FCM,
+                params=layout.fcm_params,
+                lines=layout.l1_lines,
+                fast=options.fast_hash,
+                orders_served=orders,
+                elem_bytes=layout.fcm_chain_bytes
+                if options.fast_hash
+                else layout.elem_bytes,
+            )
+            plan.chains.append(shared_fcm)
+        shared_dfcm = None
+        if layout.dfcm_params is not None:
+            orders = tuple(
+                sorted({p.order for p in predictors if p.kind is PredictorKind.DFCM})
+            )
+            shared_dfcm = ChainStruct(
+                name=f"{prefix}_dfcm_chain",
+                kind=PredictorKind.DFCM,
+                params=layout.dfcm_params,
+                lines=layout.l1_lines,
+                fast=options.fast_hash,
+                orders_served=orders,
+                elem_bytes=layout.dfcm_chain_bytes
+                if options.fast_hash
+                else layout.elem_bytes,
+            )
+            plan.chains.append(shared_dfcm)
+        used_names: set[str] = set()
+        for pred, res in zip(predictors, layout.predictors):
+            if pred.kind is PredictorKind.LV:
+                pred.last = shared_last
+            else:
+                pred.chain = shared_fcm if pred.kind is PredictorKind.FCM else shared_dfcm
+                name = f"{prefix}_{res.name.lower()}_l2"
+                if name in used_names:
+                    # Duplicate predictor selections (e.g. DFCM1[2] twice)
+                    # still get distinct tables, as the engine keeps them.
+                    name = f"{prefix}_p{pred.slot}_{res.name.lower()}_l2"
+                used_names.add(name)
+                pred.l2 = L2Struct(
+                    name=name,
+                    lines=res.l2_lines,
+                    depth=pred.depth,
+                    elem_bytes=layout.elem_bytes,
+                )
+                plan.l2s.append(pred.l2)
+                if pred.kind is PredictorKind.DFCM:
+                    pred.last = shared_last
+        return plan
+
+    # Unshared: private structures per predictor.  Hash parameters still
+    # come from the field's shared derivation so the hash values (and hence
+    # the compression rate) are identical — only duplication is added.
+    for pred, res in zip(predictors, layout.predictors):
+        tag = f"{prefix}_p{pred.slot}_{res.name.lower()}"
+        if pred.kind is PredictorKind.LV:
+            pred.last = LastValueStruct(
+                name=f"{tag}_values",
+                lines=layout.l1_lines,
+                depth=pred.depth,
+                elem_bytes=layout.elem_bytes,
+            )
+            plan.lasts.append(pred.last)
+            continue
+        params = (
+            layout.fcm_params if pred.kind is PredictorKind.FCM else layout.dfcm_params
+        )
+        pred.chain = ChainStruct(
+            name=f"{tag}_chain",
+            kind=pred.kind,
+            params=params,
+            lines=layout.l1_lines,
+            fast=options.fast_hash,
+            orders_served=(pred.order,),
+            elem_bytes=(
+                layout.fcm_chain_bytes
+                if pred.kind is PredictorKind.FCM
+                else layout.dfcm_chain_bytes
+            )
+            if options.fast_hash
+            else layout.elem_bytes,
+        )
+        plan.chains.append(pred.chain)
+        pred.l2 = L2Struct(
+            name=f"{tag}_l2",
+            lines=res.l2_lines,
+            depth=pred.depth,
+            elem_bytes=layout.elem_bytes,
+        )
+        plan.l2s.append(pred.l2)
+        if pred.kind is PredictorKind.DFCM:
+            pred.last = LastValueStruct(
+                name=f"{tag}_last",
+                lines=layout.l1_lines,
+                depth=1,
+                elem_bytes=layout.elem_bytes,
+            )
+            plan.lasts.append(pred.last)
+    return plan

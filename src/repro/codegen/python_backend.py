@@ -1,0 +1,679 @@
+"""Python code generation backend.
+
+Emits a complete, self-contained Python module implementing the compressor
+described by a :class:`~repro.model.CompressorModel`.  The module depends
+only on the standard library (``array``, ``struct``, and the chosen
+post-compression codec) and exposes::
+
+    compress(raw: bytes) -> bytes
+    decompress(blob: bytes) -> bytes
+    usage_report() -> str        # predictor feedback after a compression
+    main(argv)                   # stdin -> stdout filter, '-d' decompresses
+
+The emitted code is specialized exactly the way the paper describes for C:
+prediction and update loops are fully unrolled, constants (masks, shifts,
+table bases) are inlined, power-of-two modulo operations become bit-ands,
+dead code for unused features is never emitted, and all names are
+meaningful.  Containers produced by the generated module are byte-identical
+to the interpreted :class:`~repro.runtime.TraceEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.plan import ChainStruct, FieldPlan, LastValueStruct, plan_field
+from repro.codegen.writer import CodeWriter
+from repro.model.layout import CompressorModel
+from repro.postcompress import codec_by_name
+from repro.predictors.hashing import HashParams
+from repro.spec.ast import PredictorKind
+from repro.spec.canonical import format_spec
+
+_TYPECODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
+_STRUCT_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
+
+def _fold_expr(var: str, width_bits: int, params: HashParams) -> str:
+    """Expression folding ``var`` into ``params.fold_bits`` bits."""
+    fb = params.fold_bits
+    if width_bits <= fb:
+        return var
+    parts = [var]
+    shift = fb
+    while shift < width_bits:
+        parts.append(f"({var} >> {shift})")
+        shift += fb
+    return f"({' ^ '.join(parts)}) & {hex((1 << fb) - 1)}"
+
+
+@dataclass
+class _FieldVars:
+    """Names of the per-record locals emitted for one field."""
+
+    value: str
+    line: str | None  # None when L1 = 1 (constant line 0)
+    lv_base: str | None
+    last_first: str | None  # local holding the pre-update last value
+    chain_bases: dict[str, str]  # chain name -> base variable (or constant)
+    index_vars: dict[int, str]  # predictor slot -> L2 index variable
+    l2_bases: dict[int, str]  # predictor slot -> L2 base expression
+    predictions: list[str]  # one variable per identification code
+
+
+class _FieldEmitter:
+    """Emits the begin/commit logic for one field into a CodeWriter."""
+
+    def __init__(self, plan: FieldPlan, policy_smart: bool) -> None:
+        self.plan = plan
+        self.layout = plan.layout
+        self.smart = policy_smart
+        self.f = self.layout.index
+
+    # -- small expression helpers -----------------------------------------
+
+    def _base_expr(self, line_var: str | None, span: int) -> str | None:
+        """Base of the selected line in a flat ``lines x span`` table."""
+        if line_var is None:
+            return None  # line 0: offsets are absolute
+        if span == 1:
+            return line_var
+        return f"{line_var} * {span}"
+
+    def _slot(self, base: str | None, offset: int) -> str:
+        if base is None:
+            return str(offset)
+        if offset == 0:
+            return base
+        return f"{base} + {offset}"
+
+    # -- begin phase -------------------------------------------------------
+
+    def emit_begin(self, w: CodeWriter, pc_var: str) -> _FieldVars:
+        """Emit index computation and prediction loads; return the vars."""
+        layout = self.layout
+        f = self.f
+        w.line(f"# field {f}: compute table indices and predictions")
+        line_var = None
+        if layout.l1_lines > 1:
+            line_var = f"line{f}"
+            w.line(f"{line_var} = {pc_var} & {layout.l1_lines - 1}")
+
+        vars = _FieldVars(
+            value=f"value{f}",
+            line=line_var,
+            lv_base=None,
+            last_first=None,
+            chain_bases={},
+            index_vars={},
+            l2_bases={},
+            predictions=[],
+        )
+
+        # Last-value base and the most recent value (shared or private).
+        lasts = self.plan.lasts
+        if lasts:
+            first = lasts[0]
+            base = self._base_expr(line_var, first.depth)
+            if base is not None and first.depth > 1:
+                vars.lv_base = f"lvbase{f}"
+                w.line(f"{vars.lv_base} = {base}")
+            elif base is not None:
+                vars.lv_base = base
+            if layout.needs_stride:
+                vars.last_first = f"last{f}"
+                w.line(
+                    f"{vars.last_first} = {first.name}[{self._slot(vars.lv_base, 0)}]"
+                )
+
+        # Chain bases and per-predictor L2 indices.
+        for chain in self.plan.chains:
+            base = self._base_expr(line_var, chain.span)
+            if base is not None and ("*" in base or chain.span > 1):
+                name = f"{chain.name}_base"
+                w.line(f"{name} = {base}")
+                vars.chain_bases[chain.name] = name
+            else:
+                vars.chain_bases[chain.name] = base  # may be None
+        for pred in self.plan.predictors:
+            if pred.chain is None:
+                continue
+            index_var = f"index{f}_{pred.slot}"
+            vars.index_vars[pred.slot] = index_var
+            base = vars.chain_bases[pred.chain.name]
+            if pred.chain.fast:
+                w.line(f"{index_var} = {pred.chain.name}[{self._slot(base, pred.order - 1)}]")
+            else:
+                self._emit_scratch_hash(w, pred, base, index_var)
+
+        # Prediction variables, one per identification code.
+        code = 0
+        for pred in self.plan.predictors:
+            if pred.kind is PredictorKind.LV:
+                lv = pred.last
+                base = vars.lv_base
+                # Private LV tables have their own depth; recompute the base.
+                if lv is not lasts[0]:
+                    base = self._base_expr(line_var, lv.depth)
+                for slot in range(pred.depth):
+                    pvar = f"pred{f}_{code}"
+                    w.line(f"{pvar} = {lv.name}[{self._slot(base, slot)}]")
+                    vars.predictions.append(pvar)
+                    code += 1
+                continue
+            l2_base = f"l2base{f}_{pred.slot}"
+            index_var = vars.index_vars[pred.slot]
+            if pred.depth > 1:
+                w.line(f"{l2_base} = {index_var} * {pred.depth}")
+            else:
+                l2_base = index_var
+            vars.l2_bases[pred.slot] = l2_base
+            if pred.kind is PredictorKind.FCM:
+                for slot in range(pred.depth):
+                    pvar = f"pred{f}_{code}"
+                    w.line(f"{pvar} = {pred.l2.name}[{self._slot(l2_base, slot)}]")
+                    vars.predictions.append(pvar)
+                    code += 1
+            else:  # DFCM: last + stride, masked to the field width
+                last_var = vars.last_first
+                if last_var is None:
+                    raise AssertionError("DFCM without a last value")
+                # Unshared DFCMs read their private copy (identical content).
+                if pred.last is not lasts[0]:
+                    private = self._base_expr(line_var, 1)
+                    last_var = f"last{f}_{pred.slot}"
+                    w.line(f"{last_var} = {pred.last.name}[{self._slot(private, 0)}]")
+                for slot in range(pred.depth):
+                    pvar = f"pred{f}_{code}"
+                    w.line(
+                        f"{pvar} = ({last_var} + "
+                        f"{pred.l2.name}[{self._slot(l2_base, slot)}]) & {hex(layout.mask)}"
+                    )
+                    vars.predictions.append(pvar)
+                    code += 1
+        return vars
+
+    def _emit_scratch_hash(self, w: CodeWriter, pred, base: str | None, out: str) -> None:
+        """Unrolled from-scratch hash over the raw history (slow-hash mode)."""
+        chain = pred.chain
+        params = chain.params
+        w.line(f"# order-{pred.order} hash of {chain.name} computed from scratch")
+        hash_var = f"scratch{self.f}_{pred.slot}"
+        for step in range(1, pred.order + 1):
+            position = pred.order - step
+            slot = self._slot(base, position)
+            fold = _fold_expr(f"{chain.name}[{slot}]", self.layout.width_bits, params)
+            mask = hex(params.order_mask(step))
+            if step == 1:
+                w.line(f"{hash_var} = ({fold}) & {mask}")
+            else:
+                w.line(f"{hash_var} = (({hash_var} << {params.shift}) ^ ({fold})) & {mask}")
+        w.line(f"{out} = {hash_var}")
+
+    # -- commit phase --------------------------------------------------------
+
+    def emit_commit(self, w: CodeWriter, vars: _FieldVars) -> None:
+        """Emit all table updates for the true value ``vars.value``."""
+        layout = self.layout
+        f = self.f
+        value = vars.value
+        w.line(f"# field {f}: update predictor tables")
+        stride_var = None
+        if layout.needs_stride:
+            stride_var = f"stride{f}"
+            w.line(f"{stride_var} = ({value} - {vars.last_first}) & {hex(layout.mask)}")
+
+        # Second-level tables, in predictor order (mirrors the kernel).
+        for pred in self.plan.predictors:
+            if pred.l2 is None:
+                continue
+            update_value = value if pred.kind is PredictorKind.FCM else stride_var
+            self._emit_line_update(
+                w,
+                table=pred.l2.name,
+                base=vars.l2_bases[pred.slot],
+                depth=pred.depth,
+                value=update_value,
+                smart=self.smart,
+            )
+
+        # First-level chains (order across distinct structures is free).
+        for chain in self.plan.chains:
+            feed = value if chain.kind is PredictorKind.FCM else stride_var
+            base = vars.chain_bases[chain.name]
+            if chain.fast:
+                self._emit_chain_absorb(w, chain, base, feed)
+            else:
+                self._emit_history_shift(w, chain, base, feed)
+
+        # Last-value tables.
+        for last in self.plan.lasts:
+            base = vars.lv_base
+            if last is not self.plan.lasts[0] or last.depth != self.plan.lasts[0].depth:
+                base = self._base_expr(
+                    vars.line, last.depth
+                )  # private tables have their own geometry
+            self._emit_line_update(
+                w,
+                table=last.name,
+                base=base,
+                depth=last.depth,
+                value=value,
+                smart=self.smart,
+            )
+
+    def _emit_line_update(
+        self, w: CodeWriter, table: str, base: str | None, depth: int, value: str, smart: bool
+    ) -> None:
+        first = f"{table}[{self._slot(base, 0)}]"
+        body = CodeWriter()
+        for slot in range(depth - 1, 0, -1):
+            w_slot = f"{table}[{self._slot(base, slot)}]"
+            r_slot = f"{table}[{self._slot(base, slot - 1)}]"
+            body.line(f"{w_slot} = {r_slot}")
+        body.line(f"{first} = {value}")
+        if smart:
+            with w.block(f"if {first} != {value}:"):
+                for line in body.getvalue().rstrip("\n").split("\n"):
+                    w.line(line)
+        else:
+            for line in body.getvalue().rstrip("\n").split("\n"):
+                w.line(line)
+
+    def _emit_chain_absorb(
+        self, w: CodeWriter, chain: ChainStruct, base: str | None, feed: str
+    ) -> None:
+        params = chain.params
+        f = self.f
+        fold_var = f"fold_{chain.name}"
+        w.line(f"{fold_var} = {_fold_expr(feed, self.layout.width_bits, params)}")
+        span = chain.span
+        temps = []
+        for level in range(span, 1, -1):
+            temp = f"hash_{chain.name}_{level}"
+            prev = f"{chain.name}[{self._slot(base, level - 2)}]"
+            w.line(
+                f"{temp} = (({prev} << {params.shift}) ^ {fold_var}) "
+                f"& {hex(params.order_mask(level))}"
+            )
+            temps.append((level, temp))
+        for level, temp in temps:
+            w.line(f"{chain.name}[{self._slot(base, level - 1)}] = {temp}")
+        w.line(
+            f"{chain.name}[{self._slot(base, 0)}] = {fold_var} & {hex(params.order_mask(1))}"
+        )
+
+    def _emit_history_shift(
+        self, w: CodeWriter, chain: ChainStruct, base: str | None, feed: str
+    ) -> None:
+        for slot in range(chain.span - 1, 0, -1):
+            w.line(
+                f"{chain.name}[{self._slot(base, slot)}] = "
+                f"{chain.name}[{self._slot(base, slot - 1)}]"
+            )
+        w.line(f"{chain.name}[{self._slot(base, 0)}] = {feed}")
+
+
+def _record_struct_format(model: CompressorModel) -> str:
+    return "<" + "".join(_STRUCT_CODES[f.spec.bytes] for f in model.fields)
+
+
+def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
+    """Generate the source text of a specialized Python compressor module."""
+    codec_obj = codec_by_name(codec)
+    plans = [plan_field(layout, model.options) for layout in model.fields]
+    plan_by_index = {plan.layout.index: plan for plan in plans}
+    order = [plan_by_index[layout.index] for layout in model.process_order]
+    spec = model.spec
+
+    w = CodeWriter()
+    w.line('"""Trace compressor generated by TCgen (Python backend).')
+    w.line("")
+    w.line("Trace specification (canonical form):")
+    w.line("")
+    comments = {
+        layout.index: (
+            f"field {layout.index}: {layout.total_predictions} predictions, "
+            f"{layout.table_bytes(model.options.shared_tables)} table bytes"
+        )
+        for layout in model.fields
+    }
+    for line in format_spec(spec, comments).rstrip("\n").split("\n"):
+        w.line("    " + line if line else "")
+    w.line('"""')
+    w.line()
+    w.line("import struct")
+    w.line("import sys")
+    w.line("from array import array")
+    w.line()
+    if codec_obj.name == "bzip2":
+        w.line("import bz2")
+        compress_call = "bz2.compress(data, 9)"
+        decompress_call = "bz2.decompress(data)"
+    elif codec_obj.name == "zlib":
+        w.line("import zlib")
+        compress_call = "zlib.compress(data, 9)"
+        decompress_call = "zlib.decompress(data)"
+    elif codec_obj.name == "lzma":
+        w.line("import lzma")
+        compress_call = "lzma.compress(data)"
+        decompress_call = "lzma.decompress(data)"
+    else:
+        compress_call = "data"
+        decompress_call = "data"
+    w.line()
+    w.line(f"FINGERPRINT = {spec.fingerprint():#018x}")
+    w.line(f"CODEC_ID = {codec_obj.codec_id}")
+    w.line(f"HEADER_BYTES = {spec.header_bytes}")
+    w.line(f"RECORD_BYTES = {spec.record_bytes}")
+    w.line(f'_RECORD = struct.Struct("{_record_struct_format(model)}")')
+    w.line()
+    w.line("_last_usage = None")
+    w.line()
+    with w.block("def _post_compress(data):"):
+        w.line(f"return {compress_call}")
+    w.line()
+    with w.block("def _post_decompress(data):"):
+        w.line(f"return {decompress_call}")
+    w.line()
+
+    _emit_container_helpers(w)
+    _emit_fresh_tables(w, plans)
+    _emit_compress(w, model, plans, order)
+    _emit_decompress(w, model, plans, order)
+    _emit_usage_report(w, model, plans)
+    _emit_main(w)
+    return w.getvalue()
+
+
+def _emit_container_helpers(w: CodeWriter) -> None:
+    with w.block("def _write_varint(out, value):"):
+        with w.block("while True:"):
+            w.line("byte = value & 0x7F")
+            w.line("value >>= 7")
+            with w.block("if value:"):
+                w.line("out.append(byte | 0x80)")
+            with w.block("else:"):
+                w.line("out.append(byte)")
+                w.line("return")
+    w.line()
+    with w.block("def _read_varint(blob, pos):"):
+        w.line("result = 0")
+        w.line("shift = 0")
+        with w.block("while True:"):
+            with w.block("if pos >= len(blob):"):
+                w.line('raise ValueError("truncated container")')
+            w.line("byte = blob[pos]")
+            w.line("pos += 1")
+            w.line("result |= (byte & 0x7F) << shift")
+            with w.block("if not byte & 0x80:"):
+                w.line("return result, pos")
+            w.line("shift += 7")
+            with w.block("if shift > 70:"):
+                w.line('raise ValueError("varint longer than 10 bytes")')
+    w.line()
+    with w.block("def _encode_container(record_count, streams):"):
+        w.line('out = bytearray(b"TCGN")')
+        w.line("out.append(1)")
+        w.line('out += FINGERPRINT.to_bytes(8, "little")')
+        w.line("_write_varint(out, record_count)")
+        w.line("_write_varint(out, len(streams))")
+        w.line("payloads = []")
+        with w.block("for raw in streams:"):
+            w.line("payload = _post_compress(bytes(raw))")
+            w.line("payloads.append(payload)")
+            w.line("out.append(CODEC_ID)")
+            w.line("_write_varint(out, len(raw))")
+            w.line("_write_varint(out, len(payload))")
+        with w.block("for payload in payloads:"):
+            w.line("out += payload")
+        w.line("return bytes(out)")
+    w.line()
+    with w.block("def _decode_container(blob, expected_streams):"):
+        with w.block('if len(blob) < 13 or blob[:4] != b"TCGN" or blob[4] != 1:'):
+            w.line('raise ValueError("not a TCgen container")')
+        w.line('fingerprint = int.from_bytes(blob[5:13], "little")')
+        with w.block("if fingerprint != FINGERPRINT:"):
+            w.line('raise ValueError("compressed trace does not match this specification")')
+        w.line("record_count, pos = _read_varint(blob, 13)")
+        w.line("stream_count, pos = _read_varint(blob, pos)")
+        with w.block("if stream_count != expected_streams:"):
+            w.line('raise ValueError("unexpected stream count")')
+        w.line("metas = []")
+        with w.block("for _ in range(stream_count):"):
+            with w.block("if pos >= len(blob):"):
+                w.line('raise ValueError("truncated container")')
+            w.line("codec_id = blob[pos]")
+            w.line("pos += 1")
+            w.line("raw_length, pos = _read_varint(blob, pos)")
+            w.line("stored, pos = _read_varint(blob, pos)")
+            with w.block("if codec_id != CODEC_ID:"):
+                w.line('raise ValueError("unexpected stream codec")')
+            w.line("metas.append((raw_length, stored))")
+        w.line("streams = []")
+        with w.block("for raw_length, stored in metas:"):
+            with w.block("if pos + stored > len(blob):"):
+                w.line('raise ValueError("truncated stream payload")')
+            w.line("data = _post_decompress(blob[pos : pos + stored])")
+            with w.block("if len(data) != raw_length:"):
+                w.line('raise ValueError("stream length mismatch")')
+            w.line("streams.append(data)")
+            w.line("pos += stored")
+        with w.block("if pos != len(blob):"):
+            w.line('raise ValueError("trailing bytes after last stream")')
+        w.line("return record_count, streams")
+    w.line()
+
+
+def _emit_fresh_tables(w: CodeWriter, plans: list[FieldPlan]) -> None:
+    names: list[str] = []
+    with w.block("def _fresh_tables():"):
+        w.line('"""Allocate zeroed predictor tables (one call per run)."""')
+        for plan in plans:
+            for last in plan.lasts:
+                code = _TYPECODES[last.elem_bytes]
+                size = last.lines * last.depth
+                w.line(
+                    f'{last.name} = array("{code}", bytes({last.elem_bytes} * {size}))'
+                )
+                names.append(last.name)
+            for chain in plan.chains:
+                code = _TYPECODES[chain.elem_bytes]
+                size = chain.lines * chain.span
+                w.line(
+                    f'{chain.name} = array("{code}", bytes({chain.elem_bytes} * {size}))'
+                )
+                names.append(chain.name)
+            for l2 in plan.l2s:
+                code = _TYPECODES[l2.elem_bytes]
+                size = l2.lines * l2.depth
+                w.line(f'{l2.name} = array("{code}", bytes({l2.elem_bytes} * {size}))')
+                names.append(l2.name)
+        w.line("return (")
+        w.indent()
+        for name in names:
+            w.line(f"{name},")
+        w.dedent()
+        w.line(")")
+    w.line()
+    # Remember the tuple order for the unpacking emitted in compress/decompress.
+    w._table_names = names  # type: ignore[attr-defined]
+
+
+def _emit_table_unpack(w: CodeWriter) -> None:
+    names = w._table_names  # type: ignore[attr-defined]
+    w.line("(")
+    w.indent()
+    for name in names:
+        w.line(f"{name},")
+    w.dedent()
+    w.line(") = _fresh_tables()")
+
+
+def _emit_compress(
+    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+) -> None:
+    spec = model.spec
+    with w.block("def compress(raw):"):
+        w.line('"""Compress raw trace bytes into a container blob."""')
+        w.line("global _last_usage")
+        with w.block("if (len(raw) - HEADER_BYTES) % RECORD_BYTES:"):
+            w.line('raise ValueError("trace does not frame into records")')
+        w.line("record_count = (len(raw) - HEADER_BYTES) // RECORD_BYTES")
+        _emit_table_unpack(w)
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"codes{f} = bytearray()")
+            w.line(f"values{f} = bytearray()")
+            w.line(f"usage{f} = [0] * {plan.layout.total_predictions + 1}")
+        w.line("pos = HEADER_BYTES")
+        pc_f = model.pc_field.index
+        with w.block("for _ in range(record_count):"):
+            unpack_targets = ", ".join(f"value{plan.layout.index}" for plan in plans)
+            w.line(f"{unpack_targets}{',' if len(plans) == 1 else ''} = _RECORD.unpack_from(raw, pos)")
+            w.line("pos += RECORD_BYTES")
+            for plan in order:
+                layout = plan.layout
+                f = layout.index
+                emitter = _FieldEmitter(plan, model.options.smart_update)
+                pc_var = "0" if layout.is_pc else f"value{pc_f}"
+                vars = emitter.emit_begin(w, pc_var)
+                value = vars.value
+                w.line(f"# field {f}: match the value against the predictions")
+                for code, pvar in enumerate(vars.predictions):
+                    keyword = "if" if code == 0 else "elif"
+                    with w.block(f"{keyword} {value} == {pvar}:"):
+                        w.line(f"code = {code}")
+                with w.block("else:"):
+                    w.line(f"code = {layout.miss_code}")
+                    w.line(f'values{f} += {value}.to_bytes({layout.value_bytes}, "little")')
+                if layout.code_bytes == 1:
+                    w.line(f"codes{f}.append(code)")
+                else:
+                    w.line(f'codes{f} += code.to_bytes({layout.code_bytes}, "little")')
+                w.line(f"usage{f}[code] += 1")
+                emitter.emit_commit(w, vars)
+        w.line(f"_last_usage = [{', '.join(f'usage{p.layout.index}' for p in plans)}]")
+        w.line("streams = []")
+        if spec.header_bits:
+            w.line("streams.append(raw[:HEADER_BYTES])")
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"streams.append(codes{f})")
+            w.line(f"streams.append(values{f})")
+        w.line("return _encode_container(record_count, streams)")
+    w.line()
+
+
+def _emit_decompress(
+    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+) -> None:
+    spec = model.spec
+    stream_count = model.stream_count
+    with w.block("def decompress(blob):"):
+        w.line('"""Rebuild the exact original trace bytes from a blob."""')
+        w.line(f"record_count, streams = _decode_container(blob, {stream_count})")
+        cursor = 0
+        if spec.header_bits:
+            w.line("header = streams[0]")
+            with w.block("if len(header) != HEADER_BYTES:"):
+                w.line('raise ValueError("bad header stream length")')
+            cursor = 1
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"codes{f} = streams[{cursor}]")
+            w.line(f"values{f} = streams[{cursor + 1}]")
+            cursor += 2
+        for plan in plans:
+            f = plan.layout.index
+            cb = plan.layout.code_bytes
+            with w.block(f"if len(codes{f}) != record_count * {cb}:"):
+                w.line(f'raise ValueError("field {f} code stream length mismatch")')
+            w.line(f"vpos{f} = 0")
+        _emit_table_unpack(w)
+        w.line("out = bytearray()")
+        if spec.header_bits:
+            w.line("out += header")
+        pc_f = model.pc_field.index
+        with w.block(f"for record in range(record_count):"):
+            for plan in order:
+                layout = plan.layout
+                f = layout.index
+                emitter = _FieldEmitter(plan, model.options.smart_update)
+                pc_var = "0" if layout.is_pc else f"value{pc_f}"
+                vars = emitter.emit_begin(w, pc_var)
+                cb = layout.code_bytes
+                if cb == 1:
+                    w.line(f"code = codes{f}[record]")
+                else:
+                    w.line(
+                        f'code = int.from_bytes(codes{f}[record * {cb} : record * {cb} + {cb}], "little")'
+                    )
+                for code, pvar in enumerate(vars.predictions):
+                    keyword = "if" if code == 0 else "elif"
+                    with w.block(f"{keyword} code == {code}:"):
+                        w.line(f"{vars.value} = {pvar}")
+                with w.block(f"elif code == {layout.miss_code}:"):
+                    vb = layout.value_bytes
+                    w.line(
+                        f'{vars.value} = int.from_bytes(values{f}[vpos{f} : vpos{f} + {vb}], "little") & {hex(layout.mask)}'
+                    )
+                    w.line(f"vpos{f} += {vb}")
+                with w.block("else:"):
+                    w.line(f'raise ValueError("field {f}: invalid code")')
+                emitter.emit_commit(w, vars)
+            pack_args = ", ".join(f"value{plan.layout.index}" for plan in plans)
+            w.line(f"out += _RECORD.pack({pack_args})")
+        for plan in plans:
+            f = plan.layout.index
+            with w.block(f"if vpos{f} != len(values{f}):"):
+                w.line(f'raise ValueError("field {f} value stream not fully consumed")')
+        w.line("return bytes(out)")
+    w.line()
+
+
+def _emit_usage_report(w: CodeWriter, model: CompressorModel, plans: list[FieldPlan]) -> None:
+    with w.block("def usage_report():"):
+        w.line('"""Predictor usage feedback from the most recent compression."""')
+        with w.block("if _last_usage is None:"):
+            w.line('return "no compression has run yet"')
+        w.line('lines = ["predictor usage:"]')
+        for position, plan in enumerate(plans):
+            layout = plan.layout
+            labels = []
+            for resolved in layout.predictors:
+                labels += [
+                    f"{resolved.spec} slot {slot}" for slot in range(resolved.spec.depth)
+                ]
+            labels.append("miss")
+            w.line(f"counts = _last_usage[{position}]")
+            w.line("total = sum(counts) or 1")
+            w.line(
+                f'lines.append("  field {layout.index} '
+                f'({layout.width_bits}-bit{", PC" if layout.is_pc else ""}):")'
+            )
+            w.line(f"names = {labels!r}")
+            with w.block("for code, (name, count) in enumerate(zip(names, counts)):"):
+                w.line(
+                    'lines.append("    code %2d %-14s %10d (%.1f%%)" % (code, name, count, 100.0 * count / total))'
+                )
+        w.line('return "\\n".join(lines)')
+    w.line()
+
+
+def _emit_main(w: CodeWriter) -> None:
+    with w.block("def main(argv=None):"):
+        w.line('"""Filter: compress stdin to stdout; -d decompresses."""')
+        w.line("argv = sys.argv[1:] if argv is None else argv")
+        w.line("data = sys.stdin.buffer.read()")
+        with w.block('if "-d" in argv:'):
+            w.line("sys.stdout.buffer.write(decompress(data))")
+        with w.block("else:"):
+            w.line("sys.stdout.buffer.write(compress(data))")
+            w.line("print(usage_report(), file=sys.stderr)")
+        w.line("return 0")
+    w.line()
+    w.line()
+    with w.block('if __name__ == "__main__":'):
+        w.line("raise SystemExit(main())")

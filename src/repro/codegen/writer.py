@@ -1,0 +1,56 @@
+"""Indented source writer shared by the code-generation backends.
+
+The paper stresses that TCgen's output is human readable: correctly
+indented, one statement per line, no macros, meaningful names.  This tiny
+writer enforces the indentation part mechanically.
+"""
+
+from __future__ import annotations
+
+
+class CodeWriter:
+    """Accumulates source lines with block indentation."""
+
+    def __init__(self, indent_unit: str = "    ") -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+        self._unit = indent_unit
+
+    def line(self, text: str = "") -> None:
+        """Emit one line at the current indentation (blank stays blank)."""
+        if text:
+            self._lines.append(self._unit * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, *texts: str) -> None:
+        for text in texts:
+            self.line(text)
+
+    def indent(self) -> None:
+        self._depth += 1
+
+    def dedent(self) -> None:
+        if self._depth == 0:
+            raise ValueError("dedent below zero")
+        self._depth -= 1
+
+    def block(self, opener: str) -> "_Block":
+        """Context manager: emit ``opener``, indent inside the ``with``."""
+        self.line(opener)
+        return _Block(self)
+
+    def getvalue(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class _Block:
+    def __init__(self, writer: CodeWriter) -> None:
+        self._writer = writer
+
+    def __enter__(self) -> CodeWriter:
+        self._writer.indent()
+        return self._writer
+
+    def __exit__(self, *exc) -> None:
+        self._writer.dedent()

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the TCgen reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SpecError(ReproError):
+    """Base class for trace-specification problems."""
+
+
+class LexError(SpecError):
+    """Raised when the specification text contains an invalid token.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"lex error at {line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SpecError):
+    """Raised when the token stream does not match the TCgen grammar.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"parse error at {line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(SpecError):
+    """Raised when a syntactically valid specification is semantically wrong.
+
+    Examples: a table size that is not a power of two, a PC definition that
+    names a missing field, or a field with no predictors.
+    """
+
+
+class CodegenError(ReproError):
+    """Raised when source generation or compilation of generated code fails."""
+
+
+class TraceFormatError(ReproError):
+    """Raised when raw trace bytes do not match the declared record format."""
+
+
+class CompressedFormatError(ReproError):
+    """Raised when a compressed blob is corrupt, truncated, or mismatched."""

@@ -1,0 +1,26 @@
+"""Performance metrics and result tables (paper Section 6.5).
+
+Three higher-is-better metrics, inversely normalized to the uncompressed
+trace size (so they are independent of trace length, and the harmonic mean
+is the natural average):
+
+- **compression rate** = uncompressed size / compressed size (unitless);
+- **decompression speed** = uncompressed size / decompression time (B/s);
+- **compression speed** = uncompressed size / compression time (B/s).
+"""
+
+from repro.metrics.perf import (
+    Measurement,
+    ResultTable,
+    harmonic_mean,
+    measure,
+    verify_roundtrip,
+)
+
+__all__ = [
+    "Measurement",
+    "ResultTable",
+    "harmonic_mean",
+    "measure",
+    "verify_roundtrip",
+]

@@ -1,0 +1,146 @@
+"""Measurement harness: run a compressor on a trace, collect the metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """The paper's average for inversely normalized metrics."""
+    if not values:
+        raise ReproError("harmonic mean of an empty list")
+    if any(v <= 0 for v in values):
+        raise ReproError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+@dataclass
+class Measurement:
+    """One (compressor, trace) measurement."""
+
+    algorithm: str
+    workload: str
+    kind: str
+    uncompressed_bytes: int
+    compressed_bytes: int
+    compress_seconds: float
+    decompress_seconds: float
+
+    @property
+    def compression_rate(self) -> float:
+        return self.uncompressed_bytes / self.compressed_bytes
+
+    @property
+    def compression_speed(self) -> float:
+        """Bytes of original trace compressed per second."""
+        return self.uncompressed_bytes / self.compress_seconds
+
+    @property
+    def decompression_speed(self) -> float:
+        """Bytes of original trace regenerated per second."""
+        return self.uncompressed_bytes / self.decompress_seconds
+
+
+def verify_roundtrip(compressor, raw: bytes, blob: bytes) -> None:
+    """The paper's post-run "diff": decompress and compare byte-for-byte."""
+    out = compressor.decompress(blob)
+    if out != raw:
+        raise ReproError(
+            f"{compressor.name}: decompressed trace differs from the original "
+            f"({len(out)} vs {len(raw)} bytes)"
+        )
+
+
+def measure(
+    compressor, raw: bytes, workload: str = "?", kind: str = "?", verify: bool = True
+) -> Measurement:
+    """Time one compress/decompress cycle (CPU-side, no disk I/O)."""
+    start = time.perf_counter()
+    blob = compressor.compress(raw)
+    compress_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    out = compressor.decompress(blob)
+    decompress_seconds = time.perf_counter() - start
+    if verify and out != raw:
+        raise ReproError(
+            f"{compressor.name} on {workload}/{kind}: roundtrip mismatch"
+        )
+    return Measurement(
+        algorithm=compressor.name,
+        workload=workload,
+        kind=kind,
+        uncompressed_bytes=len(raw),
+        compressed_bytes=len(blob),
+        compress_seconds=max(compress_seconds, 1e-9),
+        decompress_seconds=max(decompress_seconds, 1e-9),
+    )
+
+
+@dataclass
+class ResultTable:
+    """A collection of measurements with paper-style summaries."""
+
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def add(self, measurement: Measurement) -> None:
+        self.measurements.append(measurement)
+
+    def algorithms(self) -> list[str]:
+        seen: list[str] = []
+        for m in self.measurements:
+            if m.algorithm not in seen:
+                seen.append(m.algorithm)
+        return seen
+
+    def kinds(self) -> list[str]:
+        seen: list[str] = []
+        for m in self.measurements:
+            if m.kind not in seen:
+                seen.append(m.kind)
+        return seen
+
+    def select(self, algorithm: str | None = None, kind: str | None = None):
+        return [
+            m
+            for m in self.measurements
+            if (algorithm is None or m.algorithm == algorithm)
+            and (kind is None or m.kind == kind)
+        ]
+
+    def summary(self, metric: str) -> dict[tuple[str, str], float]:
+        """Harmonic-mean ``metric`` per (algorithm, trace kind)."""
+        result: dict[tuple[str, str], float] = {}
+        for algorithm in self.algorithms():
+            for kind in self.kinds():
+                values = [getattr(m, metric) for m in self.select(algorithm, kind)]
+                if values:
+                    result[(algorithm, kind)] = harmonic_mean(values)
+        return result
+
+    def render(self, metric: str, relative_to: str | None = None) -> str:
+        """Text table of harmonic means; optionally relative to one
+        algorithm (the paper's figures normalize to TCgen)."""
+        summary = self.summary(metric)
+        kinds = self.kinds()
+        algorithms = self.algorithms()
+        width = max(len(a) for a in algorithms) + 2
+        header = " " * width + "".join(f"{k:>24s}" for k in kinds)
+        lines = [header]
+        for algorithm in algorithms:
+            cells = []
+            for kind in kinds:
+                value = summary.get((algorithm, kind))
+                if value is None:
+                    cells.append(f"{'-':>24s}")
+                    continue
+                if relative_to:
+                    base = summary[(relative_to, kind)]
+                    cells.append(f"{value / base:>23.3f}x")
+                else:
+                    cells.append(f"{value:>24.3f}")
+            lines.append(f"{algorithm:<{width}s}" + "".join(cells))
+        return "\n".join(lines)

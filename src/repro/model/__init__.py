@@ -1,0 +1,21 @@
+"""Resolved compressor models.
+
+A :class:`~repro.model.layout.CompressorModel` is the bridge between a
+parsed specification and executable code: predictors renamed to dense
+identification codes, tables shared and sized, element types minimized, and
+the four application-specific optimizations from the paper's Section 5
+resolved into concrete layout decisions.  Both the interpreted engine and
+the code generators consume this model, which is what keeps them
+byte-for-byte interchangeable.
+"""
+
+from repro.model.layout import CompressorModel, FieldLayout, ResolvedPredictor, build_model
+from repro.model.optimize import OptimizationOptions
+
+__all__ = [
+    "CompressorModel",
+    "FieldLayout",
+    "ResolvedPredictor",
+    "OptimizationOptions",
+    "build_model",
+]

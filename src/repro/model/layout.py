@@ -1,0 +1,281 @@
+"""Resolution of a specification into a concrete compressor layout.
+
+This performs the paper's Section 5.2 work ahead of code generation:
+
+- **renaming** — every prediction gets a dense identification code; codes
+  for one field run ``0 .. total_predictions-1`` with ``total_predictions``
+  reserved as the miss code;
+- **table sizing** — an order-x (D)FCM gets ``L2 * 2**(x-1)`` second-level
+  lines; first-level chains are sized for the field's highest order and
+  shared by lower orders;
+- **table sharing/coalescing** — one last-value table per field serves all
+  LV and DFCM predictors; one FCM chain serves all FCM orders, one DFCM
+  chain all DFCM orders (subject to the ``shared_tables`` option);
+- **type minimization** — the smallest sufficient element widths for every
+  table and output stream (subject to ``type_minimization``);
+- **dead-code facts** — which structures a field does *not* need (no
+  last-value table without LV/DFCM, no stride logic without DFCM, no
+  header stream for a headerless format), which the generators use to omit
+  code entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.model.optimize import OptimizationOptions
+from repro.predictors.hashing import HashParams
+from repro.spec.ast import FieldSpec, PredictorKind, PredictorSpec, TraceSpec
+from repro.spec.validate import validate_spec
+
+
+def storage_bytes(bits: int) -> int:
+    """Smallest power-of-two byte width holding ``bits`` bits (max 8)."""
+    for width in (1, 2, 4, 8):
+        if bits <= 8 * width:
+            return width
+    raise ValidationError(f"{bits} bits exceed the 64-bit storage limit")
+
+
+@dataclass(frozen=True)
+class ResolvedPredictor:
+    """One predictor with its dense code range and concrete table sizes."""
+
+    spec: PredictorSpec
+    first_code: int  # codes are first_code .. first_code + depth - 1
+    l2_lines: int  # 0 for LV predictors
+
+    @property
+    def codes(self) -> range:
+        return range(self.first_code, self.first_code + self.spec.depth)
+
+    @property
+    def name(self) -> str:
+        return str(self.spec).replace("[", "_").replace("]", "")
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Everything code generation needs to know about one field."""
+
+    spec: FieldSpec
+    is_pc: bool
+    byte_offset: int  # offset of the field within a record
+    predictors: tuple[ResolvedPredictor, ...]
+    # Shared-structure facts (sizes are valid even when sharing is off;
+    # unshared predictors replicate these structures privately).
+    lv_depth: int  # 0 = no last-value table needed
+    fcm_params: HashParams | None  # None = no FCM predictors
+    dfcm_params: HashParams | None  # None = no DFCM predictors
+    # Stream element widths (already account for type_minimization).
+    code_bytes: int
+    value_bytes: int
+    # Table element widths (already account for type_minimization).
+    elem_bytes: int  # value/stride table elements
+    fcm_chain_bytes: int
+    dfcm_chain_bytes: int
+
+    @property
+    def index(self) -> int:
+        return self.spec.index
+
+    @property
+    def width_bits(self) -> int:
+        return self.spec.bits
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.spec.bits) - 1
+
+    @property
+    def l1_lines(self) -> int:
+        return self.spec.l1_size
+
+    @property
+    def total_predictions(self) -> int:
+        return sum(p.spec.depth for p in self.predictors)
+
+    @property
+    def miss_code(self) -> int:
+        return self.total_predictions
+
+    @property
+    def needs_stride(self) -> bool:
+        """Dead-code fact: strides are computed only for DFCM fields."""
+        return self.dfcm_params is not None
+
+    @property
+    def needs_last_value(self) -> bool:
+        """Dead-code fact: the last-value table exists only for LV/DFCM."""
+        return self.lv_depth > 0
+
+    def table_bytes(self, shared: bool = True) -> int:
+        """Total predictor-table footprint for this field, in bytes."""
+        total = 0
+        if shared:
+            if self.lv_depth:
+                total += self.l1_lines * self.lv_depth * self.elem_bytes
+            if self.fcm_params is not None:
+                total += self.l1_lines * self.fcm_params.max_order * self.fcm_chain_bytes
+            if self.dfcm_params is not None:
+                total += self.l1_lines * self.dfcm_params.max_order * self.dfcm_chain_bytes
+            for pred in self.predictors:
+                if pred.spec.has_second_level:
+                    total += pred.l2_lines * pred.spec.depth * self.elem_bytes
+            return total
+        # Unshared: every predictor owns private copies of what it needs.
+        for pred in self.predictors:
+            kind = pred.spec.kind
+            if kind is PredictorKind.LV:
+                total += self.l1_lines * pred.spec.depth * self.elem_bytes
+            elif kind is PredictorKind.FCM:
+                total += self.l1_lines * pred.spec.order * self.fcm_chain_bytes
+                total += pred.l2_lines * pred.spec.depth * self.elem_bytes
+            else:  # DFCM: private chain, L2, and last-value slot
+                total += self.l1_lines * pred.spec.order * self.dfcm_chain_bytes
+                total += pred.l2_lines * pred.spec.depth * self.elem_bytes
+                total += self.l1_lines * self.elem_bytes
+        return total
+
+
+@dataclass(frozen=True)
+class CompressorModel:
+    """A fully resolved compressor: fields, options, stream layout."""
+
+    spec: TraceSpec
+    options: OptimizationOptions
+    fields: tuple[FieldLayout, ...]  # in record order
+
+    @property
+    def pc_field(self) -> FieldLayout:
+        for field in self.fields:
+            if field.is_pc:
+                return field
+        raise AssertionError("model without a PC field")
+
+    @property
+    def process_order(self) -> tuple[FieldLayout, ...]:
+        """Fields in processing order: the PC field always comes first
+        (its value indexes the other fields' tables)."""
+        pc = self.pc_field
+        rest = tuple(f for f in self.fields if not f.is_pc)
+        return (pc,) + rest
+
+    @property
+    def stream_count(self) -> int:
+        """Header stream (if any) plus a code and a value stream per field."""
+        return (1 if self.spec.header_bits else 0) + 2 * len(self.fields)
+
+    def stream_names(self) -> list[str]:
+        names = ["header"] if self.spec.header_bits else []
+        for field in self.fields:
+            names.append(f"field{field.index}_codes")
+            names.append(f"field{field.index}_values")
+        return names
+
+    def table_bytes(self) -> int:
+        """Total predictor-table footprint (the paper's reported number)."""
+        shared = self.options.shared_tables
+        return sum(field.table_bytes(shared=shared) for field in self.fields)
+
+    def total_predictions(self) -> int:
+        """What the paper calls the number of "predictors"."""
+        return sum(field.total_predictions for field in self.fields)
+
+    def fingerprint(self) -> int:
+        return self.spec.fingerprint()
+
+
+def _resolve_field(
+    field: FieldSpec, is_pc: bool, byte_offset: int, options: OptimizationOptions
+) -> FieldLayout:
+    lv_depths = [p.depth for p in field.predictors if p.kind is PredictorKind.LV]
+    fcm_orders = [p.order for p in field.predictors if p.kind is PredictorKind.FCM]
+    dfcm_orders = [p.order for p in field.predictors if p.kind is PredictorKind.DFCM]
+
+    lv_depth = max(lv_depths, default=0)
+    if dfcm_orders and lv_depth == 0:
+        lv_depth = 1  # DFCM needs the most recent value for strides
+
+    fcm_params = (
+        HashParams.derive(
+            field.bits, field.l2_size, max(fcm_orders), options.adaptive_shift
+        )
+        if fcm_orders
+        else None
+    )
+    dfcm_params = (
+        HashParams.derive(
+            field.bits, field.l2_size, max(dfcm_orders), options.adaptive_shift
+        )
+        if dfcm_orders
+        else None
+    )
+
+    predictors = []
+    next_code = 0
+    for pred in field.predictors:
+        l2_lines = 0
+        if pred.has_second_level:
+            l2_lines = field.l2_size << (pred.order - 1)
+        predictors.append(
+            ResolvedPredictor(spec=pred, first_code=next_code, l2_lines=l2_lines)
+        )
+        next_code += pred.depth
+
+    if options.type_minimization:
+        elem_bytes = field.bytes
+        value_bytes = field.bytes
+        code_bytes = 1 if next_code + 1 <= 256 else 2
+        fcm_chain_bytes = (
+            storage_bytes(fcm_params.order_bits(fcm_params.max_order))
+            if fcm_params
+            else 0
+        )
+        dfcm_chain_bytes = (
+            storage_bytes(dfcm_params.order_bits(dfcm_params.max_order))
+            if dfcm_params
+            else 0
+        )
+    else:
+        # Native widths: values in long long, codes in int, like naive C.
+        elem_bytes = 8
+        value_bytes = 8
+        code_bytes = 4
+        fcm_chain_bytes = 8 if fcm_params else 0
+        dfcm_chain_bytes = 8 if dfcm_params else 0
+
+    return FieldLayout(
+        spec=field,
+        is_pc=is_pc,
+        byte_offset=byte_offset,
+        predictors=tuple(predictors),
+        lv_depth=lv_depth,
+        fcm_params=fcm_params,
+        dfcm_params=dfcm_params,
+        code_bytes=code_bytes,
+        value_bytes=value_bytes,
+        elem_bytes=elem_bytes,
+        fcm_chain_bytes=fcm_chain_bytes,
+        dfcm_chain_bytes=dfcm_chain_bytes,
+    )
+
+
+def build_model(
+    spec: TraceSpec, options: OptimizationOptions | None = None
+) -> CompressorModel:
+    """Resolve a validated specification into a :class:`CompressorModel`."""
+    validate_spec(spec)
+    options = options or OptimizationOptions.full()
+    fields = []
+    offset = 0
+    for field in spec.fields:
+        fields.append(
+            _resolve_field(
+                field, is_pc=field.index == spec.pc_field, byte_offset=offset,
+                options=options,
+            )
+        )
+        offset += field.bytes
+    return CompressorModel(spec=spec, options=options, fields=tuple(fields))

@@ -1,0 +1,85 @@
+"""Optimization and enhancement switches (paper Sections 5.2 and 5.3).
+
+Each flag corresponds to a row of Table 2 or an algorithmic enhancement
+over VPC3.  All flags default to on — the paper's "full optimizations"
+configuration.  The table below maps flags to the paper:
+
+=================== =====================================================
+``smart_update``    update a table line only when the value differs from
+                    the line's first entry (off = VPC3's always-update)
+``type_minimization`` smallest sufficient element types for tables and
+                    output streams (off = native int/long long widths)
+``shared_tables``   one last-value table and one first-level hash chain
+                    per field, shared across predictors (off = every
+                    predictor owns private copies)
+``fast_hash``       incremental select-fold-shift-xor hashing (off =
+                    recompute every hash from scratch; same hash values)
+``adaptive_shift``  small-field hash enhancement: widen the per-step
+                    shift when the field is narrower than the index space
+                    (off = VPC3's fixed shift of 1)
+=================== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.predictors.tables import UpdatePolicy
+
+
+@dataclass(frozen=True)
+class OptimizationOptions:
+    """Which of TCgen's optimizations are active."""
+
+    smart_update: bool = True
+    type_minimization: bool = True
+    shared_tables: bool = True
+    fast_hash: bool = True
+    adaptive_shift: bool = True
+
+    @property
+    def update_policy(self) -> UpdatePolicy:
+        return UpdatePolicy.SMART if self.smart_update else UpdatePolicy.ALWAYS
+
+    @classmethod
+    def full(cls) -> "OptimizationOptions":
+        """All optimizations on (the paper's default configuration)."""
+        return cls()
+
+    @classmethod
+    def none(cls) -> "OptimizationOptions":
+        """Table 2's "all of the above" row: the four listed optimizations
+        disabled together.  ``adaptive_shift`` is a VPC3 enhancement rather
+        than a Table 2 row, so it stays on."""
+        return cls(
+            smart_update=False,
+            type_minimization=False,
+            shared_tables=False,
+            fast_hash=False,
+        )
+
+    @classmethod
+    def vpc3(cls) -> "OptimizationOptions":
+        """The configuration emulating the original VPC3 algorithm.
+
+        VPC3 always updates its predictor tables and uses the fixed-shift
+        hash; it does use fast incremental hashing and sensible types.
+        """
+        return cls(smart_update=False, adaptive_shift=False)
+
+    def without(self, name: str) -> "OptimizationOptions":
+        """A copy with one named optimization turned off (Table 2 rows)."""
+        if not hasattr(self, name):
+            raise ValueError(f"unknown optimization {name!r}")
+        return replace(self, **{name: False})
+
+
+#: The ablation rows of Table 2, in paper order.
+TABLE2_ROWS: tuple[tuple[str, OptimizationOptions], ...] = (
+    ("no smart update", OptimizationOptions().without("smart_update")),
+    ("no type minimization", OptimizationOptions().without("type_minimization")),
+    ("no shared tables", OptimizationOptions().without("shared_tables")),
+    ("no fast hash function", OptimizationOptions().without("fast_hash")),
+    ("all of the above", OptimizationOptions.none()),
+    ("full optimizations", OptimizationOptions.full()),
+)

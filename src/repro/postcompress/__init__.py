@@ -1,0 +1,17 @@
+"""Pluggable general-purpose post-compressors.
+
+TCgen's first stage converts a trace into highly compressible streams; a
+general-purpose compressor then squeezes each stream.  The paper uses BZIP2
+but notes "users are free to select any other algorithm" — this registry
+provides bzip2 (the default), zlib, lzma, and an identity codec, each with
+a stable one-byte codec id stored per stream in the container.
+"""
+
+from repro.postcompress.codecs import (
+    Codec,
+    available_codecs,
+    codec_by_id,
+    codec_by_name,
+)
+
+__all__ = ["Codec", "available_codecs", "codec_by_id", "codec_by_name"]

@@ -1,0 +1,54 @@
+"""Codec registry for the post-compression stage."""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CompressedFormatError
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A general-purpose stream compressor with a stable wire id."""
+
+    codec_id: int
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+
+_CODECS = (
+    Codec(0, "identity", lambda data: data, lambda data: data),
+    # The paper's choice: BZIP2 1.0.2 with --best (compresslevel 9).
+    Codec(1, "bzip2", lambda data: bz2.compress(data, 9), bz2.decompress),
+    Codec(2, "zlib", lambda data: zlib.compress(data, 9), zlib.decompress),
+    Codec(3, "lzma", lzma.compress, lzma.decompress),
+)
+
+_BY_ID = {codec.codec_id: codec for codec in _CODECS}
+_BY_NAME = {codec.name: codec for codec in _CODECS}
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Names of all registered codecs."""
+    return tuple(_BY_NAME)
+
+
+def codec_by_name(name: str) -> Codec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise CompressedFormatError(
+            f"unknown codec {name!r}; available: {', '.join(_BY_NAME)}"
+        ) from None
+
+
+def codec_by_id(codec_id: int) -> Codec:
+    try:
+        return _BY_ID[codec_id]
+    except KeyError:
+        raise CompressedFormatError(f"unknown codec id {codec_id}") from None

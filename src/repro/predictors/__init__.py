@@ -1,0 +1,32 @@
+"""Value predictors: the compression engines behind TCgen.
+
+TCgen converts hard-to-compress traces into highly compressible streams by
+predicting each field of each record with a bank of value predictors and
+emitting only predictor identification codes (plus the rare unpredictable
+values).  This package implements the three predictor families from the
+paper's Section 3:
+
+- :class:`LastValuePredictor` — LV[n], the n most recently seen values;
+- :class:`FCMPredictor` — FCMx[n], finite context method of order x;
+- :class:`DFCMPredictor` — DFCMx[n], the differential (stride) FCM.
+
+plus the select-fold-shift-xor hashing (:mod:`repro.predictors.hashing`) and
+the table/update-policy building blocks (:mod:`repro.predictors.tables`)
+shared with the generated code.
+"""
+
+from repro.predictors.dfcm import DFCMPredictor
+from repro.predictors.fcm import FCMPredictor
+from repro.predictors.hashing import HashParams, fold_value
+from repro.predictors.lastvalue import LastValuePredictor
+from repro.predictors.tables import UpdatePolicy, ValueTable
+
+__all__ = [
+    "DFCMPredictor",
+    "FCMPredictor",
+    "HashParams",
+    "LastValuePredictor",
+    "UpdatePolicy",
+    "ValueTable",
+    "fold_value",
+]

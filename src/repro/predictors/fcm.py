@@ -1,0 +1,72 @@
+"""The finite-context-method predictor FCMx[n] (paper Section 3, Figure 2).
+
+An order-x FCM hashes the x most recently seen values (the *context*) and
+predicts the n values that followed the last n occurrences of that same
+context.  FCMs memorize long arbitrary value sequences and predict them
+accurately when they repeat.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.hashing import HashParams
+from repro.predictors.tables import UpdatePolicy, ValueTable
+
+
+class FCMPredictor:
+    """Self-contained FCMx[n] predictor.
+
+    ``l2_size`` is the *base* second-level size from the specification; the
+    actual hash table has ``l2_size * 2**(order-1)`` lines, exactly as TCgen
+    allocates it.  With ``fast_hash`` the first-level table stores partial
+    hashes and updates incrementally; without it, raw value histories are
+    kept and hashes are recomputed from scratch (Table 2's ablation) — the
+    two produce identical predictions.
+    """
+
+    def __init__(
+        self,
+        order: int,
+        depth: int,
+        l2_size: int,
+        lines: int = 1,
+        width_bits: int = 64,
+        policy: UpdatePolicy = UpdatePolicy.SMART,
+        adaptive_shift: bool = True,
+        fast_hash: bool = True,
+    ) -> None:
+        self.order = order
+        self.depth = depth
+        self.lines = lines
+        self.mask = (1 << width_bits) - 1
+        self.policy = policy
+        self.fast_hash = fast_hash
+        self.params = HashParams.derive(
+            width_bits, l2_size, order, adaptive_shift=adaptive_shift
+        )
+        self.l2 = ValueTable(self.params.order_lines(order), depth, self.mask)
+        if fast_hash:
+            self._chains = [self.params.initial_chain() for _ in range(lines)]
+        else:
+            self._histories: list[list[int]] = [[] for _ in range(lines)]
+
+    def _index(self, line: int) -> int:
+        """Current second-level index for first-level ``line``."""
+        if self.fast_hash:
+            return self._chains[line][self.order - 1]
+        return self.params.scratch_hash(self._histories[line], self.order)
+
+    def predict(self, pc: int = 0) -> list[int]:
+        """The ``depth`` predictions for the current record."""
+        return self.l2.read(self._index(pc % self.lines))
+
+    def update(self, value: int, pc: int = 0) -> None:
+        """Absorb the true value: update the hash table, then the context."""
+        line = pc % self.lines
+        value &= self.mask
+        self.l2.update(self._index(line), value, self.policy)
+        if self.fast_hash:
+            self.params.absorb(self._chains[line], value)
+        else:
+            history = self._histories[line]
+            history.insert(0, value)
+            del history[self.order :]

@@ -1,0 +1,140 @@
+"""Select-fold-shift-xor hashing for FCM/DFCM predictors.
+
+An order-x (D)FCM predictor indexes its second-level table with a hash of
+the x most recent values.  Following Sazeides and Smith, each value is
+*folded* (XOR of fixed-width chunks) and the folds are combined with a
+shift-and-xor chain.  Two TCgen properties are reproduced here exactly:
+
+- **Sized index spaces**: the order-x table has ``L2 * 2**(x-1)`` lines, so
+  the order-x hash is ``log2(L2) + x - 1`` bits wide.  With a shift of one
+  bit per step, old contributions fall out of the masked window naturally.
+- **Incremental computation**: the first-level table stores the partial
+  hashes ``h[1..xmax]``; absorbing a new value costs one shift-xor-mask per
+  order, and the intermediate results are exactly the indices of the
+  lower-order predictors ("free" indices, Section 5.2).
+
+TCgen's small-field enhancement is the *adaptive shift*: when a field is
+narrower than the index space (say an 8-bit field feeding a 17-bit index),
+a shift of 1 would leave most table lines unreachable, so the shift grows
+to spread successive folds across the index width (Section 5.3).
+
+:func:`scratch_hash` recomputes the same hash non-incrementally from a raw
+value history; Table 2's "no fast hash function" ablation uses it, and a
+property test asserts it always equals the incremental chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def fold_value(value: int, width_bits: int, fold_bits: int) -> int:
+    """XOR-fold a ``width_bits``-wide value into ``fold_bits`` bits.
+
+    For fields no wider than the index space this is the identity (the
+    "faster for small fields" enhancement: no folding work at all).
+    """
+    if width_bits <= fold_bits:
+        return value
+    mask = (1 << fold_bits) - 1
+    result = 0
+    while value:
+        result ^= value & mask
+        value >>= fold_bits
+    return result
+
+
+@dataclass(frozen=True)
+class HashParams:
+    """Derived hashing constants for one field's FCM or DFCM chain.
+
+    ``index_bits[i]`` (1-based via :meth:`order_bits`) is the width of the
+    order-(i+1) index; ``masks`` are the matching bit masks.
+    """
+
+    width_bits: int  # field width
+    k1: int  # log2 of the base L2 size (order-1 index width)
+    max_order: int
+    fold_bits: int
+    shift: int
+
+    @classmethod
+    def derive(
+        cls,
+        width_bits: int,
+        l2_lines: int,
+        max_order: int,
+        adaptive_shift: bool = True,
+    ) -> "HashParams":
+        """Compute fold width and shift for a field/table combination.
+
+        With ``adaptive_shift`` disabled the classic VPC3 behaviour is used:
+        fold to the order-1 index width and shift by one bit per step.
+        """
+        k1 = l2_lines.bit_length() - 1
+        if l2_lines != 1 << k1:
+            raise ValueError(f"L2 size {l2_lines} is not a power of two")
+        fold_bits = min(width_bits, k1) if k1 else 1
+        shift = 1
+        if adaptive_shift and fold_bits < k1 and max_order > 1:
+            # Spread the max_order folds across the widest index space.
+            top_bits = k1 + max_order - 1
+            shift = max(1, min((top_bits - fold_bits) // (max_order - 1), fold_bits))
+        return cls(
+            width_bits=width_bits,
+            k1=k1,
+            max_order=max_order,
+            fold_bits=fold_bits,
+            shift=shift,
+        )
+
+    def order_bits(self, order: int) -> int:
+        """Index width for an order-``order`` predictor."""
+        return self.k1 + order - 1
+
+    def order_mask(self, order: int) -> int:
+        return (1 << self.order_bits(order)) - 1
+
+    def order_lines(self, order: int) -> int:
+        """Second-level table lines for an order-``order`` predictor."""
+        return 1 << self.order_bits(order)
+
+    def fold(self, value: int) -> int:
+        return fold_value(value, self.width_bits, self.fold_bits)
+
+    # -- incremental chain ---------------------------------------------------
+
+    def initial_chain(self) -> list[int]:
+        """Fresh partial-hash state ``h[0..max_order-1]`` (h[i] = order i+1)."""
+        return [0] * self.max_order
+
+    def absorb(self, chain: list[int], value: int) -> None:
+        """Absorb one value into the partial-hash chain, in place.
+
+        Costs exactly one shift-xor-mask per order (the paper's "only n
+        operations" property); ``chain[i]`` afterwards indexes the
+        order-(i+1) table for the *next* prediction.
+        """
+        folded = self.fold(value)
+        shift = self.shift
+        for i in range(self.max_order - 1, 0, -1):
+            chain[i] = ((chain[i - 1] << shift) ^ folded) & self.order_mask(i + 1)
+        chain[0] = folded & self.order_mask(1)
+
+    # -- non-incremental reference -------------------------------------------
+
+    def scratch_hash(self, history: list[int], order: int) -> int:
+        """Hash of the ``order`` most recent values, computed from scratch.
+
+        ``history`` lists values most-recent-first.  Values beyond the
+        recorded history are treated as zero (matching a zero-initialized
+        incremental chain).  Equivalent to the incremental chain by
+        construction — only slower, which is the point of Table 2's "no
+        fast hash function" row.
+        """
+        result = 0
+        for step in range(1, order + 1):
+            position = order - step  # oldest first
+            value = history[position] if position < len(history) else 0
+            result = ((result << self.shift) ^ self.fold(value)) & self.order_mask(step)
+        return result

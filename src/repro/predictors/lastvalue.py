@@ -1,0 +1,39 @@
+"""The last-value predictor LV[n] (paper Section 3, Figure 1).
+
+Predicts the *n* most recently seen values of the line selected by
+``PC mod s``.  Accurate for repeating and alternating values and for
+repeating sequences of up to *n* arbitrary values.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.tables import UpdatePolicy, ValueTable
+
+
+class LastValuePredictor:
+    """Self-contained LV[n] predictor with ``lines`` first-level lines.
+
+    When no PC is available (for example when the field being predicted *is*
+    the PC), ``lines`` must be 1 and the ``pc`` arguments default to 0.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        lines: int = 1,
+        width_bits: int = 64,
+        policy: UpdatePolicy = UpdatePolicy.SMART,
+    ) -> None:
+        self.depth = depth
+        self.lines = lines
+        self.mask = (1 << width_bits) - 1
+        self.policy = policy
+        self.table = ValueTable(lines, depth, self.mask)
+
+    def predict(self, pc: int = 0) -> list[int]:
+        """The ``depth`` predictions for the current record."""
+        return self.table.read(pc % self.lines)
+
+    def update(self, value: int, pc: int = 0) -> None:
+        """Absorb the true value after (de)compression of the record."""
+        self.table.update(pc % self.lines, value, self.policy)

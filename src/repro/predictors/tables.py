@@ -1,0 +1,82 @@
+"""Prediction tables and update policies.
+
+Every predictor family stores its knowledge in lines of ``depth`` values,
+most recent first.  A line is updated by shifting its entries right one slot
+(discarding the oldest) and writing the new value into the first slot —
+subject to the *update policy*:
+
+- ``ALWAYS`` — VPC3's policy: update unconditionally.  Fast (no search) but
+  lines fill up with duplicates of a repeating value.
+- ``SMART`` — TCgen's enhancement (Section 5.3): update only when the new
+  value differs from the line's first entry.  One comparison per update,
+  and the first two entries of a line are guaranteed distinct, which
+  improves prediction accuracy.
+- ``SEARCH`` — VPC2's policy: update only when the value appears nowhere in
+  the line.  Best retention of distinct values, but the whole line must be
+  searched (slow); included for completeness, not used by the paper's
+  benchmarks.
+
+Tables are stored as flat Python lists (``lines * depth`` slots) so the
+interpreted engine, the generated Python code, and the generated C code all
+share one layout.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class UpdatePolicy(str, Enum):
+    ALWAYS = "always"
+    SMART = "smart"
+    SEARCH = "search"
+
+
+class ValueTable:
+    """A ``lines x depth`` table of masked integer values, flat layout."""
+
+    __slots__ = ("lines", "depth", "mask", "slots")
+
+    def __init__(self, lines: int, depth: int, mask: int) -> None:
+        if lines < 1 or depth < 1:
+            raise ValueError(f"table needs positive geometry, got {lines}x{depth}")
+        self.lines = lines
+        self.depth = depth
+        self.mask = mask
+        self.slots: list[int] = [0] * (lines * depth)
+
+    def first(self, line: int) -> int:
+        """Most recent value in ``line``."""
+        return self.slots[line * self.depth]
+
+    def read(self, line: int, count: int | None = None) -> list[int]:
+        """The ``count`` most recent values in ``line`` (default: all)."""
+        base = line * self.depth
+        count = self.depth if count is None else count
+        return self.slots[base : base + count]
+
+    def insert(self, line: int, value: int) -> None:
+        """Shift the line right one slot and write ``value`` first."""
+        base = line * self.depth
+        if self.depth > 1:
+            self.slots[base + 1 : base + self.depth] = self.slots[
+                base : base + self.depth - 1
+            ]
+        self.slots[base] = value & self.mask
+
+    def update(self, line: int, value: int, policy: UpdatePolicy) -> bool:
+        """Apply ``policy``; return whether the line changed."""
+        value &= self.mask
+        if policy is UpdatePolicy.SMART:
+            if self.slots[line * self.depth] == value:
+                return False
+        elif policy is UpdatePolicy.SEARCH:
+            base = line * self.depth
+            if value in self.slots[base : base + self.depth]:
+                return False
+        self.insert(line, value)
+        return True
+
+    def memory_bytes(self, element_bytes: int) -> int:
+        """Table footprint given the (possibly minimized) element width."""
+        return self.lines * self.depth * element_bytes

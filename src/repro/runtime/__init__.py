@@ -1,0 +1,25 @@
+"""The interpreted compression engine.
+
+:class:`~repro.runtime.engine.TraceEngine` executes a resolved
+:class:`~repro.model.CompressorModel` directly, without code generation.
+It is the semantic oracle for the whole system: the generated Python and C
+compressors must produce byte-identical output, and the differential tests
+enforce exactly that.  It also produces the per-predictor usage feedback
+the paper describes ("to help the user select the most effective
+predictors").
+"""
+
+from repro.runtime.engine import TraceEngine
+from repro.runtime.kernel import FieldKernel
+from repro.runtime.stats import FieldUsage, UsageReport
+from repro.runtime.streaming import iter_records, read_header, record_count
+
+__all__ = [
+    "TraceEngine",
+    "FieldKernel",
+    "FieldUsage",
+    "UsageReport",
+    "iter_records",
+    "read_header",
+    "record_count",
+]

@@ -1,0 +1,234 @@
+"""The interpreted trace compressor.
+
+:class:`TraceEngine` runs a resolved model directly: it splits the trace
+into per-field code and value streams using the prediction kernels, then
+post-compresses every stream with the selected general-purpose codec
+(BZIP2 by default).  Decompression replays the same kernels to rebuild the
+exact original bytes.
+
+This engine is the reference semantics; the generated Python and C
+compressors are specialized versions of this loop and must produce
+byte-identical containers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompressedFormatError
+from repro.model.layout import CompressorModel, build_model
+from repro.model.optimize import OptimizationOptions
+from repro.postcompress import codec_by_id, codec_by_name
+from repro.predictors.tables import UpdatePolicy
+from repro.runtime.kernel import FieldKernel
+from repro.runtime.stats import FieldUsage, UsageReport
+from repro.spec.ast import TraceSpec
+from repro.tio.container import StreamContainer, StreamPayload
+from repro.tio.traceformat import TraceFormat, pack_records, unpack_records
+
+import numpy as np
+
+
+class TraceEngine:
+    """Compress and decompress traces matching one specification.
+
+    The engine is stateless between calls: every :meth:`compress` and
+    :meth:`decompress` starts from fresh (zeroed) predictor tables, exactly
+    like running a newly started generated binary.
+    """
+
+    def __init__(
+        self,
+        spec: TraceSpec,
+        options: OptimizationOptions | None = None,
+        codec: str = "bzip2",
+        update_policy: "UpdatePolicy | None" = None,
+    ) -> None:
+        self.model: CompressorModel = build_model(spec, options)
+        self.codec = codec_by_name(codec)
+        self.update_policy = update_policy
+        self.format = TraceFormat(
+            header_bits=spec.header_bits,
+            field_bits=tuple(f.bits for f in spec.fields),
+            pc_field=spec.pc_field,
+        )
+        self.last_usage: UsageReport | None = None
+
+    # -- compression ---------------------------------------------------------
+
+    def compress(self, raw: bytes) -> bytes:
+        """Compress raw trace bytes into a stream-container blob."""
+        model = self.model
+        header, columns = unpack_records(self.format, raw)
+        values_by_field = {
+            layout.index: column.tolist()
+            for layout, column in zip(model.fields, columns)
+        }
+        record_count = len(columns[0]) if columns else 0
+
+        kernels = {
+            f.index: FieldKernel(f, model.options, policy=self.update_policy)
+            for f in model.fields
+        }
+        code_streams = {f.index: bytearray() for f in model.fields}
+        value_streams = {f.index: bytearray() for f in model.fields}
+        usage = UsageReport(
+            fields=[
+                FieldUsage(f.index, [0] * (f.total_predictions + 1))
+                for f in model.fields
+            ]
+        )
+        usage_by_field = {u.field_index: u for u in usage.fields}
+
+        order = model.process_order
+        pc_index = model.pc_field.index
+        pc_values = values_by_field[pc_index]
+
+        for i in range(record_count):
+            pc = pc_values[i]
+            for layout in order:
+                findex = layout.index
+                value = values_by_field[findex][i]
+                kernel = kernels[findex]
+                predictions = kernel.begin(0 if layout.is_pc else pc)
+                try:
+                    code = predictions.index(value)
+                except ValueError:
+                    code = layout.miss_code
+                    value_streams[findex] += value.to_bytes(
+                        layout.value_bytes, "little"
+                    )
+                code_streams[findex] += code.to_bytes(layout.code_bytes, "little")
+                usage_by_field[findex].counts[code] += 1
+                kernel.commit(value)
+
+        self.last_usage = usage
+        streams: list[StreamPayload] = []
+        if model.spec.header_bits:
+            streams.append(self._encode_stream(bytes(header)))
+        for layout in model.fields:
+            streams.append(self._encode_stream(bytes(code_streams[layout.index])))
+            streams.append(self._encode_stream(bytes(value_streams[layout.index])))
+        container = StreamContainer(
+            fingerprint=model.fingerprint(),
+            record_count=record_count,
+            streams=streams,
+        )
+        return container.encode()
+
+    def _encode_stream(self, data: bytes) -> StreamPayload:
+        return StreamPayload(
+            codec_id=self.codec.codec_id,
+            raw_length=len(data),
+            data=self.codec.compress(data),
+        )
+
+    # -- decompression ---------------------------------------------------------
+
+    def decompress(self, blob: bytes) -> bytes:
+        """Rebuild the exact original trace bytes from a container blob."""
+        model = self.model
+        container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
+        if len(container.streams) != model.stream_count:
+            raise CompressedFormatError(
+                f"expected {model.stream_count} streams, found {len(container.streams)}"
+            )
+
+        cursor = 0
+        if model.spec.header_bits:
+            header = self._decode_stream(container.streams[0], "header")
+            if len(header) != model.spec.header_bytes:
+                raise CompressedFormatError(
+                    f"header stream holds {len(header)} bytes, "
+                    f"format wants {model.spec.header_bytes}"
+                )
+            cursor = 1
+        else:
+            header = b""
+
+        codes: dict[int, bytes] = {}
+        values: dict[int, bytes] = {}
+        for layout in model.fields:
+            codes[layout.index] = self._decode_stream(
+                container.streams[cursor], f"field {layout.index} codes"
+            )
+            values[layout.index] = self._decode_stream(
+                container.streams[cursor + 1], f"field {layout.index} values"
+            )
+            cursor += 2
+
+        record_count = container.record_count
+        for layout in model.fields:
+            expected = record_count * layout.code_bytes
+            if len(codes[layout.index]) != expected:
+                raise CompressedFormatError(
+                    f"field {layout.index} code stream holds "
+                    f"{len(codes[layout.index])} bytes, expected {expected}"
+                )
+
+        kernels = {
+            f.index: FieldKernel(f, model.options, policy=self.update_policy)
+            for f in model.fields
+        }
+        columns: dict[int, list[int]] = {f.index: [0] * record_count for f in model.fields}
+        value_pos = {f.index: 0 for f in model.fields}
+
+        order = model.process_order
+        for i in range(record_count):
+            pc = 0
+            for layout in order:
+                findex = layout.index
+                kernel = kernels[findex]
+                predictions = kernel.begin(0 if layout.is_pc else pc)
+                cb = layout.code_bytes
+                code = int.from_bytes(codes[findex][i * cb : (i + 1) * cb], "little")
+                if code < layout.miss_code:
+                    value = predictions[code]
+                elif code == layout.miss_code:
+                    vb = layout.value_bytes
+                    pos = value_pos[findex]
+                    chunk = values[findex][pos : pos + vb]
+                    if len(chunk) != vb:
+                        raise CompressedFormatError(
+                            f"field {findex} value stream exhausted at record {i}"
+                        )
+                    value = int.from_bytes(chunk, "little") & layout.mask
+                    value_pos[findex] = pos + vb
+                else:
+                    raise CompressedFormatError(
+                        f"field {findex} record {i}: code {code} out of range "
+                        f"0..{layout.miss_code}"
+                    )
+                kernel.commit(value)
+                columns[findex][i] = value
+                if layout.is_pc:
+                    pc = value
+
+        for layout in model.fields:
+            if value_pos[layout.index] != len(values[layout.index]):
+                raise CompressedFormatError(
+                    f"field {layout.index} value stream has "
+                    f"{len(values[layout.index]) - value_pos[layout.index]} "
+                    "unconsumed bytes"
+                )
+
+        ordered = [np.array(columns[f.index], dtype=np.uint64) for f in model.fields]
+        return pack_records(self.format, header, ordered)
+
+    def _decode_stream(self, payload: StreamPayload, what: str) -> bytes:
+        codec = codec_by_id(payload.codec_id)
+        try:
+            data = codec.decompress(payload.data)
+        except Exception as exc:
+            raise CompressedFormatError(f"{what}: post-decompression failed: {exc}") from exc
+        if len(data) != payload.raw_length:
+            raise CompressedFormatError(
+                f"{what}: decompressed to {len(data)} bytes, expected {payload.raw_length}"
+            )
+        return data
+
+    # -- reporting -------------------------------------------------------------
+
+    def usage_report(self) -> str:
+        """The paper's post-compression predictor-usage feedback."""
+        if self.last_usage is None:
+            return "no compression has run yet"
+        return self.last_usage.render(self.model)

@@ -1,0 +1,201 @@
+"""Per-field prediction kernel.
+
+A :class:`FieldKernel` owns all predictor state for one record field and
+drives it through the two-phase protocol used by both compression and
+decompression:
+
+1. :meth:`begin` — given the current record's PC, compute all table
+   indices and return the flattened prediction list (one entry per
+   identification code);
+2. :meth:`commit` — given the true field value, update every table so the
+   state after the record is identical on the compressing and the
+   decompressing side.
+
+Sharing semantics follow the paper exactly: with ``shared_tables`` one
+last-value table serves every LV and DFCM predictor of the field, one
+first-level chain serves all FCM orders and one all DFCM orders; without
+it, every predictor owns private (redundantly updated) copies.  Predictions
+are identical either way — only speed and memory differ, which is the
+point of Table 2's ablation.
+"""
+
+from __future__ import annotations
+
+from repro.model.layout import FieldLayout
+from repro.model.optimize import OptimizationOptions
+from repro.predictors.hashing import HashParams
+from repro.predictors.tables import UpdatePolicy, ValueTable
+from repro.spec.ast import PredictorKind
+
+
+class _Chain:
+    """First-level hash state for one (D)FCM family of a field.
+
+    With ``fast_hash`` each line stores the partial hashes ``h[1..max]``;
+    without it, each line stores the raw recent-value history and hashes
+    are recomputed from scratch on demand.
+    """
+
+    __slots__ = ("params", "lines", "fast", "state")
+
+    def __init__(self, params: HashParams, lines: int, fast: bool) -> None:
+        self.params = params
+        self.lines = lines
+        self.fast = fast
+        if fast:
+            self.state = [params.initial_chain() for _ in range(lines)]
+        else:
+            self.state = [[] for _ in range(lines)]
+
+    def index(self, line: int, order: int) -> int:
+        if self.fast:
+            return self.state[line][order - 1]
+        return self.params.scratch_hash(self.state[line], order)
+
+    def absorb(self, line: int, value: int) -> None:
+        if self.fast:
+            self.params.absorb(self.state[line], value)
+        else:
+            history = self.state[line]
+            history.insert(0, value)
+            del history[self.params.max_order :]
+
+
+class _BoundPredictor:
+    """One predictor bound to its (shared or private) state structures."""
+
+    __slots__ = ("kind", "order", "depth", "l2", "chain", "last")
+
+    def __init__(
+        self,
+        kind: PredictorKind,
+        order: int,
+        depth: int,
+        l2: ValueTable | None,
+        chain: _Chain | None,
+        last: ValueTable | None,
+    ) -> None:
+        self.kind = kind
+        self.order = order
+        self.depth = depth
+        self.l2 = l2
+        self.chain = chain
+        self.last = last
+
+
+class FieldKernel:
+    """All predictor state and logic for one field."""
+
+    def __init__(
+        self,
+        layout: FieldLayout,
+        options: OptimizationOptions,
+        policy: UpdatePolicy | None = None,
+    ) -> None:
+        self.layout = layout
+        self.mask = layout.mask
+        self.l1_lines = layout.l1_lines
+        # ``policy`` overrides the options-derived policy; used to exercise
+        # VPC2's SEARCH policy, which the options dataclass (mirroring the
+        # paper's Table 2 switches) does not model.
+        self.policy = policy or options.update_policy
+        self.shared = options.shared_tables
+        fast = options.fast_hash
+
+        shared_last: ValueTable | None = None
+        shared_fcm: _Chain | None = None
+        shared_dfcm: _Chain | None = None
+        if self.shared:
+            if layout.lv_depth:
+                shared_last = ValueTable(self.l1_lines, layout.lv_depth, self.mask)
+            if layout.fcm_params is not None:
+                shared_fcm = _Chain(layout.fcm_params, self.l1_lines, fast)
+            if layout.dfcm_params is not None:
+                shared_dfcm = _Chain(layout.dfcm_params, self.l1_lines, fast)
+
+        self.predictors: list[_BoundPredictor] = []
+        for resolved in layout.predictors:
+            spec = resolved.spec
+            l2 = None
+            chain = None
+            last = None
+            if spec.kind is PredictorKind.LV:
+                last = shared_last or ValueTable(self.l1_lines, spec.depth, self.mask)
+            elif spec.kind is PredictorKind.FCM:
+                l2 = ValueTable(resolved.l2_lines, spec.depth, self.mask)
+                chain = shared_fcm or _Chain(layout.fcm_params, self.l1_lines, fast)
+            else:  # DFCM
+                l2 = ValueTable(resolved.l2_lines, spec.depth, self.mask)
+                chain = shared_dfcm or _Chain(layout.dfcm_params, self.l1_lines, fast)
+                last = shared_last or ValueTable(self.l1_lines, 1, self.mask)
+            self.predictors.append(
+                _BoundPredictor(spec.kind, spec.order, spec.depth, l2, chain, last)
+            )
+
+        # Distinct structures, each updated exactly once per record.
+        self._lasts = _dedup(p.last for p in self.predictors)
+        self._fcm_chains = _dedup(
+            p.chain for p in self.predictors if p.kind is PredictorKind.FCM
+        )
+        self._dfcm_chains = _dedup(
+            p.chain for p in self.predictors if p.kind is PredictorKind.DFCM
+        )
+
+        # Per-record scratch filled by begin() and consumed by commit().
+        self._line = 0
+        self._indices: list[int] = [0] * len(self.predictors)
+
+    # -- the two-phase protocol ---------------------------------------------
+
+    def begin(self, pc: int) -> list[int]:
+        """Compute indices and return the flattened prediction list."""
+        line = pc % self.l1_lines
+        self._line = line
+        predictions: list[int] = []
+        mask = self.mask
+        for slot, pred in enumerate(self.predictors):
+            if pred.kind is PredictorKind.LV:
+                predictions += pred.last.read(line, pred.depth)
+            elif pred.kind is PredictorKind.FCM:
+                index = pred.chain.index(line, pred.order)
+                self._indices[slot] = index
+                predictions += pred.l2.read(index, pred.depth)
+            else:  # DFCM
+                index = pred.chain.index(line, pred.order)
+                self._indices[slot] = index
+                last = pred.last.first(line)
+                predictions += [
+                    (last + stride) & mask for stride in pred.l2.read(index, pred.depth)
+                ]
+        return predictions
+
+    def commit(self, value: int) -> None:
+        """Update all tables with the true value of the current record."""
+        line = self._line
+        value &= self.mask
+        stride = 0
+        if self.layout.needs_stride:
+            # Any bound last-value structure holds the most recent value.
+            stride = (value - self._lasts[0].first(line)) & self.mask
+
+        for slot, pred in enumerate(self.predictors):
+            if pred.kind is PredictorKind.FCM:
+                pred.l2.update(self._indices[slot], value, self.policy)
+            elif pred.kind is PredictorKind.DFCM:
+                pred.l2.update(self._indices[slot], stride, self.policy)
+
+        for chain in self._fcm_chains:
+            chain.absorb(line, value)
+        for chain in self._dfcm_chains:
+            chain.absorb(line, stride)
+        for last in self._lasts:
+            last.update(line, value, self.policy)
+
+
+def _dedup(items) -> list:
+    """Unique items by identity, preserving order, skipping ``None``."""
+    seen: list = []
+    for item in items:
+        if item is not None and not any(item is s for s in seen):
+            seen.append(item)
+    return seen

@@ -1,0 +1,70 @@
+"""Predictor-usage statistics.
+
+After each compression TCgen's generated code prints how often every
+predictor identification code was used; the paper recommends starting from
+a wide predictor selection and pruning the useless ones based on this
+feedback (Section 7.5).  :class:`UsageReport` carries the same information
+programmatically and renders the same human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.layout import CompressorModel, FieldLayout
+
+
+@dataclass
+class FieldUsage:
+    """Hit counts per identification code for one field.
+
+    ``counts[code]`` is how many records used that code; the final slot
+    (the miss code) counts unpredictable values.
+    """
+
+    field_index: int
+    counts: list[int]
+
+    @property
+    def records(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def misses(self) -> int:
+        return self.counts[-1]
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.records
+        return (total - self.misses) / total if total else 0.0
+
+
+@dataclass
+class UsageReport:
+    """Per-field usage statistics for one compression run."""
+
+    fields: list[FieldUsage] = field(default_factory=list)
+
+    def render(self, model: CompressorModel) -> str:
+        """Human-readable report matching the generated code's output."""
+        lines = ["predictor usage:"]
+        for usage, layout in zip(self.fields, model.fields):
+            lines.append(
+                f"  field {usage.field_index} "
+                f"({layout.width_bits}-bit{', PC' if layout.is_pc else ''}): "
+                f"{usage.hit_ratio:.1%} predicted"
+            )
+            code = 0
+            for resolved in layout.predictors:
+                for slot in range(resolved.spec.depth):
+                    share = usage.counts[code] / usage.records if usage.records else 0.0
+                    lines.append(
+                        f"    code {code:2d} {resolved.spec!s:>9s} "
+                        f"slot {slot}: {usage.counts[code]:10d} ({share:.1%})"
+                    )
+                    code += 1
+            lines.append(
+                f"    code {code:2d} {'miss':>9s}        : "
+                f"{usage.counts[code]:10d} ({(usage.misses / usage.records if usage.records else 0.0):.1%})"
+            )
+        return "\n".join(lines)

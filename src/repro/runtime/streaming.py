@@ -1,0 +1,127 @@
+"""Streaming access to compressed traces.
+
+Section 7.2 of the paper observes that TCgen decompresses faster than many
+disks and networks deliver, "suggesting that it may be faster to drive
+simulators and other trace-consumption tools by TCgen rather than from an
+uncompressed file on the hard drive".  This module provides that
+consumption path: :func:`iter_records` decodes a compressed container
+record by record, yielding field-value tuples without ever materializing
+the uncompressed trace bytes.
+
+Example::
+
+    from repro.runtime.streaming import iter_records
+    from repro.cachesim import SetAssociativeCache, CacheConfig
+
+    cache = SetAssociativeCache(CacheConfig(32 * 1024, 64, 4))
+    for pc, address in iter_records(spec, blob):
+        cache.access(address)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CompressedFormatError
+from repro.model.layout import build_model
+from repro.model.optimize import OptimizationOptions
+from repro.postcompress import codec_by_id
+from repro.runtime.kernel import FieldKernel
+from repro.spec.ast import TraceSpec
+from repro.tio.container import StreamContainer
+
+
+def iter_records(
+    spec: TraceSpec,
+    blob: bytes,
+    options: OptimizationOptions | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Yield one tuple of field values per record, in record-field order.
+
+    The header bytes (if any) are skipped; use :func:`read_header` when
+    they are needed.  State is reconstructed incrementally, so the caller
+    can stop early without paying for the rest of the trace (beyond the
+    up-front per-stream post-decompression).
+    """
+    model = build_model(spec, options)
+    container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
+    if len(container.streams) != model.stream_count:
+        raise CompressedFormatError(
+            f"expected {model.stream_count} streams, found {len(container.streams)}"
+        )
+
+    cursor = 1 if model.spec.header_bits else 0
+    codes: dict[int, bytes] = {}
+    values: dict[int, bytes] = {}
+    for layout in model.fields:
+        codes[layout.index] = _decode(container.streams[cursor])
+        values[layout.index] = _decode(container.streams[cursor + 1])
+        cursor += 2
+
+    kernels = {f.index: FieldKernel(f, model.options) for f in model.fields}
+    value_pos = {f.index: 0 for f in model.fields}
+    order = model.process_order
+    record_order = [f.index for f in model.fields]
+
+    for i in range(container.record_count):
+        pc = 0
+        current: dict[int, int] = {}
+        for layout in order:
+            findex = layout.index
+            kernel = kernels[findex]
+            predictions = kernel.begin(0 if layout.is_pc else pc)
+            cb = layout.code_bytes
+            code = int.from_bytes(codes[findex][i * cb : (i + 1) * cb], "little")
+            if code < layout.miss_code:
+                value = predictions[code]
+            elif code == layout.miss_code:
+                vb = layout.value_bytes
+                pos = value_pos[findex]
+                chunk = values[findex][pos : pos + vb]
+                if len(chunk) != vb:
+                    raise CompressedFormatError(
+                        f"field {findex} value stream exhausted at record {i}"
+                    )
+                value = int.from_bytes(chunk, "little") & layout.mask
+                value_pos[findex] = pos + vb
+            else:
+                raise CompressedFormatError(
+                    f"field {findex} record {i}: code {code} out of range"
+                )
+            kernel.commit(value)
+            current[findex] = value
+            if layout.is_pc:
+                pc = value
+        yield tuple(current[index] for index in record_order)
+
+
+def read_header(spec: TraceSpec, blob: bytes) -> bytes:
+    """The header bytes stored in a compressed container (b'' if none)."""
+    model = build_model(spec)
+    container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
+    if not model.spec.header_bits:
+        return b""
+    header = _decode(container.streams[0])
+    if len(header) != model.spec.header_bytes:
+        raise CompressedFormatError(
+            f"header stream holds {len(header)} bytes, "
+            f"format wants {model.spec.header_bytes}"
+        )
+    return header
+
+
+def record_count(spec: TraceSpec, blob: bytes) -> int:
+    """Number of records in a compressed container, without decoding them."""
+    model = build_model(spec)
+    container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
+    return container.record_count
+
+
+def _decode(payload) -> bytes:
+    codec = codec_by_id(payload.codec_id)
+    data = codec.decompress(payload.data)
+    if len(data) != payload.raw_length:
+        raise CompressedFormatError(
+            f"stream decompressed to {len(data)} bytes, expected {payload.raw_length}"
+        )
+    return data

@@ -1,0 +1,40 @@
+"""The TCgen trace-specification language.
+
+This package implements the input language from the paper's Figure 4: a
+small, case-sensitive description of a binary trace format (header plus
+fixed-width record fields) together with the value predictors used to
+compress each field.
+
+Typical use::
+
+    from repro.spec import parse_spec
+
+    spec = parse_spec('''
+        TCgen Trace Specification;
+        32-Bit Header;
+        32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[2], FCM1[2]};
+        64-Bit Field 2 = {L1 = 65536, L2 = 131072:
+                          DFCM3[2], DFCM1[2], FCM1[2], LV[4]};
+        PC = Field 1;
+    ''')
+"""
+
+from repro.spec.ast import FieldSpec, PredictorKind, PredictorSpec, TraceSpec
+from repro.spec.canonical import format_spec
+from repro.spec.parser import parse_spec
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC, tcgen_a, tcgen_b
+from repro.spec.validate import validate_spec
+
+__all__ = [
+    "FieldSpec",
+    "PredictorKind",
+    "PredictorSpec",
+    "TraceSpec",
+    "format_spec",
+    "parse_spec",
+    "validate_spec",
+    "TCGEN_A_SPEC",
+    "TCGEN_B_SPEC",
+    "tcgen_a",
+    "tcgen_b",
+]

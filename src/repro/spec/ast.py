@@ -1,0 +1,133 @@
+"""Abstract syntax for parsed trace specifications.
+
+These dataclasses are the contract between the parser and everything
+downstream (validation, the resolved compressor model, code generation).
+``L1``/``L2`` sizes keep a ``None`` marker when the user omitted them so
+that the canonical printer can distinguish defaults from explicit values;
+resolved sizes are exposed through :meth:`FieldSpec.l1_size` and
+:meth:`FieldSpec.l2_size`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+#: Default first-level table size when the specification omits ``L1``.
+DEFAULT_L1 = 1
+#: Default second-level table size when the specification omits ``L2``
+#: (the paper's 65,536-line default).
+DEFAULT_L2 = 65536
+
+
+class PredictorKind(str, Enum):
+    """The three predictor families TCgen can emit."""
+
+    LV = "LV"
+    FCM = "FCM"
+    DFCM = "DFCM"
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """One predictor selection, e.g. ``DFCM3[2]`` or ``LV[4]``.
+
+    ``order`` is the context length *x* for FCM/DFCM predictors and 0 for
+    last-value predictors.  ``depth`` is the *n* in ``[n]``: how many values
+    each table line retains, i.e. how many predictions the predictor makes.
+    """
+
+    kind: PredictorKind
+    order: int
+    depth: int
+
+    def __str__(self) -> str:
+        if self.kind is PredictorKind.LV:
+            return f"LV[{self.depth}]"
+        return f"{self.kind.value}{self.order}[{self.depth}]"
+
+    @property
+    def prediction_count(self) -> int:
+        """How many predictions this predictor contributes per record."""
+        return self.depth
+
+    @property
+    def uses_last_value(self) -> bool:
+        """Whether the predictor reads the field's last-value table."""
+        return self.kind in (PredictorKind.LV, PredictorKind.DFCM)
+
+    @property
+    def has_second_level(self) -> bool:
+        """Whether the predictor owns a second-level (hash) table."""
+        return self.kind in (PredictorKind.FCM, PredictorKind.DFCM)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One record field: width, position, table sizes, and predictors."""
+
+    bits: int
+    index: int  # 1-based field number as written in the specification
+    predictors: tuple[PredictorSpec, ...]
+    l1: int | None = None
+    l2: int | None = None
+
+    @property
+    def l1_size(self) -> int:
+        """First-level table size with the default applied."""
+        return DEFAULT_L1 if self.l1 is None else self.l1
+
+    @property
+    def l2_size(self) -> int:
+        """Second-level base size with the default applied."""
+        return DEFAULT_L2 if self.l2 is None else self.l2
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def prediction_count(self) -> int:
+        """Total predictions made for this field per record."""
+        return sum(p.prediction_count for p in self.predictors)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A complete parsed specification: header, fields, and the PC field."""
+
+    header_bits: int
+    fields: tuple[FieldSpec, ...]
+    pc_field: int
+
+    @property
+    def header_bytes(self) -> int:
+        return self.header_bits // 8
+
+    @property
+    def record_bytes(self) -> int:
+        return sum(f.bytes for f in self.fields)
+
+    def field(self, index: int) -> FieldSpec:
+        """Return the field with 1-based number ``index``."""
+        for f in self.fields:
+            if f.index == index:
+                return f
+        raise KeyError(f"no field {index}")
+
+    @property
+    def pc(self) -> FieldSpec:
+        """The field designated as the program counter."""
+        return self.field(self.pc_field)
+
+    def fingerprint(self) -> int:
+        """Stable 64-bit fingerprint of the specification.
+
+        Stored in every compressed blob so that decompression with a
+        compressor generated from a different specification fails loudly.
+        """
+        from repro.spec.canonical import format_spec
+
+        digest = hashlib.sha256(format_spec(self).encode()).digest()
+        return int.from_bytes(digest[:8], "little")

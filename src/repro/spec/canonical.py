@@ -1,0 +1,41 @@
+"""Canonical-form printing of trace specifications.
+
+TCgen echoes a canonical copy of the input specification at the top of every
+generated source file; that text "can directly be used as input to TCgen".
+:func:`format_spec` produces that canonical form, and reparsing its output
+yields a structurally identical :class:`~repro.spec.ast.TraceSpec`
+(a fixpoint the test suite checks by property).
+"""
+
+from __future__ import annotations
+
+from repro.spec.ast import FieldSpec, TraceSpec
+
+
+def _format_field(field: FieldSpec) -> str:
+    sizes = []
+    if field.l1 is not None:
+        sizes.append(f"L1 = {field.l1}")
+    if field.l2 is not None:
+        sizes.append(f"L2 = {field.l2}")
+    preds = ", ".join(str(p) for p in field.predictors)
+    inner = f"{', '.join(sizes)}: {preds}" if sizes else f": {preds}"
+    return f"{field.bits}-Bit Field {field.index} = {{{inner}}};"
+
+
+def format_spec(spec: TraceSpec, comments: dict[int, str] | None = None) -> str:
+    """Render a specification in canonical text form.
+
+    ``comments`` optionally maps a field number to a comment line emitted
+    after that field's declaration (used by the code generators to report
+    prediction counts and table sizes, as the paper describes).
+    """
+    lines = ["TCgen Trace Specification;"]
+    if spec.header_bits:
+        lines.append(f"{spec.header_bits}-Bit Header;")
+    for field in spec.fields:
+        lines.append(_format_field(field))
+        if comments and field.index in comments:
+            lines.append(f"# {comments[field.index]}")
+    lines.append(f"PC = Field {spec.pc_field};")
+    return "\n".join(lines) + "\n"

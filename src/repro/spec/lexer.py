@@ -1,0 +1,75 @@
+"""Lexer for the trace-specification language.
+
+The language is case sensitive, uses ``#`` comments to end of line, and has
+three token classes: keywords, decimal numbers, and single-character
+punctuation.  Predictor names written like ``DFCM3`` lex as the keyword
+``DFCM`` followed by the number ``3``, matching the grammar's
+``'DFCM' Number`` production.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.spec.tokens import KEYWORDS, PUNCTUATION, Token, TokenKind
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split specification text into tokens, ending with a single EOF token.
+
+    Raises :class:`~repro.errors.LexError` on any character or word that is
+    not part of the language.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        char = text[i]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if char == "#":
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, char, line, column))
+            advance(1)
+            continue
+        if char.isdigit():
+            start_line, start_column = line, column
+            start = i
+            while i < n and text[i].isdigit():
+                advance(1)
+            tokens.append(Token(TokenKind.NUMBER, text[start:i], start_line, start_column))
+            continue
+        if char.isalpha():
+            start_line, start_column = line, column
+            start = i
+            while i < n and text[i].isalpha():
+                advance(1)
+            word = text[start:i]
+            if word == "L" and i < n and text[i] in "12":
+                # 'L1' / 'L2' are keywords that embed a digit.
+                advance(1)
+                word = text[start:i]
+            if word not in KEYWORDS:
+                raise LexError(f"unknown word {word!r}", start_line, start_column)
+            tokens.append(Token(TokenKind.KEYWORD, word, start_line, start_column))
+            continue
+        raise LexError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,176 @@
+"""Recursive-descent parser for the trace-specification language.
+
+Implements the EBNF grammar from the paper's Figure 4::
+
+    Description = 'TCgen' 'Trace' 'Specification' ';' [Header] Field {Field} PCDef.
+    Header      = Number '-' 'Bit' 'Header' ';'.
+    Field       = Number '-' 'Bit' 'Field' Number '='
+                  '{' [LevelSizes] ':' Predictors '}' ';'.
+    LevelSizes  = LevelSize [',' LevelSize].
+    LevelSize   = ('L1' '=' Number) | ('L2' '=' Number).
+    Predictors  = Predictor {',' Predictor}.
+    Predictor   = ('DFCM' Number '[' Number ']') | ('FCM' Number '[' Number ']')
+                | ('LV' '[' Number ']').
+    PCDef       = 'PC' '=' 'Field' Number ';'.
+
+One liberalization relative to Figure 4: the ``Header`` clause may be
+omitted entirely (equivalent to ``0-Bit Header;``), matching the paper's
+statement that "if a trace format does not specify a header, no code to
+handle a header is emitted".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.spec.ast import FieldSpec, PredictorKind, PredictorSpec, TraceSpec
+from repro.spec.lexer import tokenize
+from repro.spec.tokens import Token, TokenKind
+from repro.spec.validate import validate_spec
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _fail(self, message: str) -> ParseError:
+        tok = self._current
+        return ParseError(f"{message}, found {tok}", tok.line, tok.column)
+
+    def _advance(self) -> Token:
+        tok = self._current
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._current.is_keyword(word):
+            raise self._fail(f"expected keyword {word!r}")
+        return self._advance()
+
+    def _expect_punct(self, char: str) -> Token:
+        if not self._current.is_punct(char):
+            raise self._fail(f"expected {char!r}")
+        return self._advance()
+
+    def _expect_number(self, what: str) -> int:
+        if self._current.kind is not TokenKind.NUMBER:
+            raise self._fail(f"expected {what}")
+        return int(self._advance().text)
+
+    # -- grammar productions -----------------------------------------------
+
+    def parse_description(self) -> TraceSpec:
+        self._expect_keyword("TCgen")
+        self._expect_keyword("Trace")
+        self._expect_keyword("Specification")
+        self._expect_punct(";")
+
+        header_bits = 0
+        fields: list[FieldSpec] = []
+        # A Number could open either the Header clause or a Field clause;
+        # disambiguate on the keyword after 'Number - Bit'.
+        while self._current.kind is TokenKind.NUMBER:
+            bits = self._expect_number("a bit width")
+            self._expect_punct("-")
+            self._expect_keyword("Bit")
+            if self._current.is_keyword("Header"):
+                if fields:
+                    raise self._fail("the Header clause must precede all fields")
+                if header_bits:
+                    raise self._fail("duplicate Header clause")
+                self._advance()
+                self._expect_punct(";")
+                header_bits = bits
+            elif self._current.is_keyword("Field"):
+                self._advance()
+                fields.append(self._parse_field_body(bits))
+            else:
+                raise self._fail("expected 'Header' or 'Field' after bit width")
+
+        if not fields:
+            raise self._fail("specification declares no fields")
+
+        self._expect_keyword("PC")
+        self._expect_punct("=")
+        self._expect_keyword("Field")
+        pc_field = self._expect_number("a field number")
+        self._expect_punct(";")
+        if self._current.kind is not TokenKind.EOF:
+            raise self._fail("trailing input after PC definition")
+
+        return TraceSpec(
+            header_bits=header_bits, fields=tuple(fields), pc_field=pc_field
+        )
+
+    def _parse_field_body(self, bits: int) -> FieldSpec:
+        index = self._expect_number("a field number")
+        self._expect_punct("=")
+        self._expect_punct("{")
+
+        l1: int | None = None
+        l2: int | None = None
+        while self._current.is_keyword("L1") or self._current.is_keyword("L2"):
+            which = self._advance().text
+            self._expect_punct("=")
+            size = self._expect_number(f"a size for {which}")
+            if which == "L1":
+                if l1 is not None:
+                    raise self._fail("duplicate L1 size")
+                l1 = size
+            else:
+                if l2 is not None:
+                    raise self._fail("duplicate L2 size")
+                l2 = size
+            if self._current.is_punct(","):
+                self._advance()
+            else:
+                break
+
+        self._expect_punct(":")
+
+        predictors = [self._parse_predictor()]
+        while self._current.is_punct(","):
+            self._advance()
+            predictors.append(self._parse_predictor())
+
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return FieldSpec(
+            bits=bits, index=index, predictors=tuple(predictors), l1=l1, l2=l2
+        )
+
+    def _parse_predictor(self) -> PredictorSpec:
+        tok = self._current
+        if tok.is_keyword("LV"):
+            self._advance()
+            self._expect_punct("[")
+            depth = self._expect_number("a predictor depth")
+            self._expect_punct("]")
+            return PredictorSpec(PredictorKind.LV, order=0, depth=depth)
+        if tok.is_keyword("FCM") or tok.is_keyword("DFCM"):
+            kind = PredictorKind(self._advance().text)
+            order = self._expect_number("a predictor order")
+            self._expect_punct("[")
+            depth = self._expect_number("a predictor depth")
+            self._expect_punct("]")
+            return PredictorSpec(kind, order=order, depth=depth)
+        raise self._fail("expected a predictor (LV, FCM, or DFCM)")
+
+
+def parse_spec(text: str, validate: bool = True) -> TraceSpec:
+    """Parse specification text into a :class:`TraceSpec`.
+
+    With ``validate`` (the default) the parsed specification is also
+    semantically checked; see :func:`repro.spec.validate.validate_spec`.
+    """
+    spec = _Parser(tokenize(text)).parse_description()
+    if validate:
+        validate_spec(spec)
+    return spec

@@ -1,0 +1,43 @@
+"""The paper's reference specifications.
+
+``TCGEN_A_SPEC`` is Figure 5 — the VPC3-emulating configuration used for all
+main results.  ``TCGEN_B_SPEC`` is Figure 9 — the wider TCgen(B)
+configuration from the predictor-sensitivity study (Section 7.5), a strict
+superset of TCgen(A).
+"""
+
+from __future__ import annotations
+
+from repro.spec.ast import TraceSpec
+
+#: Figure 5: the TCgen(A) specification (emulates VPC3's trace format).
+TCGEN_A_SPEC = """\
+TCgen Trace Specification;
+32-Bit Header;
+32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[2], FCM1[2]};
+64-Bit Field 2 = {L1 = 65536, L2 = 131072: DFCM3[2], DFCM1[2], FCM1[2], LV[4]};
+PC = Field 1;
+"""
+
+#: Figure 9: the TCgen(B) specification (superset of TCgen(A)).
+TCGEN_B_SPEC = """\
+TCgen Trace Specification;
+32-Bit Header;
+32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[4], FCM1[4]};
+64-Bit Field 2 = {L1 = 65536, L2 = 131072: DFCM3[4], DFCM1[2], FCM1[4], LV[4]};
+PC = Field 1;
+"""
+
+
+def tcgen_a() -> TraceSpec:
+    """Parse and return the TCgen(A) specification (paper Figure 5)."""
+    from repro.spec.parser import parse_spec
+
+    return parse_spec(TCGEN_A_SPEC)
+
+
+def tcgen_b() -> TraceSpec:
+    """Parse and return the TCgen(B) specification (paper Figure 9)."""
+    from repro.spec.parser import parse_spec
+
+    return parse_spec(TCGEN_B_SPEC)

@@ -1,0 +1,56 @@
+"""Token definitions for the trace-specification language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    KEYWORD = auto()
+    NUMBER = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+#: The language's case-sensitive keywords (Figure 4 of the paper).
+KEYWORDS = frozenset(
+    {
+        "TCgen",
+        "Trace",
+        "Specification",
+        "Bit",
+        "Header",
+        "Field",
+        "PC",
+        "L1",
+        "L2",
+        "LV",
+        "FCM",
+        "DFCM",
+    }
+)
+
+#: Single-character punctuation tokens.
+PUNCTUATION = frozenset(";-={}:,[]")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, char: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == char
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "end of input"
+        return repr(self.text)

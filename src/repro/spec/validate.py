@@ -1,0 +1,94 @@
+"""Semantic validation of parsed trace specifications.
+
+The parser only checks syntax; this module enforces the rules the paper
+states in Section 4:
+
+- field widths are 8, 16, 32, or 64 bits (the smallest-sufficient-type
+  machinery targets power-of-two byte widths);
+- the header width is a multiple of 8;
+- L1 and L2 sizes are powers of two ("to make the modulo computations
+  fast");
+- every field has at least one predictor;
+- field numbers are consecutive starting at 1;
+- the PC definition names an existing field;
+- the PC field's L1 size is 1 ("no index is available and the level-one
+  predictor size has to be set to one");
+- FCM/DFCM orders and all predictor depths are at least 1, with sanity
+  ceilings to keep table allocations bounded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.spec.ast import FieldSpec, PredictorKind, TraceSpec
+
+#: Widths the record machinery supports.
+ALLOWED_FIELD_BITS = (8, 16, 32, 64)
+#: Ceiling on FCM/DFCM order; the paper's configurations use up to 3.
+MAX_ORDER = 8
+#: Ceiling on predictor depth (values retained per table line).
+MAX_DEPTH = 16
+#: Ceiling on table line counts (2^28 lines keeps allocations sane).
+MAX_TABLE_LINES = 1 << 28
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _validate_field(field: FieldSpec, is_pc: bool) -> None:
+    where = f"field {field.index}"
+    if field.bits not in ALLOWED_FIELD_BITS:
+        raise ValidationError(
+            f"{where}: width must be one of {ALLOWED_FIELD_BITS} bits, got {field.bits}"
+        )
+    if not field.predictors:
+        raise ValidationError(f"{where}: at least one predictor is required")
+    for size, name in ((field.l1, "L1"), (field.l2, "L2")):
+        if size is None:
+            continue
+        if not _is_power_of_two(size):
+            raise ValidationError(f"{where}: {name} = {size} is not a power of two")
+        if size > MAX_TABLE_LINES:
+            raise ValidationError(
+                f"{where}: {name} = {size} exceeds the {MAX_TABLE_LINES}-line limit"
+            )
+    if is_pc and field.l1_size != 1:
+        raise ValidationError(
+            f"{where} holds the PC, so its L1 size must be 1 (got {field.l1_size}); "
+            "the PC field cannot be indexed by itself"
+        )
+    for pred in field.predictors:
+        if pred.kind is not PredictorKind.LV:
+            if not 1 <= pred.order <= MAX_ORDER:
+                raise ValidationError(
+                    f"{where}: {pred} order must be in 1..{MAX_ORDER}"
+                )
+            l2_lines = field.l2_size << (pred.order - 1)
+            if l2_lines > MAX_TABLE_LINES:
+                raise ValidationError(
+                    f"{where}: {pred} needs an L2 table of {l2_lines} lines, "
+                    f"exceeding the {MAX_TABLE_LINES}-line limit"
+                )
+        if not 1 <= pred.depth <= MAX_DEPTH:
+            raise ValidationError(f"{where}: {pred} depth must be in 1..{MAX_DEPTH}")
+
+
+def validate_spec(spec: TraceSpec) -> TraceSpec:
+    """Check semantic rules; return the spec unchanged if it is valid."""
+    if spec.header_bits % 8:
+        raise ValidationError(
+            f"header width {spec.header_bits} is not a multiple of 8 bits"
+        )
+    indices = [f.index for f in spec.fields]
+    if indices != list(range(1, len(indices) + 1)):
+        raise ValidationError(
+            f"field numbers must be consecutive starting at 1, got {indices}"
+        )
+    if not any(f.index == spec.pc_field for f in spec.fields):
+        raise ValidationError(
+            f"PC definition names field {spec.pc_field}, which does not exist"
+        )
+    for field in spec.fields:
+        _validate_field(field, is_pc=field.index == spec.pc_field)
+    return spec

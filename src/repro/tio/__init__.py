@@ -1,0 +1,31 @@
+"""Trace input/output: block buffers, record formats, stream containers.
+
+This package provides the byte-level substrate shared by the generated
+compressors, the interpreted engine, and every baseline algorithm:
+
+- :mod:`repro.tio.blockio` — little-endian buffered readers and writers,
+- :mod:`repro.tio.traceformat` — fixed-width record formats and the VPC
+  trace layout used throughout the paper's evaluation,
+- :mod:`repro.tio.container` — the on-disk container that holds the
+  post-compressed streams produced by a TCgen-style compressor.
+"""
+
+from repro.tio.blockio import ByteReader, ByteWriter
+from repro.tio.container import StreamContainer, StreamPayload
+from repro.tio.traceformat import (
+    TraceFormat,
+    VPC_FORMAT,
+    pack_records,
+    unpack_records,
+)
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "StreamContainer",
+    "StreamPayload",
+    "TraceFormat",
+    "VPC_FORMAT",
+    "pack_records",
+    "unpack_records",
+]

@@ -1,0 +1,95 @@
+"""Compressed-stream container format.
+
+A TCgen-style compressor converts a trace into several streams (one
+predictor-code stream and one unpredictable-value stream per field, plus a
+header stream) and post-compresses each stream individually.  This module
+defines the framing that holds those post-compressed streams together in a
+single blob:
+
+```
+magic "TCGN" | format version (u8) | spec fingerprint (u64)
+record count (varint) | stream count (varint)
+per stream: codec id (u8) | raw length (varint) | stored length (varint)
+stream payloads, concatenated
+```
+
+The fingerprint ties a compressed blob to the specification that produced
+it, so decompressing with a mismatched generated compressor fails loudly
+instead of producing garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompressedFormatError
+from repro.tio.blockio import ByteReader, ByteWriter
+
+MAGIC = b"TCGN"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class StreamPayload:
+    """One post-compressed stream: codec id, original size, stored bytes."""
+
+    codec_id: int
+    raw_length: int
+    data: bytes
+
+
+@dataclass
+class StreamContainer:
+    """A parsed compressed blob: fingerprint, record count, and streams."""
+
+    fingerprint: int
+    record_count: int
+    streams: list[StreamPayload]
+
+    def encode(self) -> bytes:
+        """Serialize the container to bytes."""
+        writer = ByteWriter()
+        writer.write_bytes(MAGIC)
+        writer.write_u8(FORMAT_VERSION)
+        writer.write_u64(self.fingerprint)
+        writer.write_varint(self.record_count)
+        writer.write_varint(len(self.streams))
+        for stream in self.streams:
+            writer.write_u8(stream.codec_id)
+            writer.write_varint(stream.raw_length)
+            writer.write_varint(len(stream.data))
+        for stream in self.streams:
+            writer.write_bytes(stream.data)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, blob: bytes, expected_fingerprint: int | None = None) -> "StreamContainer":
+        """Parse a container, optionally checking the spec fingerprint."""
+        reader = ByteReader(blob)
+        magic = reader.read_bytes(4)
+        if magic != MAGIC:
+            raise CompressedFormatError(f"bad magic {magic!r}, expected {MAGIC!r}")
+        version = reader.read_u8()
+        if version != FORMAT_VERSION:
+            raise CompressedFormatError(f"unsupported container version {version}")
+        fingerprint = reader.read_u64()
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            raise CompressedFormatError(
+                f"spec fingerprint mismatch: blob has {fingerprint:#018x}, "
+                f"decompressor expects {expected_fingerprint:#018x}"
+            )
+        record_count = reader.read_varint()
+        stream_count = reader.read_varint()
+        metas = [
+            (reader.read_u8(), reader.read_varint(), reader.read_varint())
+            for _ in range(stream_count)
+        ]
+        streams = [
+            StreamPayload(codec_id, raw_length, reader.read_bytes(stored_length))
+            for codec_id, raw_length, stored_length in metas
+        ]
+        if not reader.at_end():
+            raise CompressedFormatError(
+                f"{reader.remaining()} trailing bytes after last stream"
+            )
+        return cls(fingerprint=fingerprint, record_count=record_count, streams=streams)

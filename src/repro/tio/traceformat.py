@@ -1,0 +1,119 @@
+"""Fixed-width binary record formats for execution traces.
+
+A :class:`TraceFormat` describes the byte layout the paper's specification
+language talks about: an optional header followed by records made of
+little-endian fixed-width fields.  The evaluation traces all use the *VPC
+format*: a 32-bit header followed by records with a 32-bit PC field and a
+64-bit data field (:data:`VPC_FORMAT`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+
+# Explicitly little-endian so packed traces are portable across hosts.
+_DTYPE_BY_BYTES = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+
+@dataclass(frozen=True)
+class TraceFormat:
+    """Byte layout of a trace: header size plus per-field widths.
+
+    ``header_bits`` and every entry of ``field_bits`` must be multiples of 8;
+    field widths must be 8, 16, 32, or 64 bits to match the specification
+    language's type-minimization rules.
+    """
+
+    header_bits: int
+    field_bits: tuple[int, ...]
+    pc_field: int = 1  # 1-based index of the field holding the PC
+
+    def __post_init__(self) -> None:
+        if self.header_bits % 8:
+            raise TraceFormatError(f"header width {self.header_bits} not a multiple of 8")
+        if not self.field_bits:
+            raise TraceFormatError("a trace format needs at least one field")
+        for width in self.field_bits:
+            if width not in (8, 16, 32, 64):
+                raise TraceFormatError(f"unsupported field width {width} bits")
+        if not 1 <= self.pc_field <= len(self.field_bits):
+            raise TraceFormatError(
+                f"PC field {self.pc_field} out of range 1..{len(self.field_bits)}"
+            )
+
+    @property
+    def header_bytes(self) -> int:
+        return self.header_bits // 8
+
+    @property
+    def field_bytes(self) -> tuple[int, ...]:
+        return tuple(width // 8 for width in self.field_bits)
+
+    @property
+    def record_bytes(self) -> int:
+        """Size of one record in bytes."""
+        return sum(self.field_bytes)
+
+    def field_dtypes(self) -> tuple[np.dtype, ...]:
+        """Numpy dtype for each field, in record order."""
+        return tuple(np.dtype(_DTYPE_BY_BYTES[width // 8]) for width in self.field_bits)
+
+    def record_count(self, raw: bytes) -> int:
+        """Number of records in ``raw``, validating exact framing."""
+        body = len(raw) - self.header_bytes
+        if body < 0 or body % self.record_bytes:
+            raise TraceFormatError(
+                f"trace of {len(raw)} bytes does not frame into a {self.header_bytes}-byte "
+                f"header plus {self.record_bytes}-byte records"
+            )
+        return body // self.record_bytes
+
+
+#: The trace format used throughout the paper's evaluation (Section 6.3):
+#: a 32-bit header, then alternating 32-bit PC and 64-bit data values.
+VPC_FORMAT = TraceFormat(header_bits=32, field_bits=(32, 64), pc_field=1)
+
+
+def pack_records(
+    fmt: TraceFormat, header: bytes, columns: list[np.ndarray]
+) -> bytes:
+    """Serialize per-field numpy columns into raw trace bytes.
+
+    ``columns[i]`` holds the values of field ``i+1`` for every record; all
+    columns must have equal length.  Values are masked to the field width.
+    """
+    if len(header) != fmt.header_bytes:
+        raise TraceFormatError(
+            f"header is {len(header)} bytes, format wants {fmt.header_bytes}"
+        )
+    if len(columns) != len(fmt.field_bits):
+        raise TraceFormatError(
+            f"got {len(columns)} columns for {len(fmt.field_bits)} fields"
+        )
+    lengths = {len(col) for col in columns}
+    if len(lengths) > 1:
+        raise TraceFormatError(f"column lengths differ: {sorted(lengths)}")
+    count = lengths.pop() if lengths else 0
+
+    record = np.zeros(
+        count,
+        dtype=[(f"f{i + 1}", dt) for i, dt in enumerate(fmt.field_dtypes())],
+    )
+    for i, col in enumerate(columns):
+        record[f"f{i + 1}"] = np.asarray(col).astype(record.dtype[i], copy=False)
+    return header + record.tobytes()
+
+
+def unpack_records(fmt: TraceFormat, raw: bytes) -> tuple[bytes, list[np.ndarray]]:
+    """Parse raw trace bytes into (header, per-field numpy columns)."""
+    count = fmt.record_count(raw)
+    header = raw[: fmt.header_bytes]
+    record_dtype = np.dtype(
+        [(f"f{i + 1}", dt) for i, dt in enumerate(fmt.field_dtypes())]
+    )
+    body = np.frombuffer(raw, dtype=record_dtype, count=count, offset=fmt.header_bytes)
+    return header, [body[f"f{i + 1}"].copy() for i in range(len(fmt.field_bits))]

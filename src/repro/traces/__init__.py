@@ -1,0 +1,49 @@
+"""Synthetic SPECcpu2000-like trace generation.
+
+The paper's traces come from ATOM-instrumented SPECcpu2000 binaries on an
+Alpha system — hardware and data we substitute (see DESIGN.md) with
+synthetic *program models*: small virtual programs whose memory behaviour
+reproduces the statistical structure each benchmark is known for (strided
+array sweeps, pointer chasing, hash probing, stack discipline, block
+copies, interpreter dispatch, ...).  From each program's event stream the
+three paper trace types are derived:
+
+- **store addresses** — the PC and effective address of every store;
+- **cache-miss addresses** — PC and address of every load/store that
+  misses in the simulated 16kB direct-mapped data cache;
+- **load values** — the PC and loaded value of every load.
+
+All traces use the evaluation format: 32-bit header, records of a 32-bit
+PC and a 64-bit data value, deterministic under a fixed seed.
+"""
+
+from repro.traces.events import EventBlock, concat_events
+from repro.traces.builders import (
+    TRACE_KINDS,
+    build_trace,
+    cache_miss_address_trace,
+    load_value_trace,
+    store_address_trace,
+)
+from repro.traces.workloads import (
+    WORKLOADS,
+    WorkloadInfo,
+    default_suite,
+    generate_events,
+    workload_names,
+)
+
+__all__ = [
+    "EventBlock",
+    "concat_events",
+    "TRACE_KINDS",
+    "build_trace",
+    "cache_miss_address_trace",
+    "load_value_trace",
+    "store_address_trace",
+    "WORKLOADS",
+    "WorkloadInfo",
+    "default_suite",
+    "generate_events",
+    "workload_names",
+]

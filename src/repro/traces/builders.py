@@ -1,0 +1,71 @@
+"""Building the paper's three trace types from event streams.
+
+Section 6.3 of the paper defines the trace types this module derives from
+a program model's memory events:
+
+- **store addresses** — PC and effective address of every store;
+- **cache-miss addresses** — PC and address of every load or store that
+  misses in the simulated 16kB direct-mapped write-allocate data cache;
+- **load values** — PC and loaded value of every load.
+
+All three use the shared evaluation format (32-bit header, 32-bit PC +
+64-bit data records); the four header bytes tag the trace type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cachesim import DirectMappedCache, CacheConfig, PAPER_CACHE
+from repro.errors import ReproError
+from repro.tio.traceformat import VPC_FORMAT, pack_records
+from repro.traces.events import EventBlock
+from repro.traces.workloads import generate_events
+
+#: The paper's three trace types, in presentation order.
+TRACE_KINDS = ("store_addresses", "cache_miss_addresses", "load_values")
+
+_HEADERS = {
+    "store_addresses": b"STA\0",
+    "cache_miss_addresses": b"CMA\0",
+    "load_values": b"LDV\0",
+}
+
+
+def _pack(kind: str, pcs: np.ndarray, data: np.ndarray) -> bytes:
+    return pack_records(VPC_FORMAT, _HEADERS[kind], [pcs, data])
+
+
+def store_address_trace(events: EventBlock) -> bytes:
+    """PC + effective address of every executed store."""
+    stores = events.stores
+    return _pack("store_addresses", stores.pcs, stores.addrs)
+
+
+def cache_miss_address_trace(
+    events: EventBlock, config: CacheConfig = PAPER_CACHE
+) -> bytes:
+    """PC + address of every load/store missing in the simulated cache."""
+    cache = DirectMappedCache(config)
+    misses = cache.miss_mask(events.addrs)
+    return _pack("cache_miss_addresses", events.pcs[misses], events.addrs[misses])
+
+
+def load_value_trace(events: EventBlock) -> bytes:
+    """PC + loaded value of every executed load."""
+    loads = events.loads
+    return _pack("load_values", loads.pcs, loads.values)
+
+
+def build_trace(
+    workload: str, kind: str, scale: float = 1.0, seed: int = 2005
+) -> bytes:
+    """Generate one workload's events and derive one trace type."""
+    if kind not in TRACE_KINDS:
+        raise ReproError(f"unknown trace kind {kind!r}; expected one of {TRACE_KINDS}")
+    events = generate_events(workload, scale=scale, seed=seed)
+    if kind == "store_addresses":
+        return store_address_trace(events)
+    if kind == "cache_miss_addresses":
+        return cache_miss_address_trace(events)
+    return load_value_trace(events)

@@ -1,0 +1,102 @@
+"""Memory-event streams produced by the synthetic program models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_PC_MASK = (1 << 32) - 1
+_VALUE_MASK = (1 << 64) - 1
+
+
+@dataclass
+class EventBlock:
+    """A batch of memory-access events in program order.
+
+    Columns (equal length): ``pcs`` (32-bit instruction addresses),
+    ``addrs`` (64-bit effective addresses), ``values`` (64-bit data read
+    or written), ``is_store`` (True for stores, False for loads).
+    """
+
+    pcs: np.ndarray
+    addrs: np.ndarray
+    values: np.ndarray
+    is_store: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.pcs), len(self.addrs), len(self.values), len(self.is_store)}
+        if len(lengths) > 1:
+            raise ReproError(f"event columns disagree on length: {sorted(lengths)}")
+        self.pcs = np.asarray(self.pcs, dtype=np.uint64) & np.uint64(_PC_MASK)
+        self.addrs = np.asarray(self.addrs, dtype=np.uint64)
+        self.values = np.asarray(self.values, dtype=np.uint64)
+        self.is_store = np.asarray(self.is_store, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def loads(self) -> "EventBlock":
+        """Only the load events."""
+        mask = ~self.is_store
+        return EventBlock(
+            self.pcs[mask], self.addrs[mask], self.values[mask], self.is_store[mask]
+        )
+
+    @property
+    def stores(self) -> "EventBlock":
+        """Only the store events."""
+        mask = self.is_store
+        return EventBlock(
+            self.pcs[mask], self.addrs[mask], self.values[mask], self.is_store[mask]
+        )
+
+
+def concat_events(blocks: list[EventBlock]) -> EventBlock:
+    """Concatenate event blocks in program order."""
+    if not blocks:
+        return EventBlock(
+            np.zeros(0, np.uint64),
+            np.zeros(0, np.uint64),
+            np.zeros(0, np.uint64),
+            np.zeros(0, bool),
+        )
+    return EventBlock(
+        np.concatenate([b.pcs for b in blocks]),
+        np.concatenate([b.addrs for b in blocks]),
+        np.concatenate([b.values for b in blocks]),
+        np.concatenate([b.is_store for b in blocks]),
+    )
+
+
+def interleave_events(blocks: list[EventBlock], pattern: np.ndarray) -> EventBlock:
+    """Interleave blocks according to ``pattern`` (block indices per event).
+
+    ``pattern[i]`` selects which block supplies event ``i``; each block's
+    events are consumed in order.  Models concurrent activity (for example
+    an outer loop interleaving two inner computations).
+    """
+    pattern = np.asarray(pattern)
+    counts = [int((pattern == i).sum()) for i in range(len(blocks))]
+    for i, (block, need) in enumerate(zip(blocks, counts)):
+        if len(block) < need:
+            raise ReproError(
+                f"interleave pattern wants {need} events from block {i}, "
+                f"which has only {len(block)}"
+            )
+    n = len(pattern)
+    pcs = np.zeros(n, np.uint64)
+    addrs = np.zeros(n, np.uint64)
+    values = np.zeros(n, np.uint64)
+    stores = np.zeros(n, bool)
+    for i, block in enumerate(blocks):
+        mask = pattern == i
+        take = int(mask.sum())
+        pcs[mask] = block.pcs[:take]
+        addrs[mask] = block.addrs[:take]
+        values[mask] = block.values[:take]
+        stores[mask] = block.is_store[:take]
+    return EventBlock(pcs, addrs, values, stores)

@@ -1,0 +1,420 @@
+"""Vectorized building blocks for the synthetic program models.
+
+Each primitive emits an :class:`~repro.traces.events.EventBlock` that
+mimics one kind of memory behaviour found in the SPECcpu2000 programs:
+strided array sweeps, pointer chasing, hash probing, stack discipline,
+sequential scans, block copies, interpreter dispatch, and gather/scatter.
+Primitives take a *code base* (the virtual address of their instruction
+block) so that distinct call sites produce distinct PCs, and a numpy
+``Generator`` so the whole suite is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.events import EventBlock
+
+_U64 = np.uint64
+_MASK64 = (1 << 64) - 1
+
+
+def _u64(array):
+    """View/cast integers (scalar or array) as uint64, wrapping negatives."""
+    if np.isscalar(array):
+        return np.uint64(int(array) & _MASK64)
+    return np.asarray(array).astype(np.int64, copy=False).view(np.uint64)
+
+
+def fp_values(n: int, rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+    """IEEE-754 doubles from a smooth random walk, as raw 64-bit words.
+
+    Models floating-point load values: large dynamic range, slowly varying
+    magnitude, exact bit patterns that defeat byte-level compressors.
+    """
+    steps = rng.normal(0.0, scale, size=n)
+    series = np.cumsum(steps) + scale
+    return series.astype(np.float64).view(np.uint64)
+
+
+def small_int_values(n: int, rng: np.random.Generator, bound: int = 256) -> np.ndarray:
+    """Counters and enum-like small integers (highly predictable)."""
+    return rng.integers(0, bound, size=n, dtype=np.int64).view(np.uint64)
+
+
+def bitmask_values(n: int, rng: np.random.Generator, patterns: int = 64) -> np.ndarray:
+    """Sparse 64-bit bitmasks drawn from a recurring pattern pool.
+
+    Models chess bitboards and flag words: wide values with a limited,
+    heavily skewed working set (a handful of hot positions dominate), so
+    value predictors can memorize the recurring patterns.
+    """
+    pool = rng.integers(0, 1 << 63, size=patterns, dtype=np.int64).view(np.uint64)
+    ranks = rng.zipf(1.6, size=n) % patterns
+    return pool[ranks]
+
+
+def strided_sweep(
+    code_base: int,
+    iterations: int,
+    accesses: list[tuple[int, int, bool]],
+    values: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> EventBlock:
+    """A loop of ``iterations`` executing one access per entry in
+    ``accesses`` each iteration.
+
+    Each entry is ``(array_base, stride, is_store)``: iteration ``i``
+    touches ``base + i * stride``.  This is the canonical FP-benchmark
+    pattern (regular multi-array stencils).  Loads read ``values`` (cycled)
+    or a smooth FP series when omitted.
+    """
+    k = len(accesses)
+    n = iterations * k
+    pcs = np.tile(
+        np.arange(code_base, code_base + 4 * k, 4, dtype=np.uint64), iterations
+    )
+    iter_index = np.repeat(np.arange(iterations, dtype=np.int64), k)
+    bases = np.tile(_u64([a[0] for a in accesses]), iterations)
+    strides = np.tile(np.array([a[1] for a in accesses], dtype=np.int64), iterations)
+    stores = np.tile(np.array([a[2] for a in accesses], dtype=bool), iterations)
+    addrs = bases + _u64(iter_index * strides)
+    if values is None:
+        rng = rng or np.random.default_rng(0)
+        vals = fp_values(n, rng)
+    else:
+        vals = np.resize(np.asarray(values, dtype=np.uint64), n)
+    return EventBlock(pcs, addrs, vals, stores)
+
+
+def pointer_chase(
+    code_base: int,
+    steps: int,
+    heap_base: int,
+    node_count: int,
+    node_bytes: int,
+    rng: np.random.Generator,
+    payload_loads: int = 1,
+) -> EventBlock:
+    """Walk a randomly linked list of ``node_count`` nodes for ``steps``.
+
+    Visit order follows a random Hamiltonian cycle over the nodes, so
+    every step is a dependent load whose *value* is the next node's
+    address (a pointer), followed by ``payload_loads`` field loads.
+    Models mcf/vortex-style pointer-heavy codes.
+    """
+    cycle = rng.permutation(node_count)
+    repeats = steps // node_count + 2
+    visits = np.tile(cycle, repeats)[: steps + 1]
+    node_addrs = _u64(heap_base) + visits.astype(np.uint64) * _u64(node_bytes)
+    next_addrs = node_addrs[1:]
+    node_addrs = node_addrs[:steps]
+
+    per_step = 1 + payload_loads
+    pcs = np.tile(
+        np.arange(code_base, code_base + 4 * per_step, 4, dtype=np.uint64), steps
+    )
+    addrs = np.zeros(steps * per_step, dtype=np.uint64)
+    values = np.zeros(steps * per_step, dtype=np.uint64)
+    addrs[0::per_step] = node_addrs  # the next-pointer load
+    values[0::per_step] = next_addrs
+    for field in range(1, per_step):
+        addrs[field::per_step] = node_addrs + _u64(8 * field)
+        values[field::per_step] = small_int_values(steps, rng, bound=1 << 16)
+    stores = np.zeros(steps * per_step, dtype=bool)
+    return EventBlock(pcs, addrs, values, stores)
+
+
+def hash_probe(
+    code_base: int,
+    operations: int,
+    table_base: int,
+    buckets: int,
+    rng: np.random.Generator,
+    store_fraction: float = 0.2,
+    zipf_a: float = 1.8,
+) -> EventBlock:
+    """Hash-table probing with a skewed (Zipf) bucket distribution.
+
+    Each operation loads a bucket head (value: the stored key) and with
+    probability ``store_fraction`` writes it back.  Models gap/parser
+    dictionary behaviour: irregular addresses with heavy reuse of hot
+    buckets.
+    """
+    ranks = rng.zipf(zipf_a, size=operations) % buckets
+    addrs = _u64(table_base) + ranks.astype(np.uint64) * _U64(16)
+    values = ranks.astype(np.uint64) * _U64(2654435761) & _U64(_MASK64)
+    stores = rng.random(operations) < store_fraction
+    pcs = np.where(
+        stores,
+        np.uint64(code_base + 4),
+        np.uint64(code_base),
+    )
+    return EventBlock(pcs, addrs, values, stores)
+
+
+def stack_activity(
+    code_base: int,
+    operations: int,
+    stack_top: int,
+    frame_bytes: int,
+    rng: np.random.Generator,
+    max_depth: int = 64,
+) -> EventBlock:
+    """Call/return stack discipline: stores on push, loads on pop.
+
+    Depth follows a reflected random walk; push stores the return address
+    (a code pointer), pop loads it back.  Models recursion-heavy codes
+    (perlbmk running itself, gcc's tree walks).
+    """
+    steps = rng.integers(0, 2, size=operations) * 2 - 1
+    depth = np.abs(np.cumsum(steps))
+    depth = np.minimum(depth, max_depth)
+    pushes = np.empty(operations, dtype=bool)
+    pushes[0] = True
+    pushes[1:] = depth[1:] > depth[:-1]
+    addrs = _u64(stack_top) - depth.astype(np.uint64) * _U64(frame_bytes)
+    values = _u64(code_base) + depth.astype(np.uint64) * _U64(20)
+    pcs = np.where(pushes, np.uint64(code_base), np.uint64(code_base + 4))
+    return EventBlock(pcs, addrs, values, pushes)
+
+
+def sequential_scan(
+    code_base: int,
+    length: int,
+    buffer_base: int,
+    elem_bytes: int,
+    rng: np.random.Generator,
+    alphabet: int = 64,
+    run_length: int = 8,
+) -> EventBlock:
+    """Byte/word-sequential scanning of a buffer (gzip/bzip2 style).
+
+    Loads march through the buffer with a constant small stride; values
+    are drawn from a small alphabet with runs, like text or already-
+    compressed data being re-read.
+    """
+    addrs = _u64(buffer_base) + np.arange(length, dtype=np.uint64) * _U64(elem_bytes)
+    run_ids = np.arange(length) // run_length
+    symbols = rng.integers(0, alphabet, size=run_ids.max() + 1, dtype=np.int64)
+    values = symbols[run_ids].view(np.uint64)
+    pcs = np.full(length, code_base, dtype=np.uint64)
+    stores = np.zeros(length, dtype=bool)
+    return EventBlock(pcs, addrs, values, stores)
+
+
+def block_copy(
+    code_base: int,
+    elements: int,
+    source_base: int,
+    dest_base: int,
+    rng: np.random.Generator,
+    elem_bytes: int = 8,
+) -> EventBlock:
+    """memcpy-like movement: load from source, store to destination."""
+    index = np.arange(elements, dtype=np.uint64)
+    load_addrs = _u64(source_base) + index * _U64(elem_bytes)
+    store_addrs = _u64(dest_base) + index * _U64(elem_bytes)
+    values = rng.integers(0, 1 << 62, size=elements, dtype=np.int64).view(np.uint64)
+    pcs = np.empty(2 * elements, dtype=np.uint64)
+    addrs = np.empty(2 * elements, dtype=np.uint64)
+    vals = np.empty(2 * elements, dtype=np.uint64)
+    stores = np.empty(2 * elements, dtype=bool)
+    pcs[0::2] = code_base
+    pcs[1::2] = code_base + 4
+    addrs[0::2] = load_addrs
+    addrs[1::2] = store_addrs
+    vals[0::2] = values
+    vals[1::2] = values
+    stores[0::2] = False
+    stores[1::2] = True
+    return EventBlock(pcs, addrs, vals, stores)
+
+
+def matrix_traverse(
+    code_base: int,
+    rows: int,
+    cols: int,
+    base: int,
+    rng: np.random.Generator,
+    column_major: bool = False,
+    elem_bytes: int = 8,
+    store_every: int = 0,
+    content: np.ndarray | None = None,
+) -> EventBlock:
+    """Dense 2-D array traversal, optionally column-major (large strides).
+
+    Models mgrid/swim/applu stencils; ``store_every`` > 0 turns every
+    n-th access into a store (write-back of results).  Loads return the
+    array's *contents*: pass ``content`` (one value per element) to model
+    repeated sweeps over the same stable array — reloaded values repeat
+    exactly, which is what makes real FP load-value traces predictable.
+    """
+    r = np.repeat(np.arange(rows, dtype=np.uint64), cols)
+    c = np.tile(np.arange(cols, dtype=np.uint64), rows)
+    if column_major:
+        r, c = c.copy(), r.copy()
+        flat = c * _U64(rows) + r
+    else:
+        flat = r * _U64(cols) + c
+    offsets = flat * _U64(elem_bytes)
+    n = rows * cols
+    addrs = _u64(base) + offsets
+    if content is None:
+        content = fp_values(n, rng)
+    values = np.asarray(content, dtype=np.uint64)[flat.astype(np.int64) % len(content)]
+    pcs = np.full(n, code_base, dtype=np.uint64)
+    stores = np.zeros(n, dtype=bool)
+    if store_every > 0:
+        stores[store_every - 1 :: store_every] = True
+        pcs[stores] = code_base + 4
+    return EventBlock(pcs, addrs, values, stores)
+
+
+def interpreter_dispatch(
+    code_base: int,
+    operations: int,
+    bytecode_base: int,
+    operand_stack: int,
+    rng: np.random.Generator,
+    opcode_count: int = 24,
+) -> EventBlock:
+    """Bytecode interpreter: fetch opcode, then opcode-dependent accesses.
+
+    The PC of the handler access depends on the fetched opcode, so the PC
+    stream itself is data-dependent — the behaviour that makes interpreter
+    traces (perlbmk, parts of gcc) hard for PC-pattern compressors.
+    """
+    # Real bytecode is dominated by loops: the opcode stream repeats a
+    # program of a few hundred instructions rather than being i.i.d.
+    program = rng.integers(0, opcode_count, size=max(operations // 40, 24),
+                           dtype=np.int64)
+    opcodes = np.resize(program, operations)
+    fetch_pcs = np.full(operations, code_base, dtype=np.uint64)
+    fetch_addrs = _u64(bytecode_base) + np.arange(operations, dtype=np.uint64)
+    fetch_values = opcodes.view(np.uint64)
+
+    handler_pcs = _u64(code_base + 64) + opcodes.view(np.uint64) * _U64(4)
+    depth = np.abs(np.cumsum(rng.integers(0, 2, size=operations) * 2 - 1)) % 32
+    handler_addrs = _u64(operand_stack) - depth.astype(np.uint64) * _U64(8)
+    # Operand-stack slots hold values correlated with their depth (loop
+    # counters, repeatedly pushed intermediates), not fresh randomness.
+    handler_values = (depth * np.int64(2654435761)).astype(np.int64) % (1 << 20)
+    handler_values = handler_values.view(np.uint64)
+    handler_stores = opcodes % 3 == 0  # a third of the ops push results
+
+    pcs = np.empty(2 * operations, dtype=np.uint64)
+    addrs = np.empty(2 * operations, dtype=np.uint64)
+    values = np.empty(2 * operations, dtype=np.uint64)
+    stores = np.empty(2 * operations, dtype=bool)
+    pcs[0::2] = fetch_pcs
+    pcs[1::2] = handler_pcs
+    addrs[0::2] = fetch_addrs
+    addrs[1::2] = handler_addrs
+    values[0::2] = fetch_values
+    values[1::2] = handler_values
+    stores[0::2] = False
+    stores[1::2] = handler_stores
+    return EventBlock(pcs, addrs, values, stores)
+
+
+def gather_scatter(
+    code_base: int,
+    operations: int,
+    index_base: int,
+    data_base: int,
+    data_elems: int,
+    rng: np.random.Generator,
+    store_fraction: float = 0.3,
+    locality: int = 0,
+    sweeps: int = 3,
+) -> EventBlock:
+    """Indirect access ``data[index[i]]`` (sparse solvers: equake, ammp).
+
+    Each operation loads an index (value: the index itself), then touches
+    the indexed element.  ``locality`` > 0 confines successive indices to
+    a sliding window, modelling a physical neighbour list that the solver
+    sweeps ``sweeps`` times (the repeats make the index stream
+    memorizable, as in real iterative solvers).
+    """
+    if locality > 0:
+        # One physical structure (a neighbour list) swept repeatedly: the
+        # index sequence repeats every sweep, so context predictors can
+        # memorize it after the first pass.
+        sweep_length = max(operations // max(sweeps, 1), 1)
+        centers = np.linspace(0, max(data_elems - locality, 1), sweep_length).astype(
+            np.int64
+        )
+        one_sweep = centers + rng.integers(
+            0, locality, size=sweep_length, dtype=np.int64
+        )
+        indices = np.resize(one_sweep, operations) % data_elems
+    else:
+        indices = rng.integers(0, data_elems, size=operations, dtype=np.int64)
+
+    index_pcs = np.full(operations, code_base, dtype=np.uint64)
+    index_addrs = _u64(index_base) + np.arange(operations, dtype=np.uint64) * _U64(4)
+    index_values = indices.view(np.uint64)
+
+    data_addrs = _u64(data_base) + indices.view(np.uint64) * _U64(8)
+    # Stable array contents: re-gathered elements reload the same value.
+    content = fp_values(min(data_elems, 1 << 20), rng)
+    data_values = content[indices % len(content)]
+    if store_fraction > 0:
+        period = max(int(round(1.0 / store_fraction)), 1)
+        data_stores = np.arange(operations) % period == period - 1
+    else:
+        data_stores = np.zeros(operations, dtype=bool)
+    data_pcs = np.where(
+        data_stores, np.uint64(code_base + 8), np.uint64(code_base + 4)
+    )
+
+    pcs = np.empty(2 * operations, dtype=np.uint64)
+    addrs = np.empty(2 * operations, dtype=np.uint64)
+    values = np.empty(2 * operations, dtype=np.uint64)
+    stores = np.empty(2 * operations, dtype=bool)
+    pcs[0::2] = index_pcs
+    pcs[1::2] = data_pcs
+    addrs[0::2] = index_addrs
+    addrs[1::2] = data_addrs
+    values[0::2] = index_values
+    values[1::2] = data_values
+    stores[0::2] = False
+    stores[1::2] = data_stores
+    return EventBlock(pcs, addrs, values, stores)
+
+
+def looped_stores(
+    code_base: int,
+    sites: list[tuple[int, int]],
+    row_length: int,
+    iterations: int,
+    rng: np.random.Generator,
+) -> EventBlock:
+    """Interleaved store sites sweeping rows with loop-restart jumps.
+
+    Each ``(base, stride)`` site stores ``row_length`` strided elements,
+    then jumps back to its base for the next iteration — the inner-loop
+    store pattern of virtually every compiled program.  The sites are
+    interleaved per element, so a single global base (MACHE/PDATS) sees
+    large cross-site deltas on every record, while per-PC predictors see
+    clean stride-plus-periodic-jump sequences they memorize exactly.
+    """
+    k = len(sites)
+    total = iterations * row_length * k
+    pcs = np.tile(
+        np.arange(code_base, code_base + 4 * k, 4, dtype=np.uint64),
+        iterations * row_length,
+    )
+    element = np.tile(
+        np.repeat(np.arange(row_length, dtype=np.uint64), k), iterations
+    )
+    bases = np.tile(_u64([base for base, _ in sites]), iterations * row_length)
+    strides = np.tile(
+        np.array([stride for _, stride in sites], dtype=np.int64),
+        iterations * row_length,
+    )
+    addrs = bases + _u64(element.astype(np.int64) * strides)
+    values = fp_values(total, rng)
+    stores = np.ones(total, dtype=bool)
+    return EventBlock(pcs, addrs, values, stores)

@@ -1,0 +1,486 @@
+"""SPECcpu2000-like synthetic workload personalities.
+
+One recipe per benchmark in the paper's Table 1 (all twelve integer
+programs and the ten C/Fortran-77 floating-point programs).  Each recipe
+composes the primitives in :mod:`repro.traces.primitives` to mimic what
+the benchmark is known for: mcf chases pointers, gzip scans buffers and
+copies blocks, crafty looks up bitboards, swim/mgrid sweep dense grids,
+equake gathers through sparse indices, perlbmk interprets bytecode, and
+so on.  ``weight`` loosely follows the relative trace sizes of Table 1 so
+the suite's size distribution is qualitatively similar.
+
+Everything is deterministic: the per-workload RNG seed is derived from the
+workload name and the caller's seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.traces.events import EventBlock, concat_events, interleave_events
+from repro.traces.primitives import (
+    bitmask_values,
+    looped_stores,
+    block_copy,
+    gather_scatter,
+    hash_probe,
+    interpreter_dispatch,
+    matrix_traverse,
+    pointer_chase,
+    sequential_scan,
+    small_int_values,
+    stack_activity,
+    strided_sweep,
+)
+
+# Virtual address-space layout shared by all program models.
+_CODE = 0x0040_0000
+_HEAP = 0x1_0000_0000
+_DATA = 0x2_0000_0000
+_STACK = 0x7FFF_FF00_0000
+
+#: Base number of events at scale 1.0 and weight 1.0.
+BASE_EVENTS = 24_000
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Metadata mirroring the paper's Table 1 columns."""
+
+    name: str
+    lang: str
+    kind: str  # "integer" or "floating point"
+    weight: float  # relative trace size
+    build: Callable[[np.random.Generator, int], EventBlock]
+
+
+def _n(scale_events: int, fraction: float) -> int:
+    return max(int(scale_events * fraction), 16)
+
+
+
+
+def _mix(rng: np.random.Generator, blocks: list[EventBlock]) -> EventBlock:
+    """Interleave phase blocks the way real programs interleave work.
+
+    Loops from different program phases alternate at a fine grain, so many
+    static instructions are simultaneously "live" — the behaviour that
+    makes per-PC prediction tables (TCgen, VPC3, SBC) shine and defeats
+    single-global-base schemes.  Crucially, the interleaving is *periodic*:
+    a fixed schedule unit (the analog of one outer-loop iteration, with
+    run lengths proportional to each phase's volume) is tiled across the
+    whole mix, because real control flow repeats — an i.i.d.-random
+    interleave would inject entropy no program has.
+    """
+    blocks = [b for b in blocks if len(b)]
+    if not blocks:
+        return concat_events([])
+    if len(blocks) == 1:
+        return blocks[0]
+
+    lengths = np.array([len(b) for b in blocks], dtype=np.int64)
+    total = int(lengths.sum())
+    # One schedule unit: random run lengths (1-8 events), block choice
+    # weighted by volume, fixed once and then repeated.
+    unit: list[int] = []
+    unit_target = min(96, total)
+    weights = lengths / lengths.sum()
+    while len(unit) < unit_target:
+        block = int(rng.choice(len(blocks), p=weights))
+        run = int(rng.integers(1, 9))
+        unit.extend([block] * run)
+    tiled = np.resize(np.array(unit, dtype=np.int64), total + len(unit))
+
+    # Keep only the first len(block) occurrences of each block index, then
+    # append leftovers of any block the schedule under-served.
+    keep = np.ones(len(tiled), dtype=bool)
+    for index, length in enumerate(lengths):
+        positions = np.flatnonzero(tiled == index)
+        keep[positions[length:]] = False
+    pattern = tiled[keep]
+    counts = np.array([(pattern == i).sum() for i in range(len(blocks))])
+    tail = []
+    for index, (have, want) in enumerate(zip(counts, lengths)):
+        tail.extend([index] * int(want - have))
+    if tail:
+        pattern = np.concatenate([pattern, np.array(tail, dtype=np.int64)])
+    return interleave_events(blocks, pattern)
+
+
+# --- integer program models -------------------------------------------------
+
+
+def _eon(rng: np.random.Generator, n: int) -> EventBlock:
+    rays = strided_sweep(
+        _CODE,
+        _n(n, 0.2),
+        [(_DATA, 24, False), (_DATA + 8, 24, False), (_DATA + 16, 24, True)],
+        rng=rng,
+    )
+    objects = pointer_chase(_CODE + 0x100, _n(n, 0.25), _HEAP, 600, 64, rng)
+    calls = stack_activity(_CODE + 0x200, _n(n, 0.15), _STACK, 48, rng)
+    spills = looped_stores(
+        _CODE + 0x300,
+        [(_DATA + (1 << 28), 24), (_DATA + (1 << 28) + (1 << 16), 8)],
+        48, max(_n(n, 0.1) // 96, 2), rng,
+    )
+    return _mix(rng, [rays, objects, calls, spills])
+
+
+def _bzip2(rng: np.random.Generator, n: int) -> EventBlock:
+    scan = sequential_scan(_CODE, _n(n, 0.4), _DATA, 1, rng, alphabet=48, run_length=6)
+    copy = block_copy(_CODE + 0x40, _n(n, 0.2), _DATA, _DATA + (1 << 20), rng)
+    counts = hash_probe(_CODE + 0x80, _n(n, 0.2), _HEAP, 4096, rng, store_fraction=0.5)
+    return _mix(rng, [scan, copy, counts])
+
+
+def _crafty(rng: np.random.Generator, n: int) -> EventBlock:
+    table = hash_probe(_CODE, _n(n, 0.5), _HEAP, 1 << 15, rng, store_fraction=0.15)
+    boards = table.loads
+    boards.values[:] = bitmask_values(len(boards), rng, patterns=96)
+    moves = stack_activity(_CODE + 0x100, _n(n, 0.3), _STACK, 32, rng)
+    scans = sequential_scan(_CODE + 0x200, _n(n, 0.2), _DATA, 8, rng, alphabet=12)
+    history = looped_stores(
+        _CODE + 0x300,
+        [(_DATA + (1 << 27), 8), (_DATA + (1 << 27) + (1 << 14), 16)],
+        64, max(_n(n, 0.12) // 128, 2), rng,
+    )
+    return _mix(rng, [table, moves, scans, history, boards])
+
+
+def _gap(rng: np.random.Generator, n: int) -> EventBlock:
+    bags = hash_probe(_CODE, _n(n, 0.4), _HEAP, 1 << 13, rng, store_fraction=0.3)
+    chase = pointer_chase(_CODE + 0x80, _n(n, 0.3), _HEAP + (1 << 24), 2000, 32, rng)
+    arith = strided_sweep(
+        _CODE + 0x180,
+        _n(n, 0.15),
+        [(_DATA, 8, False), (_DATA + (1 << 16), 8, True)],
+        values=small_int_values(_n(n, 0.3), rng, bound=1 << 24),
+    )
+    return _mix(rng, [bags, chase, arith])
+
+
+def _gcc(rng: np.random.Generator, n: int) -> EventBlock:
+    # Many distinct code regions: gcc's PC working set is huge.
+    phases = []
+    for phase in range(6):
+        base = _CODE + phase * 0x1000
+        phases.append(
+            pointer_chase(base, _n(n, 0.06), _HEAP + phase * (1 << 22), 900, 48, rng)
+        )
+        phases.append(
+            hash_probe(base + 0x400, _n(n, 0.05), _DATA + phase * (1 << 20), 2048, rng)
+        )
+        phases.append(stack_activity(base + 0x800, _n(n, 0.05), _STACK, 64, rng))
+        phases.append(
+            looped_stores(
+                base + 0xC00,
+                [(_DATA + (2 + phase) * (1 << 24), 16)],
+                40, max(_n(n, 0.03) // 40, 2), rng,
+            )
+        )
+    return _mix(rng, phases)
+
+
+def _gzip(rng: np.random.Generator, n: int) -> EventBlock:
+    scan = sequential_scan(_CODE, _n(n, 0.45), _DATA, 1, rng, alphabet=80, run_length=4)
+    window = block_copy(_CODE + 0x40, _n(n, 0.2), _DATA, _DATA + (1 << 15), rng)
+    chains = hash_probe(_CODE + 0x80, _n(n, 0.15), _HEAP, 1 << 12, rng)
+    return _mix(rng, [scan, window, chains])
+
+
+def _mcf(rng: np.random.Generator, n: int) -> EventBlock:
+    # Network-simplex pointer chasing over a large node pool dominates.
+    arcs = pointer_chase(_CODE, _n(n, 0.6), _HEAP, 30_000, 64, rng, payload_loads=2)
+    nodes = gather_scatter(
+        _CODE + 0x100, _n(n, 0.1), _DATA, _DATA + (1 << 24), 30_000, rng
+    )
+    return _mix(rng, [arcs, nodes])
+
+
+def _parser(rng: np.random.Generator, n: int) -> EventBlock:
+    dictionary = hash_probe(_CODE, _n(n, 0.4), _HEAP, 1 << 14, rng, zipf_a=1.2)
+    words = sequential_scan(_CODE + 0x80, _n(n, 0.25), _DATA, 1, rng, alphabet=26)
+    links = stack_activity(_CODE + 0x100, _n(n, 0.2), _STACK, 40, rng)
+    chart = looped_stores(
+        _CODE + 0x180,
+        [(_DATA + (1 << 26), 32), (_DATA + (1 << 26) + (1 << 18), 32)],
+        56, max(_n(n, 0.1) // 112, 2), rng,
+    )
+    return _mix(rng, [dictionary, words, links, chart])
+
+
+def _perlbmk(rng: np.random.Generator, n: int) -> EventBlock:
+    interp = interpreter_dispatch(_CODE, _n(n, 0.35), _DATA, _STACK - (1 << 16), rng)
+    frames = stack_activity(_CODE + 0x800, _n(n, 0.2), _STACK, 56, rng)
+    strings = sequential_scan(_CODE + 0x900, _n(n, 0.1), _HEAP, 1, rng, alphabet=96)
+    temps = looped_stores(
+        _CODE + 0xA00,
+        [(_DATA + (1 << 29), 8)],
+        32, max(_n(n, 0.08) // 32, 2), rng,
+    )
+    return _mix(rng, [interp, frames, strings, temps])
+
+
+def _twolf(rng: np.random.Generator, n: int) -> EventBlock:
+    cells = gather_scatter(
+        _CODE, _n(n, 0.3), _DATA, _HEAP, 4_000, rng, store_fraction=0.4
+    )
+    wires = hash_probe(_CODE + 0x100, _n(n, 0.25), _HEAP + (1 << 22), 2048, rng)
+    anneal = strided_sweep(
+        _CODE + 0x180,
+        _n(n, 0.08),
+        [(_DATA + (1 << 20), 16, False), (_DATA + (1 << 20) + 8, 16, True)],
+        values=small_int_values(_n(n, 0.16), rng, bound=1 << 12),
+    )
+    return _mix(rng, [cells, wires, anneal])
+
+
+def _vortex(rng: np.random.Generator, n: int) -> EventBlock:
+    graph = pointer_chase(_CODE, _n(n, 0.35), _HEAP, 12_000, 128, rng, payload_loads=2)
+    pages = block_copy(_CODE + 0x100, _n(n, 0.15), _DATA, _DATA + (1 << 26), rng)
+    index = hash_probe(_CODE + 0x180, _n(n, 0.2), _HEAP + (1 << 28), 1 << 13, rng)
+    journal = looped_stores(
+        _CODE + 0x200,
+        [(_DATA + (1 << 30), 64), (_DATA + (1 << 30) + (1 << 20), 8)],
+        72, max(_n(n, 0.1) // 144, 2), rng,
+    )
+    return _mix(rng, [graph, pages, index, journal])
+
+
+def _vpr(rng: np.random.Generator, n: int) -> EventBlock:
+    side = max(int((n * 0.3) ** 0.5), 16)
+    grid = matrix_traverse(_CODE, side, side, _DATA, rng, store_every=5)
+    grid2 = matrix_traverse(_CODE + 0x40, side, side, _DATA, rng, store_every=5)
+    nets = gather_scatter(_CODE + 0x80, _n(n, 0.2), _HEAP, _DATA, side * side, rng,
+                          locality=256)
+    return concat_events([grid, _mix(rng, [nets, grid2])])
+
+
+# --- floating-point program models ------------------------------------------
+
+
+def _ammp(rng: np.random.Generator, n: int) -> EventBlock:
+    neighbours = gather_scatter(
+        _CODE, _n(n, 0.4), _HEAP, _DATA, 50_000, rng, locality=64, store_fraction=0.25
+    )
+    forces = strided_sweep(
+        _CODE + 0x100,
+        _n(n, 0.1),
+        [(_DATA, 24, False), (_DATA + 8, 24, False), (_DATA + 16, 24, True)],
+        rng=rng,
+    )
+    return _mix(rng, [neighbours, forces])
+
+
+def _art(rng: np.random.Generator, n: int) -> EventBlock:
+    # Small weight matrices swept over and over: extreme reuse, tiny
+    # working set — the paper's best-compressing store-address trace.
+    from repro.traces.primitives import fp_values
+
+    weights = [fp_values(60 * 6, rng) for _ in range(2)]
+    passes = []
+    sweeps = max(_n(n, 1.0) // (60 * 12), 2)
+    for _ in range(sweeps):
+        pair = [
+            matrix_traverse(_CODE, 60, 6, _DATA, rng, store_every=3,
+                            content=weights[0]),
+            matrix_traverse(_CODE + 0x40, 60, 6, _DATA + (1 << 14), rng,
+                            store_every=4, content=weights[1]),
+        ]
+        passes.append(_mix(rng, pair))
+    return concat_events(passes)
+
+
+def _equake(rng: np.random.Generator, n: int) -> EventBlock:
+    sparse = gather_scatter(
+        _CODE, _n(n, 0.45), _HEAP, _DATA, 40_000, rng, locality=96, store_fraction=0.2
+    )
+    vectors = strided_sweep(
+        _CODE + 0x100,
+        _n(n, 0.05),
+        [(_DATA + (1 << 24), 8, False), (_DATA + (1 << 25), 8, True)],
+        rng=rng,
+    )
+    return _mix(rng, [sparse, vectors])
+
+
+def _mesa(rng: np.random.Generator, n: int) -> EventBlock:
+    vertices = strided_sweep(
+        _CODE,
+        _n(n, 0.3),
+        [(_DATA, 32, False), (_DATA + 8, 32, False), (_DATA + 16, 32, False),
+         (_HEAP, 16, True)],
+        rng=rng,
+    )
+    textures = gather_scatter(
+        _CODE + 0x100, _n(n, 0.15), _HEAP + (1 << 24), _DATA + (1 << 26), 1 << 16, rng,
+        locality=512, store_fraction=0.1,
+    )
+    return _mix(rng, [vertices, textures])
+
+
+def _applu(rng: np.random.Generator, n: int) -> EventBlock:
+    side = max(int((n / 3) ** 0.5), 16)
+    sweeps = []
+    for direction in range(3):
+        sweeps.append(
+            matrix_traverse(
+                _CODE + direction * 0x40, side, side, _DATA + direction * (1 << 22),
+                rng, column_major=direction % 2 == 1, store_every=4,
+            )
+        )
+    return _mix(rng, sweeps)
+
+
+def _apsi(rng: np.random.Generator, n: int) -> EventBlock:
+    side = max(int((n / 6) ** 0.5), 16)
+    layers = []
+    for layer in range(4):
+        layers.append(
+            matrix_traverse(
+                _CODE + layer * 0x40, side, side + side // 2,
+                _DATA + layer * (1 << 21),
+                rng, column_major=layer % 2 == 0, store_every=6,
+            )
+        )
+    return _mix(rng, layers)
+
+
+def _mgrid(rng: np.random.Generator, n: int) -> EventBlock:
+    # Multigrid: the same stencil at halving resolutions, repeated.
+    from repro.traces.primitives import fp_values
+
+    levels = []
+    size = max(int((n / 2.7) ** 0.5) & ~1, 16)
+    grids: dict[int, object] = {}
+    for _ in range(2):
+        current = size
+        level = 0
+        while current >= 16:
+            if level not in grids:
+                grids[level] = fp_values(current * (current // 2), rng)
+            levels.append(
+                matrix_traverse(
+                    _CODE + level * 0x40, current, current // 2,
+                    _DATA + level * (1 << 23),
+                    rng, store_every=7, content=grids[level],
+                )
+            )
+            current //= 2
+            level += 1
+    return concat_events(levels)
+
+
+def _sixtrack(rng: np.random.Generator, n: int) -> EventBlock:
+    particles = strided_sweep(
+        _CODE,
+        _n(n, 0.25),
+        [(_DATA, 48, False), (_DATA + 8, 48, False), (_DATA + 16, 48, False),
+         (_DATA + 24, 48, True), (_DATA + 32, 48, True)],
+        rng=rng,
+    )
+    lattice = sequential_scan(_CODE + 0x100, _n(n, 0.2), _HEAP, 8, rng, alphabet=32)
+    return _mix(rng, [particles, lattice])
+
+
+def _swim(rng: np.random.Generator, n: int) -> EventBlock:
+    # Shallow-water: a handful of big arrays, perfectly regular.
+    side = max(int((n / 6) ** 0.5), 16)
+    from repro.traces.primitives import fp_values
+
+    contents = [fp_values(side * side, rng) for _ in range(3)]
+    passes = []
+    for _ in range(2):
+        arrays = [
+            matrix_traverse(
+                _CODE + array * 0x40, side, side, _DATA + array * (1 << 23),
+                rng, store_every=3, content=contents[array],
+            )
+            for array in range(3)
+        ]
+        passes.append(_mix(rng, arrays))
+    return concat_events(passes)
+
+
+def _wupwise(rng: np.random.Generator, n: int) -> EventBlock:
+    lattice = strided_sweep(
+        _CODE,
+        _n(n, 0.3),
+        [(_DATA, 16, False), (_DATA + 8, 16, False), (_DATA + (1 << 24), 16, True)],
+        rng=rng,
+    )
+    copies = block_copy(_CODE + 0x100, _n(n, 0.15), _DATA, _DATA + (1 << 25), rng)
+    return _mix(rng, [lattice, copies])
+
+
+#: The full suite, in the paper's Table 1 order.
+WORKLOADS: dict[str, WorkloadInfo] = {
+    info.name: info
+    for info in (
+        WorkloadInfo("eon", "C++", "integer", 1.0, _eon),
+        WorkloadInfo("bzip2", "C", "integer", 2.0, _bzip2),
+        WorkloadInfo("crafty", "C", "integer", 1.5, _crafty),
+        WorkloadInfo("gap", "C", "integer", 0.9, _gap),
+        WorkloadInfo("gcc", "C", "integer", 1.1, _gcc),
+        WorkloadInfo("gzip", "C", "integer", 1.3, _gzip),
+        WorkloadInfo("mcf", "C", "integer", 0.5, _mcf),
+        WorkloadInfo("parser", "C", "integer", 1.4, _parser),
+        WorkloadInfo("perlbmk", "C", "integer", 0.6, _perlbmk),
+        WorkloadInfo("twolf", "C", "integer", 0.5, _twolf),
+        WorkloadInfo("vortex", "C", "integer", 2.0, _vortex),
+        WorkloadInfo("vpr", "C", "integer", 1.2, _vpr),
+        WorkloadInfo("ammp", "C", "floating point", 1.6, _ammp),
+        WorkloadInfo("art", "C", "floating point", 1.2, _art),
+        WorkloadInfo("equake", "C", "floating point", 0.9, _equake),
+        WorkloadInfo("mesa", "C", "floating point", 1.1, _mesa),
+        WorkloadInfo("applu", "F77", "floating point", 0.6, _applu),
+        WorkloadInfo("apsi", "F77", "floating point", 1.5, _apsi),
+        WorkloadInfo("mgrid", "F77", "floating point", 1.8, _mgrid),
+        WorkloadInfo("sixtrack", "F77", "floating point", 2.0, _sixtrack),
+        WorkloadInfo("swim", "F77", "floating point", 0.6, _swim),
+        WorkloadInfo("wupwise", "F77", "floating point", 1.7, _wupwise),
+    )
+}
+
+
+def workload_names() -> list[str]:
+    """All 22 workload names in Table 1 order."""
+    return list(WORKLOADS)
+
+
+def default_suite() -> list[str]:
+    """A representative eight-workload subset used by the fast benchmarks.
+
+    Covers both program types and every behaviour family: set
+    ``REPRO_FULL_SUITE=1`` to run all 22 workloads instead.
+    """
+    return ["bzip2", "crafty", "gcc", "mcf", "perlbmk", "art", "equake", "swim"]
+
+
+def _derive_seed(name: str, seed: int) -> int:
+    digest = hashlib.sha256(f"{name}:{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def generate_events(name: str, scale: float = 1.0, seed: int = 2005) -> EventBlock:
+    """Run one program model and return its event stream.
+
+    ``scale`` multiplies the event budget (1.0 gives roughly
+    ``BASE_EVENTS * weight`` events); ``seed`` makes distinct but
+    reproducible runs.
+    """
+    try:
+        info = WORKLOADS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOADS)}"
+        ) from None
+    rng = np.random.default_rng(_derive_seed(name, seed))
+    budget = int(BASE_EVENTS * info.weight * scale)
+    return info.build(rng, budget)

@@ -1,0 +1,40 @@
+"""A miniature load/store virtual machine for honest trace generation.
+
+The paper's traces come from real programs instrumented with ATOM: every
+record's PC is a real static instruction and every address a real
+register-computed effective address.  The synthetic generators in
+:mod:`repro.traces` approximate that statistically; this package goes one
+step further and *executes programs*:
+
+- :mod:`repro.vm.isa` — a small RISC instruction set (16 registers,
+  64-bit memory operations, branches and jump-and-link);
+- :mod:`repro.vm.assembler` — a two-pass assembler with labels, ``.data``
+  directives, and call/return pseudo-instructions;
+- :mod:`repro.vm.machine` — the interpreter, with a memory-event trace
+  hook that records (PC, effective address, value, is-store) for every
+  load and store;
+- :mod:`repro.vm.programs` — a library of classic kernels (matrix
+  multiply, linked-list traversal, binary search, hashing, quicksort,
+  string search, recursion, stencils) written in the assembly language;
+- :mod:`repro.vm.tracing` — bridges executed programs to the evaluation
+  trace types (store addresses / cache-miss addresses / load values).
+
+Traces produced here flow through exactly the same builders, compressors,
+and benchmarks as the synthetic suite.
+"""
+
+from repro.vm.assembler import AssemblyError, assemble
+from repro.vm.machine import ExecutionError, Machine
+from repro.vm.programs import program_names, program_source
+from repro.vm.tracing import run_program, vm_trace
+
+__all__ = [
+    "AssemblyError",
+    "ExecutionError",
+    "Machine",
+    "assemble",
+    "program_names",
+    "program_source",
+    "run_program",
+    "vm_trace",
+]

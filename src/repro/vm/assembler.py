@@ -1,0 +1,276 @@
+"""Two-pass assembler for the miniature machine.
+
+Syntax (one statement per line; ``#`` comments)::
+
+    .text                     # switch to the text segment (default)
+    main:                     # labels end with ':'
+        li   x1, 64
+        la   x2, array        # load a data label's address
+        call body             # pseudo: jal x15, body
+        halt
+    body:
+        st   x1, 0(x2)
+        ret                   # pseudo: jr x15
+
+    .data
+    array:
+        .word64 1, 2, -3      # 64-bit little-endian words
+        .space  256           # zero-filled bytes
+        .byte   7, 8          # single bytes
+        .align  8             # pad to a multiple of 8
+
+Registers are written ``x0``-``x15`` (aliases: ``zero`` = x0, ``sp`` =
+x14, ``ra`` = x15).  Immediates accept decimal and ``0x`` hex, with an
+optional leading ``-``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.vm.isa import (
+    BRANCH_OPS,
+    DATA_BASE,
+    INSTRUCTION_BYTES,
+    Instruction,
+    JUMP_OPS,
+    Op,
+    Program,
+    RA,
+    REGISTER_COUNT,
+    TEXT_BASE,
+)
+
+
+class AssemblyError(ReproError):
+    """Raised for syntax or semantic errors, with the source line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"assembly error at line {line}: {message}")
+        self.line = line
+
+
+_REGISTER_ALIASES = {"zero": 0, "sp": 14, "ra": 15}
+
+#: Pseudo-instructions expanded during parsing.
+_PSEUDO = {"call", "ret", "nop"}
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip()
+    if token in _REGISTER_ALIASES:
+        return _REGISTER_ALIASES[token]
+    if token.startswith("x") and token[1:].isdigit():
+        number = int(token[1:])
+        if 0 <= number < REGISTER_COUNT:
+            return number
+    raise AssemblyError(f"bad register {token!r}", line)
+
+
+def _parse_immediate(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad immediate {token!r}", line) from None
+
+
+def _parse_displacement(token: str, line: int) -> tuple[int, int]:
+    """Parse ``imm(xN)`` into (imm, register)."""
+    token = token.strip()
+    if not token.endswith(")") or "(" not in token:
+        raise AssemblyError(f"expected displacement imm(reg), got {token!r}", line)
+    imm_text, register_text = token[:-1].split("(", 1)
+    imm = _parse_immediate(imm_text or "0", line)
+    return imm, _parse_register(register_text, line)
+
+
+class _Statement:
+    """One parsed instruction statement awaiting label resolution."""
+
+    def __init__(self, op: Op, operands: list[str], line: int) -> None:
+        self.op = op
+        self.operands = operands
+        self.line = line
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into a :class:`~repro.vm.isa.Program`."""
+    statements: list[_Statement] = []
+    data = bytearray()
+    labels: dict[str, int] = {}
+    in_text = True
+
+    # -- pass 1: parse, expand pseudos, record label positions -------------
+    for line_number, raw_line in enumerate(source.split("\n"), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"bad label {label!r}", line_number)
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_number)
+            if in_text:
+                labels[label] = TEXT_BASE + len(statements) * INSTRUCTION_BYTES
+            else:
+                labels[label] = DATA_BASE + len(data)
+            line = line.strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0]
+            argument = parts[1] if len(parts) > 1 else ""
+            if directive == ".text":
+                in_text = True
+            elif directive == ".data":
+                in_text = False
+            elif directive == ".word64":
+                if in_text:
+                    raise AssemblyError(".word64 outside .data", line_number)
+                for token in argument.split(","):
+                    value = _parse_immediate(token, line_number)
+                    data += (value & ((1 << 64) - 1)).to_bytes(8, "little")
+            elif directive == ".byte":
+                if in_text:
+                    raise AssemblyError(".byte outside .data", line_number)
+                for token in argument.split(","):
+                    data.append(_parse_immediate(token, line_number) & 0xFF)
+            elif directive == ".space":
+                if in_text:
+                    raise AssemblyError(".space outside .data", line_number)
+                data += bytes(_parse_immediate(argument, line_number))
+            elif directive == ".align":
+                if in_text:
+                    raise AssemblyError(".align outside .data", line_number)
+                boundary = _parse_immediate(argument, line_number)
+                while len(data) % boundary:
+                    data.append(0)
+            else:
+                raise AssemblyError(f"unknown directive {directive!r}", line_number)
+            continue
+
+        if not in_text:
+            raise AssemblyError("instruction inside .data", line_number)
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [t.strip() for t in operand_text.split(",")] if operand_text else []
+
+        if mnemonic in _PSEUDO:
+            if mnemonic == "call":
+                if len(operands) != 1:
+                    raise AssemblyError("call takes one label", line_number)
+                statements.append(_Statement(Op.JAL, ["ra", operands[0]], line_number))
+            elif mnemonic == "ret":
+                statements.append(_Statement(Op.JR, ["ra"], line_number))
+            else:  # nop
+                statements.append(_Statement(Op.ADDI, ["x0", "x0", "0"], line_number))
+            continue
+
+        try:
+            op = Op(mnemonic)
+        except ValueError:
+            raise AssemblyError(f"unknown instruction {mnemonic!r}", line_number) from None
+        statements.append(_Statement(op, operands, line_number))
+
+    # -- pass 2: resolve operands and labels -------------------------------
+    instructions: list[Instruction] = []
+    for statement in statements:
+        instructions.append(_encode(statement, labels))
+    return Program(
+        instructions=tuple(instructions), data=bytes(data), labels=labels
+    )
+
+
+def _expect(statement: _Statement, count: int) -> None:
+    if len(statement.operands) != count:
+        raise AssemblyError(
+            f"{statement.op.value} takes {count} operands, "
+            f"got {len(statement.operands)}",
+            statement.line,
+        )
+
+
+def _label_address(token: str, labels: dict[str, int], line: int) -> int:
+    token = token.strip()
+    if token not in labels:
+        raise AssemblyError(f"undefined label {token!r}", line)
+    return labels[token]
+
+
+def _encode(s: _Statement, labels: dict[str, int]) -> Instruction:
+    op = s.op
+    line = s.line
+    if op is Op.HALT:
+        _expect(s, 0)
+        return Instruction(op, line=line)
+    if op is Op.LI:
+        _expect(s, 2)
+        return Instruction(
+            op, rd=_parse_register(s.operands[0], line),
+            imm=_parse_immediate(s.operands[1], line), line=line,
+        )
+    if op is Op.LA:
+        _expect(s, 2)
+        return Instruction(
+            Op.LI, rd=_parse_register(s.operands[0], line),
+            imm=_label_address(s.operands[1], labels, line), line=line,
+        )
+    if op is Op.MV:
+        _expect(s, 2)
+        return Instruction(
+            op, rd=_parse_register(s.operands[0], line),
+            rs1=_parse_register(s.operands[1], line), line=line,
+        )
+    if op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR, Op.XOR,
+              Op.SHL, Op.SHR):
+        _expect(s, 3)
+        return Instruction(
+            op, rd=_parse_register(s.operands[0], line),
+            rs1=_parse_register(s.operands[1], line),
+            rs2=_parse_register(s.operands[2], line), line=line,
+        )
+    if op in (Op.ADDI, Op.ANDI, Op.MULI, Op.SHLI, Op.SHRI):
+        _expect(s, 3)
+        return Instruction(
+            op, rd=_parse_register(s.operands[0], line),
+            rs1=_parse_register(s.operands[1], line),
+            imm=_parse_immediate(s.operands[2], line), line=line,
+        )
+    if op in (Op.LD, Op.LDB):
+        _expect(s, 2)
+        imm, base = _parse_displacement(s.operands[1], line)
+        return Instruction(
+            op, rd=_parse_register(s.operands[0], line), rs1=base, imm=imm, line=line
+        )
+    if op in (Op.ST, Op.STB):
+        _expect(s, 2)
+        imm, base = _parse_displacement(s.operands[1], line)
+        return Instruction(
+            op, rs2=_parse_register(s.operands[0], line), rs1=base, imm=imm, line=line
+        )
+    if op in BRANCH_OPS:
+        _expect(s, 3)
+        return Instruction(
+            op, rs1=_parse_register(s.operands[0], line),
+            rs2=_parse_register(s.operands[1], line),
+            target=_label_address(s.operands[2], labels, line), line=line,
+        )
+    if op is Op.J:
+        _expect(s, 1)
+        return Instruction(op, target=_label_address(s.operands[0], labels, line), line=line)
+    if op is Op.JAL:
+        _expect(s, 2)
+        return Instruction(
+            op, rd=_parse_register(s.operands[0], line),
+            target=_label_address(s.operands[1], labels, line), line=line,
+        )
+    if op is Op.JR:
+        _expect(s, 1)
+        return Instruction(op, rs1=_parse_register(s.operands[0], line), line=line)
+    raise AssemblyError(f"unhandled opcode {op.value!r}", line)

@@ -1,0 +1,114 @@
+"""The instruction set of the miniature machine.
+
+A classic three-operand load/store RISC:
+
+- 16 general registers ``x0``-``x15``; ``x0`` is hardwired to zero.
+  Convention: ``x14`` is the stack pointer (``sp``), ``x15`` the link
+  register (``ra``).
+- All arithmetic is 64-bit two's-complement (wrapping).
+- Memory operations: ``ld``/``st`` move 64-bit little-endian words,
+  ``ldb``/``stb`` single bytes; effective address = register + immediate
+  displacement.
+- Control flow: conditional branches compare two registers; ``jal``
+  stores the return address; ``jr`` jumps through a register.
+- Instructions occupy 4 bytes of the text segment, so PCs behave like the
+  paper's RISC PCs (the "default instruction stride" PDATS II exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: Number of general-purpose registers.
+REGISTER_COUNT = 16
+#: Conventional stack pointer and link register.
+SP = 14
+RA = 15
+
+#: Segment bases (mirroring the synthetic suite's address-space layout).
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+STACK_TOP = 0x7FFF_F000
+
+#: Bytes per instruction slot.
+INSTRUCTION_BYTES = 4
+
+
+class Op(Enum):
+    """Opcodes.  The comment gives the assembly operand shape."""
+
+    LI = "li"  # li rd, imm
+    LA = "la"  # la rd, label          (resolved to li at assembly)
+    MV = "mv"  # mv rd, rs
+    ADD = "add"  # add rd, rs1, rs2
+    SUB = "sub"  # sub rd, rs1, rs2
+    MUL = "mul"  # mul rd, rs1, rs2
+    DIV = "div"  # div rd, rs1, rs2    (signed, trunc; x/0 = 0)
+    REM = "rem"  # rem rd, rs1, rs2    (x%0 = x)
+    AND = "and"  # and rd, rs1, rs2
+    OR = "or"  # or rd, rs1, rs2
+    XOR = "xor"  # xor rd, rs1, rs2
+    SHL = "shl"  # shl rd, rs1, rs2
+    SHR = "shr"  # shr rd, rs1, rs2    (logical)
+    ADDI = "addi"  # addi rd, rs1, imm
+    ANDI = "andi"  # andi rd, rs1, imm
+    MULI = "muli"  # muli rd, rs1, imm
+    SHLI = "shli"  # shli rd, rs1, imm
+    SHRI = "shri"  # shri rd, rs1, imm
+    LD = "ld"  # ld rd, imm(rs)
+    ST = "st"  # st rs2, imm(rs1)
+    LDB = "ldb"  # ldb rd, imm(rs)
+    STB = "stb"  # stb rs2, imm(rs1)
+    BEQ = "beq"  # beq rs1, rs2, label
+    BNE = "bne"  # bne rs1, rs2, label
+    BLT = "blt"  # blt rs1, rs2, label (signed)
+    BGE = "bge"  # bge rs1, rs2, label (signed)
+    J = "j"  # j label
+    JAL = "jal"  # jal rd, label
+    JR = "jr"  # jr rs
+    HALT = "halt"  # halt
+
+
+#: Ops whose third operand is a branch/jump target label.
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE})
+JUMP_OPS = frozenset({Op.J, Op.JAL})
+MEMORY_OPS = frozenset({Op.LD, Op.ST, Op.LDB, Op.STB})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Field use depends on the opcode: ``rd``/``rs1``/``rs2`` are register
+    numbers, ``imm`` an immediate or displacement, ``target`` a resolved
+    text address for branches/jumps.  ``line`` is the 1-based source line
+    for error reporting.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: int = 0
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: instructions plus initialized data."""
+
+    instructions: tuple[Instruction, ...]
+    data: bytes  # initial contents of the data segment (at DATA_BASE)
+    labels: dict  # label -> resolved address (text or data)
+
+    @property
+    def text_end(self) -> int:
+        return TEXT_BASE + len(self.instructions) * INSTRUCTION_BYTES
+
+    def pc_of(self, index: int) -> int:
+        return TEXT_BASE + index * INSTRUCTION_BYTES
+
+    def index_of(self, pc: int) -> int:
+        return (pc - TEXT_BASE) // INSTRUCTION_BYTES

@@ -1,0 +1,293 @@
+"""Interpreter for the miniature machine, with memory-event tracing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.traces.events import EventBlock
+from repro.vm.isa import (
+    DATA_BASE,
+    INSTRUCTION_BYTES,
+    Op,
+    Program,
+    REGISTER_COUNT,
+    SP,
+    STACK_TOP,
+    TEXT_BASE,
+)
+
+_MASK64 = (1 << 64) - 1
+_PAGE_BITS = 12
+_PAGE_BYTES = 1 << _PAGE_BITS
+
+
+class ExecutionError(ReproError):
+    """Raised for runtime faults (bad PC, step-budget exhaustion, ...)."""
+
+
+class Memory:
+    """Sparse byte-addressable memory (4kB pages, zero-initialized)."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, number: int) -> bytearray:
+        page = self._pages.get(number)
+        if page is None:
+            page = bytearray(_PAGE_BYTES)
+            self._pages[number] = page
+        return page
+
+    def read(self, address: int, count: int) -> bytes:
+        out = bytearray()
+        while count:
+            page_number, offset = divmod(address, _PAGE_BYTES)
+            take = min(count, _PAGE_BYTES - offset)
+            out += self._page(page_number)[offset : offset + take]
+            address += take
+            count -= take
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        position = 0
+        while position < len(data):
+            page_number, offset = divmod(address + position, _PAGE_BYTES)
+            take = min(len(data) - position, _PAGE_BYTES - offset)
+            self._page(page_number)[offset : offset + take] = data[
+                position : position + take
+            ]
+            position += take
+
+    def read_u64(self, address: int) -> int:
+        return int.from_bytes(self.read(address, 8), "little")
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write(address, (value & _MASK64).to_bytes(8, "little"))
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * _PAGE_BYTES
+
+
+@dataclass
+class TraceLog:
+    """Accumulated memory events of one execution."""
+
+    pcs: list = field(default_factory=list)
+    addrs: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+    stores: list = field(default_factory=list)
+
+    def record(self, pc: int, addr: int, value: int, is_store: bool) -> None:
+        self.pcs.append(pc)
+        self.addrs.append(addr)
+        self.values.append(value)
+        self.stores.append(is_store)
+
+    def to_events(self) -> EventBlock:
+        return EventBlock(
+            np.array(self.pcs, dtype=np.uint64),
+            np.array(self.addrs, dtype=np.uint64),
+            np.array(self.values, dtype=np.uint64),
+            np.array(self.stores, dtype=bool),
+        )
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+#: Stable opcode ordinals for instruction-word synthesis.
+_OP_ORDINALS = {op: number for number, op in enumerate(Op)}
+
+
+def encode_word(instruction) -> int:
+    """Synthesize a 64-bit instruction word for instruction traces.
+
+    The ISA has no binary encoding (the interpreter executes decoded
+    structures), so instruction traces pack the decoded fields into a
+    deterministic word: opcode ordinal, registers, and the low 32 bits of
+    the immediate or branch target.
+    """
+    word = _OP_ORDINALS[instruction.op]
+    word |= instruction.rd << 8
+    word |= instruction.rs1 << 12
+    word |= instruction.rs2 << 16
+    payload = instruction.imm if instruction.target == 0 else instruction.target
+    word |= (payload & 0xFFFF_FFFF) << 32
+    return word
+
+
+class Machine:
+    """Executes an assembled program, optionally tracing memory events."""
+
+    def __init__(
+        self, program: Program, trace: bool = True, trace_instructions: bool = False
+    ) -> None:
+        self.program = program
+        self.memory = Memory()
+        if program.data:
+            self.memory.write(DATA_BASE, program.data)
+        self.registers = [0] * REGISTER_COUNT
+        self.registers[SP] = STACK_TOP
+        self.pc = TEXT_BASE
+        self.halted = False
+        self.steps = 0
+        self.trace: TraceLog | None = TraceLog() if trace else None
+        # Optional full instruction trace: (pc, synthesized instruction
+        # word) per executed instruction — the trace type MACHE and SBC
+        # were originally designed for.
+        self.trace_instructions = trace_instructions
+        self.instruction_pcs: list = []
+        self.instruction_words: list = []
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_steps: int = 5_000_000) -> int:
+        """Run until ``halt`` or the step budget; returns executed steps."""
+        while not self.halted:
+            if self.steps >= max_steps:
+                raise ExecutionError(
+                    f"step budget of {max_steps} exhausted at pc={self.pc:#x}"
+                )
+            self.step()
+        return self.steps
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        index = self.program.index_of(self.pc)
+        if not 0 <= index < len(self.program.instructions):
+            raise ExecutionError(f"pc {self.pc:#x} outside the text segment")
+        instruction = self.program.instructions[index]
+        self.steps += 1
+        if self.trace_instructions:
+            self.instruction_pcs.append(self.pc)
+            self.instruction_words.append(encode_word(instruction))
+        op = instruction.op
+        registers = self.registers
+        next_pc = self.pc + INSTRUCTION_BYTES
+
+        if op is Op.LI:
+            self._set(instruction.rd, instruction.imm)
+        elif op is Op.MV:
+            self._set(instruction.rd, registers[instruction.rs1])
+        elif op is Op.ADD:
+            self._set(instruction.rd, registers[instruction.rs1] + registers[instruction.rs2])
+        elif op is Op.SUB:
+            self._set(instruction.rd, registers[instruction.rs1] - registers[instruction.rs2])
+        elif op is Op.MUL:
+            self._set(instruction.rd, registers[instruction.rs1] * registers[instruction.rs2])
+        elif op is Op.DIV:
+            divisor = _signed(registers[instruction.rs2])
+            if divisor == 0:
+                self._set(instruction.rd, 0)
+            else:
+                quotient = int(_signed(registers[instruction.rs1]) / divisor)
+                self._set(instruction.rd, quotient)
+        elif op is Op.REM:
+            divisor = _signed(registers[instruction.rs2])
+            if divisor == 0:
+                self._set(instruction.rd, registers[instruction.rs1])
+            else:
+                dividend = _signed(registers[instruction.rs1])
+                self._set(instruction.rd, dividend - int(dividend / divisor) * divisor)
+        elif op is Op.AND:
+            self._set(instruction.rd, registers[instruction.rs1] & registers[instruction.rs2])
+        elif op is Op.OR:
+            self._set(instruction.rd, registers[instruction.rs1] | registers[instruction.rs2])
+        elif op is Op.XOR:
+            self._set(instruction.rd, registers[instruction.rs1] ^ registers[instruction.rs2])
+        elif op is Op.SHL:
+            self._set(instruction.rd, registers[instruction.rs1] << (registers[instruction.rs2] & 63))
+        elif op is Op.SHR:
+            self._set(instruction.rd, (registers[instruction.rs1] & _MASK64) >> (registers[instruction.rs2] & 63))
+        elif op is Op.ADDI:
+            self._set(instruction.rd, registers[instruction.rs1] + instruction.imm)
+        elif op is Op.ANDI:
+            self._set(instruction.rd, registers[instruction.rs1] & instruction.imm)
+        elif op is Op.MULI:
+            self._set(instruction.rd, registers[instruction.rs1] * instruction.imm)
+        elif op is Op.SHLI:
+            self._set(instruction.rd, registers[instruction.rs1] << (instruction.imm & 63))
+        elif op is Op.SHRI:
+            self._set(instruction.rd, (registers[instruction.rs1] & _MASK64) >> (instruction.imm & 63))
+        elif op is Op.LD:
+            address = (registers[instruction.rs1] + instruction.imm) & _MASK64
+            value = self.memory.read_u64(address)
+            self._set(instruction.rd, value)
+            if self.trace is not None:
+                self.trace.record(self.pc, address, value, False)
+        elif op is Op.ST:
+            address = (registers[instruction.rs1] + instruction.imm) & _MASK64
+            value = registers[instruction.rs2] & _MASK64
+            self.memory.write_u64(address, value)
+            if self.trace is not None:
+                self.trace.record(self.pc, address, value, True)
+        elif op is Op.LDB:
+            address = (registers[instruction.rs1] + instruction.imm) & _MASK64
+            value = self.memory.read(address, 1)[0]
+            self._set(instruction.rd, value)
+            if self.trace is not None:
+                self.trace.record(self.pc, address, value, False)
+        elif op is Op.STB:
+            address = (registers[instruction.rs1] + instruction.imm) & _MASK64
+            value = registers[instruction.rs2] & 0xFF
+            self.memory.write(address, bytes([value]))
+            if self.trace is not None:
+                self.trace.record(self.pc, address, value, True)
+        elif op is Op.BEQ:
+            if registers[instruction.rs1] == registers[instruction.rs2]:
+                next_pc = instruction.target
+        elif op is Op.BNE:
+            if registers[instruction.rs1] != registers[instruction.rs2]:
+                next_pc = instruction.target
+        elif op is Op.BLT:
+            if _signed(registers[instruction.rs1]) < _signed(registers[instruction.rs2]):
+                next_pc = instruction.target
+        elif op is Op.BGE:
+            if _signed(registers[instruction.rs1]) >= _signed(registers[instruction.rs2]):
+                next_pc = instruction.target
+        elif op is Op.J:
+            next_pc = instruction.target
+        elif op is Op.JAL:
+            self._set(instruction.rd, next_pc)
+            next_pc = instruction.target
+        elif op is Op.JR:
+            next_pc = registers[instruction.rs1] & _MASK64
+        elif op is Op.HALT:
+            self.halted = True
+        else:  # pragma: no cover - exhaustive over Op
+            raise ExecutionError(f"unimplemented opcode {op.value!r}")
+        self.pc = next_pc
+
+    def _set(self, register: int, value: int) -> None:
+        if register != 0:  # x0 stays zero
+            self.registers[register] = value & _MASK64
+
+    # -- results ---------------------------------------------------------------
+
+    def events(self) -> EventBlock:
+        """The traced memory events of the execution so far."""
+        if self.trace is None:
+            raise ExecutionError("machine was created with trace=False")
+        return self.trace.to_events()
+
+    def instruction_trace(self) -> tuple[np.ndarray, np.ndarray]:
+        """(pcs, instruction words) of every executed instruction."""
+        if not self.trace_instructions:
+            raise ExecutionError(
+                "machine was created with trace_instructions=False"
+            )
+        return (
+            np.array(self.instruction_pcs, dtype=np.uint64),
+            np.array(self.instruction_words, dtype=np.uint64),
+        )
+
+    def read_words(self, label: str, count: int) -> list[int]:
+        """Read ``count`` 64-bit words starting at a data label (testing aid)."""
+        address = self.program.labels[label]
+        return [self.memory.read_u64(address + 8 * i) for i in range(count)]

@@ -1,0 +1,669 @@
+"""A library of classic kernels written for the miniature machine.
+
+Each program initializes its own data (using a 64-bit linear congruential
+generator where pseudo-random input is needed) and leaves a verifiable
+result in memory, so the test suite can check both the *computation* and
+the *trace* it produces.  The kernels cover the memory-behaviour families
+the paper's benchmarks exhibit: dense loop nests, pointer chasing, search
+trees/arrays, hashing, sorting, byte scanning, deep recursion, and
+stencils.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: 64-bit LCG constants used by several kernels (Knuth's MMIX values).
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+
+
+_MATMUL = f"""
+# C = A x B for N x N 64-bit matrices; A and B are LCG-filled.
+.text
+main:
+    li   x4, 20                 # N
+    # ---- fill A and B with LCG values ----
+    li   x10, 12345             # lcg state
+    la   x6, A
+    la   x7, B
+    mul  x5, x4, x4             # N*N
+    li   x1, 0
+fill:
+    muli x10, x10, {_LCG_MUL}
+    addi x10, x10, {_LCG_ADD}
+    st   x10, 0(x6)
+    muli x10, x10, {_LCG_MUL}
+    addi x10, x10, {_LCG_ADD}
+    st   x10, 0(x7)
+    addi x6, x6, 8
+    addi x7, x7, 8
+    addi x1, x1, 1
+    blt  x1, x5, fill
+    # ---- triple loop ----
+    li   x1, 0                  # i
+iloop:
+    li   x2, 0                  # j
+jloop:
+    li   x3, 0                  # k
+    li   x5, 0                  # acc
+kloop:
+    mul  x6, x1, x4             # A[i*N+k]
+    add  x6, x6, x3
+    shli x6, x6, 3
+    la   x7, A
+    add  x7, x7, x6
+    ld   x8, 0(x7)
+    mul  x6, x3, x4             # B[k*N+j]
+    add  x6, x6, x2
+    shli x6, x6, 3
+    la   x7, B
+    add  x7, x7, x6
+    ld   x9, 0(x7)
+    mul  x8, x8, x9
+    add  x5, x5, x8
+    addi x3, x3, 1
+    blt  x3, x4, kloop
+    mul  x6, x1, x4             # C[i*N+j] = acc
+    add  x6, x6, x2
+    shli x6, x6, 3
+    la   x7, C
+    add  x7, x7, x6
+    st   x5, 0(x7)
+    addi x2, x2, 1
+    blt  x2, x4, jloop
+    addi x1, x1, 1
+    blt  x1, x4, iloop
+    halt
+
+.data
+A:  .space 3200
+B:  .space 3200
+C:  .space 3200
+"""
+
+
+_LIST_SUM = f"""
+# Build a linked list threaded through an array in LCG-shuffled order,
+# then traverse it eight times summing payloads (mcf-style chasing).
+# Node layout: [next_ptr, payload], 16 bytes; count in x4.
+.text
+main:
+    li   x4, 1500               # node count
+    li   x10, 99                # lcg state
+    # thread node i -> node ((i * 769) % count) ... a fixed coprime walk
+    li   x1, 0                  # i
+    la   x2, nodes
+build:
+    muli x5, x1, 769
+    li   x6, 1500
+    rem  x5, x5, x6
+    addi x5, x5, 1              # successor index (i*769 mod n) + 1
+    blt  x5, x4, inrange
+    li   x5, 0
+inrange:
+    muli x6, x5, 16
+    la   x7, nodes
+    add  x6, x7, x6             # successor address
+    muli x7, x1, 16
+    la   x8, nodes
+    add  x7, x8, x7             # this node's address
+    st   x6, 0(x7)              # next pointer
+    muli x10, x10, {_LCG_MUL}
+    addi x10, x10, {_LCG_ADD}
+    andi x9, x10, 1023          # small payload
+    st   x9, 8(x7)
+    addi x1, x1, 1
+    blt  x1, x4, build
+    # ---- traverse 8 times ----
+    li   x11, 0                 # total
+    li   x12, 0                 # pass
+passes:
+    la   x1, nodes              # cursor
+    li   x2, 0                  # visited
+walk:
+    ld   x3, 8(x1)              # payload
+    add  x11, x11, x3
+    ld   x1, 0(x1)              # follow next
+    addi x2, x2, 1
+    blt  x2, x4, walk
+    addi x12, x12, 1
+    li   x5, 8
+    blt  x12, x5, passes
+    la   x6, total
+    st   x11, 0(x6)
+    halt
+
+.data
+total:  .space 8
+nodes:  .space 24000
+"""
+
+
+_BINSEARCH = f"""
+# 2000 binary searches of LCG keys over a sorted 1024-element array.
+.text
+main:
+    li   x4, 1024               # array length
+    # fill sorted array: value = 7*i + 3
+    li   x1, 0
+    la   x2, sorted
+fill:
+    muli x3, x1, 7
+    addi x3, x3, 3
+    st   x3, 0(x2)
+    addi x2, x2, 8
+    addi x1, x1, 1
+    blt  x1, x4, fill
+    # ---- searches ----
+    li   x10, 4242              # lcg state
+    li   x11, 0                 # found counter
+    li   x12, 0                 # search number
+searches:
+    muli x10, x10, {_LCG_MUL}
+    addi x10, x10, {_LCG_ADD}
+    shri x5, x10, 17
+    li   x6, 7200
+    rem  x5, x5, x6             # key in 0..7199
+    li   x1, 0                  # lo
+    mv   x2, x4                 # hi
+loop:
+    bge  x1, x2, miss
+    add  x3, x1, x2
+    shri x3, x3, 1              # mid
+    shli x6, x3, 3
+    la   x7, sorted
+    add  x7, x7, x6
+    ld   x8, 0(x7)
+    beq  x8, x5, hit
+    blt  x8, x5, goright
+    mv   x2, x3                 # hi = mid
+    j    loop
+goright:
+    addi x1, x3, 1              # lo = mid + 1
+    j    loop
+hit:
+    addi x11, x11, 1
+miss:
+    addi x12, x12, 1
+    li   x6, 2000
+    blt  x12, x6, searches
+    la   x7, found
+    st   x11, 0(x7)
+    halt
+
+.data
+found:  .space 8
+sorted: .space 8192
+"""
+
+
+_HASHTABLE = f"""
+# Linear-probing hash table: 1200 inserts then 2400 lookups (gap/parser).
+# Slot layout: 8-byte key (0 = empty); table has 4096 slots.
+.text
+main:
+    li   x4, 4096               # slots
+    li   x10, 7                 # lcg state
+    li   x12, 0                 # insert counter
+inserts:
+    muli x10, x10, {_LCG_MUL}
+    addi x10, x10, {_LCG_ADD}
+    shri x5, x10, 13
+    andi x5, x5, 1048575        # 20-bit key
+    addi x5, x5, 1              # never zero
+    andi x6, x5, 4095           # home slot
+probe_i:
+    shli x7, x6, 3
+    la   x8, table
+    add  x8, x8, x7
+    ld   x9, 0(x8)
+    beq  x9, x0, store_i        # empty slot
+    beq  x9, x5, next_i         # already present
+    addi x6, x6, 1
+    andi x6, x6, 4095
+    j    probe_i
+store_i:
+    st   x5, 0(x8)
+next_i:
+    addi x12, x12, 1
+    li   x7, 1200
+    blt  x12, x7, inserts
+    # ---- lookups (same key distribution, so half hit) ----
+    li   x10, 7                 # reset lcg: first 1200 keys hit
+    li   x12, 0
+    li   x11, 0                 # hits
+lookups:
+    muli x10, x10, {_LCG_MUL}
+    addi x10, x10, {_LCG_ADD}
+    shri x5, x10, 13
+    andi x5, x5, 1048575
+    addi x5, x5, 1
+    andi x6, x5, 4095
+probe_l:
+    shli x7, x6, 3
+    la   x8, table
+    add  x8, x8, x7
+    ld   x9, 0(x8)
+    beq  x9, x0, next_l         # miss
+    beq  x9, x5, hit_l
+    addi x6, x6, 1
+    andi x6, x6, 4095
+    j    probe_l
+hit_l:
+    addi x11, x11, 1
+next_l:
+    addi x12, x12, 1
+    li   x7, 2400
+    blt  x12, x7, lookups
+    la   x7, hits
+    st   x11, 0(x7)
+    halt
+
+.data
+hits:   .space 8
+table:  .space 32768
+"""
+
+
+_QUICKSORT = f"""
+# Iterative quicksort (explicit range stack) of 1200 LCG values.
+.text
+main:
+    li   x4, 1200               # length
+    li   x10, 31415
+    li   x1, 0
+    la   x2, values
+fill:
+    muli x10, x10, {_LCG_MUL}
+    addi x10, x10, {_LCG_ADD}
+    shri x3, x10, 20
+    andi x3, x3, 65535
+    st   x3, 0(x2)
+    addi x2, x2, 8
+    addi x1, x1, 1
+    blt  x1, x4, fill
+    # ---- push initial range [0, n-1] ----
+    la   x13, stack             # stack cursor
+    li   x1, 0
+    st   x1, 0(x13)
+    addi x2, x4, -1
+    st   x2, 8(x13)
+    addi x13, x13, 16
+qsloop:
+    la   x5, stack
+    beq  x13, x5, done          # stack empty
+    addi x13, x13, -16
+    ld   x1, 0(x13)             # lo
+    ld   x2, 8(x13)             # hi
+    bge  x1, x2, qsloop
+    # ---- Lomuto partition: pivot = values[hi] ----
+    shli x5, x2, 3
+    la   x6, values
+    add  x5, x6, x5
+    ld   x7, 0(x5)              # pivot
+    addi x8, x1, -1             # i
+    mv   x9, x1                 # j
+part:
+    bge  x9, x2, endpart
+    shli x5, x9, 3
+    la   x6, values
+    add  x5, x6, x5
+    ld   x11, 0(x5)             # values[j]
+    bge  x11, x7, skip
+    addi x8, x8, 1              # i++
+    shli x12, x8, 3
+    la   x6, values
+    add  x12, x6, x12
+    ld   x3, 0(x12)             # swap values[i], values[j]
+    st   x11, 0(x12)
+    st   x3, 0(x5)
+skip:
+    addi x9, x9, 1
+    j    part
+endpart:
+    addi x8, x8, 1              # pivot position = i + 1
+    shli x5, x8, 3
+    la   x6, values
+    add  x5, x6, x5
+    ld   x3, 0(x5)              # swap values[p], values[hi]
+    shli x12, x2, 3
+    add  x12, x6, x12
+    ld   x11, 0(x12)
+    st   x11, 0(x5)
+    st   x3, 0(x12)
+    # ---- push [lo, p-1] and [p+1, hi] ----
+    addi x3, x8, -1
+    st   x1, 0(x13)
+    st   x3, 8(x13)
+    addi x13, x13, 16
+    addi x3, x8, 1
+    st   x3, 0(x13)
+    st   x2, 8(x13)
+    addi x13, x13, 16
+    j    qsloop
+done:
+    halt
+
+.data
+values: .space 9600
+stack:  .space 4096
+"""
+
+
+_STRSEARCH = """
+# Naive substring search: count occurrences of a 5-byte needle in a
+# 6000-byte text of a small alphabet (gzip/parser-style byte scanning).
+.text
+main:
+    li   x4, 6000               # text length
+    # fill text: byte i = (i*i + i/7) % 17  (quasi-periodic "language")
+    li   x1, 0
+    la   x2, text
+fill:
+    mul  x3, x1, x1
+    li   x5, 7
+    div  x6, x1, x5
+    add  x3, x3, x6
+    li   x5, 17
+    rem  x3, x3, x5
+    stb  x3, 0(x2)
+    addi x2, x2, 1
+    addi x1, x1, 1
+    blt  x1, x4, fill
+    # needle = text[100..104], stored separately
+    la   x2, text
+    la   x3, needle
+    li   x1, 0
+copy:
+    addi x5, x1, 100
+    la   x2, text
+    add  x5, x2, x5
+    ldb  x6, 0(x5)
+    la   x3, needle
+    add  x7, x3, x1
+    stb  x6, 0(x7)
+    addi x1, x1, 1
+    li   x5, 5
+    blt  x1, x5, copy
+    # ---- scan ----
+    li   x11, 0                 # matches
+    li   x1, 0                  # position
+    addi x4, x4, -5
+scan:
+    li   x2, 0                  # needle offset
+cmp:
+    add  x5, x1, x2
+    la   x6, text
+    add  x5, x6, x5
+    ldb  x7, 0(x5)
+    la   x6, needle
+    add  x8, x6, x2
+    ldb  x9, 0(x8)
+    bne  x7, x9, nomatch
+    addi x2, x2, 1
+    li   x5, 5
+    blt  x2, x5, cmp
+    addi x11, x11, 1
+nomatch:
+    addi x1, x1, 1
+    blt  x1, x4, scan
+    la   x5, matches
+    st   x11, 0(x5)
+    halt
+
+.data
+matches: .space 8
+needle:  .space 8
+text:    .space 6008
+"""
+
+
+_FIB = """
+# Doubly recursive Fibonacci (deep call-stack traffic).  fib(17) = 1597.
+.text
+main:
+    li   x1, 17
+    call fib
+    la   x3, result
+    st   x2, 0(x3)
+    halt
+
+# fib(n): argument in x1, result in x2; uses the real machine stack.
+fib:
+    li   x3, 2
+    blt  x1, x3, base
+    addi sp, sp, -24
+    st   ra, 0(sp)
+    st   x1, 8(sp)
+    addi x1, x1, -1
+    call fib
+    st   x2, 16(sp)             # fib(n-1)
+    ld   x1, 8(sp)
+    addi x1, x1, -2
+    call fib
+    ld   x3, 16(sp)
+    add  x2, x2, x3
+    ld   ra, 0(sp)
+    addi sp, sp, 24
+    ret
+base:
+    mv   x2, x1                 # fib(0)=0, fib(1)=1
+    ret
+
+.data
+result: .space 8
+"""
+
+
+_STENCIL = """
+# 1-D three-point stencil: 12 Jacobi sweeps over 1600 cells (swim/mgrid).
+.text
+main:
+    li   x4, 1600               # cells
+    # init: cell i = i ^ (i << 3)
+    li   x1, 0
+    la   x2, grid_a
+init:
+    shli x3, x1, 3
+    xor  x3, x3, x1
+    st   x3, 0(x2)
+    addi x2, x2, 8
+    addi x1, x1, 1
+    blt  x1, x4, init
+    li   x12, 0                 # sweep
+sweeps:
+    li   x1, 1                  # interior cells only
+    addi x9, x4, -1
+cells:
+    shli x5, x1, 3
+    la   x6, grid_a
+    add  x5, x6, x5
+    ld   x7, -8(x5)             # left
+    ld   x8, 0(x5)              # centre
+    ld   x10, 8(x5)             # right
+    add  x7, x7, x8
+    add  x7, x7, x10
+    li   x8, 3
+    div  x7, x7, x8             # average
+    shli x5, x1, 3
+    la   x6, grid_b
+    add  x5, x6, x5
+    st   x7, 0(x5)
+    addi x1, x1, 1
+    blt  x1, x9, cells
+    # copy back interior
+    li   x1, 1
+copy:
+    shli x5, x1, 3
+    la   x6, grid_b
+    add  x7, x6, x5
+    ld   x8, 0(x7)
+    la   x6, grid_a
+    add  x7, x6, x5
+    st   x8, 0(x7)
+    addi x1, x1, 1
+    blt  x1, x9, copy
+    addi x12, x12, 1
+    li   x5, 12
+    blt  x12, x5, sweeps
+    halt
+
+.data
+grid_a: .space 12800
+grid_b: .space 12800
+"""
+
+
+_BFS = """
+# Breadth-first search over a 32x32 grid graph (implicit 4-neighbour
+# adjacency) from node 0: queue-driven irregular traversal (vpr/twolf).
+.text
+main:
+    li   x4, 1024               # node count
+    la   x1, queue
+    st   x0, 0(x1)              # enqueue node 0
+    li   x2, 1                  # tail
+    li   x3, 0                  # head
+    la   x5, visited
+    li   x6, 1
+    stb  x6, 0(x5)              # visited[0] = 1
+    li   x11, 0                 # visit counter
+bfsloop:
+    bge  x3, x2, bfsdone
+    shli x5, x3, 3
+    la   x6, queue
+    add  x5, x6, x5
+    ld   x7, 0(x5)              # node
+    addi x3, x3, 1
+    addi x11, x11, 1
+    # ---- neighbour node-32 (up) ----
+    addi x8, x7, -32
+    blt  x8, x0, try_down
+    call visit
+try_down:
+    addi x8, x7, 32
+    bge  x8, x4, try_left
+    call visit
+try_left:
+    li   x9, 32
+    rem  x10, x7, x9
+    beq  x10, x0, try_right     # left edge of the row
+    addi x8, x7, -1
+    call visit
+try_right:
+    li   x9, 32
+    rem  x10, x7, x9
+    li   x5, 31
+    beq  x10, x5, next          # right edge of the row
+    addi x8, x7, 1
+    call visit
+next:
+    j    bfsloop
+bfsdone:
+    la   x5, visits
+    st   x11, 0(x5)
+    st   x2, 8(x5)              # enqueued count
+    halt
+
+# visit(x8 = candidate node): mark and enqueue if new.  Clobbers x9, x10.
+visit:
+    la   x9, visited
+    add  x9, x9, x8
+    ldb  x10, 0(x9)
+    bne  x10, x0, visited_already
+    li   x10, 1
+    stb  x10, 0(x9)
+    shli x10, x2, 3
+    la   x9, queue
+    add  x9, x9, x10
+    st   x8, 0(x9)
+    addi x2, x2, 1
+visited_already:
+    ret
+
+.data
+visits:  .space 16
+visited: .space 1024
+queue:   .space 8192
+"""
+
+
+_TRANSPOSE = """
+# Out-of-place transpose of a 48x48 matrix: row-major reads against
+# column-major writes (the stride mix of apsi/applu directional sweeps).
+.text
+main:
+    li   x4, 48                 # N
+    # fill A[i] = i * 2654435761
+    mul  x5, x4, x4
+    li   x1, 0
+    la   x2, A
+fill:
+    muli x3, x1, 2654435761
+    st   x3, 0(x2)
+    addi x2, x2, 8
+    addi x1, x1, 1
+    blt  x1, x5, fill
+    # B[j*N+i] = A[i*N+j], three passes (reuse makes misses interesting)
+    li   x12, 0                 # pass
+passes:
+    li   x1, 0                  # i
+rows:
+    li   x2, 0                  # j
+cols:
+    mul  x5, x1, x4
+    add  x5, x5, x2
+    shli x5, x5, 3
+    la   x6, A
+    add  x5, x6, x5
+    ld   x7, 0(x5)
+    mul  x5, x2, x4
+    add  x5, x5, x1
+    shli x5, x5, 3
+    la   x6, B
+    add  x5, x6, x5
+    st   x7, 0(x5)
+    addi x2, x2, 1
+    blt  x2, x4, cols
+    addi x1, x1, 1
+    blt  x1, x4, rows
+    addi x12, x12, 1
+    li   x5, 3
+    blt  x12, x5, passes
+    halt
+
+.data
+A: .space 18432
+B: .space 18432
+"""
+
+
+#: All programs, keyed by name.
+PROGRAMS: dict[str, str] = {
+    "matmul": _MATMUL,
+    "list_sum": _LIST_SUM,
+    "binsearch": _BINSEARCH,
+    "hashtable": _HASHTABLE,
+    "quicksort": _QUICKSORT,
+    "strsearch": _STRSEARCH,
+    "fib": _FIB,
+    "stencil": _STENCIL,
+    "bfs": _BFS,
+    "transpose": _TRANSPOSE,
+}
+
+
+def program_names() -> list[str]:
+    """All kernel names."""
+    return list(PROGRAMS)
+
+
+def program_source(name: str) -> str:
+    """Assembly source of one kernel."""
+    try:
+        return PROGRAMS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown program {name!r}; available: {', '.join(PROGRAMS)}"
+        ) from None

@@ -1,0 +1,62 @@
+"""Bridging executed programs to the evaluation trace types."""
+
+from __future__ import annotations
+
+from repro.cachesim import CacheConfig, PAPER_CACHE
+from repro.traces.builders import (
+    cache_miss_address_trace,
+    load_value_trace,
+    store_address_trace,
+)
+from repro.traces.events import EventBlock
+from repro.vm.assembler import assemble
+from repro.vm.machine import Machine
+from repro.vm.programs import program_source
+
+
+def run_program(name: str, max_steps: int = 5_000_000) -> Machine:
+    """Assemble and run one library kernel to completion (traced)."""
+    machine = Machine(assemble(program_source(name)))
+    machine.run(max_steps=max_steps)
+    return machine
+
+
+def vm_trace(
+    name: str,
+    kind: str,
+    max_steps: int = 5_000_000,
+    cache: CacheConfig = PAPER_CACHE,
+) -> bytes:
+    """Execute a kernel and derive one evaluation-format trace from it.
+
+    ``kind`` is one of :data:`repro.traces.TRACE_KINDS`, or
+    ``"instruction_words"`` for a full instruction trace (PC + synthesized
+    instruction word per executed instruction — the trace type MACHE and
+    SBC were originally designed for).  Unlike the synthetic suite, every
+    PC here belongs to a real static instruction and every address was
+    computed by executed code.
+    """
+    if kind == "instruction_words":
+        return instruction_word_trace(name, max_steps=max_steps)
+    events: EventBlock = run_program(name, max_steps=max_steps).events()
+    if kind == "store_addresses":
+        return store_address_trace(events)
+    if kind == "cache_miss_addresses":
+        return cache_miss_address_trace(events, cache)
+    if kind == "load_values":
+        return load_value_trace(events)
+    from repro.errors import ReproError
+
+    raise ReproError(f"unknown trace kind {kind!r}")
+
+
+def instruction_word_trace(name: str, max_steps: int = 5_000_000) -> bytes:
+    """Full instruction trace of a kernel, in the evaluation format."""
+    from repro.tio.traceformat import VPC_FORMAT, pack_records
+
+    machine = Machine(
+        assemble(program_source(name)), trace=False, trace_instructions=True
+    )
+    machine.run(max_steps=max_steps)
+    pcs, words = machine.instruction_trace()
+    return pack_records(VPC_FORMAT, b"INS\0", [pcs, words])

@@ -1,0 +1,142 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spec import parse_spec, tcgen_a, tcgen_b
+from repro.tio import VPC_FORMAT, pack_records
+
+
+def make_vpc_trace(
+    n: int = 2000,
+    seed: int = 7,
+    header: bytes = b"VPC3",
+    pc_period: int = 53,
+    jump_every: int = 97,
+) -> bytes:
+    """A small deterministic trace with loops, strides, and jumps."""
+    rng = np.random.default_rng(seed)
+    pcs = np.zeros(n, dtype=np.uint64)
+    data = np.zeros(n, dtype=np.uint64)
+    addr = 0x4000_0000
+    for i in range(n):
+        pcs[i] = 0x1000 + (i % pc_period) * 4
+        if jump_every and i % jump_every == 0:
+            addr = int(rng.integers(0, 1 << 40))
+        addr += 8
+        data[i] = addr ^ (i % 11)
+    return pack_records(VPC_FORMAT, header, [pcs, data])
+
+
+def make_random_trace(n: int = 500, seed: int = 3) -> bytes:
+    """A fully random (incompressible) trace."""
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, 1 << 32, size=n, dtype=np.uint64)
+    data = rng.integers(0, 1 << 63, size=n, dtype=np.int64).view(np.uint64)
+    return pack_records(VPC_FORMAT, b"RND0", [pcs, data])
+
+
+@pytest.fixture
+def small_trace() -> bytes:
+    return make_vpc_trace(n=1500)
+
+
+@pytest.fixture
+def random_trace() -> bytes:
+    return make_random_trace(n=400)
+
+
+@pytest.fixture
+def empty_trace() -> bytes:
+    return pack_records(
+        VPC_FORMAT, b"VPC3", [np.zeros(0, np.uint64), np.zeros(0, np.uint64)]
+    )
+
+
+@pytest.fixture
+def spec_a():
+    return tcgen_a()
+
+
+@pytest.fixture
+def spec_b():
+    return tcgen_b()
+
+
+#: A grab-bag of valid specifications exercising different shapes.
+SPEC_VARIANTS = {
+    "tcgen_a": tcgen_a,
+    "tcgen_b": tcgen_b,
+    "single_field": lambda: parse_spec(
+        "TCgen Trace Specification;\n"
+        "32-Bit Field 1 = {L2 = 1024: FCM2[2], LV[1]};\n"
+        "PC = Field 1;\n"
+    ),
+    "no_header": lambda: parse_spec(
+        "TCgen Trace Specification;\n"
+        "32-Bit Field 1 = {: LV[2]};\n"
+        "64-Bit Field 2 = {L1 = 256, L2 = 512: DFCM2[2], LV[1]};\n"
+        "PC = Field 1;\n"
+    ),
+    "three_fields": lambda: parse_spec(
+        "TCgen Trace Specification;\n"
+        "16-Bit Header;\n"
+        "32-Bit Field 1 = {L2 = 2048: FCM1[1]};\n"
+        "8-Bit Field 2 = {L1 = 64, L2 = 256: FCM2[2], LV[2]};\n"
+        "64-Bit Field 3 = {L1 = 128, L2 = 1024: DFCM3[2], DFCM1[1], LV[4]};\n"
+        "PC = Field 1;\n"
+    ),
+    "pc_not_first": lambda: parse_spec(
+        "TCgen Trace Specification;\n"
+        "64-Bit Field 1 = {L1 = 128, L2 = 512: DFCM1[2], LV[2]};\n"
+        "32-Bit Field 2 = {L2 = 1024: FCM2[2]};\n"
+        "PC = Field 2;\n"
+    ),
+    "lv_only": lambda: parse_spec(
+        "TCgen Trace Specification;\n"
+        "32-Bit Header;\n"
+        "32-Bit Field 1 = {: LV[4]};\n"
+        "PC = Field 1;\n"
+    ),
+    "fcm_only": lambda: parse_spec(
+        "TCgen Trace Specification;\n"
+        "32-Bit Field 1 = {L2 = 512: FCM3[2], FCM2[2], FCM1[2]};\n"
+        "PC = Field 1;\n"
+    ),
+}
+
+
+def spec_trace_for(spec) -> bytes:
+    """A small deterministic trace matching an arbitrary specification."""
+    rng = np.random.default_rng(11)
+    n = 600
+    header = bytes(range(spec.header_bytes % 256))[: spec.header_bytes]
+    if len(header) < spec.header_bytes:
+        header = (header * (spec.header_bytes // max(len(header), 1) + 1))[
+            : spec.header_bytes
+        ]
+    columns = []
+    for field in spec.fields:
+        mask = (1 << field.bits) - 1
+        if field.index == spec.pc_field:
+            col = ((0x400 + (np.arange(n) % 31) * 4) & min(mask, (1 << 62) - 1)).astype(
+                np.uint64
+            )
+        else:
+            base = np.cumsum(rng.integers(0, 16, size=n)).astype(np.uint64)
+            jumps = rng.integers(0, 1 << min(field.bits - 1, 40), size=n).astype(
+                np.uint64
+            )
+            col = np.where(np.arange(n) % 50 == 0, jumps, base + np.uint64(0x1000))
+            col &= np.uint64(mask)
+        columns.append(col)
+    from repro.tio import TraceFormat, pack_records as pack
+
+    fmt = TraceFormat(
+        header_bits=spec.header_bits,
+        field_bits=tuple(f.bits for f in spec.fields),
+        pc_field=spec.pc_field,
+    )
+    return pack(fmt, header, columns)

@@ -1,0 +1,137 @@
+"""Tests for trace analysis and automatic predictor recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_trace, recommend_spec, score_candidates
+from repro.runtime import TraceEngine
+from repro.spec.ast import PredictorKind
+from repro.tio import VPC_FORMAT, pack_records
+from repro.traces import build_trace
+
+
+def strided_trace(n=2000, stride=8):
+    pcs = np.full(n, 0x1000, dtype=np.uint64)
+    data = (0x5000 + np.arange(n, dtype=np.uint64) * stride).astype(np.uint64)
+    return pack_records(VPC_FORMAT, b"TST0", [pcs, data])
+
+
+def repeated_trace(n=2000, period=4):
+    pcs = np.full(n, 0x1000, dtype=np.uint64)
+    data = np.tile(np.array([11, 22, 33, 44][:period], np.uint64), n // period + 1)[:n]
+    return pack_records(VPC_FORMAT, b"TST0", [pcs, data])
+
+
+class TestAnalyzeTrace:
+    def test_constant_stride_detected(self):
+        stats = analyze_trace(VPC_FORMAT, strided_trace(stride=16))
+        data_field = stats.fields[1]
+        assert data_field.constant_stride_fraction > 0.99
+        assert data_field.top_strides[0][0] == 16
+
+    def test_repeats_detected(self):
+        raw = repeated_trace(period=1)  # all the same value
+        stats = analyze_trace(VPC_FORMAT, raw)
+        assert stats.fields[1].zero_stride_fraction > 0.99
+        assert stats.fields[1].unique_values == 1
+
+    def test_entropy_of_constant_field_is_zero(self):
+        stats = analyze_trace(VPC_FORMAT, repeated_trace(period=1))
+        assert stats.fields[0].value_entropy_bits == 0.0
+
+    def test_entropy_of_random_field_is_high(self):
+        rng = np.random.default_rng(0)
+        pcs = np.full(1000, 4, np.uint64)
+        data = rng.integers(0, 1 << 62, 1000, dtype=np.int64).view(np.uint64)
+        stats = analyze_trace(VPC_FORMAT, pack_records(VPC_FORMAT, b"TST0", [pcs, data]))
+        assert stats.fields[1].value_entropy_bits > 9.0  # ~log2(1000)
+
+    def test_negative_strides_render_signed(self):
+        pcs = np.full(100, 4, np.uint64)
+        data = (0x9000 - np.arange(100, dtype=np.uint64) * np.uint64(8)).astype(np.uint64)
+        stats = analyze_trace(VPC_FORMAT, pack_records(VPC_FORMAT, b"TST0", [pcs, data]))
+        assert stats.fields[1].top_strides[0][0] == -8
+
+    def test_render_mentions_every_field(self):
+        text = analyze_trace(VPC_FORMAT, strided_trace()).render()
+        assert "field 1" in text and "field 2" in text
+
+    def test_empty_trace(self):
+        raw = pack_records(VPC_FORMAT, b"TST0", [np.zeros(0, np.uint64)] * 2)
+        stats = analyze_trace(VPC_FORMAT, raw)
+        assert stats.record_count == 0
+
+
+class TestScoreCandidates:
+    def test_dfcm_wins_on_strided_data(self):
+        scores = score_candidates(VPC_FORMAT, strided_trace())
+        data_scores = {
+            (s.predictor.kind, s.predictor.order): s.hit_ratio
+            for s in scores
+            if s.field_index == 2
+        }
+        assert data_scores[(PredictorKind.DFCM, 1)] > 0.95
+        assert data_scores[(PredictorKind.DFCM, 1)] > data_scores[(PredictorKind.LV, 0)]
+
+    def test_lv_wins_on_repeating_values(self):
+        scores = score_candidates(VPC_FORMAT, repeated_trace(period=4))
+        data_scores = {
+            (s.predictor.kind, s.predictor.depth): s.hit_ratio
+            for s in scores
+            if s.field_index == 2
+        }
+        assert data_scores[(PredictorKind.LV, 4)] > 0.95
+
+    def test_every_candidate_scored_for_every_field(self):
+        from repro.analysis.predictability import DEFAULT_CANDIDATES
+
+        scores = score_candidates(VPC_FORMAT, strided_trace(n=500))
+        assert len(scores) == 2 * len(DEFAULT_CANDIDATES)
+
+    def test_sampling_cap_respected(self):
+        scores = score_candidates(VPC_FORMAT, strided_trace(n=5000), sample_records=100)
+        assert all(s.records == 100 for s in scores)
+
+
+class TestRecommendSpec:
+    def test_recommended_spec_is_valid_and_works(self):
+        raw = build_trace("gzip", "store_addresses", scale=0.3)
+        spec = recommend_spec(VPC_FORMAT, raw)
+        engine = TraceEngine(spec)  # validates internally
+        blob = engine.compress(raw)
+        assert engine.decompress(blob) == raw
+
+    def test_strided_trace_gets_a_dfcm(self):
+        spec = recommend_spec(VPC_FORMAT, strided_trace())
+        kinds = {p.kind for p in spec.fields[1].predictors}
+        assert PredictorKind.DFCM in kinds
+
+    def test_pc_field_keeps_l1_of_one(self):
+        spec = recommend_spec(VPC_FORMAT, strided_trace())
+        assert spec.fields[0].l1_size == 1
+
+    def test_budget_shrinks_tables(self):
+        raw = strided_trace()
+        big = recommend_spec(VPC_FORMAT, raw, budget_bytes=1 << 30)
+        small = recommend_spec(VPC_FORMAT, raw, budget_bytes=1 << 20)
+        from repro.model import build_model
+
+        assert build_model(small).table_bytes() <= 1 << 20
+        assert build_model(small).table_bytes() <= build_model(big).table_bytes()
+
+    def test_recommendation_beats_naive_single_lv(self):
+        """On a strided trace the recommender must find the stride."""
+        from repro import generate_compressor, parse_spec
+
+        raw = strided_trace(n=4000)
+        recommended = generate_compressor(recommend_spec(VPC_FORMAT, raw))
+        naive = generate_compressor(
+            parse_spec(
+                "TCgen Trace Specification;\n"
+                "32-Bit Header;\n"
+                "32-Bit Field 1 = {: LV[1]};\n"
+                "64-Bit Field 2 = {: LV[1]};\n"
+                "PC = Field 1;\n"
+            )
+        )
+        assert len(recommended.compress(raw)) < len(naive.compress(raw))

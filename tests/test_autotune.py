@@ -1,0 +1,114 @@
+"""Tests for adaptive (self-describing) archives — the paper's Section 7.5
+closing proposal, implemented as an extension."""
+
+import pytest
+
+from repro.autotune import (
+    compress_adaptive,
+    decompress_adaptive,
+    default_candidates,
+    prune_by_usage,
+    read_archive_spec,
+)
+from repro.errors import CompressedFormatError
+from repro.runtime import TraceEngine
+from repro.spec import format_spec, tcgen_a, tcgen_b
+from repro.traces import build_trace
+
+from conftest import make_vpc_trace
+
+
+@pytest.fixture(scope="module")
+def store_trace():
+    return build_trace("swim", "store_addresses", scale=0.5)
+
+
+class TestRoundtrip:
+    def test_adaptive_roundtrip(self, store_trace):
+        result = compress_adaptive(store_trace)
+        assert decompress_adaptive(result.archive) == store_trace
+
+    def test_archive_carries_winning_spec(self, store_trace):
+        result = compress_adaptive(store_trace)
+        spec, payload = read_archive_spec(result.archive)
+        assert spec == result.spec
+        assert payload  # the actual compressed blob follows
+
+    def test_decompressor_is_regenerated_from_archive_alone(self, store_trace):
+        """The reader needs no out-of-band configuration at all."""
+        archive = compress_adaptive(store_trace).archive
+        assert decompress_adaptive(archive) == store_trace
+
+    def test_small_trace(self):
+        raw = make_vpc_trace(n=300)
+        result = compress_adaptive(raw)
+        assert decompress_adaptive(result.archive) == raw
+
+    def test_non_archive_rejected(self):
+        with pytest.raises(CompressedFormatError, match="adaptive archive"):
+            decompress_adaptive(b"TCGN not an adaptive archive")
+
+
+class TestSelection:
+    def test_every_candidate_is_tried(self, store_trace):
+        result = compress_adaptive(store_trace, refine=False)
+        assert len(result.candidate_sizes) == len(default_candidates())
+
+    def test_winner_is_smallest_candidate(self, store_trace):
+        result = compress_adaptive(store_trace, refine=False)
+        assert result.candidate_sizes[result.spec_text] == min(
+            result.candidate_sizes.values()
+        )
+
+    def test_explicit_candidates(self, store_trace):
+        result = compress_adaptive(
+            store_trace, candidates=[tcgen_a()], refine=False
+        )
+        assert result.spec == tcgen_a()
+
+    def test_overhead_is_tens_of_bytes(self, store_trace):
+        """The paper: "an overhead of a few tens of bytes"."""
+        result = compress_adaptive(store_trace, candidates=[tcgen_a()], refine=False)
+        plain = TraceEngine(tcgen_a()).compress(store_trace)
+        overhead = len(result.archive) - len(plain)
+        assert 0 < overhead < 300
+
+    def test_adaptive_never_larger_than_fixed_tcgen_a(self, store_trace):
+        adaptive = compress_adaptive(store_trace)
+        fixed = TraceEngine(tcgen_a()).compress(store_trace)
+        # minus the embedded spec text, the payload is at most the fixed size
+        _, payload = read_archive_spec(adaptive.archive)
+        assert len(payload) <= len(fixed)
+
+
+class TestPruning:
+    def test_prune_drops_unused_predictors(self, store_trace):
+        engine = TraceEngine(tcgen_b())
+        engine.compress(store_trace)
+        pruned = prune_by_usage(tcgen_b(), engine.last_usage)
+        before = sum(len(f.predictors) for f in tcgen_b().fields)
+        after = sum(len(f.predictors) for f in pruned.fields)
+        assert after <= before
+
+    def test_prune_keeps_at_least_one_predictor_per_field(self, store_trace):
+        engine = TraceEngine(tcgen_b())
+        engine.compress(store_trace)
+        pruned = prune_by_usage(tcgen_b(), engine.last_usage, threshold=1.1)
+        for field in pruned.fields:
+            assert len(field.predictors) == 1
+
+    def test_pruned_spec_is_valid_and_usable(self, store_trace):
+        engine = TraceEngine(tcgen_b())
+        engine.compress(store_trace)
+        pruned = prune_by_usage(tcgen_b(), engine.last_usage)
+        pruned_engine = TraceEngine(pruned)  # validates internally
+        blob = pruned_engine.compress(store_trace)
+        assert pruned_engine.decompress(blob) == store_trace
+
+    def test_pruned_rate_stays_close(self, store_trace):
+        """Section 7.5: pruning useless predictors barely hurts the rate."""
+        wide = TraceEngine(tcgen_b())
+        wide_blob = wide.compress(store_trace)
+        pruned_spec = prune_by_usage(tcgen_b(), wide.last_usage)
+        pruned_blob = TraceEngine(pruned_spec).compress(store_trace)
+        assert len(pruned_blob) <= len(wide_blob) * 1.15

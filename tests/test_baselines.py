@@ -1,0 +1,227 @@
+"""Roundtrip and behaviour tests for the six comparison compressors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Bzip2Compressor,
+    MacheCompressor,
+    PdatsCompressor,
+    SbcCompressor,
+    SequiturCompressor,
+    TCgenCompressor,
+    Vpc3Compressor,
+    all_baselines,
+    all_compressors,
+)
+from repro.tio import VPC_FORMAT, pack_records
+
+from conftest import make_random_trace, make_vpc_trace
+
+ALL = [
+    Bzip2Compressor,
+    MacheCompressor,
+    PdatsCompressor,
+    SequiturCompressor,
+    SbcCompressor,
+    Vpc3Compressor,
+    TCgenCompressor,
+]
+
+
+def trace_from(pcs, data, header=b"TST0"):
+    return pack_records(
+        VPC_FORMAT,
+        header,
+        [np.array(pcs, dtype=np.uint64), np.array(data, dtype=np.uint64)],
+    )
+
+
+class TestRoundtripAll:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_structured_trace(self, cls, small_trace):
+        compressor = cls()
+        assert compressor.decompress(compressor.compress(small_trace)) == small_trace
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_random_trace(self, cls, random_trace):
+        compressor = cls()
+        assert (
+            compressor.decompress(compressor.compress(random_trace)) == random_trace
+        )
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_empty_trace(self, cls, empty_trace):
+        compressor = cls()
+        assert compressor.decompress(compressor.compress(empty_trace)) == empty_trace
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_single_record(self, cls):
+        raw = trace_from([0x1000], [0xDEADBEEF])
+        compressor = cls()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_extreme_values(self, cls):
+        raw = trace_from(
+            [0, (1 << 32) - 1, 0x80000000],
+            [0, (1 << 64) - 1, 1 << 63],
+        )
+        compressor = cls()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_header_preserved(self, cls):
+        raw = trace_from([4, 8], [1, 2], header=b"\xff\x00\xaa\x55")
+        compressor = cls()
+        assert compressor.decompress(compressor.compress(raw))[:4] == b"\xff\x00\xaa\x55"
+
+
+class TestRegistry:
+    def test_all_baselines_order_and_names(self):
+        names = [c.name for c in all_baselines()]
+        assert names == ["BZIP2", "MACHE", "PDATS II", "SEQUITUR", "SBC", "VPC3"]
+
+    def test_all_compressors_ends_with_tcgen(self):
+        assert [c.name for c in all_compressors()][-1] == "TCgen"
+
+
+class TestMache:
+    def test_small_deltas_are_compact(self):
+        # 1000 perfectly strided records: ~2 bytes each before bzip2.
+        pcs = [0x1000 + (i % 4) * 4 for i in range(1000)]
+        data = [0x5000 + i * 8 for i in range(1000)]
+        raw = trace_from(pcs, data)
+        import bz2
+
+        from repro.baselines.mache import _TAG
+        encoded = bz2.decompress(MacheCompressor().compress(raw)[len(_TAG):])
+        assert len(encoded) < 4 + 1000 * 3
+
+    def test_large_jumps_emit_full_values(self):
+        pcs = [0x1000, 0x90000000]
+        data = [0, 1 << 60]
+        raw = trace_from(pcs, data)
+        compressor = MacheCompressor()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    def test_delta_at_escape_boundary(self):
+        # Deltas of exactly +127 must use the escape (0xFF is reserved).
+        data = [0, 127, 254, 10000]
+        raw = trace_from([4] * 4, data)
+        compressor = MacheCompressor()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+
+class TestPdats:
+    def test_strided_run_collapses(self):
+        pcs = [0x1000 + i * 4 for i in range(500)]
+        data = [0x5000 + i * 16 for i in range(500)]
+        raw = trace_from(pcs, data)
+        import bz2
+
+        from repro.baselines.pdats import _TAG
+        encoded = bz2.decompress(PdatsCompressor().compress(raw)[len(_TAG):])
+        # One header byte + offsets + repeat count for the whole run.
+        assert len(encoded) < 50
+
+    @pytest.mark.parametrize("offset", [16, -16, 32, -32, 64, -64])
+    def test_special_offsets(self, offset):
+        data = [0x100000]
+        for _ in range(20):
+            data.append((data[-1] + offset) & ((1 << 64) - 1))
+        raw = trace_from([4] * len(data), data)
+        compressor = PdatsCompressor()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    def test_unaligned_pc_uses_absolute_encoding(self):
+        raw = trace_from([0x1001, 0x1002, 0x2003], [1, 2, 3])
+        compressor = PdatsCompressor()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    @pytest.mark.parametrize("magnitude", [100, 1 << 14, 1 << 30, 1 << 45, 1 << 62])
+    def test_every_offset_size(self, magnitude):
+        data = [0, magnitude, 0, magnitude]
+        raw = trace_from([4] * 4, data)
+        compressor = PdatsCompressor()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    def test_long_runs_use_wide_repeat_counts(self):
+        n = 70000  # needs a 4-byte repeat count
+        pcs = [0x1000 + i * 4 for i in range(n)]
+        data = [0x5000 + i * 8 for i in range(n)]
+        raw = trace_from(pcs, data)
+        compressor = PdatsCompressor()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+
+class TestSbc:
+    def test_stream_splitting(self):
+        from repro.baselines.sbc import _split_streams
+
+        # Ascending short-gap PCs form one stream; the jump back splits.
+        pcs = [0x1000, 0x1004, 0x1008, 0x1000, 0x1004, 0x1008]
+        assert _split_streams(pcs) == [(0, 3), (3, 3)]
+
+    def test_gap_over_threshold_splits(self):
+        from repro.baselines.sbc import _split_streams
+
+        pcs = [0x1000, 0x1010, 0x1030]  # second gap is 0x20 > 16
+        assert _split_streams(pcs) == [(0, 2), (2, 1)]
+
+    def test_descending_pcs_split(self):
+        from repro.baselines.sbc import _split_streams
+
+        assert _split_streams([0x1008, 0x1004]) == [(0, 1), (1, 1)]
+
+    def test_repeated_streams_share_table_entry(self):
+        pcs = [0x1000, 0x1004, 0x1008] * 100
+        data = [0x5000 + i * 8 for i in range(300)]
+        raw = trace_from(pcs, data)
+        import bz2
+
+        from repro.baselines.sbc import _TAG
+        encoded = bz2.decompress(SbcCompressor().compress(raw)[len(_TAG):])
+        # The PC signature is stored once, not 100 times.
+        assert len(encoded) < 3 * 4 + 300 * 2 + 100
+
+    def test_stride_prediction_within_streams(self):
+        pcs = [0x1000, 0x1004] * 200
+        data = []
+        a, b = 0x10000, 0x90000
+        for _ in range(200):
+            data += [a, b]
+            a += 16
+            b += 8
+        raw = trace_from(pcs, data)
+        compressor = SbcCompressor()
+        blob = compressor.compress(raw)
+        assert compressor.decompress(blob) == raw
+        assert len(blob) < len(raw) // 20
+
+
+class TestVpc3:
+    def test_tcgen_compresses_at_least_as_well(self, small_trace):
+        # Paper Section 7.1: TCgen outperforms VPC3 via the update policy.
+        vpc3 = Vpc3Compressor().compress(small_trace)
+        tcgen = TCgenCompressor().compress(small_trace)
+        assert len(tcgen) <= len(vpc3) * 1.02
+
+    def test_vpc3_is_not_tcgen(self, small_trace):
+        assert Vpc3Compressor().compress(small_trace) != TCgenCompressor().compress(
+            small_trace
+        )
+
+
+class TestTCgenWrapper:
+    def test_custom_spec(self, small_trace):
+        from repro.spec import tcgen_b
+
+        compressor = TCgenCompressor(spec=tcgen_b(), name="TCgen(B)")
+        assert compressor.name == "TCgen(B)"
+        assert compressor.decompress(compressor.compress(small_trace)) == small_trace
+
+    def test_usage_report_available(self, small_trace):
+        compressor = TCgenCompressor()
+        compressor.compress(small_trace)
+        assert "miss" in compressor.usage_report()

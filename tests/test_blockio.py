@@ -1,0 +1,123 @@
+"""Unit tests for the buffered little-endian readers and writers."""
+
+import io
+
+import pytest
+
+from repro.errors import CompressedFormatError
+from repro.tio.blockio import ByteReader, ByteWriter, copy_blocks
+
+
+class TestByteWriter:
+    def test_empty_writer_has_no_bytes(self):
+        assert ByteWriter().getvalue() == b""
+
+    def test_write_bytes_appends(self):
+        w = ByteWriter()
+        w.write_bytes(b"ab")
+        w.write_bytes(b"cd")
+        assert w.getvalue() == b"abcd"
+
+    def test_len_tracks_size(self):
+        w = ByteWriter()
+        w.write_u32(1)
+        assert len(w) == 4
+
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [
+            (0, 1, b"\x00"),
+            (0xAB, 1, b"\xab"),
+            (0x1234, 2, b"\x34\x12"),
+            (0xDEADBEEF, 4, b"\xef\xbe\xad\xde"),
+            (1, 8, b"\x01" + b"\x00" * 7),
+        ],
+    )
+    def test_write_uint_little_endian(self, value, width, expected):
+        w = ByteWriter()
+        w.write_uint(value, width)
+        assert w.getvalue() == expected
+
+    def test_write_uint_masks_overflow(self):
+        w = ByteWriter()
+        w.write_uint(0x1FF, 1)
+        assert w.getvalue() == b"\xff"
+
+    def test_u8_u16_u32_u64_shortcuts(self):
+        w = ByteWriter()
+        w.write_u8(1)
+        w.write_u16(2)
+        w.write_u32(3)
+        w.write_u64(4)
+        assert len(w) == 15
+
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 1 << 20, (1 << 64) - 1])
+    def test_varint_roundtrip(self, value):
+        w = ByteWriter()
+        w.write_varint(value)
+        assert ByteReader(w.getvalue()).read_varint() == value
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ByteWriter().write_varint(-1)
+
+    def test_varint_small_values_are_one_byte(self):
+        w = ByteWriter()
+        w.write_varint(127)
+        assert len(w) == 1
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 1 << 30, -(1 << 30)])
+    def test_svarint_roundtrip(self, value):
+        w = ByteWriter()
+        w.write_svarint(value)
+        assert ByteReader(w.getvalue()).read_svarint() == value
+
+
+class TestByteReader:
+    def test_read_exact_bytes(self):
+        r = ByteReader(b"hello")
+        assert r.read_bytes(2) == b"he"
+        assert r.read_bytes(3) == b"llo"
+        assert r.at_end()
+
+    def test_truncated_read_raises(self):
+        r = ByteReader(b"ab")
+        with pytest.raises(CompressedFormatError, match="truncated"):
+            r.read_bytes(3)
+
+    def test_remaining_and_position(self):
+        r = ByteReader(b"abcd")
+        r.read_bytes(1)
+        assert r.position == 1
+        assert r.remaining() == 3
+
+    def test_read_uint_little_endian(self):
+        assert ByteReader(b"\x34\x12").read_u16() == 0x1234
+
+    def test_read_u64(self):
+        r = ByteReader((123456789).to_bytes(8, "little"))
+        assert r.read_u64() == 123456789
+
+    def test_varint_too_long_raises(self):
+        r = ByteReader(b"\x80" * 11)
+        with pytest.raises(CompressedFormatError, match="varint"):
+            r.read_varint()
+
+    def test_varint_truncated_raises(self):
+        r = ByteReader(b"\x80")
+        with pytest.raises(CompressedFormatError):
+            r.read_varint()
+
+
+class TestCopyBlocks:
+    def test_copies_everything(self):
+        src = io.BytesIO(b"x" * 100_000)
+        dst = io.BytesIO()
+        copied = copy_blocks(src, dst, block_size=4096)
+        assert copied == 100_000
+        assert dst.getvalue() == b"x" * 100_000
+
+    def test_empty_source(self):
+        dst = io.BytesIO()
+        assert copy_blocks(io.BytesIO(b""), dst) == 0
+        assert dst.getvalue() == b""

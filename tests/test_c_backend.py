@@ -1,0 +1,168 @@
+"""Tests for the generated C compressors (skipped without a C compiler)."""
+
+import pytest
+
+from repro.codegen import generate_c
+from repro.codegen.compile import compile_c, find_c_compiler, generate_and_compile_c
+from repro.errors import CodegenError
+from repro.model import OptimizationOptions, build_model
+from repro.runtime import TraceEngine
+from repro.spec import tcgen_a, tcgen_b
+
+from conftest import SPEC_VARIANTS, spec_trace_for
+
+needs_cc = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no C compiler available"
+)
+
+
+@pytest.fixture(scope="module")
+def compiled_a(tmp_path_factory):
+    if find_c_compiler() is None:
+        pytest.skip("no C compiler available")
+    model = build_model(tcgen_a())
+    return generate_and_compile_c(
+        model, workdir=str(tmp_path_factory.mktemp("tcgen_c"))
+    )
+
+
+class TestSourceQuality:
+    def test_contains_canonical_spec(self):
+        source = generate_c(build_model(tcgen_a()))
+        assert "TCgen Trace Specification;" in source
+        assert "PC = Field 1;" in source
+
+    def test_all_functions_static_except_main(self):
+        """Paper Section 5.1: everything except main is static."""
+        source = generate_c(build_model(tcgen_a()))
+        for line in source.split("\n"):
+            stripped = line.strip()
+            if stripped.startswith("int main("):
+                continue
+            if "(" in stripped and stripped.endswith("{") and not stripped.startswith(
+                ("if", "} else", "for", "while", "typedef", "/*", "*", "switch")
+            ):
+                assert stripped.startswith("static"), f"non-static: {stripped}"
+
+    def test_no_macros_defined(self):
+        source = generate_c(build_model(tcgen_a()))
+        assert "#define" not in source
+
+    def test_register_locals(self):
+        source = generate_c(build_model(tcgen_a()))
+        assert "register u64" in source
+
+    def test_type_minimized_tables(self):
+        source = generate_c(build_model(tcgen_a()))
+        assert "static u32 *field1_fcm3_2_l2;" in source
+        assert "static u64 *field2_lastvalue;" in source
+
+    def test_unminimized_tables_are_u64(self):
+        source = generate_c(
+            build_model(tcgen_a(), OptimizationOptions().without("type_minimization"))
+        )
+        assert "static u64 *field1_fcm3_2_l2;" in source
+
+    def test_dead_code_no_stride_without_dfcm(self):
+        from repro.spec import parse_spec
+
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L2 = 512: FCM1[2]};\nPC = Field 1;\n"
+        )
+        assert "stride" not in generate_c(build_model(spec))
+
+    def test_lzma_codec_rejected(self):
+        with pytest.raises(CodegenError, match="codec"):
+            generate_c(build_model(tcgen_a()), codec="lzma")
+
+    def test_reasonable_length(self):
+        # "typically a few hundred lines of text"
+        lines = generate_c(build_model(tcgen_a())).count("\n")
+        assert 300 < lines < 1500
+
+
+@needs_cc
+class TestCompiledBehaviour:
+    def test_roundtrip(self, compiled_a, small_trace):
+        blob = compiled_a.compress(small_trace)
+        assert compiled_a.decompress(blob) == small_trace
+
+    def test_container_identical_to_engine(self, compiled_a, small_trace):
+        engine = TraceEngine(tcgen_a())
+        engine_blob = engine.compress(small_trace)
+        c_blob = compiled_a.compress(small_trace)
+        # Identical when Python's bz2 wraps the same libbz2; always
+        # cross-compatible at the container level.
+        assert compiled_a.decompress(engine_blob) == small_trace
+        assert engine.decompress(c_blob) == small_trace
+
+    def test_empty_trace(self, compiled_a, empty_trace):
+        blob = compiled_a.compress(empty_trace)
+        assert compiled_a.decompress(blob) == empty_trace
+
+    def test_rejects_garbage_on_decompress(self, compiled_a):
+        with pytest.raises(CodegenError, match="failed"):
+            compiled_a.decompress(b"garbage input")
+
+    def test_usage_feedback_on_stderr(self, compiled_a, small_trace):
+        import subprocess
+
+        result = subprocess.run(
+            [compiled_a.binary_path],
+            input=small_trace,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        assert result.returncode == 0
+        assert b"predictor usage" in result.stderr
+
+
+@needs_cc
+class TestAcrossConfigurations:
+    @pytest.mark.parametrize(
+        "name", ["single_field", "no_header", "three_fields", "pc_not_first"]
+    )
+    def test_specs_roundtrip_and_match_engine(self, name, tmp_path):
+        spec = SPEC_VARIANTS[name]()
+        raw = spec_trace_for(spec)
+        model = build_model(spec)
+        compiled = generate_and_compile_c(model, workdir=str(tmp_path))
+        engine = TraceEngine(spec)
+        blob = compiled.compress(raw)
+        assert compiled.decompress(blob) == raw
+        assert engine.decompress(blob) == raw
+        assert compiled.decompress(engine.compress(raw)) == raw
+
+    @pytest.mark.parametrize(
+        "flag", ["smart_update", "type_minimization", "shared_tables", "fast_hash"]
+    )
+    def test_ablations_match_engine(self, flag, tmp_path, small_trace):
+        options = OptimizationOptions().without(flag)
+        model = build_model(tcgen_a(), options)
+        compiled = generate_and_compile_c(model, workdir=str(tmp_path))
+        engine = TraceEngine(tcgen_a(), options)
+        assert engine.decompress(compiled.compress(small_trace)) == small_trace
+
+    def test_zlib_codec(self, tmp_path, small_trace):
+        model = build_model(tcgen_a())
+        compiled = generate_and_compile_c(model, codec="zlib", workdir=str(tmp_path))
+        engine = TraceEngine(tcgen_a(), codec="zlib")
+        assert compiled.compress(small_trace) == engine.compress(small_trace)
+        assert compiled.decompress(compiled.compress(small_trace)) == small_trace
+
+    def test_identity_codec(self, tmp_path, small_trace):
+        model = build_model(tcgen_a())
+        compiled = generate_and_compile_c(
+            model, codec="identity", workdir=str(tmp_path)
+        )
+        engine = TraceEngine(tcgen_a(), codec="identity")
+        assert compiled.compress(small_trace) == engine.compress(small_trace)
+
+
+class TestCompileErrors:
+    def test_broken_source_reports_compiler_output(self, tmp_path):
+        if find_c_compiler() is None:
+            pytest.skip("no C compiler available")
+        with pytest.raises(CodegenError, match="compilation failed"):
+            compile_c("int main( { broken", workdir=str(tmp_path), libs=())

@@ -1,0 +1,79 @@
+"""Canonical-form printing: fixpoint and comment emission."""
+
+import pytest
+
+from repro.spec import format_spec, parse_spec
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+from conftest import SPEC_VARIANTS
+
+
+class TestFixpoint:
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_reparse_yields_same_spec(self, name):
+        spec = SPEC_VARIANTS[name]()
+        text = format_spec(spec)
+        assert parse_spec(text) == spec
+
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_canonical_form_is_stable(self, name):
+        spec = SPEC_VARIANTS[name]()
+        once = format_spec(spec)
+        twice = format_spec(parse_spec(once))
+        assert once == twice
+
+    def test_tcgen_a_text_roundtrips(self):
+        spec = parse_spec(TCGEN_A_SPEC)
+        assert parse_spec(format_spec(spec)) == spec
+
+    def test_tcgen_b_text_roundtrips(self):
+        spec = parse_spec(TCGEN_B_SPEC)
+        assert parse_spec(format_spec(spec)) == spec
+
+
+class TestFormatting:
+    def test_header_omitted_when_zero(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\nPC = Field 1;\n"
+        )
+        assert "Header" not in format_spec(spec)
+
+    def test_defaults_stay_implicit(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\nPC = Field 1;\n"
+        )
+        text = format_spec(spec)
+        assert "L1" not in text and "L2" not in text
+
+    def test_explicit_sizes_preserved(self):
+        spec = parse_spec(TCGEN_A_SPEC)
+        text = format_spec(spec)
+        assert "L1 = 65536" in text and "L2 = 131072" in text
+
+    def test_comments_follow_their_field(self):
+        spec = parse_spec(TCGEN_A_SPEC)
+        text = format_spec(spec, comments={1: "four predictions"})
+        lines = text.split("\n")
+        field1_index = next(i for i, l in enumerate(lines) if "Field 1" in l)
+        assert lines[field1_index + 1] == "# four predictions"
+
+    def test_comment_text_is_reparsable(self):
+        spec = parse_spec(TCGEN_A_SPEC)
+        text = format_spec(spec, comments={1: "a", 2: "b"})
+        assert parse_spec(text) == spec
+
+
+class TestFingerprint:
+    def test_same_spec_same_fingerprint(self):
+        assert parse_spec(TCGEN_A_SPEC).fingerprint() == parse_spec(
+            TCGEN_A_SPEC
+        ).fingerprint()
+
+    def test_different_specs_differ(self):
+        assert parse_spec(TCGEN_A_SPEC).fingerprint() != parse_spec(
+            TCGEN_B_SPEC
+        ).fingerprint()
+
+    def test_fingerprint_is_64_bit(self):
+        fp = parse_spec(TCGEN_A_SPEC).fingerprint()
+        assert 0 <= fp < 1 << 64

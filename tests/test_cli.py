@@ -1,0 +1,151 @@
+"""Tests for the command-line entry points."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import tcgen_main, trace_main
+
+SPEC_TEXT = (
+    "TCgen Trace Specification;\n"
+    "32-Bit Header;\n"
+    "32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[2], FCM1[2]};\n"
+    "64-Bit Field 2 = {L1 = 65536, L2 = 131072: DFCM3[2], DFCM1[2], FCM1[2], LV[4]};\n"
+    "PC = Field 1;\n"
+)
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.tc"
+    path.write_text(SPEC_TEXT)
+    return str(path)
+
+
+class TestTcgen:
+    def test_emits_c_by_default(self, spec_file, capsys):
+        assert tcgen_main([spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "#include <stdio.h>" in out
+        assert "int main(" in out
+
+    def test_emits_python(self, spec_file, capsys):
+        assert tcgen_main([spec_file, "--lang", "python"]) == 0
+        out = capsys.readouterr().out
+        assert "def compress(raw):" in out
+
+    def test_generated_python_is_loadable(self, spec_file, capsys, small_trace):
+        tcgen_main([spec_file, "--lang", "python"])
+        source = capsys.readouterr().out
+        from repro.codegen import load_python_module
+
+        module = load_python_module(source)
+        assert module.decompress(module.compress(small_trace)) == small_trace
+
+    def test_reads_stdin_without_argument(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "stdin", io.StringIO(SPEC_TEXT))
+        assert tcgen_main(["--lang", "python"]) == 0
+        assert "def compress" in capsys.readouterr().out
+
+    def test_parse_error_returns_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tc"
+        bad.write_text("not a spec")
+        assert tcgen_main([str(bad)]) == 1
+        assert "tcgen:" in capsys.readouterr().err
+
+    def test_validation_error_returns_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tc"
+        bad.write_text(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L1 = 3: LV[1]};\nPC = Field 1;\n"
+        )
+        assert tcgen_main([str(bad)]) == 1
+        assert "power of two" in capsys.readouterr().err
+
+    def test_disable_flag(self, spec_file, capsys):
+        assert tcgen_main([spec_file, "--lang", "python", "--disable",
+                           "smart_update"]) == 0
+        source = capsys.readouterr().out
+        # Always-update code has no guard on the last-value table.
+        assert "if field2_lastvalue[" not in source
+
+    def test_unknown_disable_flag_fails(self, spec_file, capsys):
+        assert tcgen_main([spec_file, "--disable", "bogus"]) == 1
+
+    def test_codec_option(self, spec_file, capsys):
+        assert tcgen_main([spec_file, "--lang", "python", "--codec", "zlib"]) == 0
+        assert "zlib" in capsys.readouterr().out
+
+
+class TestTcgenAnalyze:
+    def test_analyzes_and_recommends(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+        from repro.traces import build_trace
+
+        path = tmp_path / "trace.bin"
+        path.write_bytes(build_trace("gzip", "store_addresses", scale=0.1))
+        assert analyze_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert "recommended specification:" in out
+        assert "TCgen Trace Specification;" in out
+
+    def test_recommendation_respects_budget(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+        from repro.spec import parse_spec
+        from repro.model import build_model
+        from repro.traces import build_trace
+
+        path = tmp_path / "trace.bin"
+        path.write_bytes(build_trace("gzip", "store_addresses", scale=0.1))
+        assert analyze_main([str(path), "--budget-mb", "2"]) == 0
+        out = capsys.readouterr().out
+        spec_text = out.split("recommended specification:\n")[1]
+        spec = parse_spec(spec_text)
+        assert build_model(spec).table_bytes() <= 2 << 20
+
+    def test_bad_trace_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 17)  # does not frame into records
+        assert analyze_main([str(path)]) == 1
+        assert "tcgen-analyze:" in capsys.readouterr().err
+
+
+class TestTcgenBench:
+    def test_prints_summary_tables(self, capsys, monkeypatch):
+        from repro.cli import bench_main
+        from repro.traces import default_suite
+
+        # Shrink the suite to two workloads to keep the smoke test fast
+        # (bench_main imports default_suite from repro.traces at call time).
+        monkeypatch.setattr(
+            "repro.traces.default_suite", lambda: ["mcf", "twolf"]
+        )
+        assert (
+            bench_main(["--scale", "0.05", "--kind", "store_addresses"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Compression rate (harmonic mean)" in out
+        assert "relative to TCgen" in out
+
+
+class TestTcgenTrace:
+    def test_writes_trace_to_stdout(self, capsysbinary):
+        assert trace_main(["mcf", "store_addresses", "--scale", "0.05"]) == 0
+        raw = capsysbinary.readouterr().out
+        assert raw[:4] == b"STA\0"
+        assert (len(raw) - 4) % 12 == 0
+
+    def test_seed_changes_output(self, capsysbinary):
+        trace_main(["mcf", "load_values", "--scale", "0.05", "--seed", "1"])
+        first = capsysbinary.readouterr().out
+        trace_main(["mcf", "load_values", "--scale", "0.05", "--seed", "2"])
+        second = capsysbinary.readouterr().out
+        assert first != second
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            trace_main(["doom", "store_addresses"])

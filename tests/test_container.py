@@ -1,0 +1,80 @@
+"""Unit tests for the compressed-stream container."""
+
+import pytest
+
+from repro.errors import CompressedFormatError
+from repro.tio.container import FORMAT_VERSION, MAGIC, StreamContainer, StreamPayload
+
+
+def _container() -> StreamContainer:
+    return StreamContainer(
+        fingerprint=0x1122334455667788,
+        record_count=42,
+        streams=[
+            StreamPayload(codec_id=1, raw_length=10, data=b"abc"),
+            StreamPayload(codec_id=0, raw_length=0, data=b""),
+            StreamPayload(codec_id=2, raw_length=5, data=b"\x00" * 7),
+        ],
+    )
+
+
+class TestRoundtrip:
+    def test_encode_decode(self):
+        original = _container()
+        decoded = StreamContainer.decode(original.encode())
+        assert decoded.fingerprint == original.fingerprint
+        assert decoded.record_count == original.record_count
+        assert len(decoded.streams) == 3
+        for a, b in zip(decoded.streams, original.streams):
+            assert (a.codec_id, a.raw_length, a.data) == (
+                b.codec_id,
+                b.raw_length,
+                b.data,
+            )
+
+    def test_empty_container(self):
+        empty = StreamContainer(fingerprint=0, record_count=0, streams=[])
+        decoded = StreamContainer.decode(empty.encode())
+        assert decoded.streams == []
+
+    def test_starts_with_magic_and_version(self):
+        blob = _container().encode()
+        assert blob[:4] == MAGIC
+        assert blob[4] == FORMAT_VERSION
+
+    def test_fingerprint_check_accepts_match(self):
+        blob = _container().encode()
+        StreamContainer.decode(blob, expected_fingerprint=0x1122334455667788)
+
+    def test_fingerprint_check_rejects_mismatch(self):
+        blob = _container().encode()
+        with pytest.raises(CompressedFormatError, match="fingerprint"):
+            StreamContainer.decode(blob, expected_fingerprint=1)
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        blob = bytearray(_container().encode())
+        blob[0] ^= 0xFF
+        with pytest.raises(CompressedFormatError, match="magic"):
+            StreamContainer.decode(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(_container().encode())
+        blob[4] = 99
+        with pytest.raises(CompressedFormatError, match="version"):
+            StreamContainer.decode(bytes(blob))
+
+    def test_truncated_payloads(self):
+        blob = _container().encode()
+        with pytest.raises(CompressedFormatError, match="truncated"):
+            StreamContainer.decode(blob[:-3])
+
+    def test_trailing_garbage(self):
+        blob = _container().encode() + b"xx"
+        with pytest.raises(CompressedFormatError, match="trailing"):
+            StreamContainer.decode(blob)
+
+    def test_empty_input(self):
+        with pytest.raises(CompressedFormatError):
+            StreamContainer.decode(b"")

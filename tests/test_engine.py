@@ -1,0 +1,155 @@
+"""Tests for the interpreted reference engine."""
+
+import pytest
+
+from repro.errors import CompressedFormatError
+from repro.model import OptimizationOptions
+from repro.runtime import TraceEngine
+from repro.spec import tcgen_a, tcgen_b
+from repro.tio.container import StreamContainer
+
+from conftest import SPEC_VARIANTS, make_random_trace, make_vpc_trace, spec_trace_for
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_every_spec_shape(self, name):
+        spec = SPEC_VARIANTS[name]()
+        raw = spec_trace_for(spec)
+        engine = TraceEngine(spec)
+        assert engine.decompress(engine.compress(raw)) == raw
+
+    @pytest.mark.parametrize(
+        "flag", ["smart_update", "type_minimization", "shared_tables", "fast_hash",
+                 "adaptive_shift"]
+    )
+    def test_every_single_ablation(self, flag, small_trace):
+        engine = TraceEngine(tcgen_a(), OptimizationOptions().without(flag))
+        assert engine.decompress(engine.compress(small_trace)) == small_trace
+
+    def test_all_ablations_together(self, small_trace):
+        engine = TraceEngine(tcgen_a(), OptimizationOptions.none())
+        assert engine.decompress(engine.compress(small_trace)) == small_trace
+
+    def test_random_trace(self, random_trace):
+        engine = TraceEngine(tcgen_a())
+        assert engine.decompress(engine.compress(random_trace)) == random_trace
+
+    def test_empty_trace(self, empty_trace):
+        engine = TraceEngine(tcgen_a())
+        blob = engine.compress(empty_trace)
+        assert engine.decompress(blob) == empty_trace
+
+    @pytest.mark.parametrize("codec", ["bzip2", "zlib", "lzma", "identity"])
+    def test_every_codec(self, codec, small_trace):
+        engine = TraceEngine(tcgen_a(), codec=codec)
+        assert engine.decompress(engine.compress(small_trace)) == small_trace
+
+    def test_engine_is_stateless_between_calls(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        first = engine.compress(small_trace)
+        second = engine.compress(small_trace)
+        assert first == second
+
+    def test_search_policy_override_roundtrips(self, small_trace):
+        """VPC2's search policy is only reachable via the override."""
+        from repro.predictors.tables import UpdatePolicy
+
+        engine = TraceEngine(tcgen_a(), update_policy=UpdatePolicy.SEARCH)
+        blob = engine.compress(small_trace)
+        assert engine.decompress(blob) == small_trace
+        # It genuinely changes behaviour relative to the default.
+        assert blob != TraceEngine(tcgen_a()).compress(small_trace)
+
+
+class TestCompressionQuality:
+    def test_strided_trace_compresses_well(self):
+        raw = make_vpc_trace(n=4000, jump_every=0)
+        engine = TraceEngine(tcgen_a())
+        assert len(raw) / len(engine.compress(raw)) > 20
+
+    def test_smart_update_beats_always_update(self):
+        # The paper: TCgen outperforms VPC3 because of the update policy.
+        raw = make_vpc_trace(n=6000, jump_every=40)
+        smart = TraceEngine(tcgen_a(), OptimizationOptions.full())
+        always = TraceEngine(tcgen_a(), OptimizationOptions.vpc3())
+        assert len(smart.compress(raw)) <= len(always.compress(raw))
+
+    def test_sharing_does_not_change_output_size(self, small_trace):
+        """Table 2: disabling sharing leaves the compression rate intact."""
+        shared = TraceEngine(tcgen_a(), OptimizationOptions.full())
+        unshared = TraceEngine(
+            tcgen_a(), OptimizationOptions().without("shared_tables")
+        )
+        assert len(shared.compress(small_trace)) == len(
+            unshared.compress(small_trace)
+        )
+
+    def test_fast_hash_does_not_change_output(self, small_trace):
+        """Table 2: the slow hash is equivalent, only slower."""
+        fast = TraceEngine(tcgen_a(), OptimizationOptions.full())
+        slow = TraceEngine(tcgen_a(), OptimizationOptions().without("fast_hash"))
+        assert fast.compress(small_trace) == slow.compress(small_trace)
+
+
+class TestErrors:
+    def test_wrong_fingerprint_rejected(self, small_trace):
+        blob = TraceEngine(tcgen_a()).compress(small_trace)
+        with pytest.raises(CompressedFormatError, match="fingerprint"):
+            TraceEngine(tcgen_b()).decompress(blob)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CompressedFormatError):
+            TraceEngine(tcgen_a()).decompress(b"not a container at all")
+
+    def test_truncated_blob_rejected(self, small_trace):
+        blob = TraceEngine(tcgen_a()).compress(small_trace)
+        with pytest.raises(CompressedFormatError):
+            TraceEngine(tcgen_a()).decompress(blob[: len(blob) // 2])
+
+    def test_corrupted_payload_rejected(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        blob = bytearray(engine.compress(small_trace))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CompressedFormatError):
+            engine.decompress(bytes(blob))
+
+    def test_misframed_trace_rejected(self):
+        engine = TraceEngine(tcgen_a())
+        from repro.errors import TraceFormatError
+
+        with pytest.raises(TraceFormatError):
+            engine.compress(b"\x00" * 17)
+
+    def test_stream_count_mismatch_rejected(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        container = StreamContainer.decode(engine.compress(small_trace))
+        container.streams.pop()
+        with pytest.raises(CompressedFormatError, match="stream"):
+            engine.decompress(container.encode())
+
+
+class TestUsageFeedback:
+    def test_counts_sum_to_record_count(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        engine.compress(small_trace)
+        records = (len(small_trace) - 4) // 12
+        for usage in engine.last_usage.fields:
+            assert usage.records == records
+
+    def test_report_renders(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        engine.compress(small_trace)
+        report = engine.usage_report()
+        assert "field 1" in report and "field 2" in report
+        assert "DFCM3[2]" in report
+
+    def test_report_before_compression(self):
+        assert "no compression" in TraceEngine(tcgen_a()).usage_report()
+
+    def test_predictable_trace_has_high_hit_ratio(self):
+        raw = make_vpc_trace(n=4000, jump_every=0)
+        engine = TraceEngine(tcgen_a())
+        engine.compress(raw)
+        for usage in engine.last_usage.fields:
+            assert usage.hit_ratio > 0.8

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are the public face of the library; each must execute without
+errors on a small input.  ``sys.argv`` is patched to pass small scales
+where the script accepts arguments.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], monkeypatch, capsys) -> str:
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example("quickstart.py", [], monkeypatch, capsys)
+    assert "lossless" in out
+    assert "predictor usage" in out
+
+
+def test_custom_format(monkeypatch, capsys):
+    out = run_example("custom_format.py", [], monkeypatch, capsys)
+    assert "TCgen-generated compressor" in out
+    assert "BZIP2" in out
+
+
+def test_compare_compressors(monkeypatch, capsys):
+    out = run_example(
+        "compare_compressors.py", ["mcf", "0.2"], monkeypatch, capsys
+    )
+    assert "relative to TCgen" in out
+    for name in ("BZIP2", "MACHE", "PDATS II", "SEQUITUR", "SBC", "VPC3"):
+        assert name in out
+
+
+def test_predictor_tuning(monkeypatch, capsys):
+    out = run_example("predictor_tuning.py", ["twolf"], monkeypatch, capsys)
+    assert "pruned configuration" in out
+    assert "TCgen Trace Specification;" in out
+
+
+def test_auto_recommend(monkeypatch, capsys):
+    out = run_example(
+        "auto_recommend.py", ["twolf", "store_addresses"], monkeypatch, capsys
+    )
+    assert "recommended specification" in out
+    assert "rate" in out
+
+
+def test_streaming_simulation(monkeypatch, capsys):
+    out = run_example("streaming_simulation.py", [], monkeypatch, capsys)
+    assert "miss ratio" in out
+
+
+def test_real_program_traces(monkeypatch, capsys):
+    out = run_example("real_program_traces.py", ["fib"], monkeypatch, capsys)
+    assert "executed fib" in out
+    assert "store_addresses" in out
+
+
+def test_generated_c_roundtrip(monkeypatch, capsys):
+    from repro.codegen.compile import find_c_compiler
+
+    if find_c_compiler() is None:
+        pytest.skip("no C compiler available")
+    out = run_example("generated_c_roundtrip.py", [], monkeypatch, capsys)
+    assert "C roundtrip OK" in out
+    assert "cross-decompression" in out

@@ -1,0 +1,118 @@
+"""Unit and property tests for the select-fold-shift-xor hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.hashing import HashParams, fold_value
+
+
+class TestFold:
+    def test_identity_for_narrow_values(self):
+        assert fold_value(0xAB, 8, 17) == 0xAB
+
+    def test_folds_wide_values(self):
+        # 32-bit value folded to 16 bits: high half XOR low half.
+        assert fold_value(0x12345678, 32, 16) == 0x5678 ^ 0x1234
+
+    def test_fold_zero_is_zero(self):
+        assert fold_value(0, 64, 17) == 0
+
+    def test_fold_fits_mask(self):
+        assert fold_value((1 << 64) - 1, 64, 13) < (1 << 13)
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(1, 64))
+    def test_fold_always_in_range(self, value, bits):
+        assert 0 <= fold_value(value, 64, bits) < (1 << bits)
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1))
+    def test_fold_distributes_over_xor(self, a, b):
+        # XOR-linearity, the property that makes folding incremental-friendly.
+        assert fold_value(a, 64, 16) ^ fold_value(b, 64, 16) == fold_value(
+            a ^ b, 64, 16
+        )
+
+
+class TestParams:
+    def test_paper_sizing(self):
+        # Order-3 with L2 = 131072: table gets L2 * 2^(x-1) = 524288 lines.
+        params = HashParams.derive(32, 131072, 3)
+        assert params.order_lines(3) == 524288
+        assert params.order_lines(1) == 131072
+
+    def test_wide_field_shift_is_one(self):
+        params = HashParams.derive(64, 65536, 3)
+        assert params.shift == 1
+
+    def test_small_field_gets_larger_shift(self):
+        params = HashParams.derive(8, 131072, 3)
+        assert params.shift > 1
+
+    def test_adaptive_shift_can_be_disabled(self):
+        params = HashParams.derive(8, 131072, 3, adaptive_shift=False)
+        assert params.shift == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            HashParams.derive(32, 1000, 1)
+
+    def test_order_mask_matches_lines(self):
+        params = HashParams.derive(32, 1024, 2)
+        assert params.order_mask(2) == params.order_lines(2) - 1
+
+
+class TestIncrementalEqualsScratch:
+    def _run(self, width, l2, max_order, values):
+        params = HashParams.derive(width, l2, max_order)
+        chain = params.initial_chain()
+        history: list[int] = []
+        mask = (1 << width) - 1
+        for value in values:
+            value &= mask
+            params.absorb(chain, value)
+            history.insert(0, value)
+            del history[max_order:]
+            for order in range(1, max_order + 1):
+                assert chain[order - 1] == params.scratch_hash(history, order), (
+                    f"order {order} diverged after value {value:#x}"
+                )
+
+    def test_basic_sequence(self):
+        self._run(32, 1024, 3, [1, 2, 3, 4, 5, 1, 2, 3])
+
+    def test_wide_values(self):
+        self._run(64, 512, 3, [(1 << 60) + i * 7919 for i in range(20)])
+
+    def test_small_field(self):
+        self._run(8, 4096, 4, list(range(40)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(0, 3).map(lambda i: [8, 16, 32, 64][i]),
+        st.integers(4, 12).map(lambda k: 1 << k),
+        st.integers(1, 4),
+        st.lists(st.integers(0, (1 << 64) - 1), min_size=1, max_size=30),
+    )
+    def test_property(self, width, l2, max_order, values):
+        self._run(width, l2, max_order, values)
+
+    def test_indices_fit_their_tables(self):
+        params = HashParams.derive(64, 256, 3)
+        chain = params.initial_chain()
+        for value in range(1000, 1100):
+            params.absorb(chain, value * 2654435761)
+            for order in range(1, 4):
+                assert 0 <= chain[order - 1] < params.order_lines(order)
+
+    def test_lower_order_index_is_free_prefix(self):
+        """The intermediate chain slots ARE the lower-order indices."""
+        params = HashParams.derive(32, 1024, 3)
+        solo = HashParams.derive(32, 1024, 1)
+        chain3 = params.initial_chain()
+        chain1 = solo.initial_chain()
+        # Identical shift required for the comparison to be meaningful.
+        assert params.shift == solo.shift
+        for value in [5, 9, 5, 7, 5, 9]:
+            params.absorb(chain3, value)
+            solo.absorb(chain1, value)
+            assert chain3[0] == chain1[0]

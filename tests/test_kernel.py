@@ -1,0 +1,144 @@
+"""The field kernel must agree with compositions of standalone predictors."""
+
+import numpy as np
+import pytest
+
+from repro.model import OptimizationOptions, build_model
+from repro.predictors import DFCMPredictor, FCMPredictor, LastValuePredictor
+from repro.runtime.kernel import FieldKernel
+from repro.spec import parse_spec
+
+
+def kernel_for(field_text, options=None, pc_line="32-Bit Field 1 = {: LV[1]};"):
+    spec = parse_spec(
+        "TCgen Trace Specification;\n"
+        f"{pc_line}\n"
+        f"{field_text}\n"
+        "PC = Field 2;\n".replace("PC = Field 2;", "PC = Field 1;")
+    )
+    options = options or OptimizationOptions.full()
+    model = build_model(spec, options)
+    return FieldKernel(model.fields[1], options)
+
+
+class TestAgainstStandalonePredictors:
+    def _drive(self, kernel, predictors, values, pcs):
+        """Kernel predictions must equal the standalone predictors'."""
+        for pc, value in zip(pcs, values):
+            kernel_preds = kernel.begin(pc)
+            standalone = []
+            for predictor in predictors:
+                standalone += predictor.predict(pc)
+            assert kernel_preds == standalone
+            kernel.commit(value)
+            for predictor in predictors:
+                predictor.update(value, pc)
+
+    def test_lv_field(self):
+        kernel = kernel_for("64-Bit Field 2 = {L1 = 16, L2 = 512: LV[3]};")
+        reference = [LastValuePredictor(3, lines=16)]
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 50, 300).tolist()
+        pcs = rng.integers(0, 64, 300).tolist()
+        self._drive(kernel, reference, values, pcs)
+
+    def test_fcm_field(self):
+        kernel = kernel_for("64-Bit Field 2 = {L1 = 8, L2 = 256: FCM2[2]};")
+        reference = [FCMPredictor(2, 2, 256, lines=8)]
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 30, 300).tolist()
+        pcs = rng.integers(0, 32, 300).tolist()
+        self._drive(kernel, reference, values, pcs)
+
+    def test_dfcm_field(self):
+        kernel = kernel_for("64-Bit Field 2 = {L1 = 8, L2 = 256: DFCM2[2]};")
+        reference = [DFCMPredictor(2, 2, 256, lines=8)]
+        rng = np.random.default_rng(2)
+        values = np.cumsum(rng.integers(0, 16, 300)).tolist()
+        pcs = rng.integers(0, 32, 300).tolist()
+        self._drive(kernel, reference, values, pcs)
+
+    def test_mixed_field_without_sharing(self):
+        """With sharing off, the kernel is literally a predictor bank."""
+        options = OptimizationOptions().without("shared_tables")
+        kernel = kernel_for(
+            "64-Bit Field 2 = {L1 = 8, L2 = 256: DFCM2[2], FCM1[2], LV[2]};",
+            options,
+        )
+        reference = [
+            DFCMPredictor(2, 2, 256, lines=8),
+            FCMPredictor(1, 2, 256, lines=8),
+            LastValuePredictor(2, lines=8),
+        ]
+        rng = np.random.default_rng(3)
+        values = np.cumsum(rng.integers(0, 8, 400)).tolist()
+        pcs = rng.integers(0, 32, 400).tolist()
+        self._drive(kernel, reference, values, pcs)
+
+
+class TestMemoryAccounting:
+    """The model's table-byte accounting must match the state the kernel
+    (and therefore the generated code) actually allocates."""
+
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_kernel_slots_match_model_bytes(self, shared):
+        from repro.codegen.plan import plan_field
+        from repro.spec import tcgen_a
+
+        options = (
+            OptimizationOptions.full()
+            if shared
+            else OptimizationOptions().without("shared_tables")
+        )
+        model = build_model(tcgen_a(), options)
+        for layout in model.fields:
+            plan = plan_field(layout, options)
+            plan_bytes = plan.table_bytes()
+            assert plan_bytes == layout.table_bytes(shared=shared)
+
+    def test_paper_memory_claim_via_plan(self):
+        """Summing the plan structures reproduces the paper's 20MB."""
+        from repro.codegen.plan import plan_field
+        from repro.spec import tcgen_a
+
+        options = OptimizationOptions.full()
+        model = build_model(tcgen_a(), options)
+        total = sum(
+            plan_field(layout, options).table_bytes() for layout in model.fields
+        )
+        assert abs(total - 20 * 2**20) < 100 * 1024
+
+
+class TestSharingEquivalence:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "64-Bit Field 2 = {L1 = 16, L2 = 256: DFCM3[2], DFCM1[2], FCM1[2], LV[4]};",
+            "64-Bit Field 2 = {L1 = 4, L2 = 128: DFCM2[1], LV[2]};",
+            "32-Bit Field 2 = {L2 = 512: FCM3[2], FCM2[2], FCM1[2]};",
+        ],
+    )
+    def test_shared_and_unshared_predict_identically(self, field):
+        shared = kernel_for(field, OptimizationOptions.full())
+        unshared = kernel_for(
+            field, OptimizationOptions().without("shared_tables")
+        )
+        rng = np.random.default_rng(4)
+        values = np.cumsum(rng.integers(0, 12, 500)).tolist()
+        pcs = rng.integers(0, 64, 500).tolist()
+        for pc, value in zip(pcs, values):
+            assert shared.begin(pc) == unshared.begin(pc)
+            shared.commit(value)
+            unshared.commit(value)
+
+    def test_fast_and_slow_hash_predict_identically(self):
+        field = "64-Bit Field 2 = {L1 = 8, L2 = 128: DFCM3[2], FCM2[2], LV[1]};"
+        fast = kernel_for(field, OptimizationOptions.full())
+        slow = kernel_for(field, OptimizationOptions().without("fast_hash"))
+        rng = np.random.default_rng(5)
+        values = np.cumsum(rng.integers(0, 9, 400)).tolist()
+        pcs = rng.integers(0, 16, 400).tolist()
+        for pc, value in zip(pcs, values):
+            assert fast.begin(pc) == slow.begin(pc)
+            fast.commit(value)
+            slow.commit(value)

@@ -1,0 +1,104 @@
+"""Unit tests for the specification lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.spec.lexer import tokenize
+from repro.spec.tokens import TokenKind
+
+
+def kinds_and_texts(text):
+    return [(t.kind, t.text) for t in tokenize(text) if t.kind is not TokenKind.EOF]
+
+
+class TestTokens:
+    def test_keywords(self):
+        tokens = kinds_and_texts("TCgen Trace Specification")
+        assert tokens == [
+            (TokenKind.KEYWORD, "TCgen"),
+            (TokenKind.KEYWORD, "Trace"),
+            (TokenKind.KEYWORD, "Specification"),
+        ]
+
+    def test_numbers(self):
+        assert kinds_and_texts("32 65536") == [
+            (TokenKind.NUMBER, "32"),
+            (TokenKind.NUMBER, "65536"),
+        ]
+
+    def test_punctuation(self):
+        text = "; - = { } : , [ ]"
+        tokens = kinds_and_texts(text)
+        assert all(kind is TokenKind.PUNCT for kind, _ in tokens)
+        assert [t for _, t in tokens] == text.split()
+
+    def test_predictor_name_splits_keyword_and_order(self):
+        assert kinds_and_texts("DFCM3") == [
+            (TokenKind.KEYWORD, "DFCM"),
+            (TokenKind.NUMBER, "3"),
+        ]
+
+    def test_fcm_with_brackets(self):
+        assert kinds_and_texts("FCM1[2]") == [
+            (TokenKind.KEYWORD, "FCM"),
+            (TokenKind.NUMBER, "1"),
+            (TokenKind.PUNCT, "["),
+            (TokenKind.NUMBER, "2"),
+            (TokenKind.PUNCT, "]"),
+        ]
+
+    def test_l1_l2_are_single_keywords(self):
+        assert kinds_and_texts("L1 L2") == [
+            (TokenKind.KEYWORD, "L1"),
+            (TokenKind.KEYWORD, "L2"),
+        ]
+
+    def test_lv_keyword(self):
+        assert kinds_and_texts("LV[4]")[0] == (TokenKind.KEYWORD, "LV")
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("PC")
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestCommentsAndWhitespace:
+    def test_comments_skipped(self):
+        assert kinds_and_texts("# a comment\nPC # trailing\n") == [
+            (TokenKind.KEYWORD, "PC")
+        ]
+
+    def test_comment_at_end_without_newline(self):
+        assert kinds_and_texts("PC # no newline") == [(TokenKind.KEYWORD, "PC")]
+
+    def test_whitespace_variants(self):
+        assert kinds_and_texts("\tPC\r\n  Field") == [
+            (TokenKind.KEYWORD, "PC"),
+            (TokenKind.KEYWORD, "Field"),
+        ]
+
+    def test_empty_input(self):
+        assert kinds_and_texts("") == []
+
+
+class TestErrors:
+    def test_unknown_word(self):
+        with pytest.raises(LexError, match="unknown word 'Foo'"):
+            tokenize("Foo")
+
+    def test_case_sensitivity(self):
+        with pytest.raises(LexError, match="unknown word"):
+            tokenize("tcgen")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("@")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("PC\n  Bogus")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+
+    def test_l_followed_by_other_digit_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("L3")

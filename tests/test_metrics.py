@@ -1,0 +1,84 @@
+"""Tests for the measurement harness and result tables."""
+
+import pytest
+
+from repro.baselines import Bzip2Compressor, TCgenCompressor
+from repro.errors import ReproError
+from repro.metrics import Measurement, ResultTable, harmonic_mean, measure
+
+
+class TestHarmonicMean:
+    def test_single_value(self):
+        assert harmonic_mean([4.0]) == 4.0
+
+    def test_classic_example(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4 / 3)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([1.0, 100.0]) < 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            harmonic_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ReproError):
+            harmonic_mean([1.0, 0.0])
+
+
+class TestMeasurement:
+    def test_metrics_definitions(self):
+        m = Measurement(
+            algorithm="X", workload="w", kind="k",
+            uncompressed_bytes=1000, compressed_bytes=10,
+            compress_seconds=2.0, decompress_seconds=0.5,
+        )
+        assert m.compression_rate == 100.0
+        assert m.compression_speed == 500.0
+        assert m.decompression_speed == 2000.0
+
+    def test_measure_runs_and_verifies(self, small_trace):
+        result = measure(Bzip2Compressor(), small_trace, workload="t", kind="k")
+        assert result.compression_rate > 1.0
+        assert result.compress_seconds > 0
+
+    def test_measure_catches_lossy_compressor(self, small_trace):
+        class Broken(Bzip2Compressor):
+            name = "BROKEN"
+
+            def decompress(self, blob):
+                return b"wrong"
+
+        with pytest.raises(ReproError, match="mismatch"):
+            measure(Broken(), small_trace)
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable()
+        for algorithm, rate in (("A", 10.0), ("B", 20.0)):
+            for kind in ("k1", "k2"):
+                table.add(
+                    Measurement(
+                        algorithm=algorithm, workload="w", kind=kind,
+                        uncompressed_bytes=int(rate * 100), compressed_bytes=100,
+                        compress_seconds=1.0, decompress_seconds=1.0,
+                    )
+                )
+        return table
+
+    def test_summary_harmonic_means(self):
+        summary = self._table().summary("compression_rate")
+        assert summary[("A", "k1")] == 10.0
+        assert summary[("B", "k2")] == 20.0
+
+    def test_render_absolute(self):
+        text = self._table().render("compression_rate")
+        assert "A" in text and "k1" in text and "10.000" in text
+
+    def test_render_relative(self):
+        text = self._table().render("compression_rate", relative_to="B")
+        assert "0.500x" in text and "1.000x" in text
+
+    def test_algorithms_preserve_insertion_order(self):
+        assert self._table().algorithms() == ["A", "B"]

@@ -1,0 +1,190 @@
+"""Tests for model resolution: renaming, sizing, sharing, minimization."""
+
+import pytest
+
+from repro.model import OptimizationOptions, build_model
+from repro.model.layout import storage_bytes
+from repro.model.optimize import TABLE2_ROWS
+from repro.spec import parse_spec, tcgen_a, tcgen_b
+
+
+class TestStorageBytes:
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [(1, 1), (8, 1), (9, 2), (16, 2), (17, 4), (32, 4), (33, 8), (64, 8)],
+    )
+    def test_smallest_sufficient_width(self, bits, expected):
+        assert storage_bytes(bits) == expected
+
+    def test_rejects_over_64(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            storage_bytes(65)
+
+
+class TestPaperNumbers:
+    """The exact figures the paper reports for its two configurations."""
+
+    def test_tcgen_a_has_14_predictions(self):
+        assert build_model(tcgen_a()).total_predictions() == 14
+
+    def test_tcgen_b_has_22_predictions(self):
+        assert build_model(tcgen_b()).total_predictions() == 22
+
+    def test_tcgen_a_tables_are_20mb(self):
+        # "TCgen(A) employs 14 predictors with a total table size of 20MB."
+        bytes_total = build_model(tcgen_a()).table_bytes()
+        assert abs(bytes_total - 20 * 2**20) < 100 * 1024
+
+    def test_tcgen_b_tables_are_35mb(self):
+        # "It uses 22 predictors and requires a total of 35MB of table space."
+        bytes_total = build_model(tcgen_b()).table_bytes()
+        assert abs(bytes_total - 35 * 2**20) < 200 * 1024
+
+
+class TestRenaming:
+    def test_codes_are_dense_and_ordered(self):
+        model = build_model(tcgen_a())
+        field2 = model.fields[1]
+        codes = [list(p.codes) for p in field2.predictors]
+        assert codes == [[0, 1], [2, 3], [4, 5], [6, 7, 8, 9]]
+        assert field2.miss_code == 10
+
+    def test_l2_lines_double_per_order(self):
+        model = build_model(tcgen_a())
+        field1 = model.fields[0]
+        fcm3, fcm1 = field1.predictors
+        assert fcm3.l2_lines == 131072 * 4
+        assert fcm1.l2_lines == 131072
+
+
+class TestSharing:
+    def test_lv_depth_covers_all_users(self):
+        model = build_model(tcgen_a())
+        # Field 2 has LV[4] and DFCMs: shared last-value depth is 4.
+        assert model.fields[1].lv_depth == 4
+
+    def test_dfcm_only_field_gets_depth_one_lv(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[1]};\n"
+            "64-Bit Field 2 = {L2 = 512: DFCM2[2]};\n"
+            "PC = Field 1;\n"
+        )
+        assert build_model(spec).fields[1].lv_depth == 1
+
+    def test_fcm_only_field_has_no_lv_table(self):
+        """Dead-code fact: no last-value table if only FCMs are present."""
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L2 = 512: FCM2[2], FCM1[2]};\n"
+            "PC = Field 1;\n"
+        )
+        field = build_model(spec).fields[0]
+        assert field.lv_depth == 0
+        assert not field.needs_last_value
+        assert not field.needs_stride
+
+    def test_stride_needed_only_with_dfcm(self):
+        model = build_model(tcgen_a())
+        assert not model.fields[0].needs_stride  # FCMs only
+        assert model.fields[1].needs_stride  # has DFCMs
+
+    def test_unshared_tables_cost_more_memory(self):
+        shared = build_model(tcgen_a(), OptimizationOptions.full())
+        unshared = build_model(
+            tcgen_a(), OptimizationOptions().without("shared_tables")
+        )
+        assert unshared.table_bytes() > shared.table_bytes()
+
+
+class TestTypeMinimization:
+    def test_minimized_elements_match_field_width(self):
+        model = build_model(tcgen_a())
+        assert model.fields[0].elem_bytes == 4
+        assert model.fields[1].elem_bytes == 8
+        assert model.fields[0].value_bytes == 4
+        assert model.fields[0].code_bytes == 1
+
+    def test_unminimized_elements_are_native(self):
+        model = build_model(
+            tcgen_a(), OptimizationOptions().without("type_minimization")
+        )
+        assert model.fields[0].elem_bytes == 8
+        assert model.fields[0].value_bytes == 8
+        assert model.fields[0].code_bytes == 4
+
+    def test_unminimized_tables_cost_more(self):
+        full = build_model(tcgen_a())
+        fat = build_model(
+            tcgen_a(), OptimizationOptions().without("type_minimization")
+        )
+        assert fat.table_bytes() > full.table_bytes()
+
+
+class TestProcessOrder:
+    def test_pc_field_processed_first(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "64-Bit Field 1 = {L1 = 64, L2 = 512: LV[2]};\n"
+            "32-Bit Field 2 = {L2 = 512: FCM1[1]};\n"
+            "PC = Field 2;\n"
+        )
+        model = build_model(spec)
+        assert [f.index for f in model.process_order] == [2, 1]
+        assert [f.index for f in model.fields] == [1, 2]
+
+    def test_byte_offsets_follow_record_order(self):
+        model = build_model(tcgen_a())
+        assert model.fields[0].byte_offset == 0
+        assert model.fields[1].byte_offset == 4
+
+    def test_stream_layout(self):
+        model = build_model(tcgen_a())
+        assert model.stream_count == 5
+        assert model.stream_names() == [
+            "header",
+            "field1_codes",
+            "field1_values",
+            "field2_codes",
+            "field2_values",
+        ]
+
+    def test_headerless_spec_has_no_header_stream(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[1]};\nPC = Field 1;\n"
+        )
+        model = build_model(spec)
+        assert model.stream_count == 2
+        assert "header" not in model.stream_names()
+
+
+class TestOptions:
+    def test_table2_rows_cover_all_four_plus_combined(self):
+        names = [name for name, _ in TABLE2_ROWS]
+        assert names == [
+            "no smart update",
+            "no type minimization",
+            "no shared tables",
+            "no fast hash function",
+            "all of the above",
+            "full optimizations",
+        ]
+
+    def test_without_unknown_flag_raises(self):
+        with pytest.raises(ValueError):
+            OptimizationOptions().without("bogus")
+
+    def test_vpc3_configuration(self):
+        options = OptimizationOptions.vpc3()
+        assert not options.smart_update
+        assert not options.adaptive_shift
+        assert options.fast_hash and options.shared_tables
+
+    def test_update_policy_property(self):
+        from repro.predictors.tables import UpdatePolicy
+
+        assert OptimizationOptions.full().update_policy is UpdatePolicy.SMART
+        assert OptimizationOptions.vpc3().update_policy is UpdatePolicy.ALWAYS

@@ -1,0 +1,170 @@
+"""Unit tests for the specification parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.spec import parse_spec
+from repro.spec.ast import PredictorKind
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+
+class TestFigureSpecs:
+    def test_tcgen_a_structure(self):
+        spec = parse_spec(TCGEN_A_SPEC)
+        assert spec.header_bits == 32
+        assert len(spec.fields) == 2
+        assert spec.pc_field == 1
+        f1, f2 = spec.fields
+        assert (f1.bits, f1.l1, f1.l2) == (32, 1, 131072)
+        assert [str(p) for p in f1.predictors] == ["FCM3[2]", "FCM1[2]"]
+        assert [str(p) for p in f2.predictors] == [
+            "DFCM3[2]",
+            "DFCM1[2]",
+            "FCM1[2]",
+            "LV[4]",
+        ]
+
+    def test_tcgen_b_is_superset_shape(self):
+        spec = parse_spec(TCGEN_B_SPEC)
+        assert [str(p) for p in spec.fields[0].predictors] == ["FCM3[4]", "FCM1[4]"]
+        assert spec.fields[1].prediction_count == 14
+
+    def test_prediction_counts_match_paper(self):
+        spec = parse_spec(TCGEN_A_SPEC)
+        assert spec.fields[0].prediction_count == 4  # "four predictions"
+        assert spec.fields[1].prediction_count == 10  # "ten predictions"
+
+
+class TestGrammarFeatures:
+    def test_header_is_optional(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        assert spec.header_bits == 0
+
+    def test_l1_l2_defaults(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        field = spec.fields[0]
+        assert field.l1 is None and field.l1_size == 1
+        assert field.l2 is None and field.l2_size == 65536
+
+    def test_l2_before_l1(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L2 = 512: FCM1[1]};\n"
+            "64-Bit Field 2 = {L2 = 512, L1 = 16: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        assert spec.fields[1].l1 == 16
+        assert spec.fields[1].l2 == 512
+
+    def test_comments_anywhere(self):
+        spec = parse_spec(
+            "# leading comment\n"
+            "TCgen Trace Specification; # trailing\n"
+            "32-Bit Field 1 = {: LV[1]}; # another\n"
+            "PC = Field 1;\n"
+        )
+        assert len(spec.fields) == 1
+
+    def test_lv_order_is_zero(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[3]};\n"
+            "PC = Field 1;\n"
+        )
+        pred = spec.fields[0].predictors[0]
+        assert pred.kind is PredictorKind.LV
+        assert pred.order == 0
+        assert pred.depth == 3
+
+    def test_validation_can_be_skipped(self):
+        # L1 = 3 is not a power of two; parse-only accepts it.
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[1]};\n"
+            "64-Bit Field 2 = {L1 = 3: LV[1]};\n"
+            "PC = Field 1;\n",
+            validate=False,
+        )
+        assert spec.fields[1].l1 == 3
+
+
+class TestParseErrors:
+    def test_missing_preamble(self):
+        with pytest.raises(ParseError, match="TCgen"):
+            parse_spec("32-Bit Header;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="';'"):
+            parse_spec("TCgen Trace Specification\n32-Bit Header;")
+
+    def test_no_fields(self):
+        with pytest.raises(ParseError, match="no fields"):
+            parse_spec("TCgen Trace Specification;\n32-Bit Header;\nPC = Field 1;\n")
+
+    def test_missing_pc_definition(self):
+        with pytest.raises(ParseError, match="PC"):
+            parse_spec(
+                "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\n"
+            )
+
+    def test_missing_predictor(self):
+        with pytest.raises(ParseError, match="predictor"):
+            parse_spec(
+                "TCgen Trace Specification;\n32-Bit Field 1 = {: };\nPC = Field 1;\n"
+            )
+
+    def test_bad_predictor_name(self):
+        with pytest.raises(ParseError):
+            parse_spec(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: Header[2]};\nPC = Field 1;\n"
+            )
+
+    def test_duplicate_l1(self):
+        with pytest.raises(ParseError, match="duplicate L1"):
+            parse_spec(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {L1 = 1, L1 = 2: LV[1]};\nPC = Field 1;\n"
+            )
+
+    def test_duplicate_header(self):
+        with pytest.raises(ParseError, match="duplicate Header|precede"):
+            parse_spec(
+                "TCgen Trace Specification;\n"
+                "32-Bit Header;\n16-Bit Header;\n"
+                "32-Bit Field 1 = {: LV[1]};\nPC = Field 1;\n"
+            )
+
+    def test_header_after_field(self):
+        with pytest.raises(ParseError, match="precede"):
+            parse_spec(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[1]};\n32-Bit Header;\nPC = Field 1;\n"
+            )
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_spec(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[1]};\nPC = Field 1;\nPC = Field 1;\n"
+            )
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_spec("TCgen Trace Specification;\n32-Bit PC")
+        assert excinfo.value.line == 2
+
+    def test_fcm_missing_order(self):
+        with pytest.raises(ParseError, match="order"):
+            parse_spec(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: FCM[2]};\nPC = Field 1;\n"
+            )

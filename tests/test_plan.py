@@ -1,0 +1,133 @@
+"""Tests for the code-generation structure planner."""
+
+import pytest
+
+from repro.codegen.plan import plan_field
+from repro.model import OptimizationOptions, build_model
+from repro.spec import parse_spec, tcgen_a
+from repro.spec.ast import PredictorKind
+
+
+def plans_for(spec, options=None):
+    options = options or OptimizationOptions.full()
+    model = build_model(spec, options)
+    return [plan_field(layout, options) for layout in model.fields], model
+
+
+class TestSharedPlans:
+    def test_tcgen_a_field2_structures(self):
+        plans, _ = plans_for(tcgen_a())
+        field2 = plans[1]
+        assert len(field2.lasts) == 1  # one shared last-value table
+        assert len(field2.chains) == 2  # one FCM chain, one DFCM chain
+        assert len(field2.l2s) == 3  # DFCM3, DFCM1, FCM1
+
+    def test_chain_spans_cover_highest_order(self):
+        plans, _ = plans_for(tcgen_a())
+        dfcm_chain = next(
+            c for c in plans[1].chains if c.kind is PredictorKind.DFCM
+        )
+        assert dfcm_chain.span == 3
+        assert dfcm_chain.orders_served == (1, 3)
+
+    def test_all_dfcm_and_lv_share_the_last_table(self):
+        plans, _ = plans_for(tcgen_a())
+        field2 = plans[1]
+        shared = field2.lasts[0]
+        for pred in field2.predictors:
+            if pred.kind in (PredictorKind.LV, PredictorKind.DFCM):
+                assert pred.last is shared
+
+    def test_structure_names_are_unique(self):
+        plans, _ = plans_for(tcgen_a())
+        names = []
+        for plan in plans:
+            names += [s.name for s in plan.lasts]
+            names += [s.name for s in plan.chains]
+            names += [s.name for s in plan.l2s]
+        assert len(names) == len(set(names))
+
+    def test_duplicate_predictor_selections_get_distinct_tables(self):
+        """Regression: DFCM1[2] listed twice must not share one L2 table
+        in generated code (the engine keeps two; a name collision here
+        silently merged them and produced double updates)."""
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L2 = 256: DFCM1[2], DFCM1[2]};\nPC = Field 1;\n"
+        )
+        plans, _ = plans_for(spec)
+        l2_names = [l2.name for l2 in plans[0].l2s]
+        assert len(l2_names) == 2
+        assert len(set(l2_names)) == 2
+
+    def test_plan_bytes_match_layout_accounting(self):
+        plans, model = plans_for(tcgen_a())
+        for plan, layout in zip(plans, model.fields):
+            assert plan.table_bytes() == layout.table_bytes(shared=True)
+
+
+class TestUnsharedPlans:
+    def test_every_predictor_owns_structures(self):
+        options = OptimizationOptions().without("shared_tables")
+        plans, _ = plans_for(tcgen_a(), options)
+        field2 = plans[1]
+        # DFCM3, DFCM1 each: chain + l2 + last; FCM1: chain + l2; LV: last.
+        assert len(field2.lasts) == 3
+        assert len(field2.chains) == 3
+        assert len(field2.l2s) == 3
+
+    def test_private_chains_use_field_level_hash_params(self):
+        """Hash values (and so the compression rate) must not change when
+        sharing is disabled — only duplication is added."""
+        shared_plans, _ = plans_for(tcgen_a())
+        options = OptimizationOptions().without("shared_tables")
+        unshared_plans, _ = plans_for(tcgen_a(), options)
+        shared_chain = next(
+            c for c in shared_plans[1].chains if c.kind is PredictorKind.DFCM
+        )
+        for chain in unshared_plans[1].chains:
+            if chain.kind is PredictorKind.DFCM:
+                assert chain.params.shift == shared_chain.params.shift
+                assert chain.params.fold_bits == shared_chain.params.fold_bits
+
+    def test_unshared_names_are_unique(self):
+        options = OptimizationOptions().without("shared_tables")
+        plans, _ = plans_for(tcgen_a(), options)
+        names = []
+        for plan in plans:
+            names += [s.name for s in plan.lasts + plan.chains + plan.l2s]
+        assert len(names) == len(set(names))
+
+    def test_plan_bytes_match_layout_accounting(self):
+        options = OptimizationOptions().without("shared_tables")
+        plans, model = plans_for(tcgen_a(), options)
+        for plan, layout in zip(plans, model.fields):
+            assert plan.table_bytes() == layout.table_bytes(shared=False)
+
+
+class TestSlowHashPlans:
+    def test_slow_chains_store_field_width_values(self):
+        options = OptimizationOptions().without("fast_hash")
+        plans, model = plans_for(tcgen_a(), options)
+        chain = plans[1].chains[0]
+        assert not chain.fast
+        assert chain.elem_bytes == model.fields[1].elem_bytes
+
+
+class TestDeadCode:
+    def test_fcm_only_field_has_no_lasts(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L2 = 512: FCM2[1]};\nPC = Field 1;\n"
+        )
+        plans, _ = plans_for(spec)
+        assert plans[0].lasts == []
+
+    def test_lv_only_field_has_no_chains_or_l2(self):
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[2]};\nPC = Field 1;\n"
+        )
+        plans, _ = plans_for(spec)
+        assert plans[0].chains == []
+        assert plans[0].l2s == []

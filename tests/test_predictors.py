@@ -1,0 +1,151 @@
+"""Behavioural tests for the three standalone predictor families."""
+
+import pytest
+
+from repro.predictors import (
+    DFCMPredictor,
+    FCMPredictor,
+    LastValuePredictor,
+    UpdatePolicy,
+)
+
+
+def run(predictor, values, pc=0):
+    """Feed values; return how many were predicted (any slot correct)."""
+    hits = 0
+    for value in values:
+        if value in predictor.predict(pc):
+            hits += 1
+        predictor.update(value, pc)
+    return hits
+
+
+class TestLastValue:
+    def test_predicts_repeating_value(self):
+        lv = LastValuePredictor(depth=1)
+        values = [7] * 20
+        assert run(lv, values) == 19  # everything after warmup
+
+    def test_predicts_alternating_values_with_depth_two(self):
+        lv = LastValuePredictor(depth=2)
+        values = [1, 2] * 20
+        assert run(lv, values) >= 37
+
+    def test_depth_one_misses_alternation(self):
+        lv = LastValuePredictor(depth=1)
+        assert run(lv, [1, 2] * 20) == 0
+
+    def test_predicts_short_repeating_sequence(self):
+        # LV[n] predicts repeating sequences of up to n arbitrary values.
+        lv = LastValuePredictor(depth=4)
+        values = [3, 1, 4, 1] * 15
+        assert run(lv, values) >= len(values) - 5
+
+    def test_per_pc_lines(self):
+        lv = LastValuePredictor(depth=1, lines=4)
+        lv.update(100, pc=0)
+        lv.update(200, pc=1)
+        assert lv.predict(pc=0) == [100]
+        assert lv.predict(pc=1) == [200]
+        assert lv.predict(pc=4) == [100]  # modulo line selection
+
+    def test_width_masking(self):
+        lv = LastValuePredictor(depth=1, width_bits=8)
+        lv.update(0x1FF)
+        assert lv.predict() == [0xFF]
+
+
+class TestFCM:
+    def test_memorizes_repeating_sequence(self):
+        fcm = FCMPredictor(order=2, depth=1, l2_size=256)
+        values = [10, 20, 30, 40] * 20
+        # After the first full period the context always repeats.
+        assert run(fcm, values) >= len(values) - 6
+
+    def test_higher_order_disambiguates(self):
+        # The value after (1, 2) differs from the value after (5, 2):
+        # order 1 (context "2") cannot learn both, order 2 can.  (The
+        # values avoid shift-xor digram collisions like (7,3) vs (2,9).)
+        values = [1, 2, 7, 5, 2, 9] * 25
+        low = FCMPredictor(order=1, depth=1, l2_size=256)
+        high = FCMPredictor(order=2, depth=1, l2_size=256)
+        assert run(high, list(values)) > run(low, list(values))
+
+    def test_cannot_predict_unseen_values(self):
+        fcm = FCMPredictor(order=1, depth=1, l2_size=256)
+        assert run(fcm, list(range(1, 50))) == 0
+
+    def test_fast_and_slow_hash_agree(self):
+        values = [i * 37 % 11 for i in range(200)]
+        fast = FCMPredictor(order=3, depth=2, l2_size=128, fast_hash=True)
+        slow = FCMPredictor(order=3, depth=2, l2_size=128, fast_hash=False)
+        for value in values:
+            assert fast.predict() == slow.predict()
+            fast.update(value)
+            slow.update(value)
+
+    def test_l2_sizing_follows_paper(self):
+        fcm = FCMPredictor(order=3, depth=2, l2_size=131072, width_bits=32)
+        assert fcm.l2.lines == 131072 * 4
+
+
+class TestDFCM:
+    def test_predicts_pure_stride(self):
+        dfcm = DFCMPredictor(order=1, depth=1, l2_size=256)
+        values = [1000 + 16 * i for i in range(50)]
+        # After two values the stride is learned; everything else hits.
+        assert run(dfcm, values) >= len(values) - 3
+
+    def test_predicts_unseen_values(self):
+        """DFCM's signature ability: predicting values never seen before."""
+        dfcm = DFCMPredictor(order=1, depth=1, l2_size=256)
+        dfcm.update(100)
+        dfcm.update(108)  # stride 8 stored under the pre-108 context
+        dfcm.update(116)  # stride 8 stored under context "stride 8"
+        assert 124 in dfcm.predict()  # 124 has never been seen
+
+    def test_repeating_stride_pattern(self):
+        dfcm = DFCMPredictor(order=2, depth=1, l2_size=256)
+        values = [0]
+        for delta in [4, 4, 64] * 30:
+            values.append((values[-1] + delta) & ((1 << 64) - 1))
+        assert run(dfcm, values) >= len(values) - 10
+
+    def test_wraparound_strides(self):
+        dfcm = DFCMPredictor(order=1, depth=1, l2_size=64, width_bits=8)
+        values = [250, 252, 254, 0, 2, 4, 6]  # stride 2 mod 256
+        assert run(dfcm, values) >= 4
+
+    def test_beats_fcm_on_fresh_strided_data(self):
+        values = [i * 24 for i in range(100)]
+        dfcm = DFCMPredictor(order=1, depth=1, l2_size=256)
+        fcm = FCMPredictor(order=1, depth=1, l2_size=256)
+        assert run(dfcm, list(values)) > run(fcm, list(values))
+
+    def test_fast_and_slow_hash_agree(self):
+        values = [i * 13 % 97 for i in range(150)]
+        fast = DFCMPredictor(order=2, depth=2, l2_size=128, fast_hash=True)
+        slow = DFCMPredictor(order=2, depth=2, l2_size=128, fast_hash=False)
+        for value in values:
+            assert fast.predict() == slow.predict()
+            fast.update(value)
+            slow.update(value)
+
+
+class TestPolicies:
+    def test_always_update_floods_lines_with_duplicates(self):
+        smart = LastValuePredictor(depth=2, policy=UpdatePolicy.SMART)
+        always = LastValuePredictor(depth=2, policy=UpdatePolicy.ALWAYS)
+        for value in [5, 5, 5, 9]:
+            smart.update(value)
+            always.update(value)
+        # Smart retained the older distinct value; always flushed it.
+        assert smart.predict() == [9, 5]
+        assert always.predict() == [9, 5] or always.predict() == [9, 5]
+
+    def test_smart_improves_alternation_with_noise(self):
+        # a a b a a b ... : smart keeps {a, b} in a depth-2 line.
+        values = [1, 1, 2] * 30
+        smart = LastValuePredictor(depth=2, policy=UpdatePolicy.SMART)
+        always = LastValuePredictor(depth=2, policy=UpdatePolicy.ALWAYS)
+        assert run(smart, list(values)) > run(always, list(values))

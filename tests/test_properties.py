@@ -1,0 +1,172 @@
+"""Property-based tests across the whole system (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import generate_compressor
+from repro.model import OptimizationOptions, build_model
+from repro.runtime import TraceEngine
+from repro.spec import format_spec, parse_spec
+from repro.spec.ast import FieldSpec, PredictorKind, PredictorSpec, TraceSpec
+from repro.tio import TraceFormat, pack_records
+
+# -- strategies ---------------------------------------------------------------
+
+predictor_specs = st.one_of(
+    st.builds(
+        PredictorSpec,
+        kind=st.just(PredictorKind.LV),
+        order=st.just(0),
+        depth=st.integers(1, 4),
+    ),
+    st.builds(
+        PredictorSpec,
+        kind=st.sampled_from([PredictorKind.FCM, PredictorKind.DFCM]),
+        order=st.integers(1, 3),
+        depth=st.integers(1, 3),
+    ),
+)
+
+
+def field_specs(index: int, is_pc: bool):
+    return st.builds(
+        FieldSpec,
+        bits=st.sampled_from([8, 16, 32, 64]),
+        index=st.just(index),
+        predictors=st.lists(predictor_specs, min_size=1, max_size=3).map(tuple),
+        l1=st.just(None) if is_pc else st.sampled_from([None, 1, 16, 256]),
+        l2=st.sampled_from([None, 64, 256, 1024]),
+    )
+
+
+@st.composite
+def trace_specs(draw):
+    field_count = draw(st.integers(1, 3))
+    pc_field = draw(st.integers(1, field_count))
+    fields = tuple(
+        draw(field_specs(i, is_pc=i == pc_field)) for i in range(1, field_count + 1)
+    )
+    header_bits = draw(st.sampled_from([0, 8, 32]))
+    return TraceSpec(header_bits=header_bits, fields=fields, pc_field=pc_field)
+
+
+@st.composite
+def specs_with_traces(draw):
+    spec = draw(trace_specs())
+    n = draw(st.integers(0, 120))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    header = bytes(rng.integers(0, 256, size=spec.header_bytes, dtype=np.uint8))
+    columns = []
+    for field in spec.fields:
+        # Mix of strided and random values, masked to the field width.
+        strided = np.cumsum(rng.integers(0, 8, size=n)).astype(np.uint64)
+        noise = rng.integers(0, 1 << min(field.bits - 1, 62), size=max(n, 1),
+                             dtype=np.int64).view(np.uint64)[:n]
+        pick = rng.random(n) < 0.8
+        column = np.where(pick, strided, noise) & np.uint64((1 << field.bits) - 1)
+        columns.append(column)
+    fmt = TraceFormat(
+        header_bits=spec.header_bits,
+        field_bits=tuple(f.bits for f in spec.fields),
+        pc_field=spec.pc_field,
+    )
+    return spec, pack_records(fmt, header, columns)
+
+
+option_variants = st.sampled_from(
+    [
+        OptimizationOptions.full(),
+        OptimizationOptions.none(),
+        OptimizationOptions.vpc3(),
+        OptimizationOptions().without("shared_tables"),
+        OptimizationOptions().without("fast_hash"),
+    ]
+)
+
+# -- properties ---------------------------------------------------------------
+
+
+class TestSpecProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(trace_specs())
+    def test_canonical_print_reparse_fixpoint(self, spec):
+        assert parse_spec(format_spec(spec)) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace_specs())
+    def test_model_builds_for_every_valid_spec(self, spec):
+        model = build_model(spec)
+        assert model.total_predictions() >= 1
+        assert model.table_bytes() > 0
+
+
+class TestCompressionProperties:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(specs_with_traces(), option_variants)
+    def test_engine_roundtrip_is_lossless(self, spec_and_trace, options):
+        spec, raw = spec_and_trace
+        engine = TraceEngine(spec, options, codec="zlib")
+        assert engine.decompress(engine.compress(raw)) == raw
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(specs_with_traces(), option_variants)
+    def test_generated_python_equals_engine(self, spec_and_trace, options):
+        spec, raw = spec_and_trace
+        engine = TraceEngine(spec, options, codec="zlib")
+        module = generate_compressor(spec, options, codec="zlib")
+        blob = module.compress(raw)
+        assert blob == engine.compress(raw)
+        assert module.decompress(blob) == raw
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(specs_with_traces())
+    def test_sharing_and_hash_mode_never_change_output(self, spec_and_trace):
+        spec, raw = spec_and_trace
+        reference = TraceEngine(spec, OptimizationOptions.full(), codec="zlib")
+        for flag in ("shared_tables", "fast_hash"):
+            variant = TraceEngine(
+                spec, OptimizationOptions().without(flag), codec="zlib"
+            )
+            assert variant.compress(raw) == reference.compress(raw), flag
+
+
+class TestBaselineProperties:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 64) - 1)
+            ),
+            min_size=0,
+            max_size=80,
+        )
+    )
+    def test_all_baselines_lossless_on_arbitrary_records(self, records):
+        from repro.baselines import all_baselines
+        from repro.tio import VPC_FORMAT
+
+        pcs = np.array([r[0] for r in records], dtype=np.uint64)
+        data = np.array([r[1] for r in records], dtype=np.uint64)
+        raw = pack_records(VPC_FORMAT, b"PROP", [pcs, data])
+        for compressor in all_baselines():
+            assert compressor.decompress(compressor.compress(raw)) == raw, (
+                compressor.name
+            )

@@ -1,0 +1,198 @@
+"""Tests for the generated Python compressors."""
+
+import pytest
+
+from repro.codegen import generate_python, load_python_module
+from repro.errors import CodegenError
+from repro.model import OptimizationOptions, build_model
+from repro.model.optimize import TABLE2_ROWS
+from repro.runtime import TraceEngine
+from repro.spec import tcgen_a, tcgen_b
+
+from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
+
+
+def module_for(spec, options=None, codec="bzip2"):
+    model = build_model(spec, options or OptimizationOptions.full())
+    return load_python_module(generate_python(model, codec=codec))
+
+
+class TestDifferentialAgainstEngine:
+    """The paper's artifact: generated code must equal the reference."""
+
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_identical_containers_per_spec(self, name):
+        spec = SPEC_VARIANTS[name]()
+        raw = spec_trace_for(spec)
+        engine = TraceEngine(spec)
+        module = module_for(spec)
+        assert module.compress(raw) == engine.compress(raw)
+
+    @pytest.mark.parametrize("row", [r[0] for r in TABLE2_ROWS])
+    def test_identical_containers_per_ablation(self, row, small_trace):
+        options = dict(TABLE2_ROWS)[row]
+        engine = TraceEngine(tcgen_a(), options)
+        module = module_for(tcgen_a(), options)
+        assert module.compress(small_trace) == engine.compress(small_trace)
+
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_roundtrip_per_spec(self, name):
+        spec = SPEC_VARIANTS[name]()
+        raw = spec_trace_for(spec)
+        module = module_for(spec)
+        assert module.decompress(module.compress(raw)) == raw
+
+    def test_cross_decompression(self, small_trace):
+        """Engine output decompresses with the generated module and back."""
+        engine = TraceEngine(tcgen_a())
+        module = module_for(tcgen_a())
+        assert module.decompress(engine.compress(small_trace)) == small_trace
+        assert engine.decompress(module.compress(small_trace)) == small_trace
+
+    @pytest.mark.parametrize("codec", ["bzip2", "zlib", "lzma", "identity"])
+    def test_codecs(self, codec, small_trace):
+        module = module_for(tcgen_a(), codec=codec)
+        engine = TraceEngine(tcgen_a(), codec=codec)
+        assert module.compress(small_trace) == engine.compress(small_trace)
+
+
+class TestGeneratedSourceQuality:
+    """The paper's readability claims, checked mechanically."""
+
+    def test_contains_canonical_spec(self):
+        source = generate_python(build_model(tcgen_a()))
+        assert "TCgen Trace Specification;" in source
+        assert "PC = Field 1;" in source
+
+    def test_spec_comment_reports_predictions_and_bytes(self):
+        source = generate_python(build_model(tcgen_a()))
+        assert "4 predictions" in source
+        assert "10 predictions" in source
+
+    def test_meaningful_table_names(self):
+        source = generate_python(build_model(tcgen_a()))
+        assert "field2_lastvalue" in source
+        assert "field2_dfcm3_2_l2" in source
+        assert "field1_fcm_chain" in source
+
+    def test_dead_code_eliminated_no_stride_without_dfcm(self):
+        from repro.spec import parse_spec
+
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L2 = 512: FCM1[2]};\nPC = Field 1;\n"
+        )
+        source = generate_python(build_model(spec))
+        assert "stride" not in source
+
+    def test_dead_code_eliminated_no_header_stream(self):
+        from repro.spec import parse_spec
+
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[1]};\nPC = Field 1;\n"
+        )
+        source = generate_python(build_model(spec))
+        assert "header" not in source.split('"""')[2]  # none outside docstring
+
+    def test_power_of_two_modulo_becomes_mask(self):
+        source = generate_python(build_model(tcgen_a()))
+        assert "& 65535" in source  # L1 = 65536 line selection
+        assert "% 65536" not in source
+
+    def test_no_update_guard_without_smart_policy(self):
+        smart = generate_python(build_model(tcgen_a()))
+        always = generate_python(
+            build_model(tcgen_a(), OptimizationOptions.vpc3())
+        )
+        assert smart.count("if field2_lastvalue[") > always.count(
+            "if field2_lastvalue["
+        )
+
+    def test_generated_source_compiles_cleanly(self):
+        source = generate_python(build_model(tcgen_b()))
+        compile(source, "<generated>", "exec")
+
+    def test_single_statement_per_line(self):
+        source = generate_python(build_model(tcgen_a()))
+        body = source.split('"""')[2]  # skip the module docstring
+        for line in body.split("\n"):
+            if line.strip().startswith("#") or '"' in line:
+                continue
+            assert ";" not in line
+
+
+class TestGeneratedModuleBehaviour:
+    def test_usage_report(self, small_trace):
+        module = module_for(tcgen_a())
+        module.compress(small_trace)
+        report = module.usage_report()
+        assert "DFCM3[2]" in report and "miss" in report
+
+    def test_usage_report_before_compression(self):
+        assert "no compression" in module_for(tcgen_a()).usage_report()
+
+    def test_bad_framing_raises(self):
+        module = module_for(tcgen_a())
+        with pytest.raises(ValueError, match="frame"):
+            module.compress(b"\x00" * 17)
+
+    def test_wrong_fingerprint_raises(self, small_trace):
+        blob = module_for(tcgen_a()).compress(small_trace)
+        with pytest.raises(ValueError, match="specification"):
+            module_for(tcgen_b()).decompress(blob)
+
+    def test_corrupt_code_raises(self, small_trace):
+        from repro.tio.container import StreamContainer
+
+        module = module_for(tcgen_a(), codec="identity")
+        container = StreamContainer.decode(module.compress(small_trace))
+        codes = bytearray(container.streams[1].data)  # field 1 code stream
+        codes[0] = 0xEE  # way past field 1's miss code (4)
+        container.streams[1].data = bytes(codes)
+        with pytest.raises(ValueError, match="invalid code"):
+            module.decompress(container.encode())
+
+    def test_main_compresses_stdin_to_stdout(self, small_trace, monkeypatch, capsys):
+        import io
+        import sys
+
+        module = module_for(tcgen_a())
+        monkeypatch.setattr(
+            sys, "stdin", type("S", (), {"buffer": io.BytesIO(small_trace)})()
+        )
+        out = io.BytesIO()
+        monkeypatch.setattr(sys, "stdout", type("S", (), {"buffer": out})())
+        assert module.main([]) == 0
+        blob = out.getvalue()
+        assert module.decompress(blob) == small_trace
+
+    def test_main_decompress_flag(self, small_trace, monkeypatch):
+        import io
+        import sys
+
+        module = module_for(tcgen_a())
+        blob = module.compress(small_trace)
+        monkeypatch.setattr(
+            sys, "stdin", type("S", (), {"buffer": io.BytesIO(blob)})()
+        )
+        out = io.BytesIO()
+        monkeypatch.setattr(sys, "stdout", type("S", (), {"buffer": out})())
+        assert module.main(["-d"]) == 0
+        assert out.getvalue() == small_trace
+
+
+class TestLoader:
+    def test_rejects_broken_source(self):
+        with pytest.raises(CodegenError, match="compile"):
+            load_python_module("def compress(:")
+
+    def test_rejects_incomplete_module(self):
+        with pytest.raises(CodegenError, match="decompress"):
+            load_python_module("def compress(raw):\n    return raw\n")
+
+    def test_modules_are_independent(self, small_trace):
+        a = module_for(tcgen_a())
+        b = module_for(tcgen_a())
+        a.compress(small_trace)
+        assert b.usage_report() == "no compression has run yet"

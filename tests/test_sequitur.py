@@ -1,0 +1,130 @@
+"""SEQUITUR grammar invariants and serialization tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sequitur import Grammar, SequiturCompressor
+from repro.tio import VPC_FORMAT, pack_records
+
+from conftest import make_vpc_trace
+
+
+def build(values):
+    grammar = Grammar()
+    for value in values:
+        grammar.push(value)
+    return grammar
+
+
+class TestGrammarInvariants:
+    def _check_invariants(self, grammar):
+        bodies = grammar.rule_bodies()
+        # Rule utility: every rule except the start is used at least twice.
+        uses: dict[int, int] = {}
+        for body in bodies.values():
+            for kind, ref in body:
+                if kind == "r":
+                    uses[ref] = uses.get(ref, 0) + 1
+        for rule in grammar.rules:
+            if rule is grammar.start:
+                continue
+            assert uses.get(rule.id, 0) >= 2, f"rule {rule.id} used once"
+        # Digram uniqueness: no digram appears twice anywhere — except
+        # overlapping occurrences of XX pairs (the classic "aaa" case).
+        occurrences: dict[tuple, list[tuple[int, int]]] = {}
+        for rule_id, body in bodies.items():
+            for index, pair in enumerate(zip(body, body[1:])):
+                occurrences.setdefault(pair, []).append((rule_id, index))
+        for pair, places in occurrences.items():
+            for i, (rule_a, index_a) in enumerate(places):
+                for rule_b, index_b in places[i + 1 :]:
+                    overlapping = rule_a == rule_b and abs(index_a - index_b) < 2
+                    assert overlapping, (
+                        f"digram {pair} duplicated at {(rule_a, index_a)} "
+                        f"and {(rule_b, index_b)}"
+                    )
+
+    def test_expansion_reproduces_input(self):
+        values = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        grammar = build(values)
+        assert grammar.expand_start() == values
+
+    def test_repetition_creates_rules(self):
+        grammar = build([1, 2] * 20)
+        assert len(grammar.rules) > 1
+
+    def test_unique_symbols_create_no_rules(self):
+        grammar = build(list(range(30)))
+        assert len(grammar.rules) == 1
+
+    def test_invariants_on_periodic_input(self):
+        grammar = build([1, 2, 3, 4] * 25)
+        self._check_invariants(grammar)
+        assert grammar.expand_start() == [1, 2, 3, 4] * 25
+
+    def test_invariants_on_nested_repetition(self):
+        block = [1, 2, 1, 2, 3]
+        values = block * 10 + [9] + block * 10
+        grammar = build(values)
+        self._check_invariants(grammar)
+        assert grammar.expand_start() == values
+
+    def test_overlapping_digrams_aaa(self):
+        # The classic 'aaa' pitfall: overlapping digrams must not pair.
+        values = [7] * 50
+        grammar = build(values)
+        assert grammar.expand_start() == values
+        self._check_invariants(grammar)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=0, max_size=120))
+    def test_invariants_hold_for_random_inputs(self, values):
+        grammar = build(values)
+        assert grammar.expand_start() == values
+        self._check_invariants(grammar)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2), min_size=2, max_size=12),
+        st.integers(2, 12),
+    )
+    def test_invariants_hold_for_repeated_blocks(self, block, repeats):
+        values = block * repeats
+        grammar = build(values)
+        assert grammar.expand_start() == values
+        self._check_invariants(grammar)
+
+
+class TestCompressor:
+    def test_roundtrip_structured(self, small_trace):
+        compressor = SequiturCompressor()
+        assert compressor.decompress(compressor.compress(small_trace)) == small_trace
+
+    def test_grammar_segmentation_caps_memory(self):
+        # Force tiny segments and confirm losslessness across boundaries.
+        compressor = SequiturCompressor(
+            max_symbols_per_grammar=100, max_unique_values=50
+        )
+        raw = make_vpc_trace(n=900)
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    def test_repetitive_trace_beats_bzip2_on_pc_stream(self):
+        # SEQUITUR excels at hierarchical repetition in PC sequences.
+        pcs = ([0x100, 0x104, 0x108, 0x10C] * 5 + [0x200, 0x204] * 3) * 40
+        data = list(range(len(pcs)))
+        raw = pack_records(
+            VPC_FORMAT,
+            b"TST0",
+            [np.array(pcs, np.uint64), np.array(data, np.uint64)],
+        )
+        compressor = SequiturCompressor()
+        assert compressor.decompress(compressor.compress(raw)) == raw
+
+    def test_corrupt_blob_raises(self, small_trace):
+        from repro.errors import CompressedFormatError
+
+        blob = SequiturCompressor().compress(small_trace)
+        with pytest.raises((CompressedFormatError, OSError, EOFError, ValueError)):
+            SequiturCompressor().decompress(blob[: len(blob) // 2])

@@ -1,0 +1,77 @@
+"""Tests for streaming record access to compressed traces."""
+
+import itertools
+
+import pytest
+
+from repro.errors import CompressedFormatError
+from repro.runtime import TraceEngine
+from repro.runtime.streaming import iter_records, read_header, record_count
+from repro.spec import tcgen_a, tcgen_b
+from repro.tio import VPC_FORMAT, unpack_records
+
+from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    raw = make_vpc_trace(n=1200)
+    blob = TraceEngine(tcgen_a()).compress(raw)
+    return raw, blob
+
+
+class TestIterRecords:
+    def test_yields_every_record_in_order(self, compressed):
+        raw, blob = compressed
+        _, columns = unpack_records(VPC_FORMAT, raw)
+        expected = list(zip(columns[0].tolist(), columns[1].tolist()))
+        assert list(iter_records(tcgen_a(), blob)) == expected
+
+    def test_early_stop_is_cheap_and_correct(self, compressed):
+        raw, blob = compressed
+        _, columns = unpack_records(VPC_FORMAT, raw)
+        first_ten = list(itertools.islice(iter_records(tcgen_a(), blob), 10))
+        assert first_ten == list(
+            zip(columns[0][:10].tolist(), columns[1][:10].tolist())
+        )
+
+    @pytest.mark.parametrize("name", ["three_fields", "no_header", "pc_not_first"])
+    def test_arbitrary_specs(self, name):
+        spec = SPEC_VARIANTS[name]()
+        raw = spec_trace_for(spec)
+        blob = TraceEngine(spec).compress(raw)
+        records = list(iter_records(spec, blob))
+        assert len(records) == record_count(spec, blob)
+        # Spot-check against the engine's full decompression.
+        assert TraceEngine(spec).decompress(blob) == raw
+
+    def test_wrong_spec_rejected(self, compressed):
+        _, blob = compressed
+        with pytest.raises(CompressedFormatError, match="fingerprint"):
+            next(iter_records(tcgen_b(), blob))
+
+    def test_drives_a_cache_simulator(self, compressed):
+        """The paper's use case: feed a simulator from compressed data."""
+        from repro.cachesim import CacheConfig, SetAssociativeCache
+
+        _, blob = compressed
+        cache = SetAssociativeCache(CacheConfig(8 * 1024, 64, 2))
+        for _pc, address in iter_records(tcgen_a(), blob):
+            cache.access(address)
+        assert cache.hits + cache.misses == record_count(tcgen_a(), blob)
+
+
+class TestMetadata:
+    def test_read_header(self, compressed):
+        raw, blob = compressed
+        assert read_header(tcgen_a(), blob) == raw[:4]
+
+    def test_headerless_spec_returns_empty(self):
+        spec = SPEC_VARIANTS["no_header"]()
+        raw = spec_trace_for(spec)
+        blob = TraceEngine(spec).compress(raw)
+        assert read_header(spec, blob) == b""
+
+    def test_record_count(self, compressed):
+        raw, blob = compressed
+        assert record_count(tcgen_a(), blob) == (len(raw) - 4) // 12

@@ -1,0 +1,127 @@
+"""Unit tests for prediction tables and update policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.tables import UpdatePolicy, ValueTable
+
+MASK64 = (1 << 64) - 1
+
+
+class TestGeometry:
+    def test_initially_zero(self):
+        table = ValueTable(4, 3, MASK64)
+        assert table.read(0) == [0, 0, 0]
+        assert table.read(3) == [0, 0, 0]
+
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ValueError):
+            ValueTable(0, 1, MASK64)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            ValueTable(1, 0, MASK64)
+
+    def test_memory_bytes(self):
+        assert ValueTable(1024, 2, MASK64).memory_bytes(8) == 16384
+
+
+class TestInsert:
+    def test_insert_shifts_right(self):
+        table = ValueTable(1, 3, MASK64)
+        for value in (1, 2, 3):
+            table.insert(0, value)
+        assert table.read(0) == [3, 2, 1]
+
+    def test_insert_drops_oldest(self):
+        table = ValueTable(1, 2, MASK64)
+        for value in (1, 2, 3):
+            table.insert(0, value)
+        assert table.read(0) == [3, 2]
+
+    def test_insert_masks_value(self):
+        table = ValueTable(1, 1, 0xFF)
+        table.insert(0, 0x1FF)
+        assert table.first(0) == 0xFF
+
+    def test_lines_are_independent(self):
+        table = ValueTable(2, 2, MASK64)
+        table.insert(0, 7)
+        assert table.read(1) == [0, 0]
+
+    def test_read_partial(self):
+        table = ValueTable(1, 4, MASK64)
+        for value in (1, 2, 3, 4):
+            table.insert(0, value)
+        assert table.read(0, 2) == [4, 3]
+
+
+class TestPolicies:
+    def test_always_inserts_duplicates(self):
+        table = ValueTable(1, 2, MASK64)
+        table.update(0, 5, UpdatePolicy.ALWAYS)
+        table.update(0, 5, UpdatePolicy.ALWAYS)
+        assert table.read(0) == [5, 5]
+
+    def test_smart_skips_repeat_of_first(self):
+        table = ValueTable(1, 2, MASK64)
+        table.update(0, 5, UpdatePolicy.SMART)
+        assert not table.update(0, 5, UpdatePolicy.SMART)
+        assert table.read(0) == [5, 0]
+
+    def test_smart_first_two_entries_distinct(self):
+        """The paper's guarantee: smart updates keep the first two line
+        entries distinct (Section 5.3)."""
+        table = ValueTable(1, 4, MASK64)
+        import random
+
+        rng = random.Random(9)
+        for _ in range(500):
+            table.update(0, rng.randrange(4), UpdatePolicy.SMART)
+            line = table.read(0)
+            assert line[0] != line[1] or line == [0, 0, 0, 0]
+
+    def test_smart_reinserts_deeper_duplicates(self):
+        table = ValueTable(1, 3, MASK64)
+        for value in (1, 2, 3):
+            table.update(0, value, UpdatePolicy.SMART)
+        # 2 is in the line but not first: smart still inserts it.
+        assert table.update(0, 2, UpdatePolicy.SMART)
+        assert table.read(0) == [2, 3, 2]
+
+    def test_search_skips_anywhere_in_line(self):
+        table = ValueTable(1, 3, MASK64)
+        for value in (1, 2, 3):
+            table.update(0, value, UpdatePolicy.SEARCH)
+        assert not table.update(0, 1, UpdatePolicy.SEARCH)
+        assert table.read(0) == [3, 2, 1]
+
+    def test_search_inserts_new_values(self):
+        table = ValueTable(1, 2, MASK64)
+        table.update(0, 1, UpdatePolicy.SEARCH)
+        assert table.update(0, 9, UpdatePolicy.SEARCH)
+        assert table.read(0) == [9, 1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_smart_and_always_agree_on_first_entry(self, values):
+        """Both policies keep line[0] equal to the most recent value."""
+        smart = ValueTable(1, 3, MASK64)
+        always = ValueTable(1, 3, MASK64)
+        for value in values:
+            smart.update(0, value, UpdatePolicy.SMART)
+            always.update(0, value, UpdatePolicy.ALWAYS)
+            assert smart.first(0) == always.first(0) == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+    def test_depth_prefix_consistency(self, values):
+        """Deeper tables evolve identically in their common prefix under
+        smart updates (the property table sharing relies on)."""
+        shallow = ValueTable(1, 2, MASK64)
+        deep = ValueTable(1, 4, MASK64)
+        for value in values:
+            shallow.update(0, value, UpdatePolicy.SMART)
+            deep.update(0, value, UpdatePolicy.SMART)
+            assert deep.read(0, 2) == shallow.read(0)

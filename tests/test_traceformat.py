@@ -1,0 +1,109 @@
+"""Unit tests for trace formats and record packing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.tio.traceformat import TraceFormat, VPC_FORMAT, pack_records, unpack_records
+
+
+class TestTraceFormat:
+    def test_vpc_format_geometry(self):
+        assert VPC_FORMAT.header_bytes == 4
+        assert VPC_FORMAT.record_bytes == 12
+        assert VPC_FORMAT.field_bytes == (4, 8)
+
+    def test_rejects_unaligned_header(self):
+        with pytest.raises(TraceFormatError, match="multiple of 8"):
+            TraceFormat(header_bits=12, field_bits=(32,))
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(TraceFormatError, match="at least one field"):
+            TraceFormat(header_bits=0, field_bits=())
+
+    @pytest.mark.parametrize("bits", [7, 12, 24, 128])
+    def test_rejects_unsupported_widths(self, bits):
+        with pytest.raises(TraceFormatError, match="unsupported"):
+            TraceFormat(header_bits=0, field_bits=(bits,))
+
+    def test_rejects_bad_pc_field(self):
+        with pytest.raises(TraceFormatError, match="PC field"):
+            TraceFormat(header_bits=0, field_bits=(32,), pc_field=2)
+
+    def test_record_count(self):
+        fmt = TraceFormat(header_bits=32, field_bits=(32, 64))
+        assert fmt.record_count(b"\x00" * (4 + 36)) == 3
+
+    def test_record_count_rejects_bad_framing(self):
+        fmt = TraceFormat(header_bits=32, field_bits=(32, 64))
+        with pytest.raises(TraceFormatError, match="frame"):
+            fmt.record_count(b"\x00" * 17)
+
+    def test_field_dtypes_are_little_endian(self):
+        import sys
+
+        fmt = TraceFormat(header_bits=0, field_bits=(8, 16, 32, 64))
+        allowed = {"<", "|"}  # '|' for single-byte dtypes
+        if sys.byteorder == "little":
+            allowed.add("=")  # numpy normalizes '<' to native on LE hosts
+        for dtype in fmt.field_dtypes():
+            assert dtype.byteorder in allowed
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        pcs = np.array([1, 2, 3], dtype=np.uint64)
+        data = np.array([10, 20, 30], dtype=np.uint64)
+        raw = pack_records(VPC_FORMAT, b"HEAD", [pcs, data])
+        header, cols = unpack_records(VPC_FORMAT, raw)
+        assert header == b"HEAD"
+        assert cols[0].tolist() == [1, 2, 3]
+        assert cols[1].tolist() == [10, 20, 30]
+
+    def test_byte_layout_is_little_endian(self):
+        raw = pack_records(
+            VPC_FORMAT,
+            b"\x00" * 4,
+            [np.array([0x01020304], np.uint64), np.array([0xAA], np.uint64)],
+        )
+        assert raw[4:8] == b"\x04\x03\x02\x01"
+        assert raw[8] == 0xAA
+
+    def test_empty_trace(self):
+        raw = pack_records(
+            VPC_FORMAT, b"HEAD", [np.zeros(0, np.uint64), np.zeros(0, np.uint64)]
+        )
+        assert raw == b"HEAD"
+        header, cols = unpack_records(VPC_FORMAT, raw)
+        assert len(cols[0]) == 0
+
+    def test_wrong_header_size_rejected(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            pack_records(VPC_FORMAT, b"TOOLONGHEADER", [np.zeros(1, np.uint64)] * 2)
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(TraceFormatError, match="columns"):
+            pack_records(VPC_FORMAT, b"HEAD", [np.zeros(1, np.uint64)])
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(TraceFormatError, match="lengths"):
+            pack_records(
+                VPC_FORMAT, b"HEAD", [np.zeros(1, np.uint64), np.zeros(2, np.uint64)]
+            )
+
+    def test_values_masked_to_field_width(self):
+        raw = pack_records(
+            VPC_FORMAT,
+            b"HEAD",
+            [np.array([1 << 33], np.uint64), np.array([5], np.uint64)],
+        )
+        _, cols = unpack_records(VPC_FORMAT, raw)
+        assert cols[0][0] == (1 << 33) % (1 << 32)
+
+    def test_max_values_survive(self):
+        pcs = np.array([(1 << 32) - 1], np.uint64)
+        data = np.array([(1 << 64) - 1], np.uint64)
+        raw = pack_records(VPC_FORMAT, b"HEAD", [pcs, data])
+        _, cols = unpack_records(VPC_FORMAT, raw)
+        assert cols[0][0] == (1 << 32) - 1
+        assert cols[1][0] == (1 << 64) - 1

@@ -1,0 +1,194 @@
+"""Tests for the synthetic workload suite and trace builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tio import VPC_FORMAT, unpack_records
+from repro.traces import (
+    TRACE_KINDS,
+    build_trace,
+    cache_miss_address_trace,
+    default_suite,
+    generate_events,
+    load_value_trace,
+    store_address_trace,
+    workload_names,
+)
+from repro.traces.events import EventBlock, concat_events, interleave_events
+from repro.traces.workloads import WORKLOADS
+
+
+class TestSuiteInventory:
+    def test_all_22_table1_programs_present(self):
+        expected = {
+            "eon", "bzip2", "crafty", "gap", "gcc", "gzip", "mcf", "parser",
+            "perlbmk", "twolf", "vortex", "vpr", "ammp", "art", "equake",
+            "mesa", "applu", "apsi", "mgrid", "sixtrack", "swim", "wupwise",
+        }
+        assert set(workload_names()) == expected
+
+    def test_twelve_integer_ten_fp(self):
+        kinds = [info.kind for info in WORKLOADS.values()]
+        assert kinds.count("integer") == 12
+        assert kinds.count("floating point") == 10
+
+    def test_default_suite_is_subset(self):
+        assert set(default_suite()) <= set(workload_names())
+        assert len(default_suite()) >= 6
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError, match="unknown workload"):
+            generate_events("quake3")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["mcf", "swim", "gcc"])
+    def test_same_seed_same_events(self, name):
+        a = generate_events(name, scale=0.2, seed=1)
+        b = generate_events(name, scale=0.2, seed=1)
+        assert np.array_equal(a.pcs, b.pcs)
+        assert np.array_equal(a.addrs, b.addrs)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = generate_events("mcf", scale=0.2, seed=1)
+        b = generate_events("mcf", scale=0.2, seed=2)
+        assert not np.array_equal(a.addrs, b.addrs)
+
+    def test_scale_controls_size(self):
+        small = generate_events("gcc", scale=0.2)
+        large = generate_events("gcc", scale=1.0)
+        assert len(large) > 3 * len(small)
+
+
+class TestEventBlocks:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_produces_valid_events(self, name):
+        events = generate_events(name, scale=0.1)
+        assert len(events) > 100
+        assert events.pcs.max() < 1 << 32
+        assert len(events.stores) + len(events.loads) == len(events)
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_has_loads_and_stores(self, name):
+        events = generate_events(name, scale=0.1)
+        assert len(events.stores) > 0, f"{name} has no stores"
+        assert len(events.loads) > 0, f"{name} has no loads"
+
+    def test_concat_preserves_order(self):
+        a = generate_events("mcf", scale=0.05)
+        b = generate_events("swim", scale=0.05)
+        both = concat_events([a, b])
+        assert len(both) == len(a) + len(b)
+        assert np.array_equal(both.pcs[: len(a)], a.pcs)
+
+    def test_interleave_round_robin(self):
+        a = EventBlock(
+            np.array([1, 1], np.uint64), np.array([10, 11], np.uint64),
+            np.array([0, 0], np.uint64), np.array([False, False]),
+        )
+        b = EventBlock(
+            np.array([2, 2], np.uint64), np.array([20, 21], np.uint64),
+            np.array([0, 0], np.uint64), np.array([True, True]),
+        )
+        mixed = interleave_events([a, b], np.array([0, 1, 0, 1]))
+        assert mixed.pcs.tolist() == [1, 2, 1, 2]
+        assert mixed.addrs.tolist() == [10, 20, 11, 21]
+
+    def test_interleave_overflow_rejected(self):
+        a = EventBlock(
+            np.array([1], np.uint64), np.array([1], np.uint64),
+            np.array([1], np.uint64), np.array([False]),
+        )
+        with pytest.raises(ReproError, match="interleave"):
+            interleave_events([a], np.array([0, 0]))
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ReproError, match="length"):
+            EventBlock(
+                np.zeros(2, np.uint64), np.zeros(3, np.uint64),
+                np.zeros(2, np.uint64), np.zeros(2, bool),
+            )
+
+
+class TestBuilders:
+    def test_store_trace_contains_only_stores(self):
+        events = generate_events("swim", scale=0.1)
+        raw = store_address_trace(events)
+        _, cols = unpack_records(VPC_FORMAT, raw)
+        stores = events.stores
+        assert cols[0].tolist() == stores.pcs.astype(np.uint32).tolist()
+        assert cols[1].tolist() == stores.addrs.tolist()
+
+    def test_load_trace_contains_values_not_addresses(self):
+        events = generate_events("crafty", scale=0.1)
+        raw = load_value_trace(events)
+        _, cols = unpack_records(VPC_FORMAT, raw)
+        assert cols[1].tolist() == events.loads.values.tolist()
+
+    def test_miss_trace_is_subset_of_all_accesses(self):
+        events = generate_events("mcf", scale=0.1)
+        raw = cache_miss_address_trace(events)
+        _, cols = unpack_records(VPC_FORMAT, raw)
+        assert 0 < len(cols[0]) < len(events)
+
+    def test_miss_trace_respects_cache_config(self):
+        from repro.cachesim import CacheConfig
+
+        events = generate_events("mcf", scale=0.1)
+        small = cache_miss_address_trace(events, CacheConfig(1024, 64, 1))
+        large = cache_miss_address_trace(events, CacheConfig(256 * 1024, 64, 1))
+        assert len(small) > len(large)
+
+    def test_headers_tag_trace_kind(self):
+        events = generate_events("art", scale=0.1)
+        assert store_address_trace(events)[:4] == b"STA\0"
+        assert cache_miss_address_trace(events)[:4] == b"CMA\0"
+        assert load_value_trace(events)[:4] == b"LDV\0"
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_every_workload_builds_all_three_kinds(self, name):
+        for kind in TRACE_KINDS:
+            raw = build_trace(name, kind, scale=0.05)
+            assert (len(raw) - 4) % 12 == 0, (name, kind)
+            assert len(raw) > 4, (name, kind)
+
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_build_trace_dispatch(self, kind):
+        raw = build_trace("gzip", kind, scale=0.1)
+        assert raw[:4] == {"store_addresses": b"STA\0",
+                           "cache_miss_addresses": b"CMA\0",
+                           "load_values": b"LDV\0"}[kind]
+        assert (len(raw) - 4) % 12 == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="kind"):
+            build_trace("gzip", "branch_traces")
+
+
+class TestTraceCharacter:
+    """The paper's qualitative claims about the three trace types."""
+
+    def test_store_addresses_compress_best(self):
+        """'Such traces are typically relatively easy to compress.'"""
+        from repro.baselines import TCgenCompressor
+
+        compressor = TCgenCompressor()
+        rates = {}
+        for kind in TRACE_KINDS:
+            raw = build_trace("swim", kind, scale=0.2)
+            rates[kind] = len(raw) / len(compressor.compress(raw))
+        assert rates["store_addresses"] > rates["cache_miss_addresses"]
+
+    def test_cache_filter_distorts_patterns(self):
+        """Miss traces are harder than raw address traces (same program)."""
+        from repro.baselines import TCgenCompressor
+
+        events = generate_events("swim", scale=0.2)
+        compressor = TCgenCompressor()
+        all_accesses = store_address_trace(events)
+        misses = cache_miss_address_trace(events)
+        rate_all = len(all_accesses) / len(compressor.compress(all_accesses))
+        rate_miss = len(misses) / len(compressor.compress(misses))
+        assert rate_all > rate_miss

@@ -1,0 +1,164 @@
+"""Unit tests for semantic validation of specifications."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.spec import parse_spec
+
+
+def parse_only(text):
+    return parse_spec(text, validate=False)
+
+
+def check(text):
+    from repro.spec.validate import validate_spec
+
+    return validate_spec(parse_only(text))
+
+
+class TestFieldRules:
+    def test_valid_spec_passes(self):
+        check(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L2 = 512: FCM1[1]};\nPC = Field 1;\n"
+        )
+
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64])
+    def test_allowed_widths(self, bits):
+        check(
+            "TCgen Trace Specification;\n"
+            f"32-Bit Field 1 = {{: LV[1]}};\n"
+            f"{bits}-Bit Field 2 = {{: LV[1]}};\n"
+            "PC = Field 1;\n"
+        )
+
+    @pytest.mark.parametrize("bits", [0, 7, 24, 48, 128])
+    def test_rejected_widths(self, bits):
+        with pytest.raises(ValidationError, match="width"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[1]};\n"
+                f"{bits}-Bit Field 2 = {{: LV[1]}};\n"
+                "PC = Field 1;\n"
+            )
+
+    @pytest.mark.parametrize("size", [3, 5, 100, 65535])
+    def test_l1_must_be_power_of_two(self, size):
+        with pytest.raises(ValidationError, match="power of two"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[1]};\n"
+                f"64-Bit Field 2 = {{L1 = {size}: LV[1]}};\n"
+                "PC = Field 1;\n"
+            )
+
+    def test_l2_must_be_power_of_two(self):
+        with pytest.raises(ValidationError, match="power of two"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {L2 = 1000: FCM1[1]};\nPC = Field 1;\n"
+            )
+
+    def test_giant_l2_rejected(self):
+        with pytest.raises(ValidationError, match="limit"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {L2 = 268435456: FCM8[1]};\nPC = Field 1;\n"
+            )
+
+
+class TestPcRules:
+    def test_pc_field_must_exist(self):
+        with pytest.raises(ValidationError, match="does not exist"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[1]};\nPC = Field 3;\n"
+            )
+
+    def test_pc_field_l1_must_be_one(self):
+        with pytest.raises(ValidationError, match="L1 size must be 1"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {L1 = 64: LV[1]};\nPC = Field 1;\n"
+            )
+
+    def test_non_pc_field_may_have_large_l1(self):
+        check(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {: LV[1]};\n"
+            "64-Bit Field 2 = {L1 = 65536: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+
+
+class TestNumberingRules:
+    def test_field_numbers_must_start_at_one(self):
+        with pytest.raises(ValidationError, match="consecutive"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 2 = {: LV[1]};\nPC = Field 2;\n"
+            )
+
+    def test_field_numbers_must_be_consecutive(self):
+        with pytest.raises(ValidationError, match="consecutive"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[1]};\n"
+                "64-Bit Field 3 = {: LV[1]};\n"
+                "PC = Field 1;\n"
+            )
+
+    def test_duplicate_field_numbers_rejected(self):
+        with pytest.raises(ValidationError, match="consecutive"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[1]};\n"
+                "64-Bit Field 1 = {: LV[1]};\n"
+                "PC = Field 1;\n"
+            )
+
+
+class TestPredictorRules:
+    def test_order_zero_fcm_rejected(self):
+        with pytest.raises(ValidationError, match="order"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: FCM0[1]};\nPC = Field 1;\n"
+            )
+
+    def test_huge_order_rejected(self):
+        with pytest.raises(ValidationError, match="order"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: FCM9[1]};\nPC = Field 1;\n"
+            )
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValidationError, match="depth"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[0]};\nPC = Field 1;\n"
+            )
+
+    def test_huge_depth_rejected(self):
+        with pytest.raises(ValidationError, match="depth"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {: LV[17]};\nPC = Field 1;\n"
+            )
+
+    def test_order_times_l2_over_limit_rejected(self):
+        # L2 = 2^25 with order 8 needs 2^32 lines.
+        with pytest.raises(ValidationError, match="limit"):
+            check(
+                "TCgen Trace Specification;\n"
+                "32-Bit Field 1 = {L2 = 33554432: FCM8[1]};\nPC = Field 1;\n"
+            )
+
+    def test_unaligned_header_rejected(self):
+        with pytest.raises(ValidationError, match="header"):
+            check(
+                "TCgen Trace Specification;\n"
+                "12-Bit Header;\n"
+                "32-Bit Field 1 = {: LV[1]};\nPC = Field 1;\n"
+            )

@@ -1,0 +1,359 @@
+"""Tests for the miniature virtual machine substrate."""
+
+import pytest
+
+from repro.vm import (
+    AssemblyError,
+    ExecutionError,
+    Machine,
+    assemble,
+    program_names,
+    run_program,
+    vm_trace,
+)
+from repro.vm.isa import DATA_BASE, Op, RA, SP, STACK_TOP, TEXT_BASE
+
+
+def run(source: str, max_steps: int = 100_000) -> Machine:
+    machine = Machine(assemble(source))
+    machine.run(max_steps=max_steps)
+    return machine
+
+
+class TestAssembler:
+    def test_labels_resolve_to_text_addresses(self):
+        program = assemble("main:\n  halt\nafter:\n  halt\n")
+        assert program.labels["main"] == TEXT_BASE
+        assert program.labels["after"] == TEXT_BASE + 4
+
+    def test_data_labels_resolve_to_data_addresses(self):
+        program = assemble(
+            ".text\n  halt\n.data\nfirst: .space 16\nsecond: .word64 5\n"
+        )
+        assert program.labels["first"] == DATA_BASE
+        assert program.labels["second"] == DATA_BASE + 16
+        assert program.data[16:24] == (5).to_bytes(8, "little")
+
+    def test_word64_handles_negative_values(self):
+        program = assemble(".text\n halt\n.data\nv: .word64 -1\n")
+        assert program.data == b"\xff" * 8
+
+    def test_align_pads(self):
+        program = assemble(".text\n halt\n.data\n .byte 1\n .align 8\nv: .space 8\n")
+        assert program.labels["v"] == DATA_BASE + 8
+
+    def test_register_aliases(self):
+        program = assemble("  mv sp, ra\n  halt\n")
+        instruction = program.instructions[0]
+        assert instruction.rd == SP
+        assert instruction.rs1 == RA
+
+    def test_call_and_ret_expand(self):
+        program = assemble("main:\n  call f\n  halt\nf:\n  ret\n")
+        assert program.instructions[0].op is Op.JAL
+        assert program.instructions[0].rd == RA
+        assert program.instructions[2].op is Op.JR
+
+    def test_la_becomes_li_with_address(self):
+        program = assemble("  la x1, buf\n  halt\n.data\nbuf: .space 8\n")
+        assert program.instructions[0].op is Op.LI
+        assert program.instructions[0].imm == DATA_BASE
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("# top\n\nmain:  # inline\n  halt  # done\n")
+        assert len(program.instructions) == 1
+
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("  bogus x1, x2\n", "unknown instruction"),
+            ("  li x99, 5\n", "bad register"),
+            ("  li x1, five\n", "bad immediate"),
+            ("  j nowhere\n", "undefined label"),
+            ("a:\na:\n  halt\n", "duplicate label"),
+            ("  ld x1, x2\n", "displacement"),
+            ("  add x1, x2\n", "takes 3 operands"),
+            (".data\n  halt\n", "instruction inside .data"),
+            (".word64 5\n", ".word64 outside .data"),
+            ("  .bogus 5\n", "unknown directive"),
+        ],
+    )
+    def test_errors(self, source, message):
+        with pytest.raises(AssemblyError, match=message):
+            assemble(source)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("  halt\n  bogus\n")
+        assert excinfo.value.line == 2
+
+
+class TestMachineSemantics:
+    def test_arithmetic(self):
+        machine = run(
+            "  li x1, 7\n  li x2, 3\n  add x3, x1, x2\n  sub x4, x1, x2\n"
+            "  mul x5, x1, x2\n  halt\n"
+        )
+        assert machine.registers[3] == 10
+        assert machine.registers[4] == 4
+        assert machine.registers[5] == 21
+
+    def test_wrapping_arithmetic(self):
+        machine = run("  li x1, -1\n  addi x2, x1, 2\n  halt\n")
+        assert machine.registers[1] == (1 << 64) - 1
+        assert machine.registers[2] == 1
+
+    def test_signed_division(self):
+        machine = run(
+            "  li x1, -7\n  li x2, 2\n  div x3, x1, x2\n  rem x4, x1, x2\n  halt\n"
+        )
+        assert machine.registers[3] == ((-3) & ((1 << 64) - 1))
+        assert machine.registers[4] == ((-1) & ((1 << 64) - 1))
+
+    def test_division_by_zero_is_defined(self):
+        machine = run("  li x1, 5\n  div x2, x1, x0\n  rem x3, x1, x0\n  halt\n")
+        assert machine.registers[2] == 0
+        assert machine.registers[3] == 5
+
+    def test_x0_is_hardwired_zero(self):
+        machine = run("  li x0, 99\n  halt\n")
+        assert machine.registers[0] == 0
+
+    def test_shifts(self):
+        machine = run("  li x1, 1\n  shli x2, x1, 10\n  shri x3, x2, 4\n  halt\n")
+        assert machine.registers[2] == 1024
+        assert machine.registers[3] == 64
+
+    def test_memory_roundtrip(self):
+        machine = run(
+            "  la x1, buf\n  li x2, 123456789\n  st x2, 8(x1)\n  ld x3, 8(x1)\n"
+            "  halt\n.data\nbuf: .space 32\n"
+        )
+        assert machine.registers[3] == 123456789
+
+    def test_byte_operations(self):
+        machine = run(
+            "  la x1, buf\n  li x2, 511\n  stb x2, 0(x1)\n  ldb x3, 0(x1)\n"
+            "  halt\n.data\nbuf: .space 8\n"
+        )
+        assert machine.registers[3] == 0xFF  # truncated to a byte
+
+    def test_branches(self):
+        machine = run(
+            "  li x1, 5\n  li x2, 5\n  beq x1, x2, yes\n  li x3, 1\nyes:\n"
+            "  li x4, 2\n  halt\n"
+        )
+        assert machine.registers[3] == 0  # skipped
+        assert machine.registers[4] == 2
+
+    def test_signed_compare(self):
+        machine = run(
+            "  li x1, -1\n  li x2, 1\n  blt x1, x2, less\n  li x3, 9\nless:\n  halt\n"
+        )
+        assert machine.registers[3] == 0  # -1 < 1 under signed compare
+
+    def test_call_stack(self):
+        machine = run(
+            "main:\n  li x1, 10\n  call double\n  halt\n"
+            "double:\n  add x1, x1, x1\n  ret\n"
+        )
+        assert machine.registers[1] == 20
+
+    def test_stack_pointer_initialized(self):
+        machine = Machine(assemble("  halt\n"))
+        assert machine.registers[SP] == STACK_TOP
+
+    def test_step_budget(self):
+        with pytest.raises(ExecutionError, match="budget"):
+            run("loop:\n  j loop\n", max_steps=100)
+
+    def test_pc_out_of_text_faults(self):
+        with pytest.raises(ExecutionError, match="text segment"):
+            run("  jr x1\n  halt\n")  # x1 = 0: jumps outside
+
+    def test_initialized_data_visible(self):
+        machine = run(
+            "  la x1, v\n  ld x2, 0(x1)\n  halt\n.data\nv: .word64 77\n"
+        )
+        assert machine.registers[2] == 77
+
+
+class TestTracing:
+    def test_loads_and_stores_recorded_in_order(self):
+        machine = run(
+            "  la x1, buf\n  li x2, 5\n  st x2, 0(x1)\n  ld x3, 0(x1)\n  halt\n"
+            ".data\nbuf: .space 8\n"
+        )
+        events = machine.events()
+        assert len(events) == 2
+        assert bool(events.is_store[0]) and not bool(events.is_store[1])
+        assert events.addrs[0] == events.addrs[1] == DATA_BASE
+        assert events.values[0] == events.values[1] == 5
+
+    def test_pcs_are_real_instruction_addresses(self):
+        machine = run(
+            "  la x1, buf\n  st x0, 0(x1)\n  halt\n.data\nbuf: .space 8\n"
+        )
+        events = machine.events()
+        assert events.pcs[0] == TEXT_BASE + 4  # the st is instruction 1
+
+    def test_untraced_machine_refuses_events(self):
+        machine = Machine(assemble("  halt\n"), trace=False)
+        machine.run()
+        with pytest.raises(ExecutionError):
+            machine.events()
+
+
+class TestPrograms:
+    @pytest.fixture(scope="class")
+    def machines(self):
+        return {name: run_program(name) for name in program_names()}
+
+    def test_all_programs_halt(self, machines):
+        for name, machine in machines.items():
+            assert machine.halted, name
+
+    def test_all_programs_touch_memory(self, machines):
+        for name, machine in machines.items():
+            events = machine.events()
+            assert len(events) > 1000, name
+            assert events.is_store.sum() > 0, name
+
+    def test_fib_computes_1597(self, machines):
+        assert machines["fib"].read_words("result", 1)[0] == 1597
+
+    def test_quicksort_sorts(self, machines):
+        values = machines["quicksort"].read_words("values", 1200)
+        assert values == sorted(values)
+
+    def test_hashtable_finds_all_inserted_keys(self, machines):
+        # The first 1200 lookups re-draw the inserted keys: all must hit.
+        assert machines["hashtable"].read_words("hits", 1)[0] >= 1200
+
+    def test_binsearch_finds_plausible_fraction(self, machines):
+        # 1024 of 7200 possible keys exist: expect roughly 14% of 2000.
+        found = machines["binsearch"].read_words("found", 1)[0]
+        assert 150 < found < 450
+
+    def test_matmul_matches_python(self, machines):
+        machine = machines["matmul"]
+        n = 20
+        a = machine.read_words("A", n * n)
+        b = machine.read_words("B", n * n)
+        c = machine.read_words("C", n * n)
+        mask = (1 << 64) - 1
+        for i in range(0, n, 7):  # spot-check a few rows
+            for j in range(0, n, 7):
+                expected = sum(a[i * n + k] * b[k * n + j] for k in range(n)) & mask
+                assert c[i * n + j] == expected, (i, j)
+
+    def test_list_sum_total_stored(self, machines):
+        assert machines["list_sum"].read_words("total", 1)[0] > 0
+
+    def test_bfs_reaches_every_grid_node(self, machines):
+        visits, enqueued = machines["bfs"].read_words("visits", 2)
+        assert visits == 1024
+        assert enqueued == 1024
+
+    def test_transpose_is_correct(self, machines):
+        machine = machines["transpose"]
+        n = 48
+        a = machine.read_words("A", n * n)
+        b = machine.read_words("B", n * n)
+        for i in range(0, n, 9):
+            for j in range(0, n, 9):
+                assert b[j * n + i] == a[i * n + j], (i, j)
+
+    def test_stencil_converges_toward_smooth_values(self, machines):
+        grid = machines["stencil"].read_words("grid_a", 1600)
+        # After 12 averaging sweeps, neighbouring interior cells are close.
+        diffs = [abs(grid[i + 1] - grid[i]) for i in range(700, 900)]
+        assert max(diffs) < 1 << 32
+
+
+class TestVmTraces:
+    @pytest.mark.parametrize("kind", ["store_addresses", "cache_miss_addresses",
+                                      "load_values"])
+    def test_trace_kinds_build(self, kind):
+        raw = vm_trace("hashtable", kind)
+        assert (len(raw) - 4) % 12 == 0
+        assert len(raw) > 4
+
+    def test_vm_traces_compress_losslessly(self):
+        from repro.baselines import all_compressors
+
+        raw = vm_trace("binsearch", "load_values")
+        for compressor in all_compressors():
+            assert compressor.decompress(compressor.compress(raw)) == raw, (
+                compressor.name
+            )
+
+    def test_executed_code_is_predictable(self):
+        """Real loop PCs: TCgen should compress a VM trace far below raw."""
+        from repro.baselines import TCgenCompressor
+
+        raw = vm_trace("stencil", "store_addresses")
+        blob = TCgenCompressor().compress(raw)
+        assert len(raw) / len(blob) > 20
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="kind"):
+            vm_trace("fib", "branch_traces")
+
+
+class TestInstructionTraces:
+    def test_one_record_per_executed_instruction(self):
+        from repro.vm import assemble
+        from repro.vm.machine import Machine
+
+        machine = Machine(
+            assemble("  li x1, 3\n  addi x1, x1, 1\n  halt\n"),
+            trace=False,
+            trace_instructions=True,
+        )
+        machine.run()
+        pcs, words = machine.instruction_trace()
+        assert len(pcs) == 3
+        assert pcs.tolist() == [0x400000, 0x400004, 0x400008]
+
+    def test_static_instructions_repeat_their_word(self):
+        """The same PC always carries the same instruction word — the
+        invariant instruction-trace compressors exploit."""
+        from repro.vm import assemble
+        from repro.vm.machine import Machine
+
+        machine = Machine(
+            assemble(
+                "  li x1, 0\n  li x2, 50\nloop:\n  addi x1, x1, 1\n"
+                "  blt x1, x2, loop\n  halt\n"
+            ),
+            trace=False,
+            trace_instructions=True,
+        )
+        machine.run()
+        pcs, words = machine.instruction_trace()
+        by_pc = {}
+        for pc, word in zip(pcs.tolist(), words.tolist()):
+            assert by_pc.setdefault(pc, word) == word
+
+    def test_instruction_trace_compresses_extremely_well(self):
+        """Loopy instruction traces are the easiest trace type of all."""
+        from repro.baselines import SbcCompressor, TCgenCompressor
+
+        raw = vm_trace("stencil", "instruction_words")
+        assert raw[:4] == b"INS\0"
+        for compressor in (TCgenCompressor(), SbcCompressor()):
+            blob = compressor.compress(raw)
+            assert compressor.decompress(blob) == raw
+            assert len(raw) / len(blob) > 100, compressor.name
+
+    def test_untraced_machine_refuses_instruction_trace(self):
+        from repro.vm import assemble
+        from repro.vm.machine import Machine
+
+        machine = Machine(assemble("  halt\n"))
+        machine.run()
+        with pytest.raises(ExecutionError):
+            machine.instruction_trace()
