@@ -1,0 +1,124 @@
+"""Parallel scaling of the chunked (v2) compression pipeline.
+
+Measures three things about the chunked container introduced for
+multicore operation:
+
+1. **worker scaling** — wall-clock speedup of compress/decompress at 1, 2,
+   4, and 8 workers (thread pool over the GIL-releasing codec stage).
+   Output bytes are asserted identical at every worker count; the speedup
+   curve is bounded by the machine's available parallelism, which the
+   report records so single-core CI numbers read honestly;
+2. **chunking rate cost** — per-chunk predictor-state resets lose a little
+   context, so a v2 container is slightly larger than flat v1.  The bench
+   quantifies that compression-rate delta at several chunk sizes;
+3. **peak allocation** — chunked compression converts each column to
+   Python ints one chunk at a time instead of materializing whole-trace
+   lists, so peak memory drops; measured with ``tracemalloc``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from conftest import report
+
+from repro.runtime.engine import TraceEngine
+from repro.runtime.parallel import available_parallelism
+from repro.spec import tcgen_a
+from repro.tio import VPC_FORMAT
+from repro.tio.traceformat import unpack_records
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_parallel_scaling(benchmark, trace_suite):
+    engine = TraceEngine(tcgen_a())
+    raw = max(
+        (r for traces in trace_suite.values() for r in traces.values()), key=len
+    )
+    mb = len(raw) / 1e6
+    cpus = available_parallelism()
+
+    def once():
+        lines = [
+            "Parallel scaling of the chunked (v2) pipeline",
+            "",
+            f"trace: {len(raw):,} bytes; available CPUs: {cpus}",
+            "(thread-pool speedup is bounded by the CPU count; on a",
+            " single-core machine the curve is flat by construction)",
+            "",
+            "worker scaling (chunk_records=auto, codec stage on threads):",
+        ]
+
+        flat = engine.compress(raw)
+        reference = engine.compress(raw, chunk_records="auto")
+        base_c = base_d = None
+        for workers in WORKER_COUNTS:
+            t_c = _best_of(
+                lambda: engine.compress(raw, chunk_records="auto", workers=workers)
+            )
+            t_d = _best_of(lambda: engine.decompress(reference, workers=workers))
+            blob = engine.compress(raw, chunk_records="auto", workers=workers)
+            assert blob == reference  # parallelism never changes the bytes
+            if base_c is None:
+                base_c, base_d = t_c, t_d
+            lines.append(
+                f"  workers={workers}  compress {mb / t_c:6.2f} MB/s "
+                f"({base_c / t_c:4.2f}x)   decompress {mb / t_d:6.2f} MB/s "
+                f"({base_d / t_d:4.2f}x)"
+            )
+
+        lines += ["", "chunking rate cost (v2 vs flat v1 container):"]
+        flat_rate = len(raw) / len(flat)
+        lines.append(f"  v1 flat           rate {flat_rate:7.2f}x  (baseline)")
+        for chunk_records in (2_000, 10_000, 50_000, "auto"):
+            blob = engine.compress(raw, chunk_records=chunk_records)
+            rate = len(raw) / len(blob)
+            lines.append(
+                f"  chunk={chunk_records!s:>8}  rate {rate:7.2f}x  "
+                f"({100.0 * (rate / flat_rate - 1.0):+5.1f}% vs v1)"
+            )
+            assert engine.decompress(blob) == raw
+
+        lines += ["", "peak allocation, column materialization (tracemalloc):"]
+        fmt = VPC_FORMAT
+        span = 10_000
+
+        def whole_trace_lists():
+            # The pre-chunking engine path: copying unpack, then full
+            # whole-trace int lists for every column at once.
+            _, columns = unpack_records(fmt, raw)
+            return [column.tolist() for column in columns]
+
+        def per_chunk_lists():
+            # The chunked path: zero-copy views, one chunk's ints at a time.
+            _, views = unpack_records(fmt, raw, copy=False)
+            total = len(views[0])
+            for start in range(0, total, span):
+                for view in views:
+                    view[start : start + span].tolist()
+
+        for label, fn in (
+            ("whole-trace lists (old v1 path)", whole_trace_lists),
+            (f"views + {span}-record chunks", per_chunk_lists),
+        ):
+            tracemalloc.start()
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            lines.append(f"  {label:32s} {peak / 1e6:8.1f} MB peak")
+
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(once, rounds=1, iterations=1)
+    report("parallel_scaling", text)

@@ -80,8 +80,18 @@ def all_baselines() -> list[TraceCompressor]:
     ]
 
 
-def all_compressors() -> list[TraceCompressor]:
-    """The six baselines plus the TCgen(A) generated compressor."""
+def all_compressors(
+    chunk_records: int | str | None = None, workers: int = 1
+) -> list[TraceCompressor]:
+    """The six baselines plus the TCgen(A) generated compressor.
+
+    ``chunk_records`` and ``workers`` configure only the TCgen entry: a
+    chunked (v2) container and a parallel post-compression stage.  The
+    baselines ignore them, so the comparison stays apples-to-apples on
+    the input side.
+    """
     from repro.baselines.tcgen import TCgenCompressor
 
-    return all_baselines() + [TCgenCompressor()]
+    return all_baselines() + [
+        TCgenCompressor(chunk_records=chunk_records, workers=workers)
+    ]

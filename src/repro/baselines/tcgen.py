@@ -28,18 +28,24 @@ class TCgenCompressor(TraceCompressor):
         spec: TraceSpec | None = None,
         options: OptimizationOptions | None = None,
         name: str | None = None,
+        chunk_records: int | str | None = None,
+        workers: int = 1,
     ) -> None:
         spec = spec or tcgen_a()
         self.model = build_model(spec, options or OptimizationOptions.full())
         self._module = load_python_module(generate_python(self.model))
+        self.chunk_records = chunk_records
+        self.workers = workers
         if name:
             self.name = name
 
     def compress(self, raw: bytes) -> bytes:
-        return self._module.compress(raw)
+        return self._module.compress(
+            raw, chunk_records=self.chunk_records, workers=self.workers
+        )
 
     def decompress(self, blob: bytes) -> bytes:
-        return self._module.decompress(blob)
+        return self._module.decompress(blob, workers=self.workers)
 
     def usage_report(self) -> str:
         """Predictor-usage feedback from the most recent compression."""

@@ -48,6 +48,12 @@ def tcgen_main(argv: list[str] | None = None) -> int:
         help="disable one optimization: smart_update, type_minimization, "
         "shared_tables, fast_hash, adaptive_shift (repeatable)",
     )
+    parser.epilog = (
+        "The generated Python module accepts --workers N (parallel "
+        "post-compression) and --chunk-records N|auto (chunked v2 "
+        "container with independent, seekable chunks) when run as a "
+        "filter; output bytes are identical for any worker count."
+    )
     args = parser.parse_args(argv)
 
     from repro.codegen import generate_c, generate_python
@@ -108,7 +114,24 @@ def bench_main(argv: list[str] | None = None) -> int:
         "--kind", choices=TRACE_KINDS, action="append",
         help="limit to one or more trace kinds (repeatable)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker threads for TCgen's post-compression stage "
+        "(0 = all CPUs; default 1; output bytes are unaffected)",
+    )
+    parser.add_argument(
+        "--chunk-records", default=None, metavar="N",
+        help="records per chunk for TCgen's v2 container "
+        "('auto' = ~1 MB raw per chunk; default: flat v1 container)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.runtime.parallel import resolve_workers
+
+    workers = resolve_workers(args.workers)
+    chunk_records = args.chunk_records
+    if chunk_records is not None and chunk_records != "auto":
+        chunk_records = int(chunk_records)
 
     suite = workload_names() if args.full else default_suite()
     kinds = args.kind or list(TRACE_KINDS)
@@ -116,7 +139,9 @@ def bench_main(argv: list[str] | None = None) -> int:
     for kind in kinds:
         for workload in suite:
             raw = build_trace(workload, kind, scale=args.scale, seed=args.seed)
-            for compressor in all_compressors():
+            for compressor in all_compressors(
+                chunk_records=chunk_records, workers=workers
+            ):
                 result = measure(compressor, raw, workload=workload, kind=kind)
                 table.add(result)
                 print(

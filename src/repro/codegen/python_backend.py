@@ -15,7 +15,10 @@ prediction and update loops are fully unrolled, constants (masks, shifts,
 table bases) are inlined, power-of-two modulo operations become bit-ands,
 dead code for unused features is never emitted, and all names are
 meaningful.  Containers produced by the generated module are byte-identical
-to the interpreted :class:`~repro.runtime.TraceEngine`.
+to the interpreted :class:`~repro.runtime.TraceEngine` — for the flat v1
+format and for the chunked v2 format alike (``compress(raw,
+chunk_records=...)``), with ``workers=`` parallelizing the post-compression
+stage on a thread pool.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.postcompress import codec_by_name
 from repro.predictors.hashing import HashParams
 from repro.spec.ast import PredictorKind
 from repro.spec.canonical import format_spec
+from repro.tio.container import default_chunk_records
 
 _TYPECODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
 
@@ -346,6 +350,7 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     w.line("import struct")
     w.line("import sys")
     w.line("from array import array")
+    w.line("from concurrent.futures import ThreadPoolExecutor")
     w.line()
     if codec_obj.name == "bzip2":
         w.line("import bz2")
@@ -367,6 +372,9 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     w.line(f"CODEC_ID = {codec_obj.codec_id}")
     w.line(f"HEADER_BYTES = {spec.header_bytes}")
     w.line(f"RECORD_BYTES = {spec.record_bytes}")
+    w.line(f"STREAM_COUNT = {model.stream_count}")
+    w.line(f"CHUNK_STREAMS = {2 * len(model.fields)}")
+    w.line(f"DEFAULT_CHUNK_RECORDS = {default_chunk_records(spec.record_bytes)}")
     w.line(f'_RECORD = struct.Struct("{_record_struct_format(model)}")')
     w.line()
     w.line("_last_usage = None")
@@ -378,7 +386,8 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
         w.line(f"return {decompress_call}")
     w.line()
 
-    _emit_container_helpers(w)
+    _emit_parallel_helper(w)
+    _emit_container_helpers(w, bool(spec.header_bits))
     _emit_fresh_tables(w, plans)
     _emit_compress(w, model, plans, order)
     _emit_decompress(w, model, plans, order)
@@ -387,7 +396,19 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     return w.getvalue()
 
 
-def _emit_container_helpers(w: CodeWriter) -> None:
+def _emit_parallel_helper(w: CodeWriter) -> None:
+    with w.block("def _map_ordered(fn, items, workers):"):
+        w.line('"""Ordered map, on a thread pool when workers > 1."""')
+        with w.block("if workers is None or workers <= 1 or len(items) <= 1:"):
+            w.line("return [fn(item) for item in items]")
+        with w.block(
+            "with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:"
+        ):
+            w.line("return list(pool.map(fn, items))")
+    w.line()
+
+
+def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
     with w.block("def _write_varint(out, value):"):
         with w.block("while True:"):
             w.line("byte = value & 0x7F")
@@ -413,16 +434,40 @@ def _emit_container_helpers(w: CodeWriter) -> None:
             with w.block("if shift > 70:"):
                 w.line('raise ValueError("varint longer than 10 bytes")')
     w.line()
-    with w.block("def _encode_container(record_count, streams):"):
+    with w.block("def _read_stream_meta(blob, pos):"):
+        with w.block("if pos >= len(blob):"):
+            w.line('raise ValueError("truncated container")')
+        with w.block("if blob[pos] != CODEC_ID:"):
+            w.line('raise ValueError("unexpected stream codec")')
+        w.line("raw_length, pos = _read_varint(blob, pos + 1)")
+        w.line("stored, pos = _read_varint(blob, pos)")
+        w.line("return raw_length, stored, pos")
+    w.line()
+    with w.block("def _decode_payloads(blob, pos, metas, workers):"):
+        w.line('"""Slice and post-decompress every payload, in meta order."""')
+        w.line("pieces = []")
+        with w.block("for raw_length, stored in metas:"):
+            with w.block("if pos + stored > len(blob):"):
+                w.line('raise ValueError("truncated stream payload")')
+            w.line("pieces.append(blob[pos : pos + stored])")
+            w.line("pos += stored")
+        with w.block("if pos != len(blob):"):
+            w.line('raise ValueError("trailing bytes after last stream")')
+        w.line("datas = _map_ordered(_post_decompress, pieces, workers)")
+        with w.block("for data, meta in zip(datas, metas):"):
+            with w.block("if len(data) != meta[0]:"):
+                w.line('raise ValueError("stream length mismatch")')
+        w.line("return datas")
+    w.line()
+    with w.block("def _encode_container(record_count, streams, workers=1):"):
+        w.line("raws = [bytes(stream) for stream in streams]")
+        w.line("payloads = _map_ordered(_post_compress, raws, workers)")
         w.line('out = bytearray(b"TCGN")')
         w.line("out.append(1)")
         w.line('out += FINGERPRINT.to_bytes(8, "little")')
         w.line("_write_varint(out, record_count)")
-        w.line("_write_varint(out, len(streams))")
-        w.line("payloads = []")
-        with w.block("for raw in streams:"):
-            w.line("payload = _post_compress(bytes(raw))")
-            w.line("payloads.append(payload)")
+        w.line("_write_varint(out, len(raws))")
+        with w.block("for raw, payload in zip(raws, payloads):"):
             w.line("out.append(CODEC_ID)")
             w.line("_write_varint(out, len(raw))")
             w.line("_write_varint(out, len(payload))")
@@ -430,39 +475,114 @@ def _emit_container_helpers(w: CodeWriter) -> None:
             w.line("out += payload")
         w.line("return bytes(out)")
     w.line()
-    with w.block("def _decode_container(blob, expected_streams):"):
-        with w.block('if len(blob) < 13 or blob[:4] != b"TCGN" or blob[4] != 1:'):
+    if has_header:
+        signature = "def _encode_container_v2(record_count, chunk_records, head, chunks, workers=1):"
+    else:
+        signature = "def _encode_container_v2(record_count, chunk_records, chunks, workers=1):"
+    with w.block(signature):
+        if has_header:
+            w.line("raws = [bytes(head)]")
+        else:
+            w.line("raws = []")
+        with w.block("for _count, streams in chunks:"):
+            with w.block("for stream in streams:"):
+                w.line("raws.append(bytes(stream))")
+        w.line("payloads = _map_ordered(_post_compress, raws, workers)")
+        w.line('out = bytearray(b"TCGN")')
+        w.line("out.append(2)")
+        w.line('out += FINGERPRINT.to_bytes(8, "little")')
+        w.line("_write_varint(out, record_count)")
+        w.line("_write_varint(out, chunk_records)")
+        if has_header:
+            w.line("_write_varint(out, 1)")
+            w.line("out.append(CODEC_ID)")
+            w.line("_write_varint(out, len(raws[0]))")
+            w.line("_write_varint(out, len(payloads[0]))")
+            w.line("meta = 1")
+        else:
+            w.line("_write_varint(out, 0)")
+            w.line("meta = 0")
+        w.line("_write_varint(out, CHUNK_STREAMS if chunks else 0)")
+        w.line("_write_varint(out, len(chunks))")
+        with w.block("for count, streams in chunks:"):
+            w.line("_write_varint(out, count)")
+            with w.block("for stream in streams:"):
+                w.line("out.append(CODEC_ID)")
+                w.line("_write_varint(out, len(stream))")
+                w.line("_write_varint(out, len(payloads[meta]))")
+                w.line("meta += 1")
+        with w.block("for payload in payloads:"):
+            w.line("out += payload")
+        w.line("return bytes(out)")
+    w.line()
+    with w.block("def _decode_container(blob, workers=1):"):
+        if has_header:
+            w.line('"""Parse either container version into (records, header, chunks)."""')
+        else:
+            w.line('"""Parse either container version into (records, chunks)."""')
+        with w.block('if len(blob) < 13 or blob[:4] != b"TCGN":'):
             w.line('raise ValueError("not a TCgen container")')
-        w.line('fingerprint = int.from_bytes(blob[5:13], "little")')
-        with w.block("if fingerprint != FINGERPRINT:"):
+        with w.block('if int.from_bytes(blob[5:13], "little") != FINGERPRINT:'):
             w.line('raise ValueError("compressed trace does not match this specification")')
-        w.line("record_count, pos = _read_varint(blob, 13)")
-        w.line("stream_count, pos = _read_varint(blob, pos)")
-        with w.block("if stream_count != expected_streams:"):
-            w.line('raise ValueError("unexpected stream count")')
-        w.line("metas = []")
-        with w.block("for _ in range(stream_count):"):
-            with w.block("if pos >= len(blob):"):
-                w.line('raise ValueError("truncated container")')
-            w.line("codec_id = blob[pos]")
-            w.line("pos += 1")
-            w.line("raw_length, pos = _read_varint(blob, pos)")
-            w.line("stored, pos = _read_varint(blob, pos)")
-            with w.block("if codec_id != CODEC_ID:"):
-                w.line('raise ValueError("unexpected stream codec")')
-            w.line("metas.append((raw_length, stored))")
-        w.line("streams = []")
-        with w.block("for raw_length, stored in metas:"):
-            with w.block("if pos + stored > len(blob):"):
-                w.line('raise ValueError("truncated stream payload")')
-            w.line("data = _post_decompress(blob[pos : pos + stored])")
-            with w.block("if len(data) != raw_length:"):
-                w.line('raise ValueError("stream length mismatch")')
-            w.line("streams.append(data)")
-            w.line("pos += stored")
-        with w.block("if pos != len(blob):"):
-            w.line('raise ValueError("trailing bytes after last stream")')
-        w.line("return record_count, streams")
+        w.line("version = blob[4]")
+        with w.block("if version == 1:"):
+            w.line("record_count, pos = _read_varint(blob, 13)")
+            w.line("stream_count, pos = _read_varint(blob, pos)")
+            with w.block("if stream_count != STREAM_COUNT:"):
+                w.line('raise ValueError("unexpected stream count")')
+            w.line("metas = []")
+            with w.block("for _ in range(stream_count):"):
+                w.line("raw_length, stored, pos = _read_stream_meta(blob, pos)")
+                w.line("metas.append((raw_length, stored))")
+            w.line("datas = _decode_payloads(blob, pos, metas, workers)")
+            if has_header:
+                with w.block("if len(datas[0]) != HEADER_BYTES:"):
+                    w.line('raise ValueError("bad header stream length")')
+                w.line("return record_count, datas[0], [(record_count, datas[1:])]")
+            else:
+                w.line("return record_count, [(record_count, datas)]")
+        with w.block("if version == 2:"):
+            w.line("record_count, pos = _read_varint(blob, 13)")
+            w.line("chunk_records, pos = _read_varint(blob, pos)")
+            w.line("global_count, pos = _read_varint(blob, pos)")
+            with w.block(f"if global_count != {1 if has_header else 0}:"):
+                w.line('raise ValueError("unexpected global stream count")')
+            w.line("metas = []")
+            with w.block("for _ in range(global_count):"):
+                w.line("raw_length, stored, pos = _read_stream_meta(blob, pos)")
+                w.line("metas.append((raw_length, stored))")
+            w.line("chunk_streams, pos = _read_varint(blob, pos)")
+            w.line("chunk_count, pos = _read_varint(blob, pos)")
+            with w.block("if chunk_count and chunk_streams != CHUNK_STREAMS:"):
+                w.line('raise ValueError("unexpected stream count")')
+            w.line("counts = []")
+            w.line("total = 0")
+            with w.block("for _ in range(chunk_count):"):
+                w.line("count, pos = _read_varint(blob, pos)")
+                with w.block("if count < 1 or count > chunk_records:"):
+                    w.line('raise ValueError("bad chunk record count")')
+                w.line("total += count")
+                w.line("counts.append(count)")
+                with w.block("for _ in range(chunk_streams):"):
+                    w.line("raw_length, stored, pos = _read_stream_meta(blob, pos)")
+                    w.line("metas.append((raw_length, stored))")
+            with w.block("if total != record_count:"):
+                w.line('raise ValueError("chunk table does not cover the record count")')
+            w.line("datas = _decode_payloads(blob, pos, metas, workers)")
+            base = 1 if has_header else 0
+            if has_header:
+                with w.block("if len(datas[0]) != HEADER_BYTES:"):
+                    w.line('raise ValueError("bad header stream length")')
+            w.line("chunks = []")
+            w.line(f"base = {base}")
+            with w.block("for count in counts:"):
+                w.line("chunks.append((count, datas[base : base + CHUNK_STREAMS]))")
+                w.line("base += CHUNK_STREAMS")
+            if has_header:
+                w.line("return record_count, datas[0], chunks")
+            else:
+                w.line("return record_count, chunks")
+        w.line('raise ValueError("unsupported container version %d" % version)')
     w.line()
 
 
@@ -515,21 +635,16 @@ def _emit_compress(
     w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
 ) -> None:
     spec = model.spec
-    with w.block("def compress(raw):"):
-        w.line('"""Compress raw trace bytes into a container blob."""')
-        w.line("global _last_usage")
-        with w.block("if (len(raw) - HEADER_BYTES) % RECORD_BYTES:"):
-            w.line('raise ValueError("trace does not frame into records")')
-        w.line("record_count = (len(raw) - HEADER_BYTES) // RECORD_BYTES")
+    pc_f = model.pc_field.index
+    with w.block("def _compress_chunk(raw, pos, count):"):
+        w.line('"""Compress ``count`` records from ``pos`` with fresh tables."""')
         _emit_table_unpack(w)
         for plan in plans:
             f = plan.layout.index
             w.line(f"codes{f} = bytearray()")
             w.line(f"values{f} = bytearray()")
             w.line(f"usage{f} = [0] * {plan.layout.total_predictions + 1}")
-        w.line("pos = HEADER_BYTES")
-        pc_f = model.pc_field.index
-        with w.block("for _ in range(record_count):"):
+        with w.block("for _ in range(count):"):
             unpack_targets = ", ".join(f"value{plan.layout.index}" for plan in plans)
             w.line(f"{unpack_targets}{',' if len(plans) == 1 else ''} = _RECORD.unpack_from(raw, pos)")
             w.line("pos += RECORD_BYTES")
@@ -554,15 +669,69 @@ def _emit_compress(
                     w.line(f'codes{f} += code.to_bytes({layout.code_bytes}, "little")')
                 w.line(f"usage{f}[code] += 1")
                 emitter.emit_commit(w, vars)
-        w.line(f"_last_usage = [{', '.join(f'usage{p.layout.index}' for p in plans)}]")
-        w.line("streams = []")
+        streams = ", ".join(
+            f"codes{p.layout.index}, values{p.layout.index}" for p in plans
+        )
+        usages = ", ".join(f"usage{p.layout.index}" for p in plans)
+        w.line(f"return [{streams}], [{usages}]")
+    w.line()
+    with w.block("def compress(raw, chunk_records=None, workers=1):"):
+        w.line('"""Compress raw trace bytes into a container blob.')
+        w.line("")
+        w.line("    Without ``chunk_records`` the output is a flat v1 container;")
+        w.line("    with it, a chunked v2 container whose chunks carry independent")
+        w.line('    predictor state (0 or "auto" picks ~1 MB raw per chunk).')
+        w.line("    ``workers`` parallelizes post-compression on a thread pool;")
+        w.line("    output bytes are identical for any worker count.")
+        w.line('    """')
+        w.line("global _last_usage")
+        with w.block("if (len(raw) - HEADER_BYTES) % RECORD_BYTES:"):
+            w.line('raise ValueError("trace does not frame into records")')
+        w.line("record_count = (len(raw) - HEADER_BYTES) // RECORD_BYTES")
+        with w.block("if chunk_records is not None:"):
+            with w.block('if chunk_records == "auto" or chunk_records == 0:'):
+                w.line("chunk_records = DEFAULT_CHUNK_RECORDS")
+            with w.block("if chunk_records < 1:"):
+                w.line('raise ValueError("chunk_records must be positive")')
+        with w.block("if chunk_records is None:"):
+            w.line("spans = [(HEADER_BYTES, record_count)]")
+        with w.block("else:"):
+            w.line("spans = []")
+            w.line("start = 0")
+            with w.block("while start < record_count:"):
+                w.line("count = min(chunk_records, record_count - start)")
+                w.line("spans.append((HEADER_BYTES + start * RECORD_BYTES, count))")
+                w.line("start += count")
+        w.line("results = [_compress_chunk(raw, pos, count) for pos, count in spans]")
+        sizes = ", ".join(
+            f"[0] * {p.layout.total_predictions + 1}" for p in plans
+        )
+        w.line(f"usage_totals = [{sizes}]")
+        with w.block("for _streams, usage in results:"):
+            with w.block("for totals, counts in zip(usage_totals, usage):"):
+                with w.block("for code, count in enumerate(counts):"):
+                    w.line("totals[code] += count")
+        w.line("_last_usage = usage_totals")
+        with w.block("if chunk_records is None:"):
+            if spec.header_bits:
+                w.line("streams = [raw[:HEADER_BYTES]]")
+            else:
+                w.line("streams = []")
+            w.line("streams += results[0][0]")
+            w.line("return _encode_container(record_count, streams, workers)")
+        w.line(
+            "chunks = [(span[1], result[0]) for span, result in zip(spans, results)]"
+        )
         if spec.header_bits:
-            w.line("streams.append(raw[:HEADER_BYTES])")
-        for plan in plans:
-            f = plan.layout.index
-            w.line(f"streams.append(codes{f})")
-            w.line(f"streams.append(values{f})")
-        w.line("return _encode_container(record_count, streams)")
+            w.line(
+                "return _encode_container_v2(record_count, chunk_records, "
+                "raw[:HEADER_BYTES], chunks, workers)"
+            )
+        else:
+            w.line(
+                "return _encode_container_v2(record_count, chunk_records, "
+                "chunks, workers)"
+            )
     w.line()
 
 
@@ -570,16 +739,10 @@ def _emit_decompress(
     w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
 ) -> None:
     spec = model.spec
-    stream_count = model.stream_count
-    with w.block("def decompress(blob):"):
-        w.line('"""Rebuild the exact original trace bytes from a blob."""')
-        w.line(f"record_count, streams = _decode_container(blob, {stream_count})")
+    pc_f = model.pc_field.index
+    with w.block("def _decompress_chunk(count, streams, out):"):
+        w.line('"""Decode one chunk (fresh tables) and append its records to ``out``."""')
         cursor = 0
-        if spec.header_bits:
-            w.line("header = streams[0]")
-            with w.block("if len(header) != HEADER_BYTES:"):
-                w.line('raise ValueError("bad header stream length")')
-            cursor = 1
         for plan in plans:
             f = plan.layout.index
             w.line(f"codes{f} = streams[{cursor}]")
@@ -588,15 +751,11 @@ def _emit_decompress(
         for plan in plans:
             f = plan.layout.index
             cb = plan.layout.code_bytes
-            with w.block(f"if len(codes{f}) != record_count * {cb}:"):
+            with w.block(f"if len(codes{f}) != count * {cb}:"):
                 w.line(f'raise ValueError("field {f} code stream length mismatch")')
             w.line(f"vpos{f} = 0")
         _emit_table_unpack(w)
-        w.line("out = bytearray()")
-        if spec.header_bits:
-            w.line("out += header")
-        pc_f = model.pc_field.index
-        with w.block(f"for record in range(record_count):"):
+        with w.block("for record in range(count):"):
             for plan in order:
                 layout = plan.layout
                 f = layout.index
@@ -629,6 +788,17 @@ def _emit_decompress(
             f = plan.layout.index
             with w.block(f"if vpos{f} != len(values{f}):"):
                 w.line(f'raise ValueError("field {f} value stream not fully consumed")')
+    w.line()
+    with w.block("def decompress(blob, workers=1):"):
+        w.line('"""Rebuild the exact original trace bytes from a blob (v1 or v2)."""')
+        if spec.header_bits:
+            w.line("record_count, head, chunks = _decode_container(blob, workers)")
+            w.line("out = bytearray(head)")
+        else:
+            w.line("record_count, chunks = _decode_container(blob, workers)")
+            w.line("out = bytearray()")
+        with w.block("for count, streams in chunks:"):
+            w.line("_decompress_chunk(count, streams, out)")
         w.line("return bytes(out)")
     w.line()
 
@@ -663,14 +833,51 @@ def _emit_usage_report(w: CodeWriter, model: CompressorModel, plans: list[FieldP
 
 
 def _emit_main(w: CodeWriter) -> None:
+    with w.block("def _parse_args(argv):"):
+        w.line('"""Parse (decompress, workers, chunk_records) from CLI arguments."""')
+        w.line("decode = False")
+        w.line("workers = 1")
+        w.line("chunk_records = None")
+        w.line("position = 0")
+        with w.block("while position < len(argv):"):
+            w.line("option = argv[position]")
+            w.line("position += 1")
+            with w.block('if option == "-d":'):
+                w.line("decode = True")
+                w.line("continue")
+            with w.block('for name in ("--workers", "--chunk-records"):'):
+                with w.block("if option == name:"):
+                    with w.block("if position >= len(argv):"):
+                        w.line('raise SystemExit("%s expects a value" % name)')
+                    w.line("option = name + \"=\" + argv[position]")
+                    w.line("position += 1")
+                with w.block('if option.startswith(name + "="):'):
+                    w.line('text = option.split("=", 1)[1]')
+                    with w.block('if name == "--workers":'):
+                        w.line("workers = int(text)")
+                    with w.block("else:"):
+                        w.line('chunk_records = "auto" if text == "auto" else int(text)')
+                    w.line("break")
+            with w.block("else:"):
+                w.line('raise SystemExit("unknown option: %s" % option)')
+        w.line("return decode, workers, chunk_records")
+    w.line()
     with w.block("def main(argv=None):"):
-        w.line('"""Filter: compress stdin to stdout; -d decompresses."""')
+        w.line('"""Filter: compress stdin to stdout; -d decompresses.')
+        w.line("")
+        w.line("    --workers N parallelizes the post-compression codec stage;")
+        w.line("    --chunk-records N (or 'auto') emits a chunked v2 container.")
+        w.line('    """')
         w.line("argv = sys.argv[1:] if argv is None else argv")
+        w.line("decode, workers, chunk_records = _parse_args(argv)")
         w.line("data = sys.stdin.buffer.read()")
-        with w.block('if "-d" in argv:'):
-            w.line("sys.stdout.buffer.write(decompress(data))")
+        with w.block("if decode:"):
+            w.line("sys.stdout.buffer.write(decompress(data, workers=workers))")
         with w.block("else:"):
-            w.line("sys.stdout.buffer.write(compress(data))")
+            w.line(
+                "sys.stdout.buffer.write("
+                "compress(data, chunk_records=chunk_records, workers=workers))"
+            )
             w.line("print(usage_report(), file=sys.stderr)")
         w.line("return 0")
     w.line()

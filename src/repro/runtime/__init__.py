@@ -11,15 +11,20 @@ predictors").
 
 from repro.runtime.engine import TraceEngine
 from repro.runtime.kernel import FieldKernel
+from repro.runtime.parallel import available_parallelism, map_ordered, resolve_workers
 from repro.runtime.stats import FieldUsage, UsageReport
-from repro.runtime.streaming import iter_records, read_header, record_count
+from repro.runtime.streaming import chunk_count, iter_records, read_header, record_count
 
 __all__ = [
     "TraceEngine",
     "FieldKernel",
     "FieldUsage",
     "UsageReport",
+    "available_parallelism",
+    "chunk_count",
     "iter_records",
+    "map_ordered",
     "read_header",
     "record_count",
+    "resolve_workers",
 ]

@@ -6,6 +6,22 @@ post-compresses every stream with the selected general-purpose codec
 (BZIP2 by default).  Decompression replays the same kernels to rebuild the
 exact original bytes.
 
+Two container formats are supported (see :mod:`repro.tio.container`):
+
+- **v1** (the default): one code and one value stream per field covering
+  the whole trace — the format the generated C backend reads and writes;
+- **v2** (``chunk_records=``): the trace is split into fixed-size record
+  chunks, each with its own streams and fresh predictor state, so chunks
+  are fully independent — compressible and decompressible in parallel and
+  seekable without decoding their predecessors.
+
+The ``workers=`` option parallelizes the post-compression stage with a
+thread pool (``bz2``/``zlib``/``lzma`` release the GIL); the pure-Python
+prediction-kernel stage can additionally run chunk-parallel in a process
+pool via ``executor="process"``.  Output is byte-identical regardless of
+worker count: chunks and streams are always assembled in deterministic
+order.
+
 This engine is the reference semantics; the generated Python and C
 compressors are specialized versions of this loop and must produce
 byte-identical containers.
@@ -19,12 +35,23 @@ from repro.model.optimize import OptimizationOptions
 from repro.postcompress import codec_by_id, codec_by_name
 from repro.predictors.tables import UpdatePolicy
 from repro.runtime.kernel import FieldKernel
+from repro.runtime.parallel import chunk_spans, map_ordered, resolve_workers
 from repro.runtime.stats import FieldUsage, UsageReport
 from repro.spec.ast import TraceSpec
-from repro.tio.container import StreamContainer, StreamPayload
+from repro.tio.container import (
+    ChunkedContainer,
+    ContainerChunk,
+    StreamContainer,
+    StreamPayload,
+    as_chunked,
+    decode_container,
+    default_chunk_records,
+)
 from repro.tio.traceformat import TraceFormat, pack_records, unpack_records
 
 import numpy as np
+
+_UNSET = object()
 
 
 class TraceEngine:
@@ -32,7 +59,9 @@ class TraceEngine:
 
     The engine is stateless between calls: every :meth:`compress` and
     :meth:`decompress` starts from fresh (zeroed) predictor tables, exactly
-    like running a newly started generated binary.
+    like running a newly started generated binary.  With ``chunk_records``
+    the tables additionally reset at every chunk boundary, which is what
+    makes chunks independent.
     """
 
     def __init__(
@@ -41,6 +70,9 @@ class TraceEngine:
         options: OptimizationOptions | None = None,
         codec: str = "bzip2",
         update_policy: "UpdatePolicy | None" = None,
+        chunk_records: int | str | None = None,
+        workers: int | None = 1,
+        executor: str = "thread",
     ) -> None:
         self.model: CompressorModel = build_model(spec, options)
         self.codec = codec_by_name(codec)
@@ -50,167 +82,220 @@ class TraceEngine:
             field_bits=tuple(f.bits for f in spec.fields),
             pc_field=spec.pc_field,
         )
+        self.chunk_records = chunk_records
+        self.workers = workers
+        self.executor = executor
         self.last_usage: UsageReport | None = None
+
+    def _resolve_chunk_records(self, chunk_records: int | str | None) -> int | None:
+        """Normalize the chunking option: None = v1, 'auto'/0 = ~1 MB chunks."""
+        if chunk_records is None:
+            return None
+        if chunk_records == "auto" or chunk_records == 0:
+            return default_chunk_records(self.format.record_bytes)
+        if not isinstance(chunk_records, int) or chunk_records < 1:
+            raise ValueError(
+                f"chunk_records must be a positive int, 0/'auto', or None; "
+                f"got {chunk_records!r}"
+            )
+        return chunk_records
 
     # -- compression ---------------------------------------------------------
 
-    def compress(self, raw: bytes) -> bytes:
-        """Compress raw trace bytes into a stream-container blob."""
+    def compress(
+        self,
+        raw: bytes,
+        *,
+        chunk_records: int | str | None = _UNSET,
+        workers: int | None = None,
+        executor: str | None = None,
+    ) -> bytes:
+        """Compress raw trace bytes into a container blob.
+
+        Keyword arguments override the engine-level defaults for this call.
+        Without ``chunk_records`` the output is a v1 container, bit-for-bit
+        what this engine has always produced; with it, a v2 chunked
+        container.
+        """
         model = self.model
-        header, columns = unpack_records(self.format, raw)
-        values_by_field = {
-            layout.index: column.tolist()
-            for layout, column in zip(model.fields, columns)
-        }
+        if chunk_records is _UNSET:
+            chunk_records = self.chunk_records
+        chunk_records = self._resolve_chunk_records(chunk_records)
+        workers = resolve_workers(self.workers if workers is None else workers)
+        executor = executor or self.executor
+
+        header, columns = unpack_records(self.format, raw, copy=False)
         record_count = len(columns[0]) if columns else 0
 
-        kernels = {
-            f.index: FieldKernel(f, model.options, policy=self.update_policy)
-            for f in model.fields
-        }
-        code_streams = {f.index: bytearray() for f in model.fields}
-        value_streams = {f.index: bytearray() for f in model.fields}
-        usage = UsageReport(
-            fields=[
-                FieldUsage(f.index, [0] * (f.total_predictions + 1))
-                for f in model.fields
+        if chunk_records is None:
+            spans = [(0, record_count)]
+        else:
+            spans = chunk_spans(record_count, chunk_records) if record_count else []
+
+        if executor == "process" and workers > 1 and len(spans) > 1:
+            tasks = [
+                (
+                    model.spec,
+                    model.options,
+                    self.update_policy,
+                    [np.ascontiguousarray(col[start : start + count]) for col in columns],
+                )
+                for start, count in spans
             ]
-        )
-        usage_by_field = {u.field_index: u for u in usage.fields}
+            results = map_ordered(_compress_chunk_task, tasks, workers, kind="process")
+        else:
+            # The kernel stage is pure Python: threads cannot speed it up,
+            # so it runs serially here and the thread pool is spent on the
+            # post-compression stage below.
+            results = [
+                _compress_chunk(
+                    model,
+                    self.update_policy,
+                    [col[start : start + count] for col in columns],
+                )
+                for start, count in spans
+            ]
 
-        order = model.process_order
-        pc_index = model.pc_field.index
-        pc_values = values_by_field[pc_index]
+        self.last_usage = _merge_usage(model, [usage for _, usage in results])
 
-        for i in range(record_count):
-            pc = pc_values[i]
-            for layout in order:
-                findex = layout.index
-                value = values_by_field[findex][i]
-                kernel = kernels[findex]
-                predictions = kernel.begin(0 if layout.is_pc else pc)
-                try:
-                    code = predictions.index(value)
-                except ValueError:
-                    code = layout.miss_code
-                    value_streams[findex] += value.to_bytes(
-                        layout.value_bytes, "little"
-                    )
-                code_streams[findex] += code.to_bytes(layout.code_bytes, "little")
-                usage_by_field[findex].counts[code] += 1
-                kernel.commit(value)
-
-        self.last_usage = usage
-        streams: list[StreamPayload] = []
+        raws: list[bytes] = []
         if model.spec.header_bits:
-            streams.append(self._encode_stream(bytes(header)))
-        for layout in model.fields:
-            streams.append(self._encode_stream(bytes(code_streams[layout.index])))
-            streams.append(self._encode_stream(bytes(value_streams[layout.index])))
-        container = StreamContainer(
+            raws.append(bytes(header))
+        for streams, _ in results:
+            raws.extend(streams)
+        payloads = map_ordered(self.codec.compress, raws, workers, kind="thread")
+        stored = [
+            StreamPayload(codec_id=self.codec.codec_id, raw_length=len(raw_stream), data=payload)
+            for raw_stream, payload in zip(raws, payloads)
+        ]
+
+        cursor = 1 if model.spec.header_bits else 0
+        if chunk_records is None:
+            container = StreamContainer(
+                fingerprint=model.fingerprint(),
+                record_count=record_count,
+                streams=stored,
+            )
+            return container.encode()
+        per_chunk = 2 * len(model.fields)
+        chunks = []
+        for (start, count), _ in zip(spans, results):
+            chunks.append(
+                ContainerChunk(
+                    record_count=count,
+                    streams=stored[cursor : cursor + per_chunk],
+                )
+            )
+            cursor += per_chunk
+        chunked = ChunkedContainer(
             fingerprint=model.fingerprint(),
             record_count=record_count,
-            streams=streams,
+            chunk_records=chunk_records,
+            global_streams=stored[:1] if model.spec.header_bits else [],
+            chunks=chunks,
         )
-        return container.encode()
-
-    def _encode_stream(self, data: bytes) -> StreamPayload:
-        return StreamPayload(
-            codec_id=self.codec.codec_id,
-            raw_length=len(data),
-            data=self.codec.compress(data),
-        )
+        return chunked.encode()
 
     # -- decompression ---------------------------------------------------------
 
-    def decompress(self, blob: bytes) -> bytes:
-        """Rebuild the exact original trace bytes from a container blob."""
-        model = self.model
-        container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
-        if len(container.streams) != model.stream_count:
-            raise CompressedFormatError(
-                f"expected {model.stream_count} streams, found {len(container.streams)}"
-            )
+    def decompress(
+        self,
+        blob: bytes,
+        *,
+        workers: int | None = None,
+        executor: str | None = None,
+    ) -> bytes:
+        """Rebuild the exact original trace bytes from a container blob.
 
-        cursor = 0
+        The container version is detected from the blob; v1 and v2 both
+        decode losslessly.
+        """
+        model = self.model
+        workers = resolve_workers(self.workers if workers is None else workers)
+        executor = executor or self.executor
+
+        container = decode_container(blob, expected_fingerprint=model.fingerprint())
+        header_streams = 1 if model.spec.header_bits else 0
+        per_chunk = 2 * len(model.fields)
+        if isinstance(container, StreamContainer):
+            if len(container.streams) != model.stream_count:
+                raise CompressedFormatError(
+                    f"expected {model.stream_count} streams, found {len(container.streams)}"
+                )
+            chunked = as_chunked(container, header_streams)
+        else:
+            chunked = container
+            if len(chunked.global_streams) != header_streams:
+                raise CompressedFormatError(
+                    f"expected {header_streams} global streams, "
+                    f"found {len(chunked.global_streams)}"
+                )
+            for position, chunk in enumerate(chunked.chunks):
+                if len(chunk.streams) != per_chunk:
+                    raise CompressedFormatError(
+                        f"chunk {position}: expected {per_chunk} streams, "
+                        f"found {len(chunk.streams)}"
+                    )
+
         if model.spec.header_bits:
-            header = self._decode_stream(container.streams[0], "header")
+            header = self._decode_stream(chunked.global_streams[0], "header")
             if len(header) != model.spec.header_bytes:
                 raise CompressedFormatError(
                     f"header stream holds {len(header)} bytes, "
                     f"format wants {model.spec.header_bytes}"
                 )
-            cursor = 1
         else:
             header = b""
 
-        codes: dict[int, bytes] = {}
-        values: dict[int, bytes] = {}
-        for layout in model.fields:
-            codes[layout.index] = self._decode_stream(
-                container.streams[cursor], f"field {layout.index} codes"
-            )
-            values[layout.index] = self._decode_stream(
-                container.streams[cursor + 1], f"field {layout.index} values"
-            )
-            cursor += 2
+        # Post-decompress every chunk payload (GIL-free, thread-parallel).
+        flat = [stream for chunk in chunked.chunks for stream in chunk.streams]
+        labels = []
+        for position, chunk in enumerate(chunked.chunks):
+            for layout in model.fields:
+                labels.append(f"chunk {position} field {layout.index} codes")
+                labels.append(f"chunk {position} field {layout.index} values")
+        decoded = map_ordered(
+            lambda pair: self._decode_stream(pair[0], pair[1]),
+            list(zip(flat, labels)),
+            workers,
+            kind="thread",
+        )
 
-        record_count = container.record_count
-        for layout in model.fields:
-            expected = record_count * layout.code_bytes
-            if len(codes[layout.index]) != expected:
-                raise CompressedFormatError(
-                    f"field {layout.index} code stream holds "
-                    f"{len(codes[layout.index])} bytes, expected {expected}"
-                )
-
-        kernels = {
-            f.index: FieldKernel(f, model.options, policy=self.update_policy)
-            for f in model.fields
-        }
-        columns: dict[int, list[int]] = {f.index: [0] * record_count for f in model.fields}
-        value_pos = {f.index: 0 for f in model.fields}
-
-        order = model.process_order
-        for i in range(record_count):
-            pc = 0
-            for layout in order:
-                findex = layout.index
-                kernel = kernels[findex]
-                predictions = kernel.begin(0 if layout.is_pc else pc)
-                cb = layout.code_bytes
-                code = int.from_bytes(codes[findex][i * cb : (i + 1) * cb], "little")
-                if code < layout.miss_code:
-                    value = predictions[code]
-                elif code == layout.miss_code:
-                    vb = layout.value_bytes
-                    pos = value_pos[findex]
-                    chunk = values[findex][pos : pos + vb]
-                    if len(chunk) != vb:
-                        raise CompressedFormatError(
-                            f"field {findex} value stream exhausted at record {i}"
-                        )
-                    value = int.from_bytes(chunk, "little") & layout.mask
-                    value_pos[findex] = pos + vb
-                else:
+        chunk_inputs = []
+        cursor = 0
+        for chunk in chunked.chunks:
+            streams = decoded[cursor : cursor + per_chunk]
+            cursor += per_chunk
+            codes = streams[0::2]
+            values = streams[1::2]
+            for layout, code_stream in zip(model.fields, codes):
+                expected = chunk.record_count * layout.code_bytes
+                if len(code_stream) != expected:
                     raise CompressedFormatError(
-                        f"field {findex} record {i}: code {code} out of range "
-                        f"0..{layout.miss_code}"
+                        f"field {layout.index} code stream holds "
+                        f"{len(code_stream)} bytes, expected {expected}"
                     )
-                kernel.commit(value)
-                columns[findex][i] = value
-                if layout.is_pc:
-                    pc = value
+            chunk_inputs.append((chunk.record_count, codes, values))
 
-        for layout in model.fields:
-            if value_pos[layout.index] != len(values[layout.index]):
-                raise CompressedFormatError(
-                    f"field {layout.index} value stream has "
-                    f"{len(values[layout.index]) - value_pos[layout.index]} "
-                    "unconsumed bytes"
-                )
+        if executor == "process" and workers > 1 and len(chunk_inputs) > 1:
+            tasks = [
+                (model.spec, model.options, self.update_policy, count, codes, values)
+                for count, codes, values in chunk_inputs
+            ]
+            chunk_columns = map_ordered(
+                _decompress_chunk_task, tasks, workers, kind="process"
+            )
+        else:
+            chunk_columns = [
+                _decompress_chunk(model, self.update_policy, count, codes, values)
+                for count, codes, values in chunk_inputs
+            ]
 
-        ordered = [np.array(columns[f.index], dtype=np.uint64) for f in model.fields]
+        merged: list[list[int]] = [[] for _ in model.fields]
+        for columns in chunk_columns:
+            for position, column in enumerate(columns):
+                merged[position].extend(column)
+        ordered = [np.array(column, dtype=np.uint64) for column in merged]
         return pack_records(self.format, header, ordered)
 
     def _decode_stream(self, payload: StreamPayload, what: str) -> bytes:
@@ -232,3 +317,172 @@ class TraceEngine:
         if self.last_usage is None:
             return "no compression has run yet"
         return self.last_usage.render(self.model)
+
+
+# -- chunk workers (module-level so the process pool can pickle them) --------
+
+
+def _compress_chunk(
+    model: CompressorModel,
+    policy: "UpdatePolicy | None",
+    columns: list,
+) -> tuple[list[bytes], list[list[int]]]:
+    """Compress one chunk with fresh predictor state.
+
+    ``columns`` are per-field numpy slices in record order.  Returns the
+    interleaved (codes, values) streams in record-field order plus the
+    per-field usage counts.
+    """
+    count = len(columns[0]) if columns else 0
+    column_by_index = {
+        layout.index: column for layout, column in zip(model.fields, columns)
+    }
+    # One tuple of per-field locals, bound once, consumed by the record
+    # loop below — no dict lookups or attribute chases in the hot path.
+    states = []
+    for layout in model.process_order:
+        kernel = FieldKernel(layout, model.options, policy=policy)
+        states.append(
+            (
+                kernel.begin,
+                kernel.commit,
+                column_by_index[layout.index].tolist(),
+                bytearray(),  # code stream
+                bytearray(),  # value stream
+                [0] * (layout.total_predictions + 1),
+                layout.miss_code,
+                layout.code_bytes,
+                layout.value_bytes,
+                layout.is_pc,
+            )
+        )
+    pc_values = states[0][2]  # process order puts the PC field first
+
+    for i in range(count):
+        pc = pc_values[i]
+        for begin, commit, values, codes, misses, counts, miss, cb, vb, is_pc in states:
+            value = values[i]
+            predictions = begin(0 if is_pc else pc)
+            try:
+                code = predictions.index(value)
+            except ValueError:
+                code = miss
+                misses += value.to_bytes(vb, "little")
+            if cb == 1:
+                codes.append(code)
+            else:
+                codes += code.to_bytes(cb, "little")
+            counts[code] += 1
+            commit(value)
+
+    by_index = {
+        layout.index: state for layout, state in zip(model.process_order, states)
+    }
+    streams: list[bytes] = []
+    usage: list[list[int]] = []
+    for layout in model.fields:
+        state = by_index[layout.index]
+        streams.append(bytes(state[3]))
+        streams.append(bytes(state[4]))
+        usage.append(state[5])
+    return streams, usage
+
+
+def _compress_chunk_task(task) -> tuple[list[bytes], list[list[int]]]:
+    """Process-pool entry: rebuild the model in the worker, then compress."""
+    spec, options, policy, columns = task
+    return _compress_chunk(build_model(spec, options), policy, columns)
+
+
+def _decompress_chunk(
+    model: CompressorModel,
+    policy: "UpdatePolicy | None",
+    count: int,
+    codes_by_field: list[bytes],
+    values_by_field: list[bytes],
+) -> list[list[int]]:
+    """Decode one chunk with fresh predictor state; returns per-field columns."""
+    codes_by_index = {
+        layout.index: stream for layout, stream in zip(model.fields, codes_by_field)
+    }
+    values_by_index = {
+        layout.index: stream for layout, stream in zip(model.fields, values_by_field)
+    }
+    states = []
+    for layout in model.process_order:
+        kernel = FieldKernel(layout, model.options, policy=policy)
+        states.append(
+            [
+                kernel.begin,
+                kernel.commit,
+                codes_by_index[layout.index],
+                values_by_index[layout.index],
+                [0] * count,  # decoded column
+                0,  # value-stream position
+                layout.miss_code,
+                layout.code_bytes,
+                layout.value_bytes,
+                layout.mask,
+                layout.is_pc,
+                layout.index,
+            ]
+        )
+
+    int_from_bytes = int.from_bytes
+    for i in range(count):
+        pc = 0
+        for state in states:
+            (begin, commit, codes, values, column, pos, miss, cb, vb, mask, is_pc, findex) = state
+            predictions = begin(0 if is_pc else pc)
+            code = codes[i] if cb == 1 else int_from_bytes(codes[i * cb : (i + 1) * cb], "little")
+            if code < miss:
+                value = predictions[code]
+            elif code == miss:
+                piece = values[pos : pos + vb]
+                if len(piece) != vb:
+                    raise CompressedFormatError(
+                        f"field {findex} value stream exhausted at record {i}"
+                    )
+                value = int_from_bytes(piece, "little") & mask
+                state[5] = pos + vb
+            else:
+                raise CompressedFormatError(
+                    f"field {findex} record {i}: code {code} out of range 0..{miss}"
+                )
+            commit(value)
+            column[i] = value
+            if is_pc:
+                pc = value
+
+    for state in states:
+        values, pos, findex = state[3], state[5], state[11]
+        if pos != len(values):
+            raise CompressedFormatError(
+                f"field {findex} value stream has {len(values) - pos} unconsumed bytes"
+            )
+
+    by_index = {state[11]: state[4] for state in states}
+    return [by_index[layout.index] for layout in model.fields]
+
+
+def _decompress_chunk_task(task) -> list[list[int]]:
+    """Process-pool entry: rebuild the model in the worker, then decode."""
+    spec, options, policy, count, codes, values = task
+    return _decompress_chunk(build_model(spec, options), policy, count, codes, values)
+
+
+def _merge_usage(model: CompressorModel, chunk_usages: list[list[list[int]]]) -> UsageReport:
+    """Sum per-chunk usage counts into one deterministic report."""
+    totals = [
+        [0] * (layout.total_predictions + 1) for layout in model.fields
+    ]
+    for usage in chunk_usages:
+        for field_counts, chunk_counts in zip(totals, usage):
+            for code, count in enumerate(chunk_counts):
+                field_counts[code] += count
+    return UsageReport(
+        fields=[
+            FieldUsage(layout.index, counts)
+            for layout, counts in zip(model.fields, totals)
+        ]
+    )

@@ -144,27 +144,41 @@ class FieldKernel:
         # Per-record scratch filled by begin() and consumed by commit().
         self._line = 0
         self._indices: list[int] = [0] * len(self.predictors)
+        # Preallocated prediction list, reused (and overwritten) every
+        # record; slot spans are fixed by the dense code assignment.
+        self._predictions: list[int] = [0] * layout.total_predictions
+        spans = []
+        position = 0
+        for pred in self.predictors:
+            spans.append((position, position + pred.depth))
+            position += pred.depth
+        self._spans: list[tuple[int, int]] = spans
 
     # -- the two-phase protocol ---------------------------------------------
 
     def begin(self, pc: int) -> list[int]:
-        """Compute indices and return the flattened prediction list."""
+        """Compute indices and return the flattened prediction list.
+
+        The returned list is owned by the kernel and reused on the next
+        ``begin`` call; callers must consume it before then.
+        """
         line = pc % self.l1_lines
         self._line = line
-        predictions: list[int] = []
+        predictions = self._predictions
         mask = self.mask
         for slot, pred in enumerate(self.predictors):
+            lo, hi = self._spans[slot]
             if pred.kind is PredictorKind.LV:
-                predictions += pred.last.read(line, pred.depth)
+                predictions[lo:hi] = pred.last.read(line, pred.depth)
             elif pred.kind is PredictorKind.FCM:
                 index = pred.chain.index(line, pred.order)
                 self._indices[slot] = index
-                predictions += pred.l2.read(index, pred.depth)
+                predictions[lo:hi] = pred.l2.read(index, pred.depth)
             else:  # DFCM
                 index = pred.chain.index(line, pred.order)
                 self._indices[slot] = index
                 last = pred.last.first(line)
-                predictions += [
+                predictions[lo:hi] = [
                     (last + stride) & mask for stride in pred.l2.read(index, pred.depth)
                 ]
         return predictions
@@ -194,8 +208,10 @@ class FieldKernel:
 
 def _dedup(items) -> list:
     """Unique items by identity, preserving order, skipping ``None``."""
-    seen: list = []
+    seen_ids: set[int] = set()
+    unique: list = []
     for item in items:
-        if item is not None and not any(item is s for s in seen):
-            seen.append(item)
-    return seen
+        if item is not None and id(item) not in seen_ids:
+            seen_ids.add(id(item))
+            unique.append(item)
+    return unique

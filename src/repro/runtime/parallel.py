@@ -1,0 +1,97 @@
+"""Worker-pool execution for the chunked compression pipeline.
+
+The v2 container format (:mod:`repro.tio.container`) splits a trace into
+independent record chunks, which exposes two kinds of parallelism:
+
+- the **post-compression stage**: ``bz2``, ``zlib``, and ``lzma`` all
+  release the GIL inside their C cores, so a plain thread pool scales the
+  codec stage across cores with zero serialization cost;
+- the **prediction-kernel stage**: pure Python, so threads cannot speed it
+  up; an optional process pool ships whole chunks to worker interpreters
+  instead (at pickling cost, worthwhile for large chunks).
+
+Everything here is *deterministic*: results always come back in submission
+order, so compressed output is byte-identical regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Executor kinds accepted by :func:`map_ordered`.
+EXECUTOR_KINDS = ("thread", "process")
+
+
+def available_parallelism() -> int:
+    """Number of CPUs the process may use (affinity-aware, >= 1)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count option.
+
+    ``None`` and ``1`` mean serial execution; ``0`` means "one worker per
+    available CPU"; any other positive integer is taken literally.
+    """
+    if workers is None:
+        return 1
+    if workers == 0:
+        return available_parallelism()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def map_ordered(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    workers: int | None = 1,
+    kind: str = "thread",
+) -> list[R]:
+    """Apply ``fn`` to every item, returning results in item order.
+
+    With ``workers`` <= 1 (or fewer than two items) this is a plain serial
+    map — no pool is spun up, so the common single-threaded path pays
+    nothing.  Otherwise a thread pool (default) or process pool executes
+    the calls concurrently; ``Executor.map`` guarantees result order
+    matches submission order, which keeps chunk assembly deterministic.
+
+    The process kind requires ``fn`` and the items to be picklable.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
+    items = list(items)
+    count = resolve_workers(workers)
+    if count <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    count = min(count, len(items))
+    if kind == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=count) as pool:
+            return list(pool.map(fn, items))
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=count) as pool:
+        return list(pool.map(fn, items))
+
+
+def chunk_spans(record_count: int, chunk_records: int) -> list[tuple[int, int]]:
+    """Split ``record_count`` records into ``(start, count)`` spans.
+
+    Every span but the last holds exactly ``chunk_records`` records — the
+    invariant the v2 chunk table encodes and random access relies on.
+    """
+    if chunk_records < 1:
+        raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+    return [
+        (start, min(chunk_records, record_count - start))
+        for start in range(0, record_count, chunk_records)
+    ]

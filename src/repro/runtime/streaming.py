@@ -8,6 +8,14 @@ consumption path: :func:`iter_records` decodes a compressed container
 record by record, yielding field-value tuples without ever materializing
 the uncompressed trace bytes.
 
+With a **v2 chunked container** the iteration is additionally lazy at
+chunk granularity: a chunk's streams are only post-decompressed when the
+iterator reaches it, so stopping early — or starting late via ``start=`` —
+never pays for chunks it does not visit.  Predictor state resets at every
+chunk boundary, which is what makes mid-trace entry possible: seeking to
+record ``n`` replays at most ``chunk_records - 1`` predecessor records
+instead of the whole prefix.
+
 Example::
 
     from repro.runtime.streaming import iter_records
@@ -28,80 +36,124 @@ from repro.model.optimize import OptimizationOptions
 from repro.postcompress import codec_by_id
 from repro.runtime.kernel import FieldKernel
 from repro.spec.ast import TraceSpec
-from repro.tio.container import StreamContainer
+from repro.tio.container import StreamContainer, as_chunked, decode_container
 
 
 def iter_records(
     spec: TraceSpec,
     blob: bytes,
     options: OptimizationOptions | None = None,
+    start: int = 0,
 ) -> Iterator[tuple[int, ...]]:
     """Yield one tuple of field values per record, in record-field order.
 
     The header bytes (if any) are skipped; use :func:`read_header` when
     they are needed.  State is reconstructed incrementally, so the caller
-    can stop early without paying for the rest of the trace (beyond the
-    up-front per-stream post-decompression).
+    can stop early without paying for the rest of the trace: with a v2
+    container, chunks past the stopping point are never post-decompressed.
+
+    ``start`` begins the iteration at that record index (0-based).  For a
+    v2 container whole chunks before the target are skipped undecoded;
+    only the records between the containing chunk's boundary and ``start``
+    are replayed (decoded but not yielded) to rebuild predictor state.
     """
+    if start < 0:
+        raise ValueError(f"start must be >= 0, got {start}")
     model = build_model(spec, options)
-    container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
-    if len(container.streams) != model.stream_count:
-        raise CompressedFormatError(
-            f"expected {model.stream_count} streams, found {len(container.streams)}"
-        )
+    container = decode_container(blob, expected_fingerprint=model.fingerprint())
+    header_streams = 1 if model.spec.header_bits else 0
+    per_chunk = 2 * len(model.fields)
+    if isinstance(container, StreamContainer):
+        if len(container.streams) != model.stream_count:
+            raise CompressedFormatError(
+                f"expected {model.stream_count} streams, found {len(container.streams)}"
+            )
+        chunked = as_chunked(container, header_streams)
+    else:
+        chunked = container
+        if len(chunked.global_streams) != header_streams:
+            raise CompressedFormatError(
+                f"expected {header_streams} global streams, "
+                f"found {len(chunked.global_streams)}"
+            )
 
-    cursor = 1 if model.spec.header_bits else 0
-    codes: dict[int, bytes] = {}
-    values: dict[int, bytes] = {}
-    for layout in model.fields:
-        codes[layout.index] = _decode(container.streams[cursor])
-        values[layout.index] = _decode(container.streams[cursor + 1])
-        cursor += 2
-
-    kernels = {f.index: FieldKernel(f, model.options) for f in model.fields}
-    value_pos = {f.index: 0 for f in model.fields}
     order = model.process_order
     record_order = [f.index for f in model.fields]
+    absolute = 0
 
-    for i in range(container.record_count):
-        pc = 0
-        current: dict[int, int] = {}
-        for layout in order:
-            findex = layout.index
-            kernel = kernels[findex]
-            predictions = kernel.begin(0 if layout.is_pc else pc)
-            cb = layout.code_bytes
-            code = int.from_bytes(codes[findex][i * cb : (i + 1) * cb], "little")
-            if code < layout.miss_code:
-                value = predictions[code]
-            elif code == layout.miss_code:
-                vb = layout.value_bytes
-                pos = value_pos[findex]
-                chunk = values[findex][pos : pos + vb]
-                if len(chunk) != vb:
-                    raise CompressedFormatError(
-                        f"field {findex} value stream exhausted at record {i}"
-                    )
-                value = int.from_bytes(chunk, "little") & layout.mask
-                value_pos[findex] = pos + vb
-            else:
+    for position, chunk in enumerate(chunked.chunks):
+        if absolute + chunk.record_count <= start:
+            absolute += chunk.record_count  # skipped: never post-decompressed
+            continue
+        if len(chunk.streams) != per_chunk:
+            raise CompressedFormatError(
+                f"chunk {position}: expected {per_chunk} streams, "
+                f"found {len(chunk.streams)}"
+            )
+        codes: dict[int, bytes] = {}
+        values: dict[int, bytes] = {}
+        for layout, stream_pair in zip(
+            model.fields,
+            zip(chunk.streams[0::2], chunk.streams[1::2]),
+        ):
+            codes[layout.index] = _decode(stream_pair[0])
+            values[layout.index] = _decode(stream_pair[1])
+            expected = chunk.record_count * layout.code_bytes
+            if len(codes[layout.index]) != expected:
                 raise CompressedFormatError(
-                    f"field {findex} record {i}: code {code} out of range"
+                    f"field {layout.index} code stream holds "
+                    f"{len(codes[layout.index])} bytes, expected {expected}"
                 )
-            kernel.commit(value)
-            current[findex] = value
-            if layout.is_pc:
-                pc = value
-        yield tuple(current[index] for index in record_order)
+
+        # Fresh predictor state at the chunk boundary: chunks are
+        # independent, which is exactly what makes the skip above legal.
+        kernels = {f.index: FieldKernel(f, model.options) for f in model.fields}
+        value_pos = {f.index: 0 for f in model.fields}
+
+        for i in range(chunk.record_count):
+            pc = 0
+            current: dict[int, int] = {}
+            for layout in order:
+                findex = layout.index
+                kernel = kernels[findex]
+                predictions = kernel.begin(0 if layout.is_pc else pc)
+                cb = layout.code_bytes
+                code = int.from_bytes(codes[findex][i * cb : (i + 1) * cb], "little")
+                if code < layout.miss_code:
+                    value = predictions[code]
+                elif code == layout.miss_code:
+                    vb = layout.value_bytes
+                    pos = value_pos[findex]
+                    piece = values[findex][pos : pos + vb]
+                    if len(piece) != vb:
+                        raise CompressedFormatError(
+                            f"field {findex} value stream exhausted at record {i}"
+                        )
+                    value = int.from_bytes(piece, "little") & layout.mask
+                    value_pos[findex] = pos + vb
+                else:
+                    raise CompressedFormatError(
+                        f"field {findex} record {i}: code {code} out of range"
+                    )
+                kernel.commit(value)
+                current[findex] = value
+                if layout.is_pc:
+                    pc = value
+            if absolute >= start:
+                yield tuple(current[index] for index in record_order)
+            absolute += 1
 
 
 def read_header(spec: TraceSpec, blob: bytes) -> bytes:
     """The header bytes stored in a compressed container (b'' if none)."""
     model = build_model(spec)
-    container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
+    container = decode_container(blob, expected_fingerprint=model.fingerprint())
     if not model.spec.header_bits:
         return b""
-    header = _decode(container.streams[0])
+    chunked = as_chunked(container, 1)
+    if not chunked.global_streams:
+        raise CompressedFormatError("container holds no header stream")
+    header = _decode(chunked.global_streams[0])
     if len(header) != model.spec.header_bytes:
         raise CompressedFormatError(
             f"header stream holds {len(header)} bytes, "
@@ -113,8 +165,17 @@ def read_header(spec: TraceSpec, blob: bytes) -> bytes:
 def record_count(spec: TraceSpec, blob: bytes) -> int:
     """Number of records in a compressed container, without decoding them."""
     model = build_model(spec)
-    container = StreamContainer.decode(blob, expected_fingerprint=model.fingerprint())
+    container = decode_container(blob, expected_fingerprint=model.fingerprint())
     return container.record_count
+
+
+def chunk_count(spec: TraceSpec, blob: bytes) -> int:
+    """Number of independent chunks in a container (1 for v1 blobs)."""
+    model = build_model(spec)
+    container = decode_container(blob, expected_fingerprint=model.fingerprint())
+    if isinstance(container, StreamContainer):
+        return 1 if container.record_count else 0
+    return len(container.chunks)
 
 
 def _decode(payload) -> bytes:

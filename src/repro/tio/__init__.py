@@ -11,7 +11,16 @@ compressors, the interpreted engine, and every baseline algorithm:
 """
 
 from repro.tio.blockio import ByteReader, ByteWriter
-from repro.tio.container import StreamContainer, StreamPayload
+from repro.tio.container import (
+    ChunkedContainer,
+    ContainerChunk,
+    StreamContainer,
+    StreamPayload,
+    as_chunked,
+    container_version,
+    decode_container,
+    default_chunk_records,
+)
 from repro.tio.traceformat import (
     TraceFormat,
     VPC_FORMAT,
@@ -22,8 +31,14 @@ from repro.tio.traceformat import (
 __all__ = [
     "ByteReader",
     "ByteWriter",
+    "ChunkedContainer",
+    "ContainerChunk",
     "StreamContainer",
     "StreamPayload",
+    "as_chunked",
+    "container_version",
+    "decode_container",
+    "default_chunk_records",
     "TraceFormat",
     "VPC_FORMAT",
     "pack_records",

@@ -1,32 +1,65 @@
-"""Compressed-stream container format.
+"""Compressed-stream container formats.
 
 A TCgen-style compressor converts a trace into several streams (one
 predictor-code stream and one unpredictable-value stream per field, plus a
 header stream) and post-compresses each stream individually.  This module
 defines the framing that holds those post-compressed streams together in a
-single blob:
+single blob.
+
+**Version 1** (:class:`StreamContainer`) is a flat list of streams:
 
 ```
-magic "TCGN" | format version (u8) | spec fingerprint (u64)
+magic "TCGN" | format version (u8 = 1) | spec fingerprint (u64)
 record count (varint) | stream count (varint)
 per stream: codec id (u8) | raw length (varint) | stored length (varint)
 stream payloads, concatenated
 ```
 
+**Version 2** (:class:`ChunkedContainer`) splits the trace into fixed-size
+record chunks so chunks can be compressed, decompressed, and seeked
+independently (predictor state resets at every chunk boundary):
+
+```
+magic "TCGN" | format version (u8 = 2) | spec fingerprint (u64)
+record count (varint) | chunk records (varint)
+global stream count (varint)
+per global stream: codec id (u8) | raw length (varint) | stored length (varint)
+chunk stream count (varint) | chunk count (varint)
+per chunk: record count (varint)
+           per stream: codec id (u8) | raw length (varint) | stored length (varint)
+global stream payloads, then per-chunk stream payloads, concatenated
+```
+
+Global streams hold whole-trace data (the trace header); every chunk
+carries the same number of per-chunk streams (one code and one value
+stream per field).  All chunks except the last hold exactly ``chunk
+records`` records, which makes record→chunk arithmetic trivial for
+random access.
+
 The fingerprint ties a compressed blob to the specification that produced
 it, so decompressing with a mismatched generated compressor fails loudly
-instead of producing garbage.
+instead of producing garbage.  :func:`decode_container` dispatches on the
+version byte; v1 blobs remain readable forever.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import CompressedFormatError
 from repro.tio.blockio import ByteReader, ByteWriter
 
 MAGIC = b"TCGN"
 FORMAT_VERSION = 1
+FORMAT_VERSION_2 = 2
+
+#: Target raw bytes per chunk when the caller asks for automatic sizing.
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+
+def default_chunk_records(record_bytes: int) -> int:
+    """Records per chunk so one chunk holds ~:data:`DEFAULT_CHUNK_BYTES`."""
+    return max(1, DEFAULT_CHUNK_BYTES // max(1, record_bytes))
 
 
 @dataclass
@@ -93,3 +126,194 @@ class StreamContainer:
                 f"{reader.remaining()} trailing bytes after last stream"
             )
         return cls(fingerprint=fingerprint, record_count=record_count, streams=streams)
+
+
+@dataclass
+class ContainerChunk:
+    """One independent chunk: its record count and per-chunk streams."""
+
+    record_count: int
+    streams: list[StreamPayload]
+
+
+@dataclass
+class ChunkedContainer:
+    """A parsed v2 blob: global streams plus independent record chunks."""
+
+    fingerprint: int
+    record_count: int
+    chunk_records: int
+    global_streams: list[StreamPayload] = field(default_factory=list)
+    chunks: list[ContainerChunk] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        """Serialize the container to bytes (format version 2)."""
+        writer = ByteWriter()
+        writer.write_bytes(MAGIC)
+        writer.write_u8(FORMAT_VERSION_2)
+        writer.write_u64(self.fingerprint)
+        writer.write_varint(self.record_count)
+        writer.write_varint(self.chunk_records)
+        writer.write_varint(len(self.global_streams))
+        for stream in self.global_streams:
+            _write_stream_meta(writer, stream)
+        chunk_streams = len(self.chunks[0].streams) if self.chunks else 0
+        writer.write_varint(chunk_streams)
+        writer.write_varint(len(self.chunks))
+        for chunk in self.chunks:
+            if len(chunk.streams) != chunk_streams:
+                raise CompressedFormatError(
+                    f"chunk holds {len(chunk.streams)} streams, "
+                    f"expected {chunk_streams} like the first chunk"
+                )
+            writer.write_varint(chunk.record_count)
+            for stream in chunk.streams:
+                _write_stream_meta(writer, stream)
+        for stream in self.global_streams:
+            writer.write_bytes(stream.data)
+        for chunk in self.chunks:
+            for stream in chunk.streams:
+                writer.write_bytes(stream.data)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, blob: bytes, expected_fingerprint: int | None = None) -> "ChunkedContainer":
+        """Parse a v2 container, optionally checking the spec fingerprint."""
+        reader = ByteReader(blob)
+        magic = reader.read_bytes(4)
+        if magic != MAGIC:
+            raise CompressedFormatError(f"bad magic {magic!r}, expected {MAGIC!r}")
+        version = reader.read_u8()
+        if version != FORMAT_VERSION_2:
+            raise CompressedFormatError(
+                f"unsupported container version {version}, expected {FORMAT_VERSION_2}"
+            )
+        fingerprint = reader.read_u64()
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            raise CompressedFormatError(
+                f"spec fingerprint mismatch: blob has {fingerprint:#018x}, "
+                f"decompressor expects {expected_fingerprint:#018x}"
+            )
+        record_count = reader.read_varint()
+        chunk_records = reader.read_varint()
+        global_count = reader.read_varint()
+        global_metas = [_read_stream_meta(reader) for _ in range(global_count)]
+        chunk_streams = reader.read_varint()
+        chunk_count = reader.read_varint()
+        chunk_metas: list[tuple[int, list[tuple[int, int, int]]]] = []
+        total = 0
+        for position in range(chunk_count):
+            count = reader.read_varint()
+            if count < 1:
+                raise CompressedFormatError(f"chunk {position} holds no records")
+            if position < chunk_count - 1 and count != chunk_records:
+                raise CompressedFormatError(
+                    f"chunk {position} holds {count} records, "
+                    f"expected {chunk_records} for every chunk but the last"
+                )
+            if count > chunk_records:
+                raise CompressedFormatError(
+                    f"chunk {position} holds {count} records, "
+                    f"more than the declared chunk size {chunk_records}"
+                )
+            total += count
+            chunk_metas.append(
+                (count, [_read_stream_meta(reader) for _ in range(chunk_streams)])
+            )
+        if total != record_count:
+            raise CompressedFormatError(
+                f"chunk table covers {total} records, container declares {record_count}"
+            )
+        global_streams = [
+            StreamPayload(codec_id, raw_length, reader.read_bytes(stored))
+            for codec_id, raw_length, stored in global_metas
+        ]
+        chunks = [
+            ContainerChunk(
+                record_count=count,
+                streams=[
+                    StreamPayload(codec_id, raw_length, reader.read_bytes(stored))
+                    for codec_id, raw_length, stored in metas
+                ],
+            )
+            for count, metas in chunk_metas
+        ]
+        if not reader.at_end():
+            raise CompressedFormatError(
+                f"{reader.remaining()} trailing bytes after last chunk"
+            )
+        return cls(
+            fingerprint=fingerprint,
+            record_count=record_count,
+            chunk_records=chunk_records,
+            global_streams=global_streams,
+            chunks=chunks,
+        )
+
+
+def _write_stream_meta(writer: ByteWriter, stream: StreamPayload) -> None:
+    writer.write_u8(stream.codec_id)
+    writer.write_varint(stream.raw_length)
+    writer.write_varint(len(stream.data))
+
+
+def _read_stream_meta(reader: ByteReader) -> tuple[int, int, int]:
+    return reader.read_u8(), reader.read_varint(), reader.read_varint()
+
+
+def container_version(blob: bytes) -> int:
+    """The format version byte of a container blob (validates the magic)."""
+    if len(blob) < 5 or blob[:4] != MAGIC:
+        raise CompressedFormatError("not a TCgen container")
+    return blob[4]
+
+
+def decode_container(
+    blob: bytes, expected_fingerprint: int | None = None
+) -> "StreamContainer | ChunkedContainer":
+    """Parse a container of either version, dispatching on the version byte."""
+    version = container_version(blob)
+    if version == FORMAT_VERSION:
+        return StreamContainer.decode(blob, expected_fingerprint)
+    if version == FORMAT_VERSION_2:
+        return ChunkedContainer.decode(blob, expected_fingerprint)
+    raise CompressedFormatError(f"unsupported container version {version}")
+
+
+def as_chunked(
+    container: "StreamContainer | ChunkedContainer", global_streams: int = 0
+) -> ChunkedContainer:
+    """View either container version as a chunked container.
+
+    A v1 container becomes a single chunk covering every record; its first
+    ``global_streams`` streams (the header, when the format has one) move
+    to the global section.  Predictor state resets once, at the start of
+    the lone chunk — exactly the v1 semantics.
+    """
+    if isinstance(container, ChunkedContainer):
+        return container
+    if len(container.streams) < global_streams:
+        raise CompressedFormatError(
+            f"container holds {len(container.streams)} streams, "
+            f"cannot split off {global_streams} global streams"
+        )
+    chunks = []
+    if container.record_count:
+        chunks.append(
+            ContainerChunk(
+                record_count=container.record_count,
+                streams=container.streams[global_streams:],
+            )
+        )
+    elif len(container.streams) > global_streams:
+        # Zero records still carry (empty) per-field streams in v1.
+        chunks.append(
+            ContainerChunk(record_count=0, streams=container.streams[global_streams:])
+        )
+    return ChunkedContainer(
+        fingerprint=container.fingerprint,
+        record_count=container.record_count,
+        chunk_records=container.record_count,
+        global_streams=container.streams[:global_streams],
+        chunks=chunks,
+    )

@@ -108,12 +108,23 @@ def pack_records(
     return header + record.tobytes()
 
 
-def unpack_records(fmt: TraceFormat, raw: bytes) -> tuple[bytes, list[np.ndarray]]:
-    """Parse raw trace bytes into (header, per-field numpy columns)."""
+def unpack_records(
+    fmt: TraceFormat, raw: bytes, copy: bool = True
+) -> tuple[bytes, list[np.ndarray]]:
+    """Parse raw trace bytes into (header, per-field numpy columns).
+
+    With ``copy=False`` the columns are read-only views into ``raw`` —
+    no per-field allocation happens, which matters when a caller only
+    iterates the columns (the compression hot path) instead of mutating
+    them.
+    """
     count = fmt.record_count(raw)
     header = raw[: fmt.header_bytes]
     record_dtype = np.dtype(
         [(f"f{i + 1}", dt) for i, dt in enumerate(fmt.field_dtypes())]
     )
     body = np.frombuffer(raw, dtype=record_dtype, count=count, offset=fmt.header_bytes)
-    return header, [body[f"f{i + 1}"].copy() for i in range(len(fmt.field_bits))]
+    columns = [body[f"f{i + 1}"] for i in range(len(fmt.field_bits))]
+    if copy:
+        columns = [column.copy() for column in columns]
+    return header, columns

@@ -1,0 +1,288 @@
+"""Tests for the chunked v2 container and the parallel execution layer.
+
+The load-bearing invariants:
+
+- a v2 (chunked) compression is lossless and **byte-identical** no matter
+  how many workers produced it — parallelism must never leak into the
+  output;
+- v1 blobs written before the chunked format existed still decode;
+- corrupted or truncated v2 framing fails loudly with
+  :class:`~repro.errors.CompressedFormatError`, never garbage output;
+- streaming iteration over a v2 container only post-decompresses the
+  chunks it actually visits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
+from repro.errors import CompressedFormatError
+from repro.runtime import streaming
+from repro.runtime.engine import TraceEngine
+from repro.runtime.parallel import (
+    available_parallelism,
+    chunk_spans,
+    map_ordered,
+    resolve_workers,
+)
+from repro.spec import tcgen_a
+from repro.tio.container import (
+    ChunkedContainer,
+    StreamContainer,
+    as_chunked,
+    container_version,
+    decode_container,
+    default_chunk_records,
+)
+
+
+class TestParallelPrimitives:
+    def test_available_parallelism_positive(self):
+        assert available_parallelism() >= 1
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+        assert resolve_workers(0) == available_parallelism()
+
+    def test_resolve_workers_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_workers(-2)
+
+    def test_chunk_spans(self):
+        assert chunk_spans(10, 4) == [(0, 4), (4, 4), (8, 2)]
+        assert chunk_spans(8, 4) == [(0, 4), (4, 4)]
+        assert chunk_spans(3, 10) == [(0, 3)]
+        assert chunk_spans(0, 4) == []
+
+    def test_chunk_spans_rejects_bad_size(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            chunk_spans(10, 0)
+
+    def test_map_ordered_serial(self):
+        assert map_ordered(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_map_ordered_threads_preserve_order(self):
+        def slow_identity(x):
+            time.sleep((7 - x) * 0.005)  # later items finish first
+            return x
+
+        items = list(range(8))
+        assert map_ordered(slow_identity, items, workers=4) == items
+
+    def test_map_ordered_processes_preserve_order(self):
+        assert map_ordered(abs, [-3, 2, -1, 0], workers=2, kind="process") == [
+            3,
+            2,
+            1,
+            0,
+        ]
+
+    def test_map_ordered_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="executor kind"):
+            map_ordered(abs, [1], workers=2, kind="fibers")
+
+    def test_default_chunk_records_targets_a_megabyte(self):
+        assert default_chunk_records(12) == (1 << 20) // 12
+        assert default_chunk_records(1 << 21) == 1  # huge records: 1 per chunk
+
+
+class TestChunkedRoundtrip:
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_v2_roundtrip_all_specs(self, name):
+        spec = SPEC_VARIANTS[name]()
+        raw = spec_trace_for(spec)
+        engine = TraceEngine(spec)
+        blob = engine.compress(raw, chunk_records=150)
+        assert container_version(blob) == 2
+        assert engine.decompress(blob) == raw
+
+    def test_workers_do_not_change_the_bytes(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        serial = engine.compress(small_trace, chunk_records=400)
+        threaded = engine.compress(small_trace, chunk_records=400, workers=4)
+        assert serial == threaded
+        assert engine.decompress(serial, workers=4) == small_trace
+
+    def test_process_executor_matches_serial(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        serial = engine.compress(small_trace, chunk_records=400)
+        forked = engine.compress(
+            small_trace, chunk_records=400, workers=2, executor="process"
+        )
+        assert serial == forked
+        assert (
+            engine.decompress(serial, workers=2, executor="process") == small_trace
+        )
+
+    def test_exact_multiple_chunking(self):
+        raw = make_vpc_trace(n=1000)
+        engine = TraceEngine(tcgen_a())
+        blob = engine.compress(raw, chunk_records=250)
+        container = decode_container(blob)
+        assert [chunk.record_count for chunk in container.chunks] == [250] * 4
+        assert engine.decompress(blob) == raw
+
+    def test_auto_chunk_sizing(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        blob = engine.compress(small_trace, chunk_records="auto")
+        assert container_version(blob) == 2
+        container = decode_container(blob)
+        assert container.chunk_records == default_chunk_records(
+            engine.model.spec.record_bytes
+        )
+        assert engine.decompress(blob) == small_trace
+
+    def test_empty_trace_v2(self, empty_trace):
+        engine = TraceEngine(tcgen_a())
+        blob = engine.compress(empty_trace, chunk_records=100)
+        assert container_version(blob) == 2
+        assert engine.decompress(blob) == empty_trace
+
+    def test_v1_blobs_still_decode(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        blob = engine.compress(small_trace)  # no chunk_records: v1
+        assert container_version(blob) == 1
+        assert engine.decompress(blob) == small_trace
+        assert engine.decompress(blob, workers=4) == small_trace
+
+    def test_chunking_changes_state_not_content(self, small_trace):
+        # Different chunk sizes give different bytes (state resets) but the
+        # same decompressed trace.
+        engine = TraceEngine(tcgen_a())
+        coarse = engine.compress(small_trace, chunk_records=1500)
+        fine = engine.compress(small_trace, chunk_records=100)
+        assert coarse != fine
+        assert engine.decompress(coarse) == engine.decompress(fine) == small_trace
+
+    def test_engine_rejects_bad_chunk_records(self, small_trace):
+        engine = TraceEngine(tcgen_a())
+        with pytest.raises(ValueError, match="chunk_records"):
+            engine.compress(small_trace, chunk_records=-5)
+
+
+class TestCorruptFraming:
+    @pytest.fixture
+    def v2_blob(self, small_trace):
+        return TraceEngine(tcgen_a()).compress(small_trace, chunk_records=300)
+
+    def test_truncated_in_chunk_table(self, v2_blob):
+        with pytest.raises(CompressedFormatError):
+            decode_container(v2_blob[:20])
+
+    def test_truncated_in_payloads(self, v2_blob):
+        with pytest.raises(CompressedFormatError):
+            decode_container(v2_blob[:-3])
+
+    def test_trailing_garbage(self, v2_blob):
+        with pytest.raises(CompressedFormatError, match="trailing"):
+            decode_container(v2_blob + b"\x00\x00")
+
+    def test_chunk_count_does_not_cover_records(self, v2_blob):
+        container = decode_container(v2_blob)
+        container.record_count += 1
+        with pytest.raises(CompressedFormatError, match="chunk table covers"):
+            decode_container(container.encode())
+
+    def test_zero_record_chunk_rejected(self, v2_blob):
+        container = decode_container(v2_blob)
+        container.chunks[-1].record_count = 0
+        with pytest.raises(CompressedFormatError, match="holds no records"):
+            decode_container(container.encode())
+
+    def test_short_middle_chunk_rejected(self, v2_blob):
+        container = decode_container(v2_blob)
+        assert len(container.chunks) > 2
+        container.chunks[0].record_count -= 1
+        with pytest.raises(CompressedFormatError, match="every chunk but the last"):
+            decode_container(container.encode())
+
+    def test_oversized_last_chunk_rejected(self, v2_blob):
+        container = decode_container(v2_blob)
+        container.chunks[-1].record_count = container.chunk_records + 1
+        with pytest.raises(CompressedFormatError, match="more than the declared"):
+            decode_container(container.encode())
+
+    def test_fingerprint_checked(self, v2_blob):
+        with pytest.raises(CompressedFormatError, match="fingerprint"):
+            decode_container(v2_blob, expected_fingerprint=0xDEAD)
+
+    def test_engine_rejects_wrong_stream_count(self, v2_blob, small_trace):
+        container = decode_container(v2_blob)
+        for chunk in container.chunks:
+            chunk.streams = chunk.streams[:-1]
+        with pytest.raises(CompressedFormatError, match="streams"):
+            TraceEngine(tcgen_a()).decompress(container.encode())
+
+    def test_as_chunked_view_of_v1(self, small_trace):
+        blob = TraceEngine(tcgen_a()).compress(small_trace)
+        container = decode_container(blob)
+        assert isinstance(container, StreamContainer)
+        chunked = as_chunked(container, global_streams=1)
+        assert isinstance(chunked, ChunkedContainer)
+        assert len(chunked.global_streams) == 1
+        assert len(chunked.chunks) == 1
+        assert chunked.chunks[0].record_count == container.record_count
+
+
+class TestStreamingChunks:
+    @pytest.fixture
+    def setup(self):
+        spec = tcgen_a()
+        raw = make_vpc_trace(n=2000)
+        blob = TraceEngine(spec).compress(raw, chunk_records=500)
+        return spec, raw, blob
+
+    def _count_decodes(self, monkeypatch):
+        calls = []
+        real = streaming._decode
+
+        def counting(payload):
+            calls.append(payload)
+            return real(payload)
+
+        monkeypatch.setattr(streaming, "_decode", counting)
+        return calls
+
+    def test_v2_iteration_matches_v1(self, setup):
+        spec, raw, blob = setup
+        flat = TraceEngine(spec).compress(raw)
+        assert list(streaming.iter_records(spec, blob)) == list(
+            streaming.iter_records(spec, flat)
+        )
+
+    def test_seek_skips_earlier_chunks(self, setup, monkeypatch):
+        spec, raw, blob = setup
+        calls = self._count_decodes(monkeypatch)
+        records = list(streaming.iter_records(spec, blob, start=1600))
+        assert len(records) == 400
+        # Only the last of four chunks was touched: 2 fields x 2 streams.
+        assert len(calls) == 4
+
+    def test_early_stop_skips_later_chunks(self, setup, monkeypatch):
+        spec, raw, blob = setup
+        calls = self._count_decodes(monkeypatch)
+        iterator = streaming.iter_records(spec, blob)
+        for _ in range(10):
+            next(iterator)
+        iterator.close()
+        assert len(calls) == 4  # first chunk only
+
+    def test_seek_result_matches_full_iteration(self, setup):
+        spec, raw, blob = setup
+        everything = list(streaming.iter_records(spec, blob))
+        assert list(streaming.iter_records(spec, blob, start=777)) == everything[777:]
+
+    def test_chunk_count(self, setup):
+        spec, raw, blob = setup
+        assert streaming.chunk_count(spec, blob) == 4
+        flat = TraceEngine(spec).compress(raw)
+        assert streaming.chunk_count(spec, flat) == 1
+
+    def test_read_header_from_v2(self, setup):
+        spec, raw, blob = setup
+        assert streaming.read_header(spec, blob) == b"VPC3"
