@@ -19,7 +19,31 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import CompressedFormatError, ReproError, TraceFormatError
+
+#: Exit status for malformed input data (corrupt container, bad trace
+#: framing) as opposed to other failures, which exit 1.  Scripts driving
+#: these tools can distinguish "your data is damaged" from "the tool
+#: failed" without parsing stderr.
+EXIT_CORRUPT = 2
+
+
+def _fail(prog: str, exc: ReproError) -> int:
+    """Report ``exc`` on stderr and pick the exit status it deserves."""
+    print(f"{prog}: {exc}", file=sys.stderr)
+    if isinstance(exc, (CompressedFormatError, TraceFormatError)):
+        return EXIT_CORRUPT
+    return 1
+
+
+def _write_output(path: str | None, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically, or to stdout when no path."""
+    if path is None:
+        sys.stdout.buffer.write(data)
+    else:
+        from repro.tio import atomic_write_bytes
+
+        atomic_write_bytes(path, data)
 
 
 def tcgen_main(argv: list[str] | None = None) -> int:
@@ -48,11 +72,17 @@ def tcgen_main(argv: list[str] | None = None) -> int:
         help="disable one optimization: smart_update, type_minimization, "
         "shared_tables, fast_hash, adaptive_shift (repeatable)",
     )
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write generated source to FILE (atomically) instead of stdout",
+    )
     parser.epilog = (
         "The generated Python module accepts --workers N (parallel "
-        "post-compression) and --chunk-records N|auto (chunked v2 "
-        "container with independent, seekable chunks) when run as a "
-        "filter; output bytes are identical for any worker count."
+        "post-compression), --chunk-records N|auto (chunked v3 container "
+        "with CRC32C-framed, independently seekable chunks), --salvage "
+        "(skip damaged chunks on decode), and -o FILE (atomic output) "
+        "when run as a filter; output bytes are identical for any worker "
+        "count."
     )
     args = parser.parse_args(argv)
 
@@ -68,10 +98,13 @@ def tcgen_main(argv: list[str] | None = None) -> int:
             options = options.without(name)
         model = build_model(spec, options)
         if args.lang == "python":
-            sys.stdout.write(generate_python(model, codec=args.codec))
+            source = generate_python(model, codec=args.codec)
         else:
-            sys.stdout.write(generate_c(model, codec=args.codec))
-    except (ReproError, ValueError) as exc:
+            source = generate_c(model, codec=args.codec)
+        _write_output(args.output, source.encode())
+    except ReproError as exc:
+        return _fail("tcgen", exc)
+    except ValueError as exc:
         print(f"tcgen: {exc}", file=sys.stderr)
         return 1
     return 0
@@ -88,10 +121,16 @@ def trace_main(argv: list[str] | None = None) -> int:
     parser.add_argument("kind", choices=TRACE_KINDS)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=2005)
-    args = parser.parse_args(argv)
-    sys.stdout.buffer.write(
-        build_trace(args.workload, args.kind, scale=args.scale, seed=args.seed)
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the trace to FILE (atomically) instead of stdout",
     )
+    args = parser.parse_args(argv)
+    try:
+        raw = build_trace(args.workload, args.kind, scale=args.scale, seed=args.seed)
+        _write_output(args.output, raw)
+    except ReproError as exc:
+        return _fail("tcgen-trace", exc)
     return 0
 
 
@@ -121,7 +160,7 @@ def bench_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--chunk-records", default=None, metavar="N",
-        help="records per chunk for TCgen's v2 container "
+        help="records per chunk for TCgen's chunked v3 container "
         "('auto' = ~1 MB raw per chunk; default: flat v1 container)",
     )
     args = parser.parse_args(argv)
@@ -136,21 +175,24 @@ def bench_main(argv: list[str] | None = None) -> int:
     suite = workload_names() if args.full else default_suite()
     kinds = args.kind or list(TRACE_KINDS)
     table = ResultTable()
-    for kind in kinds:
-        for workload in suite:
-            raw = build_trace(workload, kind, scale=args.scale, seed=args.seed)
-            for compressor in all_compressors(
-                chunk_records=chunk_records, workers=workers
-            ):
-                result = measure(compressor, raw, workload=workload, kind=kind)
-                table.add(result)
-                print(
-                    f"{kind:22s} {workload:9s} {result.algorithm:9s} "
-                    f"rate={result.compression_rate:9.2f} "
-                    f"d.spd={result.decompression_speed / 1e6:7.2f}MB/s "
-                    f"c.spd={result.compression_speed / 1e6:7.2f}MB/s",
-                    file=sys.stderr,
-                )
+    try:
+        for kind in kinds:
+            for workload in suite:
+                raw = build_trace(workload, kind, scale=args.scale, seed=args.seed)
+                for compressor in all_compressors(
+                    chunk_records=chunk_records, workers=workers
+                ):
+                    result = measure(compressor, raw, workload=workload, kind=kind)
+                    table.add(result)
+                    print(
+                        f"{kind:22s} {workload:9s} {result.algorithm:9s} "
+                        f"rate={result.compression_rate:9.2f} "
+                        f"d.spd={result.decompression_speed / 1e6:7.2f}MB/s "
+                        f"c.spd={result.compression_speed / 1e6:7.2f}MB/s",
+                        file=sys.stderr,
+                    )
+    except ReproError as exc:
+        return _fail("tcgen-bench", exc)
     for metric, title in (
         ("compression_rate", "Compression rate (harmonic mean)"),
         ("decompression_speed", "Decompression speed (harmonic mean, B/s)"),
@@ -192,8 +234,7 @@ def analyze_main(argv: list[str] | None = None) -> int:
         print("recommended specification:")
         print(format_spec(spec), end="")
     except ReproError as exc:
-        print(f"tcgen-analyze: {exc}", file=sys.stderr)
-        return 1
+        return _fail("tcgen-analyze", exc)
     return 0
 
 

@@ -16,9 +16,14 @@ table bases) are inlined, power-of-two modulo operations become bit-ands,
 dead code for unused features is never emitted, and all names are
 meaningful.  Containers produced by the generated module are byte-identical
 to the interpreted :class:`~repro.runtime.TraceEngine` — for the flat v1
-format and for the chunked v2 format alike (``compress(raw,
+format and for the chunked v3 format alike (``compress(raw,
 chunk_records=...)``), with ``workers=`` parallelizing the post-compression
-stage on a thread pool.
+stage on a thread pool.  The generated decoder reads v1, v2, and v3
+containers, verifies the v3 CRC32C framing, bounds every decompression by
+the declared stream length, and offers ``decompress(..., salvage=True)``
+to skip damaged v3 chunks instead of raising.  All corruption is signalled
+with :class:`ValueError` (the generated module depends only on the
+standard library, so it cannot share this package's exception types).
 """
 
 from __future__ import annotations
@@ -347,26 +352,24 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
         w.line("    " + line if line else "")
     w.line('"""')
     w.line()
+    w.line("import os")
     w.line("import struct")
     w.line("import sys")
+    w.line("import tempfile")
     w.line("from array import array")
     w.line("from concurrent.futures import ThreadPoolExecutor")
     w.line()
     if codec_obj.name == "bzip2":
         w.line("import bz2")
         compress_call = "bz2.compress(data, 9)"
-        decompress_call = "bz2.decompress(data)"
     elif codec_obj.name == "zlib":
         w.line("import zlib")
         compress_call = "zlib.compress(data, 9)"
-        decompress_call = "zlib.decompress(data)"
     elif codec_obj.name == "lzma":
         w.line("import lzma")
         compress_call = "lzma.compress(data)"
-        decompress_call = "lzma.decompress(data)"
     else:
         compress_call = "data"
-        decompress_call = "data"
     w.line()
     w.line(f"FINGERPRINT = {spec.fingerprint():#018x}")
     w.line(f"CODEC_ID = {codec_obj.codec_id}")
@@ -378,13 +381,12 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     w.line(f'_RECORD = struct.Struct("{_record_struct_format(model)}")')
     w.line()
     w.line("_last_usage = None")
+    w.line("_last_lost = []")
     w.line()
     with w.block("def _post_compress(data):"):
         w.line(f"return {compress_call}")
     w.line()
-    with w.block("def _post_decompress(data):"):
-        w.line(f"return {decompress_call}")
-    w.line()
+    _emit_bounded_decompress(w, codec_obj.name)
 
     _emit_parallel_helper(w)
     _emit_container_helpers(w, bool(spec.header_bits))
@@ -396,6 +398,51 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     return w.getvalue()
 
 
+def _emit_bounded_decompress(w: CodeWriter, codec_name: str) -> None:
+    """Emit ``_post_decompress_bounded``: decode capped by the declared length."""
+    with w.block("def _post_decompress_bounded(data, limit):"):
+        w.line('"""Decompress at most ``limit`` bytes; ValueError past that."""')
+        if codec_name == "identity":
+            with w.block("if len(data) > limit:"):
+                w.line('raise ValueError("stream holds more bytes than declared")')
+            w.line("return data")
+        else:
+            with w.block("try:"):
+                if codec_name == "zlib":
+                    w.line("decomp = zlib.decompressobj()")
+                    w.line("out = decomp.decompress(data, limit + 1)")
+                    with w.block("while decomp.unconsumed_tail and len(out) <= limit:"):
+                        w.line(
+                            "chunk = decomp.decompress("
+                            "decomp.unconsumed_tail, limit + 1 - len(out))"
+                        )
+                        with w.block("if not chunk:"):
+                            w.line("break")
+                        w.line("out += chunk")
+                else:
+                    ctor = {
+                        "bzip2": "bz2.BZ2Decompressor",
+                        "lzma": "lzma.LZMADecompressor",
+                    }[codec_name]
+                    w.line(f"decomp = {ctor}()")
+                    w.line("out = decomp.decompress(data, limit + 1)")
+                    with w.block(
+                        "while not decomp.eof and not decomp.needs_input and len(out) <= limit:"
+                    ):
+                        w.line('chunk = decomp.decompress(b"", limit + 1 - len(out))')
+                        with w.block("if not chunk:"):
+                            w.line("break")
+                        w.line("out += chunk")
+            with w.block("except ValueError:"):
+                w.line("raise")
+            with w.block("except Exception as exc:"):
+                w.line('raise ValueError("post-decompression failed: %s" % exc)')
+            with w.block("if len(out) > limit:"):
+                w.line('raise ValueError("stream decompressed past its declared length")')
+            w.line("return out")
+    w.line()
+
+
 def _emit_parallel_helper(w: CodeWriter) -> None:
     with w.block("def _map_ordered(fn, items, workers):"):
         w.line('"""Ordered map, on a thread pool when workers > 1."""')
@@ -405,6 +452,25 @@ def _emit_parallel_helper(w: CodeWriter) -> None:
             "with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:"
         ):
             w.line("return list(pool.map(fn, items))")
+    w.line()
+    with w.block("def _crc32c_table():"):
+        w.line("table = []")
+        with w.block("for n in range(256):"):
+            w.line("c = n")
+            with w.block("for _ in range(8):"):
+                w.line("c = (c >> 1) ^ 0x82F63B78 if c & 1 else c >> 1")
+            w.line("table.append(c)")
+        w.line("return table")
+    w.line()
+    w.line("_CRC_TABLE = _crc32c_table()")
+    w.line()
+    with w.block("def _crc32c(data):"):
+        w.line('"""CRC32C (Castagnoli) over ``data``, matching the v3 container."""')
+        w.line("crc = 0xFFFFFFFF")
+        w.line("table = _CRC_TABLE")
+        with w.block("for byte in data:"):
+            w.line("crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]")
+        w.line("return crc ^ 0xFFFFFFFF")
     w.line()
 
 
@@ -441,21 +507,20 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
             w.line('raise ValueError("unexpected stream codec")')
         w.line("raw_length, pos = _read_varint(blob, pos + 1)")
         w.line("stored, pos = _read_varint(blob, pos)")
+        w.line("# Declared lengths larger than the whole blob are hostile:")
+        w.line("# refuse before any slicing or decompression happens.")
+        with w.block("if stored > len(blob):"):
+            w.line('raise ValueError("declared stored length exceeds the container")')
         w.line("return raw_length, stored, pos")
     w.line()
-    with w.block("def _decode_payloads(blob, pos, metas, workers):"):
-        w.line('"""Slice and post-decompress every payload, in meta order."""')
-        w.line("pieces = []")
-        with w.block("for raw_length, stored in metas:"):
-            with w.block("if pos + stored > len(blob):"):
-                w.line('raise ValueError("truncated stream payload")')
-            w.line("pieces.append(blob[pos : pos + stored])")
-            w.line("pos += stored")
-        with w.block("if pos != len(blob):"):
-            w.line('raise ValueError("trailing bytes after last stream")')
-        w.line("datas = _map_ordered(_post_decompress, pieces, workers)")
-        with w.block("for data, meta in zip(datas, metas):"):
-            with w.block("if len(data) != meta[0]:"):
+    with w.block("def _decompress_streams(pairs, workers):"):
+        w.line('"""Post-decompress (piece, raw_length) pairs, verifying lengths."""')
+        w.line(
+            "datas = _map_ordered("
+            "lambda pair: _post_decompress_bounded(pair[0], pair[1]), pairs, workers)"
+        )
+        with w.block("for data, pair in zip(datas, pairs):"):
+            with w.block("if len(data) != pair[1]:"):
                 w.line('raise ValueError("stream length mismatch")')
         w.line("return datas")
     w.line()
@@ -476,10 +541,11 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
         w.line("return bytes(out)")
     w.line()
     if has_header:
-        signature = "def _encode_container_v2(record_count, chunk_records, head, chunks, workers=1):"
+        signature = "def _encode_container_chunked(record_count, chunk_records, head, chunks, workers=1):"
     else:
-        signature = "def _encode_container_v2(record_count, chunk_records, chunks, workers=1):"
+        signature = "def _encode_container_chunked(record_count, chunk_records, chunks, workers=1):"
     with w.block(signature):
+        w.line('"""Emit a v3 chunked container: v2 layout + CRC32C framing."""')
         if has_header:
             w.line("raws = [bytes(head)]")
         else:
@@ -489,7 +555,7 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
                 w.line("raws.append(bytes(stream))")
         w.line("payloads = _map_ordered(_post_compress, raws, workers)")
         w.line('out = bytearray(b"TCGN")')
-        w.line("out.append(2)")
+        w.line("out.append(3)")
         w.line('out += FINGERPRINT.to_bytes(8, "little")')
         w.line("_write_varint(out, record_count)")
         w.line("_write_varint(out, chunk_records)")
@@ -511,20 +577,64 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
                 w.line("_write_varint(out, len(stream))")
                 w.line("_write_varint(out, len(payloads[meta]))")
                 w.line("meta += 1")
-        with w.block("for payload in payloads:"):
+        w.line("header_crc = _crc32c(out)")
+        w.line('crcs = bytearray(header_crc.to_bytes(4, "little"))')
+        w.line('out += header_crc.to_bytes(4, "little")')
+        if has_header:
+            w.line("crc = _crc32c(payloads[0])")
+            w.line("out += payloads[0]")
+            w.line('out += crc.to_bytes(4, "little")')
+            w.line('crcs += crc.to_bytes(4, "little")')
+            w.line("meta = 1")
+        else:
+            w.line("meta = 0")
+        with w.block("for _count, _streams in chunks:"):
+            w.line('payload = b"".join(payloads[meta : meta + CHUNK_STREAMS])')
+            w.line("meta += CHUNK_STREAMS")
+            w.line("crc = _crc32c(payload)")
             w.line("out += payload")
+            w.line('out += crc.to_bytes(4, "little")')
+            w.line('crcs += crc.to_bytes(4, "little")')
+        w.line('out += b"TCEN"')
+        w.line('out += _crc32c(bytes(crcs)).to_bytes(4, "little")')
         w.line("return bytes(out)")
     w.line()
-    with w.block("def _decode_container(blob, workers=1):"):
-        if has_header:
-            w.line('"""Parse either container version into (records, header, chunks)."""')
-        else:
-            w.line('"""Parse either container version into (records, chunks)."""')
+    with w.block("def _read_chunk_table(blob, pos, chunk_records):"):
+        w.line('"""Parse the shared v2/v3 chunk table; returns (cmetas, pos)."""')
+        w.line("chunk_streams, pos = _read_varint(blob, pos)")
+        w.line("chunk_count, pos = _read_varint(blob, pos)")
+        with w.block("if chunk_count and chunk_streams != CHUNK_STREAMS:"):
+            w.line('raise ValueError("unexpected stream count")')
+        with w.block("if chunk_count > len(blob):"):
+            w.line('raise ValueError("declared chunk count exceeds the container")')
+        w.line("cmetas = []")
+        with w.block("for _ in range(chunk_count):"):
+            w.line("count, pos = _read_varint(blob, pos)")
+            with w.block("if count < 1 or count > chunk_records:"):
+                w.line('raise ValueError("bad chunk record count")')
+            w.line("metas = []")
+            with w.block("for _ in range(chunk_streams):"):
+                w.line("raw_length, stored, pos = _read_stream_meta(blob, pos)")
+                w.line("metas.append((raw_length, stored))")
+            w.line("cmetas.append((count, metas))")
+        w.line("return cmetas, pos")
+    w.line()
+    head_item = "head_pair, " if has_header else ""
+    with w.block("def _decode_container(blob, salvage=False):"):
+        w.line(f'"""Parse any container version into (records, {head_item}chunks, lost).')
+        w.line("")
+        w.line("    ``chunks`` holds (index, record_count, [(piece, raw_length), ...])")
+        w.line("    per surviving chunk; ``lost`` holds (index, reason) per chunk the")
+        w.line("    v3 checksums condemned (always empty for v1/v2 and in strict")
+        w.line("    mode, which raises instead).")
+        w.line('    """')
         with w.block('if len(blob) < 13 or blob[:4] != b"TCGN":'):
             w.line('raise ValueError("not a TCgen container")')
-        with w.block('if int.from_bytes(blob[5:13], "little") != FINGERPRINT:'):
-            w.line('raise ValueError("compressed trace does not match this specification")')
         w.line("version = blob[4]")
+        with w.block(
+            'if version != 3 and int.from_bytes(blob[5:13], "little") != FINGERPRINT:'
+        ):
+            w.line('raise ValueError("compressed trace does not match this specification")')
         with w.block("if version == 1:"):
             w.line("record_count, pos = _read_varint(blob, 13)")
             w.line("stream_count, pos = _read_varint(blob, pos)")
@@ -534,55 +644,124 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
             with w.block("for _ in range(stream_count):"):
                 w.line("raw_length, stored, pos = _read_stream_meta(blob, pos)")
                 w.line("metas.append((raw_length, stored))")
-            w.line("datas = _decode_payloads(blob, pos, metas, workers)")
+            w.line("pairs = []")
+            with w.block("for raw_length, stored in metas:"):
+                with w.block("if pos + stored > len(blob):"):
+                    w.line('raise ValueError("truncated stream payload")')
+                w.line("pairs.append((blob[pos : pos + stored], raw_length))")
+                w.line("pos += stored")
+            with w.block("if pos != len(blob):"):
+                w.line('raise ValueError("trailing bytes after last stream")')
             if has_header:
-                with w.block("if len(datas[0]) != HEADER_BYTES:"):
-                    w.line('raise ValueError("bad header stream length")')
-                w.line("return record_count, datas[0], [(record_count, datas[1:])]")
+                w.line("return record_count, pairs[0], [(0, record_count, pairs[1:])], []")
             else:
-                w.line("return record_count, [(record_count, datas)]")
-        with w.block("if version == 2:"):
-            w.line("record_count, pos = _read_varint(blob, 13)")
-            w.line("chunk_records, pos = _read_varint(blob, pos)")
-            w.line("global_count, pos = _read_varint(blob, pos)")
-            with w.block(f"if global_count != {1 if has_header else 0}:"):
-                w.line('raise ValueError("unexpected global stream count")')
-            w.line("metas = []")
-            with w.block("for _ in range(global_count):"):
-                w.line("raw_length, stored, pos = _read_stream_meta(blob, pos)")
-                w.line("metas.append((raw_length, stored))")
-            w.line("chunk_streams, pos = _read_varint(blob, pos)")
-            w.line("chunk_count, pos = _read_varint(blob, pos)")
-            with w.block("if chunk_count and chunk_streams != CHUNK_STREAMS:"):
-                w.line('raise ValueError("unexpected stream count")')
-            w.line("counts = []")
-            w.line("total = 0")
-            with w.block("for _ in range(chunk_count):"):
-                w.line("count, pos = _read_varint(blob, pos)")
-                with w.block("if count < 1 or count > chunk_records:"):
-                    w.line('raise ValueError("bad chunk record count")')
-                w.line("total += count")
-                w.line("counts.append(count)")
-                with w.block("for _ in range(chunk_streams):"):
-                    w.line("raw_length, stored, pos = _read_stream_meta(blob, pos)")
-                    w.line("metas.append((raw_length, stored))")
-            with w.block("if total != record_count:"):
-                w.line('raise ValueError("chunk table does not cover the record count")')
-            w.line("datas = _decode_payloads(blob, pos, metas, workers)")
-            base = 1 if has_header else 0
+                w.line("return record_count, [(0, record_count, pairs)], []")
+        with w.block("if version not in (2, 3):"):
+            w.line('raise ValueError("unsupported container version %d" % version)')
+        w.line("record_count, pos = _read_varint(blob, 13)")
+        w.line("chunk_records, pos = _read_varint(blob, pos)")
+        w.line("global_count, pos = _read_varint(blob, pos)")
+        with w.block(f"if global_count != {1 if has_header else 0}:"):
+            w.line('raise ValueError("unexpected global stream count")')
+        if has_header:
+            w.line("_raw, _stored, pos = _read_stream_meta(blob, pos)")
+            w.line("gmeta = (_raw, _stored)")
+        w.line("cmetas, pos = _read_chunk_table(blob, pos, chunk_records)")
+        with w.block("if sum(count for count, _m in cmetas) != record_count:"):
+            w.line('raise ValueError("chunk table does not cover the record count")')
+        w.line("lost = []")
+        with w.block("if version == 3:"):
+            w.line("# v3: checksummed header, then CRC-framed payload sections.")
+            with w.block("if pos + 4 > len(blob):"):
+                w.line('raise ValueError("truncated container")')
+            with w.block(
+                'if _crc32c(blob[:pos]) != int.from_bytes(blob[pos : pos + 4], "little"):'
+            ):
+                w.line('raise ValueError("container header checksum mismatch")')
+            with w.block('if int.from_bytes(blob[5:13], "little") != FINGERPRINT:'):
+                w.line(
+                    'raise ValueError("compressed trace does not match this specification")'
+                )
+            w.line("crcs = bytearray(blob[pos : pos + 4])")
+            w.line("pos += 4")
             if has_header:
-                with w.block("if len(datas[0]) != HEADER_BYTES:"):
-                    w.line('raise ValueError("bad header stream length")')
+                w.line("gsize = gmeta[1]")
+                w.line("end = pos + gsize + 4")
+                w.line("head_pair = None")
+                with w.block(
+                    "if end <= len(blob) and _crc32c(blob[pos : pos + gsize]) == "
+                    'int.from_bytes(blob[pos + gsize : end], "little"):'
+                ):
+                    w.line("head_pair = (blob[pos : pos + gsize], gmeta[0])")
+                    w.line("crcs += blob[pos + gsize : end]")
+                with w.block("elif not salvage:"):
+                    with w.block("if end > len(blob):"):
+                        w.line('raise ValueError("truncated container")')
+                    w.line('raise ValueError("header stream checksum mismatch")')
+                with w.block("else:"):
+                    w.line('lost.append((-1, "header stream damaged"))')
+                w.line("pos = min(end, len(blob))")
             w.line("chunks = []")
-            w.line(f"base = {base}")
-            with w.block("for count in counts:"):
-                w.line("chunks.append((count, datas[base : base + CHUNK_STREAMS]))")
-                w.line("base += CHUNK_STREAMS")
+            with w.block("for index, (count, metas) in enumerate(cmetas):"):
+                w.line("size = sum(stored for _r, stored in metas)")
+                w.line("end = pos + size + 4")
+                with w.block(
+                    "if end <= len(blob) and _crc32c(blob[pos : pos + size]) == "
+                    'int.from_bytes(blob[pos + size : end], "little"):'
+                ):
+                    w.line("crcs += blob[pos + size : end]")
+                    w.line("pairs = []")
+                    w.line("piece_pos = pos")
+                    with w.block("for raw_length, stored in metas:"):
+                        w.line(
+                            "pairs.append((blob[piece_pos : piece_pos + stored], raw_length))"
+                        )
+                        w.line("piece_pos += stored")
+                    w.line("chunks.append((index, count, pairs))")
+                with w.block("elif not salvage:"):
+                    with w.block("if end > len(blob):"):
+                        w.line('raise ValueError("truncated container")')
+                    w.line(
+                        'raise ValueError("chunk %d payload checksum mismatch" % index)'
+                    )
+                with w.block("else:"):
+                    w.line('lost.append((index, "chunk payload damaged"))')
+                w.line("pos = min(end, len(blob))")
+            with w.block("if not salvage:"):
+                with w.block(
+                    'if pos + 8 != len(blob) or blob[pos : pos + 4] != b"TCEN":'
+                ):
+                    w.line('raise ValueError("container trailer missing or damaged")')
+                with w.block(
+                    'if int.from_bytes(blob[pos + 4 : pos + 8], "little") != _crc32c(bytes(crcs)):'
+                ):
+                    w.line('raise ValueError("trailer checksum mismatch")')
             if has_header:
-                w.line("return record_count, datas[0], chunks")
+                w.line("return record_count, head_pair, chunks, lost")
             else:
-                w.line("return record_count, chunks")
-        w.line('raise ValueError("unsupported container version %d" % version)')
+                w.line("return record_count, chunks, lost")
+        w.line("# v2: unchecked payloads, concatenated in metadata order.")
+        if has_header:
+            w.line("head_pair = None")
+            with w.block("if pos + gmeta[1] > len(blob):"):
+                w.line('raise ValueError("truncated stream payload")')
+            w.line("head_pair = (blob[pos : pos + gmeta[1]], gmeta[0])")
+            w.line("pos += gmeta[1]")
+        w.line("chunks = []")
+        with w.block("for index, (count, metas) in enumerate(cmetas):"):
+            w.line("pairs = []")
+            with w.block("for raw_length, stored in metas:"):
+                with w.block("if pos + stored > len(blob):"):
+                    w.line('raise ValueError("truncated stream payload")')
+                w.line("pairs.append((blob[pos : pos + stored], raw_length))")
+                w.line("pos += stored")
+            w.line("chunks.append((index, count, pairs))")
+        with w.block("if pos != len(blob):"):
+            w.line('raise ValueError("trailing bytes after last stream")')
+        if has_header:
+            w.line("return record_count, head_pair, chunks, lost")
+        else:
+            w.line("return record_count, chunks, lost")
     w.line()
 
 
@@ -679,8 +858,9 @@ def _emit_compress(
         w.line('"""Compress raw trace bytes into a container blob.')
         w.line("")
         w.line("    Without ``chunk_records`` the output is a flat v1 container;")
-        w.line("    with it, a chunked v2 container whose chunks carry independent")
-        w.line('    predictor state (0 or "auto" picks ~1 MB raw per chunk).')
+        w.line("    with it, a chunked v3 container (CRC32C-framed) whose chunks")
+        w.line('    carry independent predictor state (0 or "auto" picks ~1 MB raw')
+        w.line("    per chunk).")
         w.line("    ``workers`` parallelizes post-compression on a thread pool;")
         w.line("    output bytes are identical for any worker count.")
         w.line('    """')
@@ -724,12 +904,12 @@ def _emit_compress(
         )
         if spec.header_bits:
             w.line(
-                "return _encode_container_v2(record_count, chunk_records, "
+                "return _encode_container_chunked(record_count, chunk_records, "
                 "raw[:HEADER_BYTES], chunks, workers)"
             )
         else:
             w.line(
-                "return _encode_container_v2(record_count, chunk_records, "
+                "return _encode_container_chunked(record_count, chunk_records, "
                 "chunks, workers)"
             )
     w.line()
@@ -789,17 +969,96 @@ def _emit_decompress(
             with w.block(f"if vpos{f} != len(values{f}):"):
                 w.line(f'raise ValueError("field {f} value stream not fully consumed")')
     w.line()
-    with w.block("def decompress(blob, workers=1):"):
-        w.line('"""Rebuild the exact original trace bytes from a blob (v1 or v2)."""')
+    with w.block("def decompress(blob, workers=1, salvage=False):"):
+        w.line('"""Rebuild the exact original trace bytes from a blob (v1/v2/v3).')
+        w.line("")
+        w.line("    In strict mode (the default) any corruption raises ValueError.")
+        w.line("    With ``salvage=True`` damaged chunks of a v3 container are")
+        w.line("    skipped instead: the return value holds only the surviving")
+        w.line("    records and ``salvage_report()`` describes what was lost.")
+        w.line('    """')
+        w.line("global _last_lost")
+        w.line("_last_lost = []")
         if spec.header_bits:
-            w.line("record_count, head, chunks = _decode_container(blob, workers)")
-            w.line("out = bytearray(head)")
+            unpack = "record_count, head_pair, chunks, lost"
         else:
-            w.line("record_count, chunks = _decode_container(blob, workers)")
+            unpack = "record_count, chunks, lost"
+        with w.block("if not salvage:"):
+            w.line(f"{unpack} = _decode_container(blob)")
+            w.line("pairs = []")
+            if spec.header_bits:
+                w.line("pairs.append(head_pair)")
+            with w.block("for _index, _count, cpairs in chunks:"):
+                w.line("pairs.extend(cpairs)")
+            w.line("datas = _decompress_streams(pairs, workers)")
+            if spec.header_bits:
+                with w.block("if len(datas[0]) != HEADER_BYTES:"):
+                    w.line('raise ValueError("bad header stream length")')
+                w.line("out = bytearray(datas[0])")
+                w.line("base = 1")
+            else:
+                w.line("out = bytearray()")
+                w.line("base = 0")
+            with w.block("for _index, count, cpairs in chunks:"):
+                w.line("_decompress_chunk(count, datas[base : base + len(cpairs)], out)")
+                w.line("base += len(cpairs)")
+            w.line("return bytes(out)")
+        with w.block("try:"):
+            w.line(f"{unpack} = _decode_container(blob, salvage=True)")
+        with w.block("except ValueError as exc:"):
+            w.line("# A v3 fingerprint mismatch behind a valid checksum means the")
+            w.line("# wrong decompressor, not corruption: salvage must not mask it.")
+            w.line("# (v1/v2 have no checksum, so there a bad fingerprint may just")
+            w.line("# be a flipped bit and is reported as damage instead.)")
+            with w.block(
+                'if len(blob) > 4 and blob[4] == 3 and '
+                '"does not match this specification" in str(exc):'
+            ):
+                w.line("raise")
+            w.line('_last_lost = [(-2, "container unreadable: %s" % exc)]')
+            if spec.header_bits:
+                w.line('return b"\\x00" * HEADER_BYTES')
+            else:
+                w.line('return b""')
+        w.line("lost = list(lost)")
+        if spec.header_bits:
+            w.line('out = bytearray(b"\\x00" * HEADER_BYTES)')
+            with w.block("if head_pair is not None:"):
+                with w.block("try:"):
+                    w.line("head = _post_decompress_bounded(head_pair[0], head_pair[1])")
+                    with w.block("if len(head) != HEADER_BYTES:"):
+                        w.line('raise ValueError("bad header stream length")')
+                    w.line("out = bytearray(head)")
+                with w.block("except Exception as exc:"):
+                    w.line('lost.append((-1, "header stream damaged: %s" % exc))')
+        else:
             w.line("out = bytearray()")
-        with w.block("for count, streams in chunks:"):
-            w.line("_decompress_chunk(count, streams, out)")
+        with w.block("for index, count, cpairs in chunks:"):
+            with w.block("try:"):
+                w.line("datas = _decompress_streams(cpairs, 1)")
+                w.line("piece = bytearray()")
+                w.line("_decompress_chunk(count, datas, piece)")
+                w.line("out += piece")
+            with w.block("except Exception as exc:"):
+                w.line('lost.append((index, "chunk decode failed: %s" % exc))')
+        w.line("lost.sort()")
+        w.line("_last_lost = lost")
         w.line("return bytes(out)")
+    w.line()
+    with w.block("def salvage_report():"):
+        w.line('"""What the most recent ``decompress(salvage=True)`` call lost."""')
+        with w.block("if not _last_lost:"):
+            w.line('return "salvage: no damage detected"')
+        w.line('lines = ["salvage: %d problem(s)" % len(_last_lost)]')
+        with w.block("for index, reason in _last_lost:"):
+            with w.block("if index == -2:"):
+                w.line('label = "container"')
+            with w.block("elif index == -1:"):
+                w.line('label = "header"')
+            with w.block("else:"):
+                w.line('label = "chunk %d" % index')
+            w.line('lines.append("  %s: %s" % (label, reason))')
+        w.line('return "\\n".join(lines)')
     w.line()
 
 
@@ -833,11 +1092,33 @@ def _emit_usage_report(w: CodeWriter, model: CompressorModel, plans: list[FieldP
 
 
 def _emit_main(w: CodeWriter) -> None:
+    with w.block("def _atomic_write(path, data):"):
+        w.line('"""Write ``data`` to ``path`` via a same-directory temp + rename."""')
+        w.line("directory = os.path.dirname(os.path.abspath(path))")
+        w.line('fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tcgen-")')
+        with w.block("try:"):
+            with w.block('with os.fdopen(fd, "wb") as handle:'):
+                w.line("handle.write(data)")
+                w.line("handle.flush()")
+                w.line("os.fsync(handle.fileno())")
+            w.line("umask = os.umask(0)")
+            w.line("os.umask(umask)")
+            w.line("os.chmod(tmp, 0o666 & ~umask)")
+            w.line("os.replace(tmp, path)")
+        with w.block("except BaseException:"):
+            with w.block("try:"):
+                w.line("os.unlink(tmp)")
+            with w.block("except OSError:"):
+                w.line("pass")
+            w.line("raise")
+    w.line()
     with w.block("def _parse_args(argv):"):
-        w.line('"""Parse (decompress, workers, chunk_records) from CLI arguments."""')
+        w.line('"""Parse (decode, workers, chunk_records, salvage, output)."""')
         w.line("decode = False")
+        w.line("salvage = False")
         w.line("workers = 1")
         w.line("chunk_records = None")
+        w.line("output = None")
         w.line("position = 0")
         with w.block("while position < len(argv):"):
             w.line("option = argv[position]")
@@ -845,7 +1126,13 @@ def _emit_main(w: CodeWriter) -> None:
             with w.block('if option == "-d":'):
                 w.line("decode = True")
                 w.line("continue")
-            with w.block('for name in ("--workers", "--chunk-records"):'):
+            with w.block('if option == "--salvage":'):
+                w.line("salvage = True")
+                w.line("continue")
+            with w.block('if option == "--strict":'):
+                w.line("salvage = False")
+                w.line("continue")
+            with w.block('for name in ("--workers", "--chunk-records", "-o", "--output"):'):
                 with w.block("if option == name:"):
                     with w.block("if position >= len(argv):"):
                         w.line('raise SystemExit("%s expects a value" % name)')
@@ -855,29 +1142,42 @@ def _emit_main(w: CodeWriter) -> None:
                     w.line('text = option.split("=", 1)[1]')
                     with w.block('if name == "--workers":'):
                         w.line("workers = int(text)")
+                    with w.block('elif name in ("-o", "--output"):'):
+                        w.line("output = text")
                     with w.block("else:"):
                         w.line('chunk_records = "auto" if text == "auto" else int(text)')
                     w.line("break")
             with w.block("else:"):
                 w.line('raise SystemExit("unknown option: %s" % option)')
-        w.line("return decode, workers, chunk_records")
+        w.line("return decode, workers, chunk_records, salvage, output")
     w.line()
     with w.block("def main(argv=None):"):
         w.line('"""Filter: compress stdin to stdout; -d decompresses.')
         w.line("")
         w.line("    --workers N parallelizes the post-compression codec stage;")
-        w.line("    --chunk-records N (or 'auto') emits a chunked v2 container.")
+        w.line("    --chunk-records N (or 'auto') emits a chunked v3 container;")
+        w.line("    --salvage skips damaged chunks on decode instead of failing;")
+        w.line("    -o FILE writes atomically to FILE instead of stdout.")
+        w.line("    Exit status: 0 success, 2 corrupt or mismatched input.")
         w.line('    """')
         w.line("argv = sys.argv[1:] if argv is None else argv")
-        w.line("decode, workers, chunk_records = _parse_args(argv)")
+        w.line("decode, workers, chunk_records, salvage, output = _parse_args(argv)")
         w.line("data = sys.stdin.buffer.read()")
-        with w.block("if decode:"):
-            w.line("sys.stdout.buffer.write(decompress(data, workers=workers))")
+        with w.block("try:"):
+            with w.block("if decode:"):
+                w.line("result = decompress(data, workers=workers, salvage=salvage)")
+            with w.block("else:"):
+                w.line("result = compress(data, chunk_records=chunk_records, workers=workers)")
+        with w.block("except ValueError as exc:"):
+            w.line('print("error: %s" % exc, file=sys.stderr)')
+            w.line("return 2")
+        with w.block("if output is not None:"):
+            w.line("_atomic_write(output, result)")
         with w.block("else:"):
-            w.line(
-                "sys.stdout.buffer.write("
-                "compress(data, chunk_records=chunk_records, workers=workers))"
-            )
+            w.line("sys.stdout.buffer.write(result)")
+        with w.block("if decode and salvage and _last_lost:"):
+            w.line("print(salvage_report(), file=sys.stderr)")
+        with w.block("if not decode:"):
             w.line("print(usage_report(), file=sys.stderr)")
         w.line("return 0")
     w.line()

@@ -57,3 +57,37 @@ class TraceFormatError(ReproError):
 
 class CompressedFormatError(ReproError):
     """Raised when a compressed blob is corrupt, truncated, or mismatched."""
+
+
+class ChecksumError(CompressedFormatError):
+    """Raised when a v3 container section fails its CRC32C check.
+
+    ``chunk_index`` is the 0-based index of the damaged chunk (``None``
+    when the container header, global section, or trailer is damaged) and
+    ``offset`` is the byte offset of the damaged section inside the blob.
+    """
+
+    def __init__(
+        self, message: str, chunk_index: int | None = None, offset: int | None = None
+    ) -> None:
+        where = []
+        if chunk_index is not None:
+            where.append(f"chunk {chunk_index}")
+        if offset is not None:
+            where.append(f"byte offset {offset}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"{message}{suffix}")
+        self.chunk_index = chunk_index
+        self.offset = offset
+
+
+class TruncatedContainerError(CompressedFormatError):
+    """Raised when a container blob ends before its framing says it should.
+
+    ``offset`` is the byte offset at which more data was expected.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        suffix = f" (byte offset {offset})" if offset is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.offset = offset

@@ -12,6 +12,13 @@ from repro.postcompress.codecs import (
     available_codecs,
     codec_by_id,
     codec_by_name,
+    decompress_bounded,
 )
 
-__all__ = ["Codec", "available_codecs", "codec_by_id", "codec_by_name"]
+__all__ = [
+    "Codec",
+    "available_codecs",
+    "codec_by_id",
+    "codec_by_name",
+    "decompress_bounded",
+]

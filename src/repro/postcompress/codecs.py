@@ -13,20 +13,38 @@ from repro.errors import CompressedFormatError
 
 @dataclass(frozen=True)
 class Codec:
-    """A general-purpose stream compressor with a stable wire id."""
+    """A general-purpose stream compressor with a stable wire id.
+
+    ``fresh_decompressor`` builds a new incremental decompressor object
+    (with a ``decompress(data, max_length)`` method) so callers can bound
+    output size; ``None`` for codecs that cannot expand (identity).
+    """
 
     codec_id: int
     name: str
     compress: Callable[[bytes], bytes]
     decompress: Callable[[bytes], bytes]
+    fresh_decompressor: "Callable[[], object] | None" = None
 
 
 _CODECS = (
     Codec(0, "identity", lambda data: data, lambda data: data),
     # The paper's choice: BZIP2 1.0.2 with --best (compresslevel 9).
-    Codec(1, "bzip2", lambda data: bz2.compress(data, 9), bz2.decompress),
-    Codec(2, "zlib", lambda data: zlib.compress(data, 9), zlib.decompress),
-    Codec(3, "lzma", lzma.compress, lzma.decompress),
+    Codec(
+        1,
+        "bzip2",
+        lambda data: bz2.compress(data, 9),
+        bz2.decompress,
+        bz2.BZ2Decompressor,
+    ),
+    Codec(
+        2,
+        "zlib",
+        lambda data: zlib.compress(data, 9),
+        zlib.decompress,
+        zlib.decompressobj,
+    ),
+    Codec(3, "lzma", lzma.compress, lzma.decompress, lzma.LZMADecompressor),
 )
 
 _BY_ID = {codec.codec_id: codec for codec in _CODECS}
@@ -52,3 +70,44 @@ def codec_by_id(codec_id: int) -> Codec:
         return _BY_ID[codec_id]
     except KeyError:
         raise CompressedFormatError(f"unknown codec id {codec_id}") from None
+
+
+def decompress_bounded(codec: Codec, data: bytes, max_output: int) -> bytes:
+    """Decompress ``data``, refusing to produce more than ``max_output`` bytes.
+
+    Container metadata declares each stream's decompressed length before
+    the payload; decompressing with that declaration as a hard output cap
+    means a hostile payload (a "decompression bomb" whose few stored bytes
+    expand to gigabytes) fails with :class:`CompressedFormatError` after
+    allocating at most ``max_output + 1`` bytes, instead of exhausting
+    memory first and being length-checked after.
+    """
+    if codec.fresh_decompressor is None:
+        if len(data) > max_output:
+            raise CompressedFormatError(
+                f"{codec.name} stream holds {len(data)} bytes, "
+                f"more than the declared {max_output}"
+            )
+        return bytes(data)
+    decomp = codec.fresh_decompressor()
+    budget = max_output + 1
+    out = bytearray(decomp.decompress(data, budget))
+    while len(out) < budget:
+        # zlib parks unconsumed input in .unconsumed_tail; bz2/lzma signal
+        # pending output via needs_input=False before eof.
+        tail = getattr(decomp, "unconsumed_tail", b"")
+        if tail:
+            chunk = decomp.decompress(tail, budget - len(out))
+        elif not getattr(decomp, "eof", True) and not getattr(decomp, "needs_input", True):
+            chunk = decomp.decompress(b"", budget - len(out))
+        else:
+            break
+        if not chunk:
+            break
+        out += chunk
+    if len(out) > max_output:
+        raise CompressedFormatError(
+            f"{codec.name} stream decompressed past its declared "
+            f"{max_output}-byte length"
+        )
+    return bytes(out)

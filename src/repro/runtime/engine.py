@@ -32,15 +32,19 @@ from __future__ import annotations
 from repro.errors import CompressedFormatError
 from repro.model.layout import CompressorModel, build_model
 from repro.model.optimize import OptimizationOptions
-from repro.postcompress import codec_by_id, codec_by_name
+from repro.postcompress import codec_by_id, codec_by_name, decompress_bounded
 from repro.predictors.tables import UpdatePolicy
 from repro.runtime.kernel import FieldKernel
 from repro.runtime.parallel import chunk_spans, map_ordered, resolve_workers
 from repro.runtime.stats import FieldUsage, UsageReport
 from repro.spec.ast import TraceSpec
 from repro.tio.container import (
+    DEFAULT_MAX_CHUNK_BYTES,
+    FORMAT_VERSION_2,
+    FORMAT_VERSION_3,
     ChunkedContainer,
     ContainerChunk,
+    DecodeReport,
     StreamContainer,
     StreamPayload,
     as_chunked,
@@ -73,7 +77,13 @@ class TraceEngine:
         chunk_records: int | str | None = None,
         workers: int | None = 1,
         executor: str = "thread",
+        container_version: int = FORMAT_VERSION_3,
     ) -> None:
+        if container_version not in (FORMAT_VERSION_2, FORMAT_VERSION_3):
+            raise ValueError(
+                f"container_version must be {FORMAT_VERSION_2} or "
+                f"{FORMAT_VERSION_3}, got {container_version!r}"
+            )
         self.model: CompressorModel = build_model(spec, options)
         self.codec = codec_by_name(codec)
         self.update_policy = update_policy
@@ -85,7 +95,9 @@ class TraceEngine:
         self.chunk_records = chunk_records
         self.workers = workers
         self.executor = executor
+        self.container_version = container_version
         self.last_usage: UsageReport | None = None
+        self.last_report: DecodeReport | None = None
 
     def _resolve_chunk_records(self, chunk_records: int | str | None) -> int | None:
         """Normalize the chunking option: None = v1, 'auto'/0 = ~1 MB chunks."""
@@ -109,13 +121,15 @@ class TraceEngine:
         chunk_records: int | str | None = _UNSET,
         workers: int | None = None,
         executor: str | None = None,
+        container_version: int | None = None,
     ) -> bytes:
         """Compress raw trace bytes into a container blob.
 
         Keyword arguments override the engine-level defaults for this call.
         Without ``chunk_records`` the output is a v1 container, bit-for-bit
-        what this engine has always produced; with it, a v2 chunked
-        container.
+        what this engine has always produced; with it, a chunked container —
+        v3 (CRC32C integrity framing) by default, or legacy v2 via
+        ``container_version=2``.
         """
         model = self.model
         if chunk_records is _UNSET:
@@ -123,6 +137,12 @@ class TraceEngine:
         chunk_records = self._resolve_chunk_records(chunk_records)
         workers = resolve_workers(self.workers if workers is None else workers)
         executor = executor or self.executor
+        version = self.container_version if container_version is None else container_version
+        if version not in (FORMAT_VERSION_2, FORMAT_VERSION_3):
+            raise ValueError(
+                f"container_version must be {FORMAT_VERSION_2} or "
+                f"{FORMAT_VERSION_3}, got {version!r}"
+            )
 
         header, columns = unpack_records(self.format, raw, copy=False)
         record_count = len(columns[0]) if columns else 0
@@ -193,6 +213,7 @@ class TraceEngine:
             chunk_records=chunk_records,
             global_streams=stored[:1] if model.spec.header_bits else [],
             chunks=chunks,
+            version=version,
         )
         return chunked.encode()
 
@@ -204,19 +225,36 @@ class TraceEngine:
         *,
         workers: int | None = None,
         executor: str | None = None,
+        mode: str = "strict",
+        max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
     ) -> bytes:
         """Rebuild the exact original trace bytes from a container blob.
 
-        The container version is detected from the blob; v1 and v2 both
-        decode losslessly.
+        The container version is detected from the blob; v1, v2, and v3
+        all decode losslessly.  ``mode="strict"`` (default) raises a typed
+        :class:`~repro.errors.CompressedFormatError` on any corruption;
+        ``mode="salvage"`` returns the records of every chunk that
+        survived intact (resynchronizing at chunk boundaries) and leaves a
+        :class:`~repro.tio.container.DecodeReport` describing the damage
+        in ``self.last_report``.  Both modes fill ``last_report``.
         """
         model = self.model
         workers = resolve_workers(self.workers if workers is None else workers)
         executor = executor or self.executor
 
-        container = decode_container(blob, expected_fingerprint=model.fingerprint())
+        report = DecodeReport()
+        self.last_report = report
+        container = decode_container(
+            blob,
+            expected_fingerprint=model.fingerprint(),
+            mode=mode,
+            max_chunk_bytes=max_chunk_bytes,
+            report=report,
+        )
         header_streams = 1 if model.spec.header_bits else 0
         per_chunk = 2 * len(model.fields)
+        if mode == "salvage":
+            return self._decompress_salvage(container, report, header_streams, per_chunk)
         if isinstance(container, StreamContainer):
             if len(container.streams) != model.stream_count:
                 raise CompressedFormatError(
@@ -298,10 +336,105 @@ class TraceEngine:
         ordered = [np.array(column, dtype=np.uint64) for column in merged]
         return pack_records(self.format, header, ordered)
 
+    def _decompress_salvage(
+        self,
+        container: "StreamContainer | ChunkedContainer",
+        report: DecodeReport,
+        header_streams: int,
+        per_chunk: int,
+    ) -> bytes:
+        """Best-effort decode: keep every chunk that survives end to end.
+
+        The container layer already dropped chunks with bad framing; this
+        layer additionally demotes chunks whose codec payloads or kernel
+        streams turn out to be damaged despite intact framing (possible on
+        v1/v2, which carry no checksums).  Runs serially — salvage is a
+        recovery path, not a throughput path.
+        """
+        model = self.model
+        try:
+            chunked = as_chunked(container, header_streams)
+        except CompressedFormatError as exc:
+            # Fewer streams than the format's global section needs: nothing
+            # in the blob is attributable to fields, so nothing survives.
+            report.notes.append(str(exc))
+            for index, count in zip(
+                list(report.recovered_chunks),
+                [c.record_count for c in as_chunked(container, 0).chunks],
+            ):
+                report.demote(index, count, "container stream layout unusable")
+            chunked = ChunkedContainer(
+                fingerprint=0, record_count=0, chunk_records=0, version=0
+            )
+
+        header = b""
+        if model.spec.header_bits:
+            header_problem = None
+            if len(chunked.global_streams) != header_streams:
+                header_problem = (
+                    f"expected {header_streams} global streams, "
+                    f"found {len(chunked.global_streams)}"
+                )
+            else:
+                try:
+                    header = self._decode_stream(chunked.global_streams[0], "header")
+                    if len(header) != model.spec.header_bytes:
+                        raise CompressedFormatError(
+                            f"header stream holds {len(header)} bytes, "
+                            f"format wants {model.spec.header_bytes}"
+                        )
+                except Exception as exc:
+                    header_problem = str(exc)
+            if header_problem is not None:
+                header = bytes(model.spec.header_bytes)
+                if not report.header_stream_lost:
+                    report.header_stream_lost = True
+                    report.notes.append(
+                        f"trace header unrecoverable, zero-filled: {header_problem}"
+                    )
+
+        indices = list(report.recovered_chunks)
+        chunk_columns: list[list[list[int]]] = []
+        for index, chunk in zip(indices, chunked.chunks):
+            try:
+                if len(chunk.streams) != per_chunk:
+                    raise CompressedFormatError(
+                        f"expected {per_chunk} streams, found {len(chunk.streams)}"
+                    )
+                decoded = [
+                    self._decode_stream(stream, f"chunk {index} stream {position}")
+                    for position, stream in enumerate(chunk.streams)
+                ]
+                codes = decoded[0::2]
+                values = decoded[1::2]
+                for layout, code_stream in zip(model.fields, codes):
+                    expected = chunk.record_count * layout.code_bytes
+                    if len(code_stream) != expected:
+                        raise CompressedFormatError(
+                            f"field {layout.index} code stream holds "
+                            f"{len(code_stream)} bytes, expected {expected}"
+                        )
+                columns = _decompress_chunk(
+                    model, self.update_policy, chunk.record_count, codes, values
+                )
+            except Exception as exc:
+                report.demote(index, chunk.record_count, f"chunk decode failed: {exc}")
+                continue
+            chunk_columns.append(columns)
+
+        merged: list[list[int]] = [[] for _ in model.fields]
+        for columns in chunk_columns:
+            for position, column in enumerate(columns):
+                merged[position].extend(column)
+        ordered = [np.array(column, dtype=np.uint64) for column in merged]
+        return pack_records(self.format, header, ordered)
+
     def _decode_stream(self, payload: StreamPayload, what: str) -> bytes:
         codec = codec_by_id(payload.codec_id)
         try:
-            data = codec.decompress(payload.data)
+            # Bounded by the declared raw length: a lying payload that
+            # would expand past it fails fast instead of exhausting memory.
+            data = decompress_bounded(codec, payload.data, payload.raw_length)
         except Exception as exc:
             raise CompressedFormatError(f"{what}: post-decompression failed: {exc}") from exc
         if len(data) != payload.raw_length:

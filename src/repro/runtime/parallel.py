@@ -1,7 +1,7 @@
 """Worker-pool execution for the chunked compression pipeline.
 
-The v2 container format (:mod:`repro.tio.container`) splits a trace into
-independent record chunks, which exposes two kinds of parallelism:
+The v2/v3 container formats (:mod:`repro.tio.container`) split a trace
+into independent record chunks, which exposes two kinds of parallelism:
 
 - the **post-compression stage**: ``bz2``, ``zlib``, and ``lzma`` all
   release the GIL inside their C cores, so a plain thread pool scales the
@@ -12,11 +12,19 @@ independent record chunks, which exposes two kinds of parallelism:
 
 Everything here is *deterministic*: results always come back in submission
 order, so compressed output is byte-identical regardless of worker count.
+That guarantee extends to worker failure: a process pool whose workers
+crash (``BrokenProcessPool`` — OOM kill, segfaulting interpreter, killed
+child) is retried with bounded backoff and finally replaced by plain
+in-process execution, so ``workers=N`` can only ever change latency, never
+results.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -24,6 +32,15 @@ R = TypeVar("R")
 
 #: Executor kinds accepted by :func:`map_ordered`.
 EXECUTOR_KINDS = ("thread", "process")
+
+#: How many times a broken process pool is rebuilt before giving up on
+#: process parallelism for the call.
+PROCESS_POOL_RETRIES = 2
+
+#: Base delay before rebuilding a broken pool; doubles per attempt.  Kept
+#: short — a crashed worker is usually deterministic (bad input, OOM), so
+#: the retries exist for transient causes (a killed child, fork pressure).
+PROCESS_POOL_BACKOFF_SECONDS = 0.05
 
 
 def available_parallelism() -> int:
@@ -54,6 +71,9 @@ def map_ordered(
     items: Sequence[T] | Iterable[T],
     workers: int | None = 1,
     kind: str = "thread",
+    *,
+    retries: int = PROCESS_POOL_RETRIES,
+    backoff: float = PROCESS_POOL_BACKOFF_SECONDS,
 ) -> list[R]:
     """Apply ``fn`` to every item, returning results in item order.
 
@@ -63,7 +83,13 @@ def map_ordered(
     the calls concurrently; ``Executor.map`` guarantees result order
     matches submission order, which keeps chunk assembly deterministic.
 
-    The process kind requires ``fn`` and the items to be picklable.
+    The process kind requires ``fn`` and the items to be picklable.  When
+    worker processes die mid-flight (:class:`BrokenProcessPool`), the pool
+    is rebuilt up to ``retries`` times with exponential backoff starting at
+    ``backoff`` seconds, then the whole batch falls back to in-process
+    serial execution — the result is identical either way because ``fn``
+    is pure per item.  Exceptions *raised by* ``fn`` are not retried; they
+    propagate exactly as in the serial path.
     """
     if kind not in EXECUTOR_KINDS:
         raise ValueError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
@@ -73,12 +99,16 @@ def map_ordered(
         return [fn(item) for item in items]
     count = min(count, len(items))
     if kind == "process":
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=count) as pool:
-            return list(pool.map(fn, items))
-    from concurrent.futures import ThreadPoolExecutor
-
+        for attempt in range(retries + 1):
+            try:
+                with ProcessPoolExecutor(max_workers=count) as pool:
+                    return list(pool.map(fn, items))
+            except BrokenProcessPool:
+                if attempt < retries:
+                    time.sleep(backoff * (2**attempt))
+        # Every pool attempt died: run the batch in this process instead.
+        # Slower, but deterministic and always available.
+        return [fn(item) for item in items]
     with ThreadPoolExecutor(max_workers=count) as pool:
         return list(pool.map(fn, items))
 
@@ -87,7 +117,7 @@ def chunk_spans(record_count: int, chunk_records: int) -> list[tuple[int, int]]:
     """Split ``record_count`` records into ``(start, count)`` spans.
 
     Every span but the last holds exactly ``chunk_records`` records — the
-    invariant the v2 chunk table encodes and random access relies on.
+    invariant the v2/v3 chunk tables encode and random access relies on.
     """
     if chunk_records < 1:
         raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")

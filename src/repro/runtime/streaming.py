@@ -33,10 +33,15 @@ from typing import Iterator
 from repro.errors import CompressedFormatError
 from repro.model.layout import build_model
 from repro.model.optimize import OptimizationOptions
-from repro.postcompress import codec_by_id
+from repro.postcompress import codec_by_id, decompress_bounded
 from repro.runtime.kernel import FieldKernel
 from repro.spec.ast import TraceSpec
-from repro.tio.container import StreamContainer, as_chunked, decode_container
+from repro.tio.container import (
+    DecodeReport,
+    StreamContainer,
+    as_chunked,
+    decode_container,
+)
 
 
 def iter_records(
@@ -44,104 +49,150 @@ def iter_records(
     blob: bytes,
     options: OptimizationOptions | None = None,
     start: int = 0,
+    *,
+    mode: str = "strict",
+    report: "DecodeReport | None" = None,
 ) -> Iterator[tuple[int, ...]]:
     """Yield one tuple of field values per record, in record-field order.
 
     The header bytes (if any) are skipped; use :func:`read_header` when
     they are needed.  State is reconstructed incrementally, so the caller
-    can stop early without paying for the rest of the trace: with a v2
-    container, chunks past the stopping point are never post-decompressed.
+    can stop early without paying for the rest of the trace: with a
+    chunked container, chunks past the stopping point are never
+    post-decompressed.
 
     ``start`` begins the iteration at that record index (0-based).  For a
-    v2 container whole chunks before the target are skipped undecoded;
+    chunked container whole chunks before the target are skipped undecoded;
     only the records between the containing chunk's boundary and ``start``
     are replayed (decoded but not yielded) to rebuild predictor state.
+
+    ``mode="salvage"`` degrades gracefully on a damaged container: each
+    damaged chunk is skipped and iteration resynchronizes at the next
+    intact chunk boundary (chunks reset predictor state, so later chunks
+    decode independently of the lost ones).  Pass a
+    :class:`~repro.tio.container.DecodeReport` as ``report`` to learn
+    which chunks were lost and why.  In salvage mode ``start`` indexes the
+    *surviving* record sequence.
     """
     if start < 0:
         raise ValueError(f"start must be >= 0, got {start}")
+    salvage = mode == "salvage"
     model = build_model(spec, options)
-    container = decode_container(blob, expected_fingerprint=model.fingerprint())
+    report = report if report is not None else DecodeReport()
+    container = decode_container(
+        blob, expected_fingerprint=model.fingerprint(), mode=mode, report=report
+    )
     header_streams = 1 if model.spec.header_bits else 0
     per_chunk = 2 * len(model.fields)
     if isinstance(container, StreamContainer):
         if len(container.streams) != model.stream_count:
+            if salvage:
+                if report.recovered_chunks:
+                    report.demote(
+                        report.recovered_chunks[0],
+                        container.record_count,
+                        "container stream layout unusable",
+                    )
+                return
             raise CompressedFormatError(
                 f"expected {model.stream_count} streams, found {len(container.streams)}"
             )
         chunked = as_chunked(container, header_streams)
     else:
         chunked = container
-        if len(chunked.global_streams) != header_streams:
+        if len(chunked.global_streams) != header_streams and not salvage:
             raise CompressedFormatError(
                 f"expected {header_streams} global streams, "
                 f"found {len(chunked.global_streams)}"
             )
 
-    order = model.process_order
-    record_order = [f.index for f in model.fields]
+    # In salvage mode the container holds only the surviving chunks;
+    # report.recovered_chunks maps them back to original indices.
+    indices = list(report.recovered_chunks) if salvage else range(len(chunked.chunks))
     absolute = 0
-
-    for position, chunk in enumerate(chunked.chunks):
+    for position, chunk in zip(indices, chunked.chunks):
         if absolute + chunk.record_count <= start:
             absolute += chunk.record_count  # skipped: never post-decompressed
             continue
-        if len(chunk.streams) != per_chunk:
+        if salvage:
+            # Decode the whole chunk up front: either every record in it is
+            # recovered or the chunk is reported lost — never a partial
+            # yield that silently ends mid-chunk.
+            try:
+                decoded = list(_iter_chunk(model, chunk, position, per_chunk))
+            except Exception as exc:
+                report.demote(position, chunk.record_count, f"chunk decode failed: {exc}")
+                continue
+            for record in decoded:
+                if absolute >= start:
+                    yield record
+                absolute += 1
+        else:
+            for record in _iter_chunk(model, chunk, position, per_chunk):
+                if absolute >= start:
+                    yield record
+                absolute += 1
+
+
+def _iter_chunk(model, chunk, position: int, per_chunk: int) -> Iterator[tuple[int, ...]]:
+    """Decode one chunk's records from fresh predictor state."""
+    if len(chunk.streams) != per_chunk:
+        raise CompressedFormatError(
+            f"chunk {position}: expected {per_chunk} streams, "
+            f"found {len(chunk.streams)}"
+        )
+    order = model.process_order
+    record_order = [f.index for f in model.fields]
+    codes: dict[int, bytes] = {}
+    values: dict[int, bytes] = {}
+    for layout, stream_pair in zip(
+        model.fields,
+        zip(chunk.streams[0::2], chunk.streams[1::2]),
+    ):
+        codes[layout.index] = _decode(stream_pair[0])
+        values[layout.index] = _decode(stream_pair[1])
+        expected = chunk.record_count * layout.code_bytes
+        if len(codes[layout.index]) != expected:
             raise CompressedFormatError(
-                f"chunk {position}: expected {per_chunk} streams, "
-                f"found {len(chunk.streams)}"
+                f"field {layout.index} code stream holds "
+                f"{len(codes[layout.index])} bytes, expected {expected}"
             )
-        codes: dict[int, bytes] = {}
-        values: dict[int, bytes] = {}
-        for layout, stream_pair in zip(
-            model.fields,
-            zip(chunk.streams[0::2], chunk.streams[1::2]),
-        ):
-            codes[layout.index] = _decode(stream_pair[0])
-            values[layout.index] = _decode(stream_pair[1])
-            expected = chunk.record_count * layout.code_bytes
-            if len(codes[layout.index]) != expected:
-                raise CompressedFormatError(
-                    f"field {layout.index} code stream holds "
-                    f"{len(codes[layout.index])} bytes, expected {expected}"
-                )
 
-        # Fresh predictor state at the chunk boundary: chunks are
-        # independent, which is exactly what makes the skip above legal.
-        kernels = {f.index: FieldKernel(f, model.options) for f in model.fields}
-        value_pos = {f.index: 0 for f in model.fields}
+    # Fresh predictor state at the chunk boundary: chunks are
+    # independent, which is exactly what makes skip and salvage legal.
+    kernels = {f.index: FieldKernel(f, model.options) for f in model.fields}
+    value_pos = {f.index: 0 for f in model.fields}
 
-        for i in range(chunk.record_count):
-            pc = 0
-            current: dict[int, int] = {}
-            for layout in order:
-                findex = layout.index
-                kernel = kernels[findex]
-                predictions = kernel.begin(0 if layout.is_pc else pc)
-                cb = layout.code_bytes
-                code = int.from_bytes(codes[findex][i * cb : (i + 1) * cb], "little")
-                if code < layout.miss_code:
-                    value = predictions[code]
-                elif code == layout.miss_code:
-                    vb = layout.value_bytes
-                    pos = value_pos[findex]
-                    piece = values[findex][pos : pos + vb]
-                    if len(piece) != vb:
-                        raise CompressedFormatError(
-                            f"field {findex} value stream exhausted at record {i}"
-                        )
-                    value = int.from_bytes(piece, "little") & layout.mask
-                    value_pos[findex] = pos + vb
-                else:
+    for i in range(chunk.record_count):
+        pc = 0
+        current: dict[int, int] = {}
+        for layout in order:
+            findex = layout.index
+            kernel = kernels[findex]
+            predictions = kernel.begin(0 if layout.is_pc else pc)
+            cb = layout.code_bytes
+            code = int.from_bytes(codes[findex][i * cb : (i + 1) * cb], "little")
+            if code < layout.miss_code:
+                value = predictions[code]
+            elif code == layout.miss_code:
+                vb = layout.value_bytes
+                pos = value_pos[findex]
+                piece = values[findex][pos : pos + vb]
+                if len(piece) != vb:
                     raise CompressedFormatError(
-                        f"field {findex} record {i}: code {code} out of range"
+                        f"field {findex} value stream exhausted at record {i}"
                     )
-                kernel.commit(value)
-                current[findex] = value
-                if layout.is_pc:
-                    pc = value
-            if absolute >= start:
-                yield tuple(current[index] for index in record_order)
-            absolute += 1
+                value = int.from_bytes(piece, "little") & layout.mask
+                value_pos[findex] = pos + vb
+            else:
+                raise CompressedFormatError(
+                    f"field {findex} record {i}: code {code} out of range"
+                )
+            kernel.commit(value)
+            current[findex] = value
+            if layout.is_pc:
+                pc = value
+        yield tuple(current[index] for index in record_order)
 
 
 def read_header(spec: TraceSpec, blob: bytes) -> bytes:
@@ -180,7 +231,7 @@ def chunk_count(spec: TraceSpec, blob: bytes) -> int:
 
 def _decode(payload) -> bytes:
     codec = codec_by_id(payload.codec_id)
-    data = codec.decompress(payload.data)
+    data = decompress_bounded(codec, payload.data, payload.raw_length)
     if len(data) != payload.raw_length:
         raise CompressedFormatError(
             f"stream decompressed to {len(data)} bytes, expected {payload.raw_length}"

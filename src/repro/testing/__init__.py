@@ -1,0 +1,12 @@
+"""Test-support utilities that ship with the library.
+
+:mod:`repro.testing.faults` provides deterministic fault injection for
+compressed containers, used by the corruption-matrix tests and the CI
+fuzz-smoke job.  It lives in the package (rather than under ``tests/``)
+so downstream users can fuzz their own generated compressors with the
+same harness.
+"""
+
+from repro.testing.faults import FAULT_KINDS, Fault, campaign, inject
+
+__all__ = ["FAULT_KINDS", "Fault", "campaign", "inject"]

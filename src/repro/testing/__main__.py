@@ -1,0 +1,13 @@
+"""CLI entry: ``python -m repro.testing`` runs the fault-smoke campaign."""
+
+import argparse
+
+from repro.testing.faults import _smoke
+
+parser = argparse.ArgumentParser(
+    description="Deterministic fault-injection smoke over the container decoders."
+)
+parser.add_argument(
+    "--seeds", type=int, default=8, help="fault seeds per kind (default 8)"
+)
+raise SystemExit(1 if _smoke(parser.parse_args().seeds) else 0)

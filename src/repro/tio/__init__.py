@@ -10,10 +10,12 @@ compressors, the interpreted engine, and every baseline algorithm:
   post-compressed streams produced by a TCgen-style compressor.
 """
 
-from repro.tio.blockio import ByteReader, ByteWriter
+from repro.tio.blockio import ByteReader, ByteWriter, atomic_write_bytes
+from repro.tio.checksum import crc32c
 from repro.tio.container import (
     ChunkedContainer,
     ContainerChunk,
+    DecodeReport,
     StreamContainer,
     StreamPayload,
     as_chunked,
@@ -33,10 +35,13 @@ __all__ = [
     "ByteWriter",
     "ChunkedContainer",
     "ContainerChunk",
+    "DecodeReport",
     "StreamContainer",
     "StreamPayload",
     "as_chunked",
+    "atomic_write_bytes",
     "container_version",
+    "crc32c",
     "decode_container",
     "default_chunk_records",
     "TraceFormat",

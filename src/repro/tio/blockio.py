@@ -9,7 +9,10 @@ of any byte width from an in-memory buffer.
 
 from __future__ import annotations
 
-from repro.errors import CompressedFormatError
+import os
+import tempfile
+
+from repro.errors import TruncatedContainerError
 
 DEFAULT_BLOCK_SIZE = 1 << 16
 
@@ -84,11 +87,12 @@ class ByteReader:
         return self._pos >= len(self._data)
 
     def read_bytes(self, count: int) -> bytes:
-        """Read exactly ``count`` bytes or raise :class:`CompressedFormatError`."""
+        """Read exactly ``count`` bytes or raise :class:`TruncatedContainerError`."""
         if self.remaining() < count:
-            raise CompressedFormatError(
-                f"truncated input: wanted {count} bytes at offset {self._pos}, "
-                f"only {self.remaining()} remain"
+            raise TruncatedContainerError(
+                f"truncated input: wanted {count} bytes, "
+                f"only {self.remaining()} remain",
+                offset=self._pos,
             )
         chunk = self._data[self._pos : self._pos + count]
         self._pos += count
@@ -121,7 +125,28 @@ class ByteReader:
                 return result
             shift += 7
             if shift > 70:
+                from repro.errors import CompressedFormatError
+
                 raise CompressedFormatError("varint longer than 10 bytes")
+
+    def read_count(self, what: str, item_bytes: int = 1) -> int:
+        """Read a varint count of items that must still fit in this buffer.
+
+        Declared counts drive list allocations and parse loops downstream;
+        validating them against the bytes that actually remain (each item
+        needs at least ``item_bytes``) stops a hostile header from turning
+        a 20-byte blob into a multi-gigabyte allocation or a near-endless
+        parse loop.
+        """
+        value = self.read_varint()
+        limit = self.remaining() // max(1, item_bytes)
+        if value > limit:
+            raise TruncatedContainerError(
+                f"declared {what} {value} cannot fit in the {self.remaining()} "
+                f"bytes that remain (at most {limit})",
+                offset=self._pos,
+            )
+        return value
 
     def read_svarint(self) -> int:
         """Read a zig-zag encoded signed integer."""
@@ -142,3 +167,33 @@ def copy_blocks(src, dst, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
             return total
         dst.write(chunk)
         total += len(chunk)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    The bytes land in a temporary file in the same directory and are
+    renamed into place only after a successful flush+fsync, so a killed or
+    crashed writer never leaves a half-written file at ``path`` — at worst
+    a stale temp file that the next run ignores.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # mkstemp creates 0600; give the final file normal umask-based modes.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,74 @@
+"""CRC32C (Castagnoli) checksums for container integrity framing.
+
+The v3 container format frames its metadata and every chunk payload with a
+CRC32C checksum so that storage or transport corruption is *detected*
+instead of silently mis-decoding — the property DPTC-style per-block
+framing relies on to keep damaged trace archives partially recoverable.
+
+CRC32C uses the Castagnoli polynomial (0x1EDC6F41, reflected 0x82F63B78),
+the same checksum used by iSCSI, ext4, and most storage formats; unlike
+``zlib.crc32`` it has hardware support on modern CPUs, so a native
+implementation can later be swapped in without a wire-format change.
+
+This implementation is pure Python (the container only checksums the
+*post-compressed* payloads plus a few hundred metadata bytes, so the cost
+stays a small fraction of the codec stage — measured in
+``benchmarks/results/crc_overhead.txt``).  It processes eight bytes per
+loop iteration with a slicing-by-8 table to keep the interpreter overhead
+down.
+"""
+
+from __future__ import annotations
+
+_POLY = 0x82F63B78  # reflected Castagnoli polynomial
+
+
+def _build_tables() -> list[list[int]]:
+    base = []
+    for n in range(256):
+        c = n
+        for _ in range(8):
+            c = (c >> 1) ^ _POLY if c & 1 else c >> 1
+        base.append(c)
+    tables = [base]
+    for _ in range(7):
+        prev = tables[-1]
+        tables.append([(prev[n] >> 8) ^ base[prev[n] & 0xFF] for n in range(256)])
+    return tables
+
+
+_T = _build_tables()
+_T0, _T1, _T2, _T3, _T4, _T5, _T6, _T7 = _T
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """CRC32C of ``data``, optionally continuing from a previous ``crc``.
+
+    The running value can be chained: ``crc32c(b, crc32c(a)) ==
+    crc32c(a + b)``.
+    """
+    crc = ~crc & 0xFFFFFFFF
+    view = memoryview(data)
+    length = len(view)
+    pos = 0
+    # Slicing-by-8 main loop: one table lookup per input byte, but only
+    # one Python iteration per eight bytes.
+    end8 = length - (length % 8)
+    while pos < end8:
+        b0, b1, b2, b3, b4, b5, b6, b7 = view[pos : pos + 8]
+        crc ^= b0 | (b1 << 8) | (b2 << 16) | (b3 << 24)
+        crc = (
+            _T7[crc & 0xFF]
+            ^ _T6[(crc >> 8) & 0xFF]
+            ^ _T5[(crc >> 16) & 0xFF]
+            ^ _T4[(crc >> 24) & 0xFF]
+            ^ _T3[b4]
+            ^ _T2[b5]
+            ^ _T1[b6]
+            ^ _T0[b7]
+        )
+        pos += 8
+    while pos < length:
+        crc = (crc >> 8) ^ _T0[(crc ^ view[pos]) & 0xFF]
+        pos += 1
+    return ~crc & 0xFFFFFFFF

@@ -30,36 +30,157 @@ per chunk: record count (varint)
 global stream payloads, then per-chunk stream payloads, concatenated
 ```
 
-Global streams hold whole-trace data (the trace header); every chunk
-carries the same number of per-chunk streams (one code and one value
-stream per field).  All chunks except the last hold exactly ``chunk
-records`` records, which makes record→chunk arithmetic trivial for
-random access.
+**Version 3** is the v2 layout plus integrity framing, so corruption is
+*detected* (strict mode) or *contained to the damaged chunks* (salvage
+mode) instead of silently mis-decoding:
+
+```
+magic "TCGN" | format version (u8 = 3) | spec fingerprint (u64)
+<metadata exactly as v2, from record count through the chunk table>
+header CRC32C (u32, over everything above)
+global stream payloads | global CRC32C (u32)     -- only if global streams
+per chunk: stream payloads | chunk CRC32C (u32)
+trailer magic "TCEN" | trailer CRC32C (u32, over all section CRCs above)
+```
+
+Every CRC is little-endian CRC32C (:mod:`repro.tio.checksum`) over the
+*stored* (post-compressed) bytes, so verification costs a small fraction
+of the codec stage.  The trailer makes truncation detectable even when it
+removes whole trailing chunks.  See ``docs/FORMAT.md`` for the normative
+byte-level specification.
 
 The fingerprint ties a compressed blob to the specification that produced
 it, so decompressing with a mismatched generated compressor fails loudly
 instead of producing garbage.  :func:`decode_container` dispatches on the
-version byte; v1 blobs remain readable forever.
+version byte; v1 and v2 blobs remain readable forever.
+
+Decoding is hardened against hostile metadata: every declared count and
+length is validated against the bytes that actually remain before any
+allocation happens (no varint allocation bombs), and per-stream raw
+lengths are capped by ``max_chunk_bytes``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import CompressedFormatError
+from repro.errors import (
+    ChecksumError,
+    CompressedFormatError,
+    TruncatedContainerError,
+)
 from repro.tio.blockio import ByteReader, ByteWriter
+from repro.tio.checksum import crc32c
 
 MAGIC = b"TCGN"
+TRAILER_MAGIC = b"TCEN"
 FORMAT_VERSION = 1
 FORMAT_VERSION_2 = 2
+FORMAT_VERSION_3 = 3
 
 #: Target raw bytes per chunk when the caller asks for automatic sizing.
 DEFAULT_CHUNK_BYTES = 1 << 20
+
+#: Upper bound on any single declared (decompressed) stream length.  A
+#: hostile header cannot make a decoder allocate more than this per stream,
+#: no matter what its varints claim.
+DEFAULT_MAX_CHUNK_BYTES = 1 << 30
+
+#: Decode modes accepted by :func:`decode_container`.
+DECODE_MODES = ("strict", "salvage")
 
 
 def default_chunk_records(record_bytes: int) -> int:
     """Records per chunk so one chunk holds ~:data:`DEFAULT_CHUNK_BYTES`."""
     return max(1, DEFAULT_CHUNK_BYTES // max(1, record_bytes))
+
+
+@dataclass
+class DecodeReport:
+    """What a decode saw: which chunks survived, which were lost, and why.
+
+    Strict decodes fill one in (fully intact or the decode raised); salvage
+    decodes use it to enumerate exactly what could and could not be
+    recovered.  ``lost_chunks``/``recovered_chunks`` hold 0-based chunk
+    indices into the *original* chunk table; ``reasons`` maps each lost
+    index to a human-readable cause.
+    """
+
+    version: int | None = None
+    mode: str = "strict"
+    total_chunks: int | None = None
+    total_records: int | None = None
+    recovered_chunks: list[int] = field(default_factory=list)
+    lost_chunks: list[int] = field(default_factory=list)
+    reasons: dict[int, str] = field(default_factory=dict)
+    recovered_records: int = 0
+    lost_records: int = 0
+    #: The container framing (magic, version, metadata, chunk table) was
+    #: unreadable — nothing could be located, let alone recovered.
+    header_damaged: bool = False
+    #: The global stream section (the trace header) was damaged.
+    header_stream_lost: bool = False
+    trailer_damaged: bool = False
+    truncated: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def intact(self) -> bool:
+        """True when nothing at all was damaged."""
+        return not (
+            self.lost_chunks
+            or self.header_damaged
+            or self.header_stream_lost
+            or self.trailer_damaged
+            or self.truncated
+            or self.notes
+        )
+
+    def mark_recovered(self, index: int, records: int) -> None:
+        self.recovered_chunks.append(index)
+        self.recovered_records += records
+
+    def mark_lost(self, index: int, records: int, reason: str) -> None:
+        self.lost_chunks.append(index)
+        self.reasons[index] = reason
+        self.lost_records += records
+
+    def demote(self, index: int, records: int, reason: str) -> None:
+        """Move a chunk from recovered to lost (decode failed after framing)."""
+        self.recovered_chunks.remove(index)
+        self.recovered_records -= records
+        self.mark_lost(index, records, reason)
+
+    def render(self) -> str:
+        """Human-readable summary, one fact per line."""
+        lines = [
+            f"decode report (mode={self.mode}, "
+            f"container v{self.version if self.version is not None else '?'})"
+        ]
+        if self.intact:
+            lines.append("  intact: all chunks recovered")
+        if self.header_damaged:
+            lines.append("  container framing unreadable: nothing recovered")
+        if self.header_stream_lost:
+            lines.append("  trace header stream lost (zero-filled on output)")
+        if self.truncated:
+            lines.append("  container is truncated")
+        if self.trailer_damaged:
+            lines.append("  end-of-stream trailer missing or damaged")
+        if self.total_chunks is not None:
+            lines.append(
+                f"  chunks: {len(self.recovered_chunks)}/{self.total_chunks} "
+                f"recovered, {len(self.lost_chunks)} lost"
+            )
+            lines.append(
+                f"  records: {self.recovered_records} recovered, "
+                f"{self.lost_records} lost"
+            )
+        for index in self.lost_chunks:
+            lines.append(f"  lost chunk {index}: {self.reasons[index]}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -96,7 +217,13 @@ class StreamContainer:
         return writer.getvalue()
 
     @classmethod
-    def decode(cls, blob: bytes, expected_fingerprint: int | None = None) -> "StreamContainer":
+    def decode(
+        cls,
+        blob: bytes,
+        expected_fingerprint: int | None = None,
+        *,
+        max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+    ) -> "StreamContainer":
         """Parse a container, optionally checking the spec fingerprint."""
         reader = ByteReader(blob)
         magic = reader.read_bytes(4)
@@ -112,9 +239,9 @@ class StreamContainer:
                 f"decompressor expects {expected_fingerprint:#018x}"
             )
         record_count = reader.read_varint()
-        stream_count = reader.read_varint()
+        stream_count = reader.read_count("stream count", 3)
         metas = [
-            (reader.read_u8(), reader.read_varint(), reader.read_varint())
+            _read_stream_meta(reader, max_chunk_bytes, len(blob))
             for _ in range(stream_count)
         ]
         streams = [
@@ -138,19 +265,25 @@ class ContainerChunk:
 
 @dataclass
 class ChunkedContainer:
-    """A parsed v2 blob: global streams plus independent record chunks."""
+    """A parsed v2/v3 blob: global streams plus independent record chunks.
+
+    ``version`` selects the wire framing :meth:`encode` emits —
+    :data:`FORMAT_VERSION_3` (the default) adds CRC32C integrity framing,
+    :data:`FORMAT_VERSION_2` is the legacy unchecked layout.  Decoding
+    sets it to the version byte that was actually read.
+    """
 
     fingerprint: int
     record_count: int
     chunk_records: int
     global_streams: list[StreamPayload] = field(default_factory=list)
     chunks: list[ContainerChunk] = field(default_factory=list)
+    version: int = FORMAT_VERSION_3
 
-    def encode(self) -> bytes:
-        """Serialize the container to bytes (format version 2)."""
+    def _encode_metadata(self, version: int) -> ByteWriter:
         writer = ByteWriter()
         writer.write_bytes(MAGIC)
-        writer.write_u8(FORMAT_VERSION_2)
+        writer.write_u8(version)
         writer.write_u64(self.fingerprint)
         writer.write_varint(self.record_count)
         writer.write_varint(self.chunk_records)
@@ -169,37 +302,87 @@ class ChunkedContainer:
             writer.write_varint(chunk.record_count)
             for stream in chunk.streams:
                 _write_stream_meta(writer, stream)
-        for stream in self.global_streams:
-            writer.write_bytes(stream.data)
-        for chunk in self.chunks:
-            for stream in chunk.streams:
+        return writer
+
+    def encode(self) -> bytes:
+        """Serialize the container to bytes (dispatching on ``version``)."""
+        if self.version == FORMAT_VERSION_2:
+            writer = self._encode_metadata(FORMAT_VERSION_2)
+            for stream in self.global_streams:
                 writer.write_bytes(stream.data)
-        return writer.getvalue()
+            for chunk in self.chunks:
+                for stream in chunk.streams:
+                    writer.write_bytes(stream.data)
+            return writer.getvalue()
+        if self.version != FORMAT_VERSION_3:
+            raise CompressedFormatError(
+                f"cannot encode container version {self.version}"
+            )
+        metadata = self._encode_metadata(FORMAT_VERSION_3).getvalue()
+        header_crc = crc32c(metadata)
+        out = bytearray(metadata)
+        out += header_crc.to_bytes(4, "little")
+        section_crcs = bytearray(header_crc.to_bytes(4, "little"))
+        if self.global_streams:
+            payload = b"".join(stream.data for stream in self.global_streams)
+            crc = crc32c(payload)
+            out += payload
+            out += crc.to_bytes(4, "little")
+            section_crcs += crc.to_bytes(4, "little")
+        for chunk in self.chunks:
+            payload = b"".join(stream.data for stream in chunk.streams)
+            crc = crc32c(payload)
+            out += payload
+            out += crc.to_bytes(4, "little")
+            section_crcs += crc.to_bytes(4, "little")
+        out += TRAILER_MAGIC
+        out += crc32c(bytes(section_crcs)).to_bytes(4, "little")
+        return bytes(out)
 
     @classmethod
-    def decode(cls, blob: bytes, expected_fingerprint: int | None = None) -> "ChunkedContainer":
-        """Parse a v2 container, optionally checking the spec fingerprint."""
+    def decode(
+        cls,
+        blob: bytes,
+        expected_fingerprint: int | None = None,
+        *,
+        mode: str = "strict",
+        max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+        report: DecodeReport | None = None,
+    ) -> "ChunkedContainer":
+        """Parse a v2 or v3 container, optionally checking the fingerprint.
+
+        In ``salvage`` mode damaged chunks are dropped (and enumerated in
+        ``report``) instead of raising; the returned container holds only
+        the surviving chunks, aligned with ``report.recovered_chunks``.
+        Metadata damage is not survivable — without a trustworthy chunk
+        table nothing can be located — and is reported via
+        ``report.header_damaged`` by :func:`decode_container`.
+        """
+        if mode not in DECODE_MODES:
+            raise ValueError(f"unknown decode mode {mode!r}; expected one of {DECODE_MODES}")
+        report = report if report is not None else DecodeReport()
+        report.mode = mode
         reader = ByteReader(blob)
         magic = reader.read_bytes(4)
         if magic != MAGIC:
             raise CompressedFormatError(f"bad magic {magic!r}, expected {MAGIC!r}")
         version = reader.read_u8()
-        if version != FORMAT_VERSION_2:
+        if version not in (FORMAT_VERSION_2, FORMAT_VERSION_3):
             raise CompressedFormatError(
-                f"unsupported container version {version}, expected {FORMAT_VERSION_2}"
+                f"unsupported container version {version}, "
+                f"expected {FORMAT_VERSION_2} or {FORMAT_VERSION_3}"
             )
+        report.version = version
         fingerprint = reader.read_u64()
-        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
-            raise CompressedFormatError(
-                f"spec fingerprint mismatch: blob has {fingerprint:#018x}, "
-                f"decompressor expects {expected_fingerprint:#018x}"
-            )
         record_count = reader.read_varint()
         chunk_records = reader.read_varint()
-        global_count = reader.read_varint()
-        global_metas = [_read_stream_meta(reader) for _ in range(global_count)]
+        global_count = reader.read_count("global stream count", 3)
+        global_metas = [
+            _read_stream_meta(reader, max_chunk_bytes, len(blob))
+            for _ in range(global_count)
+        ]
         chunk_streams = reader.read_varint()
-        chunk_count = reader.read_varint()
+        chunk_count = reader.read_count("chunk count", 1 + 3 * chunk_streams)
         chunk_metas: list[tuple[int, list[tuple[int, int, int]]]] = []
         total = 0
         for position in range(chunk_count):
@@ -218,37 +401,196 @@ class ChunkedContainer:
                 )
             total += count
             chunk_metas.append(
-                (count, [_read_stream_meta(reader) for _ in range(chunk_streams)])
+                (
+                    count,
+                    [
+                        _read_stream_meta(reader, max_chunk_bytes, len(blob))
+                        for _ in range(chunk_streams)
+                    ],
+                )
             )
         if total != record_count:
             raise CompressedFormatError(
                 f"chunk table covers {total} records, container declares {record_count}"
             )
-        global_streams = [
-            StreamPayload(codec_id, raw_length, reader.read_bytes(stored))
-            for codec_id, raw_length, stored in global_metas
-        ]
-        chunks = [
-            ContainerChunk(
-                record_count=count,
-                streams=[
-                    StreamPayload(codec_id, raw_length, reader.read_bytes(stored))
-                    for codec_id, raw_length, stored in metas
-                ],
-            )
-            for count, metas in chunk_metas
-        ]
-        if not reader.at_end():
+        report.total_chunks = chunk_count
+        report.total_records = record_count
+
+        if version == FORMAT_VERSION_3:
+            meta_end = reader.position
+            stored_crc = reader.read_u32()
+            actual_crc = crc32c(blob[:meta_end])
+            if stored_crc != actual_crc:
+                raise ChecksumError(
+                    "container header checksum mismatch", offset=meta_end
+                )
+        # The fingerprint check runs after the v3 header CRC: a mismatch on
+        # a checksum-valid header is a genuinely wrong decompressor, not
+        # corruption, and must raise even in salvage mode.
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
             raise CompressedFormatError(
-                f"{reader.remaining()} trailing bytes after last chunk"
+                f"spec fingerprint mismatch: blob has {fingerprint:#018x}, "
+                f"decompressor expects {expected_fingerprint:#018x}"
             )
-        return cls(
+
+        container = cls(
             fingerprint=fingerprint,
             record_count=record_count,
             chunk_records=chunk_records,
-            global_streams=global_streams,
-            chunks=chunks,
+            version=version,
         )
+        if version == FORMAT_VERSION_2:
+            cls._decode_v2_payloads(
+                reader, container, global_metas, chunk_metas, mode, report
+            )
+        else:
+            cls._decode_v3_payloads(
+                reader, blob, container, global_metas, chunk_metas, mode, report
+            )
+        return container
+
+    @classmethod
+    def _decode_v2_payloads(cls, reader, container, global_metas, chunk_metas, mode, report):
+        strict = mode == "strict"
+        try:
+            container.global_streams = [
+                StreamPayload(codec_id, raw_length, reader.read_bytes(stored))
+                for codec_id, raw_length, stored in global_metas
+            ]
+        except TruncatedContainerError as exc:
+            if strict:
+                raise
+            report.header_stream_lost = bool(global_metas)
+            report.truncated = True
+            report.notes.append(f"global streams: {exc}")
+            for index, (count, _metas) in enumerate(chunk_metas):
+                report.mark_lost(index, count, "container truncated before chunk")
+            return
+        for index, (count, metas) in enumerate(chunk_metas):
+            try:
+                streams = [
+                    StreamPayload(codec_id, raw_length, reader.read_bytes(stored))
+                    for codec_id, raw_length, stored in metas
+                ]
+            except TruncatedContainerError as exc:
+                if strict:
+                    raise
+                report.truncated = True
+                report.mark_lost(index, count, str(exc))
+                # Later chunks cannot start mid-payload: everything after a
+                # truncation point is gone too.
+                for later, (later_count, _m) in enumerate(chunk_metas):
+                    if later > index:
+                        report.mark_lost(
+                            later, later_count, "container truncated before chunk"
+                        )
+                return
+            container.chunks.append(ContainerChunk(record_count=count, streams=streams))
+            report.mark_recovered(index, count)
+        if not reader.at_end():
+            if strict:
+                raise CompressedFormatError(
+                    f"{reader.remaining()} trailing bytes after last chunk"
+                )
+            report.notes.append(
+                f"{reader.remaining()} trailing bytes after last chunk (ignored)"
+            )
+
+    @classmethod
+    def _decode_v3_payloads(cls, reader, blob, container, global_metas, chunk_metas, mode, report):
+        strict = mode == "strict"
+        section_crcs = bytearray(blob[reader.position - 4 : reader.position])
+
+        def read_section(metas, what, index=None):
+            """Read one CRC-framed payload section; None when damaged."""
+            size = sum(stored for _c, _r, stored in metas)
+            start = reader.position
+            try:
+                payload = reader.read_bytes(size)
+                stored_crc = reader.read_u32()
+            except TruncatedContainerError as exc:
+                if strict:
+                    raise
+                report.truncated = True
+                return None, f"{exc}"
+            section_crcs.extend(blob[reader.position - 4 : reader.position])
+            if crc32c(payload) != stored_crc:
+                if strict:
+                    raise ChecksumError(
+                        f"{what} payload checksum mismatch",
+                        chunk_index=index,
+                        offset=start,
+                    )
+                return None, f"{what} payload checksum mismatch at byte offset {start}"
+            streams = []
+            pos = 0
+            for codec_id, raw_length, stored in metas:
+                streams.append(
+                    StreamPayload(codec_id, raw_length, payload[pos : pos + stored])
+                )
+                pos += stored
+            return streams, None
+
+        if global_metas:
+            streams, problem = read_section(global_metas, "global stream")
+            if streams is None:
+                report.header_stream_lost = True
+                report.notes.append(problem)
+                if report.truncated:
+                    for index, (count, _m) in enumerate(chunk_metas):
+                        report.mark_lost(index, count, "container truncated before chunk")
+                    return
+            else:
+                container.global_streams = streams
+
+        truncated_at: int | None = None
+        for index, (count, metas) in enumerate(chunk_metas):
+            if truncated_at is not None:
+                report.mark_lost(index, count, "container truncated before chunk")
+                continue
+            streams, problem = read_section(metas, f"chunk {index}", index)
+            if streams is None:
+                report.mark_lost(index, count, problem)
+                if report.truncated:
+                    truncated_at = index
+                continue
+            container.chunks.append(ContainerChunk(record_count=count, streams=streams))
+            report.mark_recovered(index, count)
+        if truncated_at is not None:
+            report.trailer_damaged = True
+            return
+
+        try:
+            trailer_magic = reader.read_bytes(4)
+            trailer_crc = reader.read_u32()
+        except TruncatedContainerError as exc:
+            if strict:
+                raise
+            report.trailer_damaged = True
+            report.notes.append(f"trailer: {exc}")
+            return
+        if trailer_magic != TRAILER_MAGIC:
+            if strict:
+                raise CompressedFormatError(
+                    f"bad trailer magic {trailer_magic!r}, expected {TRAILER_MAGIC!r}"
+                )
+            report.trailer_damaged = True
+            report.notes.append(f"bad trailer magic {trailer_magic!r}")
+        elif trailer_crc != crc32c(bytes(section_crcs)):
+            if strict:
+                raise ChecksumError(
+                    "trailer checksum mismatch", offset=reader.position - 4
+                )
+            report.trailer_damaged = True
+            report.notes.append("trailer checksum mismatch")
+        if not reader.at_end():
+            if strict:
+                raise CompressedFormatError(
+                    f"{reader.remaining()} trailing bytes after trailer"
+                )
+            report.notes.append(
+                f"{reader.remaining()} trailing bytes after trailer (ignored)"
+            )
 
 
 def _write_stream_meta(writer: ByteWriter, stream: StreamPayload) -> None:
@@ -257,27 +599,146 @@ def _write_stream_meta(writer: ByteWriter, stream: StreamPayload) -> None:
     writer.write_varint(len(stream.data))
 
 
-def _read_stream_meta(reader: ByteReader) -> tuple[int, int, int]:
-    return reader.read_u8(), reader.read_varint(), reader.read_varint()
+def _read_stream_meta(
+    reader: ByteReader, max_chunk_bytes: int, blob_length: int
+) -> tuple[int, int, int]:
+    codec_id = reader.read_u8()
+    raw_length = reader.read_varint()
+    if raw_length > max_chunk_bytes:
+        raise CompressedFormatError(
+            f"declared stream length {raw_length} exceeds the "
+            f"{max_chunk_bytes}-byte limit (max_chunk_bytes)"
+        )
+    stored = reader.read_varint()
+    if stored > blob_length:
+        raise TruncatedContainerError(
+            f"declared stored length {stored} exceeds the whole "
+            f"{blob_length}-byte container",
+            offset=reader.position,
+        )
+    return codec_id, raw_length, stored
 
 
 def container_version(blob: bytes) -> int:
-    """The format version byte of a container blob (validates the magic)."""
-    if len(blob) < 5 or blob[:4] != MAGIC:
-        raise CompressedFormatError("not a TCgen container")
+    """The format version byte of a container blob (validates the magic).
+
+    Raises :class:`CompressedFormatError` — naming the observed prefix —
+    when the blob is too short to hold the magic and version byte or does
+    not start with the container magic, so callers never need to
+    pre-validate.
+    """
+    if len(blob) < 5:
+        raise TruncatedContainerError(
+            f"not a TCgen container: {len(blob)} bytes is too short to hold "
+            f"the magic and version byte (got {bytes(blob)!r})",
+            offset=len(blob),
+        )
+    if blob[:4] != MAGIC:
+        raise CompressedFormatError(
+            f"not a TCgen container: leading bytes {bytes(blob[:4])!r}, "
+            f"expected {MAGIC!r}"
+        )
     return blob[4]
 
 
 def decode_container(
-    blob: bytes, expected_fingerprint: int | None = None
+    blob: bytes,
+    expected_fingerprint: int | None = None,
+    *,
+    mode: str = "strict",
+    max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+    report: DecodeReport | None = None,
 ) -> "StreamContainer | ChunkedContainer":
-    """Parse a container of either version, dispatching on the version byte."""
-    version = container_version(blob)
+    """Parse a container of any version, dispatching on the version byte.
+
+    ``mode="strict"`` (the default) raises a typed
+    :class:`~repro.errors.CompressedFormatError` subclass on any damage.
+    ``mode="salvage"`` never raises for *corruption*: it returns whatever
+    chunks survived and fills ``report`` (a :class:`DecodeReport`) with the
+    indices and causes of everything lost.  A fingerprint mismatch on a
+    checksum-valid v3 header still raises — that is a wrong decompressor,
+    not a damaged blob.
+    """
+    if mode not in DECODE_MODES:
+        raise ValueError(f"unknown decode mode {mode!r}; expected one of {DECODE_MODES}")
+    report = report if report is not None else DecodeReport()
+    report.mode = mode
+    if mode == "strict":
+        version = container_version(blob)
+        if version == FORMAT_VERSION:
+            container = StreamContainer.decode(
+                blob, expected_fingerprint, max_chunk_bytes=max_chunk_bytes
+            )
+            report.version = FORMAT_VERSION
+            report.total_chunks = 1 if container.record_count else 0
+            report.total_records = container.record_count
+            if container.record_count:
+                report.mark_recovered(0, container.record_count)
+            return container
+        if version in (FORMAT_VERSION_2, FORMAT_VERSION_3):
+            return ChunkedContainer.decode(
+                blob,
+                expected_fingerprint,
+                mode=mode,
+                max_chunk_bytes=max_chunk_bytes,
+                report=report,
+            )
+        raise CompressedFormatError(f"unsupported container version {version}")
+
+    # Salvage mode: framing-level damage means the chunk table cannot be
+    # trusted, so nothing is recoverable — report it instead of raising.
+    try:
+        version = container_version(blob)
+    except CompressedFormatError as exc:
+        report.header_damaged = True
+        report.notes.append(str(exc))
+        return ChunkedContainer(
+            fingerprint=0, record_count=0, chunk_records=0, version=0
+        )
     if version == FORMAT_VERSION:
-        return StreamContainer.decode(blob, expected_fingerprint)
-    if version == FORMAT_VERSION_2:
-        return ChunkedContainer.decode(blob, expected_fingerprint)
-    raise CompressedFormatError(f"unsupported container version {version}")
+        # v1 has a single all-or-nothing chunk: either the whole blob
+        # parses or nothing is recoverable.
+        try:
+            container = StreamContainer.decode(
+                blob, expected_fingerprint, max_chunk_bytes=max_chunk_bytes
+            )
+        except CompressedFormatError as exc:
+            report.version = FORMAT_VERSION
+            report.header_damaged = True
+            report.notes.append(str(exc))
+            return ChunkedContainer(
+                fingerprint=0, record_count=0, chunk_records=0, version=FORMAT_VERSION
+            )
+        report.version = FORMAT_VERSION
+        report.total_chunks = 1 if container.record_count else 0
+        report.total_records = container.record_count
+        if container.record_count:
+            report.mark_recovered(0, container.record_count)
+        return container
+    if version in (FORMAT_VERSION_2, FORMAT_VERSION_3):
+        try:
+            return ChunkedContainer.decode(
+                blob,
+                expected_fingerprint,
+                mode=mode,
+                max_chunk_bytes=max_chunk_bytes,
+                report=report,
+            )
+        except ChecksumError as exc:
+            # v3 metadata damage: the chunk table itself is untrustworthy.
+            report.header_damaged = True
+            report.notes.append(str(exc))
+        except CompressedFormatError as exc:
+            if "fingerprint mismatch" in str(exc) and version == FORMAT_VERSION_3:
+                raise  # checksum-valid header, genuinely wrong decompressor
+            report.header_damaged = True
+            report.notes.append(str(exc))
+        return ChunkedContainer(
+            fingerprint=0, record_count=0, chunk_records=0, version=version
+        )
+    report.header_damaged = True
+    report.notes.append(f"unsupported container version {version}")
+    return ChunkedContainer(fingerprint=0, record_count=0, chunk_records=0, version=0)
 
 
 def as_chunked(
@@ -316,4 +777,5 @@ def as_chunked(
         chunk_records=container.record_count,
         global_streams=container.streams[:global_streams],
         chunks=chunks,
+        version=FORMAT_VERSION,
     )

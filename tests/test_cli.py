@@ -110,7 +110,7 @@ class TestTcgenAnalyze:
 
         path = tmp_path / "bad.bin"
         path.write_bytes(b"\x00" * 17)  # does not frame into records
-        assert analyze_main([str(path)]) == 1
+        assert analyze_main([str(path)]) == 2  # corrupt input, not tool failure
         assert "tcgen-analyze:" in capsys.readouterr().err
 
 
@@ -149,3 +149,113 @@ class TestTcgenTrace:
     def test_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             trace_main(["doom", "store_addresses"])
+
+
+class TestExitCodes:
+    """Corrupt input exits 2; other library failures exit 1."""
+
+    def test_fail_helper_distinguishes_corruption(self, capsys):
+        from repro.cli import EXIT_CORRUPT, _fail
+        from repro.errors import (
+            ChecksumError,
+            CompressedFormatError,
+            SpecError,
+            TraceFormatError,
+            TruncatedContainerError,
+        )
+
+        assert _fail("x", CompressedFormatError("bad")) == EXIT_CORRUPT
+        assert _fail("x", ChecksumError("bad", chunk_index=0)) == EXIT_CORRUPT
+        assert _fail("x", TruncatedContainerError("bad")) == EXIT_CORRUPT
+        assert _fail("x", TraceFormatError("bad")) == EXIT_CORRUPT
+        assert _fail("x", SpecError("bad")) == 1
+        capsys.readouterr()
+
+    def test_analyze_corrupt_trace_exits_2(self, tmp_path, capsys):
+        from repro.cli import analyze_main
+
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x01" * 13)
+        assert analyze_main([str(path)]) == 2
+        capsys.readouterr()
+
+
+class TestAtomicOutput:
+    def test_tcgen_writes_output_file(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "gen.py"
+        assert tcgen_main([spec_file, "--lang", "python", "-o", str(out)]) == 0
+        assert "def compress" in out.read_text()
+        assert capsys.readouterr().out == ""  # nothing leaked to stdout
+        assert not list(tmp_path.glob(".tmp*"))  # no temp litter
+
+    def test_trace_writes_output_file(self, tmp_path):
+        out = tmp_path / "trace.bin"
+        assert trace_main(
+            ["mcf", "store_addresses", "--scale", "0.05", "-o", str(out)]
+        ) == 0
+        raw = out.read_bytes()
+        assert raw[:4] == b"STA\0"
+        assert not list(tmp_path.glob(".tmp*"))
+
+
+class TestGeneratedMainRobustness:
+    """The generated module's main(): --salvage, -o, and exit code 2."""
+
+    @pytest.fixture(scope="class")
+    def module(self):
+        from repro.codegen import generate_python, load_python_module
+        from repro.model import OptimizationOptions, build_model
+        from repro.spec import tcgen_a
+
+        return load_python_module(
+            generate_python(build_model(tcgen_a(), OptimizationOptions.full()))
+        )
+
+    def _run(self, module, argv, stdin_bytes, monkeypatch):
+        stdin = io.BytesIO(stdin_bytes)
+        stdout = io.BytesIO()
+        monkeypatch.setattr(
+            sys, "stdin", type("S", (), {"buffer": stdin})()
+        )
+        monkeypatch.setattr(
+            sys, "stdout", type("S", (), {"buffer": stdout})()
+        )
+        code = module.main(argv)
+        return code, stdout.getvalue()
+
+    def test_corrupt_input_exits_2(self, module, monkeypatch, capsys):
+        code, _out = self._run(module, ["-d"], b"garbage", monkeypatch)
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_salvage_recovers_and_reports(
+        self, module, small_trace, monkeypatch, capsys
+    ):
+        blob = bytearray(module.compress(small_trace, chunk_records=16))
+        blob[-20] ^= 1  # damage the last chunk's payload or CRC
+        code, out = self._run(module, ["-d", "--salvage"], bytes(blob), monkeypatch)
+        assert code == 0
+        assert small_trace.startswith(out[:4])  # header survived
+        assert out == small_trace[: len(out)]  # a clean prefix, not garbage
+        assert "salvage:" in capsys.readouterr().err
+
+    def test_output_file_is_written_atomically(
+        self, module, small_trace, monkeypatch, tmp_path, capsys
+    ):
+        target = tmp_path / "trace.out"
+        blob = module.compress(small_trace)
+        code, out = self._run(
+            module, ["-d", "-o", str(target)], blob, monkeypatch
+        )
+        assert code == 0
+        assert out == b""  # went to the file, not stdout
+        assert target.read_bytes() == small_trace
+        assert not list(tmp_path.glob(".tcgen-*"))
+        capsys.readouterr()
+
+    def test_strict_flag_overrides_salvage(self, module, monkeypatch, capsys):
+        code, _out = self._run(
+            module, ["-d", "--salvage", "--strict"], b"garbage", monkeypatch
+        )
+        assert code == 2
+        capsys.readouterr()

@@ -78,3 +78,207 @@ class TestCorruption:
     def test_empty_input(self):
         with pytest.raises(CompressedFormatError):
             StreamContainer.decode(b"")
+
+
+# ---------------------------------------------------------------------------
+# v3: CRC-framed chunked containers
+# ---------------------------------------------------------------------------
+
+from repro.errors import ChecksumError, ReproError, TruncatedContainerError
+from repro.tio.container import (
+    ChunkedContainer,
+    ContainerChunk,
+    DecodeReport,
+    FORMAT_VERSION_2,
+    FORMAT_VERSION_3,
+    container_version,
+    decode_container,
+)
+
+
+def _chunked(version=FORMAT_VERSION_3) -> ChunkedContainer:
+    return ChunkedContainer(
+        fingerprint=0xA1B2C3D4E5F60718,
+        record_count=5,
+        chunk_records=3,
+        global_streams=[StreamPayload(codec_id=0, raw_length=4, data=b"HEAD")],
+        chunks=[
+            ContainerChunk(
+                record_count=3,
+                streams=[
+                    StreamPayload(codec_id=0, raw_length=6, data=b"AAAAAA"),
+                    StreamPayload(codec_id=0, raw_length=2, data=b"aa"),
+                ],
+            ),
+            ContainerChunk(
+                record_count=2,
+                streams=[
+                    StreamPayload(codec_id=0, raw_length=4, data=b"BBBB"),
+                    StreamPayload(codec_id=0, raw_length=0, data=b""),
+                ],
+            ),
+        ],
+        version=version,
+    )
+
+
+class TestV3Roundtrip:
+    def test_version_byte_and_trailer(self):
+        blob = _chunked().encode()
+        assert blob[4] == FORMAT_VERSION_3
+        assert blob[-8:-4] == b"TCEN"
+
+    def test_encode_decode(self):
+        original = _chunked()
+        decoded = ChunkedContainer.decode(original.encode())
+        assert decoded.version == FORMAT_VERSION_3
+        assert decoded.fingerprint == original.fingerprint
+        assert decoded.record_count == 5
+        assert [c.record_count for c in decoded.chunks] == [3, 2]
+        assert decoded.global_streams[0].data == b"HEAD"
+        assert decoded.chunks[1].streams[0].data == b"BBBB"
+
+    def test_v2_escape_hatch_still_encodes(self):
+        blob = _chunked(version=FORMAT_VERSION_2).encode()
+        assert blob[4] == FORMAT_VERSION_2
+        decoded = ChunkedContainer.decode(blob)
+        assert decoded.version == FORMAT_VERSION_2
+        assert decoded.chunks[0].streams[0].data == b"AAAAAA"
+
+    def test_v3_is_v2_plus_framing(self):
+        """The v3 metadata and payload bytes embed the v2 layout verbatim."""
+        v2 = _chunked(version=FORMAT_VERSION_2).encode()
+        v3 = _chunked().encode()
+        meta_len = len(v2) - len(b"HEAD" + b"AAAAAA" + b"aa" + b"BBBB")
+        assert v3[5:meta_len] == v2[5:meta_len]  # identical after version byte
+
+    def test_strict_report_is_intact(self):
+        report = DecodeReport()
+        decode_container(_chunked().encode(), report=report)
+        assert report.intact
+        assert report.version == FORMAT_VERSION_3
+        assert report.recovered_chunks == [0, 1]
+        assert report.recovered_records == 5
+
+
+class TestV3Corruption:
+    def test_header_flip_names_offset(self):
+        blob = bytearray(_chunked().encode())
+        blob[6] ^= 0x40  # in the fingerprint: parseable, but checksummed
+        with pytest.raises(ChecksumError, match=r"header checksum mismatch \(byte offset \d+\)"):
+            ChunkedContainer.decode(bytes(blob))
+
+    def test_chunk_flip_names_chunk_and_offset(self):
+        blob = bytearray(_chunked().encode())
+        blob[blob.index(b"BBBB")] ^= 1
+        with pytest.raises(ChecksumError, match=r"chunk 1 .*\(chunk 1, byte offset \d+\)") as info:
+            ChunkedContainer.decode(bytes(blob))
+        assert info.value.chunk_index == 1
+
+    def test_truncation_names_offset(self):
+        blob = _chunked().encode()
+        with pytest.raises(TruncatedContainerError, match=r"byte offset \d+"):
+            ChunkedContainer.decode(blob[:-1])
+
+    def test_trailer_magic_damage(self):
+        blob = bytearray(_chunked().encode())
+        blob[-8] ^= 0xFF
+        with pytest.raises(CompressedFormatError, match="trailer magic"):
+            ChunkedContainer.decode(bytes(blob))
+
+    def test_trailer_crc_damage(self):
+        blob = bytearray(_chunked().encode())
+        blob[-1] ^= 0xFF
+        with pytest.raises(ChecksumError, match="trailer checksum"):
+            ChunkedContainer.decode(bytes(blob))
+
+    def test_every_single_bitflip_is_detected_strict(self):
+        """No byte of a v3 container is outside some integrity check."""
+        blob = _chunked().encode()
+        for position in range(len(blob)):
+            damaged = bytearray(blob)
+            damaged[position] ^= 1
+            with pytest.raises(ReproError):
+                ChunkedContainer.decode(bytes(damaged))
+
+
+class TestV3Salvage:
+    def test_chunk_flip_recovers_the_rest(self):
+        blob = bytearray(_chunked().encode())
+        blob[blob.index(b"AAAAAA")] ^= 1
+        report = DecodeReport()
+        container = decode_container(bytes(blob), mode="salvage", report=report)
+        assert report.lost_chunks == [0]
+        assert report.recovered_chunks == [1]
+        assert report.lost_records == 3
+        assert container.chunks[0].streams[0].data == b"BBBB"
+        assert "checksum mismatch" in report.reasons[0]
+
+    def test_global_flip_marks_header_stream_lost(self):
+        blob = bytearray(_chunked().encode())
+        blob[blob.index(b"HEAD")] ^= 1
+        report = DecodeReport()
+        container = decode_container(bytes(blob), mode="salvage", report=report)
+        assert report.header_stream_lost
+        assert container.global_streams == []
+        assert report.recovered_chunks == [0, 1]
+
+    def test_metadata_flip_recovers_nothing(self):
+        blob = bytearray(_chunked().encode())
+        blob[6] ^= 0x40
+        report = DecodeReport()
+        container = decode_container(bytes(blob), mode="salvage", report=report)
+        assert report.header_damaged
+        assert container.chunks == []
+        assert not report.recovered_chunks
+
+    def test_trailer_damage_is_tolerated(self):
+        blob = bytearray(_chunked().encode())
+        blob[-2] ^= 0xFF
+        report = DecodeReport()
+        container = decode_container(bytes(blob), mode="salvage", report=report)
+        assert report.trailer_damaged
+        assert report.recovered_chunks == [0, 1]
+        assert len(container.chunks) == 2
+
+    def test_truncation_cascades_to_later_chunks(self):
+        blob = _chunked().encode()
+        cut = blob.index(b"BBBB") + 2  # mid-chunk-1 payload
+        report = DecodeReport()
+        container = decode_container(blob[:cut], mode="salvage", report=report)
+        assert report.truncated
+        assert report.recovered_chunks == [0]
+        assert report.lost_chunks == [1]
+        assert len(container.chunks) == 1
+
+    def test_fingerprint_mismatch_still_raises_in_salvage(self):
+        blob = _chunked().encode()
+        with pytest.raises(CompressedFormatError, match="fingerprint"):
+            decode_container(blob, expected_fingerprint=1, mode="salvage")
+
+    def test_report_render_mentions_losses(self):
+        blob = bytearray(_chunked().encode())
+        blob[blob.index(b"AAAAAA")] ^= 1
+        report = DecodeReport()
+        decode_container(bytes(blob), mode="salvage", report=report)
+        text = report.render()
+        assert "lost chunk 0" in text
+        assert "1/2 recovered" in text
+
+
+class TestContainerVersionHardening:
+    def test_empty_blob_shows_prefix(self):
+        with pytest.raises(CompressedFormatError, match=r"got b''"):
+            container_version(b"")
+
+    def test_short_blob_shows_prefix(self):
+        with pytest.raises(TruncatedContainerError, match=r"got b'TCG'"):
+            container_version(b"TCG")
+
+    def test_bad_magic_shows_leading_bytes(self):
+        with pytest.raises(CompressedFormatError, match=r"leading bytes b'XXXX'"):
+            container_version(b"XXXX" + bytes(20))
+
+    def test_valid_blobs(self):
+        assert container_version(_container().encode()) == 1
+        assert container_version(_chunked().encode()) == 3

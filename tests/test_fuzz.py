@@ -138,3 +138,200 @@ class TestBaselineFuzz:
                 assert isinstance(
                     exc, (ReproError, OSError, EOFError, ValueError)
                 ), f"{compressor.name} leaked {type(exc).__name__}"
+
+
+# ---------------------------------------------------------------------------
+# Deterministic corruption matrix: every fault kind x container version
+# ---------------------------------------------------------------------------
+
+from repro.testing.faults import FAULT_KINDS, inject
+
+_MATRIX_CHUNK = 40  # records per chunk for the matrix blobs
+_MATRIX_RECORDS = 200
+_matrix_cache = {}
+
+
+def _matrix_blob(label):
+    """(engine, raw, blob) for one container layout, built once per run."""
+    if label not in _matrix_cache:
+        raw = make_vpc_trace(n=_MATRIX_RECORDS)
+        engine = TraceEngine(tcgen_a(), codec="identity")
+        if label == "v1-flat":
+            blob = engine.compress(raw)
+        elif label == "v2-chunked":
+            blob = TraceEngine(
+                tcgen_a(), codec="identity", container_version=2
+            ).compress(raw, chunk_records=_MATRIX_CHUNK)
+        else:
+            blob = engine.compress(raw, chunk_records=_MATRIX_CHUNK)
+        _matrix_cache[label] = (engine, raw, blob)
+    return _matrix_cache[label]
+
+
+class TestCorruptionMatrix:
+    """Injected faults must never escape the typed-error contract."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("label", ["v1-flat", "v2-chunked", "v3-chunked"])
+    @pytest.mark.parametrize("fault_kind", FAULT_KINDS)
+    def test_strict_raises_typed_errors_only(self, fault_kind, label, seed):
+        engine, raw, blob = _matrix_blob(label)
+        damaged, fault = inject(blob, fault_kind, seed)
+        try:
+            out = engine.decompress(damaged)
+        except ReproError:
+            return
+        # v1/v2 have no checksums: damage in a value stream can decode to
+        # garbage that still frames.  v3 must detect every change.
+        assert label != "v3-chunked", f"undetected corruption: {fault}"
+        assert (len(out) - 4) % 12 == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("label", ["v1-flat", "v2-chunked", "v3-chunked"])
+    @pytest.mark.parametrize("fault_kind", FAULT_KINDS)
+    def test_salvage_never_raises_and_recovers_untouched_chunks(
+        self, fault_kind, label, seed
+    ):
+        engine, raw, blob = _matrix_blob(label)
+        damaged, fault = inject(blob, fault_kind, seed)
+        out = engine.decompress(damaged, mode="salvage")  # must not raise
+        report = engine.last_report
+        if label != "v3-chunked":
+            assert (len(out) - 4) % 12 == 0
+            return
+        # v3: what salvage returns must be byte-exact — the header (or its
+        # zero-fill) followed by precisely the chunks the report claims.
+        head = raw[:4]
+        if report.header_stream_lost or report.header_damaged:
+            head = b"\x00" * 4
+        expected = head + b"".join(
+            raw[
+                4 + i * _MATRIX_CHUNK * 12 : 4
+                + min((i + 1) * _MATRIX_CHUNK, _MATRIX_RECORDS) * 12
+            ]
+            for i in report.recovered_chunks
+        )
+        assert out == expected, f"salvage output drifted: {fault}"
+        assert sorted(report.recovered_chunks + report.lost_chunks) == list(
+            range(report.total_chunks or 0)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("label", ["v1-flat", "v2-chunked", "v3-chunked"])
+    @pytest.mark.parametrize("fault_kind", FAULT_KINDS)
+    def test_generated_module_honours_the_same_contract(
+        self, fault_kind, label, seed
+    ):
+        _engine, _raw, blob = _matrix_blob(label)
+        damaged, fault = inject(blob, fault_kind, seed)
+        module = _generated()
+        try:
+            module.decompress(damaged)
+        except ValueError:
+            pass
+        module.decompress(damaged, salvage=True)  # must never raise
+
+
+class TestVersionRegression:
+    """v1/v2 blobs must stay byte-identical and readable under v3 readers."""
+
+    # SHA-256 of the v1/v2 encodings of the fixed matrix trace.  If these
+    # move, old archives written by earlier releases would stop matching.
+    V1_SHA = "9b2c97ea425cfbe881c8533f729b874da866709c5a4fae5253ca1d0917454cf1"
+    V2_SHA = "3a1d4e09b521bb9a188f0a499b4947a38f5416657fbc2eeaa69f1a1dbce4ad88"
+
+    def test_v1_bytes_are_stable(self):
+        import hashlib
+
+        _engine, _raw, blob = _matrix_blob("v1-flat")
+        assert hashlib.sha256(blob).hexdigest() == self.V1_SHA
+
+    def test_v2_bytes_are_stable(self):
+        import hashlib
+
+        _engine, _raw, blob = _matrix_blob("v2-chunked")
+        assert hashlib.sha256(blob).hexdigest() == self.V2_SHA
+
+    @pytest.mark.parametrize("label", ["v1-flat", "v2-chunked"])
+    def test_old_versions_decode_under_v3_aware_readers(self, label):
+        engine, raw, blob = _matrix_blob(label)
+        assert engine.decompress(blob) == raw
+        assert engine.decompress(blob, mode="salvage") == raw
+        assert engine.last_report.intact
+        assert _generated().decompress(blob) == raw
+
+
+class TestAllocationBombs:
+    """Hostile metadata must fail before any large allocation happens."""
+
+    def _frame(self, version, body):
+        return b"TCGN" + bytes([version]) + bytes(8) + body
+
+    def _varint(self, value):
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                return bytes(out)
+
+    def test_huge_stream_count_rejected(self):
+        blob = self._frame(1, self._varint(10) + self._varint(1 << 60))
+        with pytest.raises(ReproError, match="stream count"):
+            StreamContainer.decode(blob)
+
+    def test_huge_global_count_rejected(self):
+        from repro.tio.container import ChunkedContainer
+
+        blob = self._frame(
+            2, self._varint(10) + self._varint(10) + self._varint(1 << 60)
+        )
+        with pytest.raises(ReproError, match="global stream count"):
+            ChunkedContainer.decode(blob)
+
+    def test_huge_chunk_count_rejected(self):
+        from repro.tio.container import ChunkedContainer
+
+        blob = self._frame(
+            2,
+            self._varint(10)
+            + self._varint(10)
+            + self._varint(0)  # no global streams
+            + self._varint(2)  # chunk streams
+            + self._varint(1 << 60),
+        )
+        with pytest.raises(ReproError, match="chunk count"):
+            ChunkedContainer.decode(blob)
+
+    def test_huge_declared_raw_length_rejected(self):
+        blob = self._frame(
+            1,
+            self._varint(10)
+            + self._varint(1)
+            + bytes([1])  # codec id
+            + self._varint(1 << 40)  # raw length: over max_chunk_bytes
+            + self._varint(1),
+        )
+        with pytest.raises(ReproError, match="max_chunk_bytes"):
+            StreamContainer.decode(blob)
+
+    def test_decompression_bomb_is_bounded(self):
+        import zlib
+
+        from repro.postcompress import codec_by_name, decompress_bounded
+
+        bomb = zlib.compress(b"\x00" * 10_000_000, 9)  # ~10 KB stored
+        with pytest.raises(ReproError, match="declared"):
+            decompress_bounded(codec_by_name("zlib"), bomb, 100)
+
+    def test_generated_module_rejects_oversized_declared_length(self):
+        module = _generated()
+        blob = bytearray(module.compress(make_vpc_trace(n=8)))
+        # grow the first stream's declared stored length far past the blob
+        with pytest.raises(ValueError):
+            module._read_stream_meta(
+                b"\x00" + self._varint(10) + self._varint(1 << 40), 0
+            )

@@ -93,13 +93,34 @@ class TestParallelPrimitives:
 
 class TestChunkedRoundtrip:
     @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
-    def test_v2_roundtrip_all_specs(self, name):
+    def test_chunked_roundtrip_all_specs(self, name):
         spec = SPEC_VARIANTS[name]()
         raw = spec_trace_for(spec)
         engine = TraceEngine(spec)
         blob = engine.compress(raw, chunk_records=150)
+        assert container_version(blob) == 3
+        assert engine.decompress(blob) == raw
+
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_v2_escape_hatch_roundtrip(self, name):
+        spec = SPEC_VARIANTS[name]()
+        raw = spec_trace_for(spec)
+        engine = TraceEngine(spec)
+        blob = engine.compress(raw, chunk_records=150, container_version=2)
         assert container_version(blob) == 2
         assert engine.decompress(blob) == raw
+
+    def test_v2_and_v3_carry_identical_streams(self, small_trace):
+        # The integrity framing wraps the same compressed payloads: both
+        # versions must decode to the same container contents.
+        engine = TraceEngine(tcgen_a())
+        v2 = decode_container(engine.compress(small_trace, chunk_records=400, container_version=2))
+        v3 = decode_container(engine.compress(small_trace, chunk_records=400))
+        assert v2.version == 2 and v3.version == 3
+        assert [s.data for s in v2.global_streams] == [s.data for s in v3.global_streams]
+        assert [
+            (c.record_count, [s.data for s in c.streams]) for c in v2.chunks
+        ] == [(c.record_count, [s.data for s in c.streams]) for c in v3.chunks]
 
     def test_workers_do_not_change_the_bytes(self, small_trace):
         engine = TraceEngine(tcgen_a())
@@ -130,7 +151,7 @@ class TestChunkedRoundtrip:
     def test_auto_chunk_sizing(self, small_trace):
         engine = TraceEngine(tcgen_a())
         blob = engine.compress(small_trace, chunk_records="auto")
-        assert container_version(blob) == 2
+        assert container_version(blob) == 3
         container = decode_container(blob)
         assert container.chunk_records == default_chunk_records(
             engine.model.spec.record_bytes
@@ -140,7 +161,7 @@ class TestChunkedRoundtrip:
     def test_empty_trace_v2(self, empty_trace):
         engine = TraceEngine(tcgen_a())
         blob = engine.compress(empty_trace, chunk_records=100)
-        assert container_version(blob) == 2
+        assert container_version(blob) == 3
         assert engine.decompress(blob) == empty_trace
 
     def test_v1_blobs_still_decode(self, small_trace):
@@ -286,3 +307,94 @@ class TestStreamingChunks:
     def test_read_header_from_v2(self, setup):
         spec, raw, blob = setup
         assert streaming.read_header(spec, blob) == b"VPC3"
+
+
+class TestWorkerFailureRecovery:
+    """Crashed worker processes must never change results, only latency."""
+
+    class _ExplodingPool:
+        """Stands in for ProcessPoolExecutor; every map dies like an OOM kill."""
+
+        def __init__(self, max_workers):
+            type(self).attempts.append(max_workers)
+
+        attempts: list[int] = []
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            return False
+
+        def map(self, fn, items):
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool("a child process terminated abruptly")
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        from repro.runtime import parallel
+
+        self._ExplodingPool.attempts = []
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", self._ExplodingPool)
+        sleeps: list[float] = []
+        monkeypatch.setattr(parallel.time, "sleep", sleeps.append)
+        assert parallel.map_ordered(abs, [-3, 2, -1], workers=2, kind="process") == [3, 2, 1]
+        assert len(self._ExplodingPool.attempts) == parallel.PROCESS_POOL_RETRIES + 1
+        # Bounded exponential backoff between pool rebuilds.
+        assert sleeps == [
+            parallel.PROCESS_POOL_BACKOFF_SECONDS * (2**n)
+            for n in range(parallel.PROCESS_POOL_RETRIES)
+        ]
+
+    def test_broken_pool_retry_succeeds(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.runtime import parallel
+
+        calls = {"n": 0}
+
+        class FlakyPool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def map(self, fn, items):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise BrokenProcessPool("first pool died")
+                return map(fn, items)
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", FlakyPool)
+        monkeypatch.setattr(parallel.time, "sleep", lambda seconds: None)
+        assert parallel.map_ordered(abs, [-1, -2], workers=2, kind="process") == [1, 2]
+        assert calls["n"] == 2
+
+    def test_fn_exceptions_are_not_retried(self, monkeypatch):
+        from repro.runtime import parallel
+
+        def boom(x):
+            raise RuntimeError("bug in fn")
+
+        monkeypatch.setattr(parallel.time, "sleep", lambda s: pytest.fail("retried"))
+        with pytest.raises(RuntimeError, match="bug in fn"):
+            parallel.map_ordered(boom, [1, 2], workers=2, kind="thread")
+
+    def test_compress_bytes_identical_under_worker_crashes(self, small_trace, monkeypatch):
+        from repro.runtime import parallel
+
+        engine = TraceEngine(tcgen_a())
+        expected = engine.compress(small_trace, chunk_records=400)
+        self._ExplodingPool.attempts = []
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", self._ExplodingPool)
+        monkeypatch.setattr(parallel.time, "sleep", lambda seconds: None)
+        crashed = engine.compress(
+            small_trace, chunk_records=400, workers=2, executor="process"
+        )
+        assert self._ExplodingPool.attempts  # the process path really ran
+        assert crashed == expected
+        assert engine.decompress(crashed, workers=2, executor="process") == small_trace
