@@ -16,7 +16,15 @@ This package implements that proposal:
   candidate), picks the smallest output, and embeds the winning
   specification's canonical text in the archive;
 - :func:`decompress_adaptive` reads the embedded specification, generates
-  a matching decompressor on the fly, and reconstructs the trace.
+  a matching decompressor on the fly, and reconstructs the trace;
+- :func:`salvage_adaptive` does the same in salvage mode, skipping
+  damaged chunks of a v3 payload and returning the engine's
+  :class:`~repro.tio.container.DecodeReport` alongside the bytes.
+
+Both compression and decompression accept ``workers=`` (and
+``compress_adaptive`` additionally ``chunk_records=``) so adaptive
+archives ride the same parallel pipeline and chunked v3 container as the
+direct engine API.
 
 The embedded configuration costs a few tens of bytes (the canonical spec
 text, usually < 200 characters) and regenerating the decompressor costs a
@@ -30,6 +38,7 @@ from repro.autotune.archive import (
     default_candidates,
     prune_by_usage,
     read_archive_spec,
+    salvage_adaptive,
 )
 
 __all__ = [
@@ -39,4 +48,5 @@ __all__ = [
     "default_candidates",
     "prune_by_usage",
     "read_archive_spec",
+    "salvage_adaptive",
 ]

@@ -118,6 +118,10 @@ def compress_adaptive(
     options: OptimizationOptions | None = None,
     codec: str = "bzip2",
     refine: bool = True,
+    *,
+    chunk_records: int | str | None = None,
+    workers: int | None = None,
+    executor: str | None = None,
 ) -> AdaptiveResult:
     """Pick the best specification for this trace and embed it.
 
@@ -125,26 +129,39 @@ def compress_adaptive(
     best candidate's unused predictors using the usage feedback and keeps
     the pruned variant if it does not lose compression.  Ties go to the
     configuration with the smaller predictor-table footprint.
+
+    ``chunk_records``, ``workers``, and ``executor`` are forwarded to
+    every candidate's :meth:`~repro.runtime.engine.TraceEngine.compress`
+    call, so candidate evaluation runs on the parallel pipeline and the
+    winning payload can be a chunked v3 container (salvageable with
+    :func:`salvage_adaptive`).  The winner is chosen on the same settings
+    the archive is written with, keeping the embedded payload identical
+    to the measured one.
     """
     candidates = candidates or default_candidates()
     options = options or OptimizationOptions.full()
+
+    def run(spec: TraceSpec) -> tuple[bytes, UsageReport]:
+        engine = TraceEngine(spec, options, codec=codec)
+        blob = engine.compress(
+            raw, chunk_records=chunk_records, workers=workers, executor=executor
+        )
+        return blob, engine.last_usage
 
     sizes: dict[str, int] = {}
     best_spec: TraceSpec | None = None
     best_blob: bytes | None = None
     best_usage: UsageReport | None = None
     for spec in candidates:
-        engine = TraceEngine(spec, options, codec=codec)
-        blob = engine.compress(raw)
+        blob, usage = run(spec)
         sizes[format_spec(spec)] = len(blob)
         if best_blob is None or len(blob) < len(best_blob):
-            best_spec, best_blob, best_usage = spec, blob, engine.last_usage
+            best_spec, best_blob, best_usage = spec, blob, usage
 
     if refine and best_usage is not None:
         pruned = prune_by_usage(best_spec, best_usage)
         if pruned != best_spec:
-            engine = TraceEngine(pruned, options, codec=codec)
-            blob = engine.compress(raw)
+            blob, _ = run(pruned)
             sizes[format_spec(pruned)] = len(blob)
             if len(blob) <= len(best_blob):
                 best_spec, best_blob = pruned, blob
@@ -160,8 +177,36 @@ def decompress_adaptive(
     archive: bytes,
     options: OptimizationOptions | None = None,
     codec: str = "bzip2",
+    *,
+    workers: int | None = None,
+    executor: str | None = None,
 ) -> bytes:
     """Regenerate the matching decompressor from the embedded spec and run it."""
     spec, payload = read_archive_spec(archive)
     engine = TraceEngine(spec, options or OptimizationOptions.full(), codec=codec)
-    return engine.decompress(payload)
+    return engine.decompress(payload, workers=workers, executor=executor)
+
+
+def salvage_adaptive(
+    archive: bytes,
+    options: OptimizationOptions | None = None,
+    codec: str = "bzip2",
+    *,
+    workers: int | None = None,
+    executor: str | None = None,
+):
+    """Best-effort decode of a damaged adaptive archive.
+
+    Like :func:`decompress_adaptive` but runs the embedded decompressor in
+    salvage mode: damaged chunks of a v3 payload are skipped instead of
+    failing the whole decode.  Returns ``(recovered_bytes, report)`` where
+    ``report`` is the engine's :class:`~repro.tio.container.DecodeReport`.
+    The archive preamble (magic + embedded spec) has no redundancy, so
+    damage there still raises :class:`CompressedFormatError`.
+    """
+    spec, payload = read_archive_spec(archive)
+    engine = TraceEngine(spec, options or OptimizationOptions.full(), codec=codec)
+    recovered = engine.decompress(
+        payload, workers=workers, executor=executor, mode="salvage"
+    )
+    return recovered, engine.last_report

@@ -12,6 +12,13 @@
 ``tcgen-bench``
     Run the full comparison (all seven algorithms over the trace suite)
     and print the paper-style harmonic-mean tables.
+
+``tcgen-serve``
+    Serve compression/decompression as a long-lived TCP daemon
+    (implemented in :mod:`repro.server.daemon`; re-exported here so all
+    console scripts live in one module).
+
+Every tool accepts ``--version``.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.errors import CompressedFormatError, ReproError, TraceFormatError
 
 #: Exit status for malformed input data (corrupt container, bad trace
@@ -46,12 +54,20 @@ def _write_output(path: str | None, data: bytes) -> None:
         atomic_write_bytes(path, data)
 
 
+def _add_version(parser: argparse.ArgumentParser) -> None:
+    """Give a tool the standard ``--version`` flag."""
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+
+
 def tcgen_main(argv: list[str] | None = None) -> int:
     """Entry point for the ``tcgen`` generator."""
     parser = argparse.ArgumentParser(
         prog="tcgen",
         description="Generate a trace compressor from a specification.",
     )
+    _add_version(parser)
     parser.add_argument(
         "spec", nargs="?", help="specification file (default: stdin)"
     )
@@ -117,6 +133,7 @@ def trace_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tcgen-trace", description="Generate a synthetic evaluation trace."
     )
+    _add_version(parser)
     parser.add_argument("workload", choices=workload_names())
     parser.add_argument("kind", choices=TRACE_KINDS)
     parser.add_argument("--scale", type=float, default=1.0)
@@ -144,6 +161,7 @@ def bench_main(argv: list[str] | None = None) -> int:
         prog="tcgen-bench",
         description="Compare all compression algorithms on the trace suite.",
     )
+    _add_version(parser)
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument(
@@ -215,6 +233,7 @@ def analyze_main(argv: list[str] | None = None) -> int:
         prog="tcgen-analyze",
         description="Analyze a VPC-format trace and recommend a specification.",
     )
+    _add_version(parser)
     parser.add_argument("trace", nargs="?", help="trace file (default: stdin)")
     parser.add_argument(
         "--budget-mb", type=int, default=64,
@@ -236,6 +255,13 @@ def analyze_main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         return _fail("tcgen-analyze", exc)
     return 0
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-serve``: the compression daemon."""
+    from repro.server.daemon import serve_main as _serve_main
+
+    return _serve_main(argv)
 
 
 if __name__ == "__main__":

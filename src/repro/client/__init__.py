@@ -1,0 +1,458 @@
+"""Synchronous client for the trace-compression service.
+
+:class:`TraceClient` speaks the framed protocol of
+:mod:`repro.server.protocol` over a plain TCP socket.  It is built for
+the service's robustness contract:
+
+- **connect retries** — bounded exponential backoff on refused/ dropped
+  connections (the server may still be starting, or mid-restart);
+- **backpressure retries** — a ``backpressure`` error frame carries the
+  server's retry-after hint; the client sleeps (at least the hint,
+  growing exponentially across consecutive rejections) and resubmits,
+  up to ``retries`` attempts, then raises
+  :class:`~repro.errors.BackpressureError`;
+- **typed errors** — every other error frame is raised as the same
+  exception type the local library would have raised
+  (:class:`~repro.errors.ChecksumError` for a corrupt v3 section, and
+  so on), so calling code cannot tell a remote decode from a local one;
+- **streaming** — payloads move in bounded DATA frames both ways;
+  :meth:`compress_stream`/:meth:`decompress_stream` pipe file objects
+  without materializing the input *and* output at once.
+
+Usage::
+
+    from repro.client import TraceClient
+    from repro.spec.presets import TCGEN_A_SPEC
+
+    with TraceClient("127.0.0.1", 8737) as client:
+        blob = client.compress(TCGEN_A_SPEC, raw, chunk_records="auto")
+        assert client.decompress(TCGEN_A_SPEC, blob) == raw
+
+Deadlines are cooperative: pass ``deadline=seconds`` per call and the
+server aborts the work at the next chunk boundary once it fires,
+answering with a ``deadline_exceeded`` error frame (raised here as
+:class:`~repro.errors.DeadlineExceededError`) while the connection stays
+usable.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import BinaryIO, Callable, Iterable
+
+from repro.errors import (
+    BackpressureError,
+    ProtocolError,
+    ServiceUnavailableError,
+)
+from repro.server import protocol
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    RequestHeader,
+    decode_json_payload,
+    encode_frame,
+    exception_for,
+    report_from_dict,
+)
+from repro.tio.container import DecodeReport
+
+__all__ = ["TraceClient", "DEFAULT_PORT"]
+
+#: File-object streaming reads use this chunk size (one DATA frame each).
+_STREAM_CHUNK = protocol.DATA_CHUNK
+
+
+class TraceClient:
+    """A connection to a ``tcgen-serve`` daemon (context-managed).
+
+    ``retries`` bounds *extra* attempts after the first, applied
+    independently to connection establishment and backpressure
+    rejections.  ``backoff`` is the starting delay, doubling per
+    consecutive failure and capped at ``max_backoff``; a server-supplied
+    retry-after hint is respected when larger.  ``io_timeout`` bounds
+    every socket operation so a hung server surfaces as
+    :class:`~repro.errors.ServiceUnavailableError` instead of a stuck
+    process.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        connect_timeout: float = 5.0,
+        io_timeout: float = 120.0,
+        retries: int = 5,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._sock: socket.socket | None = None
+        self._next_id = 1
+
+    # -- connection management ----------------------------------------------
+
+    def __enter__(self) -> "TraceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _sleep(self, attempt: int, floor: float = 0.0) -> None:
+        delay = min(self.backoff * (2**attempt), self.max_backoff)
+        delay = max(delay, floor)
+        if delay > 0:
+            time.sleep(delay)
+
+    def connect(self) -> None:
+        """Open the connection, retrying with exponential backoff."""
+        if self._sock is not None:
+            return
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                sock.settimeout(self.io_timeout)
+                self._sock = sock
+                return
+            except OSError as exc:
+                last = exc
+                if attempt < self.retries:
+                    self._sleep(attempt)
+        raise ServiceUnavailableError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts: {last}"
+        )
+
+    # -- frame I/O -----------------------------------------------------------
+
+    def _recv_exact(self, length: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        remaining = length
+        while remaining:
+            try:
+                piece = self._sock.recv(min(remaining, 1 << 16))
+            except socket.timeout as exc:
+                raise ServiceUnavailableError(
+                    f"server did not respond within {self.io_timeout}s"
+                ) from exc
+            if not piece:
+                raise ConnectionError("server closed the connection mid-frame")
+            chunks.append(piece)
+            remaining -= len(piece)
+        return b"".join(chunks)
+
+    def _read_frame(self) -> tuple[int, bytes]:
+        frame_type, length = protocol.decode_header(
+            self._recv_exact(protocol.HEADER_SIZE)
+        )
+        payload = self._recv_exact(length) if length else b""
+        return frame_type, payload
+
+    def _send(self, data: bytes) -> None:
+        assert self._sock is not None
+        try:
+            self._sock.sendall(data)
+        except socket.timeout as exc:
+            raise ServiceUnavailableError(
+                f"server did not accept data within {self.io_timeout}s"
+            ) from exc
+
+    # -- the request state machine ------------------------------------------
+
+    def _raise_error(self, payload: bytes) -> None:
+        header = decode_json_payload(payload)
+        raise exception_for(
+            str(header.get("code", "internal")),
+            str(header.get("message", "unknown server error")),
+            header.get("retry_after_ms"),
+        )
+
+    def _read_result_payload(
+        self, declared: int, sink: Callable[[bytes], None]
+    ) -> int:
+        total = 0
+        while True:
+            frame_type, data = self._read_frame()
+            if frame_type == protocol.END:
+                break
+            if frame_type != protocol.DATA:
+                raise ProtocolError(
+                    f"expected DATA or END from server, got type {frame_type}"
+                )
+            total += len(data)
+            sink(data)
+        if total != declared:
+            raise ProtocolError(
+                f"server declared {declared} response bytes but sent {total}"
+            )
+        return total
+
+    def _attempt(
+        self,
+        op: str,
+        params: dict,
+        payload_chunks: Iterable[bytes],
+        payload_size: int | None,
+        deadline: float | None,
+        sink: Callable[[bytes], None],
+    ) -> dict:
+        self.connect()
+        request_id = self._next_id
+        self._next_id += 1
+        header = RequestHeader(
+            op=op,
+            request_id=request_id,
+            payload_size=payload_size,
+            deadline_ms=None if deadline is None else max(1, int(deadline * 1000)),
+            params=params,
+        )
+        self._send(header.encode())
+        # Every op except health/metrics does the CONTINUE handshake, even
+        # for an empty payload (the server reads DATA frames until END).
+        if op not in protocol.PAYLOADLESS_OPS:
+            frame_type, frame_payload = self._read_frame()
+            if frame_type == protocol.ERROR:
+                self._raise_error(frame_payload)
+            if frame_type != protocol.CONTINUE:
+                raise ProtocolError(
+                    f"expected CONTINUE or ERROR, got frame type {frame_type}"
+                )
+            for chunk in payload_chunks:
+                offset = 0
+                while offset < len(chunk):
+                    self._send(
+                        encode_frame(
+                            protocol.DATA,
+                            chunk[offset : offset + protocol.DATA_CHUNK],
+                        )
+                    )
+                    offset += protocol.DATA_CHUNK
+            self._send(encode_frame(protocol.END))
+        frame_type, frame_payload = self._read_frame()
+        if frame_type == protocol.ERROR:
+            self._raise_error(frame_payload)
+        if frame_type != protocol.RESPONSE:
+            raise ProtocolError(
+                f"expected RESPONSE or ERROR, got frame type {frame_type}"
+            )
+        response = decode_json_payload(frame_payload)
+        declared = response.get("payload_size", 0)
+        if not isinstance(declared, int) or declared < 0:
+            raise ProtocolError(f"bad response payload_size {declared!r}")
+        self._read_result_payload(declared, sink)
+        meta = response.get("meta") or {}
+        if not isinstance(meta, dict):
+            raise ProtocolError("response meta must be a JSON object")
+        return meta
+
+    def _request(
+        self,
+        op: str,
+        params: dict,
+        payload: bytes | None = b"",
+        *,
+        deadline: float | None = None,
+        payload_chunks: Iterable[bytes] | None = None,
+        payload_size: int | None = 0,
+        sink: Callable[[bytes], None] | None = None,
+    ) -> tuple[dict, bytes]:
+        """One request with backpressure/reconnect retries.
+
+        Retrying a request wholesale is safe because every op is pure:
+        the server holds no per-request state once it has answered (or
+        failed to).  Streamed payloads (``payload_chunks``) are retried
+        only when the chunk source is re-iterable; one-shot streams
+        surface the error instead.
+        """
+        if payload is not None:
+            payload_chunks = (payload,)
+            payload_size = len(payload)
+        assert payload_chunks is not None
+        collected: list[bytes] = []
+        out_sink = sink or collected.append
+        backpressure_attempt = 0
+        connection_attempt = 0
+        while True:
+            try:
+                meta = self._attempt(
+                    op, params, payload_chunks, payload_size, deadline, out_sink
+                )
+                return meta, b"".join(collected)
+            except BackpressureError as exc:
+                if backpressure_attempt >= self.retries or sink is not None:
+                    raise
+                collected.clear()
+                self._sleep(backpressure_attempt, floor=exc.retry_after)
+                backpressure_attempt += 1
+            except (ConnectionError, OSError):
+                # Dropped mid-request: reconnect and resubmit (pure ops).
+                self.close()
+                if connection_attempt >= self.retries or sink is not None:
+                    raise
+                collected.clear()
+                self._sleep(connection_attempt)
+                connection_attempt += 1
+
+    # -- public ops ----------------------------------------------------------
+
+    def compress(
+        self,
+        spec_text: str,
+        raw: bytes,
+        *,
+        chunk_records: int | str | None = None,
+        codec: str = "bzip2",
+        workers: int | None = None,
+        deadline: float | None = None,
+    ) -> bytes:
+        """Compress ``raw`` remotely; bytes are identical to a local
+        :class:`~repro.runtime.engine.TraceEngine` with the same options."""
+        params: dict = {"spec": spec_text, "codec": codec}
+        if chunk_records is not None:
+            params["chunk_records"] = chunk_records
+        if workers is not None:
+            params["workers"] = workers
+        _, blob = self._request("compress", params, raw, deadline=deadline)
+        return blob
+
+    def decompress(
+        self,
+        spec_text: str,
+        blob: bytes,
+        *,
+        codec: str = "bzip2",
+        workers: int | None = None,
+        deadline: float | None = None,
+    ) -> bytes:
+        """Strict remote decode; corruption raises the same typed errors
+        as a local decode (:class:`~repro.errors.ChecksumError`, ...)."""
+        params: dict = {"spec": spec_text, "codec": codec}
+        if workers is not None:
+            params["workers"] = workers
+        _, raw = self._request("decompress", params, blob, deadline=deadline)
+        return raw
+
+    def salvage(
+        self,
+        spec_text: str,
+        blob: bytes,
+        *,
+        codec: str = "bzip2",
+        deadline: float | None = None,
+    ) -> tuple[bytes, DecodeReport]:
+        """Best-effort remote decode: every intact chunk, plus the report."""
+        params = {"spec": spec_text, "codec": codec}
+        meta, raw = self._request("salvage", params, blob, deadline=deadline)
+        report = report_from_dict(meta.get("report") or {})
+        return raw, report
+
+    def analyze(
+        self,
+        raw: bytes,
+        *,
+        budget_bytes: int = 64 << 20,
+        deadline: float | None = None,
+    ) -> tuple[str, str]:
+        """Remote trace analysis: ``(statistics text, recommended spec)``."""
+        meta, text = self._request(
+            "analyze", {"budget_bytes": budget_bytes}, raw, deadline=deadline
+        )
+        return text.decode(), str(meta.get("recommended_spec", ""))
+
+    def health(self) -> dict:
+        """Liveness + a flat snapshot of server counters."""
+        meta, _ = self._request("health", {}, b"")
+        return meta
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus text exposition."""
+        _, payload = self._request("metrics", {}, b"")
+        return payload.decode()
+
+    # -- streaming helpers ---------------------------------------------------
+
+    def compress_stream(
+        self,
+        spec_text: str,
+        source: BinaryIO,
+        destination: BinaryIO,
+        *,
+        chunk_records: int | str | None = "auto",
+        codec: str = "bzip2",
+        deadline: float | None = None,
+    ) -> int:
+        """Compress a file object into another without buffering either side.
+
+        The upload is streamed with an undeclared size (the server
+        enforces its payload cap cumulatively) and the result is written
+        to ``destination`` as DATA frames arrive.  Returns the number of
+        compressed bytes written.  Not retried on backpressure — the
+        source may not be re-readable; wrap in your own retry if it is.
+        """
+        params: dict = {"spec": spec_text, "codec": codec}
+        if chunk_records is not None:
+            params["chunk_records"] = chunk_records
+        written = 0
+
+        def sink(data: bytes) -> None:
+            nonlocal written
+            destination.write(data)
+            written += len(data)
+
+        self._request(
+            "compress",
+            params,
+            None,
+            payload_chunks=iter(lambda: source.read(_STREAM_CHUNK), b""),
+            payload_size=None,
+            deadline=deadline,
+            sink=sink,
+        )
+        return written
+
+    def decompress_stream(
+        self,
+        spec_text: str,
+        source: BinaryIO,
+        destination: BinaryIO,
+        *,
+        codec: str = "bzip2",
+        deadline: float | None = None,
+    ) -> int:
+        """Strict decode of a container file object into ``destination``."""
+        written = 0
+
+        def sink(data: bytes) -> None:
+            nonlocal written
+            destination.write(data)
+            written += len(data)
+
+        self._request(
+            "decompress",
+            {"spec": spec_text, "codec": codec},
+            None,
+            payload_chunks=iter(lambda: source.read(_STREAM_CHUNK), b""),
+            payload_size=None,
+            deadline=deadline,
+            sink=sink,
+        )
+        return written

@@ -859,10 +859,18 @@ def _emit_c_decompress(
 
 
 def _emit_c_main(w: CodeWriter) -> None:
+    from repro import __version__ as generator_version
+
     with w.block("int main(int argc, char *argv[]) {"):
         w.line("int decompress_mode = 0;")
         w.line("int i;")
         with w.block("for (i = 1; i < argc; i++) {"):
+            w.line('if (strcmp(argv[i], "--version") == 0) {')
+            w.indent()
+            w.line(f'printf("tcgen-generated {generator_version}\\n");')
+            w.line("return 0;")
+            w.dedent()
+            w.line("}")
             w.line('if (strcmp(argv[i], "-d") == 0) {')
             w.indent()
             w.line("decompress_mode = 1;")

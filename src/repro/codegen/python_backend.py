@@ -371,6 +371,9 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     else:
         compress_call = "data"
     w.line()
+    from repro import __version__ as generator_version
+
+    w.line(f'GENERATOR_VERSION = "{generator_version}"')
     w.line(f"FINGERPRINT = {spec.fingerprint():#018x}")
     w.line(f"CODEC_ID = {codec_obj.codec_id}")
     w.line(f"HEADER_BYTES = {spec.header_bytes}")
@@ -1123,6 +1126,9 @@ def _emit_main(w: CodeWriter) -> None:
         with w.block("while position < len(argv):"):
             w.line("option = argv[position]")
             w.line("position += 1")
+            with w.block('if option == "--version":'):
+                w.line('print("tcgen-generated %s" % GENERATOR_VERSION)')
+                w.line("raise SystemExit(0)")
             with w.block('if option == "-d":'):
                 w.line("decode = True")
                 w.line("continue")

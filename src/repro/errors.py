@@ -91,3 +91,46 @@ class TruncatedContainerError(CompressedFormatError):
         suffix = f" (byte offset {offset})" if offset is not None else ""
         super().__init__(f"{message}{suffix}")
         self.offset = offset
+
+
+class OperationCancelled(ReproError):
+    """Raised inside a compression/decompression pipeline whose caller
+    requested cancellation (deadline fired, connection dropped).
+
+    Raised by the ``cancel=`` hooks threaded through
+    :func:`repro.runtime.parallel.map_ordered` and
+    :class:`~repro.runtime.engine.TraceEngine`; work aborts at the next
+    chunk boundary, leaving no partial output.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for trace-compression-service failures (client/server)."""
+
+
+class ProtocolError(ServiceError):
+    """Raised when a wire frame or header violates the service protocol."""
+
+
+class BackpressureError(ServiceError):
+    """Raised when the server's request queue is full.
+
+    ``retry_after`` is the server's suggested wait in seconds before
+    retrying; :class:`repro.client.TraceClient` honors it automatically.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's deadline fired before the work finished."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """Raised when the server cannot be reached or is shutting down."""
+
+
+class RemoteError(ServiceError):
+    """Raised when the server reports an internal (non-typed) failure."""

@@ -35,7 +35,7 @@ from repro.model.optimize import OptimizationOptions
 from repro.postcompress import codec_by_id, codec_by_name, decompress_bounded
 from repro.predictors.tables import UpdatePolicy
 from repro.runtime.kernel import FieldKernel
-from repro.runtime.parallel import chunk_spans, map_ordered, resolve_workers
+from repro.runtime.parallel import check_cancel, chunk_spans, map_ordered, resolve_workers
 from repro.runtime.stats import FieldUsage, UsageReport
 from repro.spec.ast import TraceSpec
 from repro.tio.container import (
@@ -122,6 +122,7 @@ class TraceEngine:
         workers: int | None = None,
         executor: str | None = None,
         container_version: int | None = None,
+        cancel=None,
     ) -> bytes:
         """Compress raw trace bytes into a container blob.
 
@@ -130,6 +131,11 @@ class TraceEngine:
         what this engine has always produced; with it, a chunked container —
         v3 (CRC32C integrity framing) by default, or legacy v2 via
         ``container_version=2``.
+
+        ``cancel`` is an optional zero-argument predicate polled at chunk
+        granularity; when it returns true the call aborts with
+        :class:`~repro.errors.OperationCancelled` (used by the service
+        layer to stop work whose deadline already fired).
         """
         model = self.model
         if chunk_records is _UNSET:
@@ -162,19 +168,23 @@ class TraceEngine:
                 )
                 for start, count in spans
             ]
-            results = map_ordered(_compress_chunk_task, tasks, workers, kind="process")
+            results = map_ordered(
+                _compress_chunk_task, tasks, workers, kind="process", cancel=cancel
+            )
         else:
             # The kernel stage is pure Python: threads cannot speed it up,
             # so it runs serially here and the thread pool is spent on the
             # post-compression stage below.
-            results = [
-                _compress_chunk(
-                    model,
-                    self.update_policy,
-                    [col[start : start + count] for col in columns],
+            results = []
+            for start, count in spans:
+                check_cancel(cancel)
+                results.append(
+                    _compress_chunk(
+                        model,
+                        self.update_policy,
+                        [col[start : start + count] for col in columns],
+                    )
                 )
-                for start, count in spans
-            ]
 
         self.last_usage = _merge_usage(model, [usage for _, usage in results])
 
@@ -183,7 +193,9 @@ class TraceEngine:
             raws.append(bytes(header))
         for streams, _ in results:
             raws.extend(streams)
-        payloads = map_ordered(self.codec.compress, raws, workers, kind="thread")
+        payloads = map_ordered(
+            self.codec.compress, raws, workers, kind="thread", cancel=cancel
+        )
         stored = [
             StreamPayload(codec_id=self.codec.codec_id, raw_length=len(raw_stream), data=payload)
             for raw_stream, payload in zip(raws, payloads)
@@ -227,6 +239,7 @@ class TraceEngine:
         executor: str | None = None,
         mode: str = "strict",
         max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+        cancel=None,
     ) -> bytes:
         """Rebuild the exact original trace bytes from a container blob.
 
@@ -297,6 +310,7 @@ class TraceEngine:
             list(zip(flat, labels)),
             workers,
             kind="thread",
+            cancel=cancel,
         )
 
         chunk_inputs = []
@@ -321,13 +335,15 @@ class TraceEngine:
                 for count, codes, values in chunk_inputs
             ]
             chunk_columns = map_ordered(
-                _decompress_chunk_task, tasks, workers, kind="process"
+                _decompress_chunk_task, tasks, workers, kind="process", cancel=cancel
             )
         else:
-            chunk_columns = [
-                _decompress_chunk(model, self.update_policy, count, codes, values)
-                for count, codes, values in chunk_inputs
-            ]
+            chunk_columns = []
+            for count, codes, values in chunk_inputs:
+                check_cancel(cancel)
+                chunk_columns.append(
+                    _decompress_chunk(model, self.update_policy, count, codes, values)
+                )
 
         merged: list[list[int]] = [[] for _ in model.fields]
         for columns in chunk_columns:

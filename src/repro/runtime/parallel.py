@@ -27,6 +27,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.errors import OperationCancelled
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -66,6 +68,18 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def check_cancel(cancel: Callable[[], bool] | None) -> None:
+    """Raise :class:`~repro.errors.OperationCancelled` if ``cancel`` fires.
+
+    ``cancel`` is a cheap zero-argument predicate (typically
+    ``threading.Event.is_set``) owned by whoever started the work — a
+    server request whose deadline fired, a dropped connection.  ``None``
+    means "never cancelled" and costs nothing.
+    """
+    if cancel is not None and cancel():
+        raise OperationCancelled("work cancelled by caller")
+
+
 def map_ordered(
     fn: Callable[[T], R],
     items: Sequence[T] | Iterable[T],
@@ -74,6 +88,7 @@ def map_ordered(
     *,
     retries: int = PROCESS_POOL_RETRIES,
     backoff: float = PROCESS_POOL_BACKOFF_SECONDS,
+    cancel: Callable[[], bool] | None = None,
 ) -> list[R]:
     """Apply ``fn`` to every item, returning results in item order.
 
@@ -90,16 +105,29 @@ def map_ordered(
     serial execution — the result is identical either way because ``fn``
     is pure per item.  Exceptions *raised by* ``fn`` are not retried; they
     propagate exactly as in the serial path.
+
+    ``cancel`` (optional) is a zero-argument predicate polled before each
+    item (serial and thread paths) and before each pool attempt (process
+    path — the predicate cannot cross a pickle boundary); when it returns
+    true the call aborts with :class:`~repro.errors.OperationCancelled`.
+    Cancellation is cooperative and chunk-granular: items already in
+    flight finish, nothing is retried, and no partial result escapes.
     """
     if kind not in EXECUTOR_KINDS:
         raise ValueError(f"unknown executor kind {kind!r}; expected one of {EXECUTOR_KINDS}")
     items = list(items)
     count = resolve_workers(workers)
+    check_cancel(cancel)
     if count <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for item in items:
+            check_cancel(cancel)
+            results.append(fn(item))
+        return results
     count = min(count, len(items))
     if kind == "process":
         for attempt in range(retries + 1):
+            check_cancel(cancel)
             try:
                 with ProcessPoolExecutor(max_workers=count) as pool:
                     return list(pool.map(fn, items))
@@ -108,9 +136,18 @@ def map_ordered(
                     time.sleep(backoff * (2**attempt))
         # Every pool attempt died: run the batch in this process instead.
         # Slower, but deterministic and always available.
-        return [fn(item) for item in items]
+        results = []
+        for item in items:
+            check_cancel(cancel)
+            results.append(fn(item))
+        return results
+
+    def guarded(item: T) -> R:
+        check_cancel(cancel)
+        return fn(item)
+
     with ThreadPoolExecutor(max_workers=count) as pool:
-        return list(pool.map(fn, items))
+        return list(pool.map(guarded, items))
 
 
 def chunk_spans(record_count: int, chunk_records: int) -> list[tuple[int, int]]:

@@ -1,0 +1,39 @@
+"""The trace-compression service: a long-lived daemon over the engine.
+
+The library's compression pipeline (spec -> generated compressor ->
+container) is consumed over the wire in practice: traces are produced at
+an acquisition boundary, compressed near the producer, and fetched by
+downstream analyses.  This package turns the one-shot pipeline into a
+service:
+
+- :mod:`repro.server.protocol` — the length-prefixed framed wire
+  protocol, ops, stable error codes (shared with :mod:`repro.client`);
+- :mod:`repro.server.limits` — payload caps, admission-queue bounds,
+  deadlines, and the other knobs that keep one client from sinking the
+  daemon;
+- :mod:`repro.server.metrics` — counters / gauges / latency histograms
+  with Prometheus text rendering, served by the ``metrics`` op;
+- :mod:`repro.server.handlers` — the blocking op implementations plus
+  the LRU cache of built compressor engines (keyed by canonical spec
+  hash);
+- :mod:`repro.server.daemon` — the asyncio TCP server, ``tcgen-serve``
+  entry point, backpressure, per-request deadlines, graceful drain;
+- :mod:`repro.server.smoke` — the self-contained integration smoke CI
+  runs (``python -m repro.server.smoke``).
+
+Run ``python -m repro.server`` (or the ``tcgen-serve`` console script)
+to start a daemon; see ``docs/SERVER.md`` for the wire format and the
+backpressure/retry contract.
+"""
+
+from repro.server.daemon import TraceServer, serve_main
+from repro.server.limits import ServerConfig
+from repro.server.metrics import MetricsRegistry, ServerMetrics
+
+__all__ = [
+    "MetricsRegistry",
+    "ServerConfig",
+    "ServerMetrics",
+    "TraceServer",
+    "serve_main",
+]

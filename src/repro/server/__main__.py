@@ -1,0 +1,5 @@
+"""CLI entry: ``python -m repro.server`` starts the daemon."""
+
+from repro.server.daemon import serve_main
+
+raise SystemExit(serve_main())

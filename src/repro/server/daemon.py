@@ -1,0 +1,550 @@
+"""The ``tcgen-serve`` asyncio TCP daemon.
+
+Architecture: the event loop owns all I/O and admission control; every
+op's blocking work (spec parsing, prediction kernels, codecs) runs on a
+bounded thread executor.  One connection handles one request at a time
+(requests on a connection are strictly ordered); concurrency comes from
+concurrent connections, bounded by the admission queue.
+
+Robustness model, in the order a request meets it:
+
+1. **framing** — every frame is validated (magic, type, length caps)
+   before allocation; a malformed frame ends the connection with a typed
+   error frame;
+2. **admission** — at most ``queue_limit`` requests are in flight; the
+   next one is refused with an explicit ``backpressure`` error carrying
+   a retry-after hint, *before* any payload bytes move (the CONTINUE
+   handshake);
+3. **payload caps** — declared sizes are rejected up front, streamed
+   sizes enforced cumulatively, stalled uploads fail after
+   ``read_timeout_s`` so they cannot pin a queue slot;
+4. **deadlines** — handler execution is bounded per request; a fired
+   deadline returns a ``deadline_exceeded`` error frame, sets the
+   request's cancel flag (the engine aborts at the next chunk boundary
+   via :func:`repro.runtime.parallel.check_cancel`), and *keeps the
+   connection usable*;
+5. **typed errors** — library exceptions map onto stable protocol codes
+   (:func:`repro.server.protocol.code_for_exception`), so corruption in
+   a ``decompress`` is a ``checksum``/``truncated``/``corrupt`` error
+   frame, never a closed socket;
+6. **drain** — SIGTERM/SIGINT stop the listener, let in-flight requests
+   finish (bounded by ``drain_timeout_s``), then exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from repro.errors import ProtocolError, ReproError
+from repro.server import protocol
+from repro.server.handlers import Handlers
+from repro.server.limits import ServerConfig, config_from_env
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import RequestHeader, code_for_exception
+
+
+class _FatalConnectionError(Exception):
+    """Wire desynchronization: report ``code``/``message``, then hang up."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class _ConnectionState:
+    """Per-connection bookkeeping the drain logic inspects."""
+
+    __slots__ = ("busy",)
+
+    def __init__(self) -> None:
+        self.busy = False
+
+
+class TraceServer:
+    """The trace-compression service (see module docstring)."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = (config or ServerConfig()).validated()
+        self.metrics = ServerMetrics()
+        self.handlers = Handlers(self.config, self.metrics)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.exec_workers, thread_name_prefix="tcgen-serve"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._admitted = 0
+        self._draining = False
+        self._drain_requested: asyncio.Event | None = None
+        self._connections: dict[asyncio.Task, _ConnectionState] = {}
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` — pick a free one)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        self._drain_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+
+    def request_shutdown(self) -> None:
+        """Begin graceful drain.  Safe to call from a signal handler."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._drain_requested is not None:
+            self._drain_requested.set()
+
+    async def run(self) -> int:
+        """Start, serve until shutdown is requested, drain, and exit."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        print(
+            f"tcgen-serve: listening on {self.config.host}:{self.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        stats_task = None
+        if self.config.stats_interval_s > 0:
+            stats_task = asyncio.ensure_future(self._stats_loop())
+        await self._drain_requested.wait()
+        await self._drain()
+        if stats_task is not None:
+            stats_task.cancel()
+            await asyncio.gather(stats_task, return_exceptions=True)
+        print("tcgen-serve: drained, exiting", file=sys.stderr, flush=True)
+        return 0
+
+    async def _drain(self) -> None:
+        """Let in-flight requests finish, then tear everything down."""
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline and any(
+            state.busy for state in self._connections.values()
+        ):
+            await asyncio.sleep(0.02)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    async def _stats_loop(self) -> None:
+        while not self._drain_requested.is_set():
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._drain_requested.wait()),
+                    timeout=self.config.stats_interval_s,
+                )
+            except asyncio.TimeoutError:
+                pass
+            snap = self.metrics.snapshot()
+            fields = " ".join(f"{key}={value}" for key, value in snap.items())
+            print(
+                f"tcgen-serve stats uptime_s={time.monotonic() - self._started_at:.1f} "
+                f"{fields}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    # -- frame I/O -----------------------------------------------------------
+
+    async def _read_frame(
+        self, reader: asyncio.StreamReader, timeout: float | None
+    ) -> tuple[int, bytes] | None:
+        """Read one frame; ``None`` on clean EOF at a frame boundary."""
+
+        async def read() -> tuple[int, bytes] | None:
+            try:
+                header = await reader.readexactly(protocol.HEADER_SIZE)
+            except asyncio.IncompleteReadError as exc:
+                if not exc.partial:
+                    return None
+                raise ProtocolError("connection closed mid-frame-header") from exc
+            frame_type, length = protocol.decode_header(header)
+            try:
+                payload = await reader.readexactly(length) if length else b""
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError("connection closed mid-frame") from exc
+            return frame_type, payload
+
+        if timeout is None:
+            return await read()
+        try:
+            return await asyncio.wait_for(read(), timeout)
+        except asyncio.TimeoutError:
+            raise _FatalConnectionError(
+                "bad_request",
+                f"timed out after {timeout:.0f}s waiting for the next frame",
+            ) from None
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(data)
+        await writer.drain()
+
+    async def _send_error(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: int,
+        code: str,
+        message: str,
+        retry_after_ms: int | None = None,
+    ) -> None:
+        header = {"id": request_id, "ok": False, "code": code, "message": message}
+        if retry_after_ms is not None:
+            header["retry_after_ms"] = retry_after_ms
+        await self._send(writer, protocol.encode_json_frame(protocol.ERROR, header))
+
+    async def _send_response(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: int,
+        meta: dict,
+        payload: bytes,
+    ) -> None:
+        header = {
+            "id": request_id,
+            "ok": True,
+            "payload_size": len(payload),
+            "meta": meta,
+        }
+        await self._send(writer, protocol.encode_json_frame(protocol.RESPONSE, header))
+        for frame in protocol.iter_data_frames(payload):
+            await self._send(writer, frame)
+        self.metrics.bytes_out.child().inc(len(payload))
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        state = _ConnectionState()
+        self._connections[task] = state
+        self.metrics.connections.child().inc()
+        try:
+            while True:
+                frame = await self._read_frame(reader, timeout=None)
+                if frame is None:
+                    break
+                frame_type, payload = frame
+                state.busy = True
+                try:
+                    if frame_type != protocol.REQUEST:
+                        raise _FatalConnectionError(
+                            "bad_request",
+                            f"expected a REQUEST frame, got type {frame_type}",
+                        )
+                    request = RequestHeader.decode(payload)
+                    await self._serve_request(reader, writer, request)
+                finally:
+                    state.busy = False
+        except _FatalConnectionError as exc:
+            try:
+                await self._send_error(writer, 0, exc.code, str(exc))
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        except ProtocolError as exc:
+            try:
+                await self._send_error(writer, 0, "bad_request", str(exc))
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            self._connections.pop(task, None)
+            self.metrics.connections.child().dec()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _resolve_deadline(self, request: RequestHeader) -> float:
+        if request.deadline_ms is None:
+            return self.config.default_deadline_s
+        return min(request.deadline_ms / 1000.0, self.config.max_deadline_s)
+
+    async def _read_payload(
+        self, reader: asyncio.StreamReader, declared: int | None
+    ) -> bytes:
+        """Read DATA frames up to END, enforcing size caps cumulatively."""
+        cap = self.config.max_payload_bytes
+        if declared is not None:
+            cap = min(cap, declared)
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            frame = await self._read_frame(reader, self.config.read_timeout_s)
+            if frame is None:
+                raise _FatalConnectionError(
+                    "bad_request", "connection closed mid-payload"
+                )
+            frame_type, data = frame
+            if frame_type == protocol.END:
+                break
+            if frame_type != protocol.DATA:
+                raise _FatalConnectionError(
+                    "bad_request",
+                    f"expected DATA or END during payload, got type {frame_type}",
+                )
+            total += len(data)
+            if total > cap:
+                raise _FatalConnectionError(
+                    "payload_too_large",
+                    f"payload exceeds {cap} bytes",
+                )
+            chunks.append(data)
+        if declared is not None and total != declared:
+            raise _FatalConnectionError(
+                "bad_request",
+                f"payload declared {declared} bytes but streamed {total}",
+            )
+        return b"".join(chunks)
+
+    async def _serve_request(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request: RequestHeader,
+    ) -> None:
+        start = time.monotonic()
+        op, request_id = request.op, request.request_id
+        status = "ok"
+        try:
+            if op in protocol.PAYLOADLESS_OPS:
+                meta, payload = self._payloadless(op)
+                await self._send_response(writer, request_id, meta, payload)
+                return
+
+            if self._draining:
+                status = "shutting_down"
+                await self._send_error(
+                    writer, request_id, "shutting_down", "server is draining"
+                )
+                return
+            if (
+                request.payload_size is not None
+                and request.payload_size > self.config.max_payload_bytes
+            ):
+                status = "payload_too_large"
+                await self._send_error(
+                    writer,
+                    request_id,
+                    "payload_too_large",
+                    f"declared payload of {request.payload_size} bytes exceeds "
+                    f"the {self.config.max_payload_bytes}-byte cap",
+                )
+                return
+            if self._admitted >= self.config.queue_limit:
+                status = "backpressure"
+                self.metrics.backpressure.child().inc()
+                await self._send_error(
+                    writer,
+                    request_id,
+                    "backpressure",
+                    f"request queue full ({self.config.queue_limit} in flight)",
+                    retry_after_ms=int(self.config.retry_after_s * 1000),
+                )
+                return
+
+            self._admitted += 1
+            self.metrics.queue_depth.child().set(self._admitted)
+            try:
+                await self._send(
+                    writer,
+                    protocol.encode_json_frame(protocol.CONTINUE, {"id": request_id}),
+                )
+                payload = await self._read_payload(reader, request.payload_size)
+                self.metrics.bytes_in.child().inc(len(payload))
+                status = await self._execute(writer, request, payload)
+            finally:
+                self._admitted -= 1
+                self.metrics.queue_depth.child().set(self._admitted)
+        finally:
+            self.metrics.observe_request(op, status, time.monotonic() - start)
+
+    async def _execute(
+        self,
+        writer: asyncio.StreamWriter,
+        request: RequestHeader,
+        payload: bytes,
+    ) -> str:
+        """Run the handler under the request deadline; returns the status."""
+        import threading
+
+        deadline = self._resolve_deadline(request)
+        cancel_event = threading.Event()
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            self.handlers.run,
+            request.op,
+            request.params,
+            payload,
+            cancel_event.is_set,
+        )
+        try:
+            meta, result = await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError:
+            cancel_event.set()
+            # The worker thread aborts at its next chunk boundary; swallow
+            # its eventual OperationCancelled so asyncio never logs an
+            # unretrieved-exception warning.
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            self.metrics.deadlines.child().inc()
+            await self._send_error(
+                writer,
+                request.request_id,
+                "deadline_exceeded",
+                f"request deadline of {deadline:.3f}s exceeded",
+            )
+            return "deadline_exceeded"
+        except (ReproError, ValueError) as exc:
+            code = code_for_exception(exc)
+            await self._send_error(writer, request.request_id, code, str(exc))
+            return code
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the daemon
+            await self._send_error(
+                writer,
+                request.request_id,
+                "internal",
+                f"{type(exc).__name__}: {exc}",
+            )
+            return "internal"
+        await self._send_response(writer, request.request_id, meta, result)
+        return "ok"
+
+    def _payloadless(self, op: str) -> tuple[dict, bytes]:
+        if op == "metrics":
+            return {}, self.metrics.render().encode()
+        from repro import __version__
+
+        snap = self.metrics.snapshot()
+        snap.update(
+            {
+                "status": "draining" if self._draining else "ok",
+                "version": __version__,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "queue_limit": self.config.queue_limit,
+                "cached_compressors": len(self.handlers.cache),
+            }
+        )
+        return snap, b""
+
+
+# -- CLI entry ---------------------------------------------------------------
+
+
+def build_config(args: argparse.Namespace) -> ServerConfig:
+    cfg = config_from_env()
+    overrides = {}
+    for attr, value in (
+        ("host", args.host),
+        ("port", args.port),
+        ("queue_limit", args.queue_limit),
+        ("exec_workers", args.exec_workers),
+        ("engine_workers", args.engine_workers),
+        ("cache_size", args.cache_size),
+        ("default_deadline_s", args.default_deadline),
+        ("read_timeout_s", args.read_timeout),
+        ("drain_timeout_s", args.drain_timeout),
+        ("stats_interval_s", args.stats_interval),
+    ):
+        if value is not None:
+            overrides[attr] = value
+    if args.max_payload_mb is not None:
+        overrides["max_payload_bytes"] = args.max_payload_mb << 20
+    return replace(cfg, **overrides).validated()
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-serve``."""
+    from repro import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="tcgen-serve",
+        description="Serve trace compression over TCP (framed protocol; "
+        "ops: compress, decompress, salvage, analyze, health, metrics).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help=f"TCP port (default {protocol.DEFAULT_PORT}; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="max requests in flight before backpressure (default 32)",
+    )
+    parser.add_argument(
+        "--exec-workers", type=int, default=None, metavar="N",
+        help="worker threads executing requests (default: min(8, CPUs))",
+    )
+    parser.add_argument(
+        "--engine-workers", type=int, default=None, metavar="N",
+        help="per-request codec-stage workers (default 1; bytes identical)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="compressor-engine LRU entries (default 8)",
+    )
+    parser.add_argument(
+        "--max-payload-mb", type=int, default=None, metavar="MB",
+        help="per-request payload cap in MiB (default 256)",
+    )
+    parser.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="deadline applied when the client sends none (default 300)",
+    )
+    parser.add_argument(
+        "--read-timeout", type=float, default=None, metavar="SECONDS",
+        help="max wait for the next frame of an in-progress request (default 60)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="SIGTERM grace period for in-flight requests (default 30)",
+    )
+    parser.add_argument(
+        "--stats-interval", type=float, default=None, metavar="SECONDS",
+        help="log a structured stats line this often (default: off)",
+    )
+    args = parser.parse_args(argv)
+    server = TraceServer(build_config(args))
+    try:
+        return asyncio.run(server.run())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main())

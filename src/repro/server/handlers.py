@@ -1,0 +1,183 @@
+"""Request handlers: the blocking work behind each protocol op.
+
+Handlers run on the daemon's thread executor, so they may block freely;
+the asyncio loop never executes compression work.  All state shared
+between requests lives in :class:`CompressorCache` (thread-safe LRU of
+built engines) — each request gets a shallow copy of the cached engine,
+so per-call mutable state (``last_usage``, ``last_report``) is private
+to the request while the expensive resolved model and codec are shared.
+
+Every handler returns ``(meta, payload)``: a JSON-safe dict for the
+RESPONSE header plus the raw result bytes.  Errors are raised as the
+library's typed exceptions; the daemon maps them onto stable protocol
+error codes via :func:`repro.server.protocol.code_for_exception`.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import ProtocolError, SpecError
+from repro.runtime.engine import TraceEngine
+from repro.server.limits import ServerConfig
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import report_to_dict
+from repro.spec import format_spec, parse_spec
+
+
+class CompressorCache:
+    """Thread-safe LRU of built :class:`TraceEngine` templates.
+
+    Keyed by the SHA-256 of the *canonical* spec text plus the codec
+    name, so syntactic variants of the same specification share one
+    entry.  ``get`` returns ``(template, canonical_hash, hit)``; callers
+    must ``copy.copy`` the template before use (see module docstring).
+    """
+
+    def __init__(self, capacity: int, metrics: ServerMetrics) -> None:
+        self.capacity = max(1, capacity)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, TraceEngine]" = OrderedDict()
+
+    def get(self, spec_text: str, codec: str) -> tuple[TraceEngine, str, bool]:
+        # Parse outside the lock: spec errors must not poison the cache,
+        # and parsing is cheap next to building predictor tables.
+        spec = parse_spec(spec_text)
+        canonical = format_spec(spec)
+        key_hash = hashlib.sha256(
+            canonical.encode() + b"\x00" + codec.encode()
+        ).hexdigest()
+        with self._lock:
+            engine = self._entries.get(key_hash)
+            if engine is not None:
+                self._entries.move_to_end(key_hash)
+                self._metrics.cache_hits.child().inc()
+                return engine, key_hash, True
+        engine = TraceEngine(spec, codec=codec)
+        with self._lock:
+            # A racing request may have built the same engine; keep the
+            # first one so every requester shares a single template.
+            existing = self._entries.get(key_hash)
+            if existing is not None:
+                self._entries.move_to_end(key_hash)
+                self._metrics.cache_hits.child().inc()
+                return existing, key_hash, True
+            self._entries[key_hash] = engine
+            self._metrics.cache_misses.child().inc()
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._metrics.cache_evictions.child().inc()
+        return engine, key_hash, False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class Handlers:
+    """Dispatch table from op name to blocking handler."""
+
+    def __init__(self, config: ServerConfig, metrics: ServerMetrics) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.cache = CompressorCache(config.cache_size, metrics)
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _engine_for(self, params: dict) -> TraceEngine:
+        spec_text = params.get("spec")
+        if not isinstance(spec_text, str) or not spec_text:
+            raise ProtocolError("missing required string param 'spec'")
+        if len(spec_text.encode()) > self.config.max_spec_bytes:
+            raise SpecError(
+                f"specification text exceeds {self.config.max_spec_bytes} bytes"
+            )
+        codec = params.get("codec", "bzip2")
+        if not isinstance(codec, str):
+            raise ProtocolError("param 'codec' must be a string")
+        template, _, _ = self.cache.get(spec_text, codec)
+        # Shallow copy: shares the resolved model/codec/format, gives the
+        # request private last_usage/last_report slots.
+        return copy.copy(template)
+
+    def _workers(self, params: dict) -> int:
+        workers = params.get("workers")
+        if workers is None:
+            return self.config.engine_workers
+        if not isinstance(workers, int) or workers < 0:
+            raise ProtocolError("param 'workers' must be a non-negative int")
+        return min(workers, 16)
+
+    @staticmethod
+    def _chunk_records(params: dict):
+        chunk_records = params.get("chunk_records")
+        if chunk_records is None or chunk_records == "auto":
+            return chunk_records
+        if not isinstance(chunk_records, int) or chunk_records < 0:
+            raise ProtocolError("param 'chunk_records' must be an int or 'auto'")
+        return chunk_records
+
+    # -- ops ----------------------------------------------------------------
+
+    def run(
+        self,
+        op: str,
+        params: dict,
+        payload: bytes,
+        cancel: Callable[[], bool] | None,
+    ) -> tuple[dict, bytes]:
+        handler = getattr(self, f"op_{op}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown op {op!r}")
+        return handler(params, payload, cancel)
+
+    def op_compress(self, params, payload, cancel):
+        engine = self._engine_for(params)
+        blob = engine.compress(
+            payload,
+            chunk_records=self._chunk_records(params),
+            workers=self._workers(params),
+            cancel=cancel,
+        )
+        return {"raw_size": len(payload), "blob_size": len(blob)}, blob
+
+    def op_decompress(self, params, payload, cancel):
+        engine = self._engine_for(params)
+        raw = engine.decompress(
+            payload,
+            workers=self._workers(params),
+            mode="strict",
+            max_chunk_bytes=self.config.max_chunk_bytes,
+            cancel=cancel,
+        )
+        return {"raw_size": len(raw), "blob_size": len(payload)}, raw
+
+    def op_salvage(self, params, payload, cancel):
+        engine = self._engine_for(params)
+        raw = engine.decompress(
+            payload,
+            workers=self._workers(params),
+            mode="salvage",
+            max_chunk_bytes=self.config.max_chunk_bytes,
+            cancel=cancel,
+        )
+        meta = {"raw_size": len(raw), "blob_size": len(payload)}
+        if engine.last_report is not None:
+            meta["report"] = report_to_dict(engine.last_report)
+        return meta, raw
+
+    def op_analyze(self, params, payload, cancel):
+        from repro.analysis import analyze_trace, recommend_spec
+        from repro.tio import VPC_FORMAT
+
+        budget = params.get("budget_bytes", 64 << 20)
+        if not isinstance(budget, int) or budget <= 0:
+            raise ProtocolError("param 'budget_bytes' must be a positive int")
+        stats = analyze_trace(VPC_FORMAT, payload)
+        spec = recommend_spec(VPC_FORMAT, payload, budget_bytes=budget)
+        return {"recommended_spec": format_spec(spec)}, stats.render().encode()

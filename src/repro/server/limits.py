@@ -1,0 +1,130 @@
+"""Resource limits and tunables for the trace-compression daemon.
+
+Every limit exists to keep one hostile or unlucky client from taking the
+server down: payload caps bound memory, the admission queue bounds
+concurrent work (everything past it gets an explicit backpressure
+response instead of unbounded latency), deadlines bound time, and the
+read timeout bounds how long a stalled upload may pin a queue slot.
+Container-level hostile-metadata limits (``max_chunk_bytes``) are reused
+from :mod:`repro.tio.container` so the service enforces exactly the same
+decode hardening as the local library.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.runtime.parallel import available_parallelism
+from repro.server.protocol import DEFAULT_PORT
+from repro.tio.container import DEFAULT_MAX_CHUNK_BYTES
+
+
+def _default_exec_workers() -> int:
+    """Executor threads: enough to keep cores busy, bounded for fairness."""
+    return min(8, max(2, available_parallelism()))
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``tcgen-serve`` can be tuned with.
+
+    The defaults are safe for a loopback development server; production
+    deployments mostly raise ``queue_limit`` and ``exec_workers`` to
+    match provisioned CPU, and ``max_payload_bytes`` to their largest
+    trace.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+
+    #: Upper bound on requests admitted at once (queued + executing).
+    #: Request number ``queue_limit + 1`` receives a ``backpressure``
+    #: error with a retry-after hint instead of waiting unboundedly.
+    queue_limit: int = 32
+
+    #: Threads in the blocking-work executor (compression kernels,
+    #: codecs).  Admitted requests past this count wait in the queue.
+    exec_workers: int = field(default_factory=_default_exec_workers)
+
+    #: ``workers=`` handed to the engine per request (thread fan-out of
+    #: the codec stage).  1 serializes within a request and lets
+    #: cross-request parallelism come from ``exec_workers``; output bytes
+    #: are identical either way.
+    engine_workers: int = 1
+
+    #: Generated-compressor cache entries (keyed by canonical spec hash
+    #: + codec).  Small: a resolved model is a few MB of tables.
+    cache_size: int = 8
+
+    #: Hard cap on one request's payload bytes.
+    max_payload_bytes: int = 256 * 1024 * 1024
+
+    #: Hard cap on the embedded specification text.
+    max_spec_bytes: int = 64 * 1024
+
+    #: Deadline applied when the client does not send one, and the cap
+    #: applied when it does (seconds).
+    default_deadline_s: float = 300.0
+    max_deadline_s: float = 3600.0
+
+    #: How long the server waits for the next frame of an in-progress
+    #: request before failing it (stalled upload holding a queue slot).
+    read_timeout_s: float = 60.0
+
+    #: How long SIGTERM waits for in-flight requests before forcing exit.
+    drain_timeout_s: float = 30.0
+
+    #: Retry-after hint handed out with backpressure errors (seconds).
+    retry_after_s: float = 0.1
+
+    #: Per-section decode cap reused from the container hardening layer.
+    max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES
+
+    #: Emit a structured stats log line every this many seconds (0 = off).
+    stats_interval_s: float = 0.0
+
+    def validated(self) -> "ServerConfig":
+        """Clamp obviously broken values instead of crashing at runtime."""
+        cfg = self
+        if cfg.queue_limit < 1:
+            cfg = replace(cfg, queue_limit=1)
+        if cfg.exec_workers < 1:
+            cfg = replace(cfg, exec_workers=1)
+        if cfg.cache_size < 1:
+            cfg = replace(cfg, cache_size=1)
+        if cfg.engine_workers < 0:
+            cfg = replace(cfg, engine_workers=1)
+        return cfg
+
+
+def config_from_env(base: ServerConfig | None = None) -> ServerConfig:
+    """Overlay ``TCGEN_SERVE_*`` environment variables on ``base``.
+
+    Recognized: ``TCGEN_SERVE_HOST``, ``TCGEN_SERVE_PORT``,
+    ``TCGEN_SERVE_QUEUE_LIMIT``, ``TCGEN_SERVE_EXEC_WORKERS``,
+    ``TCGEN_SERVE_MAX_PAYLOAD_MB``.  Command-line flags win over the
+    environment; the environment wins over defaults.
+    """
+    cfg = base or ServerConfig()
+    env = os.environ
+    if "TCGEN_SERVE_HOST" in env:
+        cfg = replace(cfg, host=env["TCGEN_SERVE_HOST"])
+    for name, attr in (
+        ("TCGEN_SERVE_PORT", "port"),
+        ("TCGEN_SERVE_QUEUE_LIMIT", "queue_limit"),
+        ("TCGEN_SERVE_EXEC_WORKERS", "exec_workers"),
+    ):
+        if name in env:
+            try:
+                cfg = replace(cfg, **{attr: int(env[name])})
+            except ValueError:
+                pass
+    if "TCGEN_SERVE_MAX_PAYLOAD_MB" in env:
+        try:
+            cfg = replace(
+                cfg, max_payload_bytes=int(env["TCGEN_SERVE_MAX_PAYLOAD_MB"]) << 20
+            )
+        except ValueError:
+            pass
+    return cfg.validated()

@@ -1,0 +1,304 @@
+"""Server observability: counters, gauges, latency histograms.
+
+A deliberately small, dependency-free metrics core in the Prometheus
+data model.  Three instrument kinds:
+
+- :class:`Counter` — monotonically increasing count (requests, bytes,
+  cache hits);
+- :class:`Gauge` — instantaneous value (queue depth, open connections);
+- :class:`Histogram` — cumulative-bucket latency distribution with
+  ``_sum`` and ``_count`` series.
+
+Instruments hang off a :class:`MetricsRegistry` as *families* keyed by
+metric name; a family fans out into children per label combination
+(``registry.counter("x", "help", ("op",)).labels(op="compress").inc()``).
+Rendering (:meth:`MetricsRegistry.render`) produces the Prometheus text
+exposition format, served verbatim by the ``metrics`` protocol op.
+Every instrument takes one lock per update — contention is negligible
+next to compression work — and rendering is deterministic (families in
+registration order, children sorted by label values) so tests can
+assert on exact lines.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Default latency buckets in seconds: 1 ms .. 60 s, roughly log-spaced.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render ints without a trailing ``.0``, floats as-is."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_text(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{value}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """An instantaneous value that can move both ways."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket distribution (Prometheus semantics)."""
+
+    __slots__ = ("_lock", "buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if tuple(sorted(buckets)) != tuple(buckets) or not buckets:
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self._lock = threading.Lock()
+        self.buckets = tuple(buckets)
+        self.counts = [0] * len(buckets)  # per-bucket (non-cumulative) counts
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            if index < len(self.counts):
+                self.counts[index] += 1
+            self.total += value
+            self.count += 1
+
+
+class _Family:
+    """One named metric with children per label-value combination."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        label_names: tuple[str, ...],
+        factory,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.label_names = label_names
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labels: str):
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name} wants labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._factory()
+                self._children[key] = child
+            return child
+
+    def child(self):
+        """The single unlabeled child (for label-less families)."""
+        if self.label_names:
+            raise ValueError(f"metric {self.name} requires labels")
+        return self.labels()
+
+    def items(self):
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """A namespace of metric families with Prometheus text rendering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _register(self, name, help_text, kind, label_names, factory) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, help_text, kind, tuple(label_names), factory)
+                self._families[name] = family
+            elif family.kind != kind or family.label_names != tuple(label_names):
+                raise ValueError(f"metric {name} re-registered inconsistently")
+            return family
+
+    def counter(self, name: str, help_text: str, label_names=()) -> _Family:
+        return self._register(name, help_text, "counter", label_names, Counter)
+
+    def gauge(self, name: str, help_text: str, label_names=()) -> _Family:
+        return self._register(name, help_text, "gauge", label_names, Gauge)
+
+    def histogram(
+        self, name: str, help_text: str, label_names=(),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> _Family:
+        return self._register(
+            name, help_text, "histogram", label_names,
+            lambda: Histogram(buckets),
+        )
+
+    def render(self) -> str:
+        """Prometheus text exposition of every family."""
+        lines: list[str] = []
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in family.items():
+                label_text = _label_text(family.label_names, values)
+                if isinstance(child, (Counter, Gauge)):
+                    lines.append(
+                        f"{family.name}{label_text} {_format_value(child.value)}"
+                    )
+                    continue
+                cumulative = 0
+                for bound, count in zip(child.buckets, child.counts):
+                    cumulative += count
+                    bucket_labels = _label_text(
+                        family.label_names + ("le",),
+                        values + (_format_value(bound),),
+                    )
+                    lines.append(f"{family.name}_bucket{bucket_labels} {cumulative}")
+                inf_labels = _label_text(
+                    family.label_names + ("le",), values + ("+Inf",)
+                )
+                lines.append(f"{family.name}_bucket{inf_labels} {child.count}")
+                lines.append(
+                    f"{family.name}_sum{label_text} {_format_value(child.total)}"
+                )
+                lines.append(f"{family.name}_count{label_text} {child.count}")
+        return "\n".join(lines) + "\n"
+
+
+class ServerMetrics:
+    """The daemon's instrument set, pre-registered with stable names."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.requests = self.registry.counter(
+            "tcgen_requests_total",
+            "Requests finished, by op and terminal status (ok or error code).",
+            ("op", "status"),
+        )
+        self.latency = self.registry.histogram(
+            "tcgen_request_seconds",
+            "Wall-clock request latency from header receipt to response, by op.",
+            ("op",),
+        )
+        self.bytes_in = self.registry.counter(
+            "tcgen_bytes_in_total", "Request payload bytes received."
+        )
+        self.bytes_out = self.registry.counter(
+            "tcgen_bytes_out_total", "Response payload bytes sent."
+        )
+        self.queue_depth = self.registry.gauge(
+            "tcgen_queue_depth", "Requests currently admitted (queued + executing)."
+        )
+        self.connections = self.registry.gauge(
+            "tcgen_connections", "Open client connections."
+        )
+        self.backpressure = self.registry.counter(
+            "tcgen_backpressure_total", "Requests rejected because the queue was full."
+        )
+        self.deadlines = self.registry.counter(
+            "tcgen_deadline_total", "Requests whose per-request deadline fired."
+        )
+        self.cache_hits = self.registry.counter(
+            "tcgen_compressor_cache_hits_total",
+            "Requests served by an already-built compressor engine.",
+        )
+        self.cache_misses = self.registry.counter(
+            "tcgen_compressor_cache_misses_total",
+            "Requests that had to parse the spec and build a new engine.",
+        )
+        self.cache_evictions = self.registry.counter(
+            "tcgen_compressor_cache_evictions_total",
+            "Engines dropped from the LRU compressor cache.",
+        )
+
+    def cache_hit_rate(self) -> float:
+        hits = self.cache_hits.child().value
+        misses = self.cache_misses.child().value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def observe_request(self, op: str, status: str, seconds: float) -> None:
+        self.requests.labels(op=op, status=status).inc()
+        self.latency.labels(op=op).observe(seconds)
+
+    def snapshot(self) -> dict:
+        """Flat key/value summary for stats log lines and the health op."""
+        ok = errors = 0.0
+        for (op, status), child in self.requests.items():
+            if status == "ok":
+                ok += child.value
+            else:
+                errors += child.value
+        return {
+            "requests_ok": int(ok),
+            "requests_error": int(errors),
+            "backpressure": int(self.backpressure.child().value),
+            "deadlines": int(self.deadlines.child().value),
+            "queue_depth": int(self.queue_depth.child().value),
+            "connections": int(self.connections.child().value),
+            "bytes_in": int(self.bytes_in.child().value),
+            "bytes_out": int(self.bytes_out.child().value),
+            "cache_hits": int(self.cache_hits.child().value),
+            "cache_misses": int(self.cache_misses.child().value),
+            "cache_evictions": int(self.cache_evictions.child().value),
+            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+        }
+
+    def render(self) -> str:
+        return self.registry.render()

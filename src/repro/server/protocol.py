@@ -1,0 +1,332 @@
+"""The trace-compression service wire protocol.
+
+A single, length-prefixed framing shared by the asyncio server
+(:mod:`repro.server.daemon`) and the synchronous client
+(:mod:`repro.client`).  Everything on the wire is a *frame*:
+
+```
+magic "TC" (2 bytes)  type u8  flags u8 (reserved, 0)
+payload_length u32 big-endian
+payload (payload_length bytes)
+```
+
+Frame types
+-----------
+
+======== === =========================================================
+REQUEST    1 client -> server; JSON header opening one request
+CONTINUE   2 server -> client; go-ahead to stream the request payload
+DATA       3 either direction; one chunk of payload bytes
+END        4 either direction; payload finished (empty frame)
+RESPONSE   5 server -> client; JSON success header (payload follows)
+ERROR      6 server -> client; JSON typed failure (terminates request)
+======== === =========================================================
+
+One request is a strict frame sequence on an otherwise idle connection:
+
+```
+C->S  REQUEST {op, id, payload_size, deadline_ms, params}
+S->C  CONTINUE {id}            (only when payload_size != 0)
+C->S  DATA* END                (only when payload_size != 0)
+S->C  RESPONSE {id, payload_size, meta}  DATA*  END
+  or  ERROR {id, code, message, retry_after_ms?}
+```
+
+The CONTINUE handshake is the backpressure mechanism: admission control
+runs *before* the server agrees to receive the payload, so a saturated
+server rejects with ``code="backpressure"`` after reading only a small
+header — no payload bytes are wasted, and the client retries with
+exponential backoff.  Requests without payload (``health``, ``metrics``)
+skip the handshake entirely.
+
+``payload_size`` may be ``null`` for a stream of unknown length (the
+server enforces its payload cap cumulatively); otherwise the DATA bytes
+must sum to exactly the declared size.
+
+Error codes are stable strings (see :data:`ERROR_CODES`); the client
+maps them back to the same typed exceptions the local library raises, so
+``repro.client`` callers handle corruption identically whether the
+decode ran locally or remotely.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+from repro.errors import (
+    BackpressureError,
+    ChecksumError,
+    CompressedFormatError,
+    DeadlineExceededError,
+    OperationCancelled,
+    ProtocolError,
+    RemoteError,
+    ReproError,
+    ServiceUnavailableError,
+    SpecError,
+    TraceFormatError,
+    TruncatedContainerError,
+)
+from repro.tio.container import DecodeReport
+
+#: Protocol magic, the first two bytes of every frame.
+MAGIC = b"TC"
+
+#: Protocol version, carried in the REQUEST header and checked by the server.
+PROTOCOL_VERSION = 1
+
+#: Default TCP port for ``tcgen-serve``.
+DEFAULT_PORT = 8737
+
+# Frame types.
+REQUEST = 1
+CONTINUE = 2
+DATA = 3
+END = 4
+RESPONSE = 5
+ERROR = 6
+
+FRAME_TYPES = (REQUEST, CONTINUE, DATA, END, RESPONSE, ERROR)
+
+#: Fixed frame-header layout: magic, type, flags, payload length.
+HEADER = struct.Struct(">2sBBI")
+HEADER_SIZE = HEADER.size
+
+#: Payload bytes per DATA frame when streaming (both directions).
+DATA_CHUNK = 256 * 1024
+
+#: Hard cap on a single frame's payload.  Control frames are small JSON;
+#: DATA frames are at most :data:`DATA_CHUNK`.  Anything larger is a
+#: protocol violation, rejected before allocation.
+MAX_FRAME_BYTES = 1 << 20
+
+#: The operations the service understands.
+OPS = ("compress", "decompress", "salvage", "analyze", "health", "metrics")
+
+#: Ops that carry no request payload (processed without the CONTINUE
+#: handshake and exempt from admission control).
+PAYLOADLESS_OPS = ("health", "metrics")
+
+#: Stable protocol error codes.
+ERROR_CODES = (
+    "bad_request",        # malformed header, unknown op, bad params
+    "spec_error",         # the embedded specification failed to parse/validate
+    "trace_format",       # raw trace bytes do not frame into records
+    "checksum",           # v3 container section failed its CRC32C
+    "truncated",          # container ends before its framing says it should
+    "corrupt",            # other container corruption / fingerprint mismatch
+    "payload_too_large",  # declared or streamed payload exceeds the cap
+    "backpressure",       # request queue full; retry after the hinted delay
+    "deadline_exceeded",  # per-request deadline fired before work finished
+    "shutting_down",      # server is draining; no new work accepted
+    "internal",           # unexpected server-side failure
+)
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(frame_type: int, payload: bytes = b"") -> bytes:
+    """Serialize one frame (header + payload)."""
+    if frame_type not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame_type}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return HEADER.pack(MAGIC, frame_type, 0, len(payload)) + payload
+
+
+def decode_header(header: bytes) -> tuple[int, int]:
+    """Parse a frame header into ``(frame_type, payload_length)``."""
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(
+            f"frame header is {len(header)} bytes, expected {HEADER_SIZE}"
+        )
+    magic, frame_type, flags, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if frame_type not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame_type}")
+    if flags != 0:
+        raise ProtocolError(f"reserved frame flags set: {flags:#x}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return frame_type, length
+
+
+def encode_json_frame(frame_type: int, header: dict) -> bytes:
+    """Serialize a control frame whose payload is a JSON object."""
+    return encode_frame(
+        frame_type, json.dumps(header, separators=(",", ":")).encode()
+    )
+
+
+def decode_json_payload(payload: bytes) -> dict:
+    """Parse a control frame's JSON payload, rejecting non-objects."""
+    try:
+        header = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"control frame payload is not JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("control frame payload must be a JSON object")
+    return header
+
+
+def iter_data_frames(payload: bytes):
+    """Yield the encoded DATA/END frame sequence for ``payload``."""
+    for start in range(0, len(payload), DATA_CHUNK):
+        yield encode_frame(DATA, payload[start : start + DATA_CHUNK])
+    yield encode_frame(END)
+
+
+# -- error-code mapping ------------------------------------------------------
+
+#: Exception type -> protocol error code, most specific first.
+_EXCEPTION_CODES: tuple[tuple[type, str], ...] = (
+    (ChecksumError, "checksum"),
+    (TruncatedContainerError, "truncated"),
+    (CompressedFormatError, "corrupt"),
+    (TraceFormatError, "trace_format"),
+    (SpecError, "spec_error"),
+    (OperationCancelled, "deadline_exceeded"),
+    (DeadlineExceededError, "deadline_exceeded"),
+    (BackpressureError, "backpressure"),
+    (ServiceUnavailableError, "shutting_down"),
+)
+
+
+def code_for_exception(exc: BaseException) -> str:
+    """Map an exception to its stable protocol error code."""
+    for exc_type, code in _EXCEPTION_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    if isinstance(exc, ValueError):
+        return "bad_request"
+    return "internal"
+
+
+def exception_for(code: str, message: str, retry_after_ms: int | None = None) -> ReproError:
+    """Rebuild the typed exception for a wire error code (client side)."""
+    if code == "checksum":
+        return ChecksumError(message)
+    if code == "truncated":
+        return TruncatedContainerError(message)
+    if code == "corrupt":
+        return CompressedFormatError(message)
+    if code == "trace_format":
+        return TraceFormatError(message)
+    if code == "spec_error":
+        return SpecError(message)
+    if code == "deadline_exceeded":
+        return DeadlineExceededError(message)
+    if code == "backpressure":
+        return BackpressureError(message, retry_after=(retry_after_ms or 100) / 1000.0)
+    if code == "shutting_down":
+        return ServiceUnavailableError(message)
+    if code == "payload_too_large" or code == "bad_request":
+        return ProtocolError(f"{code}: {message}")
+    return RemoteError(f"{code}: {message}")
+
+
+# -- salvage-report serialization --------------------------------------------
+
+
+def report_to_dict(report: DecodeReport) -> dict:
+    """JSON-safe rendering of a :class:`~repro.tio.container.DecodeReport`."""
+    return {
+        "version": report.version,
+        "mode": report.mode,
+        "total_chunks": report.total_chunks,
+        "total_records": report.total_records,
+        "recovered_chunks": list(report.recovered_chunks),
+        "lost_chunks": list(report.lost_chunks),
+        "reasons": {str(k): v for k, v in report.reasons.items()},
+        "recovered_records": report.recovered_records,
+        "lost_records": report.lost_records,
+        "header_damaged": report.header_damaged,
+        "header_stream_lost": report.header_stream_lost,
+        "trailer_damaged": report.trailer_damaged,
+        "truncated": report.truncated,
+        "notes": list(report.notes),
+    }
+
+
+def report_from_dict(data: dict) -> DecodeReport:
+    """Inverse of :func:`report_to_dict`; tolerant of missing keys."""
+    report = DecodeReport()
+    report.version = data.get("version")
+    report.mode = data.get("mode", "salvage")
+    report.total_chunks = data.get("total_chunks")
+    report.total_records = data.get("total_records")
+    report.recovered_chunks = [int(i) for i in data.get("recovered_chunks", [])]
+    report.lost_chunks = [int(i) for i in data.get("lost_chunks", [])]
+    report.reasons = {int(k): str(v) for k, v in data.get("reasons", {}).items()}
+    report.recovered_records = int(data.get("recovered_records", 0))
+    report.lost_records = int(data.get("lost_records", 0))
+    report.header_damaged = bool(data.get("header_damaged", False))
+    report.header_stream_lost = bool(data.get("header_stream_lost", False))
+    report.trailer_damaged = bool(data.get("trailer_damaged", False))
+    report.truncated = bool(data.get("truncated", False))
+    report.notes = [str(n) for n in data.get("notes", [])]
+    return report
+
+
+# -- request/response headers ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestHeader:
+    """Validated contents of a REQUEST frame."""
+
+    op: str
+    request_id: int
+    payload_size: int | None  # None = stream until END
+    deadline_ms: int | None
+    params: dict
+
+    def encode(self) -> bytes:
+        return encode_json_frame(
+            REQUEST,
+            {
+                "v": PROTOCOL_VERSION,
+                "op": self.op,
+                "id": self.request_id,
+                "payload_size": self.payload_size,
+                "deadline_ms": self.deadline_ms,
+                "params": self.params,
+            },
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "RequestHeader":
+        header = decode_json_payload(payload)
+        version = header.get("v")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(f"unsupported protocol version {version!r}")
+        op = header.get("op")
+        if op not in OPS:
+            raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+        request_id = header.get("id")
+        if not isinstance(request_id, int) or request_id < 0:
+            raise ProtocolError(f"bad request id {request_id!r}")
+        payload_size = header.get("payload_size")
+        if payload_size is not None and (
+            not isinstance(payload_size, int) or payload_size < 0
+        ):
+            raise ProtocolError(f"bad payload_size {payload_size!r}")
+        deadline_ms = header.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, int) or deadline_ms <= 0
+        ):
+            raise ProtocolError(f"bad deadline_ms {deadline_ms!r}")
+        params = header.get("params") or {}
+        if not isinstance(params, dict):
+            raise ProtocolError("params must be a JSON object")
+        return cls(op, request_id, payload_size, deadline_ms, params)

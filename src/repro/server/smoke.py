@@ -1,0 +1,188 @@
+"""Self-contained server integration smoke (run by CI).
+
+``python -m repro.server.smoke`` starts a real ``tcgen-serve`` daemon as
+a subprocess on a loopback port, then checks the service contract end to
+end:
+
+1. concurrent client roundtrips — compressed bytes must be identical to
+   the local :class:`~repro.runtime.engine.TraceEngine` for every preset
+   spec, under at least 8 concurrent clients;
+2. a deliberately corrupt decompress — must come back as a typed
+   corruption error frame, never a closed socket or an internal error;
+3. metrics — non-zero request counters and a reported cache hit rate
+   after the workload;
+4. graceful drain — SIGTERM must let the daemon exit 0 with the
+   advertised "drained, exiting" line.
+
+Exits non-zero on the first violation, printing what broke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+
+def _start_daemon(extra_args: list[str]) -> tuple[subprocess.Popen, int]:
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--stats-interval",
+            "2",
+            *extra_args,
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stderr.readline()
+        if not line:
+            raise RuntimeError(
+                f"daemon exited before listening (rc={process.poll()})"
+            )
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1])
+            return process, port
+    raise RuntimeError("daemon never printed its listening line")
+
+
+def _drain_stderr(process: subprocess.Popen) -> str:
+    """Keep the daemon's stderr pipe from filling while we work."""
+    return process.stderr.read() if process.stderr else ""
+
+
+def run_smoke(clients: int = 8, roundtrips: int = 3) -> int:
+    from repro.client import TraceClient
+    from repro.errors import CompressedFormatError
+    from repro.runtime.engine import TraceEngine
+    from repro.spec import parse_spec
+    from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+    from repro.testing.faults import inject
+
+    import numpy as np
+
+    from repro.tio import VPC_FORMAT, pack_records
+
+    def make_trace(n: int, seed: int) -> bytes:
+        rng = np.random.default_rng(seed)
+        pcs = (0x1000 + (np.arange(n) % 61) * 4).astype(np.uint64)
+        data = (np.cumsum(rng.integers(0, 32, size=n)) + 0x4000_0000).astype(
+            np.uint64
+        )
+        return pack_records(VPC_FORMAT, b"VPC3", [pcs, data])
+
+    failures: list[str] = []
+    process, port = _start_daemon([])
+    # A stderr-draining thread keeps the pipe from blocking the daemon.
+    stderr_pool = ThreadPoolExecutor(max_workers=1)
+    stderr_future = stderr_pool.submit(_drain_stderr, process)
+    try:
+        specs = {"tcgen_a": TCGEN_A_SPEC, "tcgen_b": TCGEN_B_SPEC}
+        locals_ = {
+            name: TraceEngine(parse_spec(text)) for name, text in specs.items()
+        }
+        raw = make_trace(4000, seed=1)
+        expected = {
+            name: engine.compress(raw, chunk_records="auto")
+            for name, engine in locals_.items()
+        }
+
+        def worker(index: int) -> list[str]:
+            problems = []
+            with TraceClient("127.0.0.1", port, retries=10, backoff=0.02) as client:
+                for trip in range(roundtrips):
+                    for name, text in specs.items():
+                        blob = client.compress(text, raw, chunk_records="auto")
+                        if blob != expected[name]:
+                            problems.append(
+                                f"client {index} trip {trip}: {name} bytes differ "
+                                f"from local engine"
+                            )
+                        back = client.decompress(text, blob)
+                        if back != raw:
+                            problems.append(
+                                f"client {index} trip {trip}: {name} roundtrip lossy"
+                            )
+            return problems
+
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            for result in pool.map(worker, range(clients)):
+                failures.extend(result)
+        print(
+            f"smoke: {clients} clients x {roundtrips} roundtrips x "
+            f"{len(specs)} specs byte-identical: "
+            f"{'FAIL' if failures else 'ok'}"
+        )
+
+        # Deliberately corrupt decompress: typed error, connection survives.
+        with TraceClient("127.0.0.1", port, retries=4, backoff=0.02) as client:
+            damaged, fault = inject(expected["tcgen_a"], "bitflip", seed=3)
+            try:
+                client.decompress(TCGEN_A_SPEC, damaged)
+                failures.append("corrupt decompress did not raise")
+            except CompressedFormatError:
+                print(f"smoke: corrupt decompress ({fault}) -> typed error: ok")
+            except Exception as exc:  # noqa: BLE001
+                failures.append(
+                    f"corrupt decompress raised {type(exc).__name__}: {exc}"
+                )
+            health = client.health()
+            if health.get("requests_ok", 0) < clients * roundtrips:
+                failures.append(f"suspicious health counters: {health}")
+            metrics = client.metrics_text()
+            if 'tcgen_requests_total{op="compress",status="ok"}' not in metrics:
+                failures.append("metrics exposition missing request counters")
+            if "tcgen_compressor_cache_hits_total" not in metrics:
+                failures.append("metrics exposition missing cache hit counters")
+            print(
+                f"smoke: health ok={health.get('requests_ok')} "
+                f"cache_hit_rate={health.get('cache_hit_rate')}"
+            )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            returncode = process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            returncode = -9
+            failures.append("daemon did not drain within 30s of SIGTERM")
+        stderr_text = stderr_future.result(timeout=10)
+        stderr_pool.shutdown()
+
+    if returncode != 0:
+        failures.append(f"daemon exited {returncode}, expected 0")
+    if "drained, exiting" not in stderr_text:
+        failures.append("daemon never logged its drain line")
+    if "tcgen-serve stats" not in stderr_text:
+        failures.append("daemon never logged a stats line (--stats-interval)")
+    print(f"smoke: SIGTERM drain rc={returncode}: {'FAIL' if returncode else 'ok'}")
+
+    for failure in failures:
+        print(f"VIOLATION: {failure}")
+    print(f"server smoke: {len(failures)} violations")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Trace-compression-service integration smoke (used by CI)."
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--roundtrips", type=int, default=3)
+    args = parser.parse_args(argv)
+    return run_smoke(clients=args.clients, roundtrips=args.roundtrips)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -198,6 +198,46 @@ class TestAtomicOutput:
         assert not list(tmp_path.glob(".tmp*"))
 
 
+class TestVersionFlag:
+    """Every console script and generated main answers ``--version``."""
+
+    @pytest.mark.parametrize(
+        "entry",
+        ["tcgen_main", "trace_main", "bench_main", "analyze_main", "serve_main"],
+    )
+    def test_cli_version(self, entry, capsys):
+        import repro
+        import repro.cli as cli
+
+        with pytest.raises(SystemExit) as info:
+            getattr(cli, entry)(["--version"])
+        assert info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_generated_python_main_version(self, capsys):
+        import repro
+        from repro.codegen import generate_python, load_python_module
+        from repro.model import build_model
+        from repro.spec import tcgen_a
+
+        module = load_python_module(generate_python(build_model(tcgen_a())))
+        with pytest.raises(SystemExit) as info:
+            module.main(["--version"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert "tcgen-generated" in out
+        assert repro.__version__ in out
+
+    def test_generated_c_main_handles_version(self):
+        import repro
+        from repro import generate_c_source
+        from repro.spec import tcgen_a
+
+        source = generate_c_source(tcgen_a())
+        assert '"--version"' in source
+        assert f"tcgen-generated {repro.__version__}" in source
+
+
 class TestGeneratedMainRobustness:
     """The generated module's main(): --salvage, -o, and exit code 2."""
 

@@ -1,0 +1,302 @@
+"""Tests for the service wire protocol and the metrics core.
+
+Pure-function coverage: framing, header validation, error-code mapping,
+salvage-report serialization, and the Prometheus-style metrics registry.
+The live server contract is covered in ``test_server.py``.
+"""
+
+import pytest
+
+from repro.errors import (
+    BackpressureError,
+    ChecksumError,
+    CompressedFormatError,
+    DeadlineExceededError,
+    ProtocolError,
+    RemoteError,
+    ServiceUnavailableError,
+    SpecError,
+    TraceFormatError,
+    TruncatedContainerError,
+)
+from repro.server import protocol
+from repro.server.metrics import (
+    Histogram,
+    MetricsRegistry,
+    ServerMetrics,
+)
+from repro.server.protocol import (
+    RequestHeader,
+    code_for_exception,
+    decode_header,
+    decode_json_payload,
+    encode_frame,
+    encode_json_frame,
+    exception_for,
+    iter_data_frames,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.tio.container import DecodeReport
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_frame(protocol.DATA, b"hello")
+        frame_type, length = decode_header(frame[: protocol.HEADER_SIZE])
+        assert frame_type == protocol.DATA
+        assert length == 5
+        assert frame[protocol.HEADER_SIZE :] == b"hello"
+
+    def test_empty_payload(self):
+        frame = encode_frame(protocol.END)
+        _, length = decode_header(frame[: protocol.HEADER_SIZE])
+        assert length == 0
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(protocol.DATA, b"x"))
+        frame[0] = ord("X")
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_header(bytes(frame[: protocol.HEADER_SIZE]))
+
+    def test_unknown_frame_type_rejected(self):
+        frame = bytearray(encode_frame(protocol.DATA, b"x"))
+        frame[2] = 99
+        with pytest.raises(ProtocolError, match="frame type"):
+            decode_header(bytes(frame[: protocol.HEADER_SIZE]))
+
+    def test_reserved_flags_rejected(self):
+        frame = bytearray(encode_frame(protocol.DATA, b"x"))
+        frame[3] = 1
+        with pytest.raises(ProtocolError, match="flags"):
+            decode_header(bytes(frame[: protocol.HEADER_SIZE]))
+
+    def test_oversized_declared_length_rejected(self):
+        header = protocol.HEADER.pack(
+            protocol.MAGIC, protocol.DATA, 0, protocol.MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(ProtocolError, match="cap"):
+            decode_header(header)
+
+    def test_oversized_payload_refused_on_encode(self):
+        with pytest.raises(ProtocolError, match="cap"):
+            encode_frame(protocol.DATA, b"\0" * (protocol.MAX_FRAME_BYTES + 1))
+
+    def test_json_frame_roundtrip(self):
+        frame = encode_json_frame(protocol.RESPONSE, {"id": 7, "ok": True})
+        payload = frame[protocol.HEADER_SIZE :]
+        assert decode_json_payload(payload) == {"id": 7, "ok": True}
+
+    def test_non_json_control_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode_json_payload(b"\xff\xfe")
+        with pytest.raises(ProtocolError, match="object"):
+            decode_json_payload(b"[1, 2]")
+
+    def test_iter_data_frames_chunks_and_terminates(self):
+        payload = b"z" * (protocol.DATA_CHUNK + 10)
+        frames = list(iter_data_frames(payload))
+        assert len(frames) == 3  # two DATA + one END
+        types = [decode_header(f[: protocol.HEADER_SIZE])[0] for f in frames]
+        assert types == [protocol.DATA, protocol.DATA, protocol.END]
+        body = b"".join(f[protocol.HEADER_SIZE :] for f in frames)
+        assert body == payload
+
+
+class TestRequestHeader:
+    def _decode(self, frame: bytes) -> RequestHeader:
+        return RequestHeader.decode(frame[protocol.HEADER_SIZE :])
+
+    def test_roundtrip(self):
+        header = RequestHeader(
+            op="compress",
+            request_id=3,
+            payload_size=1024,
+            deadline_ms=5000,
+            params={"spec": "x"},
+        )
+        assert self._decode(header.encode()) == header
+
+    def test_streaming_payload_size_none(self):
+        header = RequestHeader("decompress", 1, None, None, {})
+        assert self._decode(header.encode()).payload_size is None
+
+    def test_unknown_op_rejected(self):
+        frame = encode_json_frame(
+            protocol.REQUEST,
+            {"v": protocol.PROTOCOL_VERSION, "op": "explode", "id": 1},
+        )
+        with pytest.raises(ProtocolError, match="unknown op"):
+            self._decode(frame)
+
+    def test_wrong_protocol_version_rejected(self):
+        frame = encode_json_frame(
+            protocol.REQUEST, {"v": 99, "op": "health", "id": 1}
+        )
+        with pytest.raises(ProtocolError, match="version"):
+            self._decode(frame)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("id", -1), ("id", "x"), ("payload_size", -5), ("deadline_ms", 0)],
+    )
+    def test_bad_fields_rejected(self, field, value):
+        header = {"v": protocol.PROTOCOL_VERSION, "op": "health", "id": 1}
+        header[field] = value
+        frame = encode_json_frame(protocol.REQUEST, header)
+        with pytest.raises(ProtocolError):
+            self._decode(frame)
+
+
+class TestErrorCodes:
+    @pytest.mark.parametrize(
+        "exc,code",
+        [
+            (ChecksumError("x", chunk_index=0), "checksum"),
+            (TruncatedContainerError("x"), "truncated"),
+            (CompressedFormatError("x"), "corrupt"),
+            (TraceFormatError("x"), "trace_format"),
+            (SpecError("x"), "spec_error"),
+            (DeadlineExceededError("x"), "deadline_exceeded"),
+            (BackpressureError("x"), "backpressure"),
+            (ServiceUnavailableError("x"), "shutting_down"),
+            (ValueError("x"), "bad_request"),
+            (RuntimeError("x"), "internal"),
+        ],
+    )
+    def test_exception_to_code(self, exc, code):
+        assert code_for_exception(exc) == code
+        assert code in protocol.ERROR_CODES
+
+    @pytest.mark.parametrize(
+        "code,exc_type",
+        [
+            ("checksum", ChecksumError),
+            ("truncated", TruncatedContainerError),
+            ("corrupt", CompressedFormatError),
+            ("trace_format", TraceFormatError),
+            ("spec_error", SpecError),
+            ("deadline_exceeded", DeadlineExceededError),
+            ("backpressure", BackpressureError),
+            ("shutting_down", ServiceUnavailableError),
+            ("bad_request", ProtocolError),
+            ("payload_too_large", ProtocolError),
+            ("internal", RemoteError),
+        ],
+    )
+    def test_code_to_exception(self, code, exc_type):
+        assert isinstance(exception_for(code, "boom"), exc_type)
+
+    def test_library_codes_roundtrip(self):
+        """Corruption errors survive the wire without losing their type."""
+        for exc in (
+            ChecksumError("bad crc", chunk_index=2),
+            TruncatedContainerError("short"),
+            CompressedFormatError("garbage"),
+        ):
+            code = code_for_exception(exc)
+            back = exception_for(code, str(exc))
+            assert type(back).__name__ == type(exc).__name__
+
+    def test_backpressure_carries_retry_after(self):
+        exc = exception_for("backpressure", "full", retry_after_ms=250)
+        assert isinstance(exc, BackpressureError)
+        assert exc.retry_after == pytest.approx(0.25)
+
+
+class TestReportSerialization:
+    def test_roundtrip(self):
+        report = DecodeReport()
+        report.version = 3
+        report.mode = "salvage"
+        report.total_chunks = 10
+        report.total_records = 1000
+        report.recovered_chunks = [0, 1, 3]
+        report.lost_chunks = [2]
+        report.reasons = {2: "checksum mismatch"}
+        report.recovered_records = 900
+        report.lost_records = 100
+        report.truncated = True
+        report.notes = ["trailer rebuilt"]
+        back = report_from_dict(report_to_dict(report))
+        assert report_to_dict(back) == report_to_dict(report)
+        assert back.lost_chunks == [2]
+        assert back.reasons == {2: "checksum mismatch"}
+        assert not back.intact
+
+    def test_tolerates_missing_keys(self):
+        report = report_from_dict({})
+        assert report.mode == "salvage"
+        assert report.lost_chunks == []
+
+
+class TestMetricsRegistry:
+    def test_counter_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs.").child().inc(3)
+        text = registry.render()
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 3" in text
+
+    def test_labeled_counters_sorted(self):
+        registry = MetricsRegistry()
+        family = registry.counter("req_total", "Reqs.", ("op",))
+        family.labels(op="b").inc()
+        family.labels(op="a").inc(2)
+        text = registry.render()
+        assert text.index('req_total{op="a"} 2') < text.index('req_total{op="b"} 1')
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c", "x").child().inc(-1)
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        registry = MetricsRegistry()
+        family = registry._register(
+            "lat", "Latency.", "histogram", (), lambda: histogram
+        )
+        assert family.child() is histogram
+        text = registry.render()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+
+    def test_inconsistent_reregistration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "X.")
+        with pytest.raises(ValueError, match="re-registered"):
+            registry.gauge("x_total", "X.")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("y_total", "Y.", ("op",))
+        with pytest.raises(ValueError):
+            family.labels(other="z")
+        with pytest.raises(ValueError):
+            family.child()
+
+
+class TestServerMetrics:
+    def test_observe_request_feeds_counters_and_latency(self):
+        metrics = ServerMetrics()
+        metrics.observe_request("compress", "ok", 0.02)
+        metrics.observe_request("compress", "corrupt", 0.01)
+        snap = metrics.snapshot()
+        assert snap["requests_ok"] == 1
+        assert snap["requests_error"] == 1
+        text = metrics.render()
+        assert 'tcgen_requests_total{op="compress",status="ok"} 1' in text
+        assert 'tcgen_request_seconds_count{op="compress"} 2' in text
+
+    def test_cache_hit_rate(self):
+        metrics = ServerMetrics()
+        assert metrics.cache_hit_rate() == 0.0
+        metrics.cache_misses.child().inc()
+        metrics.cache_hits.child().inc(3)
+        assert metrics.cache_hit_rate() == pytest.approx(0.75)

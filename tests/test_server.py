@@ -1,0 +1,420 @@
+"""Tests for the tcgen-serve daemon and the synchronous client.
+
+An in-process server runs on a background thread with its own event
+loop; clients talk to it over real loopback sockets, so the full frame
+sequence (REQUEST / CONTINUE / DATA / END / RESPONSE / ERROR) is
+exercised exactly as in production.  The drain-on-SIGTERM contract needs
+a real process and lives in ``TestGracefulDrain``.
+"""
+
+import asyncio
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.client import TraceClient
+from repro.errors import (
+    BackpressureError,
+    CompressedFormatError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServiceUnavailableError,
+    SpecError,
+)
+from repro.runtime.engine import TraceEngine
+from repro.server import protocol
+from repro.server.daemon import TraceServer
+from repro.server.limits import ServerConfig
+from repro.server.protocol import RequestHeader
+from repro.spec import parse_spec
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+from repro.testing.faults import inject
+
+from conftest import make_vpc_trace
+
+
+class ServerThread:
+    """A live TraceServer on a daemon thread (no signal handlers)."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.server = TraceServer(config)
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("in-process server failed to start")
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+            await self.server._drain_requested.wait()
+            await self.server._drain()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=15)
+
+
+@pytest.fixture
+def server():
+    handle = ServerThread(ServerConfig(port=0, queue_limit=16))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with TraceClient("127.0.0.1", server.port, retries=4, backoff=0.02) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_vpc_trace(n=3000, seed=11)
+
+
+class TestRoundtrip:
+    def test_compress_matches_local_engine(self, client, trace):
+        remote = client.compress(TCGEN_A_SPEC, trace, chunk_records="auto")
+        local = TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(
+            trace, chunk_records="auto"
+        )
+        assert remote == local
+
+    def test_decompress_roundtrip(self, client, trace):
+        blob = client.compress(TCGEN_A_SPEC, trace, chunk_records=256)
+        assert client.decompress(TCGEN_A_SPEC, blob) == trace
+
+    def test_flat_v1_container_by_default(self, client, trace):
+        remote = client.compress(TCGEN_A_SPEC, trace)
+        local = TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(trace)
+        assert remote == local
+
+    def test_workers_do_not_change_bytes(self, client, trace):
+        serial = client.compress(TCGEN_A_SPEC, trace, chunk_records=256)
+        parallel = client.compress(
+            TCGEN_A_SPEC, trace, chunk_records=256, workers=4
+        )
+        assert serial == parallel
+
+    def test_empty_trace(self, client, empty_trace):
+        blob = client.compress(TCGEN_A_SPEC, empty_trace)
+        assert client.decompress(TCGEN_A_SPEC, blob) == empty_trace
+
+    def test_eight_concurrent_clients_byte_identical(self, server, trace):
+        specs = {"a": TCGEN_A_SPEC, "b": TCGEN_B_SPEC}
+        expected = {
+            name: TraceEngine(parse_spec(text)).compress(trace, chunk_records="auto")
+            for name, text in specs.items()
+        }
+
+        def worker(index: int) -> list[str]:
+            problems = []
+            with TraceClient(
+                "127.0.0.1", server.port, retries=8, backoff=0.02
+            ) as c:
+                for name, text in specs.items():
+                    blob = c.compress(text, trace, chunk_records="auto")
+                    if blob != expected[name]:
+                        problems.append(f"client {index}: spec {name} bytes differ")
+                    if c.decompress(text, blob) != trace:
+                        problems.append(f"client {index}: spec {name} lossy")
+            return problems
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            failures = [p for ps in pool.map(worker, range(8)) for p in ps]
+        assert failures == []
+
+    def test_streaming_helpers(self, client, trace, tmp_path):
+        import io
+
+        compressed = io.BytesIO()
+        written = client.compress_stream(
+            TCGEN_A_SPEC, io.BytesIO(trace), compressed
+        )
+        assert written == len(compressed.getvalue())
+        local = TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(
+            trace, chunk_records="auto"
+        )
+        assert compressed.getvalue() == local
+        restored = io.BytesIO()
+        client.decompress_stream(
+            TCGEN_A_SPEC, io.BytesIO(compressed.getvalue()), restored
+        )
+        assert restored.getvalue() == trace
+
+
+class TestSalvageAndAnalyze:
+    def test_salvage_returns_report(self, client, trace):
+        blob = client.compress(TCGEN_A_SPEC, trace, chunk_records=128)
+        damaged = bytearray(blob)
+        damaged[-30] ^= 0x40  # damage the final chunk region
+        recovered, report = client.salvage(TCGEN_A_SPEC, bytes(damaged))
+        assert trace.startswith(recovered)
+        assert report.mode == "salvage"
+        assert not report.intact
+
+    def test_salvage_of_intact_blob(self, client, trace):
+        blob = client.compress(TCGEN_A_SPEC, trace, chunk_records=128)
+        recovered, report = client.salvage(TCGEN_A_SPEC, blob)
+        assert recovered == trace
+        assert report.intact
+
+    def test_analyze(self, client, trace):
+        text, spec_text = client.analyze(trace, budget_bytes=8 << 20)
+        assert "records" in text
+        parse_spec(spec_text)  # the recommendation is a valid spec
+
+
+class TestTypedErrors:
+    def test_corrupt_blob_maps_to_typed_error(self, client, trace):
+        blob = client.compress(TCGEN_A_SPEC, trace, chunk_records="auto")
+        damaged, _fault = inject(blob, "bitflip", seed=5)
+        with pytest.raises(CompressedFormatError):
+            client.decompress(TCGEN_A_SPEC, damaged)
+
+    def test_bad_spec_maps_to_spec_error(self, client, trace):
+        with pytest.raises(SpecError):
+            client.compress("not a spec at all", trace)
+
+    def test_connection_survives_an_error(self, client, trace):
+        with pytest.raises(SpecError):
+            client.compress("not a spec", trace)
+        # Same connection, next request is fine.
+        blob = client.compress(TCGEN_A_SPEC, trace)
+        assert client.decompress(TCGEN_A_SPEC, blob) == trace
+
+    def test_unknown_op_is_protocol_error(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(
+                protocol.encode_json_frame(
+                    protocol.REQUEST,
+                    {"v": protocol.PROTOCOL_VERSION, "op": "explode", "id": 1},
+                )
+            )
+            header = _recv_exact(sock, protocol.HEADER_SIZE)
+            frame_type, length = protocol.decode_header(header)
+            assert frame_type == protocol.ERROR
+            payload = protocol.decode_json_payload(_recv_exact(sock, length))
+            assert payload["code"] == "bad_request"
+
+    def test_declared_payload_over_cap_rejected(self, server, trace):
+        handle = ServerThread(
+            ServerConfig(port=0, max_payload_bytes=1024, queue_limit=4)
+        )
+        try:
+            with TraceClient("127.0.0.1", handle.port, retries=0) as c:
+                with pytest.raises(ProtocolError, match="payload_too_large"):
+                    c.compress(TCGEN_A_SPEC, trace)
+        finally:
+            handle.stop()
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes:
+    data = b""
+    while len(data) < length:
+        piece = sock.recv(length - len(data))
+        if not piece:
+            raise ConnectionError("early EOF")
+        data += piece
+    return data
+
+
+class TestBackpressure:
+    @pytest.fixture
+    def tiny_server(self):
+        handle = ServerThread(
+            ServerConfig(port=0, queue_limit=1, retry_after_s=0.05)
+        )
+        yield handle
+        handle.stop()
+
+    def _hog_slot(self, port: int) -> socket.socket:
+        """Occupy the single queue slot: get admitted, then stall."""
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+        header = RequestHeader(
+            op="compress",
+            request_id=1,
+            payload_size=None,
+            deadline_ms=None,
+            params={"spec": TCGEN_A_SPEC},
+        )
+        sock.sendall(header.encode())
+        frame_type, _ = protocol.decode_header(
+            _recv_exact(sock, protocol.HEADER_SIZE)
+        )
+        assert frame_type == protocol.CONTINUE  # admitted; now never send data
+        return sock
+
+    def test_queue_full_rejects_with_retry_hint(self, tiny_server, trace):
+        hog = self._hog_slot(tiny_server.port)
+        try:
+            with TraceClient(
+                "127.0.0.1", tiny_server.port, retries=0
+            ) as c:
+                with pytest.raises(BackpressureError) as info:
+                    c.compress(TCGEN_A_SPEC, trace)
+            assert info.value.retry_after == pytest.approx(0.05)
+        finally:
+            hog.close()
+
+    def test_client_retries_until_slot_frees(self, tiny_server, trace):
+        hog = self._hog_slot(tiny_server.port)
+        releaser = threading.Timer(0.3, hog.close)
+        releaser.start()
+        try:
+            with TraceClient(
+                "127.0.0.1", tiny_server.port, retries=10, backoff=0.05
+            ) as c:
+                blob = c.compress(TCGEN_A_SPEC, trace)
+            local = TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(trace)
+            assert blob == local
+        finally:
+            releaser.cancel()
+            hog.close()
+        assert tiny_server.server.metrics.backpressure.child().value > 0
+
+
+class TestDeadlines:
+    def test_deadline_fires_and_connection_survives(self, server):
+        big = make_vpc_trace(n=120_000, seed=4)
+        with TraceClient("127.0.0.1", server.port, retries=2) as c:
+            with pytest.raises(DeadlineExceededError):
+                c.compress(TCGEN_B_SPEC, big, deadline=0.001)
+            # The error frame terminated the request, not the connection.
+            health = c.health()
+            assert health["status"] == "ok"
+            assert health["deadlines"] >= 1
+
+
+class TestObservability:
+    def test_health_snapshot(self, client, trace):
+        client.compress(TCGEN_A_SPEC, trace)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["requests_ok"] >= 1
+        assert health["queue_limit"] == 16
+        assert health["uptime_s"] >= 0
+        assert "version" in health
+
+    def test_metrics_exposition_after_work(self, client, trace):
+        blob = client.compress(TCGEN_A_SPEC, trace)
+        client.decompress(TCGEN_A_SPEC, blob)
+        client.compress(TCGEN_A_SPEC, trace)  # cache hit
+        text = client.metrics_text()
+        assert 'tcgen_requests_total{op="compress",status="ok"} 2' in text
+        assert 'tcgen_requests_total{op="decompress",status="ok"} 1' in text
+        assert 'tcgen_request_seconds_count{op="compress"} 2' in text
+        assert "tcgen_bytes_in_total" in text
+        health = client.health()
+        assert health["cache_hits"] >= 2  # decompress + second compress
+        assert 0 < health["cache_hit_rate"] <= 1
+
+    def test_cache_hit_rate_reported(self, server, trace):
+        with TraceClient("127.0.0.1", server.port) as c:
+            for _ in range(3):
+                c.compress(TCGEN_A_SPEC, trace)
+            health = c.health()
+        assert health["cache_misses"] == 1
+        assert health["cache_hits"] == 2
+        assert health["cache_hit_rate"] == pytest.approx(2 / 3, abs=1e-4)
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_and_exits_zero(self):
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = process.stderr.readline()
+            assert "listening on" in line
+            port = int(line.rsplit(":", 1)[1])
+            raw = make_vpc_trace(n=1000)
+            with TraceClient("127.0.0.1", port, retries=4) as c:
+                blob = c.compress(TCGEN_A_SPEC, raw)
+                assert c.decompress(TCGEN_A_SPEC, blob) == raw
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=30)
+            rest = process.stderr.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        assert returncode == 0
+        assert "drained, exiting" in rest
+
+    def test_draining_server_refuses_new_work(self, server, trace):
+        server.server._draining = True
+        try:
+            with TraceClient("127.0.0.1", server.port, retries=0) as c:
+                with pytest.raises(ServiceUnavailableError, match="draining"):
+                    c.compress(TCGEN_A_SPEC, trace)
+        finally:
+            server.server._draining = False
+
+
+class TestMisbehavingPeers:
+    def test_garbage_bytes_get_error_frame(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\n\r\n" + b"\0" * protocol.HEADER_SIZE)
+            header = _recv_exact(sock, protocol.HEADER_SIZE)
+            frame_type, length = protocol.decode_header(header)
+            assert frame_type == protocol.ERROR
+            payload = protocol.decode_json_payload(_recv_exact(sock, length))
+            assert payload["code"] == "bad_request"
+
+    def test_mismatched_declared_size_is_fatal(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            header = RequestHeader(
+                op="compress",
+                request_id=1,
+                payload_size=100,  # declares 100, sends 3
+                deadline_ms=None,
+                params={"spec": TCGEN_A_SPEC},
+            )
+            sock.sendall(header.encode())
+            frame_type, length = protocol.decode_header(
+                _recv_exact(sock, protocol.HEADER_SIZE)
+            )
+            assert frame_type == protocol.CONTINUE
+            _recv_exact(sock, length)  # consume the CONTINUE body
+            sock.sendall(protocol.encode_frame(protocol.DATA, b"abc"))
+            sock.sendall(protocol.encode_frame(protocol.END))
+            frame_type, length = protocol.decode_header(
+                _recv_exact(sock, protocol.HEADER_SIZE)
+            )
+            assert frame_type == protocol.ERROR
+            payload = protocol.decode_json_payload(_recv_exact(sock, length))
+            assert payload["code"] == "bad_request"
+            assert "declared" in payload["message"]
