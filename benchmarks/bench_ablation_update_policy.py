@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import time
 
-from conftest import report
-from harness import KIND_LABELS
-
 from repro.metrics import harmonic_mean
 from repro.predictors.tables import UpdatePolicy
 from repro.runtime import TraceEngine
 from repro.spec import tcgen_a
+
+from conftest import report
+from harness import KIND_LABELS
 
 
 #: The interpreted engine is ~20x slower than generated code, so this

@@ -15,11 +15,11 @@ import time
 
 import pytest
 
-from conftest import report
-
 from repro import generate_compressor, tcgen_a
 from repro.codegen.compile import find_c_compiler, generate_and_compile_c
 from repro.model import build_model
+
+from conftest import report
 
 needs_cc = pytest.mark.skipif(
     find_c_compiler() is None, reason="no C compiler available"

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import time
 
-from conftest import report
-
 from repro.runtime.engine import TraceEngine
 from repro.spec import tcgen_a
 from repro.tio.checksum import crc32c
+
+from conftest import report
 
 CHUNK_RECORDS = 4096
 

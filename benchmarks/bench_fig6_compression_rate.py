@@ -10,10 +10,10 @@ pytest-benchmark entries time the two dominant compressors.
 
 from __future__ import annotations
 
+from repro.baselines import TCgenCompressor, Vpc3Compressor
+
 from conftest import report
 from harness import full_comparison, per_trace_extremes, render_figure
-
-from repro.baselines import TCgenCompressor, Vpc3Compressor
 
 
 def test_figure6_compression_rates(benchmark, trace_suite):

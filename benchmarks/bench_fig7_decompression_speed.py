@@ -15,10 +15,10 @@ engine) and is asserted strictly.
 
 from __future__ import annotations
 
+from repro.baselines import TCgenCompressor, Vpc3Compressor
+
 from conftest import report
 from harness import full_comparison, render_figure
-
-from repro.baselines import TCgenCompressor, Vpc3Compressor
 
 
 def test_figure7_decompression_speeds(benchmark, trace_suite):

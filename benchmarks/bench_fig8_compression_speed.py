@@ -8,10 +8,10 @@ excluded from cross-language shape assertions.
 
 from __future__ import annotations
 
+from repro.baselines import SbcCompressor, SequiturCompressor
+
 from conftest import report
 from harness import full_comparison, render_figure
-
-from repro.baselines import SbcCompressor, SequiturCompressor, TCgenCompressor
 
 
 def test_figure8_compression_speeds(benchmark, trace_suite):

@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import report
-
 from repro.codegen import generate_c, generate_python, load_python_module
 from repro.codegen.compile import compile_c, find_c_compiler
 from repro.model import build_model
 from repro.spec import parse_spec
 from repro.spec.presets import TCGEN_B_SPEC
+
+from conftest import report
 
 
 def _generate_python_pipeline():

@@ -21,13 +21,13 @@ from __future__ import annotations
 import time
 import tracemalloc
 
-from conftest import report
-
 from repro.runtime.engine import TraceEngine
 from repro.runtime.parallel import available_parallelism
 from repro.spec import tcgen_a
 from repro.tio import VPC_FORMAT
 from repro.tio.traceformat import unpack_records
+
+from conftest import report
 
 WORKER_COUNTS = (1, 2, 4, 8)
 

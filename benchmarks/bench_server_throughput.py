@@ -22,11 +22,9 @@ counts, so the numbers can never be bought with wrong bytes.
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-
-from conftest import report
 
 from repro.client import TraceClient
 from repro.runtime.engine import TraceEngine
@@ -35,6 +33,8 @@ from repro.server.daemon import TraceServer
 from repro.server.limits import ServerConfig
 from repro.spec import parse_spec
 from repro.spec.presets import TCGEN_A_SPEC
+
+from conftest import report
 
 CLIENT_COUNTS = (1, 2, 4, 8)
 

@@ -9,9 +9,10 @@ cache-simulator pass that produces the miss traces.
 
 from __future__ import annotations
 
-from conftest import SCALE, SEED, report, suite_names
 from repro.traces import TRACE_KINDS, build_trace, generate_events
 from repro.traces.workloads import WORKLOADS
+
+from conftest import SCALE, SEED, report, suite_names
 
 
 def test_table1_inventory(benchmark, trace_suite):

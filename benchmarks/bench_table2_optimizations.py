@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import time
 
-from conftest import report
-from harness import KIND_LABELS
-
 from repro import generate_compressor, tcgen_a
 from repro.metrics import harmonic_mean
 from repro.model.optimize import TABLE2_ROWS
+
+from conftest import report
+from harness import KIND_LABELS
 
 
 def _measure_row(options, trace_suite):

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import time
 
-from conftest import report
-from harness import KIND_LABELS
-
 from repro import generate_compressor, tcgen_a, tcgen_b
 from repro.metrics import harmonic_mean
 from repro.model import build_model
+
+from conftest import report
+from harness import KIND_LABELS
 
 
 def _measure(module, trace_suite):

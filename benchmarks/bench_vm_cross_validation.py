@@ -10,12 +10,12 @@ break here.
 
 from __future__ import annotations
 
-from conftest import report
-
 from repro.baselines import all_compressors
-from repro.metrics import ResultTable, harmonic_mean, measure
+from repro.metrics import ResultTable, measure
 from repro.traces import TRACE_KINDS
-from repro.vm import program_names, vm_trace
+from repro.vm import vm_trace
+
+from conftest import report
 
 #: Kernels used for the cross-check (kept small; the VM is interpreted).
 KERNELS = ("matmul", "list_sum", "binsearch", "hashtable", "quicksort",

@@ -10,7 +10,7 @@ predictors, then eliminate the useless ones") into a one-call API.
 
 from __future__ import annotations
 
-from repro.analysis.predictability import DEFAULT_CANDIDATES, score_candidates
+from repro.analysis.predictability import score_candidates
 from repro.model.layout import build_model
 from repro.spec.ast import FieldSpec, PredictorKind, PredictorSpec, TraceSpec
 from repro.spec.validate import validate_spec
@@ -73,7 +73,7 @@ def recommend_spec(
                 index=field_index,
                 predictors=tuple(chosen),
                 l1=1 if is_pc else l1_lines,
-                l2=l2_size,
+                l2=_cap_l2(l2_size, bits, chosen),
             )
         )
 
@@ -82,7 +82,38 @@ def recommend_spec(
     )
     validate_spec(spec)
     spec = _fit_budget(spec, budget_bytes)
+    _assert_lint_clean(spec)
     return spec
+
+
+def _cap_l2(l2_size: int, bits: int, chosen: list[PredictorSpec]) -> int:
+    """Cap L2 so no table outgrows the field's context space.
+
+    An order-x context over a w-bit field has at most ``2**(w*x)`` distinct
+    values; with the incremental hash the table for that predictor holds
+    ``L2 * 2**(x-1)`` lines, so L2 beyond ``2**((w-1)*x + 1)`` lines can
+    never be filled (the linter flags it as TC022).
+    """
+    cap = min(
+        ((bits - 1) * p.order + 1 for p in chosen if p.kind is not PredictorKind.LV),
+        default=None,
+    )
+    if cap is None:
+        return l2_size
+    return min(l2_size, 1 << min(cap, 28))
+
+
+def _assert_lint_clean(spec: TraceSpec) -> None:
+    """Machine-recommended specifications must lint clean of errors."""
+    from repro.errors import ValidationError
+    from repro.lint import Severity, lint_spec
+
+    errors = [d for d in lint_spec(spec) if d.severity is Severity.ERROR]
+    if errors:
+        details = "; ".join(d.render() for d in errors[:5])
+        raise ValidationError(
+            f"recommended specification fails its own lint: {details}"
+        )
 
 
 def _fit_budget(spec: TraceSpec, budget_bytes: int) -> TraceSpec:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-from collections import Counter
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np

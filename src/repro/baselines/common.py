@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-import bz2
 from abc import ABC, abstractmethod
+import bz2
 
 import numpy as np
 

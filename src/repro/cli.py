@@ -18,7 +18,17 @@
     (implemented in :mod:`repro.server.daemon`; re-exported here so all
     console scripts live in one module).
 
+``tcgen-lint``
+    Static analysis: lint trace specifications (ruff-style
+    ``path:line:col: CODE message`` output, ``--json`` for machines), run
+    the concurrency lint over Python sources (``--asynccheck``), or run
+    the full repository self-check (``--self-check``).
+
 Every tool accepts ``--version``.
+
+Exit statuses are uniform across the tools: 0 success, 1 tool failure,
+2 (:data:`EXIT_CORRUPT`) malformed input data, 3 (:data:`EXIT_SPEC`)
+specification errors — a spec that fails to lex, parse, or validate.
 """
 
 from __future__ import annotations
@@ -27,7 +37,12 @@ import argparse
 import sys
 
 from repro import __version__
-from repro.errors import CompressedFormatError, ReproError, TraceFormatError
+from repro.errors import (
+    CompressedFormatError,
+    ReproError,
+    SpecError,
+    TraceFormatError,
+)
 
 #: Exit status for malformed input data (corrupt container, bad trace
 #: framing) as opposed to other failures, which exit 1.  Scripts driving
@@ -35,12 +50,19 @@ from repro.errors import CompressedFormatError, ReproError, TraceFormatError
 #: failed" without parsing stderr.
 EXIT_CORRUPT = 2
 
+#: Exit status for specification errors (lex, parse, validation, lint).
+#: Distinct from both generic failure (1) and corrupt data (2) so build
+#: systems can tell "fix your spec" apart from "fix your pipeline".
+EXIT_SPEC = 3
+
 
 def _fail(prog: str, exc: ReproError) -> int:
     """Report ``exc`` on stderr and pick the exit status it deserves."""
     print(f"{prog}: {exc}", file=sys.stderr)
     if isinstance(exc, (CompressedFormatError, TraceFormatError)):
         return EXIT_CORRUPT
+    if isinstance(exc, SpecError):
+        return EXIT_SPEC
     return 1
 
 
@@ -254,6 +276,96 @@ def analyze_main(argv: list[str] | None = None) -> int:
         print(format_spec(spec), end="")
     except ReproError as exc:
         return _fail("tcgen-analyze", exc)
+    return 0
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-lint``: static analysis front-end.
+
+    Default mode lints trace specification files (or stdin).  With
+    ``--asynccheck`` the arguments are Python files/directories and the
+    concurrency lint runs instead.  ``--self-check`` runs the full
+    repository gate (same as ``python -m repro.lint``).
+    """
+    parser = argparse.ArgumentParser(
+        prog="tcgen-lint",
+        description="Lint trace specifications and repository sources.",
+        epilog="Exit status: 0 clean (warnings allowed unless --strict), "
+        "3 on errors, 1 on tool failure.  Suppress a diagnostic with an "
+        "inline '# tcgen: disable=TC0xx' comment on the flagged line.",
+    )
+    _add_version(parser)
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="specification files (default: stdin); with --asynccheck, "
+        "Python files or directories",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit diagnostics as deterministic JSON instead of text",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings and notes as errors (exit 3)",
+    )
+    parser.add_argument(
+        "--asynccheck", action="store_true",
+        help="run the concurrency lint over Python sources instead of "
+        "linting specifications",
+    )
+    parser.add_argument(
+        "--self-check", action="store_true",
+        help="run the full repository self-check (presets, embedded "
+        "specs, codegen verification, concurrency lint)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root for --self-check (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.lint import render_json, render_text
+    from repro.lint.diagnostics import Severity
+
+    if args.self_check:
+        from repro.lint.selfcheck import run_selfcheck
+
+        return run_selfcheck(root=args.root, strict=args.strict)
+
+    try:
+        if args.asynccheck:
+            from repro.lint.asynccheck import check_paths
+
+            if not args.paths:
+                print("tcgen-lint: --asynccheck requires PATH arguments",
+                      file=sys.stderr)
+                return 1
+            diagnostics = check_paths(args.paths)
+        else:
+            from repro.lint.speclint import lint_spec_text
+
+            diagnostics = []
+            if args.paths:
+                for path in args.paths:
+                    with open(path, encoding="utf-8") as handle:
+                        diagnostics += lint_spec_text(handle.read(), path=path)
+            else:
+                diagnostics = lint_spec_text(sys.stdin.read(), path="<stdin>")
+    except OSError as exc:
+        print(f"tcgen-lint: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"tcgen-lint: {exc}", file=sys.stderr)
+        return 1
+
+    if args.as_json:
+        print(render_json(diagnostics))
+    elif diagnostics:
+        print(render_text(diagnostics))
+
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors or (args.strict and diagnostics):
+        return EXIT_SPEC
     return 0
 
 

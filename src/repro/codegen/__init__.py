@@ -15,16 +15,25 @@ dead code (unused strides, absent headers, untaken policies) is never
 emitted, and table index arithmetic uses masks because table sizes are
 powers of two.  The generated compressors produce containers that are
 stream-for-stream identical to the interpreted engine.
+
+Passing ``verify=True`` to either generator runs the codegen invariant
+verifier (:mod:`repro.lint.genverify`) over the emitted source as a
+post-generation self-check — the paper's dead-code-elimination, table
+sharing, type minimization, and ``L2 * 2**(x-1)`` sizing rules are proved
+against the actual output, and any violation raises
+:class:`~repro.errors.CodegenError` instead of shipping a wrong
+compressor.
 """
 
+from repro.codegen.c_backend import generate_c as _generate_c
 from repro.codegen.compile import (
     CompiledC,
     compile_c,
     generate_and_compile_c,
     load_python_module,
 )
-from repro.codegen.c_backend import generate_c
-from repro.codegen.python_backend import generate_python
+from repro.codegen.python_backend import generate_python as _generate_python
+from repro.model.layout import CompressorModel
 
 __all__ = [
     "CompiledC",
@@ -34,3 +43,35 @@ __all__ = [
     "generate_python",
     "load_python_module",
 ]
+
+
+def generate_python(
+    model: CompressorModel, codec: str = "bzip2", verify: bool = False
+) -> str:
+    """Generate a specialized Python compressor module.
+
+    With ``verify=True`` the emitted source is checked against the
+    codegen invariants before being returned.
+    """
+    source = _generate_python(model, codec=codec)
+    if verify:
+        from repro.lint.genverify import assert_verified
+
+        assert_verified(model, source, backend="python")
+    return source
+
+
+def generate_c(
+    model: CompressorModel, codec: str = "bzip2", verify: bool = False
+) -> str:
+    """Generate a specialized C compressor source file.
+
+    With ``verify=True`` the emitted source is checked against the
+    codegen invariants before being returned.
+    """
+    source = _generate_c(model, codec=codec)
+    if verify:
+        from repro.lint.genverify import assert_verified
+
+        assert_verified(model, source, backend="c")
+    return source

@@ -9,13 +9,13 @@ running the resulting filter.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import os
 import shutil
 import subprocess
 import sys
 import tempfile
 import types
-from dataclasses import dataclass
 
 from repro.errors import CodegenError
 

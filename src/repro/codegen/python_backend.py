@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.codegen.plan import ChainStruct, FieldPlan, LastValueStruct, plan_field
+from repro.codegen.plan import ChainStruct, FieldPlan, plan_field
 from repro.codegen.writer import CodeWriter
 from repro.model.layout import CompressorModel
 from repro.postcompress import codec_by_name

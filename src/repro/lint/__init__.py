@@ -1,0 +1,47 @@
+"""Static analysis for TCgen: spec lint, codegen verification, async lint.
+
+Three passes over three layers of the system, one diagnostics framework:
+
+- :mod:`repro.lint.speclint` (``TC0xx``) — semantic lint of trace
+  specifications, beyond hard validation: aliased/dominated predictors,
+  degenerate table sizing, dead clauses, with source spans and inline
+  ``# tcgen: disable=`` suppression;
+- :mod:`repro.lint.genverify` (``TC1xx``) — machine-checks the paper's
+  code-generation invariants (dead-code elimination, table sharing, type
+  minimization, ``L2 * 2**(x-1)`` sizing) against generated Python/C
+  source;
+- :mod:`repro.lint.asynccheck` (``TC2xx``) — concurrency lint over this
+  package's own server/runtime code, run in CI as a regression gate.
+
+The ``tcgen-lint`` console script fronts all three;
+``python -m repro.lint`` runs the repository self-check CI uses.
+"""
+
+from repro.lint.asynccheck import check_paths, check_source
+from repro.lint.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    apply_suppressions,
+    has_errors,
+    render_json,
+    render_text,
+)
+from repro.lint.genverify import assert_verified, verify_generated
+from repro.lint.speclint import lint_spec, lint_spec_text
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "apply_suppressions",
+    "assert_verified",
+    "check_paths",
+    "check_source",
+    "has_errors",
+    "lint_spec",
+    "lint_spec_text",
+    "render_json",
+    "render_text",
+    "verify_generated",
+]

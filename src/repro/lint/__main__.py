@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — run the repository lint self-check."""
+
+from repro.lint.selfcheck import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

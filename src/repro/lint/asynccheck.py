@@ -1,0 +1,303 @@
+"""Concurrency lint for this package's own source (codes ``TC2xx``).
+
+The asyncio daemon (:mod:`repro.server`) and the worker pools
+(:mod:`repro.runtime.parallel`) mix three concurrency regimes — the event
+loop, thread executors, and process pools — which is exactly where silent
+hazards creep in during refactors.  This pass parses Python source with
+:mod:`ast` and flags three of them:
+
+``TC201``
+    A known-blocking call (``time.sleep``, ``subprocess.run``, sync
+    socket/urllib I/O) lexically inside an ``async def``.  Blocking the
+    event loop stalls every connection, not just the offender's.
+``TC202``
+    An ``await`` inside a non-async ``with`` whose context manager looks
+    like a synchronous lock.  Parking a coroutine while holding a
+    ``threading.Lock`` deadlocks the executor threads that need it.
+``TC203``
+    A mutation of a lock-guarded attribute outside the lock's ``with``
+    block.  An attribute counts as guarded when some method of the same
+    class mutates it under ``with self.<lock>``; any unguarded mutation
+    elsewhere (outside ``__init__``) is then a race.
+
+CI runs this over ``src/repro`` (see ``python -m repro.lint``), so the
+checks are tuned for zero false positives on the current codebase — they
+are a regression gate, not a general-purpose analyzer.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: Dotted call prefixes that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "remove", "discard", "pop",
+        "popitem", "clear", "update", "setdefault", "move_to_end", "sort",
+    }
+)
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` call targets; None for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    """Heuristic: does this context-manager expression name a sync lock?"""
+    name = _dotted_name(node)
+    if name is None:
+        return False
+    leaf = name.rsplit(".", 1)[-1].lower()
+    return "lock" in leaf and "async" not in leaf
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """Return ``attr`` for a ``self.attr`` expression (through subscripts)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """Walks one function body tracking async-ness and held locks."""
+
+    def __init__(self, path: str, out: list[Diagnostic]) -> None:
+        self.path = path
+        self.out = out
+        self._async_depth = 0
+        self._lock_depth = 0
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.out.append(
+            Diagnostic(
+                self.path, node.lineno, node.col_offset + 1, code,
+                Severity.ERROR, message,
+            )
+        )
+
+    # -- function nesting ----------------------------------------------------
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        held = self._lock_depth
+        self._lock_depth = 0  # a new frame does not inherit held locks
+        self.generic_visit(node)
+        self._lock_depth = held
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        async_depth = self._async_depth
+        held = self._lock_depth
+        self._async_depth = 0  # sync helpers may block; they run on executors
+        self._lock_depth = 0
+        self.generic_visit(node)
+        self._lock_depth = held
+        self._async_depth = async_depth
+
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- the three hazards ---------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._async_depth:
+            name = _dotted_name(node.func)
+            if name in BLOCKING_CALLS:
+                self._add(
+                    node, "TC201",
+                    f"blocking call {name}() inside an async function stalls "
+                    f"the event loop",
+                )
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(
+            _is_lock_expr(item.context_expr) for item in node.items
+        )
+        if holds_lock:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if holds_lock:
+            self._lock_depth -= 1
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if self._lock_depth:
+            self._add(
+                node, "TC202",
+                "await while holding a synchronous lock can deadlock "
+                "executor threads waiting for it",
+            )
+        self.generic_visit(node)
+
+
+class _ClassSharedStateChecker:
+    """Flags unguarded mutations of attributes a class guards with a lock."""
+
+    def __init__(self, path: str, out: list[Diagnostic]) -> None:
+        self.path = path
+        self.out = out
+
+    def check(self, cls: ast.ClassDef) -> None:
+        lock_attrs = {
+            attr
+            for node in ast.walk(cls)
+            if isinstance(node, ast.Assign)
+            for target in node.targets
+            if (attr := _self_attr(target)) is not None
+            and "lock" in attr.lower()
+        }
+        if not lock_attrs:
+            return
+        guarded: set[str] = set()
+        mutations: list[tuple[str, bool, ast.AST, str]] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            self._scan(method.body, under_lock=False, method=method.name,
+                       guarded=guarded, mutations=mutations)
+        for attr, under_lock, node, method in mutations:
+            if attr in guarded and not under_lock:
+                self.out.append(
+                    Diagnostic(
+                        self.path, node.lineno, node.col_offset + 1, "TC203",
+                        Severity.ERROR,
+                        f"{cls.name}.{method} mutates self.{attr} outside "
+                        f"the lock that guards it elsewhere",
+                    )
+                )
+
+    #: Statements with no nested statement bodies: safe to walk whole.
+    _SIMPLE = (
+        ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return,
+        ast.Delete, ast.Raise, ast.Assert,
+    )
+
+    def _scan(self, body, under_lock: bool, method: str,
+              guarded: set[str], mutations: list) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                inner = under_lock or any(
+                    _is_lock_expr(item.context_expr)
+                    and _self_attr(item.context_expr) is not None
+                    for item in stmt.items
+                )
+                self._scan(stmt.body, inner, method, guarded, mutations)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs run later, outside this lock scope
+            if isinstance(stmt, self._SIMPLE):
+                self._record(stmt, under_lock, method, guarded, mutations)
+                continue
+            # Compound statement: recurse into every nested body so that
+            # with-blocks inside if/for/try are tracked correctly.
+            for child_body in (
+                getattr(stmt, "body", None),
+                getattr(stmt, "orelse", None),
+                getattr(stmt, "finalbody", None),
+            ):
+                if child_body:
+                    self._scan(child_body, under_lock, method, guarded, mutations)
+            for handler in getattr(stmt, "handlers", []) or []:
+                self._scan(handler.body, under_lock, method, guarded, mutations)
+
+    def _record(self, stmt, under_lock: bool, method: str,
+                guarded: set[str], mutations: list) -> None:
+        for node in ast.walk(stmt):
+            attr = None
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr:
+                        break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+            ):
+                attr = _self_attr(node.func.value)
+            if attr is None or "lock" in attr.lower():
+                continue
+            if under_lock:
+                guarded.add(attr)
+            mutations.append((attr, under_lock, node, method))
+
+
+def check_source(source: str, path: str = "<source>") -> list[Diagnostic]:
+    """Run all three concurrency checks over one Python source text."""
+    out: list[Diagnostic] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise ValueError(f"{path}: source does not parse: {exc}") from exc
+    _FunctionChecker(path, out).visit(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            _ClassSharedStateChecker(path, out).check(node)
+    return sorted(out)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files += [
+                    os.path.join(root, name)
+                    for name in names
+                    if name.endswith(".py")
+                ]
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def check_paths(paths: Iterable[str]) -> list[Diagnostic]:
+    """Run the concurrency lint over ``.py`` files and directories."""
+    out: list[Diagnostic] = []
+    for filename in iter_python_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            out += check_source(handle.read(), path=filename)
+    return sorted(out)

@@ -1,0 +1,164 @@
+"""Diagnostics framework for the ``repro.lint`` subsystem.
+
+Every analysis pass (specification lint, codegen invariant verification,
+concurrency lint) reports problems as :class:`Diagnostic` records with a
+stable code, a severity, and a source span.  Codes are grouped by pass:
+
+- ``TC0xx`` — specification lint (:mod:`repro.lint.speclint`);
+- ``TC1xx`` — codegen invariant verification (:mod:`repro.lint.genverify`);
+- ``TC2xx`` — concurrency lint (:mod:`repro.lint.asynccheck`).
+
+Rendering follows ruff's conventions: the text renderer prints one
+``path:line:col: CODE message`` line per diagnostic, and the JSON renderer
+emits a deterministic (sorted, stable-key) document so CI diffs are
+reproducible run to run.
+
+Inline suppression uses the specification language's comment syntax::
+
+    64-Bit Field 2 = {L2 = 1024: FCM1[2], FCM1[2]};  # tcgen: disable=TC020
+
+A ``# tcgen: disable=CODE[,CODE...]`` (or ``disable=all``) comment mutes
+matching diagnostics reported on that source line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+import json
+import re
+
+
+class Severity(str, Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` diagnostics describe specifications or generated code that
+    are wrong (they mirror conditions the library rejects at runtime);
+    ``WARNING`` diagnostics describe legal-but-wasteful constructs;
+    ``INFO`` diagnostics are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+#: Registry of every stable diagnostic code with a one-line summary.
+#: ``docs/LINT.md`` catalogues these with bad/good examples; a test
+#: asserts the two stay in sync.
+CODES: dict[str, str] = {
+    # -- TC0xx: specification lint -------------------------------------------
+    "TC001": "duplicate field number",
+    "TC002": "field numbers are not consecutive starting at 1",
+    "TC003": "unsupported field width",
+    "TC004": "header width is not a multiple of 8 bits",
+    "TC005": "table size is not a power of two",
+    "TC006": "table allocation exceeds the line ceiling",
+    "TC007": "field declares no predictors",
+    "TC008": "FCM/DFCM order out of range (order 0 is meaningless)",
+    "TC009": "predictor depth out of range",
+    "TC010": "PC definition names a field that does not exist",
+    "TC011": "PC field's L1 size must be 1",
+    "TC012": "specification fails to lex",
+    "TC013": "specification fails to parse",
+    "TC020": "predictor aliases an identical shared table and can never win",
+    "TC021": "dominated predictor: every prediction is shadowed by an earlier one",
+    "TC022": "degenerate type minimization: L2 table larger than the context space",
+    "TC023": "zero-width header clause has no effect",
+    "TC024": "PC field indexes no table: every other field has L1 = 1",
+    "TC025": "explicit table size repeats the default",
+    # -- TC1xx: codegen invariant verification --------------------------------
+    "TC101": "generated code declares a table the model does not call for",
+    "TC102": "generated table missing or sized wrong",
+    "TC103": "generated table element type is not the smallest sufficient type",
+    "TC104": "last-value table generated for a field without LV/DFCM predictors",
+    "TC105": "stride code generated for a specification without DFCM predictors",
+    "TC106": "header handling generated for a headerless specification",
+    "TC107": "first-level chain not shared or not sized for the highest order",
+    "TC108": "second-level table size violates the L2 * 2**(x-1) rule",
+    # -- TC2xx: concurrency lint ----------------------------------------------
+    "TC201": "blocking call inside an async function",
+    "TC202": "await while holding a synchronous lock",
+    "TC203": "lock-guarded attribute mutated outside its lock's with block",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One reported problem, ordered for deterministic output."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: Severity = field(compare=False)
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    def render(self) -> str:
+        """Ruff-style ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def render_text(diagnostics: list[Diagnostic]) -> str:
+    """One line per diagnostic, sorted by position then code."""
+    return "\n".join(d.render() for d in sorted(diagnostics))
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    """Deterministic JSON document: sorted diagnostics, sorted keys."""
+    payload = {
+        "diagnostics": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "code": d.code,
+                "severity": d.severity.value,
+                "message": d.message,
+            }
+            for d in sorted(diagnostics)
+        ],
+        "errors": sum(d.severity is Severity.ERROR for d in diagnostics),
+        "warnings": sum(d.severity is Severity.WARNING for d in diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: ``# tcgen: disable=TC020`` or ``# tcgen: disable=TC020,TC022`` or ``=all``.
+_SUPPRESS_RE = re.compile(r"#\s*tcgen:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def suppressed_codes_by_line(text: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the codes suppressed on that line."""
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        suppressions[lineno] = codes
+    return suppressions
+
+
+def apply_suppressions(
+    diagnostics: list[Diagnostic], text: str
+) -> list[Diagnostic]:
+    """Drop diagnostics muted by ``# tcgen: disable=`` comments in ``text``."""
+    suppressions = suppressed_codes_by_line(text)
+    if not suppressions:
+        return diagnostics
+    kept = []
+    for diag in diagnostics:
+        muted = suppressions.get(diag.line, ())
+        if diag.code in muted or "all" in muted:
+            continue
+        kept.append(diag)
+    return kept

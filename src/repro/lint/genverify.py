@@ -1,0 +1,356 @@
+"""Codegen invariant verification (codes ``TC1xx``).
+
+The paper argues four code-generation optimizations hold for every
+generated compressor: smart update, type minimization, table sharing, and
+the incremental hash with its ``L2 * 2**(x-1)`` sizing rule — plus
+dead-code elimination (no last-value table without LV/DFCM, no stride
+logic without DFCM, no header path without a header).  This module
+machine-checks those claims against the *generated source itself*, not
+against the structure plan that produced it, so a bug in the planner or a
+backend cannot silently ship an unoptimized or wrongly-sized compressor.
+
+The Python backend is checked by parsing the generated module with
+:mod:`ast` and reading the table allocations out of ``_fresh_tables``;
+the C backend is checked structurally (declarations and the ``calloc``
+calls in ``allocate_tables``).  Expected structures are derived straight
+from the specification via the paper's rules whenever the model runs with
+table sharing and type minimization enabled; for ablated option sets the
+expectations come from the structure plan (which the ablation defines).
+
+:func:`verify_generated` returns diagnostics; :func:`assert_verified`
+raises :class:`~repro.errors.CodegenError` on the first violation and is
+what ``generate_python(..., verify=True)`` calls.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.codegen.plan import plan_field
+from repro.errors import CodegenError
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.model.layout import CompressorModel, storage_bytes
+from repro.spec.ast import PredictorKind
+
+#: array typecode / C type per element width, kept in sync with the backends.
+_PY_TYPECODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+_C_TYPES = {1: "u8", 2: "u16", 4: "u32", 8: "u64"}
+
+
+def _expected_tables(model: CompressorModel) -> dict[str, tuple[int, int]]:
+    """Map table name -> (elem_bytes, element_count) the backend must emit.
+
+    With the full optimization set the expectations are derived from the
+    paper's rules, independently of :mod:`repro.codegen.plan`; otherwise
+    the plan is authoritative (ablations intentionally de-share and
+    de-minimize).
+    """
+    options = model.options
+    if not (options.shared_tables and options.type_minimization):
+        expected: dict[str, tuple[int, int]] = {}
+        for layout in model.fields:
+            plan = plan_field(layout, options)
+            for last in plan.lasts:
+                expected[last.name] = (last.elem_bytes, last.lines * last.depth)
+            for chain in plan.chains:
+                expected[chain.name] = (chain.elem_bytes, chain.lines * chain.span)
+            for l2 in plan.l2s:
+                expected[l2.name] = (l2.elem_bytes, l2.lines * l2.depth)
+        return expected
+
+    expected = {}
+    for layout in model.fields:
+        spec = layout.spec
+        prefix = f"field{layout.index}"
+        elem = spec.bytes  # smallest sufficient type: the field's own width
+        lv_depths = [p.depth for p in spec.predictors if p.kind is PredictorKind.LV]
+        fcm_orders = [p.order for p in spec.predictors if p.kind is PredictorKind.FCM]
+        dfcm_orders = [p.order for p in spec.predictors if p.kind is PredictorKind.DFCM]
+        # Shared last-value table: exists iff some predictor reads it
+        # (dead-code elimination); DFCM needs at least one slot for strides.
+        lv_depth = max(lv_depths, default=0)
+        if dfcm_orders and lv_depth == 0:
+            lv_depth = 1
+        if lv_depth:
+            expected[f"{prefix}_lastvalue"] = (elem, spec.l1_size * lv_depth)
+        # Exactly one shared chain per predictor class, sized for the
+        # highest configured order; elements hold the widest partial hash.
+        k1 = spec.l2_size.bit_length() - 1
+        for orders, label in ((fcm_orders, "fcm"), (dfcm_orders, "dfcm")):
+            if not orders:
+                continue
+            top = max(orders)
+            chain_elem = (
+                storage_bytes(k1 + top - 1) if options.fast_hash else elem
+            )
+            expected[f"{prefix}_{label}_chain"] = (
+                chain_elem, spec.l1_size * top,
+            )
+        # One second-level table per FCM/DFCM predictor, sized by the
+        # paper's L2 * 2**(x-1) rule.
+        used_names: set[str] = set()
+        for slot, pred in enumerate(spec.predictors):
+            if pred.kind is PredictorKind.LV:
+                continue
+            tag = str(pred).replace("[", "_").replace("]", "").lower()
+            name = f"{prefix}_{tag}_l2"
+            if name in used_names:
+                name = f"{prefix}_p{slot}_{tag}_l2"
+            used_names.add(name)
+            expected[name] = (elem, (spec.l2_size << (pred.order - 1)) * pred.depth)
+    return expected
+
+
+def _eval_const_expr(node: ast.expr) -> int | None:
+    """Fold the constant integer arithmetic the backend emits (a * b)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        left = _eval_const_expr(node.left)
+        right = _eval_const_expr(node.right)
+        if left is not None and right is not None:
+            return left * right
+    return None
+
+
+def _python_tables(tree: ast.Module) -> dict[str, tuple[str, int, int]] | None:
+    """Read ``name -> (typecode, line)`` allocations out of ``_fresh_tables``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_fresh_tables":
+            tables: dict[str, tuple[str, int, int]] = {}
+            for stmt in node.body:
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Name)
+                    and stmt.value.func.id == "array"
+                ):
+                    continue
+                typecode = stmt.value.args[0]
+                payload = stmt.value.args[1]
+                if not (
+                    isinstance(typecode, ast.Constant)
+                    and isinstance(payload, ast.Call)
+                    and isinstance(payload.func, ast.Name)
+                    and payload.func.id == "bytes"
+                ):
+                    continue
+                nbytes = _eval_const_expr(payload.args[0])
+                if nbytes is None:
+                    continue
+                tables[stmt.targets[0].id] = (
+                    typecode.value, stmt.lineno, nbytes,
+                )
+            return tables
+    return None
+
+
+def _verify_tables(
+    actual: dict[str, tuple[int, int, int]],
+    expected: dict[str, tuple[int, int]],
+    model: CompressorModel,
+    path: str,
+    add,
+) -> None:
+    """Compare (elem_bytes, line, total_bytes) allocations to expectations."""
+    for name, (elem, line, nbytes) in sorted(actual.items()):
+        if name not in expected:
+            code = "TC101"
+            message = f"table {name} is declared but the model does not call for it"
+            for layout in model.fields:
+                only_fcm = all(
+                    p.kind is PredictorKind.FCM for p in layout.spec.predictors
+                )
+                if name == f"field{layout.index}_lastvalue" and only_fcm:
+                    code = "TC104"
+                    message = (
+                        f"field {layout.index} has only FCM predictors, yet a "
+                        f"last-value table {name} was generated (dead-code "
+                        f"elimination violated)"
+                    )
+            add(line, code, message)
+            continue
+        want_elem, want_count = expected[name]
+        if elem != want_elem:
+            code = "TC103" if elem > want_elem else "TC102"
+            add(
+                line, code,
+                f"table {name} uses {elem}-byte elements; the smallest "
+                f"sufficient type is {want_elem} byte(s)",
+            )
+        elif nbytes != want_elem * want_count:
+            code = "TC108" if name.endswith("_l2") else (
+                "TC107" if name.endswith("_chain") else "TC102"
+            )
+            add(
+                line, code,
+                f"table {name} holds {nbytes // elem} elements, "
+                f"expected {want_count}",
+            )
+    for name in sorted(set(expected) - set(actual)):
+        code = "TC107" if name.endswith("_chain") else "TC102"
+        add(1, code, f"expected table {name} was not generated")
+
+
+def verify_generated(
+    model: CompressorModel,
+    source: str,
+    backend: str = "python",
+    path: str = "<generated>",
+) -> list[Diagnostic]:
+    """Check generated source against the paper's invariants.
+
+    Returns error diagnostics for every violated invariant (empty when the
+    source is faithful to the model).
+    """
+    if backend == "python":
+        return _verify_python(model, source, path)
+    if backend == "c":
+        return _verify_c(model, source, path)
+    raise ValueError(f"unknown backend {backend!r}; expected 'python' or 'c'")
+
+
+def assert_verified(
+    model: CompressorModel, source: str, backend: str = "python"
+) -> None:
+    """Raise :class:`~repro.errors.CodegenError` if verification fails."""
+    diagnostics = verify_generated(model, source, backend=backend)
+    if diagnostics:
+        details = "; ".join(d.render() for d in diagnostics[:5])
+        raise CodegenError(
+            f"generated {backend} source violates {len(diagnostics)} "
+            f"codegen invariant(s): {details}"
+        )
+
+
+def _any_dfcm(model: CompressorModel) -> bool:
+    return any(
+        p.kind is PredictorKind.DFCM
+        for layout in model.fields
+        for p in layout.spec.predictors
+    )
+
+
+def _verify_python(
+    model: CompressorModel, source: str, path: str
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    def add(line: int, code: str, message: str) -> None:
+        out.append(Diagnostic(path, line, 1, code, Severity.ERROR, message))
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        add(exc.lineno or 1, "TC102", f"generated source does not parse: {exc}")
+        return out
+
+    tables = _python_tables(tree)
+    if tables is None:
+        add(1, "TC102", "generated module lacks a _fresh_tables function")
+        return out
+    actual = {
+        name: (
+            {"B": 1, "H": 2, "I": 4, "Q": 8}.get(typecode, 0), line, nbytes,
+        )
+        for name, (typecode, line, nbytes) in tables.items()
+    }
+    _verify_tables(actual, _expected_tables(model), model, path, add)
+
+    # Dead-code facts checked against the emitted statements themselves.
+    stride_lines = [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Assign)
+        and any(
+            isinstance(t, ast.Name) and re.fullmatch(r"stride\d+", t.id)
+            for t in node.targets
+        )
+    ]
+    if stride_lines and not _any_dfcm(model):
+        add(
+            stride_lines[0], "TC105",
+            "stride computation emitted although no DFCM predictor is "
+            "configured",
+        )
+    header_bytes = None
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "HEADER_BYTES"
+                for t in node.targets
+            )
+            and isinstance(node.value, ast.Constant)
+        ):
+            header_bytes = node.value.value
+    if header_bytes != model.spec.header_bytes:
+        add(
+            1, "TC106",
+            f"HEADER_BYTES is {header_bytes}, specification says "
+            f"{model.spec.header_bytes}",
+        )
+    if model.spec.header_bits == 0 and "head_pair" in source:
+        line = source[: source.index("head_pair")].count("\n") + 1
+        add(
+            line, "TC106",
+            "header-stream handling emitted for a headerless specification",
+        )
+    return out
+
+
+_C_DECL_RE = re.compile(r"^static (u8|u16|u32|u64) \*(\w+);$", re.MULTILINE)
+_C_CALLOC_RE = re.compile(
+    r"^\s*(\w+) = \((u8|u16|u32|u64) \*\)calloc\((\d+), sizeof\((u8|u16|u32|u64)\)\);",
+    re.MULTILINE,
+)
+_C_ELEM_BYTES = {"u8": 1, "u16": 2, "u32": 4, "u64": 8}
+
+
+def _verify_c(model: CompressorModel, source: str, path: str) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    def add(line: int, code: str, message: str) -> None:
+        out.append(Diagnostic(path, line, 1, code, Severity.ERROR, message))
+
+    def line_of(match_start: int) -> int:
+        return source[:match_start].count("\n") + 1
+
+    declared = {
+        match.group(2): (_C_ELEM_BYTES[match.group(1)], line_of(match.start()))
+        for match in _C_DECL_RE.finditer(source)
+    }
+    actual: dict[str, tuple[int, int, int]] = {}
+    for match in _C_CALLOC_RE.finditer(source):
+        name, ctype, count = match.group(1), match.group(2), int(match.group(3))
+        elem = _C_ELEM_BYTES[ctype]
+        decl = declared.get(name)
+        line = decl[1] if decl else line_of(match.start())
+        if decl is not None and decl[0] != elem:
+            add(
+                line, "TC103",
+                f"table {name} is declared {decl[0]}-byte but allocated "
+                f"{elem}-byte elements",
+            )
+        actual[name] = (elem, line, elem * count)
+    _verify_tables(actual, _expected_tables(model), model, path, add)
+
+    match = re.search(r"static const u64 header_bytes = (\d+);", source)
+    header_bytes = int(match.group(1)) if match else None
+    if header_bytes != model.spec.header_bytes:
+        add(
+            line_of(match.start()) if match else 1, "TC106",
+            f"header_bytes is {header_bytes}, specification says "
+            f"{model.spec.header_bytes}",
+        )
+    stride_match = re.search(r"\bstride\d+\b", source)
+    if stride_match and not _any_dfcm(model):
+        add(
+            line_of(stride_match.start()), "TC105",
+            "stride computation emitted although no DFCM predictor is "
+            "configured",
+        )
+    return sorted(out)

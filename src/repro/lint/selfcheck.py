@@ -1,0 +1,129 @@
+"""Repository self-check: the lint gate CI runs (``python -m repro.lint``).
+
+Four stages, any error fails the run:
+
+1. **Spec lint** over every shipped preset (:mod:`repro.spec.presets`);
+2. **Spec lint** over every specification embedded in ``examples/`` and
+   ``docs/`` (extracted textually, diagnostics reported at the real file
+   line);
+3. **Codegen invariant verification** of both backends for every preset;
+4. **Concurrency lint** over ``src/repro``.
+
+Warnings are reported but do not fail the gate (pass ``--strict`` to
+change that); the shipped specs must stay error-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+from repro.lint.asynccheck import check_paths
+from repro.lint.diagnostics import Diagnostic, Severity, render_text
+from repro.lint.genverify import verify_generated
+from repro.lint.speclint import lint_spec_text
+
+#: A complete specification embedded in a Python/Markdown file.
+_EMBEDDED_SPEC_RE = re.compile(
+    r"TCgen Trace Specification;.*?PC = Field \d+;", re.DOTALL
+)
+
+
+def iter_embedded_specs(path: str) -> list[tuple[int, str]]:
+    """Yield ``(1-based base line, spec text)`` for specs embedded in a file."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return [
+        (text[: match.start()].count("\n") + 1, match.group(0))
+        for match in _EMBEDDED_SPEC_RE.finditer(text)
+    ]
+
+
+def lint_embedded(path: str) -> list[Diagnostic]:
+    """Lint every embedded spec in ``path``, rebasing spans to file lines."""
+    out: list[Diagnostic] = []
+    for base_line, spec_text in iter_embedded_specs(path):
+        for diag in lint_spec_text(spec_text, path=path):
+            out.append(
+                Diagnostic(
+                    diag.path, diag.line + base_line - 1, diag.col,
+                    diag.code, diag.severity, diag.message,
+                )
+            )
+    return out
+
+
+def _preset_specs() -> dict[str, str]:
+    from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+    return {"TCgen(A)": TCGEN_A_SPEC, "TCgen(B)": TCGEN_B_SPEC}
+
+
+def run_selfcheck(
+    root: str = ".", strict: bool = False, stream=None
+) -> int:
+    """Run all four stages; return a process exit status (0/3)."""
+    stream = stream or sys.stderr
+    diagnostics: list[Diagnostic] = []
+
+    for name, text in _preset_specs().items():
+        diagnostics += lint_spec_text(text, path=f"<preset {name}>")
+
+    for directory in ("examples", "docs"):
+        base = os.path.join(root, directory)
+        if not os.path.isdir(base):
+            continue
+        for entry in sorted(os.listdir(base)):
+            if entry.endswith((".py", ".md")):
+                diagnostics += lint_embedded(os.path.join(base, entry))
+
+    from repro.codegen import generate_c, generate_python
+    from repro.model import build_model
+    from repro.spec import parse_spec
+
+    for name, text in _preset_specs().items():
+        model = build_model(parse_spec(text))
+        for backend, generate in (("python", generate_python), ("c", generate_c)):
+            diagnostics += verify_generated(
+                model, generate(model), backend=backend,
+                path=f"<generated {backend} for {name}>",
+            )
+
+    src = os.path.join(root, "src", "repro")
+    if os.path.isdir(src):
+        diagnostics += check_paths([src])
+
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    warnings = [d for d in diagnostics if d.severity is not Severity.ERROR]
+    if diagnostics:
+        print(render_text(diagnostics), file=stream)
+    print(
+        f"tcgen-lint self-check: {len(errors)} error(s), "
+        f"{len(warnings)} warning(s)/note(s)",
+        file=stream,
+    )
+    if errors or (strict and warnings):
+        return 3
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Lint shipped specs, verify generated code, and run the "
+        "concurrency lint over the repository sources.",
+    )
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="warnings also fail the gate"
+    )
+    args = parser.parse_args(argv)
+    return run_selfcheck(root=args.root, strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,308 @@
+"""Semantic lint for trace specifications (codes ``TC0xx``).
+
+:mod:`repro.spec.validate` enforces the paper's hard rules fail-fast (the
+first violation raises).  This linter reports *every* problem at once,
+attaches source spans recovered from the lexer's tokens, and goes beyond
+validation with warnings about legal-but-wasteful configurations:
+
+- predictors that alias an identical shared table (redundant under the
+  table-sharing optimization, Section 5.2);
+- dominated predictors that can never win the code selection;
+- second-level tables larger than the field's context space (type
+  minimization cannot shrink what can never be filled);
+- header and level-size clauses that have no effect.
+
+Two entry points: :func:`lint_spec_text` lints source text (with spans and
+``# tcgen: disable=`` suppression support); :func:`lint_spec` lints an
+already-parsed :class:`~repro.spec.ast.TraceSpec` (spans degrade to 1:1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.errors import LexError, ParseError
+from repro.lint.diagnostics import Diagnostic, Severity, apply_suppressions
+from repro.spec.ast import DEFAULT_L1, DEFAULT_L2, PredictorKind, TraceSpec
+from repro.spec.tokens import Token
+from repro.spec.validate import (
+    ALLOWED_FIELD_BITS,
+    MAX_DEPTH,
+    MAX_ORDER,
+    MAX_TABLE_LINES,
+)
+
+Span = tuple[int, int]
+
+_DEFAULT_SPAN: Span = (1, 1)
+
+
+@dataclass
+class _FieldSpans:
+    """Source positions inside one field declaration."""
+
+    decl: Span = _DEFAULT_SPAN
+    l1: Span | None = None
+    l2: Span | None = None
+    predictors: list[Span] = dc_field(default_factory=list)
+
+    def predictor(self, slot: int) -> Span:
+        if slot < len(self.predictors):
+            return self.predictors[slot]
+        return self.decl
+
+
+@dataclass
+class _SpanMap:
+    """Source positions recovered from the token stream."""
+
+    header: Span | None = None
+    fields: list[_FieldSpans] = dc_field(default_factory=list)
+    pc: Span | None = None
+
+    def field(self, position: int) -> _FieldSpans:
+        if position < len(self.fields):
+            return self.fields[position]
+        return _FieldSpans()
+
+
+def _span_of(token: Token) -> Span:
+    return (token.line, token.column)
+
+
+def _build_span_map(tokens: list[Token]) -> _SpanMap:
+    """Scan the token stream for declaration positions.
+
+    The scan is forgiving: it only recognizes the anchoring keywords, so a
+    token stream that fails to parse still yields partial spans.
+    """
+    spans = _SpanMap()
+    current: _FieldSpans | None = None
+    for i, tok in enumerate(tokens):
+        if tok.is_keyword("Header") and i >= 3:
+            spans.header = _span_of(tokens[i - 3])
+        elif tok.is_keyword("Field") and i >= 1 and tokens[i - 1].is_keyword("Bit"):
+            current = _FieldSpans(decl=_span_of(tokens[i - 3]) if i >= 3 else _span_of(tok))
+            spans.fields.append(current)
+        elif tok.is_keyword("PC"):
+            spans.pc = _span_of(tok)
+            current = None
+        elif current is not None:
+            if tok.is_keyword("L1") and current.l1 is None:
+                current.l1 = _span_of(tok)
+            elif tok.is_keyword("L2") and current.l2 is None:
+                current.l2 = _span_of(tok)
+            elif any(tok.is_keyword(kind) for kind in ("LV", "FCM", "DFCM")):
+                current.predictors.append(_span_of(tok))
+    return spans
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def lint_spec_text(text: str, path: str = "<spec>") -> list[Diagnostic]:
+    """Lint specification source text; returns all diagnostics, sorted.
+
+    Lex and parse failures are reported as ``TC012``/``TC013`` diagnostics
+    at the failing position instead of raising.  ``# tcgen: disable=CODE``
+    comments mute diagnostics on their line.
+    """
+    from repro.spec.lexer import tokenize
+    from repro.spec.parser import _Parser
+
+    try:
+        tokens = tokenize(text)
+    except LexError as exc:
+        return [
+            Diagnostic(path, exc.line, exc.column, "TC012", Severity.ERROR, str(exc))
+        ]
+    spans = _build_span_map(tokens)
+    try:
+        spec = _Parser(tokens).parse_description()
+    except ParseError as exc:
+        return [
+            Diagnostic(path, exc.line, exc.column, "TC013", Severity.ERROR, str(exc))
+        ]
+    diagnostics = _lint_parsed(spec, spans, path)
+    if spans.header is not None and spec.header_bits == 0:
+        diagnostics.append(
+            Diagnostic(
+                path, *spans.header, "TC023", Severity.INFO,
+                "a 0-Bit Header clause is equivalent to omitting the header",
+            )
+        )
+    return sorted(apply_suppressions(diagnostics, text))
+
+
+def lint_spec(spec: TraceSpec, path: str = "<spec>") -> list[Diagnostic]:
+    """Lint a parsed specification (no source text, so spans are 1:1)."""
+    return sorted(_lint_parsed(spec, _SpanMap(), path))
+
+
+def _lint_parsed(spec: TraceSpec, spans: _SpanMap, path: str) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    def add(span: Span, code: str, severity: Severity, message: str) -> None:
+        out.append(Diagnostic(path, span[0], span[1], code, severity, message))
+
+    # -- field numbering (TC001/TC002) --------------------------------------
+    seen: set[int] = set()
+    duplicates = False
+    for position, fld in enumerate(spec.fields):
+        if fld.index in seen:
+            duplicates = True
+            add(
+                spans.field(position).decl, "TC001", Severity.ERROR,
+                f"field {fld.index} is declared more than once",
+            )
+        seen.add(fld.index)
+    if not duplicates and sorted(seen) != list(range(1, len(spec.fields) + 1)):
+        add(
+            spans.field(0).decl, "TC002", Severity.ERROR,
+            f"field numbers must be consecutive starting at 1, "
+            f"got {[f.index for f in spec.fields]}",
+        )
+
+    # -- header (TC004) -------------------------------------------------------
+    if spec.header_bits % 8:
+        add(
+            spans.header or _DEFAULT_SPAN, "TC004", Severity.ERROR,
+            f"header width {spec.header_bits} is not a multiple of 8 bits",
+        )
+
+    # -- PC definition (TC010/TC011/TC024) -----------------------------------
+    pc_span = spans.pc or _DEFAULT_SPAN
+    pc_exists = any(f.index == spec.pc_field for f in spec.fields)
+    if not pc_exists:
+        add(
+            pc_span, "TC010", Severity.ERROR,
+            f"PC definition names field {spec.pc_field}, which does not exist",
+        )
+    if len(spec.fields) > 1 and all(
+        f.l1_size == 1 for f in spec.fields if f.index != spec.pc_field
+    ):
+        add(
+            pc_span, "TC024", Severity.INFO,
+            "every non-PC field has L1 = 1, so the PC value indexes no table",
+        )
+
+    # -- per-field checks -----------------------------------------------------
+    for position, fld in enumerate(spec.fields):
+        fspans = spans.field(position)
+        where = f"field {fld.index}"
+        if fld.bits not in ALLOWED_FIELD_BITS:
+            add(
+                fspans.decl, "TC003", Severity.ERROR,
+                f"{where}: width must be one of {ALLOWED_FIELD_BITS} bits, "
+                f"got {fld.bits}",
+            )
+        if not fld.predictors:
+            add(
+                fspans.decl, "TC007", Severity.ERROR,
+                f"{where}: at least one predictor is required",
+            )
+        for size, name, span in (
+            (fld.l1, "L1", fspans.l1),
+            (fld.l2, "L2", fspans.l2),
+        ):
+            if size is None:
+                continue
+            span = span or fspans.decl
+            if not _is_power_of_two(size):
+                add(
+                    span, "TC005", Severity.ERROR,
+                    f"{where}: {name} = {size} is not a power of two",
+                )
+            elif size > MAX_TABLE_LINES:
+                add(
+                    span, "TC006", Severity.ERROR,
+                    f"{where}: {name} = {size} exceeds the "
+                    f"{MAX_TABLE_LINES}-line limit",
+                )
+        if fld.l1 == DEFAULT_L1 and not (pc_exists and fld.index == spec.pc_field):
+            add(
+                fspans.l1 or fspans.decl, "TC025", Severity.INFO,
+                f"{where}: L1 = {DEFAULT_L1} repeats the default",
+            )
+        if fld.l2 == DEFAULT_L2:
+            add(
+                fspans.l2 or fspans.decl, "TC025", Severity.INFO,
+                f"{where}: L2 = {DEFAULT_L2} repeats the default",
+            )
+        if pc_exists and fld.index == spec.pc_field and fld.l1_size != 1:
+            add(
+                fspans.l1 or fspans.decl, "TC011", Severity.ERROR,
+                f"{where} holds the PC, so its L1 size must be 1 "
+                f"(got {fld.l1_size})",
+            )
+        _lint_predictors(fld, fspans, where, add)
+    return out
+
+
+def _lint_predictors(fld, fspans: _FieldSpans, where: str, add) -> None:
+    l2_valid = fld.l2 is None or _is_power_of_two(fld.l2)
+    for slot, pred in enumerate(fld.predictors):
+        span = fspans.predictor(slot)
+        if pred.kind is not PredictorKind.LV and not 1 <= pred.order <= MAX_ORDER:
+            detail = (
+                "an order-0 context predicts from no history"
+                if pred.order < 1
+                else f"orders above {MAX_ORDER} are not supported"
+            )
+            add(
+                span, "TC008", Severity.ERROR,
+                f"{where}: {pred} order must be in 1..{MAX_ORDER} ({detail})",
+            )
+        if not 1 <= pred.depth <= MAX_DEPTH:
+            add(
+                span, "TC009", Severity.ERROR,
+                f"{where}: {pred} depth must be in 1..{MAX_DEPTH}",
+            )
+        if (
+            pred.kind is not PredictorKind.LV
+            and pred.order >= 1
+            and l2_valid
+            and fld.l2_size << (pred.order - 1) > MAX_TABLE_LINES
+        ):
+            add(
+                span, "TC006", Severity.ERROR,
+                f"{where}: {pred} needs an L2 table of "
+                f"{fld.l2_size << (pred.order - 1)} lines, exceeding the "
+                f"{MAX_TABLE_LINES}-line limit",
+            )
+        # Degenerate type minimization: an order-x context over a w-bit
+        # field has at most 2**(w*x) distinct values; index space beyond
+        # that can never be reached, so the L2 lines are dead weight.
+        if (
+            pred.kind is not PredictorKind.LV
+            and pred.order >= 1
+            and l2_valid
+            and fld.bits * pred.order < (fld.l2_size << (pred.order - 1)).bit_length() - 1
+        ):
+            contexts = 1 << (fld.bits * pred.order)
+            add(
+                span, "TC022", Severity.WARNING,
+                f"{where}: {pred} has {fld.l2_size << (pred.order - 1)} L2 "
+                f"lines but only {contexts} distinct order-{pred.order} "
+                f"contexts exist for a {fld.bits}-bit field",
+            )
+        # Aliasing/domination against every earlier predictor.
+        for earlier in fld.predictors[:slot]:
+            if earlier.kind is pred.kind and earlier.order == pred.order:
+                if pred.kind is PredictorKind.LV:
+                    if pred.depth <= earlier.depth:
+                        add(
+                            span, "TC021", Severity.WARNING,
+                            f"{where}: {pred} re-reads last-value slots "
+                            f"already predicted by {earlier} and can never "
+                            f"win the code selection",
+                        )
+                elif pred.depth <= earlier.depth:
+                    add(
+                        span, "TC020", Severity.WARNING,
+                        f"{where}: {pred} aliases the shared table of "
+                        f"{earlier} (identical updates, identical "
+                        f"predictions) and can never win the code selection",
+                    )
+                break

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import bz2
-import lzma
-import zlib
 from dataclasses import dataclass
+import lzma
 from typing import Callable
+import zlib
 
 from repro.errors import CompressedFormatError
 

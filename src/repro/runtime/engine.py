@@ -29,6 +29,8 @@ byte-identical containers.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import CompressedFormatError
 from repro.model.layout import CompressorModel, build_model
 from repro.model.optimize import OptimizationOptions
@@ -52,8 +54,6 @@ from repro.tio.container import (
     default_chunk_records,
 )
 from repro.tio.traceformat import TraceFormat, pack_records, unpack_records
-
-import numpy as np
 
 _UNSET = object()
 

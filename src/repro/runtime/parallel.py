@@ -21,10 +21,10 @@ results.
 
 from __future__ import annotations
 
-import os
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+import os
+import time
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import OperationCancelled

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.model.layout import CompressorModel, FieldLayout
+from repro.model.layout import CompressorModel
 
 
 @dataclass

@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 import signal
 import sys
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import replace
 
 from repro.errors import ProtocolError, ReproError
 from repro.server import protocol

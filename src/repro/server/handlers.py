@@ -15,10 +15,10 @@ error codes via :func:`repro.server.protocol.code_for_exception`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 import copy
 import hashlib
 import threading
-from collections import OrderedDict
 from typing import Callable
 
 from repro.errors import ProtocolError, SpecError

@@ -12,8 +12,8 @@ decode hardening as the local library.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field, replace
+import os
 
 from repro.runtime.parallel import available_parallelism
 from repro.server.protocol import DEFAULT_PORT

@@ -22,8 +22,8 @@ assert on exact lines.
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
+import threading
 
 #: Default latency buckets in seconds: 1 ms .. 60 s, roughly log-spaced.
 DEFAULT_BUCKETS = (

@@ -51,9 +51,9 @@ decode ran locally or remotely.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import json
 import struct
-from dataclasses import dataclass
 
 from repro.errors import (
     BackpressureError,

@@ -20,11 +20,11 @@ Exits non-zero on the first violation, printing what broke.
 from __future__ import annotations
 
 import argparse
+from concurrent.futures import ThreadPoolExecutor
 import signal
 import subprocess
 import sys
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 
 def _start_daemon(extra_args: list[str]) -> tuple[subprocess.Popen, int]:

@@ -10,9 +10,9 @@ resolved sizes are exposed through :meth:`FieldSpec.l1_size` and
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
+import hashlib
 
 #: Default first-level table size when the specification omits ``L1``.
 DEFAULT_L1 = 1

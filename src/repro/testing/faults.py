@@ -27,8 +27,8 @@ campaign over the engine and a generated module (used by CI).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
+import random
 from typing import Iterable, Iterator
 
 FAULT_KINDS = ("bitflip", "truncate", "splice", "zerofill")

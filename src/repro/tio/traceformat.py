@@ -9,7 +9,7 @@ format*: a 32-bit header followed by records with a 32-bit PC field and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

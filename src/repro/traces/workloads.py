@@ -15,8 +15,8 @@ workload name and the caller's seed.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
+import hashlib
 from typing import Callable
 
 import numpy as np

@@ -32,10 +32,8 @@ from repro.vm.isa import (
     DATA_BASE,
     INSTRUCTION_BYTES,
     Instruction,
-    JUMP_OPS,
     Op,
     Program,
-    RA,
     REGISTER_COUNT,
     TEXT_BASE,
 )

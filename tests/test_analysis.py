@@ -1,7 +1,6 @@
 """Tests for trace analysis and automatic predictor recommendation."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import analyze_trace, recommend_spec, score_candidates
 from repro.runtime import TraceEngine
@@ -135,3 +134,43 @@ class TestRecommendSpec:
             )
         )
         assert len(recommended.compress(raw)) < len(naive.compress(raw))
+
+    def test_recommendation_is_lint_clean(self):
+        """Machine-recommended specs must produce zero lint diagnostics."""
+        from repro.lint import Severity, lint_spec, lint_spec_text
+        from repro.spec import format_spec
+
+        for raw in (
+            strided_trace(),
+            repeated_trace(),
+            build_trace("gzip", "store_addresses", scale=0.1),
+        ):
+            spec = recommend_spec(VPC_FORMAT, raw)
+            diags = lint_spec(spec)
+            assert not [d for d in diags if d.severity is Severity.ERROR]
+            assert not [d for d in diags if d.severity is Severity.WARNING]
+            # The formatted text round-trips through the text linter too.
+            assert not [
+                d
+                for d in lint_spec_text(format_spec(spec))
+                if d.severity is not Severity.INFO
+            ]
+
+    def test_l2_capped_to_context_space(self):
+        """An 8-bit field must not get an L2 table only 64-bit contexts fill."""
+        from repro.lint import Severity, lint_spec
+        from repro.tio.traceformat import TraceFormat
+
+        fmt = TraceFormat(header_bits=0, field_bits=(32, 8), pc_field=1)
+        n = 2000
+        pcs = np.arange(n, dtype=np.uint64) % 64
+        vals = np.arange(n, dtype=np.uint64) % 7
+        raw = pack_records(fmt, b"", [pcs, vals])
+        spec = recommend_spec(fmt, raw)
+        small = spec.field(2)
+        assert small.l2_size <= 256 or all(
+            p.kind is PredictorKind.LV for p in small.predictors
+        )
+        assert not [
+            d for d in lint_spec(spec) if d.severity is Severity.WARNING
+        ]

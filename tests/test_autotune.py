@@ -12,7 +12,7 @@ from repro.autotune import (
 )
 from repro.errors import CompressedFormatError
 from repro.runtime import TraceEngine
-from repro.spec import format_spec, tcgen_a, tcgen_b
+from repro.spec import tcgen_a, tcgen_b
 from repro.traces import build_trace
 
 from conftest import make_vpc_trace

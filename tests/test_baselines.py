@@ -16,8 +16,6 @@ from repro.baselines import (
 )
 from repro.tio import VPC_FORMAT, pack_records
 
-from conftest import make_random_trace, make_vpc_trace
-
 ALL = [
     Bzip2Compressor,
     MacheCompressor,

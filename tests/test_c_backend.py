@@ -7,7 +7,7 @@ from repro.codegen.compile import compile_c, find_c_compiler, generate_and_compi
 from repro.errors import CodegenError
 from repro.model import OptimizationOptions, build_model
 from repro.runtime import TraceEngine
-from repro.spec import tcgen_a, tcgen_b
+from repro.spec import tcgen_a
 
 from conftest import SPEC_VARIANTS, spec_trace_for
 

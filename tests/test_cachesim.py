@@ -1,9 +1,9 @@
 """Tests for the cache simulator substrate."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.cachesim import (
     CacheConfig,

@@ -48,19 +48,23 @@ class TestTcgen:
         assert tcgen_main(["--lang", "python"]) == 0
         assert "def compress" in capsys.readouterr().out
 
-    def test_parse_error_returns_nonzero(self, tmp_path, capsys):
+    def test_parse_error_returns_spec_exit_code(self, tmp_path, capsys):
+        from repro.cli import EXIT_SPEC
+
         bad = tmp_path / "bad.tc"
         bad.write_text("not a spec")
-        assert tcgen_main([str(bad)]) == 1
+        assert tcgen_main([str(bad)]) == EXIT_SPEC
         assert "tcgen:" in capsys.readouterr().err
 
-    def test_validation_error_returns_nonzero(self, tmp_path, capsys):
+    def test_validation_error_returns_spec_exit_code(self, tmp_path, capsys):
+        from repro.cli import EXIT_SPEC
+
         bad = tmp_path / "bad.tc"
         bad.write_text(
             "TCgen Trace Specification;\n"
             "32-Bit Field 1 = {L1 = 3: LV[1]};\nPC = Field 1;\n"
         )
-        assert tcgen_main([str(bad)]) == 1
+        assert tcgen_main([str(bad)]) == EXIT_SPEC
         assert "power of two" in capsys.readouterr().err
 
     def test_disable_flag(self, spec_file, capsys):
@@ -117,7 +121,6 @@ class TestTcgenAnalyze:
 class TestTcgenBench:
     def test_prints_summary_tables(self, capsys, monkeypatch):
         from repro.cli import bench_main
-        from repro.traces import default_suite
 
         # Shrink the suite to two workloads to keep the smoke test fast
         # (bench_main imports default_suite from repro.traces at call time).
@@ -152,23 +155,31 @@ class TestTcgenTrace:
 
 
 class TestExitCodes:
-    """Corrupt input exits 2; other library failures exit 1."""
+    """Corrupt input exits 2; spec errors exit 3; other failures exit 1."""
 
     def test_fail_helper_distinguishes_corruption(self, capsys):
-        from repro.cli import EXIT_CORRUPT, _fail
+        from repro.cli import EXIT_CORRUPT, EXIT_SPEC, _fail
         from repro.errors import (
             ChecksumError,
+            CodegenError,
             CompressedFormatError,
+            LexError,
+            ParseError,
             SpecError,
             TraceFormatError,
             TruncatedContainerError,
+            ValidationError,
         )
 
         assert _fail("x", CompressedFormatError("bad")) == EXIT_CORRUPT
         assert _fail("x", ChecksumError("bad", chunk_index=0)) == EXIT_CORRUPT
         assert _fail("x", TruncatedContainerError("bad")) == EXIT_CORRUPT
         assert _fail("x", TraceFormatError("bad")) == EXIT_CORRUPT
-        assert _fail("x", SpecError("bad")) == 1
+        assert _fail("x", SpecError("bad")) == EXIT_SPEC
+        assert _fail("x", LexError("bad", 1, 1)) == EXIT_SPEC
+        assert _fail("x", ParseError("bad", 1, 1)) == EXIT_SPEC
+        assert _fail("x", ValidationError("bad")) == EXIT_SPEC
+        assert _fail("x", CodegenError("bad")) == 1
         capsys.readouterr()
 
     def test_analyze_corrupt_trace_exits_2(self, tmp_path, capsys):
@@ -298,4 +309,94 @@ class TestGeneratedMainRobustness:
             module, ["-d", "--salvage", "--strict"], b"garbage", monkeypatch
         )
         assert code == 2
+        capsys.readouterr()
+
+
+class TestTcgenLint:
+    """The tcgen-lint front-end: spec lint, asynccheck, exit codes."""
+
+    def test_clean_spec_exits_zero(self, spec_file, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main([spec_file]) == 0
+        capsys.readouterr()
+
+    def test_error_spec_exits_3_with_ruff_style_output(self, tmp_path, capsys):
+        from repro.cli import EXIT_SPEC, lint_main
+
+        bad = tmp_path / "bad.tc"
+        bad.write_text(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L1 = 3: LV[1]};\nPC = Field 1;\n"
+        )
+        assert lint_main([str(bad)]) == EXIT_SPEC
+        out = capsys.readouterr().out
+        # ruff convention: path:line:col: CODE message
+        assert f"{bad}:2:19: TC005" in out
+
+    def test_json_output_is_deterministic(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import lint_main
+
+        bad = tmp_path / "bad.tc"
+        bad.write_text(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L1 = 4: LV[1]};\nPC = Field 1;\n"
+        )
+        lint_main([str(bad), "--json"])
+        first = capsys.readouterr().out
+        lint_main([str(bad), "--json"])
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert set(payload) == {"diagnostics", "errors", "warnings"}
+
+    def test_reads_stdin(self, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        from repro.cli import lint_main
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(SPEC_TEXT))
+        assert lint_main([]) == 0
+        capsys.readouterr()
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        from repro.cli import EXIT_SPEC, lint_main
+
+        spec = tmp_path / "warn.tc"
+        # FCM3[1] after FCM3[2] aliases the same shared table (TC020).
+        spec.write_text(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L1 = 1, L2 = 1024: FCM3[2], FCM3[1]};\n"
+            "PC = Field 1;\n"
+        )
+        assert lint_main([str(spec)]) == 0
+        capsys.readouterr()
+        assert lint_main([str(spec), "--strict"]) == EXIT_SPEC
+        capsys.readouterr()
+
+    def test_asynccheck_mode(self, tmp_path, capsys):
+        from repro.cli import EXIT_SPEC, lint_main
+
+        hazard = tmp_path / "hazard.py"
+        hazard.write_text(
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )
+        assert lint_main(["--asynccheck", str(hazard)]) == EXIT_SPEC
+        assert "TC201" in capsys.readouterr().out
+
+    def test_asynccheck_requires_paths(self, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main(["--asynccheck"]) == 1
+        capsys.readouterr()
+
+    def test_missing_file_is_tool_failure(self, tmp_path, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main([str(tmp_path / "nope.tc")]) == 1
         capsys.readouterr()

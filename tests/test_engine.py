@@ -8,7 +8,7 @@ from repro.runtime import TraceEngine
 from repro.spec import tcgen_a, tcgen_b
 from repro.tio.container import StreamContainer
 
-from conftest import SPEC_VARIANTS, make_random_trace, make_vpc_trace, spec_trace_for
+from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
 
 
 class TestRoundtrip:

@@ -5,9 +5,9 @@ errors on a small input.  ``sys.argv`` is patched to pass small scales
 where the script accepts arguments.
 """
 
+from pathlib import Path
 import runpy
 import sys
-from pathlib import Path
 
 import pytest
 

@@ -7,10 +7,9 @@ promise — no ``IndexError``, ``KeyError``, ``struct.error``, or silent
 garbage.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.errors import ReproError
 from repro.runtime import TraceEngine

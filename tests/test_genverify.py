@@ -1,0 +1,175 @@
+"""Tests for the codegen invariant verifier (``repro.lint.genverify``).
+
+Every shipped preset must verify cleanly on both backends under every
+optimization ablation, and deliberately broken output must be caught with
+the right ``TC1xx`` code.
+"""
+
+import re
+
+import pytest
+
+from repro.codegen import generate_c, generate_python
+from repro.errors import CodegenError
+from repro.lint import assert_verified, verify_generated
+from repro.model import OptimizationOptions, build_model
+from repro.spec import parse_spec
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+PRESETS = {"A": TCGEN_A_SPEC, "B": TCGEN_B_SPEC}
+
+ABLATIONS = {
+    "full": OptimizationOptions.full(),
+    "none": OptimizationOptions.none(),
+    "no-shared": OptimizationOptions.full().without("shared_tables"),
+    "no-fast-hash": OptimizationOptions.full().without("fast_hash"),
+    "no-type-min": OptimizationOptions.full().without("type_minimization"),
+}
+
+
+def model_for(preset, options=None):
+    return build_model(parse_spec(PRESETS[preset]), options or OptimizationOptions.full())
+
+
+class TestCleanGeneration:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("ablation", sorted(ABLATIONS))
+    def test_python_backend_verifies(self, preset, ablation):
+        model = model_for(preset, ABLATIONS[ablation])
+        source = generate_python(model)
+        assert verify_generated(model, source, backend="python") == []
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("ablation", sorted(ABLATIONS))
+    def test_c_backend_verifies(self, preset, ablation):
+        model = model_for(preset, ABLATIONS[ablation])
+        source = generate_c(model)
+        assert verify_generated(model, source, backend="c") == []
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_verify_flag_on_generators(self, preset):
+        model = model_for(preset)
+        assert "def compress" in generate_python(model, verify=True)
+        assert "int main(" in generate_c(model, verify=True)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            verify_generated(model_for("A"), "", backend="rust")
+
+
+class TestCatchesBrokenPython:
+    def test_wrong_table_size_is_tc102_or_tc108(self):
+        model = model_for("A")
+        source = generate_python(model)
+        # Halve the first L2 allocation: bytes(elem * count) -> bytes(elem * count // 2)
+        match = re.search(r"_l2 = array\(\"\w\", bytes\((\d+) \* (\d+)\)\)", source)
+        assert match is not None
+        broken = (
+            source[: match.start(2)]
+            + str(int(match.group(2)) // 2)
+            + source[match.end(2):]
+        )
+        codes = {d.code for d in verify_generated(model, broken, backend="python")}
+        assert codes & {"TC102", "TC108"}
+
+    def test_spurious_lastvalue_is_tc104(self):
+        # Preset A's field 1 is FCM-only: injecting a last-value table for
+        # it violates dead-code elimination.
+        model = model_for("A")
+        source = generate_python(model)
+        broken = source.replace(
+            "def _fresh_tables():\n",
+            "def _fresh_tables():\n"
+            '    field1_lastvalue = array("I", bytes(4 * 8))\n',
+            1,
+        )
+        codes = [d.code for d in verify_generated(model, broken, backend="python")]
+        assert "TC104" in codes
+
+    def test_missing_table_is_reported(self):
+        model = model_for("A")
+        source = generate_python(model)
+        # Delete one allocation line wholesale.
+        lines = source.splitlines(keepends=True)
+        victim = next(
+            i for i, line in enumerate(lines) if "_l2 = array(" in line
+        )
+        broken = "".join(lines[:victim] + lines[victim + 1:])
+        codes = {d.code for d in verify_generated(model, broken, backend="python")}
+        assert codes & {"TC102", "TC108"}
+
+    def test_stride_without_dfcm_is_tc105(self):
+        # A spec with FCM only must not contain stride computations.
+        spec = parse_spec(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L1 = 1, L2 = 1024: FCM2[1]};\n"
+            "PC = Field 1;\n"
+        )
+        model = build_model(spec)
+        source = generate_python(model)
+        broken = source.replace(
+            "def compress(", "stride7 = 0\n\n\ndef compress(", 1
+        )
+        codes = [d.code for d in verify_generated(model, broken, backend="python")]
+        assert "TC105" in codes
+
+    def test_wrong_header_bytes_is_tc106(self):
+        model = model_for("A")
+        source = generate_python(model)
+        assert "HEADER_BYTES = " in source
+        broken = re.sub(r"HEADER_BYTES = \d+", "HEADER_BYTES = 9", source, count=1)
+        codes = [d.code for d in verify_generated(model, broken, backend="python")]
+        assert "TC106" in codes
+
+    def test_unparseable_source_is_reported(self):
+        model = model_for("A")
+        diags = verify_generated(model, "def broken(:", backend="python")
+        assert [d.code for d in diags] == ["TC102"]
+
+    def test_assert_verified_raises(self):
+        model = model_for("A")
+        source = generate_python(model)
+        broken = re.sub(r"HEADER_BYTES = \d+", "HEADER_BYTES = 9", source, count=1)
+        with pytest.raises(CodegenError, match="TC106"):
+            assert_verified(model, broken, backend="python")
+        assert_verified(model, source, backend="python")  # clean source passes
+
+
+class TestCatchesBrokenC:
+    def test_wrong_calloc_count_is_caught(self):
+        model = model_for("A")
+        source = generate_c(model)
+        match = re.search(r"calloc\((\d+), ", source)
+        assert match is not None
+        broken = (
+            source[: match.start(1)]
+            + str(int(match.group(1)) * 2)
+            + source[match.end(1):]
+        )
+        codes = {d.code for d in verify_generated(model, broken, backend="c")}
+        assert codes & {"TC102", "TC107", "TC108"}
+
+    def test_spurious_c_lastvalue_is_tc104(self):
+        model = model_for("A")
+        source = generate_c(model)
+        broken = source.replace(
+            "static void allocate_tables(void) {",
+            "static u32 *field1_lastvalue;\n"
+            "static void allocate_tables(void) {\n"
+            "    field1_lastvalue = (u32 *)calloc(8, sizeof(u32));",
+            1,
+        )
+        codes = [d.code for d in verify_generated(model, broken, backend="c")]
+        assert "TC104" in codes
+
+    def test_wrong_c_header_bytes_is_tc106(self):
+        model = model_for("B")
+        source = generate_c(model)
+        broken = re.sub(
+            r"static const u64 header_bytes = \d+;",
+            "static const u64 header_bytes = 9;",
+            source,
+            count=1,
+        )
+        codes = [d.code for d in verify_generated(model, broken, backend="c")]
+        assert "TC106" in codes

@@ -1,8 +1,8 @@
 """Unit and property tests for the select-fold-shift-xor hashing."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.predictors.hashing import HashParams, fold_value
 

@@ -1,0 +1,354 @@
+"""Tests for the ``repro.lint`` diagnostics framework and analysis passes.
+
+One fixture specification per diagnostic code, plus the framework
+contracts: inline suppression, deterministic JSON, and the code registry
+staying in sync with ``docs/LINT.md``.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    CODES,
+    Diagnostic,
+    Severity,
+    apply_suppressions,
+    check_source,
+    has_errors,
+    lint_spec,
+    lint_spec_text,
+    render_json,
+    render_text,
+)
+
+PREAMBLE = "TCgen Trace Specification;\n"
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def lint(text):
+    return lint_spec_text(PREAMBLE + text, path="spec.tc")
+
+
+# ---------------------------------------------------------------------------
+# One fixture per spec-lint code
+# ---------------------------------------------------------------------------
+
+
+class TestSpecLintCodes:
+    def test_tc001_duplicate_field(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 1024: FCM1[1]};\n"
+            "32-Bit Field 1 = {L2 = 1024: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        assert "TC001" in codes_of(diags)
+        assert "TC002" not in codes_of(diags)  # numbering check defers
+
+    def test_tc002_non_consecutive_fields(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 1024: FCM1[1]};\n"
+            "32-Bit Field 3 = {L2 = 1024: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        assert "TC002" in codes_of(diags)
+
+    def test_tc003_bad_width(self):
+        diags = lint("12-Bit Field 1 = {L2 = 1024: LV[1]};\nPC = Field 1;\n")
+        assert "TC003" in codes_of(diags)
+
+    def test_tc004_header_not_byte_multiple(self):
+        diags = lint(
+            "12-Bit Header;\n"
+            "32-Bit Field 1 = {L2 = 1024: LV[1]};\nPC = Field 1;\n"
+        )
+        assert "TC004" in codes_of(diags)
+
+    def test_tc005_non_power_of_two(self):
+        diags = lint("32-Bit Field 1 = {L1 = 3, L2 = 100: LV[1]};\nPC = Field 1;\n")
+        by_code = [d for d in diags if d.code == "TC005"]
+        assert len(by_code) == 2  # both L1 and L2 reported at once
+
+    def test_tc006_table_ceiling(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 536870912: LV[1]};\nPC = Field 1;\n"
+        )
+        assert "TC006" in codes_of(diags)
+
+    def test_tc006_ceiling_via_order_shift(self):
+        # L2 fits, but the order-8 shift blows past the line ceiling.
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 16777216: FCM8[1]};\nPC = Field 1;\n"
+        )
+        assert "TC006" in codes_of(diags)
+
+    def test_tc007_no_predictors_via_ast(self):
+        # The grammar cannot express an empty predictor list, so this is
+        # only reachable through the AST entry point.
+        from repro.spec.ast import FieldSpec, TraceSpec
+
+        spec = TraceSpec(
+            header_bits=0,
+            fields=(FieldSpec(bits=32, index=1, predictors=()),),
+            pc_field=1,
+        )
+        assert "TC007" in codes_of(lint_spec(spec))
+
+    def test_tc008_order_zero(self):
+        diags = lint("32-Bit Field 1 = {L2 = 1024: FCM0[1]};\nPC = Field 1;\n")
+        (diag,) = [d for d in diags if d.code == "TC008"]
+        assert "no history" in diag.message
+
+    def test_tc009_depth_out_of_range(self):
+        diags = lint("32-Bit Field 1 = {L2 = 1024: LV[17]};\nPC = Field 1;\n")
+        assert "TC009" in codes_of(diags)
+
+    def test_tc010_pc_names_missing_field(self):
+        diags = lint("32-Bit Field 1 = {L2 = 1024: LV[1]};\nPC = Field 9;\n")
+        assert "TC010" in codes_of(diags)
+
+    def test_tc011_pc_field_l1_not_one(self):
+        diags = lint(
+            "32-Bit Field 1 = {L1 = 4, L2 = 1024: FCM1[1]};\nPC = Field 1;\n"
+        )
+        assert "TC011" in codes_of(diags)
+
+    def test_tc012_lex_failure(self):
+        diags = lint_spec_text("not a spec", path="spec.tc")
+        assert codes_of(diags) == ["TC012"]
+
+    def test_tc013_parse_failure(self):
+        diags = lint(
+            "32-Bit Field 1 = {L1 = 2};\nPC = Field 1;\n"
+        )
+        assert codes_of(diags) == ["TC013"]
+        assert diags[0].line == 2  # real source position, not 1:1
+
+    def test_tc020_aliased_shared_table(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 1024: FCM3[2], FCM3[1]};\nPC = Field 1;\n"
+        )
+        (diag,) = [d for d in diags if d.code == "TC020"]
+        assert diag.severity is Severity.WARNING
+
+    def test_tc021_dominated_lv(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 1024: LV[2], LV[1]};\nPC = Field 1;\n"
+        )
+        assert "TC021" in codes_of(diags)
+
+    def test_tc022_degenerate_l2(self):
+        diags = lint(
+            "8-Bit Field 1 = {L2 = 1024: FCM1[1]};\nPC = Field 1;\n"
+        )
+        (diag,) = [d for d in diags if d.code == "TC022"]
+        assert "256" in diag.message  # only 2**8 contexts exist
+
+    def test_tc023_zero_width_header(self):
+        diags = lint(
+            "0-Bit Header;\n"
+            "32-Bit Field 1 = {L2 = 1024: LV[1]};\nPC = Field 1;\n"
+        )
+        (diag,) = [d for d in diags if d.code == "TC023"]
+        assert diag.severity is Severity.INFO
+
+    def test_tc024_pc_indexes_nothing(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 1024: FCM1[1]};\n"
+            "64-Bit Field 2 = {L2 = 1024: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        assert "TC024" in codes_of(diags)
+
+    def test_tc025_explicit_default(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 1024: FCM1[1]};\n"
+            "64-Bit Field 2 = {L1 = 1, L2 = 65536: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        tc025 = [d for d in diags if d.code == "TC025"]
+        assert len(tc025) == 2  # explicit L1 = 1 and explicit L2 = 65536
+
+    def test_pc_fields_own_explicit_l1_1_is_exempt(self):
+        # Preset A writes "L1 = 1" on the PC field deliberately; that must
+        # not be flagged as repeating the default.
+        diags = lint(
+            "32-Bit Field 1 = {L1 = 1, L2 = 1024: FCM1[1]};\nPC = Field 1;\n"
+        )
+        assert "TC025" not in codes_of(diags)
+
+
+class TestPresetsAreClean:
+    def test_shipped_presets_have_no_diagnostics(self):
+        from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+        assert lint_spec_text(TCGEN_A_SPEC) == []
+        assert lint_spec_text(TCGEN_B_SPEC) == []
+
+
+# ---------------------------------------------------------------------------
+# Framework: suppression, rendering, registry
+# ---------------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_inline_disable_mutes_matching_code(self):
+        text = (
+            PREAMBLE
+            + "32-Bit Field 1 = {L2 = 1024: FCM3[2], FCM3[1]};"
+            + "  # tcgen: disable=TC020\n"
+            + "PC = Field 1;\n"
+        )
+        assert "TC020" not in codes_of(lint_spec_text(text))
+
+    def test_disable_all(self):
+        text = (
+            PREAMBLE
+            + "32-Bit Field 1 = {L2 = 1024: LV[2], LV[1]};  # tcgen: disable=all\n"
+            + "PC = Field 1;\n"
+        )
+        assert lint_spec_text(text) == []
+
+    def test_disable_on_other_line_does_not_mute(self):
+        text = (
+            PREAMBLE
+            + "32-Bit Field 1 = {L2 = 1024: FCM3[2], FCM3[1]};\n"
+            + "PC = Field 1;  # tcgen: disable=TC020\n"
+        )
+        assert "TC020" in codes_of(lint_spec_text(text))
+
+    def test_disable_wrong_code_does_not_mute(self):
+        diags = [Diagnostic("f", 1, 1, "TC020", Severity.WARNING, "m")]
+        kept = apply_suppressions(diags, "line one  # tcgen: disable=TC021\n")
+        assert kept == diags
+
+
+class TestRendering:
+    def test_text_rendering_is_ruff_style_and_sorted(self):
+        diags = [
+            Diagnostic("b.tc", 2, 1, "TC005", Severity.ERROR, "late"),
+            Diagnostic("a.tc", 1, 3, "TC020", Severity.WARNING, "early"),
+        ]
+        text = render_text(diags)
+        assert text.splitlines() == [
+            "a.tc:1:3: TC020 early",
+            "b.tc:2:1: TC005 late",
+        ]
+
+    def test_json_schema_and_determinism(self):
+        diags = [
+            Diagnostic("b.tc", 2, 1, "TC005", Severity.ERROR, "late"),
+            Diagnostic("a.tc", 1, 3, "TC020", Severity.WARNING, "early"),
+        ]
+        payload = json.loads(render_json(diags))
+        assert set(payload) == {"diagnostics", "errors", "warnings"}
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 1
+        assert [d["path"] for d in payload["diagnostics"]] == ["a.tc", "b.tc"]
+        assert all(
+            set(d) == {"path", "line", "col", "code", "severity", "message"}
+            for d in payload["diagnostics"]
+        )
+        assert render_json(diags) == render_json(list(reversed(diags)))
+
+    def test_unregistered_code_is_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("f", 1, 1, "TC999", Severity.ERROR, "m")
+
+    def test_has_errors(self):
+        warning = Diagnostic("f", 1, 1, "TC020", Severity.WARNING, "m")
+        error = Diagnostic("f", 1, 1, "TC005", Severity.ERROR, "m")
+        assert not has_errors([warning])
+        assert has_errors([warning, error])
+
+
+class TestRegistry:
+    def test_docs_catalogue_every_code(self):
+        import os
+
+        docs = os.path.join(os.path.dirname(__file__), "..", "docs", "LINT.md")
+        text = open(docs, encoding="utf-8").read()
+        for code in CODES:
+            assert f"### {code}" in text, f"{code} missing from docs/LINT.md"
+
+
+# ---------------------------------------------------------------------------
+# Concurrency lint (TC2xx)
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncCheck:
+    def test_tc201_blocking_call_in_async(self):
+        diags = check_source(
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )
+        assert codes_of(diags) == ["TC201"]
+
+    def test_blocking_call_in_sync_helper_is_fine(self):
+        diags = check_source(
+            "import time\n"
+            "async def handler():\n"
+            "    def helper():\n"
+            "        time.sleep(1)\n"
+            "    helper()\n"
+        )
+        assert diags == []
+
+    def test_tc202_await_under_sync_lock(self):
+        diags = check_source(
+            "async def handler(self):\n"
+            "    with self._lock:\n"
+            "        await self.flush()\n"
+        )
+        assert codes_of(diags) == ["TC202"]
+
+    def test_await_under_async_lock_is_fine(self):
+        diags = check_source(
+            "async def handler(self):\n"
+            "    async with self._async_lock:\n"
+            "        await self.flush()\n"
+        )
+        assert diags == []
+
+    def test_tc203_unguarded_mutation(self):
+        diags = check_source(
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._lock = None\n"
+            "        self._entries = {}\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._entries[k] = v\n"
+            "    def evict(self, k):\n"
+            "        self._entries.pop(k)\n"
+        )
+        assert codes_of(diags) == ["TC203"]
+        assert "evict" in diags[0].message
+
+    def test_guarded_mutation_everywhere_is_fine(self):
+        diags = check_source(
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._lock = None\n"
+            "        self._entries = {}\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._entries[k] = v\n"
+            "    def evict(self, k):\n"
+            "        with self._lock:\n"
+            "            self._entries.pop(k)\n"
+        )
+        assert diags == []
+
+    def test_repository_sources_are_clean(self):
+        import os
+
+        from repro.lint import check_paths
+
+        src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+        assert check_paths([src]) == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import Bzip2Compressor, TCgenCompressor
+from repro.baselines import Bzip2Compressor
 from repro.errors import ReproError
 from repro.metrics import Measurement, ResultTable, harmonic_mean, measure
 

@@ -18,7 +18,6 @@ import time
 
 import pytest
 
-from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
 from repro.errors import CompressedFormatError
 from repro.runtime import streaming
 from repro.runtime.engine import TraceEngine
@@ -37,6 +36,8 @@ from repro.tio.container import (
     decode_container,
     default_chunk_records,
 )
+
+from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
 
 
 class TestParallelPrimitives:

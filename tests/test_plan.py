@@ -1,6 +1,5 @@
 """Tests for the code-generation structure planner."""
 
-import pytest
 
 from repro.codegen.plan import plan_field
 from repro.model import OptimizationOptions, build_model

@@ -1,6 +1,5 @@
 """Behavioural tests for the three standalone predictor families."""
 
-import pytest
 
 from repro.predictors import (
     DFCMPredictor,

@@ -1,9 +1,8 @@
 """Property-based tests across the whole system (hypothesis)."""
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro import generate_compressor
 from repro.model import OptimizationOptions, build_model

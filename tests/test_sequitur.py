@@ -1,9 +1,9 @@
 """SEQUITUR grammar invariants and serialization tests."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.baselines.sequitur import Grammar, SequiturCompressor
 from repro.tio import VPC_FORMAT, pack_records

@@ -8,13 +8,12 @@ a real process and lives in ``TestGracefulDrain``.
 """
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 import signal
 import socket
 import subprocess
 import sys
 import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 

@@ -1,8 +1,8 @@
 """Unit tests for prediction tables and update policies."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.predictors.tables import UpdatePolicy, ValueTable
 
