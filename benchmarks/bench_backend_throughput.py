@@ -1,12 +1,20 @@
-"""Backend throughput: the generated C binary vs the generated Python.
+"""Backend throughput: subprocess C vs in-process native vs pure Python.
 
 The paper's absolute numbers (26MB/s decompression, 7.5MB/s compression on
-an 833MHz Alpha) were measured on compiled C.  Our C backend emits the
-same kind of code; this bench compiles it with ``cc -O3`` and measures
-end-to-end filter throughput (including process spawn and pipe transport,
-so it is a lower bound).  The comparison quantifies how much of the
-Figure 7/8 speed story is language substrate: the same specialized
-algorithm runs one to two orders of magnitude faster as C.
+an 833MHz Alpha) were measured on compiled C.  This bench measures three
+ways of running the same specialized algorithm:
+
+- **C (filter)** — the generated standalone C binary, spawned as a
+  subprocess filter (includes spawn and pipe transport, a lower bound);
+- **native** — the in-process native fast path (`repro.codegen.native`):
+  the compiled kernel stage behind the usual Python API, bzip2 codec and
+  container framing still in Python;
+- **Python** — the generated pure-Python module.
+
+End-to-end numbers share the bzip2 codec cost, which caps the visible
+speedup; the kernel-stage rows use the identity codec to isolate exactly
+the stage the native backend replaces.  That isolated ratio is the
+substrate factor EXPERIMENTS.md uses to interpret Figures 7/8.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import pytest
 from repro import generate_compressor, tcgen_a
 from repro.codegen.compile import find_c_compiler, generate_and_compile_c
 from repro.model import build_model
+from repro.runtime import TraceEngine
 
 from conftest import report
 
@@ -36,49 +45,105 @@ def compiled(tmp_path_factory):
 
 
 @needs_cc
-def test_backend_throughput_comparison(benchmark, compiled, trace_suite):
+def test_backend_throughput_comparison(
+    benchmark, compiled, trace_suite, monkeypatch
+):
+    monkeypatch.setenv("TCGEN_NATIVE", "1")
     python_module = generate_compressor(tcgen_a())
     raw = max(
         (r for traces in trace_suite.values() for r in traces.values()), key=len
     )
+    # Warm the native artifact cache so the one-time cc -O3 build is not
+    # billed to the timed region (a real process pays it once per spec).
+    python_module.compress(raw[: 1024 * 16], backend="native")
 
     def once():
         timings = {}
-        start = time.perf_counter()
-        blob_c = compiled.compress(raw)
-        timings["c_compress"] = time.perf_counter() - start
-        start = time.perf_counter()
-        out = compiled.decompress(blob_c)
-        timings["c_decompress"] = time.perf_counter() - start
-        assert out == raw
-        start = time.perf_counter()
-        blob_py = python_module.compress(raw)
-        timings["py_compress"] = time.perf_counter() - start
-        start = time.perf_counter()
-        out = python_module.decompress(blob_py)
-        timings["py_decompress"] = time.perf_counter() - start
-        assert out == raw
+
+        def timed(label, fn):
+            start = time.perf_counter()
+            result = fn()
+            timings[label] = time.perf_counter() - start
+            return result
+
+        blob = timed("c_compress", lambda: compiled.compress(raw))
+        assert timed("c_decompress", lambda: compiled.decompress(blob)) == raw
+
+        blob_nat = timed(
+            "nat_compress", lambda: python_module.compress(raw, backend="native")
+        )
+        assert timed(
+            "nat_decompress",
+            lambda: python_module.decompress(blob_nat, backend="native"),
+        ) == raw
+
+        blob_py = timed(
+            "py_compress", lambda: python_module.compress(raw, backend="python")
+        )
+        assert timed(
+            "py_decompress",
+            lambda: python_module.decompress(blob_py, backend="python"),
+        ) == raw
+        assert blob_nat == blob_py  # the fast path is unobservable
+
+        # Kernel stage isolated: identity codec removes the shared bzip2
+        # cost, leaving exactly the stage the native backend replaces.
+        eng_py = TraceEngine(tcgen_a(), codec="identity", backend="python")
+        eng_nat = TraceEngine(tcgen_a(), codec="identity", backend="native")
+        kblob = timed("kernel_nat_compress", lambda: eng_nat.compress(raw))
+        assert timed(
+            "kernel_nat_decompress", lambda: eng_nat.decompress(kblob)
+        ) == raw
+        kblob_py = timed("kernel_py_compress", lambda: eng_py.compress(raw))
+        assert timed(
+            "kernel_py_decompress", lambda: eng_py.decompress(kblob_py)
+        ) == raw
+        assert kblob_py == kblob
         return timings
 
     timings = benchmark.pedantic(once, rounds=1, iterations=1)
     mb = len(raw) / 1e6
+
+    def rate(label):
+        return mb / timings[label]
+
     lines = [
-        "Generated-backend throughput (one trace, includes C process spawn)",
+        "Backend throughput (one trace; C filter includes process spawn)",
         "",
         f"trace: {len(raw):,} bytes",
-        f"C   compress   {mb / timings['c_compress']:8.1f} MB/s",
-        f"C   decompress {mb / timings['c_decompress']:8.1f} MB/s "
-        "(paper's Alpha: 7.5 / 26 MB/s)",
-        f"Py  compress   {mb / timings['py_compress']:8.1f} MB/s",
-        f"Py  decompress {mb / timings['py_decompress']:8.1f} MB/s",
         "",
-        f"C-over-Python speedup: compress "
+        "end-to-end (bzip2 codec shared by all rows)",
+        f"  C filter  compress {rate('c_compress'):8.1f} MB/s   "
+        f"decompress {rate('c_decompress'):8.1f} MB/s "
+        "(paper's Alpha: 7.5 / 26 MB/s)",
+        f"  native    compress {rate('nat_compress'):8.1f} MB/s   "
+        f"decompress {rate('nat_decompress'):8.1f} MB/s",
+        f"  Python    compress {rate('py_compress'):8.1f} MB/s   "
+        f"decompress {rate('py_decompress'):8.1f} MB/s",
+        "",
+        "kernel stage only (identity codec)",
+        f"  native    compress {rate('kernel_nat_compress'):8.1f} MB/s   "
+        f"decompress {rate('kernel_nat_decompress'):8.1f} MB/s",
+        f"  Python    compress {rate('kernel_py_compress'):8.1f} MB/s   "
+        f"decompress {rate('kernel_py_decompress'):8.1f} MB/s",
+        "",
+        f"native-over-Python, end-to-end: compress "
+        f"{timings['py_compress'] / timings['nat_compress']:.1f}x, decompress "
+        f"{timings['py_decompress'] / timings['nat_decompress']:.1f}x",
+        f"native-over-Python, kernel stage: compress "
+        f"{timings['kernel_py_compress'] / timings['kernel_nat_compress']:.0f}x, "
+        f"decompress "
+        f"{timings['kernel_py_decompress'] / timings['kernel_nat_decompress']:.0f}x",
+        f"C-filter-over-Python: compress "
         f"{timings['py_compress'] / timings['c_compress']:.0f}x, decompress "
         f"{timings['py_decompress'] / timings['c_decompress']:.0f}x",
     ]
     report("backend_throughput", "\n".join(lines))
 
-    # The compiled backend must be at least an order of magnitude faster —
-    # the substrate factor EXPERIMENTS.md uses to interpret Figures 7/8.
+    # The compiled substrates must beat the Python kernels by at least an
+    # order of magnitude where the kernel dominates: the isolated kernel
+    # stage for the in-process native path, end-to-end for the C filter.
+    assert timings["kernel_nat_compress"] * 10 < timings["kernel_py_compress"]
+    assert timings["kernel_nat_decompress"] * 10 < timings["kernel_py_decompress"]
     assert timings["c_compress"] * 5 < timings["py_compress"]
     assert timings["c_decompress"] * 5 < timings["py_decompress"]

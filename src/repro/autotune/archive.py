@@ -122,6 +122,7 @@ def compress_adaptive(
     chunk_records: int | str | None = None,
     workers: int | None = None,
     executor: str | None = None,
+    backend: str = "auto",
 ) -> AdaptiveResult:
     """Pick the best specification for this trace and embed it.
 
@@ -136,13 +137,15 @@ def compress_adaptive(
     winning payload can be a chunked v3 container (salvageable with
     :func:`salvage_adaptive`).  The winner is chosen on the same settings
     the archive is written with, keeping the embedded payload identical
-    to the measured one.
+    to the measured one.  ``backend`` picks the kernel stage for every
+    candidate run (``"auto"``/``"python"``/``"native"``); candidate sizes
+    and the winning payload are byte-identical for every backend.
     """
     candidates = candidates or default_candidates()
     options = options or OptimizationOptions.full()
 
     def run(spec: TraceSpec) -> tuple[bytes, UsageReport]:
-        engine = TraceEngine(spec, options, codec=codec)
+        engine = TraceEngine(spec, options, codec=codec, backend=backend)
         blob = engine.compress(
             raw, chunk_records=chunk_records, workers=workers, executor=executor
         )
@@ -180,10 +183,13 @@ def decompress_adaptive(
     *,
     workers: int | None = None,
     executor: str | None = None,
+    backend: str = "auto",
 ) -> bytes:
     """Regenerate the matching decompressor from the embedded spec and run it."""
     spec, payload = read_archive_spec(archive)
-    engine = TraceEngine(spec, options or OptimizationOptions.full(), codec=codec)
+    engine = TraceEngine(
+        spec, options or OptimizationOptions.full(), codec=codec, backend=backend
+    )
     return engine.decompress(payload, workers=workers, executor=executor)
 
 
@@ -194,6 +200,7 @@ def salvage_adaptive(
     *,
     workers: int | None = None,
     executor: str | None = None,
+    backend: str = "auto",
 ):
     """Best-effort decode of a damaged adaptive archive.
 
@@ -205,7 +212,9 @@ def salvage_adaptive(
     damage there still raises :class:`CompressedFormatError`.
     """
     spec, payload = read_archive_spec(archive)
-    engine = TraceEngine(spec, options or OptimizationOptions.full(), codec=codec)
+    engine = TraceEngine(
+        spec, options or OptimizationOptions.full(), codec=codec, backend=backend
+    )
     recovered = engine.decompress(
         payload, workers=workers, executor=executor, mode="salvage"
     )

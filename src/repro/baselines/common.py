@@ -81,17 +81,22 @@ def all_baselines() -> list[TraceCompressor]:
 
 
 def all_compressors(
-    chunk_records: int | str | None = None, workers: int = 1
+    chunk_records: int | str | None = None,
+    workers: int = 1,
+    backend: str = "auto",
 ) -> list[TraceCompressor]:
     """The six baselines plus the TCgen(A) generated compressor.
 
-    ``chunk_records`` and ``workers`` configure only the TCgen entry: a
-    chunked (v2) container and a parallel post-compression stage.  The
-    baselines ignore them, so the comparison stays apples-to-apples on
-    the input side.
+    ``chunk_records``, ``workers``, and ``backend`` configure only the
+    TCgen entry: a chunked (v2) container, a parallel post-compression
+    stage, and the kernel-stage backend (python or in-process native).
+    The baselines ignore them, so the comparison stays apples-to-apples
+    on the input side.
     """
     from repro.baselines.tcgen import TCgenCompressor
 
     return all_baselines() + [
-        TCgenCompressor(chunk_records=chunk_records, workers=workers)
+        TCgenCompressor(
+            chunk_records=chunk_records, workers=workers, backend=backend
+        )
     ]

@@ -73,18 +73,33 @@ class _Symbol:
     def join(self, right: "_Symbol") -> None:
         """Link ``self -> right``, retiring any digram ``self`` started."""
         if self.next is not None:
-            self.delete_digram()
+            self.delete_digram(repair_overlap=True)
         self.next = right
         right.prev = self
 
-    def delete_digram(self) -> None:
-        """Remove the digram starting at ``self`` from the index."""
+    def delete_digram(self, repair_overlap: bool = False) -> None:
+        """Remove the digram starting at ``self`` from the index.
+
+        With ``repair_overlap`` (the relink path, where ``self`` survives
+        with a new right neighbour), a same-key overlapping predecessor
+        occurrence — the unindexed middle of a run like "aaa" — inherits
+        the index entry, so digram uniqueness keeps holding after the
+        indexed occurrence is retired.
+        """
         if self.is_guard() or self.next is None or self.next.is_guard():
             return
         digrams = self.grammar.digrams
         key = (self.key(), self.next.key())
         if digrams.get(key) is self:
             del digrams[key]
+            if repair_overlap:
+                prev = self.prev
+                if (
+                    prev is not None
+                    and not prev.is_guard()
+                    and (prev.key(), self.key()) == key
+                ):
+                    digrams[key] = prev
 
     def insert_after(self, symbol: "_Symbol") -> None:
         symbol.join(self.next)
@@ -95,6 +110,22 @@ class _Symbol:
         self.prev.join(self.next)
         if not self.is_guard():
             self.delete_digram()
+            # Overlap repair: in a run "aaa" only the first "aa" is
+            # indexed.  When that indexed occurrence dies, the surviving
+            # overlapping occurrence (starting at our old right
+            # neighbour) must take its place, or a later "aa" elsewhere
+            # is never matched and digram uniqueness silently breaks.
+            follower = self.next
+            if (
+                follower is not None
+                and not follower.is_guard()
+                and follower.next is not None
+                and not follower.next.is_guard()
+                and self.key() == follower.key() == follower.next.key()
+            ):
+                self.grammar.digrams.setdefault(
+                    (follower.key(), follower.next.key()), follower
+                )
             if self.rule is not None:
                 self.rule.count -= 1
 

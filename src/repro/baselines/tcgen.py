@@ -30,22 +30,29 @@ class TCgenCompressor(TraceCompressor):
         name: str | None = None,
         chunk_records: int | str | None = None,
         workers: int = 1,
+        backend: str = "auto",
     ) -> None:
         spec = spec or tcgen_a()
         self.model = build_model(spec, options or OptimizationOptions.full())
         self._module = load_python_module(generate_python(self.model))
         self.chunk_records = chunk_records
         self.workers = workers
+        self.backend = backend
         if name:
             self.name = name
 
     def compress(self, raw: bytes) -> bytes:
         return self._module.compress(
-            raw, chunk_records=self.chunk_records, workers=self.workers
+            raw,
+            chunk_records=self.chunk_records,
+            workers=self.workers,
+            backend=self.backend,
         )
 
     def decompress(self, blob: bytes) -> bytes:
-        return self._module.decompress(blob, workers=self.workers)
+        return self._module.decompress(
+            blob, workers=self.workers, backend=self.backend
+        )
 
     def usage_report(self) -> str:
         """Predictor-usage feedback from the most recent compression."""

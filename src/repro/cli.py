@@ -203,6 +203,12 @@ def bench_main(argv: list[str] | None = None) -> int:
         help="records per chunk for TCgen's chunked v3 container "
         "('auto' = ~1 MB raw per chunk; default: flat v1 container)",
     )
+    parser.add_argument(
+        "--backend", choices=("auto", "python", "native"), default="auto",
+        help="kernel-stage backend for the TCgen entry: auto tries the "
+        "in-process compiled native kernels and falls back to python "
+        "(output bytes are identical either way)",
+    )
     args = parser.parse_args(argv)
 
     from repro.runtime.parallel import resolve_workers
@@ -220,7 +226,9 @@ def bench_main(argv: list[str] | None = None) -> int:
             for workload in suite:
                 raw = build_trace(workload, kind, scale=args.scale, seed=args.seed)
                 for compressor in all_compressors(
-                    chunk_records=chunk_records, workers=workers
+                    chunk_records=chunk_records,
+                    workers=workers,
+                    backend=args.backend,
                 ):
                     result = measure(compressor, raw, workload=workload, kind=kind)
                     table.add(result)
@@ -233,6 +241,11 @@ def bench_main(argv: list[str] | None = None) -> int:
                     )
     except ReproError as exc:
         return _fail("tcgen-bench", exc)
+    except RuntimeError as exc:
+        # The generated module reports --backend native unavailability
+        # as RuntimeError (it is stdlib-only and cannot raise our types).
+        print(f"tcgen-bench: {exc}", file=sys.stderr)
+        return 1
     for metric, title in (
         ("compression_rate", "Compression rate (harmonic mean)"),
         ("decompression_speed", "Decompression speed (harmonic mean, B/s)"),

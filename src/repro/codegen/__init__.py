@@ -26,6 +26,7 @@ compressor.
 """
 
 from repro.codegen.c_backend import generate_c as _generate_c
+from repro.codegen.c_backend import generate_c_library as _generate_c_library
 from repro.codegen.compile import (
     CompiledC,
     compile_c,
@@ -40,6 +41,7 @@ __all__ = [
     "compile_c",
     "generate_and_compile_c",
     "generate_c",
+    "generate_c_library",
     "generate_python",
     "load_python_module",
 ]
@@ -74,4 +76,19 @@ def generate_c(
         from repro.lint.genverify import assert_verified
 
         assert_verified(model, source, backend="c")
+    return source
+
+
+def generate_c_library(model: CompressorModel, verify: bool = False) -> str:
+    """Generate the shared-library (native fast path) C source.
+
+    With ``verify=True`` the emitted source is checked against the
+    codegen invariants — including the exported ABI's completeness —
+    before being returned.
+    """
+    source = _generate_c_library(model)
+    if verify:
+        from repro.lint.genverify import assert_verified
+
+        assert_verified(model, source, backend="c-library")
     return source

@@ -858,6 +858,606 @@ def _emit_c_decompress(
     w.line()
 
 
+def generate_c_library(model: CompressorModel) -> str:
+    """Generate C source for the in-process shared-library fast path.
+
+    Unlike :func:`generate_c` (a standalone stdin/stdout filter owning the
+    whole container format), the library exposes only the *kernel stage* —
+    record bytes in, serialized code/value streams out — through a small
+    stable ABI (see docs/NATIVE.md):
+
+    - ``tcgen_abi_version`` / ``tcgen_fingerprint`` / ``tcgen_record_bytes``
+      / ``tcgen_header_bytes`` / ``tcgen_stream_count``: identity probes;
+    - ``tcgen_compress(trace, len, &out, &out_len)``: whole-trace kernel
+      pass (skips the header bytes itself) producing a stream bundle;
+    - ``tcgen_chunk_compress``: same, but over a headerless record slice —
+      what the v2/v3 chunk pipeline feeds per chunk;
+    - ``tcgen_decompress`` / ``tcgen_chunk_decompress``: bundle in,
+      reconstructed record bytes out;
+    - ``tcgen_free``: releases any ``out`` pointer the library returned.
+
+    Post-compression codecs, container framing, CRCs, and salvage all stay
+    in Python, which is what makes the native path byte-identical to the
+    pure-Python backends by construction.  Every entry point is reentrant:
+    predictor tables are per-call heap locals, so concurrent calls from a
+    thread pool (ctypes releases the GIL) never share state.  Entry points
+    return 0 on success, 1 on framing errors, 2 on allocation failure, and
+    3 on a corrupt code/value stream.
+    """
+    plans = [plan_field(layout, model.options) for layout in model.fields]
+    plan_by_index = {plan.layout.index: plan for plan in plans}
+    order = [plan_by_index[layout.index] for layout in model.process_order]
+    spec = model.spec
+
+    w = CodeWriter()
+    w.line("/* Trace-compressor kernel library generated by TCgen (C backend).")
+    w.line(" *")
+    w.line(" * Trace specification (canonical form):")
+    for line in format_spec(spec).rstrip("\n").split("\n"):
+        w.line(f" *   {line}")
+    w.line(" */")
+    w.line()
+    w.line("#include <stdlib.h>")
+    w.line("#include <string.h>")
+    w.line()
+    w.line("typedef unsigned char u8;")
+    w.line("typedef unsigned short u16;")
+    w.line("typedef unsigned int u32;")
+    w.line("typedef unsigned long long u64;")
+    w.line()
+    w.line("static const u32 abi_version = 1;")
+    w.line(f"static const u64 fingerprint = {_hex64(spec.fingerprint())};")
+    w.line(f"static const u64 header_bytes = {spec.header_bytes};")
+    w.line(f"static const u64 record_bytes = {spec.record_bytes};")
+    w.line(f"static const u32 stream_count = {model.stream_count};")
+    w.line()
+    _emit_lib_utilities(w)
+    _emit_lib_compress(w, model, plans, order)
+    _emit_lib_decompress(w, model, plans, order)
+    _emit_lib_exports(w)
+    return w.getvalue()
+
+
+def _emit_lib_utilities(w: CodeWriter) -> None:
+    w.line("/* ---- growable byte buffer (failure-tolerant: never exits) ---- */")
+    w.line()
+    w.line("typedef struct {")
+    w.indent()
+    w.line("u8 *data;")
+    w.line("size_t length;")
+    w.line("size_t capacity;")
+    w.line("int failed;")
+    w.dedent()
+    w.line("} buffer;")
+    w.line()
+    with w.block("static void buffer_init(buffer *b) {"):
+        w.line("b->data = NULL;")
+        w.line("b->length = 0;")
+        w.line("b->capacity = 0;")
+        w.line("b->failed = 0;")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_reserve(buffer *b, size_t extra) {"):
+        w.line("size_t capacity;")
+        w.line("u8 *grown;")
+        w.line("if (b->failed) {")
+        w.indent()
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.line("if (b->length + extra <= b->capacity) {")
+        w.indent()
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.line("capacity = b->capacity ? b->capacity : 65536;")
+        w.line("while (b->length + extra > capacity) {")
+        w.indent()
+        w.line("capacity *= 2;")
+        w.dedent()
+        w.line("}")
+        w.line("grown = (u8 *)realloc(b->data, capacity);")
+        w.line("if (grown == NULL) {")
+        w.indent()
+        w.line("b->failed = 1;")
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.line("b->data = grown;")
+        w.line("b->capacity = capacity;")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_append_byte(buffer *b, u8 value) {"):
+        w.line("buffer_reserve(b, 1);")
+        w.line("if (b->failed) {")
+        w.indent()
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.line("b->data[b->length] = value;")
+        w.line("b->length += 1;")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_append(buffer *b, const u8 *src, size_t n) {"):
+        w.line("if (n == 0) {")
+        w.indent()
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.line("buffer_reserve(b, n);")
+        w.line("if (b->failed) {")
+        w.indent()
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.line("memcpy(b->data + b->length, src, n);")
+        w.line("b->length += n;")
+    w.line("}")
+    w.line()
+    with w.block("static void buffer_write_varint(buffer *b, u64 value) {"):
+        w.line("for (;;) {")
+        w.indent()
+        w.line("u8 byte = (u8)(value & 0x7F);")
+        w.line("value >>= 7;")
+        w.line("if (value != 0) {")
+        w.indent()
+        w.line("buffer_append_byte(b, (u8)(byte | 0x80));")
+        w.dedent()
+        w.line("} else {")
+        w.indent()
+        w.line("buffer_append_byte(b, byte);")
+        w.line("return;")
+        w.dedent()
+        w.line("}")
+        w.dedent()
+        w.line("}")
+    w.line("}")
+    w.line()
+    with w.block(
+        "static int read_varint_checked(const u8 *data, size_t length, "
+        "size_t *pos, u64 *out) {"
+    ):
+        w.line("u64 result = 0;")
+        w.line("u32 shift = 0;")
+        w.line("for (;;) {")
+        w.indent()
+        w.line("u8 byte;")
+        w.line("if (*pos >= length || shift > 63) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("byte = data[*pos];")
+        w.line("*pos += 1;")
+        w.line("result |= (u64)(byte & 0x7F) << shift;")
+        w.line("if ((byte & 0x80) == 0) {")
+        w.indent()
+        w.line("*out = result;")
+        w.line("return 0;")
+        w.dedent()
+        w.line("}")
+        w.line("shift += 7;")
+        w.dedent()
+        w.line("}")
+    w.line("}")
+    w.line()
+
+
+def _lib_allocations(plans: list[FieldPlan]) -> list[tuple[str, str, int]]:
+    """The (name, ctype, element_count) table set both kernels allocate."""
+    allocations: list[tuple[str, str, int]] = []
+    for plan in plans:
+        for last in plan.lasts:
+            allocations.append(
+                (last.name, _CTYPES[last.elem_bytes], last.lines * last.depth)
+            )
+        for chain in plan.chains:
+            allocations.append(
+                (chain.name, _CTYPES[chain.elem_bytes], chain.lines * chain.span)
+            )
+        for l2 in plan.l2s:
+            allocations.append(
+                (l2.name, _CTYPES[l2.elem_bytes], l2.lines * l2.depth)
+            )
+    return allocations
+
+
+def _emit_lib_table_locals(w: CodeWriter, allocations: list[tuple[str, str, int]]) -> None:
+    """Per-call heap tables: declared NULL so the cleanup path is uniform."""
+    for name, ctype, _ in allocations:
+        w.line(f"{ctype} *{name} = NULL;")
+
+
+def _emit_lib_table_alloc(w: CodeWriter, allocations: list[tuple[str, str, int]]) -> None:
+    for name, ctype, count in allocations:
+        w.line(f"{name} = ({ctype} *)calloc({count}, sizeof({ctype}));")
+    names = " && ".join(name for name, _, _ in allocations)
+    w.line(f"if (!({names})) {{")
+    w.indent()
+    w.line("status = 2;")
+    w.line("goto done;")
+    w.dedent()
+    w.line("}")
+
+
+def _emit_lib_table_free(w: CodeWriter, allocations: list[tuple[str, str, int]]) -> None:
+    for name, _, _ in allocations:
+        w.line(f"free({name});")
+
+
+def _emit_lib_compress(
+    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+) -> None:
+    pc_f = model.pc_field.index
+    allocations = _lib_allocations(plans)
+    w.line("/* ---- kernel: records -> serialized stream bundle ---- */")
+    w.line()
+    with w.block(
+        "static int kernel_compress(const u8 *records, u64 record_count, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("size_t pos = 0;")
+        w.line("u64 record;")
+        w.line("u32 i;")
+        w.line("int status = 0;")
+        w.line("buffer bundle;")
+        _emit_lib_table_locals(w, allocations)
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"buffer codes{f};")
+            w.line(f"buffer values{f};")
+            w.line(f"u64 usage{f}[{plan.layout.total_predictions + 1}];")
+        w.line("buffer_init(&bundle);")
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"buffer_init(&codes{f});")
+            w.line(f"buffer_init(&values{f});")
+            w.line(f"memset(usage{f}, 0, sizeof(usage{f}));")
+        _emit_lib_table_alloc(w, allocations)
+        with w.block("for (record = 0; record < record_count; record++) {"):
+            offset = 0
+            for plan in plans:
+                layout = plan.layout
+                _emit_value_read(
+                    w, f"value{layout.index}", "records", f"pos + {offset}", layout.spec.bytes
+                )
+                offset += layout.spec.bytes
+            w.line("pos += record_bytes;")
+            for plan in order:
+                layout = plan.layout
+                f = layout.index
+                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                pc_var = "0" if layout.is_pc else f"value{pc_f}"
+                vars = emitter.emit_begin(w, pc_var)
+                w.line(f"/* field {f}: match the value against the predictions */")
+                w.line(f"register u32 code{f};")
+                for code, pvar in enumerate(vars["predictions"]):
+                    keyword = "if" if code == 0 else "} else if"
+                    w.line(f"{keyword} (value{f} == {pvar}) {{")
+                    w.indent()
+                    w.line(f"code{f} = {code};")
+                    w.dedent()
+                w.line("} else {")
+                w.indent()
+                w.line(f"code{f} = {layout.miss_code};")
+                _emit_value_write(w, f"values{f}", f"value{f}", layout.value_bytes)
+                w.dedent()
+                w.line("}")
+                if layout.code_bytes == 1:
+                    w.line(f"buffer_append_byte(&codes{f}, (u8)code{f});")
+                else:
+                    _emit_value_write(w, f"codes{f}", f"(u64)code{f}", layout.code_bytes)
+                w.line(f"usage{f}[code{f}] += 1;")
+                emitter.emit_commit(w, vars, f"value{f}")
+        w.line("}")
+        failed = " || ".join(
+            f"codes{plan.layout.index}.failed || values{plan.layout.index}.failed"
+            for plan in plans
+        )
+        w.line(f"if ({failed}) {{")
+        w.indent()
+        w.line("status = 2;")
+        w.line("goto done;")
+        w.dedent()
+        w.line("}")
+        w.line("/* bundle: count, per-field stream lengths, streams, usage */")
+        w.line("buffer_write_varint(&bundle, record_count);")
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"buffer_write_varint(&bundle, (u64)codes{f}.length);")
+            w.line(f"buffer_write_varint(&bundle, (u64)values{f}.length);")
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"buffer_append(&bundle, codes{f}.data, codes{f}.length);")
+            w.line(f"buffer_append(&bundle, values{f}.data, values{f}.length);")
+        for plan in plans:
+            f = plan.layout.index
+            total = plan.layout.total_predictions
+            with w.block(f"for (i = 0; i <= {total}; i++) {{"):
+                w.line(f"buffer_write_varint(&bundle, usage{f}[i]);")
+            w.line("}")
+        w.line("if (bundle.failed) {")
+        w.indent()
+        w.line("status = 2;")
+        w.line("goto done;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = bundle.data;")
+        w.line("*out_length = bundle.length;")
+        w.line("bundle.data = NULL;")
+        w.line("done:")
+        _emit_lib_table_free(w, allocations)
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"free(codes{f}.data);")
+            w.line(f"free(values{f}.data);")
+        w.line("free(bundle.data);")
+        w.line("return status;")
+    w.line("}")
+    w.line()
+
+
+def _emit_lib_decompress(
+    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+) -> None:
+    pc_f = model.pc_field.index
+    allocations = _lib_allocations(plans)
+    w.line("/* ---- kernel: stream bundle -> reconstructed record bytes ---- */")
+    w.line()
+    with w.block(
+        "static int kernel_decompress(const u8 *bundle, size_t bundle_length, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("size_t pos = 0;")
+        w.line("u64 record_count = 0;")
+        w.line("u64 record;")
+        w.line("int status = 0;")
+        w.line("u8 *output = NULL;")
+        w.line("size_t outpos = 0;")
+        w.line("size_t total_bytes = 0;")
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"u64 clen{f} = 0;")
+            w.line(f"u64 vlen{f} = 0;")
+            w.line(f"const u8 *codes{f} = NULL;")
+            w.line(f"const u8 *values{f} = NULL;")
+            w.line(f"size_t vpos{f} = 0;")
+        _emit_lib_table_locals(w, allocations)
+        w.line("if (read_varint_checked(bundle, bundle_length, &pos, &record_count) != 0) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if (record_count > ((u64)1 << 48)) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        for plan in plans:
+            f = plan.layout.index
+            cb = plan.layout.code_bytes
+            for var in (f"clen{f}", f"vlen{f}"):
+                w.line(
+                    f"if (read_varint_checked(bundle, bundle_length, &pos, &{var}) != 0) {{"
+                )
+                w.indent()
+                w.line("return 1;")
+                w.dedent()
+                w.line("}")
+            w.line(f"if (clen{f} != record_count * {cb}) {{")
+            w.indent()
+            w.line("return 1;")
+            w.dedent()
+            w.line("}")
+        for plan in plans:
+            f = plan.layout.index
+            for var, ptr in ((f"clen{f}", f"codes{f}"), (f"vlen{f}", f"values{f}")):
+                w.line(f"if ({var} > (u64)(bundle_length - pos)) {{")
+                w.indent()
+                w.line("return 1;")
+                w.dedent()
+                w.line("}")
+                w.line(f"{ptr} = bundle + pos;")
+                w.line(f"pos += (size_t){var};")
+        w.line("if (pos != bundle_length) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("total_bytes = (size_t)(record_count * record_bytes);")
+        w.line("output = (u8 *)malloc(total_bytes ? total_bytes : 1);")
+        w.line("if (output == NULL) {")
+        w.indent()
+        w.line("return 2;")
+        w.dedent()
+        w.line("}")
+        _emit_lib_table_alloc(w, allocations)
+        with w.block("for (record = 0; record < record_count; record++) {"):
+            for plan in order:
+                layout = plan.layout
+                f = layout.index
+                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                pc_var = "0" if layout.is_pc else f"value{pc_f}"
+                vars = emitter.emit_begin(w, pc_var)
+                cb = layout.code_bytes
+                if cb == 1:
+                    w.line(f"register u32 code{f} = codes{f}[record];")
+                else:
+                    parts = [f"(u32)codes{f}[record * {cb}]"]
+                    for i in range(1, cb):
+                        parts.append(f"((u32)codes{f}[record * {cb} + {i}] << {8 * i})")
+                    w.line(f"register u32 code{f} = {' | '.join(parts)};")
+                w.line(f"register u64 value{f};")
+                for code, pvar in enumerate(vars["predictions"]):
+                    keyword = "if" if code == 0 else "} else if"
+                    w.line(f"{keyword} (code{f} == {code}) {{")
+                    w.indent()
+                    w.line(f"value{f} = {pvar};")
+                    w.dedent()
+                w.line(f"}} else if (code{f} == {layout.miss_code}) {{")
+                w.indent()
+                vb = layout.value_bytes
+                w.line(f"if (vpos{f} + {vb} > (size_t)vlen{f}) {{")
+                w.indent()
+                w.line("status = 3;")
+                w.line("goto done;")
+                w.dedent()
+                w.line("}")
+                parts = [f"(u64)values{f}[vpos{f}]"]
+                for i in range(1, vb):
+                    parts.append(f"((u64)values{f}[vpos{f} + {i}] << {8 * i})")
+                w.line(f"value{f} = ({' | '.join(parts)}) & {_hex64(layout.mask)};")
+                w.line(f"vpos{f} += {vb};")
+                w.dedent()
+                w.line("} else {")
+                w.indent()
+                w.line("status = 3;")
+                w.line("goto done;")
+                w.dedent()
+                w.line("}")
+                emitter.emit_commit(w, vars, f"value{f}")
+            position = 0
+            for plan in plans:
+                layout = plan.layout
+                for i in range(layout.spec.bytes):
+                    shifted = (
+                        f"value{layout.index}"
+                        if i == 0
+                        else f"value{layout.index} >> {8 * i}"
+                    )
+                    w.line(f"output[outpos + {position + i}] = (u8)({shifted});")
+                position += layout.spec.bytes
+            w.line("outpos += record_bytes;")
+        w.line("}")
+        for plan in plans:
+            f = plan.layout.index
+            w.line(f"if (vpos{f} != (size_t)vlen{f}) {{")
+            w.indent()
+            w.line("status = 1;")
+            w.line("goto done;")
+            w.dedent()
+            w.line("}")
+        w.line("*out = output;")
+        w.line("*out_length = total_bytes;")
+        w.line("output = NULL;")
+        w.line("done:")
+        _emit_lib_table_free(w, allocations)
+        w.line("free(output);")
+        w.line("return status;")
+    w.line("}")
+    w.line()
+
+
+def _emit_lib_exports(w: CodeWriter) -> None:
+    w.line("/* ---- exported ABI (see docs/NATIVE.md) ---- */")
+    w.line()
+    with w.block("u32 tcgen_abi_version(void) {"):
+        w.line("return abi_version;")
+    w.line("}")
+    w.line()
+    with w.block("u64 tcgen_fingerprint(void) {"):
+        w.line("return fingerprint;")
+    w.line("}")
+    w.line()
+    with w.block("u64 tcgen_record_bytes(void) {"):
+        w.line("return record_bytes;")
+    w.line("}")
+    w.line()
+    with w.block("u64 tcgen_header_bytes(void) {"):
+        w.line("return header_bytes;")
+    w.line("}")
+    w.line()
+    with w.block("u32 tcgen_stream_count(void) {"):
+        w.line("return stream_count;")
+    w.line("}")
+    w.line()
+    with w.block("void tcgen_free(u8 *ptr) {"):
+        w.line("free(ptr);")
+    w.line("}")
+    w.line()
+    with w.block(
+        "int tcgen_chunk_compress(const u8 *records, size_t length, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("if (out == NULL || out_length == NULL) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = NULL;")
+        w.line("*out_length = 0;")
+        w.line("if (records == NULL && length != 0) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if (length % record_bytes != 0) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("return kernel_compress(records, (u64)(length / record_bytes), out, out_length);")
+    w.line("}")
+    w.line()
+    with w.block(
+        "int tcgen_compress(const u8 *trace, size_t length, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("if (out == NULL || out_length == NULL) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = NULL;")
+        w.line("*out_length = 0;")
+        w.line("if (trace == NULL && length != 0) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if (length < header_bytes) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if ((length - header_bytes) % record_bytes != 0) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line(
+            "return kernel_compress(trace + header_bytes, "
+            "(u64)((length - header_bytes) / record_bytes), out, out_length);"
+        )
+    w.line("}")
+    w.line()
+    with w.block(
+        "int tcgen_chunk_decompress(const u8 *bundle, size_t length, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("if (out == NULL || out_length == NULL) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = NULL;")
+        w.line("*out_length = 0;")
+        w.line("if (bundle == NULL) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("return kernel_decompress(bundle, length, out, out_length);")
+    w.line("}")
+    w.line()
+    with w.block(
+        "int tcgen_decompress(const u8 *bundle, size_t length, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("return tcgen_chunk_decompress(bundle, length, out, out_length);")
+    w.line("}")
+
+
 def _emit_c_main(w: CodeWriter) -> None:
     from repro import __version__ as generator_version
 

@@ -40,13 +40,47 @@ def load_python_module(source: str, name: str | None = None) -> types.ModuleType
     return module
 
 
+#: Sentinel distinguishing "not probed yet" from "probed, none found".
+_COMPILER_UNSET = object()
+_compiler_memo: object = _COMPILER_UNSET
+
+
 def find_c_compiler() -> str | None:
-    """Locate a C compiler, preferring ``cc`` like the paper's platform."""
-    for candidate in ("cc", "gcc", "clang"):
-        path = shutil.which(candidate)
-        if path:
-            return path
-    return None
+    """Locate a C compiler, preferring ``cc`` like the paper's platform.
+
+    ``TCGEN_CC`` overrides the probe entirely (a name resolved on PATH,
+    or an absolute path) — CI uses it to pin gcc vs clang.  The probe
+    runs once per process and is memoized — both the subprocess backend
+    and the native fast path call this on every build, and spawning
+    ``shutil.which`` lookups per call is wasted work.  Tests that
+    manipulate PATH or ``TCGEN_CC`` should call
+    :func:`clear_compiler_cache`.
+    """
+    global _compiler_memo
+    if _compiler_memo is _COMPILER_UNSET:
+        override = os.environ.get("TCGEN_CC")
+        if override:
+            _compiler_memo = (
+                override
+                if os.path.isabs(override) and os.access(override, os.X_OK)
+                else shutil.which(override)
+            )
+        else:
+            _compiler_memo = next(
+                (
+                    path
+                    for candidate in ("cc", "gcc", "clang")
+                    if (path := shutil.which(candidate))
+                ),
+                None,
+            )
+    return _compiler_memo  # type: ignore[return-value]
+
+
+def clear_compiler_cache() -> None:
+    """Forget the memoized compiler path (for tests that change PATH)."""
+    global _compiler_memo
+    _compiler_memo = _COMPILER_UNSET
 
 
 @dataclass

@@ -1,0 +1,572 @@
+"""The in-process native fast path: compiled C kernels behind ``ctypes``.
+
+The paper's central claim is that *generated, compiled* code beats a
+generic interpreter by orders of magnitude.  This module closes that loop
+for the library itself: the C backend's kernel-stage ABI
+(:func:`repro.codegen.c_backend.generate_c_library`) is compiled with
+``cc -O3 -shared -fPIC``, loaded into the current process with
+``ctypes``, and exposed as a :class:`NativeKernel` whose
+``compress_chunk``/``decompress_chunk`` calls are drop-in replacements
+for the pure-Python chunk workers in :mod:`repro.runtime.engine` — same
+inputs, same outputs, byte for byte.  Codecs, container framing, CRCs,
+and salvage stay in Python, which is what makes the equivalence hold by
+construction.
+
+Compiled artifacts are cached on disk (default ``~/.cache/tcgen/``,
+honouring ``XDG_CACHE_HOME`` and the ``TCGEN_CACHE_DIR`` override) keyed
+by canonical-spec hash + optimization options + generator version + ABI
+version + compiler fingerprint, so a spec is compiled once per machine,
+not once per process.  Every artifact carries a sideband JSON record
+with its SHA-256; a truncated or tampered ``.so`` is detected, deleted,
+and rebuilt instead of crashing the loader.  Concurrent builders
+serialize on an ``flock`` file lock and publish via atomic rename, so a
+double build yields one usable artifact.  The cache is pruned LRU (by
+``.so`` mtime, refreshed on load) to ``TCGEN_CACHE_MAX_BYTES``.
+
+``TCGEN_NATIVE=0`` disables the whole subsystem; every failure mode
+raises :class:`~repro.errors.NativeBackendError` with the reason, which
+``backend="auto"`` dispatch turns into a logged Python fallback.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import json
+import os
+import subprocess
+import tempfile
+import threading
+
+from repro import __version__ as _generator_version
+from repro.codegen.c_backend import generate_c_library
+from repro.codegen.compile import find_c_compiler
+from repro.errors import (
+    CodegenError,
+    CompressedFormatError,
+    NativeBackendError,
+    TraceFormatError,
+)
+from repro.model.layout import CompressorModel
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+#: Version of the C ABI this loader speaks; bumped with the emitter.
+ABI_VERSION = 1
+
+#: Default size cap for the on-disk artifact cache (LRU-pruned).
+DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+#: Per-entry files: the shared library, its source, and the metadata.
+_ARTIFACT_SUFFIXES = (".so", ".c", ".json")
+
+_kernels: dict[tuple[str, str], "NativeKernel"] = {}
+_kernels_lock = threading.Lock()
+_compiler_fingerprints: dict[str, str] = {}
+
+
+def native_enabled() -> bool:
+    """False when the ``TCGEN_NATIVE=0`` escape hatch is set."""
+    return os.environ.get("TCGEN_NATIVE", "1") != "0"
+
+
+def cache_dir() -> str:
+    """The artifact cache directory (created lazily by the builder)."""
+    override = os.environ.get("TCGEN_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "tcgen")
+
+
+def cache_max_bytes() -> int:
+    raw = os.environ.get("TCGEN_CACHE_MAX_BYTES")
+    if raw is None:
+        return DEFAULT_CACHE_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_CACHE_MAX_BYTES
+
+
+def compiler_fingerprint(compiler: str) -> str:
+    """A stable identity for the compiler binary (path + version banner).
+
+    Artifacts built by one compiler must not be served to another — the
+    key changes whenever the toolchain does.
+    """
+    cached = _compiler_fingerprints.get(compiler)
+    if cached is not None:
+        return cached
+    try:
+        probe = subprocess.run(
+            [compiler, "--version"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            timeout=30,
+        )
+        banner = probe.stdout.decode(errors="replace").splitlines()
+        identity = banner[0] if banner else ""
+    except (OSError, subprocess.TimeoutExpired):
+        try:
+            identity = f"mtime:{os.path.getmtime(compiler)}"
+        except OSError:
+            identity = "unknown"
+    fingerprint = hashlib.sha256(f"{compiler}\n{identity}".encode()).hexdigest()[:16]
+    _compiler_fingerprints[compiler] = fingerprint
+    return fingerprint
+
+
+def artifact_key(model: CompressorModel, compiler: str) -> str:
+    """Cache key: canonical spec + options + versions + compiler."""
+    from repro.spec.canonical import format_spec
+
+    options = model.options
+    material = "\n".join(
+        [
+            format_spec(model.spec),
+            repr(options),
+            f"generator={_generator_version}",
+            f"abi={ABI_VERSION}",
+            f"compiler={compiler_fingerprint(compiler)}",
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class _CacheLock:
+    """An ``flock``-based inter-process lock guarding cache mutation."""
+
+    def __init__(self, directory: str) -> None:
+        self.path = os.path.join(directory, ".lock")
+        self.handle = None
+
+    def __enter__(self) -> "_CacheLock":
+        if fcntl is not None:
+            self.handle = open(self.path, "a+")
+            fcntl.flock(self.handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.handle is not None:
+            fcntl.flock(self.handle.fileno(), fcntl.LOCK_UN)
+            self.handle.close()
+            self.handle = None
+
+
+def _artifact_paths(directory: str, key: str) -> tuple[str, str, str]:
+    return tuple(os.path.join(directory, key + s) for s in _ARTIFACT_SUFFIXES)
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _artifact_valid(so_path: str, meta_path: str) -> bool:
+    """True when the cached ``.so`` matches its integrity sideband."""
+    try:
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return False
+    if meta.get("abi") != ABI_VERSION:
+        return False
+    expected = meta.get("sha256")
+    if not isinstance(expected, str):
+        return False
+    try:
+        return _sha256_file(so_path) == expected
+    except OSError:
+        return False
+
+
+def _remove_artifact(directory: str, key: str) -> None:
+    for path in _artifact_paths(directory, key):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def prune_cache(directory: str, max_bytes: int, keep: str | None = None) -> list[str]:
+    """Evict least-recently-used artifacts until the cache fits the cap.
+
+    Recency is the ``.so`` mtime, which :func:`load_native_kernel` touches
+    on every cache hit.  ``keep`` names the key that must survive (the one
+    just built).  Returns the evicted keys (for tests and logging).  The
+    caller holds the cache lock.
+    """
+    entries = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        if not name.endswith(".so"):
+            continue
+        key = name[: -len(".so")]
+        so_path = os.path.join(directory, name)
+        try:
+            stat = os.stat(so_path)
+        except OSError:
+            continue
+        size = stat.st_size
+        for suffix in (".c", ".json"):
+            try:
+                size += os.path.getsize(os.path.join(directory, key + suffix))
+            except OSError:
+                pass
+        entries.append((stat.st_mtime, key, size))
+    entries.sort()
+    total = sum(size for _, _, size in entries)
+    evicted = []
+    for _, key, size in entries:
+        if total <= max_bytes:
+            break
+        if key == keep:
+            continue
+        _remove_artifact(directory, key)
+        total -= size
+        evicted.append(key)
+    return evicted
+
+
+def build_artifact(
+    model: CompressorModel, compiler: str, key: str | None = None
+) -> str:
+    """Compile the kernel library for ``model`` into the cache; returns the
+    ``.so`` path.
+
+    The compile happens outside the lock in a private temp dir; only the
+    publish (atomic renames into the cache) and the LRU prune are
+    serialized.  If another process published the same key meanwhile, its
+    artifact wins and our build is discarded.
+    """
+    directory = cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    key = key or artifact_key(model, compiler)
+    so_path, c_path, meta_path = _artifact_paths(directory, key)
+
+    # Verify the emitted source against the codegen invariants (table
+    # sizing, dead code, ABI completeness) before ever handing it to the
+    # compiler — a planner bug must not ship as a cached .so.
+    source = generate_c_library(model)
+    try:
+        from repro.lint.genverify import assert_verified
+
+        assert_verified(model, source, backend="c-library")
+    except CodegenError as exc:
+        raise NativeBackendError(str(exc)) from exc
+    workdir = tempfile.mkdtemp(prefix="tcgen_native_", dir=directory)
+    try:
+        tmp_c = os.path.join(workdir, "tcgen.c")
+        tmp_so = os.path.join(workdir, "tcgen.so")
+        with open(tmp_c, "w") as handle:
+            handle.write(source)
+        command = [compiler, "-O3", "-shared", "-fPIC", "-o", tmp_so, tmp_c]
+        try:
+            result = subprocess.run(
+                command, stdout=subprocess.PIPE, stderr=subprocess.PIPE
+            )
+        except OSError as exc:
+            raise NativeBackendError(f"cannot run compiler {compiler!r}: {exc}") from exc
+        if result.returncode != 0:
+            stderr = result.stderr.decode(errors="replace")[:2000]
+            raise NativeBackendError(
+                f"native build failed (compiler exited {result.returncode}):\n{stderr}"
+            )
+        if not os.path.exists(tmp_so):
+            raise NativeBackendError(
+                "native build produced no shared library (compiler crashed?)"
+            )
+        meta = {
+            "abi": ABI_VERSION,
+            "generator_version": _generator_version,
+            "compiler": compiler,
+            "compiler_fingerprint": compiler_fingerprint(compiler),
+            "sha256": _sha256_file(tmp_so),
+            "fingerprint": f"{model.fingerprint():016x}",
+        }
+        tmp_meta = os.path.join(workdir, "tcgen.json")
+        with open(tmp_meta, "w") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+        with _CacheLock(directory):
+            if not (os.path.exists(so_path) and _artifact_valid(so_path, meta_path)):
+                os.replace(tmp_c, c_path)
+                os.replace(tmp_so, so_path)
+                os.replace(tmp_meta, meta_path)  # meta last: publishes the entry
+            prune_cache(directory, cache_max_bytes(), keep=key)
+    finally:
+        for leftover in ("tcgen.c", "tcgen.so", "tcgen.json"):
+            try:
+                os.remove(os.path.join(workdir, leftover))
+            except OSError:
+                pass
+        try:
+            os.rmdir(workdir)
+        except OSError:
+            pass
+    return so_path
+
+
+# -- varint plumbing for the bundle wire format ------------------------------
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CompressedFormatError("native bundle: truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+class NativeKernel:
+    """A loaded shared-library kernel for one (spec, options) model.
+
+    Thread-safe: the generated entry points keep all state in per-call
+    heap locals, and ctypes releases the GIL for the duration of each
+    call — which is exactly what makes ``workers=N`` profitable for the
+    native kernel stage (threads, no pickling).
+    """
+
+    def __init__(self, lib: ctypes.CDLL, model: CompressorModel, path: str) -> None:
+        self._lib = lib
+        self.path = path
+        self.record_bytes = model.spec.record_bytes
+        self.header_bytes = model.spec.header_bytes
+        self.fingerprint = model.fingerprint()
+        self._fields = [
+            (layout.code_bytes, layout.value_bytes, layout.total_predictions)
+            for layout in model.fields
+        ]
+
+        out_t = ctypes.POINTER(ctypes.c_ubyte)
+        for name in (
+            "tcgen_compress",
+            "tcgen_chunk_compress",
+            "tcgen_decompress",
+            "tcgen_chunk_decompress",
+        ):
+            fn = getattr(lib, name)
+            fn.argtypes = [
+                ctypes.c_char_p,
+                ctypes.c_size_t,
+                ctypes.POINTER(out_t),
+                ctypes.POINTER(ctypes.c_size_t),
+            ]
+            fn.restype = ctypes.c_int
+        lib.tcgen_free.argtypes = [out_t]
+        lib.tcgen_free.restype = None
+
+    def _call(self, fn, data: bytes) -> bytes:
+        out = ctypes.POINTER(ctypes.c_ubyte)()
+        out_length = ctypes.c_size_t(0)
+        status = fn(data, len(data), ctypes.byref(out), ctypes.byref(out_length))
+        if status == 0:
+            try:
+                return ctypes.string_at(out, out_length.value)
+            finally:
+                self._lib.tcgen_free(out)
+        if status == 2:
+            raise MemoryError("native kernel: allocation failed")
+        raise _StatusError(status)
+
+    # -- compression ---------------------------------------------------------
+
+    def compress_chunk(self, records: bytes) -> tuple[list[bytes], list[list[int]]]:
+        """Kernel-compress one headerless record slice.
+
+        Returns exactly what the Python ``_compress_chunk`` worker returns:
+        interleaved per-field (codes, values) streams plus usage counts.
+        """
+        try:
+            bundle = self._call(self._lib.tcgen_chunk_compress, records)
+        except _StatusError as exc:
+            raise TraceFormatError(
+                f"native kernel rejected the record slice (status {exc.status})"
+            ) from None
+        return self._parse_bundle(bundle, len(records) // self.record_bytes)
+
+    def compress_trace(self, raw: bytes) -> tuple[list[bytes], list[list[int]]]:
+        """Kernel-compress a whole trace (the library skips the header)."""
+        try:
+            bundle = self._call(self._lib.tcgen_compress, raw)
+        except _StatusError as exc:
+            raise TraceFormatError(
+                f"native kernel rejected the trace (status {exc.status})"
+            ) from None
+        count = (len(raw) - self.header_bytes) // self.record_bytes
+        return self._parse_bundle(bundle, count)
+
+    def _parse_bundle(
+        self, bundle: bytes, expected_count: int
+    ) -> tuple[list[bytes], list[list[int]]]:
+        count, pos = _read_varint(bundle, 0)
+        if count != expected_count:
+            raise CompressedFormatError(
+                f"native bundle claims {count} records, expected {expected_count}"
+            )
+        lengths = []
+        for _ in self._fields:
+            clen, pos = _read_varint(bundle, pos)
+            vlen, pos = _read_varint(bundle, pos)
+            lengths.append((clen, vlen))
+        streams: list[bytes] = []
+        for clen, vlen in lengths:
+            streams.append(bundle[pos : pos + clen])
+            pos += clen
+            streams.append(bundle[pos : pos + vlen])
+            pos += vlen
+        if pos > len(bundle):
+            raise CompressedFormatError("native bundle: streams overrun the payload")
+        usage: list[list[int]] = []
+        for _, _, total_predictions in self._fields:
+            counts = []
+            for _ in range(total_predictions + 1):
+                value, pos = _read_varint(bundle, pos)
+                counts.append(value)
+            usage.append(counts)
+        return streams, usage
+
+    # -- decompression -------------------------------------------------------
+
+    def decompress_chunk(
+        self, count: int, codes: list[bytes], values: list[bytes]
+    ) -> bytes:
+        """Decode one chunk back to raw record bytes (no header)."""
+        bundle = bytearray()
+        _write_varint(bundle, count)
+        for code_stream, value_stream in zip(codes, values):
+            _write_varint(bundle, len(code_stream))
+            _write_varint(bundle, len(value_stream))
+        for code_stream, value_stream in zip(codes, values):
+            bundle += code_stream
+            bundle += value_stream
+        try:
+            out = self._call(self._lib.tcgen_chunk_decompress, bytes(bundle))
+        except _StatusError as exc:
+            if exc.status == 3:
+                raise CompressedFormatError(
+                    "native kernel: value stream exhausted or code out of range"
+                ) from None
+            raise CompressedFormatError(
+                f"native kernel rejected the stream bundle (status {exc.status})"
+            ) from None
+        if len(out) != count * self.record_bytes:
+            raise CompressedFormatError(
+                f"native kernel returned {len(out)} bytes for {count} records"
+            )
+        return out
+
+
+class _StatusError(Exception):
+    """Internal: a non-zero status from a native entry point."""
+
+    def __init__(self, status: int) -> None:
+        super().__init__(status)
+        self.status = status
+
+
+def _load_library(so_path: str, model: CompressorModel) -> NativeKernel:
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError as exc:
+        raise NativeBackendError(f"cannot load {so_path}: {exc}") from exc
+    try:
+        abi = lib.tcgen_abi_version()
+    except AttributeError as exc:
+        raise NativeBackendError(f"{so_path} lacks the tcgen ABI: {exc}") from exc
+    if abi != ABI_VERSION:
+        raise NativeBackendError(
+            f"{so_path} speaks ABI {abi}, this loader wants {ABI_VERSION}"
+        )
+    lib.tcgen_fingerprint.restype = ctypes.c_uint64
+    lib.tcgen_record_bytes.restype = ctypes.c_uint64
+    fingerprint = int(lib.tcgen_fingerprint())
+    if fingerprint != model.fingerprint():
+        raise NativeBackendError(
+            f"{so_path} was generated for fingerprint {fingerprint:#x}, "
+            f"model has {model.fingerprint():#x}"
+        )
+    return NativeKernel(lib, model, so_path)
+
+
+def load_native_kernel(
+    model: CompressorModel, compiler: str | None = None
+) -> NativeKernel:
+    """Build/load/cache the native kernel for ``model``.
+
+    Raises :class:`~repro.errors.NativeBackendError` with the reason when
+    the fast path is unavailable (disabled, no compiler, build failure,
+    unloadable artifact).  Successful loads are memoized per process.
+    """
+    if not native_enabled():
+        raise NativeBackendError("native backend disabled via TCGEN_NATIVE=0")
+    compiler = compiler or find_c_compiler()
+    if compiler is None:
+        raise NativeBackendError("no C compiler found (tried cc, gcc, clang)")
+    key = artifact_key(model, compiler)
+    directory = cache_dir()
+    memo_key = (directory, key)
+    with _kernels_lock:
+        kernel = _kernels.get(memo_key)
+    if kernel is not None:
+        return kernel
+
+    so_path, _, meta_path = _artifact_paths(directory, key)
+    kernel = None
+    if os.path.exists(so_path) and _artifact_valid(so_path, meta_path):
+        try:
+            kernel = _load_library(so_path, model)
+            os.utime(so_path)  # refresh LRU recency
+        except NativeBackendError:
+            kernel = None  # fall through to a rebuild
+    if kernel is None:
+        # Whatever is cached under this key (nothing, a truncated .so, a
+        # tampered sideband, an unloadable library) is unusable: drop it
+        # and rebuild from source.
+        os.makedirs(directory, exist_ok=True)
+        with _CacheLock(directory):
+            _remove_artifact(directory, key)
+        build_artifact(model, compiler, key=key)
+        kernel = _load_library(so_path, model)
+
+    with _kernels_lock:
+        _kernels[memo_key] = kernel
+    return kernel
+
+
+def clear_native_cache() -> None:
+    """Forget loaded kernels and compiler fingerprints (for tests).
+
+    Does not touch the on-disk artifact cache — delete files under
+    :func:`cache_dir` for that.
+    """
+    with _kernels_lock:
+        _kernels.clear()
+    _compiler_fingerprints.clear()

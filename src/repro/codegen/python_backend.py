@@ -28,7 +28,7 @@ standard library, so it cannot share this package's exception types).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.codegen.plan import ChainStruct, FieldPlan, plan_field
 from repro.codegen.writer import CodeWriter
@@ -381,6 +381,8 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     w.line(f"STREAM_COUNT = {model.stream_count}")
     w.line(f"CHUNK_STREAMS = {2 * len(model.fields)}")
     w.line(f"DEFAULT_CHUNK_RECORDS = {default_chunk_records(spec.record_bytes)}")
+    w.line(f"SPEC_TEXT = {format_spec(spec)!r}")
+    w.line(f"OPTIONS = {asdict(model.options)!r}")
     w.line(f'_RECORD = struct.Struct("{_record_struct_format(model)}")')
     w.line()
     w.line("_last_usage = None")
@@ -390,6 +392,7 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
         w.line(f"return {compress_call}")
     w.line()
     _emit_bounded_decompress(w, codec_obj.name)
+    _emit_native_helper(w)
 
     _emit_parallel_helper(w)
     _emit_container_helpers(w, bool(spec.header_bits))
@@ -399,6 +402,53 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     _emit_usage_report(w, model, plans)
     _emit_main(w)
     return w.getvalue()
+
+
+def _emit_native_helper(w: CodeWriter) -> None:
+    """Emit ``_native_kernel``: optional in-process compiled fast path.
+
+    The generated module stays stdlib-only and fully functional on its
+    own; when the ``repro`` package that generated it is importable, the
+    module can additionally borrow its native kernel loader so that
+    ``backend="auto"`` runs the compiled C kernels in-process.  Every
+    failure (no repro, no compiler, build error, ``TCGEN_NATIVE=0``)
+    quietly resolves to the pure-Python path with a recorded reason.
+    """
+    w.line("_native_state = [False, None, None]  # resolved, kernel, reason")
+    w.line()
+    with w.block("def _native_kernel():"):
+        w.line('"""(kernel, reason): the in-process compiled kernel, if loadable."""')
+        with w.block("if _native_state[0]:"):
+            w.line("return _native_state[1], _native_state[2]")
+        w.line("_native_state[0] = True")
+        with w.block('if os.environ.get("TCGEN_NATIVE", "1") == "0":'):
+            w.line('_native_state[2] = "native backend disabled via TCGEN_NATIVE=0"')
+            w.line("return None, _native_state[2]")
+        with w.block("try:"):
+            w.line("from repro.codegen.native import load_native_kernel")
+            w.line("from repro.model.layout import build_model")
+            w.line("from repro.model.optimize import OptimizationOptions")
+            w.line("from repro.spec.parser import parse_spec")
+            w.line("model = build_model(parse_spec(SPEC_TEXT), OptimizationOptions(**OPTIONS))")
+            with w.block("if model.fingerprint() != FINGERPRINT:"):
+                w.line('raise ValueError("rebuilt model fingerprint mismatch")')
+            w.line("_native_state[1] = load_native_kernel(model)")
+        with w.block("except Exception as exc:"):
+            w.line("_native_state[2] = str(exc) or exc.__class__.__name__")
+            w.line("return None, _native_state[2]")
+        w.line("return _native_state[1], None")
+    w.line()
+    with w.block("def _resolve_backend(backend):"):
+        w.line('"""Turn auto/python/native into (kernel-or-None); validate."""')
+        with w.block('if backend not in ("auto", "python", "native"):'):
+            w.line('raise ValueError("backend must be auto, python, or native; got %r" % (backend,))')
+        with w.block('if backend == "python":'):
+            w.line("return None")
+        w.line("kernel, reason = _native_kernel()")
+        with w.block('if kernel is None and backend == "native":'):
+            w.line('raise RuntimeError("native backend unavailable: %s" % reason)')
+        w.line("return kernel")
+    w.line()
 
 
 def _emit_bounded_decompress(w: CodeWriter, codec_name: str) -> None:
@@ -857,7 +907,7 @@ def _emit_compress(
         usages = ", ".join(f"usage{p.layout.index}" for p in plans)
         w.line(f"return [{streams}], [{usages}]")
     w.line()
-    with w.block("def compress(raw, chunk_records=None, workers=1):"):
+    with w.block('def compress(raw, chunk_records=None, workers=1, backend="auto"):'):
         w.line('"""Compress raw trace bytes into a container blob.')
         w.line("")
         w.line("    Without ``chunk_records`` the output is a flat v1 container;")
@@ -866,6 +916,10 @@ def _emit_compress(
         w.line("    per chunk).")
         w.line("    ``workers`` parallelizes post-compression on a thread pool;")
         w.line("    output bytes are identical for any worker count.")
+        w.line('    ``backend`` picks the kernel stage: "python" (pure), "native"')
+        w.line("    (in-process compiled C; RuntimeError when unavailable), or")
+        w.line('    "auto" (native when loadable, else python). Output bytes are')
+        w.line("    identical for every backend.")
         w.line('    """')
         w.line("global _last_usage")
         with w.block("if (len(raw) - HEADER_BYTES) % RECORD_BYTES:"):
@@ -885,7 +939,14 @@ def _emit_compress(
                 w.line("count = min(chunk_records, record_count - start)")
                 w.line("spans.append((HEADER_BYTES + start * RECORD_BYTES, count))")
                 w.line("start += count")
-        w.line("results = [_compress_chunk(raw, pos, count) for pos, count in spans]")
+        w.line("kernel = _resolve_backend(backend)")
+        with w.block("if kernel is not None:"):
+            w.line(
+                "results = [kernel.compress_chunk("
+                "raw[pos : pos + count * RECORD_BYTES]) for pos, count in spans]"
+            )
+        with w.block("else:"):
+            w.line("results = [_compress_chunk(raw, pos, count) for pos, count in spans]")
         sizes = ", ".join(
             f"[0] * {p.layout.total_predictions + 1}" for p in plans
         )
@@ -972,16 +1033,20 @@ def _emit_decompress(
             with w.block(f"if vpos{f} != len(values{f}):"):
                 w.line(f'raise ValueError("field {f} value stream not fully consumed")')
     w.line()
-    with w.block("def decompress(blob, workers=1, salvage=False):"):
+    with w.block('def decompress(blob, workers=1, salvage=False, backend="auto"):'):
         w.line('"""Rebuild the exact original trace bytes from a blob (v1/v2/v3).')
         w.line("")
         w.line("    In strict mode (the default) any corruption raises ValueError.")
         w.line("    With ``salvage=True`` damaged chunks of a v3 container are")
         w.line("    skipped instead: the return value holds only the surviving")
         w.line("    records and ``salvage_report()`` describes what was lost.")
+        w.line('    ``backend`` works as in :func:`compress`; salvage decode is')
+        w.line("    always pure Python (damage diagnosis needs the interpreter).")
         w.line('    """')
         w.line("global _last_lost")
         w.line("_last_lost = []")
+        with w.block('if backend not in ("auto", "python", "native"):'):
+            w.line('raise ValueError("backend must be auto, python, or native; got %r" % (backend,))')
         if spec.header_bits:
             unpack = "record_count, head_pair, chunks, lost"
         else:
@@ -1002,8 +1067,19 @@ def _emit_decompress(
             else:
                 w.line("out = bytearray()")
                 w.line("base = 0")
+            w.line("kernel = _resolve_backend(backend)")
             with w.block("for _index, count, cpairs in chunks:"):
-                w.line("_decompress_chunk(count, datas[base : base + len(cpairs)], out)")
+                w.line("streams = datas[base : base + len(cpairs)]")
+                with w.block("if kernel is not None:"):
+                    with w.block("try:"):
+                        w.line(
+                            "out += kernel.decompress_chunk("
+                            "count, streams[0::2], streams[1::2])"
+                        )
+                    with w.block("except Exception as exc:"):
+                        w.line("raise ValueError(str(exc))")
+                with w.block("else:"):
+                    w.line("_decompress_chunk(count, streams, out)")
                 w.line("base += len(cpairs)")
             w.line("return bytes(out)")
         with w.block("try:"):
@@ -1116,12 +1192,13 @@ def _emit_main(w: CodeWriter) -> None:
             w.line("raise")
     w.line()
     with w.block("def _parse_args(argv):"):
-        w.line('"""Parse (decode, workers, chunk_records, salvage, output)."""')
+        w.line('"""Parse (decode, workers, chunk_records, salvage, output, backend)."""')
         w.line("decode = False")
         w.line("salvage = False")
         w.line("workers = 1")
         w.line("chunk_records = None")
         w.line("output = None")
+        w.line('backend = "auto"')
         w.line("position = 0")
         with w.block("while position < len(argv):"):
             w.line("option = argv[position]")
@@ -1138,7 +1215,9 @@ def _emit_main(w: CodeWriter) -> None:
             with w.block('if option == "--strict":'):
                 w.line("salvage = False")
                 w.line("continue")
-            with w.block('for name in ("--workers", "--chunk-records", "-o", "--output"):'):
+            with w.block(
+                'for name in ("--workers", "--chunk-records", "-o", "--output", "--backend"):'
+            ):
                 with w.block("if option == name:"):
                     with w.block("if position >= len(argv):"):
                         w.line('raise SystemExit("%s expects a value" % name)')
@@ -1150,12 +1229,14 @@ def _emit_main(w: CodeWriter) -> None:
                         w.line("workers = int(text)")
                     with w.block('elif name in ("-o", "--output"):'):
                         w.line("output = text")
+                    with w.block('elif name == "--backend":'):
+                        w.line("backend = text")
                     with w.block("else:"):
                         w.line('chunk_records = "auto" if text == "auto" else int(text)')
                     w.line("break")
             with w.block("else:"):
                 w.line('raise SystemExit("unknown option: %s" % option)')
-        w.line("return decode, workers, chunk_records, salvage, output")
+        w.line("return decode, workers, chunk_records, salvage, output, backend")
     w.line()
     with w.block("def main(argv=None):"):
         w.line('"""Filter: compress stdin to stdout; -d decompresses.')
@@ -1163,17 +1244,30 @@ def _emit_main(w: CodeWriter) -> None:
         w.line("    --workers N parallelizes the post-compression codec stage;")
         w.line("    --chunk-records N (or 'auto') emits a chunked v3 container;")
         w.line("    --salvage skips damaged chunks on decode instead of failing;")
-        w.line("    -o FILE writes atomically to FILE instead of stdout.")
-        w.line("    Exit status: 0 success, 2 corrupt or mismatched input.")
+        w.line("    -o FILE writes atomically to FILE instead of stdout;")
+        w.line("    --backend auto|python|native picks the kernel stage.")
+        w.line("    Exit status: 0 success, 1 backend unavailable,")
+        w.line("    2 corrupt or mismatched input.")
         w.line('    """')
         w.line("argv = sys.argv[1:] if argv is None else argv")
-        w.line("decode, workers, chunk_records, salvage, output = _parse_args(argv)")
+        w.line(
+            "decode, workers, chunk_records, salvage, output, backend = _parse_args(argv)"
+        )
         w.line("data = sys.stdin.buffer.read()")
         with w.block("try:"):
             with w.block("if decode:"):
-                w.line("result = decompress(data, workers=workers, salvage=salvage)")
+                w.line(
+                    "result = decompress(data, workers=workers, salvage=salvage, "
+                    "backend=backend)"
+                )
             with w.block("else:"):
-                w.line("result = compress(data, chunk_records=chunk_records, workers=workers)")
+                w.line(
+                    "result = compress(data, chunk_records=chunk_records, "
+                    "workers=workers, backend=backend)"
+                )
+        with w.block("except RuntimeError as exc:"):
+            w.line('print("error: %s" % exc, file=sys.stderr)')
+            w.line("return 1")
         with w.block("except ValueError as exc:"):
             w.line('print("error: %s" % exc, file=sys.stderr)')
             w.line("return 2")

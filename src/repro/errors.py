@@ -51,6 +51,18 @@ class CodegenError(ReproError):
     """Raised when source generation or compilation of generated code fails."""
 
 
+class NativeBackendError(CodegenError):
+    """Raised when the in-process native fast path cannot be used.
+
+    Covers every reason the shared-library backend is unavailable: no C
+    compiler on PATH, a failed or crashed build, a corrupt cached
+    artifact that could not be rebuilt, an ABI/fingerprint mismatch in a
+    loaded library, or the ``TCGEN_NATIVE=0`` escape hatch.  With
+    ``backend="auto"`` callers catch this and fall back to the Python
+    kernels; with ``backend="native"`` it propagates.
+    """
+
+
 class TraceFormatError(ReproError):
     """Raised when raw trace bytes do not match the declared record format."""
 

@@ -76,6 +76,7 @@ CODES: dict[str, str] = {
     "TC106": "header handling generated for a headerless specification",
     "TC107": "first-level chain not shared or not sized for the highest order",
     "TC108": "second-level table size violates the L2 * 2**(x-1) rule",
+    "TC109": "exported ABI symbol missing from the generated shared library",
     # -- TC2xx: concurrency lint ----------------------------------------------
     "TC201": "blocking call inside an async function",
     "TC202": "await while holding a synchronous lock",

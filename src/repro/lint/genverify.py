@@ -210,7 +210,11 @@ def verify_generated(
         return _verify_python(model, source, path)
     if backend == "c":
         return _verify_c(model, source, path)
-    raise ValueError(f"unknown backend {backend!r}; expected 'python' or 'c'")
+    if backend == "c-library":
+        return _verify_c_library(model, source, path)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'python', 'c', or 'c-library'"
+    )
 
 
 def assert_verified(
@@ -353,4 +357,106 @@ def _verify_c(model: CompressorModel, source: str, path: str) -> list[Diagnostic
             "stride computation emitted although no DFCM predictor is "
             "configured",
         )
+    return sorted(out)
+
+
+#: Per-call heap tables in the shared-library backend: ``u32 *name = NULL;``
+#: locals instead of the filter backend's file-scope statics.
+_C_LIB_DECL_RE = re.compile(
+    r"^\s*(u8|u16|u32|u64) \*(\w+) = NULL;$", re.MULTILINE
+)
+
+#: Every symbol the ctypes loader binds; a missing one is a broken ABI.
+_C_LIB_EXPORTS = (
+    "tcgen_abi_version",
+    "tcgen_fingerprint",
+    "tcgen_record_bytes",
+    "tcgen_header_bytes",
+    "tcgen_stream_count",
+    "tcgen_compress",
+    "tcgen_chunk_compress",
+    "tcgen_decompress",
+    "tcgen_chunk_decompress",
+    "tcgen_free",
+)
+
+
+def _verify_c_library(
+    model: CompressorModel, source: str, path: str
+) -> list[Diagnostic]:
+    """Check the shared-library (ABI) emitter's output.
+
+    The library allocates its predictor tables as per-call heap locals in
+    *both* kernels (compress and decompress), so every table must appear
+    with the same element type and byte size in each; the verified set is
+    then held to the same TC10x expectations as the other backends, plus
+    the completeness of the exported ABI (TC109).
+    """
+    out: list[Diagnostic] = []
+
+    def add(line: int, code: str, message: str) -> None:
+        out.append(Diagnostic(path, line, 1, code, Severity.ERROR, message))
+
+    def line_of(match_start: int) -> int:
+        return source[:match_start].count("\n") + 1
+
+    declared: dict[str, tuple[int, int]] = {}
+    for match in _C_LIB_DECL_RE.finditer(source):
+        elem = _C_ELEM_BYTES[match.group(1)]
+        name = match.group(2)
+        previous = declared.get(name)
+        if previous is not None and previous[0] != elem:
+            add(
+                line_of(match.start()), "TC103",
+                f"table {name} is declared {previous[0]}-byte in one kernel "
+                f"but {elem}-byte in another",
+            )
+        declared.setdefault(name, (elem, line_of(match.start())))
+    actual: dict[str, tuple[int, int, int]] = {}
+    for match in _C_CALLOC_RE.finditer(source):
+        name, ctype, count = match.group(1), match.group(2), int(match.group(3))
+        elem = _C_ELEM_BYTES[ctype]
+        if name not in declared:
+            continue  # not a table local (buffer internals etc.)
+        decl_elem, decl_line = declared[name]
+        if decl_elem != elem:
+            add(
+                decl_line, "TC103",
+                f"table {name} is declared {decl_elem}-byte but allocated "
+                f"{elem}-byte elements",
+            )
+        previous = actual.get(name)
+        if previous is not None and previous != (elem, decl_line, elem * count):
+            add(
+                decl_line, "TC102",
+                f"table {name} is allocated inconsistently between the "
+                f"compress and decompress kernels",
+            )
+        actual[name] = (elem, decl_line, elem * count)
+    _verify_tables(actual, _expected_tables(model), model, path, add)
+
+    match = re.search(r"static const u64 header_bytes = (\d+);", source)
+    header_bytes = int(match.group(1)) if match else None
+    if header_bytes != model.spec.header_bytes:
+        add(
+            line_of(match.start()) if match else 1, "TC106",
+            f"header_bytes is {header_bytes}, specification says "
+            f"{model.spec.header_bytes}",
+        )
+    stride_match = re.search(r"\bstride\d+\b", source)
+    if stride_match and not _any_dfcm(model):
+        add(
+            line_of(stride_match.start()), "TC105",
+            "stride computation emitted although no DFCM predictor is "
+            "configured",
+        )
+    for symbol in _C_LIB_EXPORTS:
+        if not re.search(
+            rf"^(?:int|void|u32|u64) {symbol}\(", source, re.MULTILINE
+        ):
+            add(
+                1, "TC109",
+                f"exported ABI symbol {symbol} is missing from the "
+                f"generated library",
+            )
     return sorted(out)

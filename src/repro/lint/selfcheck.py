@@ -6,7 +6,8 @@ Four stages, any error fails the run:
 2. **Spec lint** over every specification embedded in ``examples/`` and
    ``docs/`` (extracted textually, diagnostics reported at the real file
    line);
-3. **Codegen invariant verification** of both backends for every preset;
+3. **Codegen invariant verification** of all three backends (python, c,
+   c-library) for every preset;
 4. **Concurrency lint** over ``src/repro``.
 
 Warnings are reported but do not fail the gate (pass ``--strict`` to
@@ -79,13 +80,17 @@ def run_selfcheck(
             if entry.endswith((".py", ".md")):
                 diagnostics += lint_embedded(os.path.join(base, entry))
 
-    from repro.codegen import generate_c, generate_python
+    from repro.codegen import generate_c, generate_c_library, generate_python
     from repro.model import build_model
     from repro.spec import parse_spec
 
     for name, text in _preset_specs().items():
         model = build_model(parse_spec(text))
-        for backend, generate in (("python", generate_python), ("c", generate_c)):
+        for backend, generate in (
+            ("python", generate_python),
+            ("c", generate_c),
+            ("c-library", generate_c_library),
+        ):
             diagnostics += verify_generated(
                 model, generate(model), backend=backend,
                 path=f"<generated {backend} for {name}>",

@@ -1,0 +1,93 @@
+"""Backend dispatch: choose the Python or native kernel stage.
+
+Every entry point that runs prediction kernels (:class:`TraceEngine`,
+streaming, the generated Python modules, the server, ``autotune``)
+accepts ``backend="auto" | "python" | "native"``:
+
+- ``"python"`` always runs the pure-Python :class:`FieldKernel` loop;
+- ``"native"`` requires the in-process compiled kernel and raises
+  :class:`~repro.errors.NativeBackendError` when it cannot be built or
+  loaded;
+- ``"auto"`` (the default) tries native and falls back to Python, with
+  the reason logged once per resolution and carried in the returned
+  decision (surfaced as the ``backend`` label on server metrics).
+
+Resolution is the *only* observable difference between backends — the
+compressed output is byte-identical either way, so ``backend=`` can only
+ever change throughput, never results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import logging
+from typing import TYPE_CHECKING
+
+from repro.errors import NativeBackendError
+from repro.model.layout import CompressorModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.codegen.native import NativeKernel
+
+#: Accepted values for every ``backend=`` parameter.
+BACKENDS = ("auto", "python", "native")
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """The resolved backend plus why it was chosen."""
+
+    backend: str  # "python" or "native" — never "auto"
+    reason: str
+    kernel: "NativeKernel | None" = None
+
+
+def validate_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+def resolve_backend(
+    requested: str,
+    model: CompressorModel,
+    update_policy=None,
+    compiler: str | None = None,
+) -> BackendDecision:
+    """Resolve ``auto``/``python``/``native`` to a concrete decision.
+
+    ``update_policy`` forces Python when set: a custom table-update
+    policy is an interpreter-only experiment knob the generated C does
+    not model (the generated backends bake in ``options.smart_update``).
+    """
+    validate_backend(requested)
+    if requested == "python":
+        return BackendDecision(backend="python", reason="requested")
+    if update_policy is not None:
+        if requested == "native":
+            raise NativeBackendError(
+                "a custom update_policy requires the python kernels"
+            )
+        return BackendDecision(
+            backend="python",
+            reason="custom update_policy requires the python kernels",
+        )
+    from repro.codegen.native import load_native_kernel
+
+    try:
+        kernel = load_native_kernel(model, compiler=compiler)
+    except NativeBackendError as exc:
+        if requested == "native":
+            raise
+        reason = str(exc)
+        logger.info("native backend unavailable, using python: %s", reason)
+        return BackendDecision(backend="python", reason=reason)
+    return BackendDecision(
+        backend="native",
+        reason="requested" if requested == "native" else "compiler available, build ok",
+        kernel=kernel,
+    )

@@ -22,6 +22,16 @@ pool via ``executor="process"``.  Output is byte-identical regardless of
 worker count: chunks and streams are always assembled in deterministic
 order.
 
+The ``backend=`` option selects the kernel-stage implementation (see
+:mod:`repro.runtime.dispatch`): ``"auto"`` (default) compiles the spec's
+generated C into an in-process shared library when a compiler is
+available and falls back to the Python kernels otherwise; ``"python"``
+and ``"native"`` force one side.  The choice never changes output bytes
+— only throughput.  With the native kernel active the chunk stage runs
+thread-parallel (the C code releases the GIL), so ``executor="process"``
+is unnecessary and ignored for that stage.  Salvage decode always runs
+the Python kernels: it is a recovery path, not a throughput path.
+
 This engine is the reference semantics; the generated Python and C
 compressors are specialized versions of this loop and must produce
 byte-identical containers.
@@ -36,6 +46,7 @@ from repro.model.layout import CompressorModel, build_model
 from repro.model.optimize import OptimizationOptions
 from repro.postcompress import codec_by_id, codec_by_name, decompress_bounded
 from repro.predictors.tables import UpdatePolicy
+from repro.runtime.dispatch import BackendDecision, resolve_backend, validate_backend
 from repro.runtime.kernel import FieldKernel
 from repro.runtime.parallel import check_cancel, chunk_spans, map_ordered, resolve_workers
 from repro.runtime.stats import FieldUsage, UsageReport
@@ -78,12 +89,15 @@ class TraceEngine:
         workers: int | None = 1,
         executor: str = "thread",
         container_version: int = FORMAT_VERSION_3,
+        backend: str = "auto",
     ) -> None:
         if container_version not in (FORMAT_VERSION_2, FORMAT_VERSION_3):
             raise ValueError(
                 f"container_version must be {FORMAT_VERSION_2} or "
                 f"{FORMAT_VERSION_3}, got {container_version!r}"
             )
+        self.backend_requested = validate_backend(backend)
+        self._backend_decision: BackendDecision | None = None
         self.model: CompressorModel = build_model(spec, options)
         self.codec = codec_by_name(codec)
         self.update_policy = update_policy
@@ -98,6 +112,29 @@ class TraceEngine:
         self.container_version = container_version
         self.last_usage: UsageReport | None = None
         self.last_report: DecodeReport | None = None
+
+    def _backend(self) -> BackendDecision:
+        """Resolve ``backend=`` lazily (first compress/decompress call).
+
+        Lazy so constructing an engine never pays a compile, and memoized
+        so the build/probe cost is once per engine (server engine caches
+        share the decision through ``copy.copy``).
+        """
+        if self._backend_decision is None:
+            self._backend_decision = resolve_backend(
+                self.backend_requested, self.model, update_policy=self.update_policy
+            )
+        return self._backend_decision
+
+    @property
+    def backend(self) -> str:
+        """The resolved kernel backend: ``"python"`` or ``"native"``."""
+        return self._backend().backend
+
+    @property
+    def backend_reason(self) -> str:
+        """Why the resolved backend was chosen (fallbacks carry the cause)."""
+        return self._backend().reason
 
     def _resolve_chunk_records(self, chunk_records: int | str | None) -> int | None:
         """Normalize the chunking option: None = v1, 'auto'/0 = ~1 MB chunks."""
@@ -150,15 +187,41 @@ class TraceEngine:
                 f"{FORMAT_VERSION_3}, got {version!r}"
             )
 
-        header, columns = unpack_records(self.format, raw, copy=False)
-        record_count = len(columns[0]) if columns else 0
+        decision = self._backend()
+        if decision.kernel is not None:
+            # Native path: the kernel reads raw record bytes directly, so
+            # the numpy unpack (and its .tolist()) is skipped entirely.
+            record_count = self.format.record_count(raw)
+            header = raw[: self.format.header_bytes]
+            columns: list = []
+        else:
+            header, columns = unpack_records(self.format, raw, copy=False)
+            record_count = len(columns[0]) if columns else 0
 
         if chunk_records is None:
             spans = [(0, record_count)]
         else:
             spans = chunk_spans(record_count, chunk_records) if record_count else []
 
-        if executor == "process" and workers > 1 and len(spans) > 1:
+        if decision.kernel is not None:
+            kernel = decision.kernel
+            base = self.format.header_bytes
+            record_size = self.format.record_bytes
+
+            def native_chunk(span: tuple[int, int]):
+                start, count = span
+                lo = base + start * record_size
+                return kernel.compress_chunk(raw[lo : lo + count * record_size])
+
+            if chunk_records is None:
+                results = [kernel.compress_trace(raw)]
+            else:
+                # The C kernel releases the GIL, so the chunk stage scales
+                # with a plain thread pool — no pickling, no process pool.
+                results = map_ordered(
+                    native_chunk, spans, workers, kind="thread", cancel=cancel
+                )
+        elif executor == "process" and workers > 1 and len(spans) > 1:
             tasks = [
                 (
                     model.spec,
@@ -328,6 +391,21 @@ class TraceEngine:
                         f"{len(code_stream)} bytes, expected {expected}"
                     )
             chunk_inputs.append((chunk.record_count, codes, values))
+
+        decision = self._backend()
+        if decision.kernel is not None:
+            kernel = decision.kernel
+            pieces = map_ordered(
+                lambda item: kernel.decompress_chunk(*item),
+                chunk_inputs,
+                workers,
+                kind="thread",
+                cancel=cancel,
+            )
+            # The kernel emits exactly the little-endian packed record
+            # bytes pack_records would produce — concatenation is the
+            # whole assembly step.
+            return header + b"".join(pieces)
 
         if executor == "process" and workers > 1 and len(chunk_inputs) > 1:
             tasks = [

@@ -28,12 +28,14 @@ Example::
 
 from __future__ import annotations
 
+import struct
 from typing import Iterator
 
 from repro.errors import CompressedFormatError
 from repro.model.layout import build_model
 from repro.model.optimize import OptimizationOptions
 from repro.postcompress import codec_by_id, decompress_bounded
+from repro.runtime.dispatch import resolve_backend, validate_backend
 from repro.runtime.kernel import FieldKernel
 from repro.spec.ast import TraceSpec
 from repro.tio.container import (
@@ -52,6 +54,7 @@ def iter_records(
     *,
     mode: str = "strict",
     report: "DecodeReport | None" = None,
+    backend: str = "auto",
 ) -> Iterator[tuple[int, ...]]:
     """Yield one tuple of field values per record, in record-field order.
 
@@ -73,11 +76,25 @@ def iter_records(
     :class:`~repro.tio.container.DecodeReport` as ``report`` to learn
     which chunks were lost and why.  In salvage mode ``start`` indexes the
     *surviving* record sequence.
+
+    ``backend`` picks the per-chunk kernel stage exactly as in
+    :class:`~repro.runtime.engine.TraceEngine`: ``"native"`` decodes each
+    visited chunk with the in-process compiled kernel (and raises
+    :class:`~repro.errors.NativeBackendError` when it is unavailable),
+    ``"auto"`` does so when a compiler is present and falls back to the
+    Python kernels otherwise.  Salvage mode always uses the Python
+    kernels — damage diagnosis happens in the interpreter.  The yielded
+    tuples are identical for every backend.
     """
     if start < 0:
         raise ValueError(f"start must be >= 0, got {start}")
     salvage = mode == "salvage"
     model = build_model(spec, options)
+    if salvage:
+        validate_backend(backend)
+        kernel = None
+    else:
+        kernel = resolve_backend(backend, model).kernel
     report = report if report is not None else DecodeReport()
     container = decode_container(
         blob, expected_fingerprint=model.fingerprint(), mode=mode, report=report
@@ -128,10 +145,34 @@ def iter_records(
                     yield record
                 absolute += 1
         else:
-            for record in _iter_chunk(model, chunk, position, per_chunk):
+            records = (
+                _iter_chunk_native(model, kernel, chunk, position, per_chunk)
+                if kernel is not None
+                else _iter_chunk(model, chunk, position, per_chunk)
+            )
+            for record in records:
                 if absolute >= start:
                     yield record
                 absolute += 1
+
+
+_STRUCT_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
+
+def _iter_chunk_native(
+    model, kernel, chunk, position: int, per_chunk: int
+) -> Iterator[tuple[int, ...]]:
+    """Decode one chunk with the compiled kernel, then unpack records."""
+    if len(chunk.streams) != per_chunk:
+        raise CompressedFormatError(
+            f"chunk {position}: expected {per_chunk} streams, "
+            f"found {len(chunk.streams)}"
+        )
+    codes = [_decode(payload) for payload in chunk.streams[0::2]]
+    values = [_decode(payload) for payload in chunk.streams[1::2]]
+    raw = kernel.decompress_chunk(chunk.record_count, codes, values)
+    fmt = "<" + "".join(_STRUCT_CODES[f.spec.bytes] for f in model.fields)
+    return struct.iter_unpack(fmt, raw)
 
 
 def _iter_chunk(model, chunk, position: int, per_chunk: int) -> Iterator[tuple[int, ...]]:

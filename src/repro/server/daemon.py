@@ -455,6 +455,7 @@ class TraceServer:
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
                 "queue_limit": self.config.queue_limit,
                 "cached_compressors": len(self.handlers.cache),
+                "backend": self.config.backend,
             }
         )
         return snap, b""
@@ -477,6 +478,7 @@ def build_config(args: argparse.Namespace) -> ServerConfig:
         ("read_timeout_s", args.read_timeout),
         ("drain_timeout_s", args.drain_timeout),
         ("stats_interval_s", args.stats_interval),
+        ("backend", args.backend),
     ):
         if value is not None:
             overrides[attr] = value
@@ -537,6 +539,12 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--stats-interval", type=float, default=None, metavar="SECONDS",
         help="log a structured stats line this often (default: off)",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "python", "native"), default=None,
+        help="kernel-stage backend: auto tries the in-process compiled "
+        "native kernels and falls back to python (default auto; "
+        "output bytes are identical either way)",
     )
     args = parser.parse_args(argv)
     server = TraceServer(build_config(args))

@@ -33,9 +33,10 @@ class CompressorCache:
     """Thread-safe LRU of built :class:`TraceEngine` templates.
 
     Keyed by the SHA-256 of the *canonical* spec text plus the codec
-    name, so syntactic variants of the same specification share one
-    entry.  ``get`` returns ``(template, canonical_hash, hit)``; callers
-    must ``copy.copy`` the template before use (see module docstring).
+    name plus the configured backend, so syntactic variants of the same
+    specification share one entry.  ``get`` returns ``(template,
+    canonical_hash, hit)``; callers must ``copy.copy`` the template
+    before use (see module docstring).
     """
 
     def __init__(self, capacity: int, metrics: ServerMetrics) -> None:
@@ -44,13 +45,15 @@ class CompressorCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, TraceEngine]" = OrderedDict()
 
-    def get(self, spec_text: str, codec: str) -> tuple[TraceEngine, str, bool]:
+    def get(
+        self, spec_text: str, codec: str, backend: str = "auto"
+    ) -> tuple[TraceEngine, str, bool]:
         # Parse outside the lock: spec errors must not poison the cache,
         # and parsing is cheap next to building predictor tables.
         spec = parse_spec(spec_text)
         canonical = format_spec(spec)
         key_hash = hashlib.sha256(
-            canonical.encode() + b"\x00" + codec.encode()
+            canonical.encode() + b"\x00" + codec.encode() + b"\x00" + backend.encode()
         ).hexdigest()
         with self._lock:
             engine = self._entries.get(key_hash)
@@ -58,7 +61,7 @@ class CompressorCache:
                 self._entries.move_to_end(key_hash)
                 self._metrics.cache_hits.child().inc()
                 return engine, key_hash, True
-        engine = TraceEngine(spec, codec=codec)
+        engine = TraceEngine(spec, codec=codec, backend=backend)
         with self._lock:
             # A racing request may have built the same engine; keep the
             # first one so every requester shares a single template.
@@ -100,10 +103,14 @@ class Handlers:
         codec = params.get("codec", "bzip2")
         if not isinstance(codec, str):
             raise ProtocolError("param 'codec' must be a string")
-        template, _, _ = self.cache.get(spec_text, codec)
+        template, _, _ = self.cache.get(spec_text, codec, self.config.backend)
         # Shallow copy: shares the resolved model/codec/format, gives the
         # request private last_usage/last_report slots.
         return copy.copy(template)
+
+    def _count_backend(self, engine: TraceEngine) -> None:
+        """Record which kernel stage actually served this request."""
+        self.metrics.backend_requests.labels(backend=engine.backend).inc()
 
     def _workers(self, params: dict) -> int:
         workers = params.get("workers")
@@ -144,6 +151,7 @@ class Handlers:
             workers=self._workers(params),
             cancel=cancel,
         )
+        self._count_backend(engine)
         return {"raw_size": len(payload), "blob_size": len(blob)}, blob
 
     def op_decompress(self, params, payload, cancel):
@@ -155,6 +163,7 @@ class Handlers:
             max_chunk_bytes=self.config.max_chunk_bytes,
             cancel=cancel,
         )
+        self._count_backend(engine)
         return {"raw_size": len(raw), "blob_size": len(payload)}, raw
 
     def op_salvage(self, params, payload, cancel):
@@ -166,6 +175,9 @@ class Handlers:
             max_chunk_bytes=self.config.max_chunk_bytes,
             cancel=cancel,
         )
+        # Salvage decode always runs the Python kernels (damage diagnosis
+        # happens in the interpreter), whatever the configured backend.
+        self.metrics.backend_requests.labels(backend="python").inc()
         meta = {"raw_size": len(raw), "blob_size": len(payload)}
         if engine.last_report is not None:
             meta["report"] = report_to_dict(engine.last_report)

@@ -53,8 +53,16 @@ class ServerConfig:
     #: are identical either way.
     engine_workers: int = 1
 
+    #: Kernel-stage backend for every request: ``"auto"`` uses the
+    #: in-process compiled native kernels when a C compiler is available
+    #: and falls back to Python otherwise; ``"python"``/``"native"``
+    #: force one side.  Output bytes are identical either way — the
+    #: resolved backend is visible as the ``backend`` label on the
+    #: ``tcgen_backend_requests_total`` metric and in ``health``.
+    backend: str = "auto"
+
     #: Generated-compressor cache entries (keyed by canonical spec hash
-    #: + codec).  Small: a resolved model is a few MB of tables.
+    #: + codec + backend).  Small: a resolved model is a few MB of tables.
     cache_size: int = 8
 
     #: Hard cap on one request's payload bytes.
@@ -95,6 +103,8 @@ class ServerConfig:
             cfg = replace(cfg, cache_size=1)
         if cfg.engine_workers < 0:
             cfg = replace(cfg, engine_workers=1)
+        if cfg.backend not in ("auto", "python", "native"):
+            cfg = replace(cfg, backend="auto")
         return cfg
 
 
@@ -103,13 +113,16 @@ def config_from_env(base: ServerConfig | None = None) -> ServerConfig:
 
     Recognized: ``TCGEN_SERVE_HOST``, ``TCGEN_SERVE_PORT``,
     ``TCGEN_SERVE_QUEUE_LIMIT``, ``TCGEN_SERVE_EXEC_WORKERS``,
-    ``TCGEN_SERVE_MAX_PAYLOAD_MB``.  Command-line flags win over the
-    environment; the environment wins over defaults.
+    ``TCGEN_SERVE_MAX_PAYLOAD_MB``, ``TCGEN_SERVE_BACKEND``.
+    Command-line flags win over the environment; the environment wins
+    over defaults.
     """
     cfg = base or ServerConfig()
     env = os.environ
     if "TCGEN_SERVE_HOST" in env:
         cfg = replace(cfg, host=env["TCGEN_SERVE_HOST"])
+    if "TCGEN_SERVE_BACKEND" in env:
+        cfg = replace(cfg, backend=env["TCGEN_SERVE_BACKEND"])
     for name, attr in (
         ("TCGEN_SERVE_PORT", "port"),
         ("TCGEN_SERVE_QUEUE_LIMIT", "queue_limit"),

@@ -266,6 +266,12 @@ class ServerMetrics:
             "tcgen_compressor_cache_evictions_total",
             "Engines dropped from the LRU compressor cache.",
         )
+        self.backend_requests = self.registry.counter(
+            "tcgen_backend_requests_total",
+            "Kernel-stage requests finished, by resolved backend "
+            "(python or native).",
+            ("backend",),
+        )
 
     def cache_hit_rate(self) -> float:
         hits = self.cache_hits.child().value

@@ -2,8 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# The tier-1 suite exercises hundreds of specs; compiling a native kernel
+# for each would dominate the run and make it depend on a C compiler.
+# Default the in-process native fast path off so backend="auto" resolves
+# to Python everywhere; the dedicated native tests opt back in with
+# TCGEN_NATIVE=1 and a temporary TCGEN_CACHE_DIR.
+os.environ.setdefault("TCGEN_NATIVE", "0")
 
 from repro.spec import parse_spec, tcgen_a, tcgen_b
 from repro.tio import VPC_FORMAT, pack_records

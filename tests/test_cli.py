@@ -33,7 +33,7 @@ class TestTcgen:
     def test_emits_python(self, spec_file, capsys):
         assert tcgen_main([spec_file, "--lang", "python"]) == 0
         out = capsys.readouterr().out
-        assert "def compress(raw, chunk_records=None, workers=1):" in out
+        assert 'def compress(raw, chunk_records=None, workers=1, backend="auto"):' in out
 
     def test_generated_python_is_loadable(self, spec_file, capsys, small_trace):
         tcgen_main([spec_file, "--lang", "python"])

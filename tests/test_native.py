@@ -1,0 +1,234 @@
+"""The in-process native fast path: dispatch, differential byte-identity.
+
+The whole point of the native backend is that it is *unobservable* except
+for speed: every container produced or consumed through it must be
+byte-identical to the pure-Python path.  These tests prove that over the
+preset spec matrix for v1, v2, and v3 containers, across the engine, the
+generated Python modules, streaming, and autotune — plus the dispatch
+rules (auto fallback, escape hatch, update-policy forcing, compiler
+crash mid-build).
+"""
+
+from __future__ import annotations
+
+import os
+import stat
+
+import pytest
+
+from repro.codegen.compile import find_c_compiler
+from repro.errors import NativeBackendError
+from repro.model import OptimizationOptions, build_model
+from repro.runtime import TraceEngine
+from repro.runtime.dispatch import resolve_backend, validate_backend
+from repro.runtime.streaming import iter_records
+from repro.spec import tcgen_a
+
+from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
+
+needs_cc = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no C compiler on PATH"
+)
+
+
+@pytest.fixture(scope="module")
+def native_env(tmp_path_factory):
+    """Enable the native backend with a private artifact cache."""
+    cache = tmp_path_factory.mktemp("native_cache")
+    saved = {k: os.environ.get(k) for k in ("TCGEN_NATIVE", "TCGEN_CACHE_DIR")}
+    os.environ["TCGEN_NATIVE"] = "1"
+    os.environ["TCGEN_CACHE_DIR"] = str(cache)
+    yield str(cache)
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+def test_validate_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="backend"):
+        validate_backend("cuda")
+    with pytest.raises(ValueError, match="backend"):
+        TraceEngine(tcgen_a(), backend="cuda")
+
+
+# -- differential byte-identity ----------------------------------------------
+
+
+@needs_cc
+@pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+def test_engine_differential_all_containers(name, native_env):
+    """python and native engines produce identical v1/v2/v3 containers."""
+    spec = SPEC_VARIANTS[name]()
+    raw = spec_trace_for(spec)
+    py = TraceEngine(spec, backend="python")
+    nat = TraceEngine(spec, backend="native")
+    assert nat.backend == "native"
+    assert py.backend == "python"
+    cases = [
+        dict(),  # flat v1
+        dict(chunk_records=64),  # chunked v3 (default version)
+        dict(chunk_records=64, container_version=2),  # legacy v2
+        dict(chunk_records="auto"),
+    ]
+    for kwargs in cases:
+        blob_py = py.compress(raw, **kwargs)
+        blob_nat = nat.compress(raw, **kwargs)
+        assert blob_py == blob_nat, f"{name}: compress differs for {kwargs}"
+        assert py.decompress(blob_py) == raw
+        assert nat.decompress(blob_py) == raw
+
+
+@needs_cc
+def test_engine_differential_parallel_workers(native_env):
+    """Thread-parallel native chunk stage keeps outputs byte-identical."""
+    spec = tcgen_a()
+    raw = make_vpc_trace(4000)
+    py = TraceEngine(spec, backend="python")
+    nat = TraceEngine(spec, backend="native")
+    blob_py = py.compress(raw, chunk_records=257, workers=4)
+    blob_nat = nat.compress(raw, chunk_records=257, workers=4)
+    assert blob_py == blob_nat
+    assert nat.decompress(blob_nat, workers=4) == raw
+
+
+@needs_cc
+def test_generated_module_differential(native_env):
+    """Generated Python modules honor backend= with identical bytes."""
+    from repro.codegen import generate_python, load_python_module
+
+    for name in ("tcgen_a", "no_header"):
+        spec = SPEC_VARIANTS[name]()
+        model = build_model(spec, OptimizationOptions.full())
+        module = load_python_module(generate_python(model), name=f"nat_{name}")
+        raw = spec_trace_for(spec)
+        for kwargs in ({}, {"chunk_records": 50}):
+            blob_py = module.compress(raw, backend="python", **kwargs)
+            blob_nat = module.compress(raw, backend="native", **kwargs)
+            assert blob_py == blob_nat
+            assert module.decompress(blob_nat, backend="python") == raw
+            assert module.decompress(blob_nat, backend="native") == raw
+
+
+@needs_cc
+def test_generated_module_native_unavailable_raises(native_env, monkeypatch):
+    from repro.codegen import generate_python, load_python_module
+
+    model = build_model(tcgen_a(), OptimizationOptions.full())
+    module = load_python_module(generate_python(model), name="nat_disabled")
+    monkeypatch.setenv("TCGEN_NATIVE", "0")
+    raw = make_vpc_trace(100)
+    assert module.decompress(module.compress(raw)) == raw  # auto falls back
+    with pytest.raises(RuntimeError, match="native backend unavailable"):
+        module.compress(raw, backend="native")
+
+
+@needs_cc
+def test_streaming_differential(native_env):
+    spec = tcgen_a()
+    raw = make_vpc_trace(1200)
+    blob = TraceEngine(spec).compress(raw, chunk_records=101)
+    records_py = list(iter_records(spec, blob, backend="python"))
+    records_nat = list(iter_records(spec, blob, backend="native"))
+    assert records_py == records_nat
+    assert len(records_nat) == 1200
+    # mid-trace entry goes through the native chunk decode too
+    assert list(iter_records(spec, blob, start=777, backend="native")) == (
+        records_py[777:]
+    )
+
+
+@needs_cc
+def test_autotune_differential(native_env):
+    from repro.autotune import compress_adaptive, decompress_adaptive
+
+    raw = make_vpc_trace(900)
+    res_py = compress_adaptive(raw, backend="python", chunk_records=128)
+    res_nat = compress_adaptive(raw, backend="native", chunk_records=128)
+    assert res_py.archive == res_nat.archive
+    assert decompress_adaptive(res_nat.archive, backend="native") == raw
+
+
+# -- dispatch rules -----------------------------------------------------------
+
+
+@needs_cc
+def test_backend_reason_reports_resolution(native_env):
+    auto = TraceEngine(tcgen_a(), backend="auto")
+    assert auto.backend == "native"
+    assert auto.backend_reason == "compiler available, build ok"
+    forced = TraceEngine(tcgen_a(), backend="native")
+    assert forced.backend_reason == "requested"
+    python = TraceEngine(tcgen_a(), backend="python")
+    assert python.backend_reason == "requested"
+
+
+def test_escape_hatch_disables_native(native_env, monkeypatch):
+    monkeypatch.setenv("TCGEN_NATIVE", "0")
+    engine = TraceEngine(tcgen_a(), backend="auto")
+    assert engine.backend == "python"
+    assert "TCGEN_NATIVE" in engine.backend_reason
+    raw = make_vpc_trace(150)
+    assert engine.decompress(engine.compress(raw)) == raw
+    with pytest.raises(NativeBackendError, match="TCGEN_NATIVE"):
+        TraceEngine(tcgen_a(), backend="native").compress(raw)
+
+
+def test_update_policy_forces_python(native_env):
+    from repro.predictors.tables import UpdatePolicy
+
+    policy = UpdatePolicy.ALWAYS
+    engine = TraceEngine(tcgen_a(), update_policy=policy, backend="auto")
+    assert engine.backend == "python"
+    assert "update_policy" in engine.backend_reason
+    with pytest.raises(NativeBackendError, match="update_policy"):
+        TraceEngine(tcgen_a(), update_policy=policy, backend="native").backend
+
+
+@needs_cc
+def test_compiler_crash_falls_back(native_env, tmp_path, monkeypatch):
+    """A compiler that dies mid-build: auto falls back, native raises."""
+    crash = tmp_path / "crashing-cc"
+    crash.write_text("#!/bin/sh\nexit 139\n")
+    crash.chmod(crash.stat().st_mode | stat.S_IXUSR)
+    monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path / "cache"))
+    model = build_model(tcgen_a(), OptimizationOptions.full())
+    decision = resolve_backend("auto", model, compiler=str(crash))
+    assert decision.backend == "python"
+    assert "native build failed" in decision.reason
+    with pytest.raises(NativeBackendError, match="native build failed"):
+        resolve_backend("native", model, compiler=str(crash))
+
+
+@needs_cc
+def test_salvage_stays_python_and_recovers(native_env):
+    """Salvage decode works on a native engine: damage diagnosis is Python."""
+    spec = tcgen_a()
+    raw = make_vpc_trace(1000)
+    engine = TraceEngine(spec, backend="native")
+    blob = bytearray(engine.compress(raw, chunk_records=100))
+    blob[len(blob) // 2] ^= 0xFF  # damage one chunk payload
+    recovered = engine.decompress(bytes(blob), mode="salvage")
+    assert engine.last_report is not None
+    assert engine.last_report.lost_chunks
+    # surviving records are a subsequence of the original trace
+    assert len(recovered) < len(raw)
+
+
+@needs_cc
+def test_server_metrics_carry_backend_label(native_env):
+    from repro.server.handlers import Handlers
+    from repro.server.limits import ServerConfig
+    from repro.server.metrics import ServerMetrics
+    from repro.spec import format_spec
+
+    metrics = ServerMetrics()
+    handlers = Handlers(ServerConfig(backend="native").validated(), metrics)
+    raw = make_vpc_trace(300)
+    params = {"spec": format_spec(tcgen_a())}
+    _, blob = handlers.op_compress(params, raw, None)
+    _, back = handlers.op_decompress(params, blob, None)
+    assert back == raw
+    rendered = metrics.render()
+    assert 'tcgen_backend_requests_total{backend="native"} 2' in rendered

@@ -1,0 +1,211 @@
+"""The native artifact cache: integrity, concurrency, eviction, memos.
+
+The cache is shared mutable state on disk under concurrent writers, so
+these tests attack exactly the failure modes that matter: a corrupt
+cached ``.so`` (truncated, or failing its sideband sha256) must trigger
+a rebuild rather than a crash; two processes racing to build the same
+key must both end up with one usable artifact; the LRU prune must
+respect the configured byte cap; and the process-wide memos (compiler
+probe, loaded kernels) must be resettable for tests like these.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.codegen import native
+from repro.codegen.compile import clear_compiler_cache, find_c_compiler
+from repro.model import OptimizationOptions, build_model
+from repro.spec import tcgen_a, tcgen_b
+
+needs_cc = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no C compiler on PATH"
+)
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    """A fresh cache dir with the native backend enabled."""
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("TCGEN_NATIVE", "1")
+    monkeypatch.setenv("TCGEN_CACHE_DIR", str(cache))
+    native.clear_native_cache()
+    yield str(cache)
+    native.clear_native_cache()
+
+
+def _model(spec=None):
+    return build_model(spec or tcgen_a(), OptimizationOptions.full())
+
+
+def _artifact_paths(cache: str, model) -> tuple[str, str, str]:
+    key = native.artifact_key(model, find_c_compiler())
+    return native._artifact_paths(cache, key)
+
+
+@needs_cc
+def test_artifact_key_is_stable_and_discriminating(cache_env):
+    compiler = find_c_compiler()
+    a = native.artifact_key(_model(), compiler)
+    assert a == native.artifact_key(_model(), compiler)
+    b = native.artifact_key(_model(tcgen_b()), compiler)
+    assert a != b
+    ablated = build_model(tcgen_a(), OptimizationOptions.none())
+    assert native.artifact_key(ablated, compiler) != a
+
+
+@needs_cc
+def test_truncated_so_triggers_rebuild(cache_env):
+    # Build on disk without loading: truncating a dlopen-mapped inode
+    # would SIGBUS the process, which is not the scenario — the scenario
+    # is a cache corrupted between runs.
+    native.build_artifact(_model(), find_c_compiler())
+    so_path, _, _ = _artifact_paths(cache_env, _model())
+    with open(so_path, "r+b") as handle:
+        handle.truncate(128)  # corrupt: way too short to be the library
+    rebuilt = native.load_native_kernel(_model())
+    raw = bytes(range(256)) * 16  # 4096 bytes = 256 16-byte records
+    records = raw[: (len(raw) // rebuilt.record_bytes) * rebuilt.record_bytes]
+    streams, usage = rebuilt.compress_chunk(records)
+    count = len(records) // rebuilt.record_bytes
+    assert rebuilt.decompress_chunk(count, streams[0::2], streams[1::2]) == records
+    assert os.path.getsize(so_path) > 128
+
+
+@needs_cc
+def test_wrong_sideband_hash_triggers_rebuild(cache_env):
+    native.build_artifact(_model(), find_c_compiler())
+    so_path, _, meta_path = _artifact_paths(cache_env, _model())
+    meta = json.load(open(meta_path))
+    meta["sha256"] = "0" * 64
+    json.dump(meta, open(meta_path, "w"))
+    kernel = native.load_native_kernel(_model())
+    assert kernel.fingerprint == _model().fingerprint()
+    # the rebuild republished a matching sideband
+    fresh = json.load(open(meta_path))
+    assert fresh["sha256"] == native._sha256_file(so_path)
+
+
+@needs_cc
+def test_concurrent_double_build_yields_one_artifact(cache_env):
+    """Two builder processes race on one key: both succeed, one .so wins."""
+    script = (
+        "from repro.codegen import native\n"
+        "from repro.model import OptimizationOptions, build_model\n"
+        "from repro.spec import tcgen_a\n"
+        "model = build_model(tcgen_a(), OptimizationOptions.full())\n"
+        "kernel = native.load_native_kernel(model)\n"
+        "assert kernel.fingerprint == model.fingerprint()\n"
+        "print('BUILD-OK')\n"
+    )
+    env = dict(os.environ)
+    env["TCGEN_NATIVE"] = "1"
+    env["TCGEN_CACHE_DIR"] = cache_env
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")) if p
+    )
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        for _ in range(2)
+    ]
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err.decode(errors="replace")
+        assert b"BUILD-OK" in out
+    artifacts = [f for f in os.listdir(cache_env) if f.endswith(".so")]
+    assert len(artifacts) == 1
+    # and the surviving artifact still loads here
+    assert native.load_native_kernel(_model()).fingerprint == (
+        _model().fingerprint()
+    )
+
+
+@needs_cc
+def test_lru_eviction_respects_size_cap(cache_env, monkeypatch):
+    """With a 1-byte cap only the most recent artifact survives a build."""
+    monkeypatch.setenv("TCGEN_CACHE_MAX_BYTES", "1")
+    native.load_native_kernel(_model(tcgen_a()))
+    native.load_native_kernel(_model(tcgen_b()))
+    artifacts = [f for f in os.listdir(cache_env) if f.endswith(".so")]
+    assert len(artifacts) == 1  # tcgen_a's artifact was evicted
+    key_b = native.artifact_key(_model(tcgen_b()), find_c_compiler())
+    assert artifacts == [f"{key_b}.so"]
+
+
+@needs_cc
+def test_prune_cache_is_lru_by_mtime(cache_env, tmp_path):
+    directory = str(tmp_path / "prune")
+    os.makedirs(directory)
+    for index, age in (("aa", 300), ("bb", 200), ("cc", 100)):
+        for suffix in native._ARTIFACT_SUFFIXES:
+            path = os.path.join(directory, f"key{index}{suffix}")
+            with open(path, "wb") as handle:
+                handle.write(b"x" * 1000)
+            stamp = 1_700_000_000 - age
+            os.utime(path, (stamp, stamp))
+    evicted = native.prune_cache(directory, max_bytes=6000)  # each key: 3000
+    assert evicted == ["keyaa"]  # oldest .so goes first
+    survivors = sorted(f for f in os.listdir(directory) if f.endswith(".so"))
+    assert survivors == ["keybb.so", "keycc.so"]
+    # keep= protects an entry regardless of age
+    evicted = native.prune_cache(directory, max_bytes=1, keep="keybb")
+    assert "keybb" not in evicted
+    assert os.path.exists(os.path.join(directory, "keybb.so"))
+
+
+def test_compiler_probe_is_memoized(monkeypatch):
+    import shutil as _shutil
+
+    calls = []
+    real_which = _shutil.which
+
+    def counting_which(name):
+        calls.append(name)
+        return real_which(name)
+
+    clear_compiler_cache()
+    try:
+        monkeypatch.setattr(_shutil, "which", counting_which)
+        first = find_c_compiler()
+        probes = len(calls)
+        assert find_c_compiler() == first
+        assert len(calls) == probes  # memo hit: no new PATH probes
+        clear_compiler_cache()
+        find_c_compiler()
+        assert len(calls) > probes  # cleared: probes again
+    finally:
+        clear_compiler_cache()
+
+
+def test_compiler_env_override(monkeypatch):
+    import shutil as _shutil
+
+    gcc = _shutil.which("gcc")
+    if gcc is None:
+        pytest.skip("no gcc on PATH")
+    monkeypatch.setenv("TCGEN_CC", "gcc")
+    clear_compiler_cache()
+    try:
+        assert find_c_compiler() == gcc
+        monkeypatch.setenv("TCGEN_CC", "no-such-compiler-xyz")
+        clear_compiler_cache()
+        assert find_c_compiler() is None
+    finally:
+        clear_compiler_cache()
+
+
+def test_compiler_probe_honors_empty_path(monkeypatch):
+    monkeypatch.setenv("PATH", "")
+    clear_compiler_cache()
+    try:
+        assert find_c_compiler() is None
+    finally:
+        clear_compiler_cache()

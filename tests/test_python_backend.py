@@ -117,7 +117,7 @@ class TestGeneratedSourceQuality:
         source = generate_python(build_model(tcgen_a()))
         body = source.split('"""')[2]  # skip the module docstring
         for line in body.split("\n"):
-            if line.strip().startswith("#") or '"' in line:
+            if line.strip().startswith("#") or '"' in line or "'" in line:
                 continue
             assert ";" not in line
 
