@@ -17,7 +17,15 @@ the service's robustness contract:
   so on), so calling code cannot tell a remote decode from a local one;
 - **streaming** — payloads move in bounded DATA frames both ways;
   :meth:`compress_stream`/:meth:`decompress_stream` pipe file objects
-  without materializing the input *and* output at once.
+  without materializing the input *and* output at once;
+- **worker awareness** — against a ``tcgen-serve`` worker pool, each
+  response carries the answering worker's id; the client records it
+  (:attr:`TraceClient.last_worker_id`) and counts reconnects that
+  landed on a different worker (:attr:`TraceClient.worker_switches`),
+  which is how tests and operators observe crash-failover actually
+  happening.  A reconnect after a mid-request worker crash resubmits
+  the request wholesale — ops are pure, so whichever worker the kernel
+  hands the new connection to produces byte-identical results.
 
 Usage::
 
@@ -96,6 +104,15 @@ class TraceClient:
         self.max_backoff = max_backoff
         self._sock: socket.socket | None = None
         self._next_id = 1
+        #: Reused DATA frame-header buffer (one allocation per client,
+        #: not one ``header + chunk`` concatenation per 256 KiB frame).
+        self._scratch = bytearray(protocol.HEADER_SIZE)
+        #: Worker id that answered the most recent request (``None``
+        #: against a single-process daemon or before the first response).
+        self.last_worker_id: int | None = None
+        #: Responses that came from a different worker than the previous
+        #: one — failovers observed by this client.
+        self.worker_switches = 0
 
     # -- connection management ----------------------------------------------
 
@@ -176,10 +193,53 @@ class TraceClient:
                 f"server did not accept data within {self.io_timeout}s"
             ) from exc
 
+    def _send_data_frames(self, chunk: bytes) -> None:
+        """Stream ``chunk`` as DATA frames without copying it.
+
+        The frame header is packed into the reused scratch buffer and
+        handed to ``sendmsg`` alongside a memoryview slice of the chunk
+        (scatter-gather: two buffers, one syscall, zero concatenation).
+        Falls back to two ``sendall`` calls where ``sendmsg`` is missing.
+        """
+        sock = self._sock
+        assert sock is not None
+        scratch = self._scratch
+        view = memoryview(chunk)
+        use_sendmsg = hasattr(sock, "sendmsg")
+        try:
+            for start in range(0, len(chunk), protocol.DATA_CHUNK):
+                piece = view[start : start + protocol.DATA_CHUNK]
+                protocol.pack_header_into(scratch, protocol.DATA, len(piece))
+                if not use_sendmsg:
+                    sock.sendall(scratch)
+                    sock.sendall(piece)
+                    continue
+                sent = sock.sendmsg([scratch, piece])
+                expected = protocol.HEADER_SIZE + len(piece)
+                if sent < expected:  # partial scatter-gather send
+                    if sent < protocol.HEADER_SIZE:
+                        sock.sendall(scratch[sent:])
+                        sock.sendall(piece)
+                    else:
+                        sock.sendall(piece[sent - protocol.HEADER_SIZE :])
+        except socket.timeout as exc:
+            raise ServiceUnavailableError(
+                f"server did not accept data within {self.io_timeout}s"
+            ) from exc
+
     # -- the request state machine ------------------------------------------
+
+    def _note_worker(self, header: dict) -> None:
+        worker = header.get("worker")
+        if not isinstance(worker, int):
+            return
+        if self.last_worker_id is not None and worker != self.last_worker_id:
+            self.worker_switches += 1
+        self.last_worker_id = worker
 
     def _raise_error(self, payload: bytes) -> None:
         header = decode_json_payload(payload)
+        self._note_worker(header)
         raise exception_for(
             str(header.get("code", "internal")),
             str(header.get("message", "unknown server error")),
@@ -237,15 +297,7 @@ class TraceClient:
                     f"expected CONTINUE or ERROR, got frame type {frame_type}"
                 )
             for chunk in payload_chunks:
-                offset = 0
-                while offset < len(chunk):
-                    self._send(
-                        encode_frame(
-                            protocol.DATA,
-                            chunk[offset : offset + protocol.DATA_CHUNK],
-                        )
-                    )
-                    offset += protocol.DATA_CHUNK
+                self._send_data_frames(chunk)
             self._send(encode_frame(protocol.END))
         frame_type, frame_payload = self._read_frame()
         if frame_type == protocol.ERROR:
@@ -255,6 +307,7 @@ class TraceClient:
                 f"expected RESPONSE or ERROR, got frame type {frame_type}"
             )
         response = decode_json_payload(frame_payload)
+        self._note_worker(response)
         declared = response.get("payload_size", 0)
         if not isinstance(declared, int) or declared < 0:
             raise ProtocolError(f"bad response payload_size {declared!r}")

@@ -138,14 +138,19 @@ def artifact_key(model: CompressorModel, compiler: str) -> str:
     return hashlib.sha256(material.encode()).hexdigest()
 
 
-class _CacheLock:
-    """An ``flock``-based inter-process lock guarding cache mutation."""
+class CacheLock:
+    """An ``flock``-based inter-process lock guarding cache mutation.
+
+    Shared with the server's disk-backed engine cache
+    (:mod:`repro.server.enginecache`), which publishes into a sibling of
+    this cache directory under the same locking discipline.
+    """
 
     def __init__(self, directory: str) -> None:
         self.path = os.path.join(directory, ".lock")
         self.handle = None
 
-    def __enter__(self) -> "_CacheLock":
+    def __enter__(self) -> "CacheLock":
         if fcntl is not None:
             self.handle = open(self.path, "a+")
             fcntl.flock(self.handle.fileno(), fcntl.LOCK_EX)
@@ -298,7 +303,7 @@ def build_artifact(
         tmp_meta = os.path.join(workdir, "tcgen.json")
         with open(tmp_meta, "w") as handle:
             json.dump(meta, handle, indent=2, sort_keys=True)
-        with _CacheLock(directory):
+        with CacheLock(directory):
             if not (os.path.exists(so_path) and _artifact_valid(so_path, meta_path)):
                 os.replace(tmp_c, c_path)
                 os.replace(tmp_so, so_path)
@@ -551,7 +556,7 @@ def load_native_kernel(
         # tampered sideband, an unloadable library) is unusable: drop it
         # and rebuild from source.
         os.makedirs(directory, exist_ok=True)
-        with _CacheLock(directory):
+        with CacheLock(directory):
             _remove_artifact(directory, key)
         build_artifact(model, compiler, key=key)
         kernel = _load_library(so_path, model)

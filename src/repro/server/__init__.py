@@ -15,25 +15,41 @@ service:
   with Prometheus text rendering, served by the ``metrics`` op;
 - :mod:`repro.server.handlers` — the blocking op implementations plus
   the LRU cache of built compressor engines (keyed by canonical spec
-  hash);
-- :mod:`repro.server.daemon` — the asyncio TCP server, ``tcgen-serve``
-  entry point, backpressure, per-request deadlines, graceful drain;
+  hash), backed by the shared disk level;
+- :mod:`repro.server.enginecache` — the host-wide disk-backed second
+  level of the engine cache (flock + atomic publish, shared with the
+  native-artifact cache machinery);
+- :mod:`repro.server.daemon` — the asyncio TCP worker, backpressure,
+  per-request deadlines, graceful drain;
+- :mod:`repro.server.supervisor` — the pre-fork worker pool:
+  SO_REUSEPORT listeners, crash-restart with backoff, coordinated
+  SIGTERM drain, and the ``tcgen-serve`` process model;
+- :mod:`repro.server.ring` — consistent-hash routing of canonical-spec
+  hashes to pool workers;
+- :mod:`repro.server.httpgw` — the HTTP/1.1 gateway (``/v1/compress``,
+  ``/v1/decompress``, ``/healthz``, ``/metrics``) that proxies to
+  workers over their control sockets using the ring;
 - :mod:`repro.server.smoke` — the self-contained integration smoke CI
   runs (``python -m repro.server.smoke``).
 
 Run ``python -m repro.server`` (or the ``tcgen-serve`` console script)
-to start a daemon; see ``docs/SERVER.md`` for the wire format and the
-backpressure/retry contract.
+to start the serving tier; see ``docs/SERVER.md`` for the wire format,
+the worker-pool model, and the backpressure/retry contract.
 """
 
 from repro.server.daemon import TraceServer, serve_main
 from repro.server.limits import ServerConfig
 from repro.server.metrics import MetricsRegistry, ServerMetrics
+from repro.server.ring import HashRing
+from repro.server.supervisor import Supervisor, run_pool
 
 __all__ = [
+    "HashRing",
     "MetricsRegistry",
     "ServerConfig",
     "ServerMetrics",
+    "Supervisor",
     "TraceServer",
+    "run_pool",
     "serve_main",
 ]

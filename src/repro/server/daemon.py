@@ -6,6 +6,15 @@ bounded thread executor.  One connection handles one request at a time
 (requests on a connection are strictly ordered); concurrency comes from
 concurrent connections, bounded by the admission queue.
 
+A :class:`TraceServer` is one *worker*: a single process, a single
+event loop.  ``tcgen-serve`` itself starts a pool of them through
+:mod:`repro.server.supervisor` — each worker runs this exact daemon on
+a shared SO_REUSEPORT listening socket plus a private control socket
+the HTTP gateway routes through.  Inside a pool the worker knows its
+position (``config.worker_id``): it tags CONTINUE/RESPONSE headers and
+stats lines with it and leaves the canonical ``listening``/``drained``
+stderr lines to the supervisor.
+
 Robustness model, in the order a request meets it:
 
 1. **framing** — every frame is validated (magic, type, length caps)
@@ -35,9 +44,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 import signal
+import socket as socket_module
 import sys
 import time
 
@@ -47,6 +58,9 @@ from repro.server.handlers import Handlers
 from repro.server.limits import ServerConfig, config_from_env
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import RequestHeader, code_for_exception
+
+#: Precomputed empty END frame — terminates every response payload.
+_END_FRAME = protocol.encode_frame(protocol.END)
 
 
 class _FatalConnectionError(Exception):
@@ -58,12 +72,18 @@ class _FatalConnectionError(Exception):
 
 
 class _ConnectionState:
-    """Per-connection bookkeeping the drain logic inspects."""
+    """Per-connection bookkeeping: drain inspection plus the hot-path
+    scratch state (reused frame-header buffer, spec-hash memo)."""
 
-    __slots__ = ("busy",)
+    __slots__ = ("busy", "memo", "scratch")
 
     def __init__(self) -> None:
         self.busy = False
+        #: (spec_text, codec, backend) -> canonical key hash, so repeat
+        #: requests on one connection skip parse/canonicalize/SHA-256.
+        self.memo: OrderedDict = OrderedDict()
+        #: Reused DATA/END frame-header buffer for response streaming.
+        self.scratch = bytearray(protocol.HEADER_SIZE)
 
 
 class TraceServer:
@@ -76,7 +96,7 @@ class TraceServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.exec_workers, thread_name_prefix="tcgen-serve"
         )
-        self._server: asyncio.base_events.Server | None = None
+        self._servers: list[asyncio.base_events.Server] = []
         self._admitted = 0
         self._draining = False
         self._drain_requested: asyncio.Event | None = None
@@ -88,44 +108,71 @@ class TraceServer:
     @property
     def port(self) -> int:
         """The bound port (useful with ``port=0`` — pick a free one)."""
-        if self._server is None:
+        if not self._servers:
             raise RuntimeError("server not started")
-        return self._server.sockets[0].getsockname()[1]
+        return self._servers[0].sockets[0].getsockname()[1]
 
     @property
     def draining(self) -> bool:
         return self._draining
 
-    async def start(self) -> None:
+    async def start(
+        self, socks: list[socket_module.socket] | None = None
+    ) -> None:
+        """Bind and begin accepting.
+
+        ``socks`` hands over pre-bound listening sockets (the supervisor
+        binds SO_REUSEPORT + control sockets before forking); without it
+        the server binds ``config.host:config.port`` itself.
+        """
         self._drain_requested = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
-        )
+        if socks:
+            self._servers = [
+                await asyncio.start_server(self._on_connection, sock=sock)
+                for sock in socks
+            ]
+        else:
+            self._servers = [
+                await asyncio.start_server(
+                    self._on_connection, self.config.host, self.config.port
+                )
+            ]
 
     def request_shutdown(self) -> None:
         """Begin graceful drain.  Safe to call from a signal handler."""
         if self._draining:
             return
         self._draining = True
-        if self._server is not None:
-            self._server.close()
+        for server in self._servers:
+            server.close()
         if self._drain_requested is not None:
             self._drain_requested.set()
 
-    async def run(self) -> int:
+    async def run(self, socks: list[socket_module.socket] | None = None) -> int:
         """Start, serve until shutdown is requested, drain, and exit."""
-        await self.start()
         loop = asyncio.get_running_loop()
+        if self.config.preload_engines > 0:
+            # Warm-up before accepting: rebuild the hottest engines from
+            # the shared disk cache so the first request pays nothing.
+            await loop.run_in_executor(
+                self._executor,
+                self.handlers.cache.preload_from_disk,
+                self.config.preload_engines,
+            )
+        await self.start(socks)
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
                 loop.add_signal_handler(sig, self.request_shutdown)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
-        print(
-            f"tcgen-serve: listening on {self.config.host}:{self.port}",
-            file=sys.stderr,
-            flush=True,
-        )
+        if self.config.worker_id is None:
+            # Pool workers stay quiet: the supervisor owns the canonical
+            # ``listening``/``drained`` lines tests and operators parse.
+            print(
+                f"tcgen-serve: listening on {self.config.host}:{self.port}",
+                file=sys.stderr,
+                flush=True,
+            )
         stats_task = None
         if self.config.stats_interval_s > 0:
             stats_task = asyncio.ensure_future(self._stats_loop())
@@ -134,7 +181,8 @@ class TraceServer:
         if stats_task is not None:
             stats_task.cancel()
             await asyncio.gather(stats_task, return_exceptions=True)
-        print("tcgen-serve: drained, exiting", file=sys.stderr, flush=True)
+        if self.config.worker_id is None:
+            print("tcgen-serve: drained, exiting", file=sys.stderr, flush=True)
         return 0
 
     async def _drain(self) -> None:
@@ -148,10 +196,15 @@ class TraceServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
         self._executor.shutdown(wait=False)
+
+    def _stats_tag(self) -> str:
+        if self.config.worker_id is None:
+            return "tcgen-serve"
+        return f"tcgen-serve[w{self.config.worker_id}]"
 
     async def _stats_loop(self) -> None:
         while not self._drain_requested.is_set():
@@ -164,12 +217,14 @@ class TraceServer:
                 pass
             snap = self.metrics.snapshot()
             fields = " ".join(f"{key}={value}" for key, value in snap.items())
-            print(
-                f"tcgen-serve stats uptime_s={time.monotonic() - self._started_at:.1f} "
-                f"{fields}",
-                file=sys.stderr,
-                flush=True,
+            # One write() per line: pool workers share the supervisor's
+            # stderr pipe, and POSIX only keeps single writes from
+            # interleaving, so the line must leave in one syscall.
+            sys.stderr.write(
+                f"{self._stats_tag()} stats "
+                f"uptime_s={time.monotonic() - self._started_at:.1f} {fields}\n"
             )
+            sys.stderr.flush()
 
     # -- frame I/O -----------------------------------------------------------
 
@@ -218,6 +273,8 @@ class TraceServer:
         header = {"id": request_id, "ok": False, "code": code, "message": message}
         if retry_after_ms is not None:
             header["retry_after_ms"] = retry_after_ms
+        if self.config.worker_id is not None:
+            header["worker"] = self.config.worker_id
         await self._send(writer, protocol.encode_json_frame(protocol.ERROR, header))
 
     async def _send_response(
@@ -226,6 +283,7 @@ class TraceServer:
         request_id: int,
         meta: dict,
         payload: bytes,
+        state: _ConnectionState | None = None,
     ) -> None:
         header = {
             "id": request_id,
@@ -233,9 +291,25 @@ class TraceServer:
             "payload_size": len(payload),
             "meta": meta,
         }
-        await self._send(writer, protocol.encode_json_frame(protocol.RESPONSE, header))
-        for frame in protocol.iter_data_frames(payload):
-            await self._send(writer, frame)
+        if self.config.worker_id is not None:
+            header["worker"] = self.config.worker_id
+        writer.write(protocol.encode_json_frame(protocol.RESPONSE, header))
+        # Hot path: stream DATA frames from a reused header buffer and
+        # memoryview slices instead of concatenating header + chunk per
+        # 256 KiB frame (which copied the whole payload a second time).
+        # asyncio transports copy write() data synchronously, so reusing
+        # the scratch buffer across frames is safe.
+        scratch = (
+            state.scratch if state is not None else bytearray(protocol.HEADER_SIZE)
+        )
+        view = memoryview(payload)
+        for start in range(0, len(payload), protocol.DATA_CHUNK):
+            chunk = view[start : start + protocol.DATA_CHUNK]
+            protocol.pack_header_into(scratch, protocol.DATA, len(chunk))
+            writer.write(scratch)
+            writer.write(chunk)
+        writer.write(_END_FRAME)
+        await writer.drain()
         self.metrics.bytes_out.child().inc(len(payload))
 
     # -- connection handling -------------------------------------------------
@@ -261,7 +335,7 @@ class TraceServer:
                             f"expected a REQUEST frame, got type {frame_type}",
                         )
                     request = RequestHeader.decode(payload)
-                    await self._serve_request(reader, writer, request)
+                    await self._serve_request(reader, writer, request, state)
                 finally:
                     state.busy = False
         except _FatalConnectionError as exc:
@@ -332,6 +406,7 @@ class TraceServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         request: RequestHeader,
+        state: _ConnectionState,
     ) -> None:
         start = time.monotonic()
         op, request_id = request.op, request.request_id
@@ -339,7 +414,7 @@ class TraceServer:
         try:
             if op in protocol.PAYLOADLESS_OPS:
                 meta, payload = self._payloadless(op)
-                await self._send_response(writer, request_id, meta, payload)
+                await self._send_response(writer, request_id, meta, payload, state)
                 return
 
             if self._draining:
@@ -376,13 +451,15 @@ class TraceServer:
             self._admitted += 1
             self.metrics.queue_depth.child().set(self._admitted)
             try:
+                go_ahead = {"id": request_id}
+                if self.config.worker_id is not None:
+                    go_ahead["worker"] = self.config.worker_id
                 await self._send(
-                    writer,
-                    protocol.encode_json_frame(protocol.CONTINUE, {"id": request_id}),
+                    writer, protocol.encode_json_frame(protocol.CONTINUE, go_ahead)
                 )
                 payload = await self._read_payload(reader, request.payload_size)
                 self.metrics.bytes_in.child().inc(len(payload))
-                status = await self._execute(writer, request, payload)
+                status = await self._execute(writer, request, payload, state)
             finally:
                 self._admitted -= 1
                 self.metrics.queue_depth.child().set(self._admitted)
@@ -394,6 +471,7 @@ class TraceServer:
         writer: asyncio.StreamWriter,
         request: RequestHeader,
         payload: bytes,
+        state: _ConnectionState,
     ) -> str:
         """Run the handler under the request deadline; returns the status."""
         import threading
@@ -408,6 +486,7 @@ class TraceServer:
             request.params,
             payload,
             cancel_event.is_set,
+            state.memo,
         )
         try:
             meta, result = await asyncio.wait_for(asyncio.shield(future), deadline)
@@ -439,7 +518,7 @@ class TraceServer:
                 f"{type(exc).__name__}: {exc}",
             )
             return "internal"
-        await self._send_response(writer, request.request_id, meta, result)
+        await self._send_response(writer, request.request_id, meta, result, state)
         return "ok"
 
     def _payloadless(self, op: str) -> tuple[dict, bytes]:
@@ -458,6 +537,8 @@ class TraceServer:
                 "backend": self.config.backend,
             }
         )
+        if self.config.worker_id is not None:
+            snap["worker"] = self.config.worker_id
         return snap, b""
 
 
@@ -479,11 +560,18 @@ def build_config(args: argparse.Namespace) -> ServerConfig:
         ("drain_timeout_s", args.drain_timeout),
         ("stats_interval_s", args.stats_interval),
         ("backend", args.backend),
+        ("workers", args.workers),
+        ("http_port", args.http_port),
+        ("preload_engines", args.preload_engines),
     ):
         if value is not None:
             overrides[attr] = value
     if args.max_payload_mb is not None:
         overrides["max_payload_bytes"] = args.max_payload_mb << 20
+    if args.no_http:
+        overrides["http_enabled"] = False
+    if args.no_disk_cache:
+        overrides["engine_disk_cache"] = False
     return replace(cfg, **overrides).validated()
 
 
@@ -494,7 +582,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tcgen-serve",
         description="Serve trace compression over TCP (framed protocol; "
-        "ops: compress, decompress, salvage, analyze, health, metrics).",
+        "ops: compress, decompress, salvage, analyze, health, metrics) "
+        "with a pre-fork worker pool and an HTTP/1.1 gateway.",
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -503,6 +592,29 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--port", type=int, default=None,
         help=f"TCP port (default {protocol.DEFAULT_PORT}; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes sharing the port via SO_REUSEPORT "
+        "(default: one per available CPU)",
+    )
+    parser.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help=f"HTTP/1.1 gateway port (default {protocol.DEFAULT_HTTP_PORT}; "
+        "0 picks a free port)",
+    )
+    parser.add_argument(
+        "--no-http", action="store_true",
+        help="disable the HTTP gateway (framed TCP only)",
+    )
+    parser.add_argument(
+        "--preload-engines", type=int, default=None, metavar="N",
+        help="engines each worker rebuilds from the shared disk cache "
+        "before accepting (default 0: build lazily)",
+    )
+    parser.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="disable the disk-backed second-level engine cache",
     )
     parser.add_argument(
         "--queue-limit", type=int, default=None, metavar="N",
@@ -547,9 +659,11 @@ def serve_main(argv: list[str] | None = None) -> int:
         "output bytes are identical either way)",
     )
     args = parser.parse_args(argv)
-    server = TraceServer(build_config(args))
+    config = build_config(args)
+    from repro.server.supervisor import run_pool
+
     try:
-        return asyncio.run(server.run())
+        return run_pool(config)
     except KeyboardInterrupt:  # pragma: no cover - signal handler races
         return 0
 

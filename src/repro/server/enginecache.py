@@ -1,0 +1,197 @@
+"""The disk-backed second level of the built-engine cache.
+
+A worker pool pays engine warm-up (spec parse, canonicalization, model
+build, and — under ``backend="auto"`` — a native-kernel compile) per
+*process* unless something remembers the work.  The native artifact
+cache (:mod:`repro.codegen.native`) already makes the compile once per
+host; this module does the same for the serving tier's *engine
+identity*: every built engine publishes a small JSON record keyed by its
+canonical-spec hash into ``<cache_dir>/engines/``, and every other
+worker's first request on that hash loads the record instead of
+re-deriving it — parse and canonicalization are skipped (the canonical
+text is stored), and the native artifact path is pinned so the loader
+goes straight to the compiled ``.so`` without generating source.
+
+The directory discipline is exactly the native cache's: an ``flock``
+lock (:class:`repro.codegen.native.CacheLock`) serializes mutation,
+entries are published by atomic rename, and the set is pruned
+oldest-first to a bounded entry count.  Records are advisory — a
+missing, stale, or corrupt entry just means the worker rebuilds and
+republishes — so the cache can never produce wrong bytes, only save
+warm-up.
+
+Workers may also *preload* the most recently used entries at startup
+(:func:`preload_entries`), which moves warm-up from the first unlucky
+request to process start, where the supervisor pays it while the rest of
+the pool is already serving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.codegen.native import CacheLock, cache_dir
+
+#: Subdirectory of the tcgen cache holding engine records.
+ENGINE_CACHE_SUBDIR = "engines"
+
+#: Engine-record schema version; bumped when the payload changes shape.
+ENGINE_CACHE_VERSION = 1
+
+#: Default cap on stored engine records (each is a small JSON file).
+DEFAULT_MAX_ENTRIES = 512
+
+
+def engine_cache_dir() -> str:
+    """Where engine records live (honours ``TCGEN_CACHE_DIR``)."""
+    return os.path.join(cache_dir(), ENGINE_CACHE_SUBDIR)
+
+
+def max_entries() -> int:
+    raw = os.environ.get("TCGEN_ENGINE_CACHE_MAX_ENTRIES")
+    if raw is None:
+        return DEFAULT_MAX_ENTRIES
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_MAX_ENTRIES
+
+
+def _entry_path(directory: str, key_hash: str) -> str:
+    return os.path.join(directory, key_hash + ".json")
+
+
+def load_entry(key_hash: str, directory: str | None = None) -> dict | None:
+    """The stored record for ``key_hash``, or ``None``.
+
+    A readable record refreshes its mtime (the prune recency signal) and
+    must carry the current schema version and a canonical spec; anything
+    else is treated as absent.
+    """
+    directory = directory or engine_cache_dir()
+    path = _entry_path(directory, key_hash)
+    try:
+        with open(path) as handle:
+            entry = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(entry, dict):
+        return None
+    if entry.get("version") != ENGINE_CACHE_VERSION:
+        return None
+    if not isinstance(entry.get("canonical_spec"), str):
+        return None
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+    return entry
+
+
+def store_entry(
+    key_hash: str,
+    canonical_spec: str,
+    codec: str,
+    backend: str,
+    *,
+    resolved_backend: str | None = None,
+    native_artifact: str | None = None,
+    directory: str | None = None,
+) -> None:
+    """Publish the record for a freshly built engine (best-effort).
+
+    Publication happens via atomic rename under the shared cache lock,
+    mirroring the native artifact cache: concurrent builders of the same
+    key yield one usable record, and readers never observe a torn file.
+    A filesystem that refuses is silently tolerated — the cache is an
+    optimization, not a correctness dependency.
+    """
+    directory = directory or engine_cache_dir()
+    entry = {
+        "version": ENGINE_CACHE_VERSION,
+        "canonical_spec": canonical_spec,
+        "codec": codec,
+        "backend": backend,
+        "resolved_backend": resolved_backend,
+        "native_artifact": native_artifact,
+        "created": time.time(),
+    }
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(prefix=".engine_", dir=directory)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, indent=1, sort_keys=True)
+            with CacheLock(directory):
+                os.replace(tmp_path, _entry_path(directory, key_hash))
+                prune_entries(directory, max_entries())
+        finally:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+    except OSError:
+        pass
+
+
+def prune_entries(directory: str, cap: int) -> list[str]:
+    """Drop the oldest records until at most ``cap`` remain.
+
+    Caller holds the cache lock.  Returns the evicted key hashes.
+    """
+    entries = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        if not name.endswith(".json") or name.startswith("."):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            entries.append((os.stat(path).st_mtime, name[: -len(".json")]))
+        except OSError:
+            continue
+    entries.sort()
+    evicted = []
+    while len(entries) - len(evicted) > cap:
+        _, key = entries[len(evicted)]
+        try:
+            os.remove(_entry_path(directory, key))
+        except OSError:
+            pass
+        evicted.append(key)
+    return evicted
+
+
+def preload_entries(limit: int, directory: str | None = None) -> list[tuple[str, dict]]:
+    """The most recently used records, newest first, up to ``limit``.
+
+    Used by workers at startup to rebuild their hottest engines before
+    the first request arrives.  Purely a read — no locking needed beyond
+    per-file tolerance for concurrent eviction.
+    """
+    directory = directory or engine_cache_dir()
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    stamped = []
+    for name in names:
+        if not name.endswith(".json") or name.startswith("."):
+            continue
+        try:
+            mtime = os.stat(os.path.join(directory, name)).st_mtime
+        except OSError:
+            continue
+        stamped.append((mtime, name[: -len(".json")]))
+    stamped.sort(reverse=True)
+    loaded: list[tuple[str, dict]] = []
+    for _, key_hash in stamped[: max(0, limit)]:
+        entry = load_entry(key_hash, directory)
+        if entry is not None:
+            loaded.append((key_hash, entry))
+    return loaded

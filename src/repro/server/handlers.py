@@ -7,6 +7,21 @@ built engines) — each request gets a shallow copy of the cached engine,
 so per-call mutable state (``last_usage``, ``last_report``) is private
 to the request while the expensive resolved model and codec are shared.
 
+The cache has two levels:
+
+1. the in-process LRU, keyed by the SHA-256 of the canonical spec text
+   plus codec plus backend;
+2. a host-wide disk level (:mod:`repro.server.enginecache`): every build
+   publishes a record under the same key, so sibling workers in a pool
+   (and future restarts) recognize an already-tuned spec-hash, skip
+   re-canonicalization, and go straight to the shared native-artifact
+   cache instead of recompiling.  Workers can preload the hottest
+   records at startup so warm-up is paid before the first request.
+
+Connections additionally carry a small *hash memo* (spec text → key
+hash), so a client pushing many requests for the same spec down one
+connection pays the parse/canonicalize/SHA-256 once, not per request.
+
 Every handler returns ``(meta, payload)``: a JSON-safe dict for the
 RESPONSE header plus the raw result bytes.  Errors are raised as the
 library's typed exceptions; the daemon maps them onto stable protocol
@@ -23,59 +38,150 @@ from typing import Callable
 
 from repro.errors import ProtocolError, SpecError
 from repro.runtime.engine import TraceEngine
+from repro.server import enginecache
 from repro.server.limits import ServerConfig
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import report_to_dict
 from repro.spec import format_spec, parse_spec
 
+#: Per-connection hash-memo entries kept before dropping the oldest —
+#: one client cycling more distinct specs than this down one connection
+#: is no longer a hot path worth memoizing.
+MEMO_CAPACITY = 64
+
+
+def spec_cache_key(canonical: str, codec: str, backend: str) -> str:
+    """The stable engine-cache key: canonical spec + codec + backend."""
+    return hashlib.sha256(
+        canonical.encode() + b"\x00" + codec.encode() + b"\x00" + backend.encode()
+    ).hexdigest()
+
 
 class CompressorCache:
     """Thread-safe LRU of built :class:`TraceEngine` templates.
 
-    Keyed by the SHA-256 of the *canonical* spec text plus the codec
-    name plus the configured backend, so syntactic variants of the same
+    Keyed by :func:`spec_cache_key`, so syntactic variants of the same
     specification share one entry.  ``get`` returns ``(template,
     canonical_hash, hit)``; callers must ``copy.copy`` the template
-    before use (see module docstring).
+    before use (see module docstring).  When ``disk`` is set, misses
+    consult and builds publish the host-wide disk level.
     """
 
-    def __init__(self, capacity: int, metrics: ServerMetrics) -> None:
+    def __init__(
+        self, capacity: int, metrics: ServerMetrics, disk: bool = False
+    ) -> None:
         self.capacity = max(1, capacity)
+        self.disk = disk
         self._metrics = metrics
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, TraceEngine]" = OrderedDict()
 
-    def get(
-        self, spec_text: str, codec: str, backend: str = "auto"
-    ) -> tuple[TraceEngine, str, bool]:
-        # Parse outside the lock: spec errors must not poison the cache,
-        # and parsing is cheap next to building predictor tables.
-        spec = parse_spec(spec_text)
-        canonical = format_spec(spec)
-        key_hash = hashlib.sha256(
-            canonical.encode() + b"\x00" + codec.encode() + b"\x00" + backend.encode()
-        ).hexdigest()
+    def _lookup(self, key_hash: str) -> TraceEngine | None:
         with self._lock:
             engine = self._entries.get(key_hash)
             if engine is not None:
                 self._entries.move_to_end(key_hash)
                 self._metrics.cache_hits.child().inc()
-                return engine, key_hash, True
-        engine = TraceEngine(spec, codec=codec, backend=backend)
+            return engine
+
+    def _insert(self, key_hash: str, engine: TraceEngine) -> tuple[TraceEngine, bool]:
+        """Install ``engine`` unless a racing request beat us to it."""
         with self._lock:
-            # A racing request may have built the same engine; keep the
-            # first one so every requester shares a single template.
             existing = self._entries.get(key_hash)
             if existing is not None:
                 self._entries.move_to_end(key_hash)
                 self._metrics.cache_hits.child().inc()
-                return existing, key_hash, True
+                return existing, True
             self._entries[key_hash] = engine
             self._metrics.cache_misses.child().inc()
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._metrics.cache_evictions.child().inc()
-        return engine, key_hash, False
+        return engine, False
+
+    def get(
+        self,
+        spec_text: str,
+        codec: str,
+        backend: str = "auto",
+        memo: "OrderedDict[tuple, str] | None" = None,
+    ) -> tuple[TraceEngine, str, bool]:
+        # Per-connection fast path: a memoized key hash skips the parse,
+        # canonicalization, and SHA-256 entirely when the engine is still
+        # resident — the common shape of a client streaming many requests
+        # for one spec down one connection.
+        memo_key = (spec_text, codec, backend)
+        if memo is not None:
+            key_hash = memo.get(memo_key)
+            if key_hash is not None:
+                engine = self._lookup(key_hash)
+                if engine is not None:
+                    return engine, key_hash, True
+
+        # Parse outside the lock: spec errors must not poison the cache,
+        # and parsing is cheap next to building predictor tables.
+        spec = parse_spec(spec_text)
+        canonical = format_spec(spec)
+        key_hash = spec_cache_key(canonical, codec, backend)
+        if memo is not None:
+            memo[memo_key] = key_hash
+            while len(memo) > MEMO_CAPACITY:
+                memo.popitem(last=False)
+        engine = self._lookup(key_hash)
+        if engine is not None:
+            return engine, key_hash, True
+
+        if self.disk:
+            # The disk record cannot carry the in-memory tables, but a
+            # hit proves a sibling worker already tuned this spec-hash:
+            # the native artifact is shared on disk, so resolving the
+            # backend below loads the compiled kernel instead of
+            # recompiling it.
+            if enginecache.load_entry(key_hash) is not None:
+                self._metrics.engine_disk_hits.child().inc()
+            else:
+                self._metrics.engine_disk_misses.child().inc()
+        engine = TraceEngine(spec, codec=codec, backend=backend)
+        engine, hit = self._insert(key_hash, engine)
+        if self.disk and not hit:
+            native = None
+            if engine.backend == "native":  # resolves the backend (lazy)
+                decision = engine._backend()
+                native = decision.kernel.path if decision.kernel else None
+            enginecache.store_entry(
+                key_hash,
+                canonical,
+                codec,
+                backend,
+                resolved_backend=engine.backend,
+                native_artifact=native,
+            )
+        return engine, key_hash, hit
+
+    def preload_from_disk(self, limit: int) -> int:
+        """Rebuild up to ``limit`` recently used engines from the disk
+        level (startup warm-up); returns how many were installed."""
+        if not self.disk or limit <= 0:
+            return 0
+        loaded = 0
+        for key_hash, entry in enginecache.preload_entries(min(limit, self.capacity)):
+            try:
+                spec = parse_spec(entry["canonical_spec"])
+                engine = TraceEngine(
+                    spec,
+                    codec=str(entry.get("codec", "bzip2")),
+                    backend=str(entry.get("backend", "auto")),
+                )
+                engine._backend()  # resolve now: load the native artifact
+            except Exception:  # noqa: BLE001 - stale records must not kill startup
+                continue
+            with self._lock:
+                if key_hash not in self._entries and len(self._entries) < self.capacity:
+                    self._entries[key_hash] = engine
+                    loaded += 1
+        if loaded:
+            self._metrics.engines_preloaded.child().inc(loaded)
+        return loaded
 
     def __len__(self) -> int:
         with self._lock:
@@ -88,11 +194,13 @@ class Handlers:
     def __init__(self, config: ServerConfig, metrics: ServerMetrics) -> None:
         self.config = config
         self.metrics = metrics
-        self.cache = CompressorCache(config.cache_size, metrics)
+        self.cache = CompressorCache(
+            config.cache_size, metrics, disk=config.engine_disk_cache
+        )
 
     # -- shared helpers -----------------------------------------------------
 
-    def _engine_for(self, params: dict) -> TraceEngine:
+    def _engine_for(self, params: dict, memo=None) -> TraceEngine:
         spec_text = params.get("spec")
         if not isinstance(spec_text, str) or not spec_text:
             raise ProtocolError("missing required string param 'spec'")
@@ -103,7 +211,7 @@ class Handlers:
         codec = params.get("codec", "bzip2")
         if not isinstance(codec, str):
             raise ProtocolError("param 'codec' must be a string")
-        template, _, _ = self.cache.get(spec_text, codec, self.config.backend)
+        template, _, _ = self.cache.get(spec_text, codec, self.config.backend, memo)
         # Shallow copy: shares the resolved model/codec/format, gives the
         # request private last_usage/last_report slots.
         return copy.copy(template)
@@ -137,14 +245,15 @@ class Handlers:
         params: dict,
         payload: bytes,
         cancel: Callable[[], bool] | None,
+        memo: "OrderedDict[tuple, str] | None" = None,
     ) -> tuple[dict, bytes]:
         handler = getattr(self, f"op_{op}", None)
         if handler is None:
             raise ProtocolError(f"unknown op {op!r}")
-        return handler(params, payload, cancel)
+        return handler(params, payload, cancel, memo)
 
-    def op_compress(self, params, payload, cancel):
-        engine = self._engine_for(params)
+    def op_compress(self, params, payload, cancel, memo=None):
+        engine = self._engine_for(params, memo)
         blob = engine.compress(
             payload,
             chunk_records=self._chunk_records(params),
@@ -154,8 +263,8 @@ class Handlers:
         self._count_backend(engine)
         return {"raw_size": len(payload), "blob_size": len(blob)}, blob
 
-    def op_decompress(self, params, payload, cancel):
-        engine = self._engine_for(params)
+    def op_decompress(self, params, payload, cancel, memo=None):
+        engine = self._engine_for(params, memo)
         raw = engine.decompress(
             payload,
             workers=self._workers(params),
@@ -166,8 +275,8 @@ class Handlers:
         self._count_backend(engine)
         return {"raw_size": len(raw), "blob_size": len(payload)}, raw
 
-    def op_salvage(self, params, payload, cancel):
-        engine = self._engine_for(params)
+    def op_salvage(self, params, payload, cancel, memo=None):
+        engine = self._engine_for(params, memo)
         raw = engine.decompress(
             payload,
             workers=self._workers(params),
@@ -183,7 +292,7 @@ class Handlers:
             meta["report"] = report_to_dict(engine.last_report)
         return meta, raw
 
-    def op_analyze(self, params, payload, cancel):
+    def op_analyze(self, params, payload, cancel, memo=None):
         from repro.analysis import analyze_trace, recommend_spec
         from repro.tio import VPC_FORMAT
 

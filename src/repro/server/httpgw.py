@@ -1,0 +1,598 @@
+"""HTTP/1.1 gateway in front of the ``tcgen-serve`` worker pool.
+
+A minimal, dependency-free HTTP server hosted in the supervisor process.
+It exists for two reasons:
+
+- **reachability** — ``curl``/httpie/load balancers can drive the
+  service without speaking the framed TCP protocol;
+- **placement** — the gateway, not the kernel, picks the worker: each
+  request's canonical-spec hash is looked up on a consistent-hash ring
+  (:mod:`repro.server.ring`) and proxied over the owning worker's
+  private control socket, so one spec's engine (predictor tables +
+  compiled kernel) stays hot in exactly one process.
+
+Endpoints::
+
+    POST /v1/compress?spec=...|preset=tcgen_a[&codec=...][&chunk_records=...]
+    POST /v1/decompress?spec=...|preset=...[&codec=...]
+    GET  /healthz          liveness + per-worker and pool-level snapshots
+    GET  /metrics          merged Prometheus exposition (worker="N" labels
+                           per sample, plus tcgen_pool_* aggregates)
+
+Request/response bodies are raw ``application/octet-stream`` trace and
+container bytes.  Typed daemon errors surface as JSON
+``{"code", "message"}`` with conventional statuses (429 + Retry-After
+for backpressure, 422 for corruption, 504 for a fired deadline, ...).
+The gateway walks the ring's preference order when the owner is
+unreachable or saturated, so failover is deterministic per key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+import json
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.errors import SpecError
+from repro.server import protocol
+from repro.server.handlers import spec_cache_key
+from repro.server.limits import ServerConfig
+from repro.server.metrics import aggregate_snapshots, merge_expositions
+from repro.server.protocol import RequestHeader, decode_json_payload
+from repro.server.ring import HashRing
+from repro.spec import format_spec, parse_spec
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+#: Named specs accepted as ``?preset=`` (spelled as in the paper).
+PRESETS = {
+    "tcgen_a": TCGEN_A_SPEC,
+    "tcgen_b": TCGEN_B_SPEC,
+    "a": TCGEN_A_SPEC,
+    "b": TCGEN_B_SPEC,
+}
+
+#: Protocol error code -> HTTP status line.
+HTTP_STATUS = {
+    "bad_request": (400, "Bad Request"),
+    "spec_error": (400, "Bad Request"),
+    "trace_format": (400, "Bad Request"),
+    "checksum": (422, "Unprocessable Content"),
+    "truncated": (422, "Unprocessable Content"),
+    "corrupt": (422, "Unprocessable Content"),
+    "payload_too_large": (413, "Content Too Large"),
+    "backpressure": (429, "Too Many Requests"),
+    "deadline_exceeded": (504, "Gateway Timeout"),
+    "shutting_down": (503, "Service Unavailable"),
+    "internal": (500, "Internal Server Error"),
+}
+
+#: Idle proxied connections kept per worker.
+LINK_POOL_SIZE = 8
+
+#: Spec-text -> routing-key memo entries (the gateway-side analogue of
+#: the per-connection memo inside the daemon).
+ROUTE_MEMO_SIZE = 128
+
+#: Timeout for health/metrics fan-out to one worker (seconds).
+CONTROL_TIMEOUT = 5.0
+
+
+class _WireError(Exception):
+    """An ERROR frame from a worker, with its original wire code."""
+
+    def __init__(self, code: str, message: str, retry_after_ms=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+
+class _HttpError(Exception):
+    """A request the gateway itself rejects (no worker involved)."""
+
+    def __init__(self, status: int, reason: str, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.code = code
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    header = await reader.readexactly(protocol.HEADER_SIZE)
+    frame_type, length = protocol.decode_header(header)
+    payload = await reader.readexactly(length) if length else b""
+    return frame_type, payload
+
+
+class _WorkerLink:
+    """Async framed-protocol client to one worker's control socket, with
+    a small idle-connection pool (one in-flight request per connection,
+    per the protocol's strict ordering)."""
+
+    def __init__(self, worker_id: int, host: str, port: int) -> None:
+        self.worker_id = worker_id
+        self.host = host
+        self.port = port
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._next_id = 1
+
+    async def _connection(self):
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not writer.is_closing():
+                return reader, writer
+        return await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), 5.0
+        )
+
+    def _release(self, conn) -> None:
+        if len(self._idle) < LINK_POOL_SIZE and not conn[1].is_closing():
+            self._idle.append(conn)
+        else:
+            conn[1].close()
+
+    def close(self) -> None:
+        while self._idle:
+            self._idle.pop()[1].close()
+
+    async def request(
+        self,
+        op: str,
+        params: dict,
+        payload: bytes,
+        deadline_ms: int | None,
+        timeout: float,
+    ) -> tuple[dict, bytes]:
+        """One framed request; returns ``(response_header, payload)``.
+
+        Raises :class:`_WireError` for ERROR frames and lets connection
+        and timeout failures propagate for the caller's failover walk.
+        """
+        conn = await self._connection()
+        try:
+            result = await asyncio.wait_for(
+                self._roundtrip(conn, op, params, payload, deadline_ms), timeout
+            )
+        except BaseException:
+            conn[1].close()
+            raise
+        self._release(conn)
+        return result
+
+    async def _roundtrip(self, conn, op, params, payload, deadline_ms):
+        reader, writer = conn
+        request_id = self._next_id
+        self._next_id += 1
+        header = RequestHeader(
+            op=op,
+            request_id=request_id,
+            payload_size=len(payload),
+            deadline_ms=deadline_ms,
+            params=params,
+        )
+        writer.write(header.encode())
+        if op not in protocol.PAYLOADLESS_OPS:
+            await writer.drain()
+            frame_type, frame_payload = await _read_frame(reader)
+            if frame_type == protocol.ERROR:
+                raise self._wire_error(frame_payload)
+            if frame_type != protocol.CONTINUE:
+                raise ConnectionError(
+                    f"expected CONTINUE from worker, got frame {frame_type}"
+                )
+            view = memoryview(payload)
+            for start in range(0, len(payload), protocol.DATA_CHUNK):
+                writer.write(
+                    protocol.encode_frame(
+                        protocol.DATA, view[start : start + protocol.DATA_CHUNK]
+                    )
+                )
+            writer.write(protocol.encode_frame(protocol.END))
+        await writer.drain()
+        frame_type, frame_payload = await _read_frame(reader)
+        if frame_type == protocol.ERROR:
+            raise self._wire_error(frame_payload)
+        if frame_type != protocol.RESPONSE:
+            raise ConnectionError(
+                f"expected RESPONSE from worker, got frame {frame_type}"
+            )
+        response = decode_json_payload(frame_payload)
+        declared = response.get("payload_size", 0)
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            frame_type, data = await _read_frame(reader)
+            if frame_type == protocol.END:
+                break
+            if frame_type != protocol.DATA:
+                raise ConnectionError(
+                    f"expected DATA or END from worker, got frame {frame_type}"
+                )
+            total += len(data)
+            chunks.append(data)
+        if total != declared:
+            raise ConnectionError(
+                f"worker declared {declared} bytes but sent {total}"
+            )
+        return response, b"".join(chunks)
+
+    @staticmethod
+    def _wire_error(frame_payload: bytes) -> _WireError:
+        header = decode_json_payload(frame_payload)
+        return _WireError(
+            str(header.get("code", "internal")),
+            str(header.get("message", "unknown worker error")),
+            header.get("retry_after_ms"),
+        )
+
+
+class HttpGateway:
+    """The gateway's connection handler + routing state (module docs)."""
+
+    def __init__(
+        self, config: ServerConfig, workers: list[tuple[int, str, int]]
+    ) -> None:
+        self.config = config
+        self.links = {
+            worker_id: _WorkerLink(worker_id, host, port)
+            for worker_id, host, port in workers
+        }
+        self.ring = HashRing(self.links)
+        self._route_memo: OrderedDict = OrderedDict()
+
+    # -- routing -------------------------------------------------------------
+
+    def _route_key(self, spec_text: str, codec: str) -> str:
+        """The canonical-spec hash used for ring placement — the same key
+        the workers' engine caches use, so placement matches residency."""
+        memo_key = (spec_text, codec)
+        key = self._route_memo.get(memo_key)
+        if key is None:
+            canonical = format_spec(parse_spec(spec_text))
+            key = spec_cache_key(canonical, codec, self.config.backend)
+            self._route_memo[memo_key] = key
+            while len(self._route_memo) > ROUTE_MEMO_SIZE:
+                self._route_memo.popitem(last=False)
+        return key
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while await self._handle_one(reader, writer):
+                pass
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        try:
+            head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), 60.0)
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            return False
+        except asyncio.LimitOverrunError:
+            self._respond_error(
+                writer, 431, "Request Header Fields Too Large",
+                "bad_request", "request head too large", close=True,
+            )
+            await writer.drain()
+            return False
+        try:
+            method, target, headers = self._parse_head(head)
+        except ValueError:
+            self._respond_error(
+                writer, 400, "Bad Request", "bad_request",
+                "malformed request head", close=True,
+            )
+            await writer.drain()
+            return False
+        keep_alive = headers.get("connection", "").lower() != "close"
+        try:
+            body = await self._read_body(reader, writer, headers)
+            status, reason, resp_headers, resp_body = await self._dispatch(
+                method, target, body
+            )
+        except _HttpError as exc:
+            self._respond_error(
+                writer, exc.status, exc.reason, exc.code, str(exc),
+                close=not keep_alive,
+            )
+            await writer.drain()
+            return keep_alive
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return False
+        self._respond(
+            writer, status, reason, resp_headers, resp_body, close=not keep_alive
+        )
+        await writer.drain()
+        return keep_alive
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, str, dict]:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+        if not version.startswith("HTTP/1."):
+            raise ValueError(version)
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    async def _read_body(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: dict,
+    ) -> bytes:
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, "Bad Request", "bad_request",
+                f"bad Content-Length {raw_length!r}",
+            ) from None
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _HttpError(
+                411, "Length Required", "bad_request",
+                "chunked uploads are not supported; send Content-Length",
+            )
+        if length > self.config.max_payload_bytes:
+            raise _HttpError(
+                413, "Content Too Large", "payload_too_large",
+                f"payload of {length} bytes exceeds the "
+                f"{self.config.max_payload_bytes}-byte cap",
+            )
+        if "100-continue" in headers.get("expect", "").lower():
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            await writer.drain()
+        if length == 0:
+            return b""
+        return await asyncio.wait_for(
+            reader.readexactly(length), self.config.read_timeout_s
+        )
+
+    def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        reason: str,
+        headers: list[tuple[str, str]],
+        body: bytes,
+        close: bool,
+    ) -> None:
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers)
+        lines.append(f"Content-Length: {len(body)}")
+        lines.append("Connection: " + ("close" if close else "keep-alive"))
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+
+    def _respond_error(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        reason: str,
+        code: str,
+        message: str,
+        close: bool,
+        retry_after_ms=None,
+    ) -> None:
+        body = json.dumps({"code": code, "message": message}).encode()
+        headers = [("Content-Type", "application/json")]
+        if retry_after_ms is not None:
+            headers.append(("Retry-After", str(max(1, -(-retry_after_ms // 1000)))))
+        self._respond(writer, status, reason, headers, body, close)
+
+    # -- endpoint dispatch ---------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, str, list[tuple[str, str]], bytes]:
+        split = urlsplit(target)
+        path = unquote(split.path)
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(
+                    405, "Method Not Allowed", "bad_request", "use GET"
+                )
+            return await self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(
+                    405, "Method Not Allowed", "bad_request", "use GET"
+                )
+            return await self._metrics()
+        if path in ("/v1/compress", "/v1/decompress"):
+            if method != "POST":
+                raise _HttpError(
+                    405, "Method Not Allowed", "bad_request", "use POST"
+                )
+            query = parse_qs(split.query, keep_blank_values=True)
+            return await self._proxy(path.rsplit("/", 1)[1], query, body)
+        raise _HttpError(
+            404, "Not Found", "bad_request", f"unknown path {path!r}"
+        )
+
+    @staticmethod
+    def _query_value(query: dict, name: str) -> str | None:
+        values = query.get(name)
+        return values[-1] if values else None
+
+    def _resolve_params(self, query: dict) -> tuple[dict, str, str]:
+        preset = self._query_value(query, "preset")
+        spec_text = self._query_value(query, "spec")
+        if preset is not None:
+            spec_text = PRESETS.get(preset.lower())
+            if spec_text is None:
+                raise _HttpError(
+                    400, "Bad Request", "bad_request",
+                    f"unknown preset {preset!r}; expected one of "
+                    f"{sorted(set(PRESETS))}",
+                )
+        if not spec_text:
+            raise _HttpError(
+                400, "Bad Request", "bad_request",
+                "pass ?spec=<urlencoded spec text> or ?preset=tcgen_a|tcgen_b",
+            )
+        codec = self._query_value(query, "codec") or "bzip2"
+        params: dict = {"spec": spec_text, "codec": codec}
+        chunk_records = self._query_value(query, "chunk_records")
+        if chunk_records is not None:
+            params["chunk_records"] = (
+                "auto" if chunk_records == "auto" else self._int_param(
+                    "chunk_records", chunk_records
+                )
+            )
+        workers = self._query_value(query, "workers")
+        if workers is not None:
+            params["workers"] = self._int_param("workers", workers)
+        return params, spec_text, codec
+
+    @staticmethod
+    def _int_param(name: str, value: str) -> int:
+        try:
+            return int(value)
+        except ValueError:
+            raise _HttpError(
+                400, "Bad Request", "bad_request",
+                f"query param {name!r} must be an integer, got {value!r}",
+            ) from None
+
+    async def _proxy(
+        self, op: str, query: dict, body: bytes
+    ) -> tuple[int, str, list[tuple[str, str]], bytes]:
+        params, spec_text, codec = self._resolve_params(query)
+        deadline_raw = self._query_value(query, "deadline_ms")
+        deadline_ms = (
+            self._int_param("deadline_ms", deadline_raw)
+            if deadline_raw is not None
+            else None
+        )
+        try:
+            key = self._route_key(spec_text, codec)
+        except SpecError as exc:
+            raise _HttpError(400, "Bad Request", "spec_error", str(exc)) from exc
+        timeout = (
+            min(
+                deadline_ms / 1000.0 if deadline_ms else
+                self.config.default_deadline_s,
+                self.config.max_deadline_s,
+            )
+            + 30.0
+        )
+        soft_failure: _WireError | None = None
+        for worker_id in self.ring.preference(key):
+            try:
+                response, payload = await self.links[worker_id].request(
+                    op, params, body, deadline_ms, timeout
+                )
+            except _WireError as exc:
+                if exc.code in ("backpressure", "shutting_down"):
+                    # The owner is saturated or going away; the next ring
+                    # member is this key's deterministic backup.
+                    soft_failure = exc
+                    continue
+                status, reason = HTTP_STATUS.get(exc.code, (500, "Internal Server Error"))
+                raise _HttpError(status, reason, exc.code, str(exc)) from exc
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                continue
+            meta = response.get("meta") or {}
+            headers = [
+                ("Content-Type", "application/octet-stream"),
+                ("X-TCGen-Worker", str(response.get("worker", worker_id))),
+                ("X-TCGen-Raw-Size", str(meta.get("raw_size", ""))),
+                ("X-TCGen-Blob-Size", str(meta.get("blob_size", ""))),
+            ]
+            return 200, "OK", headers, payload
+        if soft_failure is not None:
+            status, reason = HTTP_STATUS[soft_failure.code]
+            raise _HttpError(status, reason, soft_failure.code, str(soft_failure))
+        raise _HttpError(
+            502, "Bad Gateway", "internal", "no worker answered the request"
+        )
+
+    # -- fan-out endpoints ---------------------------------------------------
+
+    async def _worker_snapshot(self, link: _WorkerLink):
+        response, _ = await link.request("health", {}, b"", None, CONTROL_TIMEOUT)
+        return response.get("meta") or {}
+
+    async def _healthz(self) -> tuple[int, str, list[tuple[str, str]], bytes]:
+        ordered = sorted(self.links)
+        results = await asyncio.gather(
+            *(self._worker_snapshot(self.links[wid]) for wid in ordered),
+            return_exceptions=True,
+        )
+        workers: dict[str, dict] = {}
+        reachable: dict[str, dict] = {}
+        for worker_id, result in zip(ordered, results):
+            if isinstance(result, BaseException):
+                workers[str(worker_id)] = {
+                    "status": "unreachable",
+                    "error": f"{type(result).__name__}: {result}",
+                }
+            else:
+                workers[str(worker_id)] = result
+                reachable[str(worker_id)] = result
+        healthy = len(reachable) == len(ordered) and all(
+            snap.get("status") == "ok" for snap in reachable.values()
+        )
+        payload = {
+            "status": "ok" if healthy else "degraded",
+            "workers": workers,
+            "pool": aggregate_snapshots(reachable),
+            "worker_count": len(ordered),
+            "workers_up": len(reachable),
+        }
+        body = json.dumps(payload, sort_keys=True).encode()
+        status = 200 if healthy else 503
+        reason = "OK" if healthy else "Service Unavailable"
+        return status, reason, [("Content-Type", "application/json")], body
+
+    async def _metrics(self) -> tuple[int, str, list[tuple[str, str]], bytes]:
+        ordered = sorted(self.links)
+
+        async def one(link: _WorkerLink):
+            _, exposition = await link.request(
+                "metrics", {}, b"", None, CONTROL_TIMEOUT
+            )
+            snapshot = await self._worker_snapshot(link)
+            return exposition.decode(), snapshot
+
+        results = await asyncio.gather(
+            *(one(self.links[wid]) for wid in ordered), return_exceptions=True
+        )
+        expositions: dict[str, str] = {}
+        snapshots: dict[str, dict] = {}
+        for worker_id, result in zip(ordered, results):
+            if isinstance(result, BaseException):
+                continue
+            expositions[str(worker_id)], snapshots[str(worker_id)] = result
+        lines = [merge_expositions(expositions).rstrip("\n")]
+        lines.append("# HELP tcgen_pool_workers Configured pool size.")
+        lines.append("# TYPE tcgen_pool_workers gauge")
+        lines.append(f"tcgen_pool_workers {len(ordered)}")
+        lines.append("# HELP tcgen_pool_workers_up Workers that answered the scrape.")
+        lines.append("# TYPE tcgen_pool_workers_up gauge")
+        lines.append(f"tcgen_pool_workers_up {len(expositions)}")
+        for key, value in sorted(aggregate_snapshots(snapshots).items()):
+            lines.append(f"# TYPE tcgen_pool_{key} gauge")
+            lines.append(f"tcgen_pool_{key} {value}")
+        body = ("\n".join(line for line in lines if line) + "\n").encode()
+        headers = [("Content-Type", "text/plain; version=0.0.4")]
+        return 200, "OK", headers, body

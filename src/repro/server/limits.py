@@ -16,7 +16,7 @@ from dataclasses import dataclass, field, replace
 import os
 
 from repro.runtime.parallel import available_parallelism
-from repro.server.protocol import DEFAULT_PORT
+from repro.server.protocol import DEFAULT_HTTP_PORT, DEFAULT_PORT
 from repro.tio.container import DEFAULT_MAX_CHUNK_BYTES
 
 
@@ -92,6 +92,40 @@ class ServerConfig:
     #: Emit a structured stats log line every this many seconds (0 = off).
     stats_interval_s: float = 0.0
 
+    # -- worker pool (repro.server.supervisor) ---------------------------
+
+    #: Worker processes in the pool.  0 = one per available CPU.  Each
+    #: worker is a full asyncio daemon accepting on the shared port
+    #: (SO_REUSEPORT when available, shared-socket pre-fork otherwise).
+    workers: int = 0
+
+    #: This process's position in the pool; ``None`` outside a pool.
+    #: Set by the supervisor, surfaced in ``health``, response headers,
+    #: and the ``[wN]`` stats-line prefix.
+    worker_id: int | None = None
+
+    #: HTTP gateway bind port (0 picks a free port); ``http_enabled``
+    #: turns the gateway off entirely.
+    http_port: int = DEFAULT_HTTP_PORT
+    http_enabled: bool = True
+
+    #: Engines to rebuild from the shared disk cache at worker startup
+    #: (0 = lazy only).  Bounded by ``cache_size`` either way.
+    preload_engines: int = 0
+
+    #: Publish/consult the disk-backed second-level engine cache.
+    engine_disk_cache: bool = True
+
+    #: Crashed-worker restart backoff: first delay, doubling to the cap;
+    #: reset after a worker stays up ``restart_reset_s``.
+    restart_backoff_s: float = 0.2
+    restart_backoff_max_s: float = 5.0
+    restart_reset_s: float = 30.0
+
+    def resolved_workers(self) -> int:
+        """The concrete pool size (``workers=0`` means per-CPU)."""
+        return self.workers if self.workers > 0 else available_parallelism()
+
     def validated(self) -> "ServerConfig":
         """Clamp obviously broken values instead of crashing at runtime."""
         cfg = self
@@ -105,6 +139,14 @@ class ServerConfig:
             cfg = replace(cfg, engine_workers=1)
         if cfg.backend not in ("auto", "python", "native"):
             cfg = replace(cfg, backend="auto")
+        if cfg.workers < 0:
+            cfg = replace(cfg, workers=0)
+        if cfg.preload_engines < 0:
+            cfg = replace(cfg, preload_engines=0)
+        if cfg.restart_backoff_s <= 0:
+            cfg = replace(cfg, restart_backoff_s=0.2)
+        if cfg.restart_backoff_max_s < cfg.restart_backoff_s:
+            cfg = replace(cfg, restart_backoff_max_s=cfg.restart_backoff_s)
         return cfg
 
 
@@ -113,9 +155,10 @@ def config_from_env(base: ServerConfig | None = None) -> ServerConfig:
 
     Recognized: ``TCGEN_SERVE_HOST``, ``TCGEN_SERVE_PORT``,
     ``TCGEN_SERVE_QUEUE_LIMIT``, ``TCGEN_SERVE_EXEC_WORKERS``,
-    ``TCGEN_SERVE_MAX_PAYLOAD_MB``, ``TCGEN_SERVE_BACKEND``.
-    Command-line flags win over the environment; the environment wins
-    over defaults.
+    ``TCGEN_SERVE_MAX_PAYLOAD_MB``, ``TCGEN_SERVE_BACKEND``,
+    ``TCGEN_SERVE_WORKERS``, ``TCGEN_SERVE_HTTP_PORT`` (``off``
+    disables the gateway).  Command-line flags win over the
+    environment; the environment wins over defaults.
     """
     cfg = base or ServerConfig()
     env = os.environ
@@ -123,10 +166,14 @@ def config_from_env(base: ServerConfig | None = None) -> ServerConfig:
         cfg = replace(cfg, host=env["TCGEN_SERVE_HOST"])
     if "TCGEN_SERVE_BACKEND" in env:
         cfg = replace(cfg, backend=env["TCGEN_SERVE_BACKEND"])
+    if env.get("TCGEN_SERVE_HTTP_PORT", "").lower() in ("off", "none", "disabled"):
+        cfg = replace(cfg, http_enabled=False)
     for name, attr in (
         ("TCGEN_SERVE_PORT", "port"),
         ("TCGEN_SERVE_QUEUE_LIMIT", "queue_limit"),
         ("TCGEN_SERVE_EXEC_WORKERS", "exec_workers"),
+        ("TCGEN_SERVE_WORKERS", "workers"),
+        ("TCGEN_SERVE_HTTP_PORT", "http_port"),
     ):
         if name in env:
             try:

@@ -272,6 +272,21 @@ class ServerMetrics:
             "(python or native).",
             ("backend",),
         )
+        self.engine_disk_hits = self.registry.counter(
+            "tcgen_engine_disk_cache_hits_total",
+            "In-memory engine-cache misses served from the shared "
+            "disk-backed engine cache (no spec re-canonicalization).",
+        )
+        self.engine_disk_misses = self.registry.counter(
+            "tcgen_engine_disk_cache_misses_total",
+            "Engine builds that found no usable disk record and "
+            "published a fresh one.",
+        )
+        self.engines_preloaded = self.registry.counter(
+            "tcgen_engines_preloaded_total",
+            "Engines rebuilt from the disk cache at worker startup, "
+            "before the first request.",
+        )
 
     def cache_hit_rate(self) -> float:
         hits = self.cache_hits.child().value
@@ -304,7 +319,79 @@ class ServerMetrics:
             "cache_misses": int(self.cache_misses.child().value),
             "cache_evictions": int(self.cache_evictions.child().value),
             "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "engine_disk_hits": int(self.engine_disk_hits.child().value),
+            "engine_disk_misses": int(self.engine_disk_misses.child().value),
+            "engines_preloaded": int(self.engines_preloaded.child().value),
         }
 
     def render(self) -> str:
         return self.registry.render()
+
+
+# -- worker-pool aggregation (used by the HTTP gateway) -----------------------
+
+
+def relabel_exposition(text: str, worker: str) -> str:
+    """Inject a ``worker`` label into every sample of an exposition.
+
+    ``name{a="b"} v`` becomes ``name{worker="N",a="b"} v`` and a bare
+    ``name v`` becomes ``name{worker="N"} v``; comment lines pass through
+    untouched.  This is how one worker's registry is made distinguishable
+    in the pool-level ``/metrics`` concatenation.
+    """
+    out: list[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        name_end = len(line)
+        brace = line.find("{")
+        space = line.find(" ")
+        if brace != -1 and (space == -1 or brace < space):
+            out.append(
+                f'{line[:brace]}{{worker="{worker}",{line[brace + 1:]}'
+                if line[brace + 1] != "}"
+                else f'{line[:brace]}{{worker="{worker}"}}{line[brace + 2:]}'
+            )
+            continue
+        if space != -1:
+            name_end = space
+        out.append(f'{line[:name_end]}{{worker="{worker}"}}{line[name_end:]}')
+    return "\n".join(out)
+
+
+def merge_expositions(per_worker: dict[str, str]) -> str:
+    """Combine per-worker expositions into one: ``# HELP``/``# TYPE``
+    emitted once per family, every sample carrying its worker label."""
+    lines: list[str] = []
+    seen_comments: set[str] = set()
+    for worker in sorted(per_worker):
+        for line in relabel_exposition(per_worker[worker], worker).splitlines():
+            if line.startswith("#"):
+                if line in seen_comments:
+                    continue
+                seen_comments.add(line)
+            lines.append(line)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def aggregate_snapshots(snapshots: dict[str, dict]) -> dict:
+    """Sum per-worker flat snapshots into the pool-level totals.
+
+    Additive fields are summed; ``cache_hit_rate`` is recomputed from
+    the summed hits/misses rather than averaged; ``queue_depth`` and
+    ``connections`` (instantaneous gauges) sum meaningfully because they
+    partition across workers.
+    """
+    totals: dict = {}
+    for snap in snapshots.values():
+        for key, value in snap.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if key in ("cache_hit_rate", "uptime_s", "worker"):
+                continue
+            totals[key] = totals.get(key, 0) + value
+    hits = totals.get("cache_hits", 0)
+    misses = totals.get("cache_misses", 0)
+    totals["cache_hit_rate"] = round(hits / (hits + misses), 4) if hits + misses else 0.0
+    return totals

@@ -80,6 +80,9 @@ PROTOCOL_VERSION = 1
 #: Default TCP port for ``tcgen-serve``.
 DEFAULT_PORT = 8737
 
+#: Default port for the worker pool's HTTP/1.1 gateway.
+DEFAULT_HTTP_PORT = 8738
+
 # Frame types.
 REQUEST = 1
 CONTINUE = 2
@@ -138,6 +141,17 @@ def encode_frame(frame_type: int, payload: bytes = b"") -> bytes:
             f"{MAX_FRAME_BYTES}-byte frame cap"
         )
     return HEADER.pack(MAGIC, frame_type, 0, len(payload)) + payload
+
+
+def pack_header_into(buffer: bytearray, frame_type: int, length: int) -> None:
+    """Serialize a frame header into a preallocated 8-byte buffer.
+
+    The hot path for DATA streaming: callers keep one per-connection
+    scratch ``bytearray(HEADER_SIZE)`` and re-pack it per frame instead
+    of allocating a fresh ``header + payload`` concatenation per 256 KiB
+    chunk (which would copy the whole chunk just to prepend 8 bytes).
+    """
+    HEADER.pack_into(buffer, 0, MAGIC, frame_type, 0, length)
 
 
 def decode_header(header: bytes) -> tuple[int, int]:

@@ -1,0 +1,110 @@
+"""Consistent-hash routing of spec-hashes to pool workers.
+
+The worker pool (:mod:`repro.server.supervisor`) keeps one built engine
+hot in exactly one process: the HTTP gateway hashes each request's
+canonical-spec key onto a :class:`HashRing` and proxies the request to
+the owning worker, so a spec's predictor tables and compiled native
+kernel are resident in a single process instead of being rebuilt in all
+of them.  Consistent hashing (a sorted circle of replica points per
+worker) keeps that assignment stable as workers crash and restart:
+removing one worker reassigns only the keys it owned, everything else
+stays where it is.
+
+Keys are hex strings (the canonical-spec-hash of
+:class:`repro.server.handlers.CompressorCache`); worker identities are
+small integers.  The ring is deterministic — the same member set always
+produces the same assignment, on every process that builds it — which is
+what lets the gateway, the supervisor, and tests agree on ownership
+without coordination.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+import hashlib
+
+#: Replica points per worker.  128 keeps the assignment balanced within
+#: a few percent for small pools while the ring stays tiny (N*128 ints).
+DEFAULT_REPLICAS = 128
+
+
+def _point(material: str) -> int:
+    """One ring position: the first 8 bytes of SHA-256, as an int."""
+    return int.from_bytes(
+        hashlib.sha256(material.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash circle mapping string keys to worker ids."""
+
+    def __init__(self, workers=(), replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        self._members: set[int] = set()
+        for worker in workers:
+            self.add(worker)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, worker: int) -> bool:
+        return worker in self._members
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self._members))
+
+    def _rebuild(self) -> None:
+        pairs = sorted(
+            (_point(f"worker:{worker}:{replica}"), worker)
+            for worker in self._members
+            for replica in range(self.replicas)
+        )
+        self._points = [point for point, _ in pairs]
+        self._owners = [owner for _, owner in pairs]
+
+    def add(self, worker: int) -> None:
+        """Add a worker (idempotent)."""
+        if worker in self._members:
+            return
+        self._members.add(worker)
+        self._rebuild()
+
+    def remove(self, worker: int) -> None:
+        """Remove a worker (idempotent); its keys move to the successors."""
+        if worker not in self._members:
+            return
+        self._members.discard(worker)
+        self._rebuild()
+
+    def lookup(self, key: str) -> int:
+        """The worker owning ``key``.  Raises on an empty ring."""
+        if not self._points:
+            raise LookupError("hash ring has no members")
+        index = bisect_right(self._points, _point(f"key:{key}"))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def preference(self, key: str) -> list[int]:
+        """Every member ordered by ring distance from ``key``.
+
+        The first entry is :meth:`lookup`'s answer; the rest are the
+        fallback order the gateway walks when the owner is down, so a
+        key's traffic lands deterministically on the *same* backup.
+        """
+        if not self._points:
+            return []
+        index = bisect_right(self._points, _point(f"key:{key}"))
+        seen: list[int] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(index + offset) % len(self._points)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._members):
+                    break
+        return seen

@@ -1,17 +1,21 @@
 """Self-contained server integration smoke (run by CI).
 
-``python -m repro.server.smoke`` starts a real ``tcgen-serve`` daemon as
-a subprocess on a loopback port, then checks the service contract end to
-end:
+``python -m repro.server.smoke`` starts a real ``tcgen-serve`` worker
+pool as a subprocess on loopback ports, then checks the service
+contract end to end:
 
 1. concurrent client roundtrips — compressed bytes must be identical to
    the local :class:`~repro.runtime.engine.TraceEngine` for every preset
-   spec, under at least 8 concurrent clients;
-2. a deliberately corrupt decompress — must come back as a typed
+   spec, under at least 8 concurrent clients spread across the pool;
+2. the HTTP gateway — a compress/decompress roundtrip through
+   ``POST /v1/compress`` must produce the same bytes as the framed TCP
+   path, ``/healthz`` must report every worker up, and ``/metrics`` must
+   carry per-worker labels plus pool aggregates;
+3. a deliberately corrupt decompress — must come back as a typed
    corruption error frame, never a closed socket or an internal error;
-3. metrics — non-zero request counters and a reported cache hit rate
+4. metrics — non-zero request counters and a reported cache hit rate
    after the workload;
-4. graceful drain — SIGTERM must let the daemon exit 0 with the
+5. graceful drain — SIGTERM must let the supervisor exit 0 with the
    advertised "drained, exiting" line.
 
 Exits non-zero on the first violation, printing what broke.
@@ -21,13 +25,19 @@ from __future__ import annotations
 
 import argparse
 from concurrent.futures import ThreadPoolExecutor
+import json
 import signal
 import subprocess
 import sys
 import time
+import urllib.error
+import urllib.parse
+import urllib.request
 
 
-def _start_daemon(extra_args: list[str]) -> tuple[subprocess.Popen, int]:
+def _start_daemon(
+    extra_args: list[str], want_http: bool = False
+) -> tuple[subprocess.Popen, int, int | None]:
     process = subprocess.Popen(
         [
             sys.executable,
@@ -44,6 +54,8 @@ def _start_daemon(extra_args: list[str]) -> tuple[subprocess.Popen, int]:
         stderr=subprocess.PIPE,
         text=True,
     )
+    port: int | None = None
+    http_port: int | None = None
     deadline = time.monotonic() + 30
     while time.monotonic() < deadline:
         line = process.stderr.readline()
@@ -53,8 +65,14 @@ def _start_daemon(extra_args: list[str]) -> tuple[subprocess.Popen, int]:
             )
         if "listening on" in line:
             port = int(line.rsplit(":", 1)[1])
-            return process, port
-    raise RuntimeError("daemon never printed its listening line")
+        elif "http gateway on" in line:
+            http_port = int(line.rsplit(":", 1)[1])
+        elif "gateway disabled" in line:
+            http_port = None
+            want_http = False
+        if port is not None and (not want_http or http_port is not None):
+            return process, port, http_port
+    raise RuntimeError("daemon never printed its listening line(s)")
 
 
 def _drain_stderr(process: subprocess.Popen) -> str:
@@ -62,7 +80,18 @@ def _drain_stderr(process: subprocess.Popen) -> str:
     return process.stderr.read() if process.stderr else ""
 
 
-def run_smoke(clients: int = 8, roundtrips: int = 3) -> int:
+def _http(
+    method: str, url: str, body: bytes | None = None, timeout: float = 60.0
+) -> tuple[int, dict, bytes]:
+    request = urllib.request.Request(url, data=body, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def run_smoke(clients: int = 8, roundtrips: int = 3, workers: int = 2) -> int:
     from repro.client import TraceClient
     from repro.errors import CompressedFormatError
     from repro.runtime.engine import TraceEngine
@@ -83,7 +112,9 @@ def run_smoke(clients: int = 8, roundtrips: int = 3) -> int:
         return pack_records(VPC_FORMAT, b"VPC3", [pcs, data])
 
     failures: list[str] = []
-    process, port = _start_daemon([])
+    process, port, http_port = _start_daemon(
+        ["--workers", str(workers), "--http-port", "0"], want_http=True
+    )
     # A stderr-draining thread keeps the pipe from blocking the daemon.
     stderr_pool = ThreadPoolExecutor(max_workers=1)
     stderr_future = stderr_pool.submit(_drain_stderr, process)
@@ -121,9 +152,46 @@ def run_smoke(clients: int = 8, roundtrips: int = 3) -> int:
                 failures.extend(result)
         print(
             f"smoke: {clients} clients x {roundtrips} roundtrips x "
-            f"{len(specs)} specs byte-identical: "
+            f"{len(specs)} specs across {workers} workers byte-identical: "
             f"{'FAIL' if failures else 'ok'}"
         )
+
+        # HTTP gateway: same bytes as the framed path, plus health/metrics.
+        if http_port is not None:
+            base = f"http://127.0.0.1:{http_port}"
+            query = urllib.parse.urlencode(
+                {"preset": "tcgen_a", "chunk_records": "auto"}
+            )
+            status, headers, blob = _http(
+                "POST", f"{base}/v1/compress?{query}", raw
+            )
+            if status != 200 or blob != expected["tcgen_a"]:
+                failures.append(
+                    f"gateway compress: status {status}, "
+                    f"{len(blob)} bytes (identical="
+                    f"{blob == expected['tcgen_a']})"
+                )
+            status, _, back = _http(
+                "POST", f"{base}/v1/decompress?{query}", blob
+            )
+            if status != 200 or back != raw:
+                failures.append(f"gateway decompress: status {status}")
+            worker_header = headers.get("X-TCGen-Worker", "")
+            status, _, body = _http("GET", f"{base}/healthz", timeout=15)
+            health_doc = json.loads(body)
+            if status != 200 or health_doc.get("workers_up") != workers:
+                failures.append(f"gateway /healthz: {status} {health_doc}")
+            status, _, body = _http("GET", f"{base}/metrics", timeout=15)
+            metrics_text = body.decode()
+            if 'worker="0"' not in metrics_text:
+                failures.append("gateway /metrics missing worker labels")
+            if "tcgen_pool_requests_ok" not in metrics_text:
+                failures.append("gateway /metrics missing pool aggregates")
+            print(
+                "smoke: http gateway roundtrip identical, served by worker "
+                f"{worker_header!r}; /healthz + /metrics: "
+                f"{'FAIL' if failures else 'ok'}"
+            )
 
         # Deliberately corrupt decompress: typed error, connection survives.
         with TraceClient("127.0.0.1", port, retries=4, backoff=0.02) as client:
@@ -138,15 +206,14 @@ def run_smoke(clients: int = 8, roundtrips: int = 3) -> int:
                     f"corrupt decompress raised {type(exc).__name__}: {exc}"
                 )
             health = client.health()
-            if health.get("requests_ok", 0) < clients * roundtrips:
-                failures.append(f"suspicious health counters: {health}")
             metrics = client.metrics_text()
             if 'tcgen_requests_total{op="compress",status="ok"}' not in metrics:
                 failures.append("metrics exposition missing request counters")
             if "tcgen_compressor_cache_hits_total" not in metrics:
                 failures.append("metrics exposition missing cache hit counters")
             print(
-                f"smoke: health ok={health.get('requests_ok')} "
+                f"smoke: worker {health.get('worker')} health "
+                f"ok={health.get('requests_ok')} "
                 f"cache_hit_rate={health.get('cache_hit_rate')}"
             )
     finally:
@@ -164,7 +231,7 @@ def run_smoke(clients: int = 8, roundtrips: int = 3) -> int:
         failures.append(f"daemon exited {returncode}, expected 0")
     if "drained, exiting" not in stderr_text:
         failures.append("daemon never logged its drain line")
-    if "tcgen-serve stats" not in stderr_text:
+    if "stats uptime_s=" not in stderr_text:
         failures.append("daemon never logged a stats line (--stats-interval)")
     print(f"smoke: SIGTERM drain rc={returncode}: {'FAIL' if returncode else 'ok'}")
 
@@ -180,8 +247,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--roundtrips", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
     args = parser.parse_args(argv)
-    return run_smoke(clients=args.clients, roundtrips=args.roundtrips)
+    return run_smoke(
+        clients=args.clients, roundtrips=args.roundtrips, workers=args.workers
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,353 @@
+"""Pre-fork worker-pool supervisor for ``tcgen-serve``.
+
+``tcgen-serve`` runs as a small process tree::
+
+    supervisor (this module)          asyncio: HTTP gateway, SIGCHLD
+    ├── worker 0  (TraceServer)       asyncio: framed TCP daemon
+    ├── worker 1  (TraceServer)
+    └── ...
+
+Socket strategy
+---------------
+
+The supervisor binds everything *before* forking and keeps every
+listening descriptor open for its whole life:
+
+- **Service port** — one listening socket per worker, all bound to the
+  same ``host:port`` with ``SO_REUSEPORT``, so the kernel load-balances
+  incoming connections across workers with no accept lock and no
+  thundering herd.  Where ``SO_REUSEPORT`` is unavailable (or the bind
+  fails), a single pre-fork socket is shared by every worker instead —
+  same semantics, kernel wakes one accaptor per connection, slightly
+  worse balance.
+- **Control ports** — one private loopback socket per worker (port 0),
+  bound pre-fork so the supervisor knows every worker's address without
+  any IPC.  The HTTP gateway routes through these, which is what makes
+  consistent-hash routing *deterministic*: the gateway picks the worker,
+  not the kernel.
+
+Because fork shares file descriptions, the supervisor's copy of each
+socket keeps the port alive across worker crashes: connections arriving
+while a worker is down queue in the listen backlog and are served by the
+restarted worker — the same file description — instead of being refused.
+
+Lifecycle
+---------
+
+Workers are forked directly (no exec): each child resets inherited
+asyncio/signal state, closes descriptors belonging to siblings and the
+gateway, and runs :class:`repro.server.daemon.TraceServer` on its two
+sockets until SIGTERM.  The supervisor reaps on SIGCHLD and restarts
+crashed workers with exponential backoff (``restart_backoff_s`` doubling
+to ``restart_backoff_max_s``, reset after ``restart_reset_s`` of clean
+uptime).  SIGTERM/SIGINT to the supervisor forwards SIGTERM to every
+worker, waits ``drain_timeout_s`` for in-flight requests to finish,
+SIGKILLs stragglers, and exits 0 — printing the same canonical
+``listening``/``drained`` stderr lines a single-process daemon printed,
+so operators and tests observe an unchanged contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+import os
+import signal
+import socket
+import sys
+import time
+import traceback
+
+from repro.server.daemon import TraceServer
+from repro.server.limits import ServerConfig
+
+#: Listen backlog for every socket the supervisor binds.
+BACKLOG = 128
+
+
+def _log(message: str) -> None:
+    sys.stderr.write(f"tcgen-serve: {message}\n")
+    sys.stderr.flush()
+
+
+def _reap_stragglers() -> None:
+    """Collect any remaining child exit statuses without blocking."""
+    try:
+        while os.waitpid(-1, os.WNOHANG)[0] != 0:
+            pass
+    except (ChildProcessError, OSError):
+        pass
+
+
+def bind_socket(host: str, port: int, *, reuse_port: bool) -> socket.socket:
+    """Bind one listening socket (family resolved from ``host``)."""
+    infos = socket.getaddrinfo(
+        host, port, type=socket.SOCK_STREAM, flags=socket.AI_PASSIVE
+    )
+    family, sock_type, proto, _, addr = infos[0]
+    sock = socket.socket(family, sock_type, proto)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind(addr)
+        sock.listen(BACKLOG)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def bind_service_sockets(
+    host: str, port: int, count: int
+) -> tuple[list[socket.socket], int, bool]:
+    """Bind the shared service port: ``count`` SO_REUSEPORT sockets, or
+    one shared socket where that fails.  Returns ``(sockets,
+    resolved_port, reuseport_used)``."""
+    if hasattr(socket, "SO_REUSEPORT"):
+        socks: list[socket.socket] = []
+        resolved = port
+        try:
+            for _ in range(count):
+                sock = bind_socket(host, resolved, reuse_port=True)
+                if resolved == 0:
+                    resolved = sock.getsockname()[1]
+                socks.append(sock)
+            return socks, resolved, True
+        except OSError:
+            for sock in socks:
+                sock.close()
+    sock = bind_socket(host, port, reuse_port=False)
+    return [sock], sock.getsockname()[1], False
+
+
+class _WorkerSlot:
+    """One worker position: its sockets survive the process occupying it."""
+
+    __slots__ = (
+        "index", "socks", "control_port", "pid", "started_at",
+        "backoff", "restarts",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        socks: list[socket.socket],
+        control_port: int,
+        initial_backoff: float,
+    ) -> None:
+        self.index = index
+        self.socks = socks
+        self.control_port = control_port
+        self.pid: int | None = None
+        self.started_at = 0.0
+        self.backoff = initial_backoff
+        self.restarts = 0
+
+
+class Supervisor:
+    """Owns the sockets, the worker pool, and the gateway (module docs)."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config.validated()
+        self.slots: list[_WorkerSlot] = []
+        self.port = 0
+        self.reuseport = False
+        self._draining = False
+        self._done: asyncio.Event | None = None
+        self._gateway_sock: socket.socket | None = None
+        self._http_server: asyncio.base_events.Server | None = None
+        self._gateway = None
+
+    # -- setup ---------------------------------------------------------------
+
+    def _bind(self) -> None:
+        count = self.config.resolved_workers()
+        service, self.port, self.reuseport = bind_service_sockets(
+            self.config.host, self.config.port, count
+        )
+        for index in range(count):
+            listen = service[index] if self.reuseport else service[0]
+            control = bind_socket("127.0.0.1", 0, reuse_port=False)
+            self.slots.append(
+                _WorkerSlot(
+                    index,
+                    [listen, control],
+                    control.getsockname()[1],
+                    self.config.restart_backoff_s,
+                )
+            )
+
+    # -- worker processes ----------------------------------------------------
+
+    def _spawn(self, slot: _WorkerSlot, verb: str = "started") -> None:
+        pid = os.fork()
+        if pid == 0:
+            self._worker_main(slot)  # never returns
+        slot.pid = pid
+        slot.started_at = time.monotonic()
+        _log(f"worker {slot.index} {verb} (pid {pid})")
+
+    def _worker_main(self, slot: _WorkerSlot) -> None:
+        """Child-process body: shed inherited supervisor state, serve."""
+        status = 1
+        try:
+            signal.set_wakeup_fd(-1)
+            for sig in (signal.SIGTERM, signal.SIGINT, signal.SIGCHLD):
+                signal.signal(sig, signal.SIG_DFL)
+            # Restart forks happen inside the supervisor's running loop;
+            # clear the inherited marker so the child can start its own.
+            asyncio.events._set_running_loop(None)
+            asyncio.set_event_loop(None)
+            mine = {sock.fileno() for sock in slot.socks}
+            for other in self.slots:
+                for sock in other.socks:
+                    if sock.fileno() not in mine:
+                        try:
+                            sock.close()
+                        except OSError:  # pragma: no cover
+                            pass
+            if self._gateway_sock is not None:
+                try:
+                    self._gateway_sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+            config = replace(self.config, worker_id=slot.index)
+            server = TraceServer(config)
+            status = asyncio.run(server.run(list(slot.socks)))
+        except BaseException:  # noqa: BLE001 - the child must never unwind into the parent's stack
+            traceback.print_exc()
+            status = 1
+        finally:
+            sys.stderr.flush()
+            os._exit(status)
+
+    def _slot_for(self, pid: int) -> _WorkerSlot | None:
+        for slot in self.slots:
+            if slot.pid == pid:
+                return slot
+        return None
+
+    # -- supervision loop ----------------------------------------------------
+
+    def _on_sigchld(self) -> None:
+        while True:
+            try:
+                pid, status = os.waitpid(-1, os.WNOHANG)
+            except (ChildProcessError, OSError):
+                return
+            if pid == 0:
+                return
+            slot = self._slot_for(pid)
+            if slot is None:
+                continue
+            slot.pid = None
+            if self._draining:
+                continue
+            if os.WIFSIGNALED(status):
+                detail = f"killed by signal {os.WTERMSIG(status)}"
+            else:
+                detail = f"exit status {os.WEXITSTATUS(status)}"
+            _log(f"worker {slot.index} died ({detail}); restarting")
+            asyncio.ensure_future(self._restart(slot))
+
+    async def _restart(self, slot: _WorkerSlot) -> None:
+        uptime = time.monotonic() - slot.started_at
+        if uptime >= self.config.restart_reset_s:
+            slot.backoff = self.config.restart_backoff_s
+        delay = slot.backoff
+        slot.backoff = min(slot.backoff * 2, self.config.restart_backoff_max_s)
+        await asyncio.sleep(delay)
+        if self._draining:
+            return
+        slot.restarts += 1
+        self._spawn(slot, verb="restarted")
+
+    async def _shutdown(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        if self._http_server is not None:
+            self._http_server.close()
+        for slot in self.slots:
+            if slot.pid is not None:
+                try:
+                    os.kill(slot.pid, signal.SIGTERM)
+                except ProcessLookupError:
+                    slot.pid = None
+        deadline = time.monotonic() + self.config.drain_timeout_s + 5.0
+        while time.monotonic() < deadline and any(
+            slot.pid is not None for slot in self.slots
+        ):
+            await asyncio.sleep(0.05)
+        for slot in self.slots:
+            if slot.pid is not None:
+                _log(f"worker {slot.index} did not drain; killing")
+                try:
+                    os.kill(slot.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                slot.pid = None
+        _reap_stragglers()
+        if self._http_server is not None:
+            await self._http_server.wait_closed()
+        assert self._done is not None
+        self._done.set()
+
+    # -- gateway -------------------------------------------------------------
+
+    async def _start_gateway(self) -> None:
+        from repro.server.httpgw import HttpGateway
+
+        try:
+            self._gateway_sock = bind_socket(
+                self.config.host, self.config.http_port, reuse_port=False
+            )
+        except OSError as exc:
+            # A busy default port must not take the TCP service down with
+            # it; operators who need the gateway pass --http-port.
+            _log(f"warning: http gateway disabled ({exc})")
+            return
+        self._gateway = HttpGateway(
+            self.config,
+            [(slot.index, "127.0.0.1", slot.control_port) for slot in self.slots],
+        )
+        self._http_server = await asyncio.start_server(
+            self._gateway.handle_connection,
+            sock=self._gateway_sock,
+            limit=1 << 20,
+        )
+        port = self._gateway_sock.getsockname()[1]
+        _log(f"http gateway on {self.config.host}:{port}")
+
+    # -- entry ---------------------------------------------------------------
+
+    async def _async_main(self) -> int:
+        loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        loop.add_signal_handler(signal.SIGCHLD, self._on_sigchld)
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self._shutdown())
+            )
+        if self.config.http_enabled:
+            await self._start_gateway()
+        await self._done.wait()
+        _log("drained, exiting")
+        return 0
+
+    def run(self) -> int:
+        self._bind()
+        mode = "SO_REUSEPORT" if self.reuseport else "shared pre-fork socket"
+        # First stderr line is load-bearing: tools parse the bound port
+        # from it exactly as they did for the single-process daemon.
+        _log(f"listening on {self.config.host}:{self.port}")
+        _log(f"pool: {len(self.slots)} worker(s) via {mode}")
+        for slot in self.slots:
+            self._spawn(slot)
+        return asyncio.run(self._async_main())
+
+
+def run_pool(config: ServerConfig) -> int:
+    """Run the full serving tier (pool + gateway); returns the exit code."""
+    return Supervisor(config).run()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import tempfile
 
 import numpy as np
 import pytest
@@ -13,6 +14,13 @@ import pytest
 # to Python everywhere; the dedicated native tests opt back in with
 # TCGEN_NATIVE=1 and a temporary TCGEN_CACHE_DIR.
 os.environ.setdefault("TCGEN_NATIVE", "0")
+
+# Keep the suite hermetic: server instances publish engine-cache records
+# under TCGEN_CACHE_DIR, which must not be the developer's real
+# ~/.cache/tcgen.  Tests that need a private cache still override this.
+os.environ.setdefault(
+    "TCGEN_CACHE_DIR", tempfile.mkdtemp(prefix="tcgen-test-cache-")
+)
 
 from repro.spec import parse_spec, tcgen_a, tcgen_b
 from repro.tio import VPC_FORMAT, pack_records

@@ -1,0 +1,248 @@
+"""Tests for the HTTP/1.1 gateway (``repro.server.httpgw``).
+
+A real two-worker pool runs as a subprocess; requests go through
+``http.client`` so the gateway's hand-rolled HTTP parsing faces a real
+peer.  Byte-identity is checked against a local in-process engine.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import urllib.parse
+
+import pytest
+
+from repro.runtime.engine import TraceEngine
+from repro.spec import parse_spec
+from repro.spec.presets import TCGEN_A_SPEC
+
+from conftest import make_vpc_trace
+from test_supervisor import Pool
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    pool = Pool(["--workers", "2", "--http-port", "0"])
+    line = pool.wait_for_line(lambda l: "http gateway on" in l)
+    pool.http_port = int(line.rsplit(":", 1)[1])
+    pool.worker_pids(2)
+    yield pool
+    assert pool.terminate() == 0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_vpc_trace(n=1500, seed=31)
+
+
+@pytest.fixture(scope="module")
+def local_blob(trace):
+    return TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(
+        trace, chunk_records="auto"
+    )
+
+
+def request(
+    gateway,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    headers: dict | None = None,
+) -> tuple[int, dict, bytes]:
+    conn = http.client.HTTPConnection("127.0.0.1", gateway.http_port, timeout=120)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestRoundtrip:
+    def test_compress_matches_local_engine(self, gateway, trace, local_blob):
+        status, headers, blob = request(
+            gateway,
+            "POST",
+            "/v1/compress?preset=tcgen_a&chunk_records=auto",
+            trace,
+        )
+        assert status == 200
+        assert blob == local_blob
+        assert headers["Content-Type"] == "application/octet-stream"
+        assert headers["X-TCGen-Worker"] in ("0", "1")
+        assert int(headers["X-TCGen-Raw-Size"]) == len(trace)
+        assert int(headers["X-TCGen-Blob-Size"]) == len(blob)
+
+    def test_decompress_roundtrip(self, gateway, trace, local_blob):
+        status, _, raw = request(
+            gateway,
+            "POST",
+            "/v1/decompress?preset=tcgen_a&chunk_records=auto",
+            local_blob,
+        )
+        assert status == 200
+        assert raw == trace
+
+    def test_explicit_spec_same_bytes_as_preset(self, gateway, trace, local_blob):
+        query = urllib.parse.urlencode(
+            {"spec": TCGEN_A_SPEC, "chunk_records": "auto"}
+        )
+        status, _, blob = request(
+            gateway, "POST", f"/v1/compress?{query}", trace
+        )
+        assert status == 200
+        assert blob == local_blob
+
+    def test_ring_routes_a_spec_to_one_worker(self, gateway, trace):
+        owners = set()
+        for _ in range(3):
+            _, headers, _ = request(
+                gateway, "POST", "/v1/compress?preset=tcgen_a", trace
+            )
+            owners.add(headers["X-TCGen-Worker"])
+        assert len(owners) == 1, f"spec bounced between workers: {owners}"
+
+    def test_expect_100_continue(self, gateway, trace, local_blob):
+        """The curl default for large bodies: Expect: 100-continue."""
+        with socket.create_connection(
+            ("127.0.0.1", gateway.http_port), timeout=120
+        ) as sock:
+            head = (
+                "POST /v1/compress?preset=tcgen_a&chunk_records=auto HTTP/1.1\r\n"
+                "Host: localhost\r\n"
+                f"Content-Length: {len(trace)}\r\n"
+                "Expect: 100-continue\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            sock.sendall(head.encode())
+            interim = b""
+            while b"\r\n\r\n" not in interim:
+                interim += sock.recv(256)
+            assert interim.startswith(b"HTTP/1.1 100")
+            sock.sendall(trace)
+            response = b""
+            while chunk := sock.recv(65536):
+                response += chunk
+        status_line, _, rest = response.partition(b"\r\n")
+        assert b"200" in status_line
+        _, _, body = response.partition(b"\r\n\r\n")
+        assert body == local_blob
+
+
+class TestErrorMapping:
+    def test_unknown_preset_400(self, gateway, trace):
+        status, _, body = request(
+            gateway, "POST", "/v1/compress?preset=nope", trace
+        )
+        assert status == 400
+        assert json.loads(body)["code"] == "bad_request"
+
+    def test_missing_spec_400(self, gateway, trace):
+        status, _, body = request(gateway, "POST", "/v1/compress", trace)
+        assert status == 400
+        assert "spec" in json.loads(body)["message"]
+
+    def test_bad_spec_text_400(self, gateway, trace):
+        query = urllib.parse.urlencode({"spec": "not a spec at all"})
+        status, _, body = request(
+            gateway, "POST", f"/v1/compress?{query}", trace
+        )
+        assert status == 400
+        assert json.loads(body)["code"] == "spec_error"
+
+    def test_unknown_path_404(self, gateway):
+        status, _, body = request(gateway, "GET", "/v2/everything")
+        assert status == 404
+        assert json.loads(body)["code"] == "bad_request"
+
+    def test_wrong_method_405(self, gateway):
+        status, _, _ = request(gateway, "GET", "/v1/compress?preset=tcgen_a")
+        assert status == 405
+
+    def test_corrupt_blob_422(self, gateway, local_blob):
+        damaged = bytearray(local_blob)
+        damaged[len(damaged) // 2] ^= 0xFF
+        status, _, body = request(
+            gateway, "POST", "/v1/decompress?preset=tcgen_a", bytes(damaged)
+        )
+        assert status == 422
+        assert json.loads(body)["code"] in ("corrupt", "checksum", "truncated")
+
+    def test_oversized_content_length_413(self, gateway):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", gateway.http_port, timeout=60
+        )
+        try:
+            conn.putrequest("POST", "/v1/compress?preset=tcgen_a")
+            conn.putheader("Content-Length", str(1 << 40))
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 413
+            assert json.loads(response.read())["code"] == "payload_too_large"
+        finally:
+            conn.close()
+
+    def test_chunked_body_411(self, gateway):
+        with socket.create_connection(
+            ("127.0.0.1", gateway.http_port), timeout=60
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/compress?preset=tcgen_a HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Transfer-Encoding: chunked\r\n"
+                b"Connection: close\r\n"
+                b"\r\n"
+            )
+            response = b""
+            while chunk := sock.recv(65536):
+                response += chunk
+        assert b" 411 " in response.split(b"\r\n", 1)[0]
+
+
+class TestHealthAndMetrics:
+    def test_healthz_reports_all_workers(self, gateway):
+        status, headers, body = request(gateway, "GET", "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["workers_up"] == 2
+        assert doc["worker_count"] == 2
+        assert set(doc["workers"]) == {"0", "1"}
+
+    def test_metrics_per_worker_and_pool_aggregates(self, gateway, trace):
+        # Make sure at least one request has been counted.
+        request(gateway, "POST", "/v1/compress?preset=tcgen_a", trace)
+        status, headers, body = request(gateway, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert 'worker="0"' in text
+        assert 'worker="1"' in text
+        assert "tcgen_pool_workers 2" in text
+        assert "tcgen_pool_workers_up 2" in text
+        assert "tcgen_pool_requests_ok" in text
+        # HELP/TYPE lines must not repeat per worker after the merge.
+        help_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("# HELP tcgen_requests_total")
+        ]
+        assert len(help_lines) == 1
+
+    def test_keep_alive_connection_reuse(self, gateway, trace):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", gateway.http_port, timeout=120
+        )
+        try:
+            for _ in range(3):
+                conn.request(
+                    "POST", "/v1/compress?preset=tcgen_a", body=trace
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()

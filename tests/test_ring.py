@@ -1,0 +1,98 @@
+"""Consistent-hash ring: determinism, balance, and minimal movement."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.server.ring import HashRing
+
+
+def keys(n: int, salt: str = "") -> list[str]:
+    return [
+        hashlib.sha256(f"{salt}spec-{i}".encode()).hexdigest() for i in range(n)
+    ]
+
+
+class TestLookup:
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().lookup("abc")
+
+    def test_deterministic_across_instances(self):
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 1, 0, 2])  # insertion order must not matter
+        for key in keys(200):
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_single_worker_gets_everything(self):
+        ring = HashRing([7])
+        assert all(ring.lookup(k) == 7 for k in keys(50))
+
+    def test_members_sorted(self):
+        ring = HashRing([2, 0, 1])
+        assert ring.members == (0, 1, 2)
+
+
+class TestBalance:
+    def test_reasonable_spread_at_four_workers(self):
+        ring = HashRing([0, 1, 2, 3])
+        counts = {w: 0 for w in ring.members}
+        sample = keys(4000)
+        for key in sample:
+            counts[ring.lookup(key)] += 1
+        # With 128 virtual nodes per worker the spread is tight; allow a
+        # generous band so the test does not depend on hash minutiae.
+        for worker, count in counts.items():
+            share = count / len(sample)
+            assert 0.10 < share < 0.45, f"worker {worker} owns {share:.1%}"
+
+
+class TestMinimalMovement:
+    def test_removing_one_worker_moves_only_its_keys(self):
+        before = HashRing([0, 1, 2, 3])
+        after = HashRing([0, 1, 2])
+        moved = 0
+        sample = keys(2000)
+        for key in sample:
+            owner = before.lookup(key)
+            if owner == 3:
+                continue  # its keys must move somewhere
+            if after.lookup(key) != owner:
+                moved += 1
+        assert moved == 0, f"{moved} keys moved off surviving workers"
+
+    def test_adding_a_worker_moves_a_fraction(self):
+        before = HashRing([0, 1, 2])
+        after = HashRing([0, 1, 2, 3])
+        sample = keys(2000)
+        moved = sum(1 for k in sample if before.lookup(k) != after.lookup(k))
+        # Ideal movement is 1/4 of keys; consistent hashing should stay
+        # in the same ballpark, far below the ~3/4 naive-mod reshuffle.
+        assert moved / len(sample) < 0.40
+
+    def test_add_remove_mutators_match_fresh_ring(self):
+        ring = HashRing([0, 1])
+        ring.add(2)
+        fresh = HashRing([0, 1, 2])
+        for key in keys(200):
+            assert ring.lookup(key) == fresh.lookup(key)
+        ring.remove(1)
+        fresh = HashRing([0, 2])
+        for key in keys(200):
+            assert ring.lookup(key) == fresh.lookup(key)
+
+
+class TestPreference:
+    def test_preference_starts_with_owner_and_covers_all(self):
+        ring = HashRing([0, 1, 2, 3])
+        for key in keys(100):
+            order = ring.preference(key)
+            assert order[0] == ring.lookup(key)
+            assert sorted(order) == [0, 1, 2, 3]
+
+    def test_preference_deterministic(self):
+        ring = HashRing([0, 1, 2, 3])
+        for key in keys(50):
+            assert ring.preference(key) == ring.preference(key)

@@ -340,6 +340,37 @@ class TestObservability:
         assert health["cache_hit_rate"] == pytest.approx(2 / 3, abs=1e-4)
 
 
+class TestEngineCacheObservability:
+    """The pool-era additions to the health/metrics surface."""
+
+    def test_engine_disk_metrics_exposed(self, client, trace):
+        client.compress(TCGEN_A_SPEC, trace)
+        health = client.health()
+        assert isinstance(health["engine_disk_hits"], int)
+        assert isinstance(health["engine_disk_misses"], int)
+        assert isinstance(health["engines_preloaded"], int)
+        text = client.metrics_text()
+        assert "tcgen_engine_disk_cache_hits_total" in text
+        assert "tcgen_engine_disk_cache_misses_total" in text
+
+    def test_solo_server_reports_no_worker_id(self, client, trace):
+        client.compress(TCGEN_A_SPEC, trace)
+        assert "worker" not in client.health()
+        assert client.last_worker_id is None
+
+    def test_spec_text_variants_share_one_engine(self, server, trace):
+        """The per-connection memo keys on the text, the cache on the
+        canonical hash: a reformatted spec must not build a second engine."""
+        variant = TCGEN_A_SPEC.replace("\n", "\n\n") + "\n"
+        with TraceClient("127.0.0.1", server.port) as c:
+            first = c.compress(TCGEN_A_SPEC, trace)
+            second = c.compress(variant, trace)
+            health = c.health()
+        assert first == second
+        assert health["cache_misses"] == 1
+        assert health["cache_hits"] == 1
+
+
 class TestGracefulDrain:
     def test_sigterm_drains_and_exits_zero(self):
         process = subprocess.Popen(

@@ -1,0 +1,358 @@
+"""Tests for the pre-fork worker pool (``repro.server.supervisor``).
+
+These run the real ``python -m repro.server`` process model: a
+supervisor that binds SO_REUSEPORT listeners, forks N workers, restarts
+crashed ones with backoff, and drains the pool on SIGTERM.  The
+disk-backed engine-cache handoff between workers is asserted in-process
+at the bottom of the file where the metrics are directly observable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.client import TraceClient
+from repro.runtime.engine import TraceEngine
+from repro.server.daemon import TraceServer
+from repro.server.limits import ServerConfig
+from repro.spec import parse_spec
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+from conftest import make_vpc_trace
+
+_WORKER_LINE = re.compile(r"worker (\d+) (?:started|restarted) \(pid (\d+)\)")
+
+
+class Pool:
+    """A live ``tcgen-serve`` worker pool as a subprocess."""
+
+    def __init__(self, args: list[str], env: dict | None = None) -> None:
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                *args,
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, **(env or {})},
+        )
+        self._lines: list[str] = []
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        self.port = int(
+            self.wait_for_line(lambda l: "listening on" in l).rsplit(":", 1)[1]
+        )
+
+    def _pump(self) -> None:
+        assert self.process.stderr is not None
+        for line in self.process.stderr:
+            with self._lock:
+                self._lines.append(line)
+
+    def stderr_text(self) -> str:
+        with self._lock:
+            return "".join(self._lines)
+
+    def wait_for_line(self, predicate, timeout: float = 30.0) -> str:
+        deadline = time.monotonic() + timeout
+        seen = 0
+        while time.monotonic() < deadline:
+            with self._lock:
+                for line in self._lines[seen:]:
+                    if predicate(line):
+                        return line
+                seen = len(self._lines)
+            if self.process.poll() is not None:
+                raise AssertionError(
+                    f"pool exited rc={self.process.returncode} while waiting; "
+                    f"stderr:\n{self.stderr_text()}"
+                )
+            time.sleep(0.02)
+        raise AssertionError(
+            f"no matching stderr line within {timeout}s; "
+            f"stderr:\n{self.stderr_text()}"
+        )
+
+    def worker_pids(self, count: int) -> dict[int, int]:
+        """Map worker index -> current pid, once ``count`` have reported."""
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            pids: dict[int, int] = {}
+            for match in _WORKER_LINE.finditer(self.stderr_text()):
+                pids[int(match.group(1))] = int(match.group(2))
+            if len(pids) >= count:
+                return pids
+            time.sleep(0.02)
+        raise AssertionError(f"never saw {count} workers:\n{self.stderr_text()}")
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            returncode = self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            returncode = self.process.wait(timeout=10)
+        self._reader.join(timeout=10)
+        return returncode
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+        self._reader.join(timeout=10)
+
+
+@pytest.fixture
+def pool4():
+    handle = Pool(["--workers", "4", "--no-http"])
+    yield handle
+    handle.kill()
+
+
+@pytest.fixture
+def pool2():
+    handle = Pool(["--workers", "2", "--no-http"])
+    yield handle
+    handle.kill()
+
+
+class TestPoolByteIdentity:
+    def test_sixteen_concurrent_clients_across_four_workers(self, pool4):
+        trace = make_vpc_trace(n=2000, seed=11)
+        expected = {
+            text: TraceEngine(parse_spec(text)).compress(
+                trace, chunk_records="auto"
+            )
+            for text in (TCGEN_A_SPEC, TCGEN_B_SPEC)
+        }
+        pool4.worker_pids(4)
+
+        def roundtrip(index: int) -> list[str]:
+            problems = []
+            text = TCGEN_A_SPEC if index % 2 else TCGEN_B_SPEC
+            with TraceClient(
+                "127.0.0.1", pool4.port, retries=8, backoff=0.05
+            ) as client:
+                blob = client.compress(text, trace, chunk_records="auto")
+                if blob != expected[text]:
+                    problems.append(f"client {index}: bytes differ")
+                if client.decompress(text, blob) != trace:
+                    problems.append(f"client {index}: roundtrip lossy")
+            return problems
+
+        with ThreadPoolExecutor(max_workers=16) as executor:
+            failures = [
+                problem
+                for result in executor.map(roundtrip, range(16))
+                for problem in result
+            ]
+        assert failures == []
+        assert pool4.terminate() == 0
+
+
+class TestCrashRestart:
+    def test_worker_killed_mid_request_client_retry_succeeds(self, pool2):
+        pids = pool2.worker_pids(2)
+        small = make_vpc_trace(n=800, seed=3)
+        big = make_vpc_trace(n=120_000, seed=5)
+        expected = TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(
+            big, chunk_records=4096
+        )
+        with TraceClient(
+            "127.0.0.1", pool2.port, retries=10, backoff=0.05
+        ) as client:
+            # Learn which worker this connection landed on.
+            client.compress(TCGEN_A_SPEC, small)
+            victim = client.last_worker_id
+            assert victim in pids
+
+            result: dict = {}
+
+            def long_request() -> None:
+                try:
+                    result["blob"] = client.compress(
+                        TCGEN_A_SPEC, big, chunk_records=4096
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    result["error"] = exc
+
+            thread = threading.Thread(target=long_request)
+            thread.start()
+            time.sleep(0.25)  # let the request get in flight
+            os.kill(pids[victim], signal.SIGKILL)
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "retry never completed"
+
+        assert result.get("error") is None, f"retry failed: {result.get('error')}"
+        assert result["blob"] == expected
+        pool2.wait_for_line(lambda l: f"worker {victim} died" in l)
+        pool2.wait_for_line(lambda l: f"worker {victim} restarted" in l)
+        # The restarted worker serves traffic again.
+        pool2.worker_pids(2)
+        with TraceClient("127.0.0.1", pool2.port, retries=8) as client:
+            assert client.health().get("status") == "ok"
+        assert pool2.terminate() == 0
+
+
+class TestPoolDrain:
+    def test_sigterm_mid_request_response_not_truncated(self, pool2):
+        big = make_vpc_trace(n=120_000, seed=9)
+        expected = TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(
+            big, chunk_records=4096
+        )
+        result: dict = {}
+
+        def long_request() -> None:
+            with TraceClient(
+                "127.0.0.1", pool2.port, retries=2, backoff=0.05
+            ) as client:
+                try:
+                    result["blob"] = client.compress(
+                        TCGEN_A_SPEC, big, chunk_records=4096
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    result["error"] = exc
+
+        thread = threading.Thread(target=long_request)
+        thread.start()
+        time.sleep(0.25)  # in flight before the drain starts
+        pool2.process.send_signal(signal.SIGTERM)
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        returncode = pool2.terminate()
+
+        assert result.get("error") is None, f"drain broke request: {result}"
+        assert result["blob"] == expected
+        assert returncode == 0
+        assert "drained, exiting" in pool2.stderr_text()
+
+
+class _InProcessServer:
+    """A TraceServer on a daemon thread (mirror of test_server harness)."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.server = TraceServer(config)
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("in-process server failed to start")
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            # TraceServer.run() preloads before listening; mirror that here
+            # since this harness drives start()/drain directly.
+            if self.server.config.preload_engines > 0:
+                self.server.handlers.cache.preload_from_disk(
+                    self.server.config.preload_engines
+                )
+            await self.server.start()
+            self._started.set()
+            await self.server._drain_requested.wait()
+            await self.server._drain()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=15)
+
+
+class TestSharedEngineCache:
+    """The disk level hands built engines from one worker to the next."""
+
+    def test_second_worker_first_request_hits_disk_cache(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path))
+        trace = make_vpc_trace(n=1200, seed=21)
+
+        first = _InProcessServer(ServerConfig(port=0))
+        try:
+            with TraceClient("127.0.0.1", first.port, retries=4) as client:
+                blob_first = client.compress(TCGEN_A_SPEC, trace)
+                health = client.health()
+            assert health["engine_disk_misses"] >= 1
+            assert health["engine_disk_hits"] == 0
+        finally:
+            first.stop()
+
+        # A brand-new server process-equivalent: empty in-memory cache,
+        # same TCGEN_CACHE_DIR.  Its *first* request must be a disk hit.
+        second = _InProcessServer(ServerConfig(port=0))
+        try:
+            with TraceClient("127.0.0.1", second.port, retries=4) as client:
+                blob_second = client.compress(TCGEN_A_SPEC, trace)
+                health = client.health()
+            assert health["engine_disk_hits"] >= 1
+            assert blob_second == blob_first
+        finally:
+            second.stop()
+
+    def test_preload_warms_cache_from_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path))
+        trace = make_vpc_trace(n=1200, seed=22)
+
+        first = _InProcessServer(ServerConfig(port=0))
+        try:
+            with TraceClient("127.0.0.1", first.port, retries=4) as client:
+                client.compress(TCGEN_B_SPEC, trace)
+        finally:
+            first.stop()
+
+        second = _InProcessServer(ServerConfig(port=0, preload_engines=8))
+        try:
+            with TraceClient("127.0.0.1", second.port, retries=4) as client:
+                client.compress(TCGEN_B_SPEC, trace)
+                health = client.health()
+            assert health["engines_preloaded"] >= 1
+            # The preloaded engine made the first request an in-memory hit.
+            assert health["cache_hits"] >= 1
+        finally:
+            second.stop()
+
+    def test_disk_cache_can_be_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path))
+        trace = make_vpc_trace(n=800, seed=23)
+        server = _InProcessServer(ServerConfig(port=0, engine_disk_cache=False))
+        try:
+            with TraceClient("127.0.0.1", server.port, retries=4) as client:
+                client.compress(TCGEN_A_SPEC, trace)
+                health = client.health()
+            assert health["engine_disk_hits"] == 0
+            assert health["engine_disk_misses"] == 0
+        finally:
+            server.stop()
+        # Nothing was published to the shared disk level.
+        engines_dir = tmp_path / "engines"
+        assert not engines_dir.exists() or not any(engines_dir.iterdir())
