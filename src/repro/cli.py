@@ -24,6 +24,13 @@
     the concurrency lint over Python sources (``--asynccheck``), or run
     the full repository self-check (``--self-check``).
 
+``tcgen-stream``
+    Inspect and recover crash-safe v4 stream archives: ``info`` scans
+    the durable frame inventory without needing the spec, ``recover``
+    salvages the raw trace from a truncated or torn file.  A clean
+    truncation (cut at a flush boundary, torn final flush, damaged
+    trailer) exits 0 with a report — only real corruption exits 2.
+
 Every tool accepts ``--version``.
 
 Exit statuses are uniform across the tools: 0 success, 1 tool failure,
@@ -327,6 +334,13 @@ def lint_main(argv: list[str] | None = None) -> int:
         "linting specifications",
     )
     parser.add_argument(
+        "--flush-policy", action="append", default=[], metavar="KEY=VALUE",
+        help="also lint a streaming flush policy against each spec "
+        "(TC026: flush window too small to compress well); keys: "
+        "max_records, max_bytes, max_latency_ms, rate (records/s); "
+        "repeatable",
+    )
+    parser.add_argument(
         "--self-check", action="store_true",
         help="run the full repository self-check (presets, embedded "
         "specs, codegen verification, concurrency lint)",
@@ -355,15 +369,44 @@ def lint_main(argv: list[str] | None = None) -> int:
                 return 1
             diagnostics = check_paths(args.paths)
         else:
-            from repro.lint.speclint import lint_spec_text
+            from repro.lint.speclint import (
+                FLUSH_POLICY_KEYS,
+                lint_flush_policy,
+                lint_spec_text,
+            )
+
+            policy: dict[str, int] = {}
+            for item in args.flush_policy:
+                key, sep, value = item.partition("=")
+                if not sep or key not in FLUSH_POLICY_KEYS:
+                    print(
+                        f"tcgen-lint: bad --flush-policy {item!r}: want "
+                        f"KEY=VALUE with KEY one of {', '.join(FLUSH_POLICY_KEYS)}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                policy[key] = int(value)
+
+            def lint_source(text: str, path: str) -> list:
+                found = lint_spec_text(text, path=path)
+                if policy:
+                    from repro.errors import SpecError
+                    from repro.spec import parse_spec
+
+                    try:
+                        spec = parse_spec(text)
+                    except SpecError:
+                        return found  # already reported as TC012/TC013
+                    found += lint_flush_policy(spec, policy, path=path)
+                return found
 
             diagnostics = []
             if args.paths:
                 for path in args.paths:
                     with open(path, encoding="utf-8") as handle:
-                        diagnostics += lint_spec_text(handle.read(), path=path)
+                        diagnostics += lint_source(handle.read(), path)
             else:
-                diagnostics = lint_spec_text(sys.stdin.read(), path="<stdin>")
+                diagnostics = lint_source(sys.stdin.read(), "<stdin>")
     except OSError as exc:
         print(f"tcgen-lint: {exc}", file=sys.stderr)
         return 1
@@ -380,6 +423,86 @@ def lint_main(argv: list[str] | None = None) -> int:
     if errors or (args.strict and diagnostics):
         return EXIT_SPEC
     return 0
+
+
+def stream_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-stream``: v4 stream inspection/recovery."""
+    parser = argparse.ArgumentParser(
+        prog="tcgen-stream",
+        description="Inspect and recover crash-safe v4 stream archives.",
+        epilog="Exit status: 0 for an intact archive or a clean truncation "
+        "(open stream, torn final flush, damaged trailer), 2 when chunks "
+        "were corrupted or the stream head is unreadable, 1 on tool failure.",
+    )
+    _add_version(parser)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser(
+        "info", help="scan the durable frame inventory (no spec needed)"
+    )
+    info.add_argument("file", help="v4 stream archive")
+
+    recover = commands.add_parser(
+        "recover", help="salvage the raw trace from a (possibly torn) archive"
+    )
+    recover.add_argument("file", help="v4 stream archive")
+    recover.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="trace specification the stream was written with",
+    )
+    recover.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write recovered trace bytes to FILE (atomically) "
+        "instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.file, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        print(f"tcgen-stream: {exc}", file=sys.stderr)
+        return 1
+
+    if args.command == "info":
+        from repro.tio.streamv4 import scan_stream
+
+        try:
+            scan = scan_stream(blob)
+        except ReproError as exc:
+            return _fail("tcgen-stream", exc)
+        state = "closed" if scan.closed else ("torn" if scan.torn else "open")
+        print(f"fingerprint:   {scan.fingerprint:#018x}")
+        print(f"chunk cap:     {scan.chunk_records} records")
+        print(f"chunks:        {scan.chunk_count}")
+        print(f"records:       {scan.records}")
+        print(f"durable bytes: {scan.data_end} of {len(blob)}")
+        print(f"state:         {state}")
+        return 0
+
+    from repro.runtime.engine import TraceEngine
+    from repro.spec import parse_spec
+
+    try:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = parse_spec(handle.read())
+    except OSError as exc:
+        print(f"tcgen-stream: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        return _fail("tcgen-stream", exc)
+
+    engine = TraceEngine(spec)
+    try:
+        raw = engine.decompress(blob, mode="salvage")
+    except ReproError as exc:
+        return _fail("tcgen-stream", exc)
+    report = engine.last_report
+    print(report.render(), file=sys.stderr)
+    _write_output(args.output, raw)
+    if report.intact or report.clean_truncation:
+        return 0
+    return EXIT_CORRUPT
 
 
 def serve_main(argv: list[str] | None = None) -> int:

@@ -53,6 +53,7 @@ from repro.errors import (
     BackpressureError,
     ProtocolError,
     ServiceUnavailableError,
+    StreamClosedError,
 )
 from repro.server import protocol
 from repro.server.protocol import (
@@ -60,12 +61,14 @@ from repro.server.protocol import (
     RequestHeader,
     decode_json_payload,
     encode_frame,
+    encode_json_frame,
     exception_for,
     report_from_dict,
 )
+from repro.streaming import StreamWatermark
 from repro.tio.container import DecodeReport
 
-__all__ = ["TraceClient", "DEFAULT_PORT"]
+__all__ = ["RemoteStream", "TraceClient", "DEFAULT_PORT"]
 
 #: File-object streaming reads use this chunk size (one DATA frame each).
 _STREAM_CHUNK = protocol.DATA_CHUNK
@@ -509,3 +512,318 @@ class TraceClient:
             sink=sink,
         )
         return written
+
+    # -- streaming ingestion -------------------------------------------------
+
+    def open_stream(
+        self,
+        spec_text: str,
+        stream_id: str,
+        *,
+        codec: str = "bzip2",
+        chunk_records: int | None = None,
+        fsync: bool | None = None,
+        max_records: int | None = None,
+        max_bytes: int | None = None,
+        max_latency_ms: int | None = None,
+        deadline: float | None = None,
+    ) -> "RemoteStream":
+        """Open (or resume) a durable server-side stream (see
+        :class:`RemoteStream`).
+
+        ``stream_id`` names the archive under the server's stream
+        directory; reopening the same id resumes its durable prefix.  The
+        ``max_*`` knobs set the server-side flush policy; without them the
+        stream flushes on explicit :meth:`RemoteStream.flush` calls and
+        when a chunk fills.  ``deadline`` bounds the whole session
+        (server default 300 s) — long-lived producers should pass a
+        larger one and expect to resume across it.
+        """
+        params: dict = {"spec": spec_text, "codec": codec, "stream": stream_id}
+        if chunk_records is not None:
+            params["chunk_records"] = chunk_records
+        if fsync is not None:
+            params["fsync"] = bool(fsync)
+        for name, value in (
+            ("max_records", max_records),
+            ("max_bytes", max_bytes),
+            ("max_latency_ms", max_latency_ms),
+        ):
+            if value is not None:
+                params[name] = value
+        from repro.spec import parse_spec
+
+        spec = parse_spec(spec_text)
+        header_bytes = spec.header_bits // 8
+        record_bytes = sum(f.bits for f in spec.fields) // 8
+        return RemoteStream(self, params, deadline, header_bytes, record_bytes)
+
+
+def _watermark_from(data: dict) -> StreamWatermark:
+    return StreamWatermark(
+        records=int(data.get("records", 0)),
+        bytes=int(data.get("bytes", 0)),
+        chunks=int(data.get("chunks", 0)),
+    )
+
+
+class RemoteStream:
+    """A crash-safe ``stream-compress`` session (create via
+    :meth:`TraceClient.open_stream`).
+
+    The writer appends raw trace bytes and drives durability with
+    :meth:`flush`: every flush is acked by the server with the durable
+    watermark — records at or below it survive any subsequent crash of
+    the server *or* this client.  Raw bytes past the last acked
+    watermark are retained locally; when the connection drops (worker
+    crash, network, server drain) the next operation transparently
+    reconnects, reopens the stream (the server recovers the durable
+    prefix and reports its watermark), replays exactly the unacked
+    suffix, and carries on.  Because chunk-frame boundaries are set by
+    flush positions, a resumed run that flushes at the same record
+    counts produces a byte-identical archive to an uninterrupted one.
+
+    On first open against an already-populated stream the server's
+    recovered watermark becomes the starting position: check
+    :attr:`skip_bytes` and skip that many bytes of your source before
+    appending the rest.
+
+    ``close()`` seals the archive with its trailer; ``detach()`` ends
+    the session leaving the stream open for a later writer.
+    """
+
+    def __init__(
+        self,
+        client: TraceClient,
+        params: dict,
+        deadline: float | None,
+        header_bytes: int,
+        record_bytes: int,
+    ) -> None:
+        self._client = client
+        self._params = params
+        self._deadline_ms = (
+            None if deadline is None else max(1, int(deadline * 1000))
+        )
+        self._header_bytes = header_bytes
+        self._record_bytes = record_bytes
+        #: Logical position: total raw bytes this stream holds, counting
+        #: everything durable on the server plus everything appended here.
+        self._appended = 0
+        #: The unacked suffix of the logical stream, kept for replay.
+        self._buffer = bytearray()
+        self._acked = StreamWatermark(0, 0, 0)
+        self.closed = False
+        #: True when the server recovered an existing archive at open.
+        self.resumed = False
+        #: Times the session was re-established after a drop (0 = the
+        #: initial open never failed over); tests read this to assert a
+        #: failover actually happened.
+        self.reconnects = -1
+        self._open()
+        #: Logical bytes already durable when this writer attached —
+        #: skip this many source bytes before appending.
+        self.skip_bytes = self._appended
+
+    # -- positions -----------------------------------------------------------
+
+    @property
+    def acked(self) -> StreamWatermark:
+        """The last durable watermark the server acked."""
+        return self._acked
+
+    @property
+    def unacked_bytes(self) -> int:
+        """Raw bytes buffered locally awaiting a durable ack."""
+        return len(self._buffer)
+
+    def _logical_durable(self, mark: StreamWatermark) -> int:
+        """Map a server watermark onto a logical raw-byte position."""
+        if mark.bytes <= 0:
+            return 0
+        # A non-empty archive always holds the prologue, hence the header.
+        return self._header_bytes + mark.records * self._record_bytes
+
+    # -- session establishment ----------------------------------------------
+
+    def _open(self) -> None:
+        """Open the session, retrying busy/unreachable servers."""
+        attempt = 0
+        while True:
+            try:
+                self._client.connect()
+                self._handshake()
+                self.reconnects += 1
+                return
+            except BackpressureError as exc:
+                # Queue full, or the stream lock is held by a session the
+                # server has not reaped yet (our own previous one).
+                if attempt >= self._client.retries:
+                    raise
+                self._client._sleep(attempt, floor=exc.retry_after)
+            except (ConnectionError, OSError, ServiceUnavailableError):
+                self._client.close()
+                if attempt >= self._client.retries:
+                    raise
+                self._client._sleep(attempt)
+            attempt += 1
+
+    def _handshake(self) -> None:
+        client = self._client
+        request_id = client._next_id
+        client._next_id += 1
+        header = RequestHeader(
+            op="stream-compress",
+            request_id=request_id,
+            payload_size=None,
+            deadline_ms=self._deadline_ms,
+            params=self._params,
+        )
+        client._send(header.encode())
+        frame_type, payload = client._read_frame()
+        if frame_type == protocol.ERROR:
+            client._raise_error(payload)
+        if frame_type != protocol.CONTINUE:
+            raise ProtocolError(
+                f"expected CONTINUE or ERROR, got frame type {frame_type}"
+            )
+        hello = decode_json_payload(payload)
+        client._note_worker(hello)
+        self.resumed = bool(hello.get("resumed"))
+        mark = _watermark_from(hello.get("watermark") or {})
+        durable = self._logical_durable(mark)
+        start = self._appended - len(self._buffer)
+        if self.reconnects < 0:
+            # First open: adopt the server's recovered position wholesale.
+            self._appended = durable
+        elif durable < start:
+            raise ProtocolError(
+                f"server stream lost acked data: durable through byte "
+                f"{durable}, but bytes before {start} were already acked"
+            )
+        elif durable > self._appended:
+            raise ProtocolError(
+                f"server stream is ahead of this writer (byte {durable} "
+                f"> {self._appended}): another producer wrote it"
+            )
+        else:
+            # Drop what the server already holds; keep the rest for replay.
+            del self._buffer[: durable - start]
+        self._acked = mark
+        if self._buffer:
+            client._send_data_frames(bytes(self._buffer))
+
+    def _reconnect(self) -> None:
+        """Reopen after a drop, tolerating a close that already landed."""
+        self._client.close()
+        try:
+            self._open()
+        except StreamClosedError:
+            # The trailer hit the disk before the connection died: the
+            # stream is complete and every appended record is durable.
+            records = max(
+                0, (self._appended - self._header_bytes) // self._record_bytes
+            )
+            self._acked = StreamWatermark(
+                records=records, bytes=self._acked.bytes, chunks=self._acked.chunks
+            )
+            self._buffer.clear()
+            self.closed = True
+
+    # -- the write path ------------------------------------------------------
+
+    def append(self, data: bytes) -> None:
+        """Buffer and send raw trace bytes (not yet durable — see
+        :meth:`flush`)."""
+        if self.closed:
+            raise ValueError("stream is closed")
+        if not data:
+            return
+        self._appended += len(data)
+        self._buffer += data
+        try:
+            self._client._send_data_frames(data)
+        except (ConnectionError, OSError, ServiceUnavailableError):
+            self._reconnect()
+
+    def flush(self) -> StreamWatermark:
+        """Make everything appended durable; returns the acked watermark."""
+        return self._flush(close=False)
+
+    def close(self) -> StreamWatermark:
+        """Flush, seal the archive with its trailer, and end the session."""
+        if self.closed:
+            return self._acked
+        mark = self._flush(close=True)
+        self.closed = True
+        self._finish_session()
+        return mark
+
+    def detach(self) -> StreamWatermark:
+        """Flush and end the session, leaving the stream open on the
+        server — a later :meth:`TraceClient.open_stream` resumes it."""
+        if self.closed:
+            return self._acked
+        mark = self._flush(close=False)
+        self.closed = True
+        self._finish_session()
+        return mark
+
+    def __enter__(self) -> "RemoteStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Leave the stream open and durable through the last ack;
+            # dropping the connection is exactly the crash the server
+            # is built to recover from.
+            self._client.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush(self, close: bool) -> StreamWatermark:
+        directive = {"close": True} if close else {}
+        while True:
+            try:
+                self._client._send(encode_json_frame(protocol.FLUSH, directive))
+                frame_type, payload = self._client._read_frame()
+                if frame_type == protocol.ERROR:
+                    self._client._raise_error(payload)
+                if frame_type != protocol.ACK:
+                    raise ProtocolError(
+                        f"expected ACK or ERROR, got frame type {frame_type}"
+                    )
+                ack = decode_json_payload(payload)
+                mark = _watermark_from(ack.get("watermark") or {})
+                durable = self._logical_durable(mark)
+                start = self._appended - len(self._buffer)
+                if durable > start:
+                    del self._buffer[: durable - start]
+                self._acked = mark
+                return mark
+            except (ConnectionError, OSError, ServiceUnavailableError):
+                self._reconnect()
+                if self.closed:
+                    return self._acked
+
+    def _finish_session(self) -> None:
+        """Best-effort END/RESPONSE teardown; durability already landed."""
+        client = self._client
+        try:
+            client._send(encode_frame(protocol.END))
+            frame_type, payload = client._read_frame()
+            if frame_type == protocol.ERROR:
+                client._raise_error(payload)
+            if frame_type != protocol.RESPONSE:
+                raise ProtocolError(
+                    f"expected RESPONSE or ERROR, got frame type {frame_type}"
+                )
+            response = decode_json_payload(payload)
+            client._note_worker(response)
+            declared = response.get("payload_size", 0)
+            if isinstance(declared, int) and declared >= 0:
+                client._read_result_payload(declared, lambda _data: None)
+        except (ConnectionError, OSError, ServiceUnavailableError):
+            client.close()

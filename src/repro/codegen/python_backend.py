@@ -398,6 +398,7 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     _emit_container_helpers(w, bool(spec.header_bits))
     _emit_fresh_tables(w, plans)
     _emit_compress(w, model, plans, order)
+    _emit_streaming(w, bool(spec.header_bits))
     _emit_decompress(w, model, plans, order)
     _emit_usage_report(w, model, plans)
     _emit_main(w)
@@ -672,6 +673,94 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
             w.line("cmetas.append((count, metas))")
         w.line("return cmetas, pos")
     w.line()
+    with w.block("def _parse_v4_frame(blob, pos, chunk_records):"):
+        w.line('"""Parse one v4 chunk frame at ``pos``: (index, count, pairs, end).')
+        w.line("")
+        w.line('    Raises ValueError; a message starting with "torn" means the')
+        w.line("    frame runs past the end of the data (truncation, not damage).")
+        w.line('    """')
+        with w.block('if blob[pos : pos + 4] != b"TCCK":'):
+            w.line('raise ValueError("bad chunk frame magic")')
+        with w.block("try:"):
+            w.line("length, body = _read_varint(blob, pos + 4)")
+        with w.block("except ValueError as exc:"):
+            with w.block('if "truncated" in str(exc):'):
+                w.line('raise ValueError("torn chunk frame")')
+            w.line("raise")
+        with w.block("if length < 7:"):
+            w.line('raise ValueError("chunk frame impossibly short")')
+        w.line("end = body + length")
+        with w.block("if end > len(blob):"):
+            w.line('raise ValueError("torn chunk frame")')
+        with w.block(
+            'if _crc32c(blob[pos : end - 4]) != int.from_bytes(blob[end - 4 : end], "little"):'
+        ):
+            w.line('raise ValueError("chunk frame checksum mismatch")')
+        w.line("index, fpos = _read_varint(blob, body)")
+        w.line("count, fpos = _read_varint(blob, fpos)")
+        with w.block("if count < 1 or count > chunk_records:"):
+            w.line('raise ValueError("bad chunk record count")')
+        w.line("stream_count, fpos = _read_varint(blob, fpos)")
+        with w.block("if stream_count != CHUNK_STREAMS:"):
+            w.line('raise ValueError("unexpected stream count")')
+        w.line("metas = []")
+        with w.block("for _ in range(stream_count):"):
+            w.line("raw_length, stored, fpos = _read_stream_meta(blob, fpos)")
+            w.line("metas.append((raw_length, stored))")
+        w.line("pairs = []")
+        with w.block("for raw_length, stored in metas:"):
+            with w.block("if fpos + stored > end - 4:"):
+                w.line('raise ValueError("stream payload overruns its frame")')
+            w.line("pairs.append((blob[fpos : fpos + stored], raw_length))")
+            w.line("fpos += stored")
+        with w.block("if fpos != end - 4:"):
+            w.line('raise ValueError("frame length mismatch")')
+        w.line("return index, count, pairs, end")
+    w.line()
+    with w.block("def _parse_v4_trailer(blob, pos):"):
+        w.line('"""Parse the v4 clean-close trailer: (ok, record_count, end)."""')
+        with w.block("try:"):
+            w.line("total, tpos = _read_varint(blob, pos + 4)")
+            w.line("table_len, tpos = _read_varint(blob, tpos)")
+            with w.block("if table_len > len(blob):"):
+                w.line("return False, 0, pos")
+            with w.block("for _ in range(table_len):"):
+                w.line("_count, tpos = _read_varint(blob, tpos)")
+                w.line("_bytes, tpos = _read_varint(blob, tpos)")
+            with w.block("if tpos + 4 > len(blob):"):
+                w.line("return False, 0, pos")
+            with w.block(
+                'if _crc32c(blob[pos : tpos]) != int.from_bytes(blob[tpos : tpos + 4], "little"):'
+            ):
+                w.line("return False, 0, pos")
+            w.line("return True, total, tpos + 4")
+        with w.block("except ValueError:"):
+            w.line("return False, 0, pos")
+    w.line()
+    with w.block("def _find_v4_resync(blob, start, chunk_records):"):
+        w.line('"""Scan for the next CRC-valid frame or trailer boundary (-1: none)."""')
+        w.line("pos = start")
+        with w.block("while True:"):
+            w.line('c = blob.find(b"TCCK", pos)')
+            w.line('t = blob.find(b"TCST", pos)')
+            w.line("spots = [s for s in (c, t) if s >= 0]")
+            with w.block("if not spots:"):
+                w.line("return -1")
+            w.line("cand = min(spots)")
+            with w.block("if cand == t and cand != c:"):
+                w.line("ok, _total, _end = _parse_v4_trailer(blob, cand)")
+                with w.block("if ok:"):
+                    w.line("return cand")
+                w.line("pos = cand + 1")
+                w.line("continue")
+            with w.block("try:"):
+                w.line("_parse_v4_frame(blob, cand, chunk_records)")
+                w.line("return cand")
+            with w.block("except ValueError as exc:"):
+                with w.block('if str(exc).startswith("torn"):'):
+                    w.line("return -1")
+                w.line("pos = cand + 1")
+    w.line()
     head_item = "head_pair, " if has_header else ""
     with w.block("def _decode_container(blob, salvage=False):"):
         w.line(f'"""Parse any container version into (records, {head_item}chunks, lost).')
@@ -684,8 +773,10 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
         with w.block('if len(blob) < 13 or blob[:4] != b"TCGN":'):
             w.line('raise ValueError("not a TCgen container")')
         w.line("version = blob[4]")
+        w.line("# v3/v4 re-check the fingerprint after their metadata CRC held,")
+        w.line("# so a flipped fingerprint bit reads as corruption, not mismatch.")
         with w.block(
-            'if version != 3 and int.from_bytes(blob[5:13], "little") != FINGERPRINT:'
+            'if version not in (3, 4) and int.from_bytes(blob[5:13], "little") != FINGERPRINT:'
         ):
             w.line('raise ValueError("compressed trace does not match this specification")')
         with w.block("if version == 1:"):
@@ -709,6 +800,104 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
                 w.line("return record_count, pairs[0], [(0, record_count, pairs[1:])], []")
             else:
                 w.line("return record_count, [(0, record_count, pairs)], []")
+        with w.block("if version == 4:"):
+            w.line("# v4: append-only stream framing — prologue, self-framed chunk")
+            w.line("# frames, optional clean-close trailer (no upfront record count).")
+            w.line("chunk_records, pos = _read_varint(blob, 13)")
+            with w.block("if chunk_records < 1:"):
+                w.line('raise ValueError("bad chunk record cap")')
+            w.line("global_count, pos = _read_varint(blob, pos)")
+            with w.block(f"if global_count != {1 if has_header else 0}:"):
+                w.line('raise ValueError("unexpected global stream count")')
+            if has_header:
+                w.line("_raw, _stored, pos = _read_stream_meta(blob, pos)")
+                w.line("gmeta = (_raw, _stored)")
+            with w.block("if pos + 4 > len(blob):"):
+                w.line('raise ValueError("truncated container")')
+            with w.block(
+                'if _crc32c(blob[:pos]) != int.from_bytes(blob[pos : pos + 4], "little"):'
+            ):
+                w.line('raise ValueError("stream prologue checksum mismatch")')
+            with w.block('if int.from_bytes(blob[5:13], "little") != FINGERPRINT:'):
+                w.line('raise ValueError("compressed trace does not match this specification")')
+            w.line("pos += 4")
+            w.line("lost = []")
+            if has_header:
+                w.line("gsize = gmeta[1]")
+                w.line("end = pos + gsize + 4")
+                w.line("head_pair = None")
+                with w.block(
+                    "if end <= len(blob) and _crc32c(blob[pos : pos + gsize]) == "
+                    'int.from_bytes(blob[pos + gsize : end], "little"):'
+                ):
+                    w.line("head_pair = (blob[pos : pos + gsize], gmeta[0])")
+                with w.block("elif not salvage:"):
+                    with w.block("if end > len(blob):"):
+                        w.line('raise ValueError("truncated container")')
+                    w.line('raise ValueError("header stream checksum mismatch")')
+                with w.block("else:"):
+                    w.line('lost.append((-1, "header stream damaged"))')
+                w.line("pos = min(end, len(blob))")
+            w.line("chunks = []")
+            w.line("expected = 0")
+            w.line("total = None")
+            with w.block("while pos < len(blob):"):
+                with w.block('if blob[pos : pos + 4] == b"TCST":'):
+                    w.line("ok, trailer_total, tend = _parse_v4_trailer(blob, pos)")
+                    with w.block("if ok and tend == len(blob):"):
+                        w.line("total = trailer_total")
+                        w.line("pos = tend")
+                        w.line("break")
+                    with w.block("if not salvage:"):
+                        w.line('raise ValueError("stream trailer damaged")')
+                with w.block("try:"):
+                    w.line(
+                        "index, count, cpairs, end = _parse_v4_frame(blob, pos, chunk_records)"
+                    )
+                with w.block("except ValueError as exc:"):
+                    w.line('torn = str(exc).startswith("torn")')
+                    with w.block("if not salvage:"):
+                        w.line("raise")
+                    w.line("nxt = _find_v4_resync(blob, pos + 1, chunk_records)")
+                    with w.block("if nxt < 0:"):
+                        w.line("# Nothing valid beyond: a torn tail loses no acked")
+                        w.line("# records, anything else condemns the pending chunk.")
+                        with w.block("if not torn:"):
+                            w.line(
+                                'lost.append((expected, "damaged data at byte offset %d" % pos))'
+                            )
+                        w.line("break")
+                    w.line("pos = nxt")
+                    w.line("continue")
+                with w.block("if index < expected:"):
+                    with w.block("if not salvage:"):
+                        w.line('raise ValueError("chunk frame out of order")')
+                    w.line("pos = end")
+                    w.line("continue")
+                with w.block("if index > expected:"):
+                    with w.block("if not salvage:"):
+                        w.line('raise ValueError("chunk frame index gap")')
+                    with w.block("for missing in range(expected, index):"):
+                        with w.block("if all(entry[0] != missing for entry in lost):"):
+                            w.line(
+                                'lost.append((missing, "chunk frame missing from stream"))'
+                            )
+                    w.line("expected = index")
+                w.line("chunks.append((index, count, cpairs))")
+                w.line("expected += 1")
+                w.line("pos = end")
+            w.line("record_count = sum(entry[1] for entry in chunks)")
+            with w.block(
+                "if total is not None and total != record_count "
+                "and all(entry[0] < 0 for entry in lost):"
+            ):
+                with w.block("if not salvage:"):
+                    w.line('raise ValueError("trailer record count mismatch")')
+                w.line('lost.append((-2, "trailer record count mismatch"))')
+            if has_header:
+                w.line("return record_count, head_pair, chunks, lost")
+            else:
+                w.line("return record_count, chunks, lost")
         with w.block("if version not in (2, 3):"):
             w.line('raise ValueError("unsupported container version %d" % version)')
         w.line("record_count, pos = _read_varint(blob, 13)")
@@ -979,6 +1168,180 @@ def _emit_compress(
     w.line()
 
 
+def _emit_streaming(w: CodeWriter, has_header: bool) -> None:
+    """Emit ``open_stream`` + ``_StreamWriter``: the generated v4 writer.
+
+    Byte-identical to the engine's :class:`repro.streaming.StreamingCompressor`
+    for the same flush boundaries — same kernels, same codec, same framing.
+    """
+    with w.block("def _encode_v4_frame(index, count, streams):"):
+        w.line('"""One self-framed v4 chunk: magic, length, body, CRC32C."""')
+        w.line("raws = [bytes(stream) for stream in streams]")
+        w.line("payloads = [_post_compress(raw) for raw in raws]")
+        w.line("body = bytearray()")
+        w.line("_write_varint(body, index)")
+        w.line("_write_varint(body, count)")
+        w.line("_write_varint(body, len(raws))")
+        with w.block("for raw, payload in zip(raws, payloads):"):
+            w.line("body.append(CODEC_ID)")
+            w.line("_write_varint(body, len(raw))")
+            w.line("_write_varint(body, len(payload))")
+        with w.block("for payload in payloads:"):
+            w.line("body += payload")
+        w.line('out = bytearray(b"TCCK")')
+        w.line("_write_varint(out, len(body) + 4)")
+        w.line("out += body")
+        w.line('out += _crc32c(bytes(out)).to_bytes(4, "little")')
+        w.line("return bytes(out)")
+    w.line()
+    with w.block("class _StreamWriter:"):
+        w.line('"""Incremental v4 stream writer (see ``open_stream``)."""')
+        w.line()
+        with w.block("def __init__(self, sink, chunk_records, fsync, backend):"):
+            w.line("self._file = open(sink, \"wb\") if isinstance(sink, str) else sink")
+            w.line("self._owns = isinstance(sink, str)")
+            w.line("self._chunk_records = chunk_records")
+            w.line("self._fsync = fsync")
+            w.line("self._kernel = _resolve_backend(backend)")
+            w.line("self._head = bytearray()")
+            w.line("self._body = bytearray()")
+            w.line("self._prologue_done = False")
+            w.line("self._index = 0")
+            w.line("self._records = 0")
+            w.line("self._durable = 0")
+            w.line("self._unflushed = 0")
+            w.line("self._table = []")
+            w.line("self._closed = False")
+            with w.block("if not HEADER_BYTES:"):
+                w.line("self._write_prologue()")
+        w.line()
+        with w.block("def _write_prologue(self):"):
+            w.line('out = bytearray(b"TCGN")')
+            w.line("out.append(4)")
+            w.line('out += FINGERPRINT.to_bytes(8, "little")')
+            w.line("_write_varint(out, self._chunk_records)")
+            if has_header:
+                w.line("payload = _post_compress(bytes(self._head))")
+                w.line("_write_varint(out, 1)")
+                w.line("out.append(CODEC_ID)")
+                w.line("_write_varint(out, HEADER_BYTES)")
+                w.line("_write_varint(out, len(payload))")
+                w.line('out += _crc32c(bytes(out)).to_bytes(4, "little")')
+                w.line("out += payload")
+                w.line('out += _crc32c(payload).to_bytes(4, "little")')
+            else:
+                w.line("_write_varint(out, 0)")
+                w.line('out += _crc32c(bytes(out)).to_bytes(4, "little")')
+            w.line("self._file.write(out)")
+            w.line("self._unflushed += len(out)")
+            w.line("self._prologue_done = True")
+        w.line()
+        with w.block("def watermark(self):"):
+            w.line('"""(records, bytes, chunks) made durable by the last flush."""')
+            w.line("return self._records, self._durable, self._index")
+        w.line()
+        with w.block("def pending_records(self):"):
+            w.line("return len(self._body) // RECORD_BYTES")
+        w.line()
+        with w.block("def append(self, data):"):
+            w.line('"""Buffer raw trace bytes; flushes when the chunk cap fills."""')
+            with w.block("if self._closed:"):
+                w.line('raise ValueError("stream is closed")')
+            w.line("view = memoryview(data)")
+            with w.block("if len(self._head) < HEADER_BYTES:"):
+                w.line("take = min(HEADER_BYTES - len(self._head), len(view))")
+                w.line("self._head += view[:take]")
+                w.line("view = view[take:]")
+                with w.block(
+                    "if len(self._head) == HEADER_BYTES and not self._prologue_done:"
+                ):
+                    w.line("self._write_prologue()")
+            with w.block("if view:"):
+                w.line("self._body += view")
+            with w.block("if self.pending_records() >= self._chunk_records:"):
+                w.line("self.flush()")
+            w.line("return self.watermark()")
+        w.line()
+        with w.block("def flush(self):"):
+            w.line('"""Make every complete pending record durable; partials wait."""')
+            with w.block("if self._closed:"):
+                w.line('raise ValueError("stream is closed")')
+            with w.block("while len(self._body) >= RECORD_BYTES:"):
+                w.line(
+                    "count = min(len(self._body) // RECORD_BYTES, self._chunk_records)"
+                )
+                w.line("take = count * RECORD_BYTES")
+                w.line("raw = bytes(self._body[:take])")
+                w.line("del self._body[:take]")
+                with w.block("if self._kernel is not None:"):
+                    w.line("streams, _usage = self._kernel.compress_chunk(raw)")
+                with w.block("else:"):
+                    w.line("streams, _usage = _compress_chunk(raw, 0, count)")
+                w.line("frame = _encode_v4_frame(self._index, count, streams)")
+                w.line("self._file.write(frame)")
+                w.line("self._unflushed += len(frame)")
+                w.line("self._table.append((count, len(frame)))")
+                w.line("self._index += 1")
+                w.line("self._records += count")
+            w.line("self._make_durable()")
+            w.line("return self.watermark()")
+        w.line()
+        with w.block("def close(self):"):
+            w.line('"""Flush, append the seek trailer, and finish the stream."""')
+            with w.block("if self._closed:"):
+                w.line('raise ValueError("stream is closed")')
+            with w.block("if len(self._head) < HEADER_BYTES:"):
+                w.line('raise ValueError("cannot close: trace header incomplete")')
+            w.line("self.flush()")
+            with w.block("if self._body:"):
+                w.line('raise ValueError("cannot close: trailing partial record")')
+            w.line('out = bytearray(b"TCST")')
+            w.line("_write_varint(out, self._records)")
+            w.line("_write_varint(out, len(self._table))")
+            with w.block("for count, frame_bytes in self._table:"):
+                w.line("_write_varint(out, count)")
+                w.line("_write_varint(out, frame_bytes)")
+            w.line('out += _crc32c(bytes(out)).to_bytes(4, "little")')
+            w.line("self._file.write(out)")
+            w.line("self._unflushed += len(out)")
+            w.line("self._make_durable()")
+            w.line("self._closed = True")
+            with w.block("if self._owns:"):
+                w.line("self._file.close()")
+            w.line("return self.watermark()")
+        w.line()
+        with w.block("def _make_durable(self):"):
+            with w.block("if self._unflushed:"):
+                w.line("self._durable += self._unflushed")
+                w.line("self._unflushed = 0")
+            w.line("self._file.flush()")
+            with w.block("if self._fsync:"):
+                with w.block("try:"):
+                    w.line("fd = self._file.fileno()")
+                with w.block("except (AttributeError, OSError, ValueError):"):
+                    w.line("return")
+                w.line("os.fsync(fd)")
+    w.line()
+    with w.block(
+        'def open_stream(sink, chunk_records=None, fsync=False, backend="auto"):'
+    ):
+        w.line('"""Open an append-only v4 streaming compressor writing to ``sink``.')
+        w.line("")
+        w.line("    ``sink`` is a path or a writable binary file object.  Feed raw")
+        w.line("    trace bytes (header first) with ``append``; every ``flush``")
+        w.line("    emits durable self-framed chunks and returns the watermark")
+        w.line("    (records, bytes, chunks) that will survive a crash.  ``close``")
+        w.line("    appends the seek trailer.  Chunks hold at most ``chunk_records``")
+        w.line("    records (predictor state resets per chunk, as in v3).")
+        w.line('    """')
+        with w.block('if chunk_records in (None, 0, "auto"):'):
+            w.line("chunk_records = DEFAULT_CHUNK_RECORDS")
+        with w.block("if chunk_records < 1:"):
+            w.line('raise ValueError("chunk_records must be positive")')
+        w.line("return _StreamWriter(sink, chunk_records, fsync, backend)")
+    w.line()
+
+
 def _emit_decompress(
     w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
 ) -> None:
@@ -1034,10 +1397,10 @@ def _emit_decompress(
                 w.line(f'raise ValueError("field {f} value stream not fully consumed")')
     w.line()
     with w.block('def decompress(blob, workers=1, salvage=False, backend="auto"):'):
-        w.line('"""Rebuild the exact original trace bytes from a blob (v1/v2/v3).')
+        w.line('"""Rebuild the exact original trace bytes from a blob (v1-v4).')
         w.line("")
         w.line("    In strict mode (the default) any corruption raises ValueError.")
-        w.line("    With ``salvage=True`` damaged chunks of a v3 container are")
+        w.line("    With ``salvage=True`` damaged chunks of a v3/v4 container are")
         w.line("    skipped instead: the return value holds only the surviving")
         w.line("    records and ``salvage_report()`` describes what was lost.")
         w.line('    ``backend`` works as in :func:`compress`; salvage decode is')
@@ -1085,12 +1448,12 @@ def _emit_decompress(
         with w.block("try:"):
             w.line(f"{unpack} = _decode_container(blob, salvage=True)")
         with w.block("except ValueError as exc:"):
-            w.line("# A v3 fingerprint mismatch behind a valid checksum means the")
+            w.line("# A v3/v4 fingerprint mismatch behind a valid checksum means the")
             w.line("# wrong decompressor, not corruption: salvage must not mask it.")
             w.line("# (v1/v2 have no checksum, so there a bad fingerprint may just")
             w.line("# be a flipped bit and is reported as damage instead.)")
             with w.block(
-                'if len(blob) > 4 and blob[4] == 3 and '
+                'if len(blob) > 4 and blob[4] in (3, 4) and '
                 '"does not match this specification" in str(exc):'
             ):
                 w.line("raise")

@@ -93,6 +93,15 @@ class ChecksumError(CompressedFormatError):
         self.offset = offset
 
 
+class StreamClosedError(CompressedFormatError):
+    """Raised when resuming a v4 stream that already carries its trailer.
+
+    A closed stream is complete — there is nothing to resume.  Getting
+    this error during crash recovery is *good news*: the writer died
+    after the close became durable.
+    """
+
+
 class TruncatedContainerError(CompressedFormatError):
     """Raised when a container blob ends before its framing says it should.
 

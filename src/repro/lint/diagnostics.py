@@ -67,6 +67,7 @@ CODES: dict[str, str] = {
     "TC023": "zero-width header clause has no effect",
     "TC024": "PC field indexes no table: every other field has L1 = 1",
     "TC025": "explicit table size repeats the default",
+    "TC026": "flush window too small: tiny streaming chunks compress poorly",
     # -- TC1xx: codegen invariant verification --------------------------------
     "TC101": "generated code declares a table the model does not call for",
     "TC102": "generated table missing or sized wrong",

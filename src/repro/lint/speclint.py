@@ -140,6 +140,68 @@ def lint_spec(spec: TraceSpec, path: str = "<spec>") -> list[Diagnostic]:
     return sorted(_lint_parsed(spec, _SpanMap(), path))
 
 
+#: Streaming flush windows below this many records compress poorly: the
+#: per-chunk predictor reset means every chunk pays the cold-start of all
+#: tables, and the post-compression codec never sees enough context.
+MIN_FLUSH_WINDOW_RECORDS = 64
+
+#: Recognized ``--flush-policy`` keys (``rate`` is records per second,
+#: used to turn ``max_latency_ms`` into a window size).
+FLUSH_POLICY_KEYS = ("max_records", "max_bytes", "max_latency_ms", "rate")
+
+
+def lint_flush_policy(
+    spec: TraceSpec, policy: dict, path: str = "<spec>"
+) -> list[Diagnostic]:
+    """Check a streaming flush policy against the spec (code ``TC026``).
+
+    ``policy`` maps :data:`FLUSH_POLICY_KEYS` to positive integers.  The
+    effective flush window — the fewest records between durable chunk
+    boundaries — is the tightest of ``max_records``, ``max_bytes``
+    divided by the record size, and the records arriving within
+    ``max_latency_ms`` at ``rate`` records/second.  Windows under
+    :data:`MIN_FLUSH_WINDOW_RECORDS` records warn: container v4 resets
+    all predictor state at each chunk boundary, so tiny chunks pay the
+    full table cold-start over and over and compress badly.
+    """
+    record_bytes = sum(f.bits for f in spec.fields) // 8
+    windows: list[tuple[int, str]] = []
+    max_records = policy.get("max_records")
+    if max_records is not None:
+        windows.append((int(max_records), f"max_records={max_records}"))
+    max_bytes = policy.get("max_bytes")
+    if max_bytes is not None and record_bytes:
+        windows.append(
+            (
+                int(max_bytes) // record_bytes,
+                f"max_bytes={max_bytes} over {record_bytes}-byte records",
+            )
+        )
+    latency = policy.get("max_latency_ms")
+    rate = policy.get("rate")
+    if latency is not None and rate is not None:
+        windows.append(
+            (
+                int(latency) * int(rate) // 1000,
+                f"max_latency_ms={latency} at {rate} records/s",
+            )
+        )
+    if not windows:
+        return []
+    window, cause = min(windows)
+    if window >= MIN_FLUSH_WINDOW_RECORDS:
+        return []
+    return [
+        Diagnostic(
+            path, *_DEFAULT_SPAN, "TC026", Severity.WARNING,
+            f"flush policy yields chunks of about {window} records "
+            f"({cause}), below the {MIN_FLUSH_WINDOW_RECORDS}-record "
+            f"floor: per-chunk predictor resets leave the tables cold "
+            f"and the chunks compress poorly",
+        )
+    ]
+
+
 def _lint_parsed(spec: TraceSpec, spans: _SpanMap, path: str) -> list[Diagnostic]:
     out: list[Diagnostic] = []
 

@@ -55,6 +55,7 @@ from repro.tio.container import (
     DEFAULT_MAX_CHUNK_BYTES,
     FORMAT_VERSION_2,
     FORMAT_VERSION_3,
+    FORMAT_VERSION_4,
     ChunkedContainer,
     ContainerChunk,
     DecodeReport,
@@ -91,10 +92,10 @@ class TraceEngine:
         container_version: int = FORMAT_VERSION_3,
         backend: str = "auto",
     ) -> None:
-        if container_version not in (FORMAT_VERSION_2, FORMAT_VERSION_3):
+        if container_version not in (FORMAT_VERSION_2, FORMAT_VERSION_3, FORMAT_VERSION_4):
             raise ValueError(
-                f"container_version must be {FORMAT_VERSION_2} or "
-                f"{FORMAT_VERSION_3}, got {container_version!r}"
+                f"container_version must be {FORMAT_VERSION_2}, {FORMAT_VERSION_3}, "
+                f"or {FORMAT_VERSION_4}, got {container_version!r}"
             )
         self.backend_requested = validate_backend(backend)
         self._backend_decision: BackendDecision | None = None
@@ -181,10 +182,10 @@ class TraceEngine:
         workers = resolve_workers(self.workers if workers is None else workers)
         executor = executor or self.executor
         version = self.container_version if container_version is None else container_version
-        if version not in (FORMAT_VERSION_2, FORMAT_VERSION_3):
+        if version not in (FORMAT_VERSION_2, FORMAT_VERSION_3, FORMAT_VERSION_4):
             raise ValueError(
-                f"container_version must be {FORMAT_VERSION_2} or "
-                f"{FORMAT_VERSION_3}, got {version!r}"
+                f"container_version must be {FORMAT_VERSION_2}, {FORMAT_VERSION_3}, "
+                f"or {FORMAT_VERSION_4}, got {version!r}"
             )
 
         decision = self._backend()
@@ -291,6 +292,36 @@ class TraceEngine:
             version=version,
         )
         return chunked.encode()
+
+    # -- streaming -------------------------------------------------------------
+
+    def open_stream(
+        self,
+        sink,
+        *,
+        chunk_records: int | str | None = _UNSET,
+        policy=None,
+        resume: bool = False,
+    ):
+        """Open a crash-safe v4 streaming compressor writing to ``sink``.
+
+        ``sink`` is a filesystem path (opened for append) or a writable
+        binary file object.  ``policy`` is a
+        :class:`~repro.streaming.FlushPolicy`; ``resume=True`` recovers a
+        stream interrupted mid-write (truncating a torn tail) and
+        continues after its last durable chunk.  See
+        :class:`~repro.streaming.StreamingCompressor`.
+        """
+        from repro.streaming import StreamingCompressor
+
+        if chunk_records is _UNSET:
+            chunk_records = self.chunk_records
+        resolved = self._resolve_chunk_records(chunk_records)
+        if resolved is None:
+            resolved = default_chunk_records(self.format.record_bytes)
+        return StreamingCompressor(
+            self, sink, chunk_records=resolved, policy=policy, resume=resume
+        )
 
     # -- decompression ---------------------------------------------------------
 

@@ -37,7 +37,10 @@ Robustness model, in the order a request meets it:
    a ``decompress`` is a ``checksum``/``truncated``/``corrupt`` error
    frame, never a closed socket;
 6. **drain** — SIGTERM/SIGINT stop the listener, let in-flight requests
-   finish (bounded by ``drain_timeout_s``), then exit 0.
+   finish (bounded by ``drain_timeout_s``), then exit 0.  Open
+   ``stream-compress`` sessions are flushed durably at a chunk-frame
+   boundary and answered ``shutting_down`` so their clients reconnect
+   and resume from the acked watermark.
 """
 
 from __future__ import annotations
@@ -451,15 +454,20 @@ class TraceServer:
             self._admitted += 1
             self.metrics.queue_depth.child().set(self._admitted)
             try:
-                go_ahead = {"id": request_id}
-                if self.config.worker_id is not None:
-                    go_ahead["worker"] = self.config.worker_id
-                await self._send(
-                    writer, protocol.encode_json_frame(protocol.CONTINUE, go_ahead)
-                )
-                payload = await self._read_payload(reader, request.payload_size)
-                self.metrics.bytes_in.child().inc(len(payload))
-                status = await self._execute(writer, request, payload, state)
+                if op == "stream-compress":
+                    # Long-lived session: holds its queue slot until the
+                    # client ends it (or the server drains).
+                    status = await self._serve_stream(reader, writer, request, state)
+                else:
+                    go_ahead = {"id": request_id}
+                    if self.config.worker_id is not None:
+                        go_ahead["worker"] = self.config.worker_id
+                    await self._send(
+                        writer, protocol.encode_json_frame(protocol.CONTINUE, go_ahead)
+                    )
+                    payload = await self._read_payload(reader, request.payload_size)
+                    self.metrics.bytes_in.child().inc(len(payload))
+                    status = await self._execute(writer, request, payload, state)
             finally:
                 self._admitted -= 1
                 self.metrics.queue_depth.child().set(self._admitted)
@@ -521,6 +529,212 @@ class TraceServer:
         await self._send_response(writer, request.request_id, meta, result, state)
         return "ok"
 
+    # -- streaming ingestion -------------------------------------------------
+
+    async def _durable_call(self, stream, fn, *args):
+        """Run a blocking stream mutation on the executor, counting the
+        records it made durable."""
+        loop = asyncio.get_running_loop()
+        before = stream.watermark.records
+        result = await loop.run_in_executor(self._executor, fn, *args)
+        gained = stream.watermark.records - before
+        if gained > 0:
+            self.metrics.stream_records.child().inc(gained)
+        return result
+
+    async def _serve_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request: RequestHeader,
+        state: _ConnectionState,
+    ) -> str:
+        """One ``stream-compress`` session (see the protocol docstring).
+
+        The loop interleaves socket reads with durable work: DATA frames
+        append raw record bytes (the server-side flush policy may fire
+        inside the append), every FLUSH is answered with an ACK carrying
+        the new durable watermark, and END yields the final RESPONSE.
+        Latency flushes ride on the read timeout; a drain request
+        interrupts the read, flushes at a frame boundary, and answers
+        ``shutting_down`` so the client can reconnect and resume against
+        the next worker.  All durable work runs on the executor — the
+        event loop never blocks on compression or fsync.
+        """
+        from repro.server.streams import StreamBusyError
+
+        loop = asyncio.get_running_loop()
+        request_id = request.request_id
+        try:
+            session = await loop.run_in_executor(
+                self._executor, self.handlers.open_stream, request.params, state.memo
+            )
+        except StreamBusyError as exc:
+            await self._send_error(
+                writer,
+                request_id,
+                "stream_busy",
+                str(exc),
+                retry_after_ms=int(self.config.retry_after_s * 1000),
+            )
+            return "stream_busy"
+        except (ReproError, ValueError) as exc:
+            code = code_for_exception(exc)
+            await self._send_error(writer, request_id, code, str(exc))
+            return code
+        stream = session.compressor
+        self.metrics.streams_active.child().inc()
+        read_task: asyncio.Task | None = None
+        drain_task = asyncio.ensure_future(self._drain_requested.wait())
+        deadline = time.monotonic() + self._resolve_deadline(request)
+        total_in = 0
+        closed = False
+        try:
+            hello = {
+                "id": request_id,
+                "watermark": stream.watermark.as_dict(),
+                "resumed": session.resumed,
+            }
+            if self.config.worker_id is not None:
+                hello["worker"] = self.config.worker_id
+            await self._send(
+                writer, protocol.encode_json_frame(protocol.CONTINUE, hello)
+            )
+
+            last_activity = time.monotonic()
+            while True:
+                now = time.monotonic()
+                if now >= deadline:
+                    await self._durable_call(stream, stream.flush)
+                    self.metrics.deadlines.child().inc()
+                    await self._send_error(
+                        writer,
+                        request_id,
+                        "deadline_exceeded",
+                        "stream session deadline exceeded; pending records "
+                        "were flushed durably — reconnect and resume",
+                    )
+                    return "deadline_exceeded"
+                stall_at = last_activity + self.config.read_timeout_s
+                wake = min(deadline, stall_at)
+                flush_at = stream.next_deadline()
+                if flush_at is not None:
+                    wake = min(wake, flush_at)
+                if read_task is None:
+                    read_task = asyncio.ensure_future(self._read_frame(reader, None))
+                done, _ = await asyncio.wait(
+                    {read_task, drain_task},
+                    timeout=max(0.0, wake - now),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if drain_task in done:
+                    mark = await self._durable_call(stream, stream.flush)
+                    self.metrics.stream_flushes.child().inc()
+                    await self._send_error(
+                        writer,
+                        request_id,
+                        "shutting_down",
+                        "server is draining; stream is durable through "
+                        f"record {mark.records} — reconnect and resume",
+                    )
+                    return "shutting_down"
+                if read_task not in done:
+                    # Timed out.  The pending read stays pending (a frame
+                    # may be half-received; cancelling it would tear the
+                    # wire): run the latency flush, reap a silent client,
+                    # or just recompute the deadlines.
+                    if stream.latency_due():
+                        await self._durable_call(stream, stream.flush)
+                        self.metrics.stream_flushes.child().inc()
+                    elif time.monotonic() >= stall_at:
+                        raise _FatalConnectionError(
+                            "bad_request",
+                            "stream stalled: no frame within "
+                            f"{self.config.read_timeout_s:.0f}s",
+                        )
+                    continue
+                frame = read_task.result()
+                read_task = None
+                last_activity = time.monotonic()
+                if frame is None:
+                    # Client vanished without END: crash semantics — the
+                    # durable prefix survives, nothing past the last ack
+                    # was promised.
+                    return "disconnected"
+                frame_type, payload = frame
+                if frame_type == protocol.DATA:
+                    if closed:
+                        raise _FatalConnectionError(
+                            "bad_request", "DATA frame after the stream was closed"
+                        )
+                    total_in += len(payload)
+                    if total_in > self.config.max_payload_bytes:
+                        raise _FatalConnectionError(
+                            "payload_too_large",
+                            f"stream session exceeds {self.config.max_payload_bytes}"
+                            " raw bytes",
+                        )
+                    self.metrics.bytes_in.child().inc(len(payload))
+                    await self._durable_call(stream, stream.append, payload)
+                    continue
+                if frame_type == protocol.FLUSH:
+                    if closed:
+                        raise _FatalConnectionError(
+                            "bad_request", "FLUSH frame after the stream was closed"
+                        )
+                    directive = (
+                        protocol.decode_json_payload(payload) if payload else {}
+                    )
+                    if directive.get("close"):
+                        mark = await self._durable_call(stream, stream.close)
+                        closed = True
+                        self.metrics.streams_closed.child().inc()
+                    else:
+                        mark = await self._durable_call(stream, stream.flush)
+                    self.metrics.stream_flushes.child().inc()
+                    ack = {
+                        "id": request_id,
+                        "watermark": mark.as_dict(),
+                        "closed": closed,
+                    }
+                    if directive.get("seq") is not None:
+                        ack["seq"] = directive["seq"]
+                    await self._send(
+                        writer, protocol.encode_json_frame(protocol.ACK, ack)
+                    )
+                    continue
+                if frame_type == protocol.END:
+                    meta = {
+                        "stream": session.stream_id,
+                        "watermark": stream.watermark.as_dict(),
+                        "closed": closed,
+                        "resumed": session.resumed,
+                        "raw_bytes": total_in,
+                    }
+                    await self._send_response(writer, request_id, meta, b"", state)
+                    return "ok"
+                raise _FatalConnectionError(
+                    "bad_request",
+                    f"unexpected frame type {frame_type} during a stream session",
+                )
+        except (ReproError, ValueError) as exc:
+            # Typed failure mid-session (e.g. close on a partial record).
+            # The durable prefix is intact; the client reconnects and
+            # resumes from the recovered watermark.
+            code = code_for_exception(exc)
+            try:
+                await self._send_error(writer, request_id, code, str(exc))
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            return code
+        finally:
+            drain_task.cancel()
+            if read_task is not None:
+                read_task.cancel()
+                await asyncio.gather(read_task, return_exceptions=True)
+            self.metrics.streams_active.child().dec()
+            await loop.run_in_executor(self._executor, session.release)
+
     def _payloadless(self, op: str) -> tuple[dict, bytes]:
         if op == "metrics":
             return {}, self.metrics.render().encode()
@@ -563,6 +777,7 @@ def build_config(args: argparse.Namespace) -> ServerConfig:
         ("workers", args.workers),
         ("http_port", args.http_port),
         ("preload_engines", args.preload_engines),
+        ("stream_dir", args.stream_dir),
     ):
         if value is not None:
             overrides[attr] = value
@@ -582,8 +797,9 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tcgen-serve",
         description="Serve trace compression over TCP (framed protocol; "
-        "ops: compress, decompress, salvage, analyze, health, metrics) "
-        "with a pre-fork worker pool and an HTTP/1.1 gateway.",
+        "ops: compress, decompress, salvage, analyze, health, metrics, "
+        "stream-compress) with a pre-fork worker pool and an HTTP/1.1 "
+        "gateway.",
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -615,6 +831,12 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-disk-cache", action="store_true",
         help="disable the disk-backed second-level engine cache",
+    )
+    parser.add_argument(
+        "--stream-dir", default=None, metavar="DIR",
+        help="directory for durable stream-compress archives (default: "
+        "a per-user directory under the system temp dir; must be shared "
+        "by every worker in a pool)",
     )
     parser.add_argument(
         "--queue-limit", type=int, default=None, metavar="N",

@@ -42,12 +42,24 @@ from repro.server import enginecache
 from repro.server.limits import ServerConfig
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import report_to_dict
+from repro.server.streams import StreamRegistry, StreamSession
 from repro.spec import format_spec, parse_spec
+from repro.streaming import FlushPolicy
 
 #: Per-connection hash-memo entries kept before dropping the oldest —
 #: one client cycling more distinct specs than this down one connection
 #: is no longer a hot path worth memoizing.
 MEMO_CAPACITY = 64
+
+
+def _opt_positive_int(params: dict, name: str) -> int | None:
+    """Fetch an optional positive-int param, raising a typed error."""
+    value = params.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ProtocolError(f"param {name!r} must be a positive int")
+    return value
 
 
 def spec_cache_key(canonical: str, codec: str, backend: str) -> str:
@@ -197,6 +209,7 @@ class Handlers:
         self.cache = CompressorCache(
             config.cache_size, metrics, disk=config.engine_disk_cache
         )
+        self.streams = StreamRegistry(config.resolved_stream_dir())
 
     # -- shared helpers -----------------------------------------------------
 
@@ -291,6 +304,36 @@ class Handlers:
         if engine.last_report is not None:
             meta["report"] = report_to_dict(engine.last_report)
         return meta, raw
+
+    def open_stream(self, params: dict, memo=None) -> StreamSession:
+        """Blocking open of a ``stream-compress`` session.
+
+        Builds (or reuses) the engine for the embedded spec, then asks
+        the registry for an exclusive session on the named stream —
+        resuming the durable prefix when the archive already exists.
+        Runs on the executor; the daemon's stream loop takes over once
+        the session is open.
+        """
+        stream_id = params.get("stream")
+        if not isinstance(stream_id, str) or not stream_id:
+            raise ProtocolError("missing required string param 'stream'")
+        engine = self._engine_for(params, memo)
+        policy = FlushPolicy(
+            max_records=_opt_positive_int(params, "max_records"),
+            max_bytes=_opt_positive_int(params, "max_bytes"),
+            max_latency_ms=_opt_positive_int(params, "max_latency_ms"),
+            fsync=bool(params.get("fsync", self.config.stream_fsync)),
+        )
+        chunk_records = self._chunk_records(params)
+        if chunk_records in (None, "auto", 0):
+            chunk_records = None
+        session = self.streams.open(
+            stream_id, engine, chunk_records=chunk_records, policy=policy
+        )
+        self.metrics.streams_opened.labels(
+            kind="resumed" if session.resumed else "fresh"
+        ).inc()
+        return session
 
     def op_analyze(self, params, payload, cancel, memo=None):
         from repro.analysis import analyze_trace, recommend_spec

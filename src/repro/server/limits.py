@@ -122,6 +122,33 @@ class ServerConfig:
     restart_backoff_max_s: float = 5.0
     restart_reset_s: float = 30.0
 
+    # -- streaming ingestion (the stream-compress op) ---------------------
+
+    #: Directory holding the durable ``stream-compress`` archives.  Empty
+    #: selects a per-user directory under the system temp dir; every
+    #: worker in a pool must see the same directory, which is what lets a
+    #: client resume a stream through whichever worker accepts the
+    #: reconnect.
+    stream_dir: str = ""
+
+    #: ``os.fsync`` after every stream flush, so acked watermarks survive
+    #: power loss and not just process death.  ``False`` trades that for
+    #: latency (the ack then promises the bytes reached the kernel).
+    stream_fsync: bool = True
+
+    def resolved_stream_dir(self) -> str:
+        """The concrete stream directory (empty means the temp default)."""
+        if self.stream_dir:
+            return self.stream_dir
+        import getpass
+        import tempfile
+
+        try:
+            user = getpass.getuser()
+        except (KeyError, OSError):  # pragma: no cover - no passwd entry
+            user = str(os.getuid()) if hasattr(os, "getuid") else "user"
+        return os.path.join(tempfile.gettempdir(), f"tcgen-streams-{user}")
+
     def resolved_workers(self) -> int:
         """The concrete pool size (``workers=0`` means per-CPU)."""
         return self.workers if self.workers > 0 else available_parallelism()
@@ -157,8 +184,8 @@ def config_from_env(base: ServerConfig | None = None) -> ServerConfig:
     ``TCGEN_SERVE_QUEUE_LIMIT``, ``TCGEN_SERVE_EXEC_WORKERS``,
     ``TCGEN_SERVE_MAX_PAYLOAD_MB``, ``TCGEN_SERVE_BACKEND``,
     ``TCGEN_SERVE_WORKERS``, ``TCGEN_SERVE_HTTP_PORT`` (``off``
-    disables the gateway).  Command-line flags win over the
-    environment; the environment wins over defaults.
+    disables the gateway), ``TCGEN_SERVE_STREAM_DIR``.  Command-line
+    flags win over the environment; the environment wins over defaults.
     """
     cfg = base or ServerConfig()
     env = os.environ
@@ -166,6 +193,8 @@ def config_from_env(base: ServerConfig | None = None) -> ServerConfig:
         cfg = replace(cfg, host=env["TCGEN_SERVE_HOST"])
     if "TCGEN_SERVE_BACKEND" in env:
         cfg = replace(cfg, backend=env["TCGEN_SERVE_BACKEND"])
+    if "TCGEN_SERVE_STREAM_DIR" in env:
+        cfg = replace(cfg, stream_dir=env["TCGEN_SERVE_STREAM_DIR"])
     if env.get("TCGEN_SERVE_HTTP_PORT", "").lower() in ("off", "none", "disabled"):
         cfg = replace(cfg, http_enabled=False)
     for name, attr in (

@@ -287,6 +287,26 @@ class ServerMetrics:
             "Engines rebuilt from the disk cache at worker startup, "
             "before the first request.",
         )
+        self.streams_opened = self.registry.counter(
+            "tcgen_streams_opened_total",
+            "stream-compress sessions opened, by kind (fresh or resumed).",
+            ("kind",),
+        )
+        self.streams_closed = self.registry.counter(
+            "tcgen_streams_closed_total",
+            "stream-compress sessions sealed with their trailer.",
+        )
+        self.streams_active = self.registry.gauge(
+            "tcgen_streams_active", "stream-compress sessions currently open."
+        )
+        self.stream_flushes = self.registry.counter(
+            "tcgen_stream_flushes_total",
+            "Durable stream flushes acked (explicit, latency, and drain).",
+        )
+        self.stream_records = self.registry.counter(
+            "tcgen_stream_records_total",
+            "Trace records made durable by stream flushes.",
+        )
 
     def cache_hit_rate(self) -> float:
         hits = self.cache_hits.child().value
@@ -322,6 +342,9 @@ class ServerMetrics:
             "engine_disk_hits": int(self.engine_disk_hits.child().value),
             "engine_disk_misses": int(self.engine_disk_misses.child().value),
             "engines_preloaded": int(self.engines_preloaded.child().value),
+            "streams_active": int(self.streams_active.child().value),
+            "stream_flushes": int(self.stream_flushes.child().value),
+            "stream_records": int(self.stream_records.child().value),
         }
 
     def render(self) -> str:

@@ -20,6 +20,8 @@ DATA       3 either direction; one chunk of payload bytes
 END        4 either direction; payload finished (empty frame)
 RESPONSE   5 server -> client; JSON success header (payload follows)
 ERROR      6 server -> client; JSON typed failure (terminates request)
+FLUSH      7 client -> server; make buffered stream records durable
+ACK        8 server -> client; durable watermark after a flush
 ======== === =========================================================
 
 One request is a strict frame sequence on an otherwise idle connection:
@@ -38,6 +40,26 @@ server rejects with ``code="backpressure"`` after reading only a small
 header — no payload bytes are wasted, and the client retries with
 exponential backoff.  Requests without payload (``health``, ``metrics``)
 skip the handshake entirely.
+
+The ``stream-compress`` op extends the sequence into a long-lived
+session on the same connection.  After the CONTINUE (whose header
+carries the stream's recovered durable watermark, all-zero for a fresh
+stream), the client interleaves DATA frames (raw record bytes) with
+FLUSH frames; every FLUSH is answered by an ACK carrying the new
+durable watermark ``{records, bytes, chunks}`` — the crash-recovery
+contract is that everything at or below an acked watermark survives any
+subsequent server crash.  ``FLUSH {"close": true}`` seals the archive
+with its trailer.  END terminates the session and is answered by the
+final RESPONSE:
+
+```
+C->S  REQUEST {op: "stream-compress", id, params: {spec, stream, ...}}
+S->C  CONTINUE {id, watermark: {records, bytes, chunks}}
+C->S  DATA* FLUSH        (repeated in any order)
+S->C  ACK {id, watermark, closed}   (one per FLUSH)
+C->S  END
+S->C  RESPONSE {id, meta: {watermark, closed}}
+```
 
 ``payload_size`` may be ``null`` for a stream of unknown length (the
 server enforces its payload cap cumulatively); otherwise the DATA bytes
@@ -66,6 +88,7 @@ from repro.errors import (
     ReproError,
     ServiceUnavailableError,
     SpecError,
+    StreamClosedError,
     TraceFormatError,
     TruncatedContainerError,
 )
@@ -90,8 +113,10 @@ DATA = 3
 END = 4
 RESPONSE = 5
 ERROR = 6
+FLUSH = 7
+ACK = 8
 
-FRAME_TYPES = (REQUEST, CONTINUE, DATA, END, RESPONSE, ERROR)
+FRAME_TYPES = (REQUEST, CONTINUE, DATA, END, RESPONSE, ERROR, FLUSH, ACK)
 
 #: Fixed frame-header layout: magic, type, flags, payload length.
 HEADER = struct.Struct(">2sBBI")
@@ -106,7 +131,15 @@ DATA_CHUNK = 256 * 1024
 MAX_FRAME_BYTES = 1 << 20
 
 #: The operations the service understands.
-OPS = ("compress", "decompress", "salvage", "analyze", "health", "metrics")
+OPS = (
+    "compress",
+    "decompress",
+    "salvage",
+    "analyze",
+    "health",
+    "metrics",
+    "stream-compress",
+)
 
 #: Ops that carry no request payload (processed without the CONTINUE
 #: handshake and exempt from admission control).
@@ -121,6 +154,8 @@ ERROR_CODES = (
     "truncated",          # container ends before its framing says it should
     "corrupt",            # other container corruption / fingerprint mismatch
     "payload_too_large",  # declared or streamed payload exceeds the cap
+    "stream_busy",        # the named stream is locked by another writer
+    "stream_closed",      # the named stream already carries its trailer
     "backpressure",       # request queue full; retry after the hinted delay
     "deadline_exceeded",  # per-request deadline fired before work finished
     "shutting_down",      # server is draining; no new work accepted
@@ -205,6 +240,8 @@ def iter_data_frames(payload: bytes):
 #: Exception type -> protocol error code, most specific first.
 _EXCEPTION_CODES: tuple[tuple[type, str], ...] = (
     (ChecksumError, "checksum"),
+    (ProtocolError, "bad_request"),
+    (StreamClosedError, "stream_closed"),
     (TruncatedContainerError, "truncated"),
     (CompressedFormatError, "corrupt"),
     (TraceFormatError, "trace_format"),
@@ -244,6 +281,12 @@ def exception_for(code: str, message: str, retry_after_ms: int | None = None) ->
         return BackpressureError(message, retry_after=(retry_after_ms or 100) / 1000.0)
     if code == "shutting_down":
         return ServiceUnavailableError(message)
+    if code == "stream_closed":
+        return StreamClosedError(message)
+    if code == "stream_busy":
+        # Retryable the same way backpressure is: the lock holder is
+        # usually a dying connection the server has not reaped yet.
+        return BackpressureError(message, retry_after=(retry_after_ms or 100) / 1000.0)
     if code == "payload_too_large" or code == "bad_request":
         return ProtocolError(f"{code}: {message}")
     return RemoteError(f"{code}: {message}")
@@ -268,6 +311,7 @@ def report_to_dict(report: DecodeReport) -> dict:
         "header_stream_lost": report.header_stream_lost,
         "trailer_damaged": report.trailer_damaged,
         "truncated": report.truncated,
+        "torn_tail": report.torn_tail,
         "notes": list(report.notes),
     }
 
@@ -288,6 +332,7 @@ def report_from_dict(data: dict) -> DecodeReport:
     report.header_stream_lost = bool(data.get("header_stream_lost", False))
     report.trailer_damaged = bool(data.get("trailer_damaged", False))
     report.truncated = bool(data.get("truncated", False))
+    report.torn_tail = bool(data.get("torn_tail", False))
     report.notes = [str(n) for n in data.get("notes", [])]
     return report
 

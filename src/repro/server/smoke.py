@@ -241,6 +241,126 @@ def run_smoke(clients: int = 8, roundtrips: int = 3, workers: int = 2) -> int:
     return 1 if failures else 0
 
 
+def run_stream_smoke(producers: int = 2, workers: int = 2) -> int:
+    """Concurrent ``stream-compress`` producers against a worker pool.
+
+    Each producer appends its trace in flushed batches over a live
+    session; the finished archives must be byte-identical to a local
+    :class:`~repro.streaming.StreamingCompressor` run with the same
+    flush boundaries, and a SIGTERM drain must exit 0.
+    """
+    import io
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.client import TraceClient
+    from repro.runtime.engine import TraceEngine
+    from repro.spec import parse_spec
+    from repro.spec.presets import TCGEN_A_SPEC
+    from repro.tio import VPC_FORMAT, pack_records
+
+    spec = parse_spec(TCGEN_A_SPEC)
+    header = spec.header_bits // 8
+    record = sum(f.bits for f in spec.fields) // 8
+    batch_records = 250
+    chunk_records = 512
+
+    def make_trace(n: int, seed: int) -> bytes:
+        rng = np.random.default_rng(seed)
+        pcs = (0x1000 + (np.arange(n) % 61) * 4).astype(np.uint64)
+        data = (np.cumsum(rng.integers(0, 32, size=n)) + 0x4000_0000).astype(
+            np.uint64
+        )
+        return pack_records(VPC_FORMAT, b"VPC3", [pcs, data])
+
+    def batches(raw: bytes) -> list[bytes]:
+        step = batch_records * record
+        cuts = [0, *range(header + step, len(raw), step), len(raw)]
+        return [raw[a:b] for a, b in zip(cuts, cuts[1:])]
+
+    def local_archive(raw: bytes) -> bytes:
+        sink = io.BytesIO()
+        stream = TraceEngine(spec).open_stream(sink, chunk_records=chunk_records)
+        for piece in batches(raw):
+            stream.append(piece)
+            stream.flush()
+        stream.close()
+        return sink.getvalue()
+
+    failures: list[str] = []
+    stream_dir = tempfile.mkdtemp(prefix="tcgen-stream-smoke-")
+    process, port, _ = _start_daemon(
+        ["--workers", str(workers), "--no-http", "--stream-dir", stream_dir]
+    )
+    stderr_pool = ThreadPoolExecutor(max_workers=1)
+    stderr_future = stderr_pool.submit(_drain_stderr, process)
+    try:
+        traces = {
+            f"producer-{index}": make_trace(3000, seed=50 + index)
+            for index in range(producers)
+        }
+
+        def produce(name: str) -> list[str]:
+            problems = []
+            raw = traces[name]
+            with TraceClient("127.0.0.1", port, retries=10, backoff=0.05) as c:
+                stream = c.open_stream(
+                    TCGEN_A_SPEC, name, chunk_records=chunk_records
+                )
+                acked = 0
+                for piece in batches(raw):
+                    stream.append(piece)
+                    mark = stream.flush()
+                    if mark.records < acked:
+                        problems.append(f"{name}: watermark went backwards")
+                    acked = mark.records
+                final = stream.close()
+                if final.records != (len(raw) - header) // record:
+                    problems.append(
+                        f"{name}: closed at {final.records} records, "
+                        f"expected {(len(raw) - header) // record}"
+                    )
+            with open(f"{stream_dir}/{name}.tc4", "rb") as handle:
+                blob = handle.read()
+            if blob != local_archive(raw):
+                problems.append(f"{name}: archive differs from local streaming run")
+            if TraceEngine(spec).decompress(blob) != raw:
+                problems.append(f"{name}: archive does not roundtrip")
+            return problems
+
+        with ThreadPoolExecutor(max_workers=producers) as pool:
+            for result in pool.map(produce, traces):
+                failures.extend(result)
+        print(
+            f"stream smoke: {producers} producers across {workers} workers "
+            f"byte-identical: {'FAIL' if failures else 'ok'}"
+        )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            returncode = process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            returncode = -9
+            failures.append("daemon did not drain within 30s of SIGTERM")
+        stderr_text = stderr_future.result(timeout=10)
+        stderr_pool.shutdown()
+        shutil.rmtree(stream_dir, ignore_errors=True)
+
+    if returncode != 0:
+        failures.append(f"daemon exited {returncode}, expected 0")
+    if "drained, exiting" not in stderr_text:
+        failures.append("daemon never logged its drain line")
+    print(f"stream smoke: SIGTERM drain rc={returncode}: {'FAIL' if returncode else 'ok'}")
+
+    for failure in failures:
+        print(f"VIOLATION: {failure}")
+    print(f"stream smoke: {len(failures)} violations")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Trace-compression-service integration smoke (used by CI)."
@@ -248,7 +368,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--roundtrips", type=int, default=3)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the streaming-session smoke (concurrent stream-compress "
+        "producers against the pool) instead of the request/response smoke",
+    )
     args = parser.parse_args(argv)
+    if args.stream:
+        return run_stream_smoke(producers=args.clients, workers=args.workers)
     return run_smoke(
         clients=args.clients, roundtrips=args.roundtrips, workers=args.workers
     )

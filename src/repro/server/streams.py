@@ -1,0 +1,140 @@
+"""Durable server-side stream sessions for the ``stream-compress`` op.
+
+A *stream* is a named append-only v4 archive under the server's stream
+directory.  The registry maps the client-chosen stream id onto a file,
+guards it against concurrent writers (an in-process table for sibling
+connections plus an ``fcntl`` byte-range lock against sibling workers in
+a pool), and wraps it in a :class:`~repro.streaming.StreamingCompressor`
+— resuming the durable prefix when the file already holds an open
+stream, so a client reconnecting after a crash (its own, a worker's, or
+the whole host's) continues exactly from the last acked watermark.
+
+Stream ids are restricted to a filesystem-safe alphabet so a hostile
+client cannot escape the stream directory.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+
+from repro.errors import ProtocolError
+from repro.streaming import FlushPolicy, StreamingCompressor
+
+try:  # pragma: no cover - fcntl is POSIX-only; Windows skips cross-process locks
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+#: Filesystem-safe stream identifiers: no separators, no dot-prefix.
+STREAM_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+#: Suffix of every stream archive inside the stream directory.
+STREAM_SUFFIX = ".tc4"
+
+
+class StreamBusyError(ProtocolError):
+    """Another connection (or worker) is writing this stream right now."""
+
+
+class StreamSession:
+    """One open stream: the compressor plus the locks that made it exclusive."""
+
+    __slots__ = ("stream_id", "path", "compressor", "resumed", "_registry", "_file")
+
+    def __init__(self, stream_id, path, compressor, resumed, registry, file):
+        self.stream_id = stream_id
+        self.path = path
+        #: The :class:`~repro.streaming.StreamingCompressor` bound to the file.
+        self.compressor = compressor
+        #: True when the file already held an open stream that was recovered.
+        self.resumed = resumed
+        self._registry = registry
+        self._file = file
+
+    def release(self) -> None:
+        """Drop exclusivity; always called, however the session ended.
+
+        Leaves the file exactly as durable as the compressor made it: a
+        closed stream keeps its trailer, an aborted one stays open and
+        resumable.
+        """
+        try:
+            if not self.compressor.closed:
+                self.compressor.abort()
+        finally:
+            try:
+                if not self._file.closed:
+                    self._file.close()  # closing also drops the fcntl lock
+            finally:
+                self._registry._release(self.stream_id)
+
+
+class StreamRegistry:
+    """Names -> exclusive, durable stream sessions (see module docstring)."""
+
+    def __init__(self, stream_dir: str) -> None:
+        self.stream_dir = stream_dir
+        self._lock = threading.Lock()
+        self._active: set[str] = set()
+
+    def path_for(self, stream_id: str) -> str:
+        if not STREAM_ID_RE.match(stream_id or ""):
+            raise ProtocolError(
+                f"bad stream id {stream_id!r}: want 1-128 chars of "
+                "[A-Za-z0-9._-] not starting with '.', '_' or '-'"
+            )
+        return os.path.join(self.stream_dir, stream_id + STREAM_SUFFIX)
+
+    def open(
+        self,
+        stream_id: str,
+        engine,
+        *,
+        chunk_records=None,
+        policy: FlushPolicy | None = None,
+    ) -> StreamSession:
+        """Acquire ``stream_id`` exclusively and open/resume its archive."""
+        path = self.path_for(stream_id)
+        with self._lock:
+            if stream_id in self._active:
+                raise StreamBusyError(
+                    f"stream {stream_id!r} is already being written "
+                    "on another connection"
+                )
+            self._active.add(stream_id)
+        file = None
+        try:
+            os.makedirs(self.stream_dir, exist_ok=True)
+            # "a+b" creates without truncating: whether this is a fresh
+            # stream or a crash recovery is decided by the file size
+            # *after* the lock is held, never before.
+            file = open(path, "a+b")
+            if fcntl is not None:
+                try:
+                    fcntl.lockf(file, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    raise StreamBusyError(
+                        f"stream {stream_id!r} is locked by another worker"
+                    ) from None
+            file.seek(0, os.SEEK_END)
+            resumed = file.tell() > 0
+            kwargs = {"policy": policy, "resume": resumed}
+            if chunk_records is not None:
+                kwargs["chunk_records"] = chunk_records
+            compressor = engine.open_stream(file, **kwargs)
+            return StreamSession(stream_id, path, compressor, resumed, self, file)
+        except BaseException:
+            if file is not None and not file.closed:
+                file.close()
+            self._release(stream_id)
+            raise
+
+    def _release(self, stream_id: str) -> None:
+        with self._lock:
+            self._active.discard(stream_id)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)

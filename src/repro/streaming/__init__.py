@@ -1,0 +1,413 @@
+"""Crash-safe streaming compression: the container v4 writer.
+
+The paper's generated compressors run offline — read a whole trace, emit a
+whole container.  This package provides the live-capture mode: a
+:class:`StreamingCompressor` accepts raw trace bytes incrementally and
+appends self-framed v4 chunk frames (see :mod:`repro.tio.streamv4`) to a
+file, so a crash at any byte loses at most the records that were never
+flushed.  Every ``flush()`` makes a durable promise — the returned
+:class:`StreamWatermark` names exactly the records, bytes, and chunks that
+will survive any subsequent failure (with ``fsync=True`` in the policy,
+even power loss).
+
+Flush timing is governed by a :class:`FlushPolicy`:
+
+- ``max_records`` — flush once this many complete records are pending,
+- ``max_bytes`` — flush once the pending raw bytes reach this size,
+- ``max_latency_ms`` — a record never waits longer than this before it is
+  durable; the writer tracks the deadline and callers poll
+  :meth:`StreamingCompressor.latency_due` (the server's stream loop uses
+  its socket read timeout for this),
+- ``fsync`` — call ``os.fsync`` after every flush so the watermark holds
+  across power loss, not just process death.
+
+``close()`` appends the optional trailer (fast seeks for readers) and is
+the only way to mark a stream complete; a crashed writer leaves an *open*
+stream that :meth:`TraceEngine.open_stream(..., resume=True)
+<repro.runtime.engine.TraceEngine.open_stream>` recovers — any torn tail
+is truncated back to the last durable frame boundary and writing
+continues with the next chunk index.
+
+Predictor state resets at every chunk boundary exactly as in v2/v3, which
+is what lets each flush compress independently — and lets the native
+kernel's ``compress_chunk`` entry point be reused unchanged, one flushed
+chunk at a time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import CompressedFormatError, StreamClosedError
+from repro.tio.container import ContainerChunk, StreamPayload
+from repro.tio.streamv4 import (
+    encode_chunk_frame,
+    encode_prologue,
+    encode_trailer,
+    scan_stream,
+)
+from repro.tio.traceformat import TraceFormat, unpack_records
+
+__all__ = ["FlushPolicy", "StreamWatermark", "StreamingCompressor"]
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When a streaming compressor turns buffered records into durable chunks.
+
+    All three triggers are optional and combine with OR; with none set the
+    stream flushes only on explicit ``flush()``/``close()`` or when the
+    chunk-record cap fills.  ``fsync`` upgrades every flush from
+    crash-durable (survives the process dying) to power-loss-durable.
+    """
+
+    max_records: int | None = None
+    max_bytes: int | None = None
+    max_latency_ms: int | None = None
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("max_records", "max_bytes", "max_latency_ms"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ValueError(f"{name} must be a positive int or None, got {value!r}")
+
+
+@dataclass(frozen=True)
+class StreamWatermark:
+    """A durable point in a stream: what is promised to survive a crash.
+
+    ``records`` counts trace records inside flushed chunk frames,
+    ``bytes`` is the durable file length, and ``chunks`` the number of
+    flushed frames (also the next frame's index).  Watermarks from one
+    stream are totally ordered; the server acks one per flush so clients
+    can resume from the greatest ack after a dropped connection.
+    """
+
+    records: int
+    bytes: int
+    chunks: int
+
+    def as_dict(self) -> dict:
+        return {"records": self.records, "bytes": self.bytes, "chunks": self.chunks}
+
+
+class StreamingCompressor:
+    """Incremental v4 writer over a :class:`~repro.runtime.engine.TraceEngine`.
+
+    Construct via :meth:`TraceEngine.open_stream
+    <repro.runtime.engine.TraceEngine.open_stream>`.  ``sink`` is a
+    filesystem path or a writable binary file object (which must also be
+    readable and seekable when ``resume=True``).
+
+    Lifecycle::
+
+        stream = engine.open_stream(path, policy=FlushPolicy(max_latency_ms=50))
+        stream.append(raw_bytes)        # buffers; flushes when policy fires
+        mark = stream.flush()           # explicit durable point
+        mark = stream.close()           # trailer + final durable point
+
+    A stream that was never ``close()``d is *open*: every flushed chunk is
+    recoverable (strict and salvage decode both accept it) and
+    ``resume=True`` continues it.  Partial record bytes at the tail of the
+    internal buffer are never written — a frame always ends on a record
+    boundary, which is what makes the watermark exact.
+    """
+
+    def __init__(
+        self,
+        engine,
+        sink,
+        *,
+        chunk_records: int,
+        policy: FlushPolicy | None = None,
+        resume: bool = False,
+    ) -> None:
+        if not isinstance(chunk_records, int) or chunk_records < 1:
+            raise ValueError(f"chunk_records must be a positive int, got {chunk_records!r}")
+        self.engine = engine
+        self.policy = policy or FlushPolicy()
+        self.chunk_records = chunk_records
+        fmt = engine.format
+        self._record_bytes = fmt.record_bytes
+        self._chunk_format = (
+            TraceFormat(header_bits=0, field_bits=fmt.field_bits, pc_field=fmt.pc_field)
+            if fmt.header_bits
+            else fmt
+        )
+        self._header_want = fmt.header_bytes
+        self._header = bytearray()
+        self._body = bytearray()
+        self._prologue_written = False
+        self._next_index = 0
+        self._records = 0
+        self._durable_bytes = 0
+        self._unflushed = 0  # bytes written to the file but not yet flushed
+        self._table: list[tuple[int, int]] = []
+        self._first_pending: float | None = None
+        self._closed = False
+
+        if isinstance(sink, (str, os.PathLike)):
+            path = os.fspath(sink)
+            self._file = open(path, "r+b" if resume else "wb")
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+
+        try:
+            if resume:
+                self._resume()
+        except BaseException:
+            if self._owns_file:
+                self._file.close()
+            raise
+
+    # -- construction helpers ------------------------------------------------
+
+    def _resume(self) -> None:
+        """Recover an interrupted stream: keep the durable prefix, drop the tear."""
+        self._file.seek(0)
+        blob = self._file.read()
+        scan = scan_stream(blob, expected_fingerprint=self.engine.model.fingerprint())
+        if scan.closed:
+            raise StreamClosedError(
+                "stream is already closed (trailer present); nothing to resume"
+            )
+        expected_globals = 1 if self._header_want else 0
+        if len(scan.global_streams) != expected_globals:
+            raise CompressedFormatError(
+                f"stream carries {len(scan.global_streams)} global streams, "
+                f"this format wants {expected_globals}"
+            )
+        if scan.data_end < len(blob):
+            # Torn tail from the crash: cut back to the last frame boundary.
+            self._file.truncate(scan.data_end)
+            self._file.flush()
+            if self.policy.fsync:
+                self._fsync()
+        self._file.seek(scan.data_end)
+        # The prologue fixed the chunk-record cap for the whole stream;
+        # whatever the caller asked for now, the file wins.
+        self.chunk_records = scan.chunk_records
+        self._header_want = 0  # header (if any) is already durable
+        self._prologue_written = True
+        self._next_index = scan.chunk_count
+        self._records = scan.records
+        self._durable_bytes = scan.data_end
+        self._table = [(count, end - start) for (_, count, start, end) in scan.frames]
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def watermark(self) -> StreamWatermark:
+        """The last durable point (what a crash right now would preserve)."""
+        return StreamWatermark(
+            records=self._records, bytes=self._durable_bytes, chunks=self._next_index
+        )
+
+    @property
+    def pending_records(self) -> int:
+        """Complete records buffered but not yet flushed."""
+        return len(self._body) // self._record_bytes
+
+    @property
+    def pending_bytes(self) -> int:
+        """Raw bytes buffered but not yet flushed (header + records + tail)."""
+        header = 0 if self._prologue_written else len(self._header)
+        return header + len(self._body)
+
+    def latency_due(self, now: float | None = None) -> bool:
+        """True when ``max_latency_ms`` has elapsed for a pending record."""
+        deadline = self.next_deadline()
+        if deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= deadline
+
+    def next_deadline(self) -> float | None:
+        """Monotonic time by which the pending records must be flushed."""
+        if self.policy.max_latency_ms is None or self._first_pending is None:
+            return None
+        return self._first_pending + self.policy.max_latency_ms / 1000.0
+
+    # -- the write path ------------------------------------------------------
+
+    def append(self, data: bytes) -> StreamWatermark:
+        """Buffer raw trace bytes; flush whenever the policy fires.
+
+        The first ``header_bytes`` of the stream form the trace header
+        (written with the prologue as the global stream); everything after
+        is record bytes.  Data may be sliced at arbitrary byte positions —
+        partial records simply wait in the buffer.  Returns the current
+        (possibly advanced) durable watermark.
+        """
+        self._check_open()
+        view = memoryview(data)
+        missing = self._header_want - len(self._header)
+        if missing > 0:
+            take = min(missing, len(view))
+            self._header += view[:take]
+            view = view[take:]
+        if view:
+            self._body += view
+            if self._first_pending is None and self.pending_records:
+                self._first_pending = time.monotonic()
+        self._write_prologue_if_ready()
+
+        policy = self.policy
+        if (
+            (policy.max_records is not None and self.pending_records >= policy.max_records)
+            or (policy.max_bytes is not None and len(self._body) >= policy.max_bytes)
+            or self.pending_records >= self.chunk_records
+            or self.latency_due()
+        ):
+            return self.flush()
+        return self.watermark
+
+    def flush(self) -> StreamWatermark:
+        """Make every complete pending record durable; return the watermark.
+
+        Pending records drain into one or more chunk frames of at most
+        ``chunk_records`` records each (predictor state resets per frame).
+        Partial trailing record bytes stay buffered.  A flush with nothing
+        complete to write is a no-op that still flushes file buffers.
+        """
+        self._check_open()
+        self._write_prologue_if_ready()
+        record_bytes = self._record_bytes
+        while len(self._body) >= record_bytes:
+            count = min(len(self._body) // record_bytes, self.chunk_records)
+            take = count * record_bytes
+            chunk_raw = bytes(self._body[:take])
+            del self._body[:take]
+            frame = self._encode_frame(chunk_raw, count)
+            self._file.write(frame)
+            self._unflushed += len(frame)
+            self._table.append((count, len(frame)))
+            self._next_index += 1
+            self._records += count
+        # Whatever remains is a partial record: the latency clock restarts
+        # when a future append completes it into a pending record.
+        self._first_pending = None
+        self._make_durable()
+        return self.watermark
+
+    def close(self) -> StreamWatermark:
+        """Flush, append the seek trailer, and mark the stream complete.
+
+        Raises :class:`~repro.errors.CompressedFormatError` if the header
+        never completed or partial record bytes remain — a closed stream
+        is always an exact whole trace.
+        """
+        self._check_open()
+        if self._header_want and len(self._header) < self._header_want:
+            raise CompressedFormatError(
+                f"cannot close: trace header incomplete "
+                f"({len(self._header)}/{self._header_want} bytes)"
+            )
+        self.flush()
+        if self._body:
+            raise CompressedFormatError(
+                f"cannot close: {len(self._body)} trailing bytes do not form "
+                f"a whole {self._record_bytes}-byte record"
+            )
+        trailer = encode_trailer(self._records, self._table)
+        self._file.write(trailer)
+        self._unflushed += len(trailer)
+        self._make_durable()
+        self._closed = True
+        if self._owns_file:
+            self._file.close()
+        return self.watermark
+
+    def abort(self) -> None:
+        """Stop writing without a trailer; the stream stays open/resumable."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "StreamingCompressor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if not self._closed:
+                self.close()
+        else:
+            self.abort()
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("stream is closed")
+
+    def _write_prologue_if_ready(self) -> None:
+        if self._prologue_written:
+            return
+        if self._header_want and len(self._header) < self._header_want:
+            return
+        engine = self.engine
+        globals_: list[StreamPayload] = []
+        if self._header_want:
+            raw = bytes(self._header)
+            globals_.append(
+                StreamPayload(
+                    codec_id=engine.codec.codec_id,
+                    raw_length=len(raw),
+                    data=engine.codec.compress(raw),
+                )
+            )
+        prologue = encode_prologue(
+            engine.model.fingerprint(), self.chunk_records, globals_
+        )
+        self._file.write(prologue)
+        self._unflushed += len(prologue)
+        self._prologue_written = True
+
+    def _encode_frame(self, chunk_raw: bytes, count: int) -> bytes:
+        """Compress one chunk of raw records into a self-framed v4 chunk."""
+        engine = self.engine
+        decision = engine._backend()
+        if decision.kernel is not None:
+            # Chunk-at-a-time native reuse: the compiled kernel's existing
+            # compress_chunk entry point — no ABI change.
+            streams, usage = decision.kernel.compress_chunk(chunk_raw)
+        else:
+            from repro.runtime.engine import _compress_chunk
+
+            _, columns = unpack_records(self._chunk_format, chunk_raw, copy=False)
+            streams, usage = _compress_chunk(engine.model, engine.update_policy, columns)
+        payloads = [
+            StreamPayload(
+                codec_id=engine.codec.codec_id,
+                raw_length=len(stream),
+                data=engine.codec.compress(stream),
+            )
+            for stream in streams
+        ]
+        chunk = ContainerChunk(record_count=count, streams=payloads)
+        return encode_chunk_frame(self._next_index, chunk)
+
+    def _make_durable(self) -> None:
+        if self._unflushed:
+            self._durable_bytes += self._unflushed
+            self._unflushed = 0
+        self._file.flush()
+        if self.policy.fsync:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        try:
+            fd = self._file.fileno()
+        except (AttributeError, OSError, ValueError):
+            return  # in-memory sink: nothing OS-level to sync
+        os.fsync(fd)

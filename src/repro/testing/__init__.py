@@ -8,5 +8,20 @@ same harness.
 """
 
 from repro.testing.faults import FAULT_KINDS, Fault, campaign, inject
+from repro.testing.streamfaults import (
+    build_stream,
+    kill_matrix,
+    resume_matrix,
+    truncation_matrix,
+)
 
-__all__ = ["FAULT_KINDS", "Fault", "campaign", "inject"]
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "build_stream",
+    "campaign",
+    "inject",
+    "kill_matrix",
+    "resume_matrix",
+    "truncation_matrix",
+]

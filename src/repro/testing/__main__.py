@@ -1,13 +1,28 @@
-"""CLI entry: ``python -m repro.testing`` runs the fault-smoke campaign."""
+"""CLI entry: ``python -m repro.testing`` runs the fault-smoke campaign.
+
+``--stream`` runs the stream-crash matrix instead (truncation sweep,
+resume-after-crash, SIGKILL'd writer children); CI runs both.
+"""
 
 import argparse
 
-from repro.testing.faults import _smoke
-
 parser = argparse.ArgumentParser(
-    description="Deterministic fault-injection smoke over the container decoders."
+    description="Deterministic fault-injection smoke over the container "
+    "decoders, or (with --stream) the v4 stream-crash matrix."
 )
 parser.add_argument(
     "--seeds", type=int, default=8, help="fault seeds per kind (default 8)"
 )
-raise SystemExit(1 if _smoke(parser.parse_args().seeds) else 0)
+parser.add_argument(
+    "--stream",
+    action="store_true",
+    help="run the stream-crash matrix (truncate/resume/SIGKILL) instead",
+)
+args = parser.parse_args()
+if args.stream:
+    from repro.testing.streamfaults import _stream_smoke
+
+    raise SystemExit(1 if _stream_smoke() else 0)
+from repro.testing.faults import _smoke
+
+raise SystemExit(1 if _smoke(args.seeds) else 0)

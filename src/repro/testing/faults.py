@@ -134,6 +134,9 @@ def _smoke(seeds: int) -> int:  # pragma: no cover - exercised by CI, not pytest
             spec, OptimizationOptions.full(), container_version=2
         ).compress(raw, chunk_records=100),
         "v3-chunked": engine.compress(raw, chunk_records=100),
+        "v4-stream": TraceEngine(
+            spec, OptimizationOptions.full(), container_version=4
+        ).compress(raw, chunk_records=100),
     }
 
     violations = 0

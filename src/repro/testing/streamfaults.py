@@ -1,0 +1,317 @@
+"""Crash-fault matrix for the v4 streaming container.
+
+The streaming robustness contract is sharper than the corruption
+contract of :mod:`repro.testing.faults`: a v4 archive cut at *any* byte
+must decode to exactly the records of the chunk frames wholly before
+the cut — no loss below the last durable flush, no phantom records
+above it — and a writer resumed on the truncated file must continue to
+a byte-identical archive.  This module checks that mechanically:
+
+``truncation_matrix``
+    cut a finished stream at every frame boundary and one byte to
+    either side (plus every prologue/trailer edge); assert the exact
+    recovered-record count, that boundary cuts report *clean
+    truncation* and mid-frame cuts report a *torn tail*;
+
+``resume_matrix``
+    truncate at arbitrary mid-stream points, resume the writer on the
+    damaged file, replay the remaining records, and assert the final
+    archive decodes byte-identically to the original trace;
+
+``kill_matrix``
+    fork a real writer child (``fsync`` on every flush), SIGKILL it
+    mid-stream, and assert the surviving file honors every watermark
+    the child acked before dying.
+
+Run ``python -m repro.testing --stream`` for the self-contained smoke
+campaign over all three (used by CI's stream-crash-smoke job).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.errors import ReproError
+from repro.tio.streamv4 import scan_stream
+
+
+def _check(ok: bool, label: str, message: str) -> int:
+    if ok:
+        return 0
+    print(f"STREAM-FAULT {label}: {message}")
+    return 1
+
+
+def build_stream(engine, raw: bytes, *, flush_records: int, close: bool = True):
+    """Write ``raw`` through a streaming compressor, flushing every
+    ``flush_records`` records; returns ``(blob, watermarks)`` where the
+    watermarks are the durable points acked by each flush (and the
+    close, when requested)."""
+    import io
+
+    fmt = engine.format
+    sink = io.BytesIO()
+    stream = engine.open_stream(sink)
+    marks = []
+    pos = 0
+    header = fmt.header_bytes
+    total = (len(raw) - header) // fmt.record_bytes
+    for start in range(0, total, flush_records):
+        cut = header + min(start + flush_records, total) * fmt.record_bytes
+        stream.append(raw[pos:cut])
+        pos = cut
+        marks.append(stream.flush())
+    if close:
+        marks.append(stream.close())
+    else:
+        stream.abort()
+    return sink.getvalue(), marks
+
+
+def truncation_matrix(engine, raw: bytes, *, flush_records: int = 137) -> int:
+    """Cut at every frame boundary +-1 byte; return violation count."""
+    blob, marks = build_stream(engine, raw, flush_records=flush_records)
+    scan = scan_stream(blob, expected_fingerprint=engine.model.fingerprint())
+    fmt = engine.format
+    header = fmt.header_bytes
+    record_bytes = fmt.record_bytes
+
+    boundaries = {scan.prologue_end}
+    for (_index, _count, _start, end) in scan.frames:
+        boundaries.add(end)
+    boundaries.add(len(blob))  # one past the trailer: the intact archive
+
+    cuts = set()
+    for boundary in boundaries:
+        for cut in (boundary - 1, boundary, boundary + 1):
+            if 0 <= cut <= len(blob):
+                cuts.add(cut)
+
+    violations = 0
+    for cut in sorted(cuts):
+        label = f"truncate@{cut}/{len(blob)}"
+        expected = sum(c for (_i, c, _s, e) in scan.frames if e <= cut)
+        damaged = blob[:cut]
+        if cut < scan.prologue_end:
+            # The stream head itself is torn: nothing is recoverable,
+            # but the decoder must fail with a typed error, not recover
+            # phantom records.
+            try:
+                engine.decompress(damaged, mode="salvage")
+            except ReproError:
+                pass
+            except Exception as exc:  # noqa: BLE001 - contract check
+                violations += _check(False, label, f"non-typed escape {exc!r}")
+            continue
+        try:
+            out = engine.decompress(damaged, mode="salvage")
+        except ReproError as exc:
+            violations += _check(False, label, f"salvage raised {exc!r}")
+            continue
+        except Exception as exc:  # noqa: BLE001 - contract check
+            violations += _check(False, label, f"non-typed escape {exc!r}")
+            continue
+        report = engine.last_report
+        got = max(0, (len(out) - header) // record_bytes)
+        violations += _check(
+            got == expected,
+            label,
+            f"recovered {got} records, want exactly {expected}",
+        )
+        at_boundary = cut in boundaries
+        if cut == len(blob):
+            violations += _check(
+                not report.truncated and not report.torn_tail,
+                label,
+                "intact archive misreported as truncated",
+            )
+        else:
+            violations += _check(
+                report.clean_truncation,
+                label,
+                "truncation misreported as corruption: "
+                f"clean_truncation=False ({report.render()})",
+            )
+            if not at_boundary and cut > scan.prologue_end:
+                violations += _check(
+                    report.torn_tail or report.trailer_damaged,
+                    label,
+                    "mid-frame cut did not report a torn tail",
+                )
+        violations += _check(
+            out == raw[: header + expected * record_bytes],
+            label,
+            "recovered bytes are not the exact record prefix",
+        )
+        # The durable-watermark invariant: recovery never falls below
+        # the greatest flush watermark at or under the cut.
+        acked = max((m.records for m in marks if m.bytes <= cut), default=0)
+        violations += _check(
+            got >= acked,
+            label,
+            f"recovered {got} records below the acked watermark {acked}",
+        )
+    return violations
+
+
+def resume_matrix(engine, raw: bytes, *, flush_records: int = 137, points: int = 8) -> int:
+    """Truncate mid-stream, resume the writer, and demand the finished
+    archive decode byte-identically to ``raw``.  Returns violations."""
+    blob, _marks = build_stream(
+        engine, raw, flush_records=flush_records, close=False
+    )
+    scan = scan_stream(blob, expected_fingerprint=engine.model.fingerprint())
+    fmt = engine.format
+    header = fmt.header_bytes
+    record_bytes = fmt.record_bytes
+    # Cuts spread over the whole file, deliberately including torn ones.
+    cuts = sorted(
+        {
+            scan.prologue_end,
+            *(len(blob) * i // (points + 1) for i in range(1, points + 1)),
+            len(blob),
+        }
+    )
+    violations = 0
+    for cut in cuts:
+        if cut < scan.prologue_end:
+            continue
+        label = f"resume@{cut}/{len(blob)}"
+        with tempfile.NamedTemporaryFile(suffix=".tc4", delete=False) as handle:
+            path = handle.name
+            handle.write(blob[:cut])
+        try:
+            stream = engine.open_stream(path, resume=True)
+            durable = stream.watermark.records
+            stream.append(raw[header + durable * record_bytes :])
+            stream.close()
+            with open(path, "rb") as handle:
+                final = handle.read()
+            out = engine.decompress(final)
+            violations += _check(
+                out == raw, label, "resumed archive does not roundtrip"
+            )
+        except ReproError as exc:
+            violations += _check(False, label, f"resume raised {exc!r}")
+        finally:
+            os.unlink(path)
+    return violations
+
+
+#: Child writer used by the kill matrix: streams records with fsync on
+#: every flush and prints an ``ACK records bytes`` line per durable point.
+_KILL_CHILD = r"""
+import struct, sys
+from repro.spec import tcgen_a
+from repro.runtime.engine import TraceEngine
+from repro.streaming import FlushPolicy
+
+path, flush_records, total = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+spec = tcgen_a()
+engine = TraceEngine(spec)
+fmt = engine.format
+raw = bytearray(b"VPC3"[: fmt.header_bytes].ljust(fmt.header_bytes, b"\x00"))
+pc = 0x1000
+for i in range(total):
+    pc = (pc + 53) & 0xFFFFFFFF
+    raw += struct.pack("<Iq", pc, (pc * 2654435761) % (1 << 63))
+stream = engine.open_stream(path, policy=FlushPolicy(fsync=True))
+fmtlen = fmt.header_bytes
+for start in range(0, total, flush_records):
+    cut = fmt.header_bytes + min(start + flush_records, total) * fmt.record_bytes
+    stream.append(bytes(raw[fmtlen:cut]))
+    fmtlen = cut
+    mark = stream.flush()
+    print(f"ACK {mark.records} {mark.bytes}", flush=True)
+stream.close()
+print("CLOSED", flush=True)
+"""
+
+
+def kill_matrix(engine, *, flush_records: int = 64, kills: int = 3) -> int:
+    """SIGKILL a real writer child mid-stream; assert every acked
+    watermark survives in the file it left behind.  Returns violations."""
+    violations = 0
+    for attempt in range(kills):
+        label = f"sigkill#{attempt}"
+        with tempfile.NamedTemporaryFile(suffix=".tc4", delete=False) as handle:
+            path = handle.name
+        child = None
+        try:
+            child = subprocess.Popen(
+                [sys.executable, "-c", _KILL_CHILD, path, str(flush_records), "100000"],
+                stdout=subprocess.PIPE,
+                text=True,
+                env={**os.environ, "TCGEN_NATIVE": "0"},
+            )
+            acked = 0
+            # Let progressively more flushes land before pulling the rug.
+            for _ in range(2 + attempt * 2):
+                line = child.stdout.readline()
+                if not line or line.startswith("CLOSED"):
+                    break
+                _tag, records, _bytes = line.split()
+                acked = int(records)
+            child.kill()
+            child.wait()
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            scan = scan_stream(
+                blob, expected_fingerprint=engine.model.fingerprint()
+            )
+            violations += _check(
+                scan.records >= acked,
+                label,
+                f"file holds {scan.records} records, child acked {acked}",
+            )
+            out = engine.decompress(blob, mode="salvage")
+            fmt = engine.format
+            got = (len(out) - fmt.header_bytes) // fmt.record_bytes
+            violations += _check(
+                got == scan.records,
+                label,
+                f"salvage recovered {got} records, scan says {scan.records}",
+            )
+            violations += _check(
+                engine.last_report.clean_truncation,
+                label,
+                "kill left a file that salvage reports as corrupt",
+            )
+        finally:
+            if child is not None and child.poll() is None:  # pragma: no cover
+                child.kill()
+                child.wait()
+            os.unlink(path)
+    return violations
+
+
+def _stream_smoke() -> int:  # pragma: no cover - exercised by CI, not pytest
+    """The self-contained stream-crash campaign; returns violations."""
+    from repro.spec import tcgen_a
+    from repro.runtime.engine import TraceEngine
+
+    spec = tcgen_a()
+    engine = TraceEngine(spec)
+    fmt = engine.format
+    raw = bytearray(b"VPC3"[: fmt.header_bytes].ljust(fmt.header_bytes, b"\x00"))
+    pc = 0x1000
+    for i in range(3000):
+        pc = (pc + 53 if i % 97 else pc * 31 + 7) & 0xFFFFFFFF
+        raw += struct.pack("<Iq", pc, (pc * 2654435761) % (1 << 63))
+    raw = bytes(raw)
+
+    started = time.monotonic()
+    violations = 0
+    violations += truncation_matrix(engine, raw)
+    violations += resume_matrix(engine, raw)
+    violations += kill_matrix(engine)
+    print(
+        f"stream-crash smoke: {violations} contract violations "
+        f"({time.monotonic() - started:.1f}s)"
+    )
+    return violations

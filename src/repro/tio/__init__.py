@@ -7,12 +7,15 @@ compressors, the interpreted engine, and every baseline algorithm:
 - :mod:`repro.tio.traceformat` — fixed-width record formats and the VPC
   trace layout used throughout the paper's evaluation,
 - :mod:`repro.tio.container` — the on-disk container that holds the
-  post-compressed streams produced by a TCgen-style compressor.
+  post-compressed streams produced by a TCgen-style compressor,
+- :mod:`repro.tio.streamv4` — the append-only v4 stream framing with
+  individually-flushable, crash-recoverable chunk frames.
 """
 
 from repro.tio.blockio import ByteReader, ByteWriter, atomic_write_bytes
 from repro.tio.checksum import crc32c
 from repro.tio.container import (
+    FORMAT_VERSION_4,
     ChunkedContainer,
     ContainerChunk,
     DecodeReport,
@@ -22,6 +25,15 @@ from repro.tio.container import (
     container_version,
     decode_container,
     default_chunk_records,
+)
+from repro.tio.streamv4 import (
+    CHUNK_MAGIC,
+    STREAM_TRAILER_MAGIC,
+    StreamScan,
+    encode_chunk_frame,
+    encode_prologue,
+    encode_trailer,
+    scan_stream,
 )
 from repro.tio.traceformat import (
     TraceFormat,
@@ -33,19 +45,27 @@ from repro.tio.traceformat import (
 __all__ = [
     "ByteReader",
     "ByteWriter",
+    "CHUNK_MAGIC",
     "ChunkedContainer",
     "ContainerChunk",
     "DecodeReport",
+    "FORMAT_VERSION_4",
+    "STREAM_TRAILER_MAGIC",
     "StreamContainer",
     "StreamPayload",
+    "StreamScan",
     "as_chunked",
     "atomic_write_bytes",
     "container_version",
     "crc32c",
     "decode_container",
     "default_chunk_records",
+    "encode_chunk_frame",
+    "encode_prologue",
+    "encode_trailer",
+    "pack_records",
+    "scan_stream",
+    "unpack_records",
     "TraceFormat",
     "VPC_FORMAT",
-    "pack_records",
-    "unpack_records",
 ]

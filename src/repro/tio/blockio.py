@@ -79,6 +79,14 @@ class ByteReader:
     def position(self) -> int:
         return self._pos
 
+    def seek(self, position: int) -> None:
+        """Reposition the read cursor (bounds-checked, used for resync)."""
+        if not 0 <= position <= len(self._data):
+            raise ValueError(
+                f"seek position {position} outside the {len(self._data)}-byte buffer"
+            )
+        self._pos = position
+
     def remaining(self) -> int:
         """Number of unread bytes."""
         return len(self._data) - self._pos

@@ -49,6 +49,12 @@ of the codec stage.  The trailer makes truncation detectable even when it
 removes whole trailing chunks.  See ``docs/FORMAT.md`` for the normative
 byte-level specification.
 
+**Version 4** (:mod:`repro.tio.streamv4`) inverts the metadata-first
+layout for streaming ingestion: a small CRC-framed prologue, then
+self-framed chunk frames (magic + length + CRC32C each) appended and
+flushed independently, then an *optional* clean-close trailer.  A v4
+file truncated at any byte still yields every fully-flushed chunk.
+
 The fingerprint ties a compressed blob to the specification that produced
 it, so decompressing with a mismatched generated compressor fails loudly
 instead of producing garbage.  :func:`decode_container` dispatches on the
@@ -77,6 +83,9 @@ TRAILER_MAGIC = b"TCEN"
 FORMAT_VERSION = 1
 FORMAT_VERSION_2 = 2
 FORMAT_VERSION_3 = 3
+#: Append-only streaming framing (self-framed flushable chunks); the wire
+#: layout and recovery semantics live in :mod:`repro.tio.streamv4`.
+FORMAT_VERSION_4 = 4
 
 #: Target raw bytes per chunk when the caller asks for automatic sizing.
 DEFAULT_CHUNK_BYTES = 1 << 20
@@ -122,6 +131,11 @@ class DecodeReport:
     header_stream_lost: bool = False
     trailer_damaged: bool = False
     truncated: bool = False
+    #: A v4 stream ended *inside* a chunk frame: the partial flush at the
+    #: tail was dropped.  Distinct from ``truncated`` (which for v4 marks
+    #: the open-stream state: a clean end at a frame boundary with no
+    #: close trailer) and from a lost chunk (mid-stream corruption).
+    torn_tail: bool = False
     notes: list[str] = field(default_factory=list)
 
     @property
@@ -133,8 +147,25 @@ class DecodeReport:
             or self.header_stream_lost
             or self.trailer_damaged
             or self.truncated
+            or self.torn_tail
             or self.notes
         )
+
+    @property
+    def clean_truncation(self) -> bool:
+        """True when the only damage is a cut-off tail, never corruption.
+
+        Covers the v4 streaming states — an open stream (no close
+        trailer), a torn final flush, or a damaged/missing trailer — and
+        the analogous v3 tail truncation, *provided* every chunk before
+        the cut survived.  A clean truncation recovers exactly the
+        records below the last durable flush watermark, so callers (the
+        ``tcgen-stream`` CLI, the server's recovery path) treat it as a
+        successful partial read, not corruption.
+        """
+        if self.header_damaged or self.header_stream_lost or self.lost_chunks:
+            return False
+        return self.truncated or self.torn_tail or self.trailer_damaged
 
     def mark_recovered(self, index: int, records: int) -> None:
         self.recovered_chunks.append(index)
@@ -165,8 +196,17 @@ class DecodeReport:
             lines.append("  trace header stream lost (zero-filled on output)")
         if self.truncated:
             lines.append("  container is truncated")
+        if self.torn_tail:
+            lines.append(
+                "  torn tail: the final partial chunk frame was dropped "
+                "(all flushed records recovered)"
+            )
         if self.trailer_damaged:
             lines.append("  end-of-stream trailer missing or damaged")
+        if self.clean_truncation:
+            lines.append(
+                "  clean truncation: every chunk before the cut survived"
+            )
         if self.total_chunks is not None:
             lines.append(
                 f"  chunks: {len(self.recovered_chunks)}/{self.total_chunks} "
@@ -314,6 +354,10 @@ class ChunkedContainer:
                 for stream in chunk.streams:
                     writer.write_bytes(stream.data)
             return writer.getvalue()
+        if self.version == FORMAT_VERSION_4:
+            from repro.tio.streamv4 import encode_v4
+
+            return encode_v4(self)
         if self.version != FORMAT_VERSION_3:
             raise CompressedFormatError(
                 f"cannot encode container version {self.version}"
@@ -683,6 +727,16 @@ def decode_container(
                 max_chunk_bytes=max_chunk_bytes,
                 report=report,
             )
+        if version == FORMAT_VERSION_4:
+            from repro.tio.streamv4 import decode_v4
+
+            return decode_v4(
+                blob,
+                expected_fingerprint,
+                mode=mode,
+                max_chunk_bytes=max_chunk_bytes,
+                report=report,
+            )
         raise CompressedFormatError(f"unsupported container version {version}")
 
     # Salvage mode: framing-level damage means the chunk table cannot be
@@ -731,6 +785,33 @@ def decode_container(
         except CompressedFormatError as exc:
             if "fingerprint mismatch" in str(exc) and version == FORMAT_VERSION_3:
                 raise  # checksum-valid header, genuinely wrong decompressor
+            report.header_damaged = True
+            report.notes.append(str(exc))
+        return ChunkedContainer(
+            fingerprint=0, record_count=0, chunk_records=0, version=version
+        )
+    if version == FORMAT_VERSION_4:
+        from repro.tio.streamv4 import decode_v4
+
+        try:
+            return decode_v4(
+                blob,
+                expected_fingerprint,
+                mode=mode,
+                max_chunk_bytes=max_chunk_bytes,
+                report=report,
+            )
+        except TruncatedContainerError as exc:
+            # The prologue itself is cut off: no trustworthy metadata.
+            report.header_damaged = True
+            report.truncated = True
+            report.notes.append(str(exc))
+        except ChecksumError as exc:
+            report.header_damaged = True
+            report.notes.append(str(exc))
+        except CompressedFormatError as exc:
+            if "fingerprint mismatch" in str(exc):
+                raise  # checksum-valid prologue, genuinely wrong decompressor
             report.header_damaged = True
             report.notes.append(str(exc))
         return ChunkedContainer(

@@ -1,0 +1,679 @@
+"""Container v4: append-only stream framing with individually-flushable chunks.
+
+Versions 2 and 3 are metadata-first: the chunk table (and, for v3, the
+CRC trailer) can only be written once every chunk is known, so a writer
+killed mid-capture leaves a blob whose framing never materialized and
+nothing is recoverable.  Version 4 inverts the layout for streaming
+ingestion — every chunk is a *self-framed* unit that is appended and
+flushed independently, and the file is decodable after truncation at an
+arbitrary byte:
+
+```
+prologue:
+  magic "TCGN" | format version (u8 = 4) | spec fingerprint (u64)
+  chunk records (varint, the per-chunk record cap)
+  global stream count (varint)
+  per global stream: codec id (u8) | raw length (varint) | stored length (varint)
+  prologue CRC32C (u32, over everything above)
+  global stream payloads, concatenated        -- only if global streams
+  global CRC32C (u32, over the global payloads)
+
+chunk frame (the append/flush unit), repeated:
+  chunk magic "TCCK"
+  frame length (varint: bytes that follow this varint, CRC included)
+  chunk index (varint, 0-based, strictly sequential)
+  record count (varint, 1 .. chunk records)
+  stream count (varint)
+  per stream: codec id (u8) | raw length (varint) | stored length (varint)
+  stream payloads, concatenated
+  frame CRC32C (u32, over the frame from its magic through its payloads)
+
+trailer (optional, written only on clean close):
+  trailer magic "TCST"
+  total record count (varint)
+  chunk count (varint)
+  per chunk: record count (varint) | frame length in bytes (varint)
+  trailer CRC32C (u32, over the trailer from its magic through the table)
+```
+
+Unlike v2/v3, chunks may hold *fewer* than ``chunk records`` records at
+any position (a latency- or byte-triggered flush closes a chunk early);
+``chunk records`` is the cap, not the uniform size.  Predictor state
+resets at every chunk boundary exactly as in v2/v3, which is what makes
+a chunk decodable the moment its frame is durable.
+
+Recovery semantics:
+
+- A file ending exactly at a frame boundary with no trailer is an **open
+  stream** — a live capture, or one whose writer died between flushes.
+  Both decode modes accept it and note the open state in the report
+  (``report.truncated`` without any lost chunk: ``clean_truncation``).
+- A file ending inside a frame has a **torn tail**: the final partial
+  frame was never fully flushed, so its records were never acked.
+  Strict mode raises; salvage drops the torn bytes, recovers everything
+  before them, and sets ``report.torn_tail``.
+- Salvage resynchronizes past a corrupt frame by scanning for the next
+  chunk magic and validating the candidate's CRC and sequential index,
+  so one damaged flush loses one chunk, not the rest of the stream.
+- The trailer is purely an accelerator (seek table + record total) and
+  a clean-close marker; it is verified when present and never required.
+
+:func:`scan_stream` is the writer-side recovery primitive: it walks an
+existing file, returns the byte offset of the last durable frame (the
+resume watermark) and whether the stream was closed, so a
+:class:`~repro.streaming.StreamingCompressor` can truncate a torn tail
+and append after a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ChecksumError,
+    CompressedFormatError,
+    TruncatedContainerError,
+)
+from repro.tio.blockio import ByteReader, ByteWriter
+from repro.tio.checksum import crc32c
+from repro.tio.container import (
+    DEFAULT_MAX_CHUNK_BYTES,
+    FORMAT_VERSION_4,
+    MAGIC,
+    ChunkedContainer,
+    ContainerChunk,
+    DecodeReport,
+    StreamPayload,
+    _read_stream_meta,
+    _write_stream_meta,
+)
+
+#: Magic opening every self-framed chunk (the append unit).
+CHUNK_MAGIC = b"TCCK"
+
+#: Magic opening the optional clean-close trailer.
+STREAM_TRAILER_MAGIC = b"TCST"
+
+#: Open-stream note attached to reports for trailer-less frame-boundary ends.
+OPEN_STREAM_NOTE = (
+    "stream is open: ends at a chunk boundary without a close trailer"
+)
+
+
+class _TornFrame(Exception):
+    """A chunk frame extends past the end of the blob (partial flush)."""
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def encode_prologue(
+    fingerprint: int,
+    chunk_records: int,
+    global_streams: list[StreamPayload],
+) -> bytes:
+    """The stream prologue: everything a reader needs before any chunk."""
+    writer = ByteWriter()
+    writer.write_bytes(MAGIC)
+    writer.write_u8(FORMAT_VERSION_4)
+    writer.write_u64(fingerprint)
+    writer.write_varint(chunk_records)
+    writer.write_varint(len(global_streams))
+    for stream in global_streams:
+        _write_stream_meta(writer, stream)
+    head = writer.getvalue()
+    out = bytearray(head)
+    out += crc32c(head).to_bytes(4, "little")
+    if global_streams:
+        payload = b"".join(stream.data for stream in global_streams)
+        out += payload
+        out += crc32c(payload).to_bytes(4, "little")
+    return bytes(out)
+
+
+def encode_chunk_frame(index: int, chunk: ContainerChunk) -> bytes:
+    """One self-framed chunk: magic, length, body, CRC — the flush unit."""
+    if chunk.record_count < 1:
+        raise CompressedFormatError(
+            f"chunk frame {index} holds no records; empty flushes are not framed"
+        )
+    body = ByteWriter()
+    body.write_varint(index)
+    body.write_varint(chunk.record_count)
+    body.write_varint(len(chunk.streams))
+    for stream in chunk.streams:
+        _write_stream_meta(body, stream)
+    for stream in chunk.streams:
+        body.write_bytes(stream.data)
+    body_bytes = body.getvalue()
+    head = ByteWriter()
+    head.write_bytes(CHUNK_MAGIC)
+    head.write_varint(len(body_bytes) + 4)  # body plus the trailing CRC
+    prefix = head.getvalue() + body_bytes
+    return prefix + crc32c(prefix).to_bytes(4, "little")
+
+
+def encode_trailer(record_count: int, table: list[tuple[int, int]]) -> bytes:
+    """The clean-close trailer: record total plus a per-chunk seek table."""
+    writer = ByteWriter()
+    writer.write_bytes(STREAM_TRAILER_MAGIC)
+    writer.write_varint(record_count)
+    writer.write_varint(len(table))
+    for count, frame_bytes in table:
+        writer.write_varint(count)
+        writer.write_varint(frame_bytes)
+    body = writer.getvalue()
+    return body + crc32c(body).to_bytes(4, "little")
+
+
+def encode_v4(container: ChunkedContainer) -> bytes:
+    """Serialize a whole container in v4 framing (prologue, frames, trailer).
+
+    This is the batch path (``TraceEngine.compress(container_version=4)``);
+    the streaming writer emits the same three pieces incrementally.
+    """
+    out = bytearray(
+        encode_prologue(
+            container.fingerprint, container.chunk_records, container.global_streams
+        )
+    )
+    table: list[tuple[int, int]] = []
+    for index, chunk in enumerate(container.chunks):
+        if chunk.record_count > container.chunk_records:
+            raise CompressedFormatError(
+                f"chunk {index} holds {chunk.record_count} records, "
+                f"more than the declared chunk cap {container.chunk_records}"
+            )
+        frame = encode_chunk_frame(index, chunk)
+        out += frame
+        table.append((chunk.record_count, len(frame)))
+    out += encode_trailer(container.record_count, table)
+    return bytes(out)
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+@dataclass
+class _Prologue:
+    fingerprint: int
+    chunk_records: int
+    global_streams: list[StreamPayload]
+    global_damaged: bool
+    #: Offset of the first byte after the prologue (frames start here).
+    end: int
+
+
+def _read_prologue(
+    reader: ByteReader,
+    blob: bytes,
+    max_chunk_bytes: int,
+) -> _Prologue:
+    """Parse and CRC-verify the prologue; raises typed errors on damage."""
+    magic = reader.read_bytes(4)
+    if magic != MAGIC:
+        raise CompressedFormatError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    version = reader.read_u8()
+    if version != FORMAT_VERSION_4:
+        raise CompressedFormatError(
+            f"unsupported container version {version}, expected {FORMAT_VERSION_4}"
+        )
+    fingerprint = reader.read_u64()
+    chunk_records = reader.read_varint()
+    if chunk_records < 1:
+        raise CompressedFormatError("declared chunk record cap is zero")
+    global_count = reader.read_count("global stream count", 3)
+    global_metas = [
+        _read_stream_meta(reader, max_chunk_bytes, len(blob))
+        for _ in range(global_count)
+    ]
+    meta_end = reader.position
+    stored_crc = reader.read_u32()
+    if crc32c(blob[:meta_end]) != stored_crc:
+        raise ChecksumError("stream prologue checksum mismatch", offset=meta_end)
+    global_streams: list[StreamPayload] = []
+    global_damaged = False
+    if global_metas:
+        start = reader.position
+        size = sum(stored for _c, _r, stored in global_metas)
+        payload = reader.read_bytes(size)
+        stored_crc = reader.read_u32()
+        if crc32c(payload) != stored_crc:
+            global_damaged = True
+        else:
+            pos = 0
+            for codec_id, raw_length, stored in global_metas:
+                global_streams.append(
+                    StreamPayload(codec_id, raw_length, payload[pos : pos + stored])
+                )
+                pos += stored
+        del start
+    return _Prologue(
+        fingerprint=fingerprint,
+        chunk_records=chunk_records,
+        global_streams=global_streams,
+        global_damaged=global_damaged,
+        end=reader.position,
+    )
+
+
+def _parse_frame(
+    blob: bytes,
+    start: int,
+    chunk_records: int,
+    max_chunk_bytes: int,
+) -> tuple[int, ContainerChunk, int]:
+    """Parse the chunk frame at ``start``; returns (index, chunk, end).
+
+    Raises :class:`_TornFrame` when the frame runs past the end of the
+    blob (a partial flush), :class:`ChecksumError` on a CRC mismatch, and
+    :class:`CompressedFormatError` for structural damage.
+    """
+    reader = ByteReader(blob)
+    reader.seek(start)
+    magic = reader.read_bytes(4)
+    if magic != CHUNK_MAGIC:
+        raise CompressedFormatError(
+            f"bad chunk magic {magic!r} at byte offset {start}"
+        )
+    try:
+        frame_length = reader.read_varint()
+    except TruncatedContainerError:
+        raise _TornFrame from None
+    body_start = reader.position
+    end = body_start + frame_length
+    if frame_length < 4 + 3:  # CRC plus at least three varint bytes
+        raise CompressedFormatError(
+            f"chunk frame at byte offset {start} declares an impossible "
+            f"length {frame_length}"
+        )
+    if end > len(blob):
+        raise _TornFrame
+    stored_crc = int.from_bytes(blob[end - 4 : end], "little")
+    if crc32c(blob[start : end - 4]) != stored_crc:
+        raise ChecksumError(
+            f"chunk frame checksum mismatch at byte offset {start}", offset=start
+        )
+    index = reader.read_varint()
+    count = reader.read_varint()
+    if count < 1 or count > chunk_records:
+        raise CompressedFormatError(
+            f"chunk frame at byte offset {start} holds {count} records, "
+            f"outside 1..{chunk_records}"
+        )
+    stream_count = reader.read_count("chunk stream count", 3)
+    metas = [
+        _read_stream_meta(reader, max_chunk_bytes, len(blob))
+        for _ in range(stream_count)
+    ]
+    streams = []
+    for codec_id, raw_length, stored in metas:
+        streams.append(StreamPayload(codec_id, raw_length, reader.read_bytes(stored)))
+    if reader.position != end - 4:
+        raise CompressedFormatError(
+            f"chunk frame at byte offset {start} declares {frame_length} bytes "
+            f"but its streams cover {reader.position - body_start + 4}"
+        )
+    return index, ContainerChunk(record_count=count, streams=streams), end
+
+
+@dataclass
+class _Trailer:
+    record_count: int
+    table: list[tuple[int, int]]
+    end: int
+
+
+def _parse_trailer(blob: bytes, start: int) -> _Trailer:
+    """Parse and CRC-verify the clean-close trailer at ``start``."""
+    reader = ByteReader(blob)
+    reader.seek(start)
+    magic = reader.read_bytes(4)
+    if magic != STREAM_TRAILER_MAGIC:
+        raise CompressedFormatError(
+            f"bad trailer magic {magic!r} at byte offset {start}"
+        )
+    record_count = reader.read_varint()
+    chunk_count = reader.read_count("trailer chunk count", 2)
+    table = []
+    for _ in range(chunk_count):
+        count = reader.read_varint()
+        frame_bytes = reader.read_varint()
+        table.append((count, frame_bytes))
+    body_end = reader.position
+    stored_crc = reader.read_u32()
+    if crc32c(blob[start:body_end]) != stored_crc:
+        raise ChecksumError(
+            "stream trailer checksum mismatch", offset=body_end
+        )
+    return _Trailer(record_count=record_count, table=table, end=reader.position)
+
+
+def decode_v4(
+    blob: bytes,
+    expected_fingerprint: int | None = None,
+    *,
+    mode: str = "strict",
+    max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+    report: DecodeReport | None = None,
+) -> ChunkedContainer:
+    """Parse a v4 stream into a :class:`ChunkedContainer`.
+
+    Strict mode raises on any damage *except* the open-stream state (a
+    trailer-less blob ending exactly at a frame boundary), which is a
+    legal live capture.  Salvage mode recovers every intact frame,
+    resynchronizing on the chunk magic past damage, and reports torn
+    tails distinctly from corruption (``report.torn_tail``).
+    """
+    strict = mode == "strict"
+    report = report if report is not None else DecodeReport()
+    report.mode = mode
+    report.version = FORMAT_VERSION_4
+    reader = ByteReader(blob)
+    prologue = _read_prologue(reader, blob, max_chunk_bytes)
+    # The fingerprint check runs after the prologue CRC held: a mismatch on
+    # checksum-valid metadata is a wrong decompressor, not corruption.
+    if (
+        expected_fingerprint is not None
+        and prologue.fingerprint != expected_fingerprint
+    ):
+        raise CompressedFormatError(
+            f"spec fingerprint mismatch: blob has {prologue.fingerprint:#018x}, "
+            f"decompressor expects {expected_fingerprint:#018x}"
+        )
+    if prologue.global_damaged:
+        if strict:
+            raise ChecksumError(
+                "global stream payload checksum mismatch", offset=prologue.end
+            )
+        report.header_stream_lost = True
+        report.notes.append("global stream payload checksum mismatch")
+
+    container = ChunkedContainer(
+        fingerprint=prologue.fingerprint,
+        record_count=0,
+        chunk_records=prologue.chunk_records,
+        global_streams=prologue.global_streams,
+        version=FORMAT_VERSION_4,
+    )
+    expected_index = 0
+    trailer: _Trailer | None = None
+    table: list[tuple[int, int]] = []
+    position = prologue.end
+    while position < len(blob):
+        window = blob[position : position + 4]
+        if window == STREAM_TRAILER_MAGIC:
+            try:
+                trailer = _parse_trailer(blob, position)
+            except (ChecksumError, CompressedFormatError, TruncatedContainerError) as exc:
+                if strict:
+                    raise
+                report.trailer_damaged = True
+                report.notes.append(f"trailer: {exc}")
+                position = len(blob)
+                break
+            position = trailer.end
+            break
+        if window != CHUNK_MAGIC or len(window) < 4:
+            if strict:
+                if len(window) < 4:
+                    raise TruncatedContainerError(
+                        f"torn bytes after the last complete chunk frame "
+                        f"at byte offset {position}",
+                        offset=position,
+                    )
+                raise CompressedFormatError(
+                    f"expected a chunk frame or trailer at byte offset "
+                    f"{position}, found {window!r}"
+                )
+            if len(window) < 4:
+                # Fewer bytes than a frame magic can only be the start of
+                # a partial flush — a torn tail, same as strict mode says.
+                report.torn_tail = True
+                report.notes.append(
+                    f"torn tail: {len(window)} stray bytes after the last "
+                    f"complete chunk frame at byte offset {position} dropped"
+                )
+                position = len(blob)
+                break
+            position = _resync(blob, position, report, expected_index)
+            continue
+        try:
+            index, chunk, end = _parse_frame(
+                blob, position, prologue.chunk_records, max_chunk_bytes
+            )
+        except _TornFrame:
+            if strict:
+                raise TruncatedContainerError(
+                    f"torn chunk frame at byte offset {position}: the stream "
+                    f"ends mid-flush",
+                    offset=position,
+                ) from None
+            # Could be a truncated file (torn tail) or a corrupt length
+            # with valid frames beyond — resync decides which.
+            resumed = _resync(blob, position, report, expected_index, torn_ok=True)
+            if resumed >= len(blob):
+                report.torn_tail = True
+                report.notes.append(
+                    f"torn tail: partial chunk frame at byte offset {position} "
+                    f"dropped (records below the last flush watermark are intact)"
+                )
+                position = len(blob)
+                break
+            position = resumed
+            continue
+        except (ChecksumError, CompressedFormatError, TruncatedContainerError) as exc:
+            if strict:
+                raise
+            report.mark_lost(
+                expected_index, 0, f"{exc}"
+            )
+            position = _resync(blob, position, report, expected_index + 1)
+            continue
+        if index != expected_index:
+            if strict:
+                raise CompressedFormatError(
+                    f"chunk frame at byte offset {position} carries index "
+                    f"{index}, expected {expected_index} (phantom or spliced "
+                    f"chunk)"
+                )
+            if index < expected_index:
+                report.notes.append(
+                    f"duplicate or out-of-order chunk frame {index} at byte "
+                    f"offset {position} ignored"
+                )
+                position = end
+                continue
+            for missing in range(expected_index, index):
+                if missing not in report.reasons:
+                    report.mark_lost(missing, 0, "chunk frame missing from stream")
+            expected_index = index
+        container.chunks.append(chunk)
+        container.record_count += chunk.record_count
+        report.mark_recovered(expected_index, chunk.record_count)
+        table.append((chunk.record_count, end - position))
+        expected_index += 1
+        position = end
+
+    report.total_chunks = expected_index
+    report.total_records = container.record_count + report.lost_records
+    if position < len(blob):
+        leftover = len(blob) - position
+        if strict:
+            raise CompressedFormatError(
+                f"{leftover} trailing bytes after the stream trailer"
+            )
+        report.notes.append(
+            f"{leftover} trailing bytes after the stream trailer (ignored)"
+        )
+    if trailer is None:
+        # Open stream (or clean truncation at a frame boundary): legal,
+        # but flagged so callers can tell an archive from a live capture.
+        if not report.torn_tail:
+            report.truncated = True
+            report.notes.append(OPEN_STREAM_NOTE)
+    else:
+        problems = []
+        if trailer.record_count != container.record_count and not report.lost_chunks:
+            problems.append(
+                f"trailer declares {trailer.record_count} records, frames "
+                f"carry {container.record_count}"
+            )
+        if len(trailer.table) != expected_index and not report.lost_chunks:
+            problems.append(
+                f"trailer declares {len(trailer.table)} chunks, stream "
+                f"carries {expected_index}"
+            )
+        elif not report.lost_chunks and trailer.table != table:
+            problems.append("trailer seek table disagrees with the chunk frames")
+        for problem in problems:
+            if strict:
+                raise CompressedFormatError(problem)
+            report.trailer_damaged = True
+            report.notes.append(f"trailer: {problem}")
+    return container
+
+
+def _resync(
+    blob: bytes,
+    position: int,
+    report: DecodeReport,
+    next_index: int,
+    *,
+    torn_ok: bool = False,
+) -> int:
+    """Scan forward for the next plausible frame or trailer boundary.
+
+    Returns the offset of the next candidate chunk magic or trailer magic
+    after ``position`` (``len(blob)`` when none survives).  Candidates are
+    only boundaries — the caller re-parses and re-validates them, so a
+    payload byte-pattern that happens to spell the magic is rejected by
+    its CRC and the scan continues from the next occurrence.
+    """
+    search_from = position + 1
+    while True:
+        chunk_at = blob.find(CHUNK_MAGIC, search_from)
+        trailer_at = blob.find(STREAM_TRAILER_MAGIC, search_from)
+        candidates = [at for at in (chunk_at, trailer_at) if at != -1]
+        if not candidates:
+            return len(blob)
+        candidate = min(candidates)
+        if candidate == trailer_at:
+            try:
+                _parse_trailer(blob, candidate)
+            except (ChecksumError, CompressedFormatError, TruncatedContainerError):
+                search_from = candidate + 1
+                continue
+            return candidate
+        try:
+            _parse_frame(blob, candidate, 1 << 62, DEFAULT_MAX_CHUNK_BYTES)
+        except _TornFrame:
+            if torn_ok:
+                search_from = candidate + 1
+                continue
+            return candidate
+        except (ChecksumError, CompressedFormatError, TruncatedContainerError):
+            search_from = candidate + 1
+            continue
+        return candidate
+
+
+# -- writer-side recovery ---------------------------------------------------
+
+
+@dataclass
+class StreamScan:
+    """What :func:`scan_stream` found in an existing v4 file.
+
+    ``data_end`` is the resume watermark in bytes: every frame before it
+    is durable and CRC-valid; everything at or after it (torn partial
+    frame, damaged trailer) is safe to truncate before appending.
+    """
+
+    fingerprint: int
+    chunk_records: int
+    global_streams: list[StreamPayload] = field(default_factory=list)
+    #: Offset of the first byte after the prologue.
+    prologue_end: int = 0
+    #: (index, record_count, frame start, frame end) per durable frame.
+    frames: list[tuple[int, int, int, int]] = field(default_factory=list)
+    #: First byte after the last durable frame (the truncate-to offset).
+    data_end: int = 0
+    records: int = 0
+    closed: bool = False
+    torn: bool = False
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.frames)
+
+
+def scan_stream(
+    blob: bytes,
+    expected_fingerprint: int | None = None,
+    *,
+    max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+) -> StreamScan:
+    """Walk an existing v4 file and locate its durable frame prefix.
+
+    Unlike :func:`decode_v4` this never resynchronizes past damage: a
+    writer resuming after a crash must append strictly after the last
+    *contiguous* run of valid frames, because that is exactly what every
+    acked watermark covered.  Raises typed errors when the prologue is
+    unreadable or the fingerprint does not match.
+    """
+    reader = ByteReader(blob)
+    prologue = _read_prologue(reader, blob, max_chunk_bytes)
+    if (
+        expected_fingerprint is not None
+        and prologue.fingerprint != expected_fingerprint
+    ):
+        raise CompressedFormatError(
+            f"spec fingerprint mismatch: existing stream has "
+            f"{prologue.fingerprint:#018x}, writer expects "
+            f"{expected_fingerprint:#018x}"
+        )
+    if prologue.global_damaged:
+        raise ChecksumError(
+            "global stream payload checksum mismatch", offset=prologue.end
+        )
+    scan = StreamScan(
+        fingerprint=prologue.fingerprint,
+        chunk_records=prologue.chunk_records,
+        global_streams=prologue.global_streams,
+        prologue_end=prologue.end,
+        data_end=prologue.end,
+    )
+    position = prologue.end
+    while position < len(blob):
+        window = blob[position : position + 4]
+        if window == STREAM_TRAILER_MAGIC:
+            try:
+                trailer = _parse_trailer(blob, position)
+            except (ChecksumError, CompressedFormatError, TruncatedContainerError):
+                scan.torn = True
+                return scan
+            if trailer.end == len(blob):
+                scan.closed = True
+                scan.data_end = trailer.end
+            else:
+                scan.torn = True
+            return scan
+        if window != CHUNK_MAGIC:
+            scan.torn = True
+            return scan
+        try:
+            index, chunk, end = _parse_frame(
+                blob, position, prologue.chunk_records, max_chunk_bytes
+            )
+        except (_TornFrame, ChecksumError, CompressedFormatError, TruncatedContainerError):
+            scan.torn = True
+            return scan
+        if index != len(scan.frames):
+            scan.torn = True
+            return scan
+        scan.frames.append((index, chunk.record_count, position, end))
+        scan.records += chunk.record_count
+        scan.data_end = end
+        position = end
+    return scan

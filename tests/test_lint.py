@@ -180,6 +180,24 @@ class TestSpecLintCodes:
         )
         assert "TC025" not in codes_of(diags)
 
+    def test_tc026_small_flush_window(self):
+        from repro.lint.speclint import lint_flush_policy
+        from repro.spec import tcgen_a
+
+        spec = tcgen_a()  # 12-byte records
+        small = lint_flush_policy(spec, {"max_latency_ms": 5, "rate": 1000})
+        (diag,) = small
+        assert diag.code == "TC026" and diag.severity is Severity.WARNING
+        assert "5 records" in diag.message
+        # The tightest knob wins: max_bytes caps below max_records here.
+        by_bytes = lint_flush_policy(
+            spec, {"max_records": 4096, "max_bytes": 120}
+        )
+        assert "max_bytes" in by_bytes[0].message
+        assert lint_flush_policy(spec, {"max_records": 64}) == []
+        assert lint_flush_policy(spec, {"max_latency_ms": 5}) == []  # no rate
+        assert lint_flush_policy(spec, {}) == []
+
 
 class TestPresetsAreClean:
     def test_shipped_presets_have_no_diagnostics(self):

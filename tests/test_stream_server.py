@@ -1,0 +1,300 @@
+"""Tests for the ``stream-compress`` server op and the resumable client.
+
+The in-process tests drive a real framed TCP session (REQUEST /
+CONTINUE / DATA / FLUSH / ACK / END / RESPONSE) against a
+:class:`~repro.server.daemon.TraceServer` on a background thread.  The
+chaos half — dropped connections mid-stream, SIGKILL'd workers, drain
+on shutdown — asserts the recovery invariant end to end: nothing acked
+is ever lost, nothing unacked ever phantoms, and a resumed run that
+flushes at the same record counts produces a byte-identical archive.
+"""
+
+import io
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.client import TraceClient
+from repro.errors import (
+    BackpressureError,
+    ServiceUnavailableError,
+    StreamClosedError,
+)
+from repro.runtime.engine import TraceEngine
+from repro.server.limits import ServerConfig
+from repro.spec import parse_spec
+from repro.spec.presets import TCGEN_A_SPEC
+from repro.tio.streamv4 import scan_stream
+
+from conftest import make_vpc_trace
+from test_server import ServerThread
+from test_supervisor import Pool
+
+SPEC = parse_spec(TCGEN_A_SPEC)
+HEADER = SPEC.header_bits // 8
+RECORD = sum(f.bits for f in SPEC.fields) // 8
+
+
+def pieces(raw: bytes, records_each: int):
+    """Split ``raw`` into header-aligned append pieces."""
+    step = records_each * RECORD
+    cuts = [0, *range(HEADER + step, len(raw), step), len(raw)]
+    return [raw[a:b] for a, b in zip(cuts, cuts[1:])]
+
+
+def local_archive(raw: bytes, records_each: int, chunk_records: int) -> bytes:
+    """The byte-exact archive an uninterrupted run must produce."""
+    sink = io.BytesIO()
+    stream = TraceEngine(SPEC).open_stream(sink, chunk_records=chunk_records)
+    for piece in pieces(raw, records_each):
+        stream.append(piece)
+        stream.flush()
+    stream.close()
+    return sink.getvalue()
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = ServerThread(
+        ServerConfig(
+            port=0,
+            queue_limit=16,
+            stream_dir=str(tmp_path),
+            stream_fsync=False,
+        )
+    )
+    handle.stream_dir = tmp_path
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    with TraceClient("127.0.0.1", server.port, retries=8, backoff=0.02) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_vpc_trace(n=3000, seed=21)
+
+
+class TestStreamSession:
+    def test_roundtrip_and_byte_identity(self, server, client, trace):
+        marks = []
+        with client.open_stream(TCGEN_A_SPEC, "cap-1", chunk_records=512) as stream:
+            assert not stream.resumed and stream.skip_bytes == 0
+            for piece in pieces(trace, 300):
+                stream.append(piece)
+                marks.append(stream.flush())
+        assert stream.closed and stream.reconnects == 0
+        records = [m.records for m in marks]
+        assert records == sorted(records)
+        assert records[-1] == (len(trace) - HEADER) // RECORD
+        blob = (server.stream_dir / "cap-1.tc4").read_bytes()
+        assert blob == local_archive(trace, 300, 512)
+        assert TraceEngine(SPEC).decompress(blob) == trace
+
+    def test_detach_then_resume(self, server, client, trace):
+        split = HEADER + 1500 * RECORD
+        with TraceClient("127.0.0.1", server.port, retries=4) as first:
+            stream = first.open_stream(TCGEN_A_SPEC, "cap-2", chunk_records=512)
+            stream.append(trace[:split])
+            mark = stream.detach()
+        assert mark.records == 1500
+        resumed = client.open_stream(TCGEN_A_SPEC, "cap-2", chunk_records=512)
+        assert resumed.resumed
+        assert resumed.skip_bytes == split
+        resumed.append(trace[split:])
+        final = resumed.close()
+        assert final.records == (len(trace) - HEADER) // RECORD
+        blob = (server.stream_dir / "cap-2.tc4").read_bytes()
+        assert TraceEngine(SPEC).decompress(blob) == trace
+
+    def test_dropped_connection_resumes_byte_identical(
+        self, server, client, trace
+    ):
+        """Satellite: kill the TCP connection mid-stream, replay from the
+        acked watermark, and demand the exact uninterrupted bytes."""
+        parts = pieces(trace, 300)
+        stream = client.open_stream(TCGEN_A_SPEC, "cap-3", chunk_records=512)
+        for piece in parts[:3]:
+            stream.append(piece)
+            stream.flush()
+        acked_before = stream.acked.records
+        # Sever the transport under the session; the server sees EOF and
+        # releases the stream with only flushed chunks durable.
+        stream._client._sock.close()
+        for piece in parts[3:]:
+            stream.append(piece)
+            stream.flush()
+        stream.close()
+        assert stream.reconnects >= 1
+        assert stream.acked.records > acked_before
+        blob = (server.stream_dir / "cap-3.tc4").read_bytes()
+        assert blob == local_archive(trace, 300, 512)
+
+    def test_unflushed_appends_replay_after_drop(self, server, client, trace):
+        parts = pieces(trace, 300)
+        stream = client.open_stream(TCGEN_A_SPEC, "cap-4", chunk_records=512)
+        stream.append(parts[0])
+        stream.flush()
+        stream.append(parts[1])  # appended, never flushed
+        stream._client._sock.close()
+        # The next flush must reconnect, replay the unacked suffix, and
+        # ack everything appended so far.
+        mark = stream.flush()
+        assert stream.reconnects >= 1
+        assert mark.records == 600
+        for piece in parts[2:]:
+            stream.append(piece)
+        stream.close()
+        blob = (server.stream_dir / "cap-4.tc4").read_bytes()
+        assert TraceEngine(SPEC).decompress(blob) == trace
+
+    def test_second_writer_gets_backpressure(self, server, client, trace):
+        stream = client.open_stream(TCGEN_A_SPEC, "cap-5", chunk_records=512)
+        stream.append(pieces(trace, 300)[0])
+        with TraceClient("127.0.0.1", server.port, retries=0) as other:
+            with pytest.raises(BackpressureError):
+                other.open_stream(TCGEN_A_SPEC, "cap-5")
+        stream.close()
+
+    def test_reopening_closed_stream_raises(self, server, client, trace):
+        with client.open_stream(TCGEN_A_SPEC, "cap-6", chunk_records=512) as s:
+            s.append(trace)
+        with pytest.raises(StreamClosedError):
+            client.open_stream(TCGEN_A_SPEC, "cap-6")
+
+    def test_crash_exit_leaves_stream_resumable(self, server, client, trace):
+        split = HEADER + 900 * RECORD
+        try:
+            with client.open_stream(TCGEN_A_SPEC, "cap-7", chunk_records=512) as s:
+                s.append(trace[:split])
+                s.flush()
+                raise RuntimeError("producer crash")
+        except RuntimeError:
+            pass
+        # The crashed session dropped its connection without closing: the
+        # durable prefix survives and a new writer resumes it.
+        resumed = client.open_stream(TCGEN_A_SPEC, "cap-7", chunk_records=512)
+        assert resumed.resumed and resumed.skip_bytes == split
+        resumed.append(trace[split:])
+        resumed.close()
+        blob = (server.stream_dir / "cap-7.tc4").read_bytes()
+        assert TraceEngine(SPEC).decompress(blob) == trace
+
+    def test_stream_metrics_exposed(self, server, client, trace):
+        with client.open_stream(TCGEN_A_SPEC, "cap-8", chunk_records=512) as s:
+            s.append(pieces(trace, 300)[0])
+            s.flush()
+        text = client.metrics_text()
+        assert 'tcgen_streams_opened_total{kind="fresh"}' in text
+        assert "tcgen_stream_flushes_total" in text
+        assert "tcgen_stream_records_total" in text
+        health = client.health()
+        assert health["streams_active"] == 0
+        assert health["stream_flushes"] >= 1
+        assert health["stream_records"] >= 300
+
+    def test_bad_stream_id_rejected(self, client):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            client.open_stream(TCGEN_A_SPEC, "../escape")
+
+
+class TestDrain:
+    def test_drain_flushes_open_streams(self, tmp_path, trace):
+        handle = ServerThread(
+            ServerConfig(
+                port=0,
+                queue_limit=16,
+                stream_dir=str(tmp_path),
+                stream_fsync=False,
+            )
+        )
+        try:
+            with TraceClient("127.0.0.1", handle.port, retries=0) as c:
+                stream = c.open_stream(TCGEN_A_SPEC, "drainee", chunk_records=512)
+                stream.append(trace[: HEADER + 700 * RECORD])  # never flushed
+                time.sleep(0.1)  # let the DATA frames reach the server
+                handle.stop()  # SIGTERM-equivalent: request shutdown + drain
+        finally:
+            handle.stop()
+        blob = (tmp_path / "drainee.tc4").read_bytes()
+        scan = scan_stream(blob)
+        assert scan.records == 700  # the drain made the appends durable
+        assert not scan.closed  # drained, not sealed: a resume can continue
+
+
+class TestWorkerPool:
+    def test_two_producers_across_two_workers(self, tmp_path):
+        pool = Pool(["--workers", "2", "--no-http", "--stream-dir", str(tmp_path)])
+        try:
+            pool.worker_pids(2)
+            traces = {
+                f"producer-{i}": make_vpc_trace(n=2500, seed=30 + i)
+                for i in range(2)
+            }
+            failures = []
+
+            def produce(name: str) -> None:
+                raw = traces[name]
+                with TraceClient(
+                    "127.0.0.1", pool.port, retries=8, backoff=0.05
+                ) as c:
+                    with c.open_stream(TCGEN_A_SPEC, name, chunk_records=512) as s:
+                        for piece in pieces(raw, 250):
+                            s.append(piece)
+                            s.flush()
+                blob = (tmp_path / f"{name}.tc4").read_bytes()
+                if TraceEngine(SPEC).decompress(blob) != raw:
+                    failures.append(f"{name}: archive does not roundtrip")
+
+            threads = [
+                threading.Thread(target=produce, args=(name,)) for name in traces
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert failures == []
+            assert pool.terminate() == 0
+        finally:
+            pool.kill()
+
+    def test_sigkilled_worker_mid_stream_client_resumes(self, tmp_path):
+        """Tentpole chaos check: SIGKILL the worker holding the stream;
+        the client must fail over, replay unacked data, and finish a
+        byte-identical archive."""
+        pool = Pool(["--workers", "2", "--no-http", "--stream-dir", str(tmp_path)])
+        try:
+            pids = pool.worker_pids(2)
+            raw = make_vpc_trace(n=4000, seed=41)
+            parts = pieces(raw, 400)
+            with TraceClient(
+                "127.0.0.1", pool.port, retries=10, backoff=0.05
+            ) as c:
+                stream = c.open_stream(TCGEN_A_SPEC, "chaos", chunk_records=512)
+                for piece in parts[:3]:
+                    stream.append(piece)
+                    stream.flush()
+                victim = c.last_worker_id
+                assert victim in pids
+                os.kill(pids[victim], signal.SIGKILL)
+                for piece in parts[3:]:
+                    stream.append(piece)
+                    stream.flush()
+                stream.close()
+                assert stream.reconnects >= 1
+            blob = (tmp_path / "chaos.tc4").read_bytes()
+            assert blob == local_archive(raw, 400, 512)
+            # The supervisor replaced the killed worker meanwhile.
+            pool.wait_for_line(lambda l: "restarted" in l)
+            assert pool.terminate() == 0
+        finally:
+            pool.kill()

@@ -1,0 +1,293 @@
+"""Tests for the crash-safe v4 streaming container.
+
+Covers the wire format (frame grammar, trailer, golden hash), the
+:class:`~repro.streaming.StreamingCompressor` writer (flush policies,
+resume, crash semantics), the generated-module streaming entry point,
+the salvage report's clean-truncation/torn-tail distinction, and the
+deterministic truncation/resume fault matrices from
+:mod:`repro.testing.streamfaults`.
+"""
+
+import hashlib
+import io
+import os
+
+import pytest
+
+from repro.codegen import generate_python, load_python_module
+from repro.errors import (
+    ChecksumError,
+    CompressedFormatError,
+    StreamClosedError,
+    TruncatedContainerError,
+)
+from repro.model import OptimizationOptions, build_model
+from repro.runtime.engine import TraceEngine
+from repro.spec import tcgen_a
+from repro.streaming import FlushPolicy, StreamingCompressor
+from repro.testing import resume_matrix, truncation_matrix
+from repro.tio.container import MAGIC
+from repro.tio.streamv4 import CHUNK_MAGIC, STREAM_TRAILER_MAGIC, scan_stream
+
+from conftest import SPEC_VARIANTS, make_vpc_trace, spec_trace_for
+
+#: Pinned digest of the v4 container for the standard fixture trace.
+#: Changing the wire format is allowed, but must be deliberate: update
+#: this constant only alongside a docs/FORMAT.md version-bump entry.
+GOLDEN_V4_SHA256 = "63603ad9319f06f4bb3e774dbfa155a5455266ff199be320b3fa326ff140b4b1"
+
+
+@pytest.fixture(scope="module")
+def raw():
+    return make_vpc_trace(n=2000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return TraceEngine(tcgen_a(), container_version=4)
+
+
+@pytest.fixture(scope="module")
+def blob(engine, raw):
+    return engine.compress(raw, chunk_records=256)
+
+
+class TestWireFormat:
+    def test_golden_hash(self, blob):
+        assert hashlib.sha256(blob).hexdigest() == GOLDEN_V4_SHA256
+
+    def test_magics_present(self, blob):
+        assert blob.startswith(MAGIC)
+        assert CHUNK_MAGIC in blob
+        assert STREAM_TRAILER_MAGIC in blob
+
+    def test_strict_roundtrip(self, engine, raw, blob):
+        assert engine.decompress(blob) == raw
+        report = engine.last_report
+        assert report.intact
+        assert not report.truncated and not report.torn_tail
+
+    def test_content_identical_to_v3(self, raw, blob):
+        spec = tcgen_a()
+        v3 = TraceEngine(spec, container_version=3).compress(raw, chunk_records=256)
+        eng = TraceEngine(spec)
+        assert eng.decompress(v3) == eng.decompress(blob)
+
+    @pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+    def test_every_preset_spec_roundtrips(self, name):
+        spec = SPEC_VARIANTS[name]()
+        trace = spec_trace_for(spec)
+        eng = TraceEngine(spec, container_version=4)
+        v4 = eng.compress(trace, chunk_records=100)
+        assert eng.decompress(v4) == trace
+        v3 = TraceEngine(spec, container_version=3).compress(trace, chunk_records=100)
+        assert eng.decompress(v3) == trace
+
+    def test_trailerless_stream_decodes_as_open(self, engine, raw, blob):
+        scan = scan_stream(blob)
+        open_blob = blob[: scan.frames[-1][3]]  # cut the trailer off
+        assert engine.decompress(open_blob, mode="salvage") == raw
+        report = engine.last_report
+        assert report.truncated and not report.torn_tail
+        assert report.clean_truncation
+        # Strict mode accepts the open stream too: a live capture is legal.
+        assert engine.decompress(open_blob) == raw
+
+    def test_scan_stream_inventory(self, engine, raw, blob):
+        scan = scan_stream(blob, expected_fingerprint=engine.model.fingerprint())
+        total = (len(raw) - engine.format.header_bytes) // engine.format.record_bytes
+        assert scan.records == total
+        assert scan.closed and not scan.torn
+        assert scan.chunk_records == 256
+        assert sum(count for (_i, count, _s, _e) in scan.frames) == total
+
+    def test_scan_stream_rejects_wrong_fingerprint(self, blob):
+        with pytest.raises(CompressedFormatError, match="fingerprint"):
+            scan_stream(blob, expected_fingerprint=1)
+
+
+class TestSalvageReport:
+    """Satellite: clean truncation must not be reported as corruption."""
+
+    def test_boundary_truncation_is_clean(self, engine, raw, blob):
+        scan = scan_stream(blob)
+        cut = scan.frames[2][3]  # end of the third frame
+        out = engine.decompress(blob[:cut], mode="salvage")
+        report = engine.last_report
+        assert report.clean_truncation
+        assert report.truncated and not report.torn_tail
+        assert raw.startswith(out)
+
+    def test_mid_frame_truncation_is_torn_not_corrupt(self, engine, blob):
+        scan = scan_stream(blob)
+        cut = scan.frames[2][3] + 9  # nine bytes into the fourth frame
+        engine.decompress(blob[:cut], mode="salvage")
+        report = engine.last_report
+        assert report.torn_tail
+        assert report.clean_truncation  # torn tail is still not corruption
+
+    def test_one_stray_byte_is_a_torn_tail(self, engine, blob):
+        scan = scan_stream(blob)
+        cut = scan.frames[2][3] + 1
+        engine.decompress(blob[:cut], mode="salvage")
+        assert engine.last_report.torn_tail
+
+    def test_mid_frame_truncation_strict_raises_typed(self, engine, blob):
+        scan = scan_stream(blob)
+        with pytest.raises(TruncatedContainerError):
+            engine.decompress(blob[: scan.frames[2][3] + 9])
+
+    def test_corrupt_chunk_is_not_clean(self, engine, blob):
+        scan = scan_stream(blob)
+        damaged = bytearray(blob)
+        damaged[scan.frames[1][2] + 20] ^= 0xFF  # flip inside frame 1
+        engine.decompress(bytes(damaged), mode="salvage")
+        report = engine.last_report
+        assert report.lost_chunks
+        assert not report.clean_truncation
+
+    def test_damaged_trailer_is_recoverable(self, engine, raw, blob):
+        damaged = bytearray(blob)
+        damaged[-2] ^= 0x10
+        assert engine.decompress(bytes(damaged), mode="salvage") == raw
+        report = engine.last_report
+        assert report.trailer_damaged
+        assert report.clean_truncation
+        with pytest.raises((ChecksumError, CompressedFormatError)):
+            engine.decompress(bytes(damaged))
+
+
+class TestStreamingCompressor:
+    def test_matches_one_shot_compress(self, engine, raw, blob):
+        sink = io.BytesIO()
+        stream = TraceEngine(tcgen_a()).open_stream(sink, chunk_records=256)
+        stream.append(raw)
+        stream.close()
+        assert sink.getvalue() == blob
+
+    def test_watermarks_are_monotonic_and_durable(self, engine, raw):
+        fmt = engine.format
+        sink = io.BytesIO()
+        stream = engine.open_stream(sink, chunk_records=256)
+        marks = []
+        step = fmt.record_bytes * 300
+        pos = 0
+        for cut in range(fmt.header_bytes + step, len(raw), step):
+            stream.append(raw[pos:cut])
+            pos = cut
+            marks.append(stream.flush())
+        stream.append(raw[pos:])
+        marks.append(stream.close())
+        records = [m.records for m in marks]
+        assert records == sorted(records)
+        assert marks[-1].bytes == len(sink.getvalue())
+        # Every acked watermark names a decodable prefix.
+        for mark in marks:
+            out = engine.decompress(sink.getvalue()[: mark.bytes], mode="salvage")
+            got = (len(out) - fmt.header_bytes) // fmt.record_bytes
+            assert got == mark.records
+
+    def test_max_records_policy_autoflushes(self, engine, raw):
+        sink = io.BytesIO()
+        stream = engine.open_stream(
+            sink, chunk_records=256, policy=FlushPolicy(max_records=100)
+        )
+        fmt = engine.format
+        stream.append(raw[: fmt.header_bytes + 150 * fmt.record_bytes])
+        assert stream.watermark.records >= 100  # flushed without flush()
+        stream.abort()
+
+    def test_latency_policy_reports_due(self, engine, raw):
+        sink = io.BytesIO()
+        stream = engine.open_stream(
+            sink, chunk_records=256, policy=FlushPolicy(max_latency_ms=1)
+        )
+        fmt = engine.format
+        stream.append(raw[: fmt.header_bytes + 5 * fmt.record_bytes])
+        assert stream.latency_due(now=stream.next_deadline() + 0.001)
+        stream.flush()
+        assert not stream.latency_due()  # nothing pending
+        stream.abort()
+
+    def test_resume_after_torn_tail(self, engine, raw, tmp_path):
+        fmt = engine.format
+        path = os.fspath(tmp_path / "stream.tc4")
+        stream = engine.open_stream(path, chunk_records=256)
+        cut = fmt.header_bytes + 700 * fmt.record_bytes
+        stream.append(raw[:cut])
+        stream.flush()
+        stream.abort()
+        # Tear the tail: leave half a frame's worth of garbage behind.
+        with open(path, "ab") as handle:
+            handle.write(CHUNK_MAGIC + b"\x7f" * 11)
+        resumed = engine.open_stream(path, resume=True)
+        durable = resumed.watermark.records
+        assert durable == 700
+        resumed.append(raw[fmt.header_bytes + durable * fmt.record_bytes :])
+        resumed.close()
+        with open(path, "rb") as handle:
+            assert engine.decompress(handle.read()) == raw
+
+    def test_resume_of_closed_stream_raises(self, engine, raw, tmp_path):
+        path = os.fspath(tmp_path / "closed.tc4")
+        stream = engine.open_stream(path, chunk_records=256)
+        stream.append(raw)
+        stream.close()
+        with pytest.raises(StreamClosedError):
+            engine.open_stream(path, resume=True)
+
+    def test_append_after_close_rejected(self, engine, raw):
+        stream = engine.open_stream(io.BytesIO(), chunk_records=256)
+        stream.append(raw)
+        stream.close()
+        with pytest.raises(ValueError):
+            stream.append(b"\x00" * engine.format.record_bytes)
+
+    def test_partial_record_bytes_are_buffered(self, engine, raw):
+        fmt = engine.format
+        sink = io.BytesIO()
+        stream = engine.open_stream(sink, chunk_records=256)
+        # Split mid-record: nothing may be emitted for the torn half.
+        split = fmt.header_bytes + 10 * fmt.record_bytes + 3
+        stream.append(raw[:split])
+        mark = stream.flush()
+        assert mark.records == 10
+        stream.append(raw[split:])
+        stream.close()
+        assert engine.decompress(sink.getvalue()) == raw
+
+
+class TestGeneratedModuleStreaming:
+    @pytest.fixture(scope="class")
+    def module(self):
+        model = build_model(tcgen_a(), OptimizationOptions.full())
+        return load_python_module(generate_python(model))
+
+    def test_generated_stream_matches_engine(self, module, raw, blob):
+        sink = io.BytesIO()
+        stream = module.open_stream(sink, chunk_records=256)
+        stream.append(raw)
+        stream.close()
+        assert sink.getvalue() == blob
+
+    def test_generated_decode_of_v4(self, module, raw, blob):
+        assert module.decompress(blob) == raw
+
+    def test_generated_salvage_of_truncated_v4(self, module, raw, blob):
+        scan = scan_stream(blob)
+        cut = scan.frames[1][3]
+        out = module.decompress(blob[:cut], salvage=True)
+        assert raw.startswith(out)
+        assert len(out) > 0
+
+
+class TestFaultMatrices:
+    """The ISSUE's truncate/kill matrix, run at pytest scale."""
+
+    def test_truncation_matrix(self, raw):
+        engine = TraceEngine(tcgen_a())
+        assert truncation_matrix(engine, raw, flush_records=173) == 0
+
+    def test_resume_matrix(self, raw):
+        engine = TraceEngine(tcgen_a())
+        assert resume_matrix(engine, raw, flush_records=173, points=4) == 0
