@@ -31,6 +31,13 @@
     truncation (cut at a flush boundary, torn final flush, damaged
     trailer) exits 0 with a report — only real corruption exits 2.
 
+``tcgen-query``
+    Query archives without full decompression (:mod:`repro.query`):
+    ``index`` adds a chunk skip index in place (atomically), ``select``/
+    ``count``/``stats`` run predicate-pushdown queries that decode only
+    chunks the predicate could match, and ``patterns`` runs hot-loop
+    analytics directly on a SEQUITUR grammar without expanding it.
+
 Every tool accepts ``--version``.
 
 Exit statuses are uniform across the tools: 0 success, 1 tool failure,
@@ -478,6 +485,14 @@ def stream_main(argv: list[str] | None = None) -> int:
         print(f"records:       {scan.records}")
         print(f"durable bytes: {scan.data_end} of {len(blob)}")
         print(f"state:         {state}")
+        if scan.index is not None:
+            indexed, _ = scan.index.coverage
+            print(
+                f"skip index:    {indexed}/{scan.chunk_count} chunks indexed "
+                f"({scan.index.bloom_bits}-bit blooms)"
+            )
+        else:
+            print("skip index:    none (tcgen-query index can add one)")
         return 0
 
     from repro.runtime.engine import TraceEngine
@@ -503,6 +518,171 @@ def stream_main(argv: list[str] | None = None) -> int:
     if report.intact or report.clean_truncation:
         return 0
     return EXIT_CORRUPT
+
+
+def query_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``tcgen-query``: query archives without decompressing."""
+    parser = argparse.ArgumentParser(
+        prog="tcgen-query",
+        description="Query compressed trace archives without full decompression.",
+        epilog="Predicates: f1/f2/... name spec fields (1-based), pc is the "
+        "spec's PC field, record is the 0-based record index; combine "
+        "comparisons (== != < <= > >=) with and/or and parentheses. "
+        "Example: --where 'pc >= 0x1000 and pc < 0x2000'.",
+    )
+    _add_version(parser)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def archive_command(name: str, help_text: str):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("file", help="compressed archive (v1-v4 container)")
+        sub.add_argument(
+            "--spec", required=True, metavar="FILE",
+            help="trace specification the archive was written with",
+        )
+        return sub
+
+    index = archive_command(
+        "index", "add or rebuild the chunk skip index (in place, atomically)"
+    )
+    index.add_argument(
+        "--bloom-bits", type=int, default=None, metavar="N",
+        help="bloom filter size per field per chunk (power of two; 0 "
+        "disables blooms; default 4096)",
+    )
+    index.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the indexed archive to FILE instead of in place",
+    )
+
+    for name, help_text in (
+        ("select", "print matching records (tab-separated, one per line)"),
+        ("count", "count matching records"),
+        ("stats", "per-field min/max over matching records"),
+    ):
+        sub = archive_command(name, help_text)
+        sub.add_argument(
+            "--where", default=None, metavar="EXPR",
+            help="predicate (default: match every record)",
+        )
+        sub.add_argument(
+            "--salvage", action="store_true",
+            help="tolerate damaged chunks (reported on stderr, not fatal)",
+        )
+        if name == "select":
+            sub.add_argument(
+                "--limit", type=int, default=None, metavar="N",
+                help="stop after N matches (later chunks are never decoded)",
+            )
+            sub.add_argument(
+                "--raw", action="store_true",
+                help="emit packed little-endian record bytes instead of text",
+            )
+            sub.add_argument(
+                "-o", "--output", default=None, metavar="FILE",
+                help="write results to FILE (atomically) instead of stdout",
+            )
+
+    patterns = commands.add_parser(
+        "patterns",
+        help="hot-pattern analytics on a SEQUITUR (SQT1) blob, computed on "
+        "the grammar without expanding it",
+    )
+    patterns.add_argument("file", help="SEQUITUR-compressed blob (SQT1)")
+    patterns.add_argument(
+        "--seq", choices=("pc", "data"), default="pc",
+        help="which sequence to analyze (default: pc)",
+    )
+    patterns.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="number of patterns to report (default: 10)",
+    )
+    patterns.add_argument(
+        "--value", default=None, metavar="N",
+        help="also print the exact occurrence count of this value",
+    )
+
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.file, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        print(f"tcgen-query: {exc}", file=sys.stderr)
+        return 1
+
+    if args.command == "patterns":
+        from repro.query import analyze, count_value, load_grammar
+
+        try:
+            print(analyze(blob, sequence=args.seq, top=args.top))
+            if args.value is not None:
+                value = int(args.value, 0)
+                seq = load_grammar(blob).sequence(args.seq)
+                print(f"value {value:#x}: {count_value(seq, value)} occurrences")
+        except ReproError as exc:
+            return _fail("tcgen-query", exc)
+        return 0
+
+    from repro.runtime.engine import TraceEngine
+    from repro.spec import parse_spec
+
+    try:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = parse_spec(handle.read())
+    except OSError as exc:
+        print(f"tcgen-query: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        return _fail("tcgen-query", exc)
+    engine = TraceEngine(spec)
+
+    if args.command == "index":
+        from repro.query import rebuild_index
+
+        try:
+            indexed = rebuild_index(engine, blob, bloom_bits=args.bloom_bits)
+        except ReproError as exc:
+            return _fail("tcgen-query", exc)
+        _write_output(args.output or args.file, indexed)
+        chunks = len(engine.last_report.recovered_chunks) if engine.last_report else 0
+        print(
+            f"indexed {chunks} chunks "
+            f"({len(indexed) - len(blob):+d} bytes)",
+            file=sys.stderr,
+        )
+        return 0
+
+    mode = "salvage" if args.salvage else "strict"
+    try:
+        result = engine.query(
+            blob,
+            args.where,
+            op=args.command,
+            limit=getattr(args, "limit", None),
+            mode=mode,
+        )
+    except ReproError as exc:
+        return _fail("tcgen-query", exc)
+
+    print(result.render(), file=sys.stdout if args.command == "stats" else sys.stderr)
+    if args.command == "select":
+        if args.raw:
+            from repro.query import records_to_bytes
+
+            _write_output(args.output, records_to_bytes(engine.format, result.records))
+        else:
+            text = "".join(
+                "\t".join(str(value) for value in record) + "\n"
+                for record in result.records
+            )
+            _write_output(args.output, text.encode())
+    elif args.command == "count":
+        print(result.count)
+    report = result.report
+    if mode == "salvage" and not (report.intact or report.clean_truncation):
+        return EXIT_CORRUPT
+    return 0
 
 
 def serve_main(argv: list[str] | None = None) -> int:

@@ -434,6 +434,33 @@ class TraceClient:
         )
         return text.decode(), str(meta.get("recommended_spec", ""))
 
+    def query(
+        self,
+        spec_text: str,
+        blob: bytes,
+        where: str | None = None,
+        *,
+        op: str = "select",
+        limit: int | None = None,
+        mode: str = "strict",
+        codec: str = "bzip2",
+        deadline: float | None = None,
+    ) -> tuple[dict, bytes]:
+        """Predicate-pushdown query over a compressed container.
+
+        Returns ``(meta, payload)``: ``meta`` carries the match count and
+        the planner's chunk statistics (``decoded_chunks``,
+        ``skipped_chunks``, ...); for ``op="select"`` the payload is the
+        matching records packed as raw little-endian record bytes (see
+        :func:`repro.query.records_to_bytes`), otherwise empty.
+        """
+        params: dict = {"spec": spec_text, "codec": codec, "op": op, "mode": mode}
+        if where is not None:
+            params["where"] = where
+        if limit is not None:
+            params["limit"] = limit
+        return self._request("query", params, blob, deadline=deadline)
+
     def health(self) -> dict:
         """Liveness + a flat snapshot of server counters."""
         meta, _ = self._request("health", {}, b"")

@@ -971,13 +971,37 @@ def _emit_container_helpers(w: CodeWriter, has_header: bool) -> None:
                 w.line("pos = min(end, len(blob))")
             with w.block("if not salvage:"):
                 with w.block(
-                    'if pos + 8 != len(blob) or blob[pos : pos + 4] != b"TCEN":'
+                    'if pos + 8 > len(blob) or blob[pos : pos + 4] != b"TCEN":'
                 ):
                     w.line('raise ValueError("container trailer missing or damaged")')
                 with w.block(
                     'if int.from_bytes(blob[pos + 4 : pos + 8], "little") != _crc32c(bytes(crcs)):'
                 ):
                     w.line('raise ValueError("trailer checksum mismatch")')
+                with w.block("if pos + 8 != len(blob):"):
+                    w.line(
+                        "# An optional skip-index frame (TCIX) may follow the"
+                    )
+                    w.line(
+                        "# trailer.  It is opaque to this module, but it must"
+                    )
+                    w.line(
+                        "# frame correctly -- anything else is trailing garbage."
+                    )
+                    with w.block('if blob[pos + 8 : pos + 12] != b"TCIX":'):
+                        w.line(
+                            'raise ValueError("trailing bytes after container trailer")'
+                        )
+                    w.line("flen, fpos = _read_varint(blob, pos + 12)")
+                    with w.block("if flen < 4 or fpos + flen != len(blob):"):
+                        w.line('raise ValueError("skip index frame length mismatch")')
+                    with w.block(
+                        "if _crc32c(blob[pos + 8 : fpos + flen - 4]) != "
+                        'int.from_bytes(blob[fpos + flen - 4 :], "little"):'
+                    ):
+                        w.line(
+                            'raise ValueError("skip index frame checksum mismatch")'
+                        )
             if has_header:
                 w.line("return record_count, head_pair, chunks, lost")
             else:

@@ -67,6 +67,15 @@ class TraceFormatError(ReproError):
     """Raised when raw trace bytes do not match the declared record format."""
 
 
+class PredicateError(ReproError):
+    """Raised when a query predicate fails to parse or validate.
+
+    Covers syntax errors in the ``tcgen-query`` predicate language and
+    semantically invalid predicates (unknown field names, field numbers
+    out of range for the specification being queried).
+    """
+
+
 class CompressedFormatError(ReproError):
     """Raised when a compressed blob is corrupt, truncated, or mismatched."""
 

@@ -1,0 +1,69 @@
+"""Querying compressed trace archives without full decompression.
+
+The write path (seven PRs of container, engine, and serving work) made
+trace archives cheap to produce; this package is the read path that
+makes them cheap to *ask questions of*.  Three layers:
+
+- :mod:`repro.query.predicate` — a small typed predicate language
+  (``f1 == 0x400``, ``pc >= 0x1000 and record < 50000``) whose AST
+  answers both "does this record match?" and "could anything in this
+  chunk match, given its summary?",
+- :mod:`repro.query.exec` — the pushdown executor: consults the chunk
+  skip index (:mod:`repro.tio.skipindex`) to decode only chunks that
+  could contain matches, falling back to a full scan when the index is
+  absent, stale, or partial — results are identical either way,
+- :mod:`repro.query.grammar` — analytics computed directly on SEQUITUR
+  grammars (hot loops, pattern counts) without expanding them.
+
+Entry points: :meth:`TraceEngine.query
+<repro.runtime.engine.TraceEngine.query>`, the ``tcgen-query`` CLI, the
+``query`` server op, and the gateway's ``POST /v1/query`` route.
+"""
+
+from repro.query.exec import (
+    QUERY_OPS,
+    QueryResult,
+    QueryStats,
+    rebuild_index,
+    records_to_bytes,
+    run_query,
+)
+from repro.query.grammar import (
+    GrammarInfo,
+    Pattern,
+    analyze,
+    count_value,
+    load_grammar,
+    rule_metrics,
+    top_patterns,
+)
+from repro.query.predicate import (
+    RECORD_FIELD,
+    And,
+    Comparison,
+    Or,
+    parse_predicate,
+    validate_predicate,
+)
+
+__all__ = [
+    "And",
+    "Comparison",
+    "GrammarInfo",
+    "Or",
+    "Pattern",
+    "QUERY_OPS",
+    "QueryResult",
+    "QueryStats",
+    "RECORD_FIELD",
+    "analyze",
+    "count_value",
+    "load_grammar",
+    "parse_predicate",
+    "rebuild_index",
+    "records_to_bytes",
+    "rule_metrics",
+    "run_query",
+    "top_patterns",
+    "validate_predicate",
+]

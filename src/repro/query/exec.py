@@ -1,0 +1,320 @@
+"""Predicate-pushdown query execution over compressed containers.
+
+:func:`run_query` is the engine behind :meth:`TraceEngine.query
+<repro.runtime.engine.TraceEngine.query>`.  The plan is simple and
+always the same shape:
+
+1. parse/validate the predicate,
+2. decode the container *metadata* (strict or salvage),
+3. for each chunk, ask the skip index whether the predicate could match
+   anything inside it — if provably not, the chunk's streams are never
+   post-decompressed or kernel-decoded,
+4. decode the surviving chunks lazily and filter record by record.
+
+The skip index is only ever an accelerator.  It is ignored wholesale
+when its shape does not match the container (wrong field count or chunk
+count — a stale index from some other archive), and per chunk when the
+summary's record count disagrees with the chunk's.  Damaged chunks in
+salvage mode are reported, not fatal, with the same surviving-sequence
+record numbering as ``iter_records``/salvage decompress.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.errors import CompressedFormatError
+from repro.query.predicate import parse_predicate, validate_predicate
+from repro.runtime.parallel import check_cancel
+from repro.runtime.streaming import _iter_chunk, _iter_chunk_native
+from repro.tio.container import (
+    DEFAULT_MAX_CHUNK_BYTES,
+    DecodeReport,
+    StreamContainer,
+    as_chunked,
+    decode_container,
+)
+
+_STRUCT_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
+QUERY_OPS = ("select", "count", "stats")
+
+
+@dataclass
+class QueryStats:
+    """What the planner did — the proof that pushdown pushed down."""
+
+    total_chunks: int = 0
+    decoded_chunks: int = 0
+    skipped_chunks: int = 0
+    #: Chunks whose skip-index summary was consulted (usable and trusted).
+    indexed_chunks: int = 0
+    index_present: bool = False
+    records_scanned: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "total_chunks": self.total_chunks,
+            "decoded_chunks": self.decoded_chunks,
+            "skipped_chunks": self.skipped_chunks,
+            "indexed_chunks": self.indexed_chunks,
+            "index_present": self.index_present,
+            "records_scanned": self.records_scanned,
+        }
+
+
+@dataclass
+class QueryResult:
+    """The answer plus the evidence of how it was computed."""
+
+    op: str
+    count: int = 0
+    #: Matching records (``select`` only), as field-value tuples.
+    records: list = dataclass_field(default_factory=list)
+    #: Per-field {"min", "max", "count"} over the matches (``stats`` only).
+    field_stats: "list[dict] | None" = None
+    stats: QueryStats = dataclass_field(default_factory=QueryStats)
+    report: DecodeReport = dataclass_field(default_factory=DecodeReport)
+
+    def render(self) -> str:
+        """Human-readable planner/result summary (CLI ``--verbose`` output)."""
+        s = self.stats
+        lines = [
+            f"matched:  {self.count} records "
+            f"(scanned {s.records_scanned})",
+            f"chunks:   {s.decoded_chunks} decoded, {s.skipped_chunks} "
+            f"skipped of {s.total_chunks}",
+            "index:    "
+            + (
+                f"used for {s.indexed_chunks}/{s.total_chunks} chunks"
+                if s.index_present
+                else "absent (full scan)"
+            ),
+        ]
+        if self.report.lost_chunks:
+            lines.append(
+                f"damage:   {len(self.report.lost_chunks)} chunks lost "
+                f"({self.report.lost_records} records)"
+            )
+        if self.field_stats is not None:
+            for number, fs in enumerate(self.field_stats, start=1):
+                if fs["count"]:
+                    lines.append(
+                        f"f{number}:       min {fs['min']:#x}  max {fs['max']:#x}"
+                    )
+                else:
+                    lines.append(f"f{number}:       no matches")
+        return "\n".join(lines)
+
+
+def run_query(
+    engine,
+    blob: bytes,
+    where=None,
+    *,
+    op: str = "select",
+    limit: int | None = None,
+    mode: str = "strict",
+    max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+    cancel=None,
+) -> QueryResult:
+    """Execute a query against a container blob; see :class:`QueryResult`.
+
+    ``where`` may be predicate text, an already-parsed AST, or ``None``
+    (match everything).  ``limit`` stops a ``select`` after that many
+    matches (later chunks are then never decoded); it is ignored for
+    ``count``/``stats``, which must see every match.
+    """
+    if op not in QUERY_OPS:
+        raise ValueError(f"op must be one of {QUERY_OPS}, got {op!r}")
+    if limit is not None and (not isinstance(limit, int) or limit < 1):
+        raise ValueError(f"limit must be a positive int or None, got {limit!r}")
+    if mode not in ("strict", "salvage"):
+        raise ValueError(f"mode must be 'strict' or 'salvage', got {mode!r}")
+    model = engine.model
+    predicate = None
+    if where is not None:
+        predicate = (
+            parse_predicate(where, pc_field=engine.format.pc_field or None)
+            if isinstance(where, str)
+            else where
+        )
+        validate_predicate(predicate, len(model.fields))
+
+    salvage = mode == "salvage"
+    report = DecodeReport()
+    engine.last_report = report
+    result = QueryResult(op=op, report=report)
+    stats = result.stats
+    container = decode_container(
+        blob,
+        expected_fingerprint=model.fingerprint(),
+        mode=mode,
+        max_chunk_bytes=max_chunk_bytes,
+        report=report,
+    )
+    header_streams = 1 if model.spec.header_bits else 0
+    per_chunk = 2 * len(model.fields)
+    if isinstance(container, StreamContainer):
+        if len(container.streams) != model.stream_count:
+            if salvage:
+                if report.recovered_chunks:
+                    report.demote(
+                        report.recovered_chunks[0],
+                        container.record_count,
+                        "container stream layout unusable",
+                    )
+                return _finish(result)
+            raise CompressedFormatError(
+                f"expected {model.stream_count} streams, found {len(container.streams)}"
+            )
+        chunked = as_chunked(container, header_streams)
+    else:
+        chunked = container
+        if len(chunked.global_streams) != header_streams and not salvage:
+            raise CompressedFormatError(
+                f"expected {header_streams} global streams, "
+                f"found {len(chunked.global_streams)}"
+            )
+
+    # Trust the index only when its shape matches this container exactly;
+    # a stale or foreign index silently degrades to a full scan.
+    index = chunked.skip_index
+    stats.index_present = index is not None
+    usable_index = (
+        index is not None
+        and index.field_count == len(model.fields)
+        and len(index.chunks) == report.total_chunks
+    )
+
+    kernel = None
+    if not salvage:
+        kernel = engine._backend().kernel
+
+    # Salvage containers hold only the surviving chunks;
+    # report.recovered_chunks maps them back to original indices (which is
+    # where the skip index is addressed), while record numbering follows
+    # the surviving sequence exactly like iter_records.
+    indices = list(report.recovered_chunks) if salvage else range(len(chunked.chunks))
+    stats.total_chunks = len(chunked.chunks)
+    absolute = 0
+    for position, chunk in zip(indices, chunked.chunks):
+        check_cancel(cancel)
+        if op == "select" and limit is not None and result.count >= limit:
+            break
+        summary = None
+        if usable_index and position < len(index.chunks):
+            candidate = index.chunks[position]
+            if candidate.summarized and candidate.record_count == chunk.record_count:
+                summary = candidate
+                stats.indexed_chunks += 1
+        if predicate is not None and not predicate.maybe(
+            absolute, chunk.record_count, summary
+        ):
+            stats.skipped_chunks += 1
+            absolute += chunk.record_count
+            continue
+        if salvage:
+            try:
+                decoded = list(_iter_chunk(model, chunk, position, per_chunk))
+            except Exception as exc:
+                report.demote(position, chunk.record_count, f"chunk decode failed: {exc}")
+                continue
+        else:
+            decoded = (
+                _iter_chunk_native(model, kernel, chunk, position, per_chunk)
+                if kernel is not None
+                else _iter_chunk(model, chunk, position, per_chunk)
+            )
+        stats.decoded_chunks += 1
+        for record in decoded:
+            stats.records_scanned += 1
+            if predicate is None or predicate.matches(record, absolute):
+                result.count += 1
+                if op == "select":
+                    result.records.append(record)
+                    if limit is not None and result.count >= limit:
+                        break
+                elif op == "stats":
+                    _fold_stats(result, record, len(model.fields))
+            absolute += 1
+    return _finish(result)
+
+
+def _fold_stats(result: QueryResult, record: tuple, field_count: int) -> None:
+    if result.field_stats is None:
+        result.field_stats = [
+            {"min": None, "max": None, "count": 0} for _ in range(field_count)
+        ]
+    for fs, value in zip(result.field_stats, record):
+        fs["count"] += 1
+        if fs["min"] is None or value < fs["min"]:
+            fs["min"] = value
+        if fs["max"] is None or value > fs["max"]:
+            fs["max"] = value
+
+
+def _finish(result: QueryResult) -> QueryResult:
+    if result.op == "stats" and result.field_stats is None:
+        result.field_stats = []
+    return result
+
+
+def records_to_bytes(fmt, records) -> bytes:
+    """Pack query-result tuples back into raw little-endian record bytes.
+
+    The inverse of the record framing (header excluded): useful for
+    piping ``select`` results into any tool that reads raw traces.
+    """
+    code = "<" + "".join(_STRUCT_CODES[width // 8] for width in fmt.field_bits)
+    packer = struct.Struct(code)
+    return b"".join(packer.pack(*record) for record in records)
+
+
+def rebuild_index(engine, blob: bytes, *, bloom_bits: int | None = None) -> bytes:
+    """Re-encode ``blob`` with a freshly computed skip index.
+
+    Works on intact v3 containers and *closed* v4 streams: both re-encode
+    byte-identically from their parsed form, so the only change in the
+    output is the (new or replaced) ``TCIX`` frame.  Raises typed errors
+    for v1/v2 blobs (no place for an index), damaged archives (recover
+    first, then index), and open v4 streams (close or recover first).
+    """
+    from repro.tio.container import FORMAT_VERSION_4, container_version
+    from repro.tio.skipindex import DEFAULT_BLOOM_BITS, build_index
+    from repro.tio.traceformat import unpack_records
+
+    version = container_version(blob)
+    if version in (1, 2):
+        raise CompressedFormatError(
+            f"v{version} containers cannot carry a skip index; recompress "
+            f"with container_version=3 or 4 first"
+        )
+    report = DecodeReport()
+    container = decode_container(
+        blob, expected_fingerprint=engine.model.fingerprint(), report=report
+    )
+    if version == FORMAT_VERSION_4 and report.truncated:
+        raise CompressedFormatError(
+            "stream is open (no close trailer); close or resume it before indexing"
+        )
+    raw = engine.decompress(blob)
+    _, columns = unpack_records(engine.format, raw, copy=False)
+    spans = []
+    start = 0
+    for chunk in container.chunks:
+        spans.append((start, chunk.record_count))
+        start += chunk.record_count
+    from repro.tio.skipindex import SkipIndex, summarize_columns
+
+    bits = DEFAULT_BLOOM_BITS if bloom_bits is None else bloom_bits
+    container.skip_index = SkipIndex(
+        field_count=len(engine.format.field_bits),
+        bloom_bits=bits,
+        chunks=[
+            summarize_columns([col[s : s + c] for col in columns], bits)
+            for s, c in spans
+        ],
+    )
+    return container.encode()

@@ -1,0 +1,287 @@
+"""Grammar-aware analytics over SEQUITUR-compressed traces.
+
+"Data Race Detection on Compressed Traces" (PAPERS.md) shows analyses
+can run directly on a SEQUITUR grammar: a rule that the grammar uses
+``k`` times and that expands to ``n`` terminals summarizes ``k * n``
+trace entries in one object.  This module applies the idea to the
+``SQT1`` baseline format (:mod:`repro.baselines.sequitur`) — hot-loop
+and pattern statistics computed *on the rules themselves*, without ever
+expanding the grammar:
+
+- :func:`rule_metrics` — expansion length and occurrence count of every
+  rule via two DAG traversals (grammars are acyclic by construction),
+- :func:`count_value` — exact occurrence count of a value in the
+  original trace, in time proportional to the grammar size,
+- :func:`top_patterns` — the top-k repeated subsequences (rules) ranked
+  by the trace coverage ``occurrences * length``.
+
+For a trace with heavy loop structure the grammar is orders of magnitude
+smaller than its expansion, so these run in milliseconds on traces whose
+expansion would not fit in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import post_decompress
+from repro.errors import CompressedFormatError
+from repro.tio.blockio import ByteReader
+
+_TAG = b"SQT1"
+
+#: Terminals shown when previewing a pattern's expansion.
+PREVIEW_TERMINALS = 8
+
+
+@dataclass
+class SequenceGrammars:
+    """One compressed sequence: a value table shared by grammar segments."""
+
+    table: list[int]
+    #: Per segment: list of rule bodies; body codes are
+    #: ``value_id * 2`` (terminal) or ``rule_number * 2 + 1`` (reference).
+    segments: list[list[list[int]]]
+
+    @property
+    def rule_count(self) -> int:
+        return sum(len(bodies) for bodies in self.segments)
+
+    @property
+    def symbol_count(self) -> int:
+        return sum(len(body) for bodies in self.segments for body in bodies)
+
+
+@dataclass
+class GrammarInfo:
+    """A parsed (never expanded) SQT1 blob."""
+
+    header: bytes
+    record_count: int
+    pc: SequenceGrammars
+    data: SequenceGrammars
+
+    def sequence(self, name: str) -> SequenceGrammars:
+        if name == "pc":
+            return self.pc
+        if name == "data":
+            return self.data
+        raise ValueError(f"sequence must be 'pc' or 'data', got {name!r}")
+
+
+@dataclass
+class Pattern:
+    """One repeated subsequence (a grammar rule) and its statistics."""
+
+    segment: int
+    rule: int
+    length: int  # terminals in the full expansion
+    occurrences: int  # times the rule body occurs in the expanded trace
+    #: First PREVIEW_TERMINALS values of the expansion (actual trace values).
+    preview: list[int]
+
+    @property
+    def coverage(self) -> int:
+        """Trace entries this pattern accounts for in total."""
+        return self.length * self.occurrences
+
+
+def _read_sequence(reader: ByteReader) -> SequenceGrammars:
+    table_size = reader.read_count("SEQUITUR value table", item_bytes=8)
+    table = [reader.read_u64() for _ in range(table_size)]
+    segment_count = reader.read_count("SEQUITUR segments")
+    segments = []
+    for _ in range(segment_count):
+        rule_count = reader.read_count("SEQUITUR rules")
+        bodies = []
+        for _ in range(rule_count):
+            length = reader.read_count("SEQUITUR rule body")
+            bodies.append([reader.read_varint() for _ in range(length)])
+        segments.append(bodies)
+    return SequenceGrammars(table=table, segments=segments)
+
+
+def load_grammar(blob: bytes) -> GrammarInfo:
+    """Parse an SQT1 blob into its grammars without expanding them."""
+    reader = ByteReader(post_decompress(_TAG, blob))
+    header = reader.read_bytes(4)
+    record_count = reader.read_varint()
+    pc = _read_sequence(reader)
+    data = _read_sequence(reader)
+    if not reader.at_end():
+        raise CompressedFormatError(
+            f"{reader.remaining()} trailing bytes after SEQUITUR grammars"
+        )
+    return GrammarInfo(header=header, record_count=record_count, pc=pc, data=data)
+
+
+def _topo_order(bodies: list[list[int]]) -> list[int]:
+    """Rule numbers ordered so every rule precedes the rules it references.
+
+    Iterative DFS postorder (reversed) from rule 0; SEQUITUR grammars are
+    acyclic, but a hostile blob might not be — cycles raise instead of
+    hanging.  Unreachable rules are appended so every rule gets metrics.
+    """
+    count = len(bodies)
+    state = [0] * count  # 0 = unseen, 1 = on stack, 2 = done
+    post: list[int] = []
+    for root in range(count):
+        if state[root]:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        state[root] = 1
+        while stack:
+            rule, cursor = stack.pop()
+            advanced = False
+            body = bodies[rule]
+            while cursor < len(body):
+                code = body[cursor]
+                cursor += 1
+                if code & 1:
+                    child = code >> 1
+                    if child >= count:
+                        raise CompressedFormatError(
+                            f"SEQUITUR: rule {child} out of range"
+                        )
+                    if state[child] == 1:
+                        raise CompressedFormatError("SEQUITUR: cyclic grammar")
+                    if state[child] == 0:
+                        state[child] = 1
+                        stack.append((rule, cursor))
+                        stack.append((child, 0))
+                        advanced = True
+                        break
+            if not advanced:
+                state[rule] = 2
+                post.append(rule)
+    post.reverse()  # parents before children
+    return post
+
+
+def rule_metrics(bodies: list[list[int]]) -> tuple[list[int], list[int]]:
+    """(expansion length, occurrence count) per rule, without expansion.
+
+    Lengths flow bottom-up (children before parents), occurrences flow
+    top-down from the start rule (rule 0 occurs once); both are single
+    passes over one topological order.
+    """
+    order = _topo_order(bodies)
+    count = len(bodies)
+    lengths = [0] * count
+    for rule in reversed(order):  # children before parents
+        total = 0
+        for code in bodies[rule]:
+            total += lengths[code >> 1] if code & 1 else 1
+        lengths[rule] = total
+    occurrences = [0] * count
+    if count:
+        occurrences[0] = 1
+    for rule in order:  # parents before children
+        occ = occurrences[rule]
+        if not occ:
+            continue
+        for code in bodies[rule]:
+            if code & 1:
+                occurrences[code >> 1] += occ
+    return lengths, occurrences
+
+
+def count_value(seq: SequenceGrammars, value: int) -> int:
+    """Exact number of times ``value`` occurs in the expanded sequence."""
+    try:
+        value_id = seq.table.index(value)
+    except ValueError:
+        return 0
+    terminal = value_id * 2
+    total = 0
+    for bodies in seq.segments:
+        if not bodies:
+            continue
+        order = _topo_order(bodies)
+        counts = [0] * len(bodies)
+        for rule in reversed(order):  # children before parents
+            subtotal = 0
+            for code in bodies[rule]:
+                if code == terminal:
+                    subtotal += 1
+                elif code & 1:
+                    subtotal += counts[code >> 1]
+            counts[rule] = subtotal
+        total += counts[0]
+    return total
+
+
+def _expand_prefix(
+    bodies: list[list[int]], rule: int, table: list[int], limit: int
+) -> list[int]:
+    """First ``limit`` terminals of a rule's expansion (bounded work)."""
+    out: list[int] = []
+    stack: list[tuple[int, int]] = [(rule, 0)]
+    while stack and len(out) < limit:
+        current, cursor = stack.pop()
+        body = bodies[current]
+        while cursor < len(body) and len(out) < limit:
+            code = body[cursor]
+            cursor += 1
+            if code & 1:
+                stack.append((current, cursor))
+                current, cursor, body = code >> 1, 0, bodies[code >> 1]
+                continue
+            value_id = code >> 1
+            if value_id >= len(table):
+                raise CompressedFormatError("SEQUITUR: value id out of range")
+            out.append(table[value_id])
+    return out
+
+
+def top_patterns(
+    seq: SequenceGrammars, k: int = 10, min_length: int = 2
+) -> list[Pattern]:
+    """The top-``k`` repeated subsequences by trace coverage.
+
+    Rule 0 (the whole trace) is excluded; so are rules shorter than
+    ``min_length`` terminals or used only once — a pattern must repeat.
+    """
+    patterns: list[Pattern] = []
+    for segment_number, bodies in enumerate(seq.segments):
+        if len(bodies) < 2:
+            continue
+        lengths, occurrences = rule_metrics(bodies)
+        for rule in range(1, len(bodies)):
+            if lengths[rule] < min_length or occurrences[rule] < 2:
+                continue
+            patterns.append(
+                Pattern(
+                    segment=segment_number,
+                    rule=rule,
+                    length=lengths[rule],
+                    occurrences=occurrences[rule],
+                    preview=_expand_prefix(bodies, rule, seq.table, PREVIEW_TERMINALS),
+                )
+            )
+    patterns.sort(key=lambda p: (-p.coverage, p.segment, p.rule))
+    return patterns[:k]
+
+
+def analyze(blob: bytes, *, sequence: str = "pc", top: int = 10) -> str:
+    """Render a hot-pattern report for one sequence of an SQT1 blob."""
+    info = load_grammar(blob)
+    seq = info.sequence(sequence)
+    lines = [
+        f"SEQUITUR grammar report ({sequence} sequence)",
+        f"records:        {info.record_count}",
+        f"distinct values:{len(seq.table):>8}",
+        f"segments:       {len(seq.segments)}",
+        f"rules:          {seq.rule_count} ({seq.symbol_count} symbols)",
+    ]
+    patterns = top_patterns(seq, k=top)
+    if not patterns:
+        lines.append("no repeated patterns of length >= 2")
+    for rank, p in enumerate(patterns, start=1):
+        preview = " ".join(f"{v:#x}" for v in p.preview)
+        ellipsis = " ..." if p.length > len(p.preview) else ""
+        lines.append(
+            f"#{rank:<2} rule {p.segment}/{p.rule}: len {p.length} x {p.occurrences} "
+            f"occurrences = {p.coverage} entries  [{preview}{ellipsis}]"
+        )
+    return "\n".join(lines)

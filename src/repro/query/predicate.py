@@ -1,0 +1,266 @@
+"""The predicate language for querying compressed traces.
+
+TCgen specifications name fields positionally, not symbolically, so the
+predicate language does too: ``f1``, ``f2``, ... refer to the 1-based
+fields of the specification being queried, ``pc`` is an alias for the
+spec's PC field, and ``record`` is the 0-based absolute record index
+(which makes record ranges ordinary predicates: ``record >= 1000 and
+record < 2000``).  Literals are decimal or ``0x`` hex integers.
+
+Grammar (precedence low to high)::
+
+    expr   := term ("or" term)*
+    term   := factor ("and" factor)*
+    factor := "(" expr ")" | field op literal
+    op     := == | != | < | <= | > | >=
+
+Every AST node answers two questions:
+
+- :meth:`matches` — does this concrete record match?  (the filter)
+- :meth:`maybe` — *could* any record in a chunk match, given the chunk's
+  skip-index summary?  (the pruner)
+
+``maybe`` is deliberately one-sided: it may answer True for a chunk with
+no matches (the chunk is then decoded and filtered normally) but must
+never answer False for a chunk that contains a match.  With no summary
+available it answers True, which is what makes the planner correct on
+archives without an index.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import PredicateError
+from repro.tio.skipindex import ChunkSummary, bloom_maybe
+
+#: The pseudo-field number for the absolute record index.
+RECORD_FIELD = 0
+
+_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``field op literal`` — the leaf of every predicate."""
+
+    field: int  # 1-based spec field, or RECORD_FIELD for the record index
+    op: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise PredicateError(f"unknown operator {self.op!r}")
+        if self.field < 0:
+            raise PredicateError(f"field number must be >= 1, got {self.field}")
+
+    def matches(self, record: tuple, index: int) -> bool:
+        actual = index if self.field == RECORD_FIELD else record[self.field - 1]
+        value = self.value
+        if self.op == "==":
+            return actual == value
+        if self.op == "!=":
+            return actual != value
+        if self.op == "<":
+            return actual < value
+        if self.op == "<=":
+            return actual <= value
+        if self.op == ">":
+            return actual > value
+        return actual >= value
+
+    def maybe(self, start: int, count: int, summary: "ChunkSummary | None") -> bool:
+        """Could any record in [start, start+count) match?"""
+        bloom = None
+        if self.field == RECORD_FIELD:
+            lo, hi = start, start + count - 1
+        elif summary is None or summary.fields is None:
+            return True
+        else:
+            fs = summary.fields[self.field - 1]
+            lo, hi = fs.lo, fs.hi
+            bloom = fs.bloom
+        value = self.value
+        if self.op == "==":
+            if not lo <= value <= hi:
+                return False
+            if bloom is not None:
+                return bloom_maybe(bloom, len(bloom) * 8, value)
+            return True
+        if self.op == "!=":
+            # Only an all-constant chunk equal to the literal is pruned.
+            return not (lo == hi == value)
+        if self.op == "<":
+            return lo < value
+        if self.op == "<=":
+            return lo <= value
+        if self.op == ">":
+            return hi > value
+        return hi >= value
+
+    def __str__(self) -> str:
+        name = "record" if self.field == RECORD_FIELD else f"f{self.field}"
+        return f"{name} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class And:
+    parts: tuple
+
+    def matches(self, record: tuple, index: int) -> bool:
+        return all(p.matches(record, index) for p in self.parts)
+
+    def maybe(self, start: int, count: int, summary: "ChunkSummary | None") -> bool:
+        return all(p.maybe(start, count, summary) for p in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: tuple
+
+    def matches(self, record: tuple, index: int) -> bool:
+        return any(p.matches(record, index) for p in self.parts)
+
+    def maybe(self, start: int, count: int, summary: "ChunkSummary | None") -> bool:
+        return any(p.maybe(start, count, summary) for p in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(p) for p in self.parts) + ")"
+
+
+Predicate = Comparison  # documentation alias: any AST node quacks the same
+
+
+def fields_used(pred) -> set[int]:
+    """Every spec field number the predicate touches (RECORD_FIELD excluded)."""
+    if isinstance(pred, Comparison):
+        return set() if pred.field == RECORD_FIELD else {pred.field}
+    used: set[int] = set()
+    for part in pred.parts:
+        used |= fields_used(part)
+    return used
+
+
+def validate_predicate(pred, field_count: int) -> None:
+    """Raise :class:`PredicateError` if ``pred`` names a missing field."""
+    for field in fields_used(pred):
+        if field > field_count:
+            raise PredicateError(
+                f"predicate references f{field}, but the specification has "
+                f"only {field_count} fields"
+            )
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>0[xX][0-9a-fA-F]+|\d+)|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>==|!=|<=|>=|<|>)|(?P<lparen>\()|(?P<rparen>\)))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None or match.lastgroup is None:
+            raise PredicateError(
+                f"predicate syntax error at column {pos + 1}: {text[pos:pos + 20]!r}"
+            )
+        if match.end() == pos:  # only whitespace remained
+            break
+        tokens.append((match.lastgroup, match.group(match.lastgroup)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], pc_field: int | None) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.pc_field = pc_field
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise PredicateError("predicate ended unexpectedly")
+        self.pos += 1
+        return token
+
+    def expr(self):
+        parts = [self.term()]
+        while (t := self.peek()) and t == ("name", "or"):
+            self.take()
+            parts.append(self.term())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def term(self):
+        parts = [self.factor()]
+        while (t := self.peek()) and t == ("name", "and"):
+            self.take()
+            parts.append(self.factor())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def factor(self):
+        kind, text = self.take()
+        if kind == "lparen":
+            inner = self.expr()
+            kind, text = self.take()
+            if kind != "rparen":
+                raise PredicateError(f"expected ')', got {text!r}")
+            return inner
+        if kind != "name":
+            raise PredicateError(f"expected a field name, got {text!r}")
+        field = self._field(text)
+        kind, op = self.take()
+        if kind != "op":
+            raise PredicateError(f"expected a comparison operator, got {op!r}")
+        kind, literal = self.take()
+        if kind != "num":
+            raise PredicateError(f"expected an integer literal, got {literal!r}")
+        return Comparison(field, op, int(literal, 0))
+
+    def _field(self, name: str) -> int:
+        lowered = name.lower()
+        if lowered in ("record", "index"):
+            return RECORD_FIELD
+        if lowered == "pc":
+            if self.pc_field is None:
+                raise PredicateError(
+                    "this specification has no PC field; name the field "
+                    "explicitly (f1, f2, ...)"
+                )
+            return self.pc_field
+        match = re.fullmatch(r"f(?:ield)?(\d+)", lowered)
+        if match:
+            field = int(match.group(1))
+            if field < 1:
+                raise PredicateError("field numbers are 1-based: f1, f2, ...")
+            return field
+        raise PredicateError(
+            f"unknown field {name!r} (use f1, f2, ..., pc, or record)"
+        )
+
+
+def parse_predicate(text: str, *, pc_field: int | None = None):
+    """Parse predicate text into an AST; raises :class:`PredicateError`.
+
+    ``pc_field`` supplies the 1-based field number the ``pc`` alias
+    resolves to (pass the spec's PC field; ``None`` disables the alias).
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise PredicateError("empty predicate")
+    parser = _Parser(tokens, pc_field)
+    tree = parser.expr()
+    if parser.peek() is not None:
+        raise PredicateError(
+            f"unexpected trailing tokens: {' '.join(t for _, t in parser.tokens[parser.pos:])!r}"
+        )
+    return tree

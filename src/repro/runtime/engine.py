@@ -91,6 +91,7 @@ class TraceEngine:
         executor: str = "thread",
         container_version: int = FORMAT_VERSION_3,
         backend: str = "auto",
+        skip_index: bool = False,
     ) -> None:
         if container_version not in (FORMAT_VERSION_2, FORMAT_VERSION_3, FORMAT_VERSION_4):
             raise ValueError(
@@ -111,6 +112,10 @@ class TraceEngine:
         self.workers = workers
         self.executor = executor
         self.container_version = container_version
+        # Opt-in: emitting a skip index changes the output bytes (an extra
+        # TCIX frame), so it must never be on by default — byte-identity
+        # with the generated compressors is a tested invariant.
+        self.skip_index = skip_index
         self.last_usage: UsageReport | None = None
         self.last_report: DecodeReport | None = None
 
@@ -160,6 +165,7 @@ class TraceEngine:
         workers: int | None = None,
         executor: str | None = None,
         container_version: int | None = None,
+        skip_index: bool | None = None,
         cancel=None,
     ) -> bytes:
         """Compress raw trace bytes into a container blob.
@@ -174,6 +180,10 @@ class TraceEngine:
         granularity; when it returns true the call aborts with
         :class:`~repro.errors.OperationCancelled` (used by the service
         layer to stop work whose deadline already fired).
+
+        ``skip_index=True`` additionally emits a chunk skip index
+        (:mod:`repro.tio.skipindex`) so :meth:`query` can prune chunks;
+        v1/v2 containers have nowhere to put one and ignore the flag.
         """
         model = self.model
         if chunk_records is _UNSET:
@@ -291,6 +301,12 @@ class TraceEngine:
             chunks=chunks,
             version=version,
         )
+        if skip_index is None:
+            skip_index = self.skip_index
+        if skip_index and version != FORMAT_VERSION_2 and spans:
+            from repro.tio.skipindex import build_index
+
+            chunked.skip_index = build_index(self.format, raw, spans)
         return chunked.encode()
 
     # -- streaming -------------------------------------------------------------
@@ -302,6 +318,7 @@ class TraceEngine:
         chunk_records: int | str | None = _UNSET,
         policy=None,
         resume: bool = False,
+        skip_index: bool | None = None,
     ):
         """Open a crash-safe v4 streaming compressor writing to ``sink``.
 
@@ -320,7 +337,12 @@ class TraceEngine:
         if resolved is None:
             resolved = default_chunk_records(self.format.record_bytes)
         return StreamingCompressor(
-            self, sink, chunk_records=resolved, policy=policy, resume=resume
+            self,
+            sink,
+            chunk_records=resolved,
+            policy=policy,
+            resume=resume,
+            skip_index=self.skip_index if skip_index is None else skip_index,
         )
 
     # -- decompression ---------------------------------------------------------
@@ -569,6 +591,42 @@ class TraceEngine:
         return data
 
     # -- reporting -------------------------------------------------------------
+
+    # -- querying --------------------------------------------------------------
+
+    def query(
+        self,
+        blob: bytes,
+        where: "str | None" = None,
+        *,
+        op: str = "select",
+        limit: int | None = None,
+        mode: str = "strict",
+        max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+        cancel=None,
+    ):
+        """Run a predicate query against a container without full decompression.
+
+        ``where`` is a predicate in the :mod:`repro.query` language (or an
+        already-parsed AST; ``None`` matches every record).  ``op`` selects
+        what comes back: ``"select"`` materializes matching records,
+        ``"count"`` only counts them, ``"stats"`` adds per-field min/max
+        over the matches.  When the container carries a skip index, chunks
+        the predicate provably cannot match are never decoded; results are
+        identical either way.  Returns a :class:`repro.query.QueryResult`.
+        """
+        from repro.query import run_query
+
+        return run_query(
+            self,
+            blob,
+            where,
+            op=op,
+            limit=limit,
+            mode=mode,
+            max_chunk_bytes=max_chunk_bytes,
+            cancel=cancel,
+        )
 
     def usage_report(self) -> str:
         """The paper's post-compression predictor-usage feedback."""

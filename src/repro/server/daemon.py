@@ -797,7 +797,7 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tcgen-serve",
         description="Serve trace compression over TCP (framed protocol; "
-        "ops: compress, decompress, salvage, analyze, health, metrics, "
+        "ops: compress, decompress, salvage, analyze, query, health, metrics, "
         "stream-compress) with a pre-fork worker pool and an HTTP/1.1 "
         "gateway.",
     )

@@ -335,6 +335,52 @@ class Handlers:
         ).inc()
         return session
 
+    def op_query(self, params, payload, cancel, memo=None):
+        from repro.query import QUERY_OPS, records_to_bytes, run_query
+
+        engine = self._engine_for(params, memo)
+        where = params.get("where")
+        if where is not None and not isinstance(where, str):
+            raise ProtocolError("param 'where' must be a string")
+        query_op = params.get("op", "select")
+        if query_op not in QUERY_OPS:
+            raise ProtocolError(f"param 'op' must be one of {QUERY_OPS}")
+        mode = params.get("mode", "strict")
+        if mode not in ("strict", "salvage"):
+            raise ProtocolError("param 'mode' must be 'strict' or 'salvage'")
+        result = run_query(
+            engine,
+            payload,
+            where,
+            op=query_op,
+            limit=_opt_positive_int(params, "limit"),
+            mode=mode,
+            max_chunk_bytes=self.config.max_chunk_bytes,
+            cancel=cancel,
+        )
+        if mode == "salvage":
+            # Like op_salvage: damage diagnosis runs the Python kernels.
+            self.metrics.backend_requests.labels(backend="python").inc()
+        else:
+            self._count_backend(engine)
+        out = (
+            records_to_bytes(engine.format, result.records)
+            if query_op == "select"
+            else b""
+        )
+        meta: dict = {
+            "op": query_op,
+            "count": result.count,
+            "blob_size": len(payload),
+            "raw_size": len(out),
+            **result.stats.as_dict(),
+        }
+        if result.field_stats is not None:
+            meta["field_stats"] = result.field_stats
+        if mode == "salvage" and engine.last_report is not None:
+            meta["report"] = report_to_dict(engine.last_report)
+        return meta, out
+
     def op_analyze(self, params, payload, cancel, memo=None):
         from repro.analysis import analyze_trace, recommend_spec
         from repro.tio import VPC_FORMAT

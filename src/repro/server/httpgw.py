@@ -15,6 +15,11 @@ Endpoints::
 
     POST /v1/compress?spec=...|preset=tcgen_a[&codec=...][&chunk_records=...]
     POST /v1/decompress?spec=...|preset=...[&codec=...]
+    POST /v1/query?spec=...|preset=...[&where=...][&op=select|count|stats]
+                           predicate pushdown over an uploaded container;
+                           ``select`` answers raw packed records, the other
+                           ops answer JSON planner statistics
+    POST /v1/analyze       raw trace in, JSON {recommended_spec, report} out
     GET  /healthz          liveness + per-worker and pool-level snapshots
     GET  /metrics          merged Prometheus exposition (worker="N" labels
                            per sample, plus tcgen_pool_* aggregates)
@@ -416,12 +421,16 @@ class HttpGateway:
                     405, "Method Not Allowed", "bad_request", "use GET"
                 )
             return await self._metrics()
-        if path in ("/v1/compress", "/v1/decompress"):
+        if path in ("/v1/compress", "/v1/decompress", "/v1/query", "/v1/analyze"):
             if method != "POST":
                 raise _HttpError(
                     405, "Method Not Allowed", "bad_request", "use POST"
                 )
             query = parse_qs(split.query, keep_blank_values=True)
+            if path == "/v1/query":
+                return await self._v1_query(query, body)
+            if path == "/v1/analyze":
+                return await self._v1_analyze(query, body)
             return await self._proxy(path.rsplit("/", 1)[1], query, body)
         raise _HttpError(
             404, "Not Found", "bad_request", f"unknown path {path!r}"
@@ -472,20 +481,18 @@ class HttpGateway:
                 f"query param {name!r} must be an integer, got {value!r}",
             ) from None
 
-    async def _proxy(
-        self, op: str, query: dict, body: bytes
-    ) -> tuple[int, str, list[tuple[str, str]], bytes]:
-        params, spec_text, codec = self._resolve_params(query)
+    def _deadline_ms(self, query: dict) -> int | None:
         deadline_raw = self._query_value(query, "deadline_ms")
-        deadline_ms = (
-            self._int_param("deadline_ms", deadline_raw)
-            if deadline_raw is not None
-            else None
-        )
-        try:
-            key = self._route_key(spec_text, codec)
-        except SpecError as exc:
-            raise _HttpError(400, "Bad Request", "spec_error", str(exc)) from exc
+        if deadline_raw is None:
+            return None
+        return self._int_param("deadline_ms", deadline_raw)
+
+    async def _call(
+        self, key: str, op: str, params: dict, body: bytes, deadline_ms: int | None
+    ) -> tuple[dict, dict, bytes]:
+        """Proxy one op to the ring, walking the preference order on
+        saturation/unreachability; returns ``(response_header, meta,
+        payload)`` or raises :class:`_HttpError` with the mapped status."""
         timeout = (
             min(
                 deadline_ms / 1000.0 if deadline_ms else
@@ -511,20 +518,92 @@ class HttpGateway:
             except (ConnectionError, OSError, asyncio.TimeoutError,
                     asyncio.IncompleteReadError):
                 continue
+            response.setdefault("worker", worker_id)
             meta = response.get("meta") or {}
-            headers = [
-                ("Content-Type", "application/octet-stream"),
-                ("X-TCGen-Worker", str(response.get("worker", worker_id))),
-                ("X-TCGen-Raw-Size", str(meta.get("raw_size", ""))),
-                ("X-TCGen-Blob-Size", str(meta.get("blob_size", ""))),
-            ]
-            return 200, "OK", headers, payload
+            return response, meta, payload
         if soft_failure is not None:
             status, reason = HTTP_STATUS[soft_failure.code]
             raise _HttpError(status, reason, soft_failure.code, str(soft_failure))
         raise _HttpError(
             502, "Bad Gateway", "internal", "no worker answered the request"
         )
+
+    def _spec_route_key(self, spec_text: str, codec: str) -> str:
+        try:
+            return self._route_key(spec_text, codec)
+        except SpecError as exc:
+            raise _HttpError(400, "Bad Request", "spec_error", str(exc)) from exc
+
+    async def _proxy(
+        self, op: str, query: dict, body: bytes
+    ) -> tuple[int, str, list[tuple[str, str]], bytes]:
+        params, spec_text, codec = self._resolve_params(query)
+        key = self._spec_route_key(spec_text, codec)
+        response, meta, payload = await self._call(
+            key, op, params, body, self._deadline_ms(query)
+        )
+        headers = [
+            ("Content-Type", "application/octet-stream"),
+            ("X-TCGen-Worker", str(response.get("worker", ""))),
+            ("X-TCGen-Raw-Size", str(meta.get("raw_size", ""))),
+            ("X-TCGen-Blob-Size", str(meta.get("blob_size", ""))),
+        ]
+        return 200, "OK", headers, payload
+
+    async def _v1_query(
+        self, query: dict, body: bytes
+    ) -> tuple[int, str, list[tuple[str, str]], bytes]:
+        params, spec_text, codec = self._resolve_params(query)
+        query_op = self._query_value(query, "op") or "select"
+        params["op"] = query_op
+        where = self._query_value(query, "where")
+        if where is not None:
+            params["where"] = where
+        mode = self._query_value(query, "mode")
+        if mode is not None:
+            params["mode"] = mode
+        limit = self._query_value(query, "limit")
+        if limit is not None:
+            params["limit"] = self._int_param("limit", limit)
+        key = self._spec_route_key(spec_text, codec)
+        response, meta, payload = await self._call(
+            key, "query", params, body, self._deadline_ms(query)
+        )
+        headers = [
+            ("X-TCGen-Worker", str(response.get("worker", ""))),
+            ("X-TCGen-Count", str(meta.get("count", ""))),
+            ("X-TCGen-Chunks-Decoded", str(meta.get("decoded_chunks", ""))),
+            ("X-TCGen-Chunks-Skipped", str(meta.get("skipped_chunks", ""))),
+            ("X-TCGen-Chunks-Total", str(meta.get("total_chunks", ""))),
+        ]
+        if query_op == "select":
+            # Matching records, packed back into raw record bytes.
+            headers.insert(0, ("Content-Type", "application/octet-stream"))
+            return 200, "OK", headers, payload
+        headers.insert(0, ("Content-Type", "application/json"))
+        return 200, "OK", headers, json.dumps(meta, sort_keys=True).encode()
+
+    async def _v1_analyze(
+        self, query: dict, body: bytes
+    ) -> tuple[int, str, list[tuple[str, str]], bytes]:
+        params: dict = {}
+        budget = self._query_value(query, "budget_bytes")
+        if budget is not None:
+            params["budget_bytes"] = self._int_param("budget_bytes", budget)
+        # Analysis has no spec to place by; a constant key still gives the
+        # op a deterministic owner (and backups) on the ring.
+        response, meta, payload = await self._call(
+            "op:analyze", "analyze", params, body, self._deadline_ms(query)
+        )
+        result = {
+            "recommended_spec": meta.get("recommended_spec", ""),
+            "report": payload.decode(errors="replace"),
+        }
+        headers = [
+            ("Content-Type", "application/json"),
+            ("X-TCGen-Worker", str(response.get("worker", ""))),
+        ]
+        return 200, "OK", headers, json.dumps(result, sort_keys=True).encode()
 
     # -- fan-out endpoints ---------------------------------------------------
 

@@ -83,6 +83,7 @@ from repro.errors import (
     CompressedFormatError,
     DeadlineExceededError,
     OperationCancelled,
+    PredicateError,
     ProtocolError,
     RemoteError,
     ReproError,
@@ -136,6 +137,7 @@ OPS = (
     "decompress",
     "salvage",
     "analyze",
+    "query",
     "health",
     "metrics",
     "stream-compress",
@@ -241,6 +243,7 @@ def iter_data_frames(payload: bytes):
 _EXCEPTION_CODES: tuple[tuple[type, str], ...] = (
     (ChecksumError, "checksum"),
     (ProtocolError, "bad_request"),
+    (PredicateError, "bad_request"),
     (StreamClosedError, "stream_closed"),
     (TruncatedContainerError, "truncated"),
     (CompressedFormatError, "corrupt"),

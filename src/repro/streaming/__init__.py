@@ -42,6 +42,12 @@ from dataclasses import dataclass
 
 from repro.errors import CompressedFormatError, StreamClosedError
 from repro.tio.container import ContainerChunk, StreamPayload
+from repro.tio.skipindex import (
+    ChunkSummary,
+    SkipIndex,
+    encode_index_frame,
+    summarize_raw,
+)
 from repro.tio.streamv4 import (
     encode_chunk_frame,
     encode_prologue,
@@ -124,6 +130,7 @@ class StreamingCompressor:
         chunk_records: int,
         policy: FlushPolicy | None = None,
         resume: bool = False,
+        skip_index: bool = False,
     ) -> None:
         if not isinstance(chunk_records, int) or chunk_records < 1:
             raise ValueError(f"chunk_records must be a positive int, got {chunk_records!r}")
@@ -148,6 +155,13 @@ class StreamingCompressor:
         self._table: list[tuple[int, int]] = []
         self._first_pending: float | None = None
         self._closed = False
+        # Skip-index accumulation: one summary per flushed chunk, written
+        # as a TCIX frame just before the trailer at close().  Chunks that
+        # were already durable when a stream was resumed get unsummarized
+        # placeholders — the raw bytes are gone, the query planner simply
+        # scans those chunks.
+        self._indexing = skip_index
+        self._summaries: list[ChunkSummary] = []
 
         if isinstance(sink, (str, os.PathLike)):
             path = os.fspath(sink)
@@ -198,6 +212,10 @@ class StreamingCompressor:
         self._records = scan.records
         self._durable_bytes = scan.data_end
         self._table = [(count, end - start) for (_, count, start, end) in scan.frames]
+        if self._indexing:
+            self._summaries = [
+                ChunkSummary(count, None) for (_, count, _, _) in scan.frames
+            ]
 
     # -- inspection ----------------------------------------------------------
 
@@ -286,6 +304,8 @@ class StreamingCompressor:
             take = count * record_bytes
             chunk_raw = bytes(self._body[:take])
             del self._body[:take]
+            if self._indexing:
+                self._summaries.append(summarize_raw(self._chunk_format, chunk_raw))
             frame = self._encode_frame(chunk_raw, count)
             self._file.write(frame)
             self._unflushed += len(frame)
@@ -317,6 +337,14 @@ class StreamingCompressor:
                 f"cannot close: {len(self._body)} trailing bytes do not form "
                 f"a whole {self._record_bytes}-byte record"
             )
+        if self._indexing and self._summaries:
+            index = SkipIndex(
+                field_count=len(self._chunk_format.field_bits),
+                chunks=self._summaries,
+            )
+            frame = encode_index_frame(index)
+            self._file.write(frame)
+            self._unflushed += len(frame)
         trailer = encode_trailer(self._records, self._table)
         self._file.write(trailer)
         self._unflushed += len(trailer)

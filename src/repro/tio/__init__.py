@@ -9,7 +9,9 @@ compressors, the interpreted engine, and every baseline algorithm:
 - :mod:`repro.tio.container` — the on-disk container that holds the
   post-compressed streams produced by a TCgen-style compressor,
 - :mod:`repro.tio.streamv4` — the append-only v4 stream framing with
-  individually-flushable, crash-recoverable chunk frames.
+  individually-flushable, crash-recoverable chunk frames,
+- :mod:`repro.tio.skipindex` — the optional per-chunk skip index that
+  makes archives queryable without full decompression.
 """
 
 from repro.tio.blockio import ByteReader, ByteWriter, atomic_write_bytes
@@ -25,6 +27,18 @@ from repro.tio.container import (
     container_version,
     decode_container,
     default_chunk_records,
+)
+from repro.tio.skipindex import (
+    DEFAULT_BLOOM_BITS,
+    INDEX_MAGIC,
+    ChunkSummary,
+    FieldSummary,
+    SkipIndex,
+    build_index,
+    encode_index_frame,
+    parse_index_frame,
+    summarize_columns,
+    summarize_raw,
 )
 from repro.tio.streamv4 import (
     CHUNK_MAGIC,
@@ -46,25 +60,35 @@ __all__ = [
     "ByteReader",
     "ByteWriter",
     "CHUNK_MAGIC",
+    "ChunkSummary",
     "ChunkedContainer",
     "ContainerChunk",
+    "DEFAULT_BLOOM_BITS",
     "DecodeReport",
     "FORMAT_VERSION_4",
+    "FieldSummary",
+    "INDEX_MAGIC",
+    "SkipIndex",
     "STREAM_TRAILER_MAGIC",
     "StreamContainer",
     "StreamPayload",
     "StreamScan",
     "as_chunked",
     "atomic_write_bytes",
+    "build_index",
     "container_version",
     "crc32c",
     "decode_container",
     "default_chunk_records",
     "encode_chunk_frame",
+    "encode_index_frame",
     "encode_prologue",
     "encode_trailer",
     "pack_records",
+    "parse_index_frame",
     "scan_stream",
+    "summarize_columns",
+    "summarize_raw",
     "unpack_records",
     "TraceFormat",
     "VPC_FORMAT",

@@ -41,6 +41,7 @@ header CRC32C (u32, over everything above)
 global stream payloads | global CRC32C (u32)     -- only if global streams
 per chunk: stream payloads | chunk CRC32C (u32)
 trailer magic "TCEN" | trailer CRC32C (u32, over all section CRCs above)
+optional skip index frame "TCIX" ... (repro.tio.skipindex; self-checking)
 ```
 
 Every CRC is little-endian CRC32C (:mod:`repro.tio.checksum`) over the
@@ -77,6 +78,12 @@ from repro.errors import (
 )
 from repro.tio.blockio import ByteReader, ByteWriter
 from repro.tio.checksum import crc32c
+from repro.tio.skipindex import (
+    INDEX_MAGIC,
+    SkipIndex,
+    encode_index_frame,
+    parse_index_frame,
+)
 
 MAGIC = b"TCGN"
 TRAILER_MAGIC = b"TCEN"
@@ -319,6 +326,11 @@ class ChunkedContainer:
     global_streams: list[StreamPayload] = field(default_factory=list)
     chunks: list[ContainerChunk] = field(default_factory=list)
     version: int = FORMAT_VERSION_3
+    # Optional chunk skip index (repro.tio.skipindex).  On v3 it rides as
+    # a self-checking TCIX frame appended after the TCEN trailer, on v4
+    # as a TCIX frame before the TCST trailer; v2 has nowhere to put it
+    # and encode() silently drops it.
+    skip_index: "SkipIndex | None" = None
 
     def _encode_metadata(self, version: int) -> ByteWriter:
         writer = ByteWriter()
@@ -381,6 +393,8 @@ class ChunkedContainer:
             section_crcs += crc.to_bytes(4, "little")
         out += TRAILER_MAGIC
         out += crc32c(bytes(section_crcs)).to_bytes(4, "little")
+        if self.skip_index is not None:
+            out += encode_index_frame(self.skip_index)
         return bytes(out)
 
     @classmethod
@@ -627,6 +641,16 @@ class ChunkedContainer:
                 )
             report.trailer_damaged = True
             report.notes.append("trailer checksum mismatch")
+        if blob[reader.position : reader.position + 4] == INDEX_MAGIC:
+            try:
+                index, end = parse_index_frame(blob, reader.position)
+            except CompressedFormatError as exc:
+                if strict:
+                    raise
+                report.notes.append(f"skip index unreadable, ignored: {exc}")
+                return
+            container.skip_index = index
+            reader.seek(end)
         if not reader.at_end():
             if strict:
                 raise CompressedFormatError(

@@ -1,0 +1,279 @@
+"""Chunk skip index: per-chunk, per-field summaries for predicate pushdown.
+
+A skip index lets :mod:`repro.query` answer selective queries without
+decompressing every chunk.  For each chunk it records, per field, the
+minimum and maximum value plus an optional coarse bloom filter over the
+chunk's values.  A query planner can then prove "no record in this chunk
+can match ``f1 == 0x4800``" from the summary alone and skip the chunk's
+bzip2 + predictor decode entirely.
+
+The index is an *accelerator*, never a source of truth: a chunk whose
+summary is absent, stale, or damaged is simply decoded and filtered the
+slow way, so query results are identical with or without it.
+
+Wire format
+-----------
+
+The index travels in a single self-checking frame reused by both
+container generations (the same magic/length/CRC scheme as v4 ``TCCK``
+chunk frames)::
+
+    "TCIX" | varint length | body | crc32c u32 LE
+
+``length`` counts ``body`` plus the 4 CRC bytes; the CRC covers magic,
+length varint, and body.  The body is::
+
+    u8      index format version (1)
+    varint  field count
+    varint  bloom bits per field (0 = no bloom filters)
+    varint  chunk count
+    then per chunk:
+        u8  flags (bit 0: summarized)
+        if summarized:
+            varint record count
+            per field: varint min | varint (max - min) | bloom bytes
+
+In a v3 container the frame is appended *after* the ``TCEN`` trailer and
+its CRC — old readers that stop at the trailer never see it, and readers
+that notice trailing bytes can verify the frame's own CRC.  In a v4
+stream it is an ordinary frame written immediately before the ``TCST``
+trailer at close time; ``scan_stream`` deliberately excludes it from the
+durable data prefix so a crashed-then-resumed stream drops the index and
+writes a fresh one at the next close.
+
+Unsummarized chunks (flag byte 0) keep the index aligned with the chunk
+table when only a suffix of a resumed stream was observed by the writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ChecksumError, CompressedFormatError, TruncatedContainerError
+from repro.tio.blockio import ByteReader, ByteWriter
+from repro.tio.checksum import crc32c
+from repro.tio.traceformat import TraceFormat, unpack_records
+
+INDEX_MAGIC = b"TCIX"
+INDEX_FORMAT_VERSION = 1
+
+# 4096 bits = 512 bytes per field per chunk: ~0.05% overhead on the
+# default 1 MiB chunks.  Real traces reuse values heavily (the paper's
+# whole premise), so the distinct count per chunk is usually far below
+# the record count and a two-hash bloom at this size prunes most point
+# lookups; min/max pruning carries range predicates regardless.
+DEFAULT_BLOOM_BITS = 4096
+
+# Knuth/Fibonacci multiplicative hash constants (same ones xxHash and
+# splitmix64 use); values are mixed mod 2**64 and the top log2(m) bits
+# select the bloom bit, which numpy's uint64 arithmetic mirrors exactly.
+_HASH1 = 0x9E3779B97F4A7C15
+_HASH2 = 0xC2B2AE3D27D4EB4F
+_U64_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class FieldSummary:
+    """Min/max plus optional bloom filter for one field of one chunk."""
+
+    lo: int
+    hi: int
+    bloom: bytes | None = None
+
+
+@dataclass(frozen=True)
+class ChunkSummary:
+    """Summary of one chunk; ``fields is None`` marks an unsummarized chunk."""
+
+    record_count: int
+    fields: tuple[FieldSummary, ...] | None = None
+
+    @property
+    def summarized(self) -> bool:
+        return self.fields is not None
+
+
+@dataclass
+class SkipIndex:
+    """The full per-archive index: one :class:`ChunkSummary` per chunk."""
+
+    field_count: int
+    bloom_bits: int = DEFAULT_BLOOM_BITS
+    chunks: list[ChunkSummary] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> tuple[int, int]:
+        """(summarized chunks, total chunks) — what ``tcgen-stream info`` prints."""
+        return sum(1 for c in self.chunks if c.summarized), len(self.chunks)
+
+    def encode(self) -> bytes:
+        if self.bloom_bits and (
+            self.bloom_bits < 8 or self.bloom_bits & (self.bloom_bits - 1)
+        ):
+            raise ValueError(f"bloom_bits must be 0 or a power of two >= 8, got {self.bloom_bits}")
+        out = ByteWriter()
+        out.write_u8(INDEX_FORMAT_VERSION)
+        out.write_varint(self.field_count)
+        out.write_varint(self.bloom_bits)
+        out.write_varint(len(self.chunks))
+        for chunk in self.chunks:
+            if not chunk.summarized:
+                out.write_u8(0)
+                continue
+            fields = chunk.fields or ()
+            if len(fields) != self.field_count:
+                raise ValueError(
+                    f"chunk summary has {len(fields)} fields, index declares {self.field_count}"
+                )
+            out.write_u8(1)
+            out.write_varint(chunk.record_count)
+            for summary in fields:
+                out.write_varint(summary.lo)
+                out.write_varint(summary.hi - summary.lo)
+                if self.bloom_bits:
+                    bloom = summary.bloom
+                    if bloom is None or len(bloom) != self.bloom_bits // 8:
+                        raise ValueError("field summary bloom does not match bloom_bits")
+                    out.write_bytes(bloom)
+        return out.getvalue()
+
+    @classmethod
+    def decode(cls, body: bytes) -> "SkipIndex":
+        reader = ByteReader(body)
+        version = reader.read_u8()
+        if version != INDEX_FORMAT_VERSION:
+            raise CompressedFormatError(f"unsupported skip index version {version}")
+        field_count = reader.read_varint()
+        if field_count > 0xFFFF:
+            raise CompressedFormatError(f"implausible skip index field count {field_count}")
+        bloom_bits = reader.read_varint()
+        if bloom_bits and (bloom_bits < 8 or bloom_bits & (bloom_bits - 1)):
+            raise CompressedFormatError(f"invalid skip index bloom_bits {bloom_bits}")
+        chunk_count = reader.read_count("index chunks")
+        chunks: list[ChunkSummary] = []
+        for _ in range(chunk_count):
+            flags = reader.read_u8()
+            if flags & 1 == 0:
+                chunks.append(ChunkSummary(0, None))
+                continue
+            record_count = reader.read_varint()
+            fields = []
+            for _ in range(field_count):
+                lo = reader.read_varint()
+                hi = lo + reader.read_varint()
+                bloom = reader.read_bytes(bloom_bits // 8) if bloom_bits else None
+                fields.append(FieldSummary(lo, hi, bloom))
+            chunks.append(ChunkSummary(record_count, tuple(fields)))
+        if not reader.at_end():
+            raise CompressedFormatError(
+                f"{reader.remaining()} trailing bytes after skip index body"
+            )
+        return cls(field_count=field_count, bloom_bits=bloom_bits, chunks=chunks)
+
+
+def encode_index_frame(index: SkipIndex) -> bytes:
+    """Frame an index exactly like a v4 chunk frame (magic/len/body/CRC)."""
+    body = index.encode()
+    out = ByteWriter()
+    out.write_bytes(INDEX_MAGIC)
+    out.write_varint(len(body) + 4)
+    out.write_bytes(body)
+    frame = out.getvalue()
+    out.write_u32(crc32c(frame))
+    return out.getvalue()
+
+
+def parse_index_frame(blob: bytes, start: int) -> tuple[SkipIndex, int]:
+    """Parse a ``TCIX`` frame at ``start``; returns (index, end offset).
+
+    Raises :class:`TruncatedContainerError` if the frame extends past the
+    end of ``blob``, :class:`ChecksumError` if its CRC fails, and
+    :class:`CompressedFormatError` for a malformed body.
+    """
+    if blob[start : start + 4] != INDEX_MAGIC:
+        raise CompressedFormatError(f"no skip index frame at offset {start}")
+    reader = ByteReader(blob)
+    reader.seek(start + 4)
+    length = reader.read_count("index frame", item_bytes=1)
+    if length < 4:
+        raise CompressedFormatError(f"skip index frame length {length} too short")
+    body_start = reader.position
+    end = body_start + length
+    if end > len(blob):
+        raise TruncatedContainerError(
+            "skip index frame extends past end of data", offset=start
+        )
+    stored = int.from_bytes(blob[end - 4 : end], "little")
+    if crc32c(blob[start : end - 4]) != stored:
+        raise ChecksumError("skip index frame failed its CRC32C check", offset=start)
+    index = SkipIndex.decode(blob[body_start : end - 4])
+    return index, end
+
+
+def _bloom_bit_positions(values: np.ndarray, bloom_bits: int) -> np.ndarray:
+    shift = np.uint64(64 - (bloom_bits.bit_length() - 1))
+    v = values.astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        h1 = (v * np.uint64(_HASH1)) >> shift
+        h2 = ((v ^ (v >> np.uint64(29))) * np.uint64(_HASH2)) >> shift
+    return np.concatenate([h1, h2]).astype(np.intp)
+
+
+def bloom_maybe(bloom: bytes, bloom_bits: int, value: int) -> bool:
+    """Membership test mirroring :func:`_bloom_bit_positions` bit for bit."""
+    shift = 64 - (bloom_bits.bit_length() - 1)
+    value &= _U64_MASK
+    h1 = ((value * _HASH1) & _U64_MASK) >> shift
+    h2 = ((((value ^ (value >> 29)) & _U64_MASK) * _HASH2) & _U64_MASK) >> shift
+    for pos in (h1, h2):
+        # np.packbits is big-endian within each byte: bit 0 is the MSB.
+        if not (bloom[pos >> 3] >> (7 - (pos & 7))) & 1:
+            return False
+    return True
+
+
+def summarize_columns(
+    columns: list[np.ndarray], bloom_bits: int = DEFAULT_BLOOM_BITS
+) -> ChunkSummary:
+    """Summarize one chunk's per-field columns (views are fine)."""
+    fields = []
+    record_count = int(len(columns[0])) if columns else 0
+    for column in columns:
+        arr = np.asarray(column)
+        lo = int(arr.min()) if arr.size else 0
+        hi = int(arr.max()) if arr.size else 0
+        bloom = None
+        if bloom_bits:
+            bits = np.zeros(bloom_bits, dtype=bool)
+            if arr.size:
+                bits[_bloom_bit_positions(arr, bloom_bits)] = True
+            bloom = np.packbits(bits).tobytes()
+        fields.append(FieldSummary(lo, hi, bloom))
+    return ChunkSummary(record_count=record_count, fields=tuple(fields))
+
+
+def summarize_raw(
+    fmt: TraceFormat, chunk_raw: bytes, bloom_bits: int = DEFAULT_BLOOM_BITS
+) -> ChunkSummary:
+    """Summarize a raw chunk (``fmt`` must be the header-less chunk format)."""
+    _, columns = unpack_records(fmt, chunk_raw, copy=False)
+    return summarize_columns(columns, bloom_bits)
+
+
+def build_index(
+    fmt: TraceFormat,
+    raw: bytes,
+    spans: list[tuple[int, int]],
+    bloom_bits: int = DEFAULT_BLOOM_BITS,
+) -> SkipIndex:
+    """Index a full raw trace split into ``(start, count)`` record spans."""
+    _, columns = unpack_records(fmt, raw, copy=False)
+    chunks = [
+        summarize_columns([col[start : start + count] for col in columns], bloom_bits)
+        for start, count in spans
+    ]
+    return SkipIndex(
+        field_count=len(fmt.field_bits), bloom_bits=bloom_bits, chunks=chunks
+    )

@@ -87,6 +87,12 @@ from repro.tio.container import (
     _read_stream_meta,
     _write_stream_meta,
 )
+from repro.tio.skipindex import (
+    INDEX_MAGIC,
+    SkipIndex,
+    encode_index_frame,
+    parse_index_frame,
+)
 
 #: Magic opening every self-framed chunk (the append unit).
 CHUNK_MAGIC = b"TCCK"
@@ -187,6 +193,8 @@ def encode_v4(container: ChunkedContainer) -> bytes:
         frame = encode_chunk_frame(index, chunk)
         out += frame
         table.append((chunk.record_count, len(frame)))
+    if container.skip_index is not None:
+        out += encode_index_frame(container.skip_index)
     out += encode_trailer(container.record_count, table)
     return bytes(out)
 
@@ -414,6 +422,18 @@ def decode_v4(
                 break
             position = trailer.end
             break
+        if window == INDEX_MAGIC:
+            try:
+                skip, frame_end = parse_index_frame(blob, position)
+            except (ChecksumError, CompressedFormatError, TruncatedContainerError) as exc:
+                if strict:
+                    raise
+                report.notes.append(f"skip index unreadable, ignored: {exc}")
+                position = _resync(blob, position, report, expected_index)
+                continue
+            container.skip_index = skip
+            position = frame_end
+            continue
         if window != CHUNK_MAGIC or len(window) < 4:
             if strict:
                 if len(window) < 4:
@@ -554,13 +574,21 @@ def _resync(
     while True:
         chunk_at = blob.find(CHUNK_MAGIC, search_from)
         trailer_at = blob.find(STREAM_TRAILER_MAGIC, search_from)
-        candidates = [at for at in (chunk_at, trailer_at) if at != -1]
+        index_at = blob.find(INDEX_MAGIC, search_from)
+        candidates = [at for at in (chunk_at, trailer_at, index_at) if at != -1]
         if not candidates:
             return len(blob)
         candidate = min(candidates)
         if candidate == trailer_at:
             try:
                 _parse_trailer(blob, candidate)
+            except (ChecksumError, CompressedFormatError, TruncatedContainerError):
+                search_from = candidate + 1
+                continue
+            return candidate
+        if candidate == index_at:
+            try:
+                parse_index_frame(blob, candidate)
             except (ChecksumError, CompressedFormatError, TruncatedContainerError):
                 search_from = candidate + 1
                 continue
@@ -602,6 +630,8 @@ class StreamScan:
     records: int = 0
     closed: bool = False
     torn: bool = False
+    #: Skip index frame, when the stream carries one (closed streams only).
+    index: "SkipIndex | None" = None
 
     @property
     def chunk_count(self) -> int:
@@ -659,6 +689,17 @@ def scan_stream(
             else:
                 scan.torn = True
             return scan
+        if window == INDEX_MAGIC:
+            try:
+                skip, frame_end = parse_index_frame(blob, position)
+            except (ChecksumError, CompressedFormatError, TruncatedContainerError):
+                scan.torn = True
+                return scan
+            scan.index = skip
+            # data_end deliberately stays put: a resumed writer truncates
+            # the index away and writes a fresh one at its next close.
+            position = frame_end
+            continue
         if window != CHUNK_MAGIC:
             scan.torn = True
             return scan

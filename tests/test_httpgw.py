@@ -132,6 +132,90 @@ class TestRoundtrip:
         assert body == local_blob
 
 
+class TestQueryAndAnalyze:
+    @pytest.fixture(scope="class")
+    def indexed_blob(self, trace):
+        return TraceEngine(parse_spec(TCGEN_A_SPEC)).compress(
+            trace, chunk_records=128, container_version=3, skip_index=True
+        )
+
+    def test_query_count_answers_json(self, gateway, trace, indexed_blob):
+        query = urllib.parse.urlencode(
+            {"preset": "tcgen_a", "op": "count", "where": "pc == 0x1000"}
+        )
+        status, headers, body = request(
+            gateway, "POST", f"/v1/query?{query}", indexed_blob
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        doc = json.loads(body)
+        engine = TraceEngine(parse_spec(TCGEN_A_SPEC))
+        expected = engine.query(indexed_blob, "pc == 0x1000", op="count").count
+        assert doc["count"] == expected
+        assert int(headers["X-TCGen-Count"]) == expected
+        assert doc["total_chunks"] == int(headers["X-TCGen-Chunks-Total"])
+        assert doc["index_present"] is True
+
+    def test_query_select_answers_packed_records(self, gateway, indexed_blob):
+        query = urllib.parse.urlencode(
+            {"preset": "tcgen_a", "where": "record < 5", "op": "select"}
+        )
+        status, headers, body = request(
+            gateway, "POST", f"/v1/query?{query}", indexed_blob
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/octet-stream"
+        engine = TraceEngine(parse_spec(TCGEN_A_SPEC))
+        assert len(body) == 5 * engine.format.record_bytes
+        assert int(headers["X-TCGen-Count"]) == 5
+
+    def test_query_stats_op(self, gateway, indexed_blob):
+        query = urllib.parse.urlencode({"preset": "tcgen_a", "op": "stats"})
+        status, headers, body = request(
+            gateway, "POST", f"/v1/query?{query}", indexed_blob
+        )
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["field_stats"][0]["min"] == 0x1000
+
+    def test_query_bad_predicate_400(self, gateway, indexed_blob):
+        query = urllib.parse.urlencode({"preset": "tcgen_a", "where": "f1 =="})
+        status, _, body = request(
+            gateway, "POST", f"/v1/query?{query}", indexed_blob
+        )
+        assert status == 400
+        assert json.loads(body)["code"] == "bad_request"
+
+    def test_query_corrupt_blob_422(self, gateway, indexed_blob):
+        damaged = bytearray(indexed_blob)
+        damaged[len(damaged) // 3] ^= 0xFF
+        query = urllib.parse.urlencode({"preset": "tcgen_a", "op": "count"})
+        status, _, body = request(
+            gateway, "POST", f"/v1/query?{query}", bytes(damaged)
+        )
+        assert status == 422
+        assert json.loads(body)["code"] in ("corrupt", "checksum", "truncated")
+
+    def test_analyze_returns_spec_and_report(self, gateway, trace):
+        status, headers, body = request(gateway, "POST", "/v1/analyze", trace)
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        doc = json.loads(body)
+        assert doc["recommended_spec"].startswith("TCgen Trace Specification")
+        assert doc["report"]
+
+    def test_analyze_bad_budget_400(self, gateway, trace):
+        status, _, body = request(
+            gateway, "POST", "/v1/analyze?budget_bytes=-5", trace
+        )
+        assert status == 400
+        assert json.loads(body)["code"] == "bad_request"
+        status, _, _ = request(
+            gateway, "POST", "/v1/analyze?budget_bytes=nope", trace
+        )
+        assert status == 400
+
+
 class TestErrorMapping:
     def test_unknown_preset_400(self, gateway, trace):
         status, _, body = request(

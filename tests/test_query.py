@@ -1,0 +1,794 @@
+"""Tests for the query subsystem (``repro.query`` + ``repro.tio.skipindex``).
+
+Three layers under test: the skip-index codec and its emission paths
+(engine compress, streaming close, offline rebuild), the predicate
+language and pushdown executor (results must be identical to filtering a
+full decompress, with measurably fewer chunks decoded when the index can
+prove skips), and the grammar-side analytics computed on SEQUITUR rules
+without expanding them.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequitur import SequiturCompressor
+from repro.errors import (
+    ChecksumError,
+    CompressedFormatError,
+    PredicateError,
+    ProtocolError,
+    TruncatedContainerError,
+)
+from repro.query import (
+    analyze,
+    count_value,
+    load_grammar,
+    parse_predicate,
+    rebuild_index,
+    records_to_bytes,
+    rule_metrics,
+    top_patterns,
+    validate_predicate,
+)
+from repro.query.grammar import _topo_order
+from repro.query.predicate import And, Comparison, Or
+from repro.runtime.engine import TraceEngine
+from repro.server.handlers import Handlers
+from repro.server.limits import ServerConfig
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import code_for_exception
+from repro.spec import parse_spec, tcgen_a
+from repro.spec.presets import TCGEN_A_SPEC
+from repro.tio import VPC_FORMAT, decode_container, pack_records
+from repro.tio.container import DecodeReport
+from repro.tio.skipindex import (
+    ChunkSummary,
+    FieldSummary,
+    SkipIndex,
+    bloom_maybe,
+    build_index,
+    encode_index_frame,
+    parse_index_frame,
+    summarize_columns,
+)
+from repro.tio.streamv4 import scan_stream
+from repro.tio.traceformat import unpack_records
+
+from conftest import make_vpc_trace
+
+CHUNK = 512
+
+
+def make_sorted_trace(n: int = 8192) -> bytes:
+    """A trace whose PC column is globally sorted, so fixed-size chunks
+    cover disjoint PC ranges — the shape skip indexes exist for."""
+    rng = np.random.default_rng(23)
+    pcs = np.sort(rng.integers(0x1000, 0x100000, size=n, dtype=np.uint64))
+    data = rng.integers(0, 1 << 40, size=n, dtype=np.uint64)
+    return pack_records(VPC_FORMAT, b"VPC3", [pcs, data])
+
+
+def ground_truth(engine: TraceEngine, blob: bytes, where: str | None) -> list[tuple]:
+    """The spec: filter a *full* decompress record by record."""
+    raw = engine.decompress(blob)
+    _, columns = unpack_records(engine.format, raw)
+    records = list(zip(*(col.tolist() for col in columns)))
+    if where is None:
+        return records
+    predicate = parse_predicate(where, pc_field=engine.format.pc_field or None)
+    return [
+        record
+        for index, record in enumerate(records)
+        if predicate.matches(record, index)
+    ]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return TraceEngine(tcgen_a())
+
+
+@pytest.fixture(scope="module")
+def sorted_trace():
+    return make_sorted_trace()
+
+
+@pytest.fixture(scope="module")
+def indexed_v3(engine, sorted_trace):
+    return engine.compress(
+        sorted_trace, chunk_records=CHUNK, container_version=3, skip_index=True
+    )
+
+
+@pytest.fixture(scope="module")
+def indexed_v4(engine, sorted_trace):
+    return engine.compress(
+        sorted_trace, chunk_records=CHUNK, container_version=4, skip_index=True
+    )
+
+
+# -- predicate language -------------------------------------------------------
+
+
+class TestPredicates:
+    def test_comparison_ops(self):
+        record = (0x4000, 77)
+        for text, expected in [
+            ("f1 == 0x4000", True),
+            ("f1 != 0x4000", False),
+            ("f2 < 78", True),
+            ("f2 <= 76", False),
+            ("f2 > 76", True),
+            ("f2 >= 78", False),
+        ]:
+            assert parse_predicate(text).matches(record, 0) is expected, text
+
+    def test_and_or_precedence(self):
+        # and binds tighter than or: this is (a and b) or c.
+        pred = parse_predicate("f1 == 1 and f2 == 2 or f1 == 9")
+        assert isinstance(pred, Or)
+        assert pred.matches((9, 0), 0)
+        assert pred.matches((1, 2), 0)
+        assert not pred.matches((1, 3), 0)
+        grouped = parse_predicate("f1 == 1 and (f2 == 2 or f1 == 9)")
+        assert isinstance(grouped, And)
+        assert not grouped.matches((9, 0), 0)
+
+    def test_pc_and_record_pseudofields(self):
+        pred = parse_predicate("pc == 0x10 and record < 5", pc_field=1)
+        assert pred.matches((0x10, 0), 4)
+        assert not pred.matches((0x10, 0), 5)
+        with pytest.raises(PredicateError, match="no PC field"):
+            parse_predicate("pc == 1", pc_field=None)
+
+    def test_literal_bases_and_field_numbering(self):
+        pred = parse_predicate("field2 == 0xF")
+        assert pred.matches((0, 15), 0)
+        with pytest.raises(PredicateError, match="field"):
+            validate_predicate(parse_predicate("f3 == 1"), field_count=2)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "f1 ==", "f1 = 3", "nope !!", "f1 == 1 and", "(f1 == 1", "f0 == 1"],
+    )
+    def test_malformed_predicates_raise(self, text):
+        with pytest.raises(PredicateError):
+            parse_predicate(text)
+
+    def test_maybe_is_one_sided(self):
+        """``maybe`` may say yes falsely but never no falsely."""
+        values = np.array([10, 20, 30, 40], dtype=np.uint64)
+        summary = summarize_columns([values, values + 1])
+        for text in ["f1 == 20", "f1 >= 40", "f1 < 11", "f2 != 0"]:
+            pred = parse_predicate(text)
+            hit = any(
+                pred.matches((int(v), int(v) + 1), i)
+                for i, v in enumerate(values)
+            )
+            if hit:
+                assert pred.maybe(0, 4, summary)
+
+    def test_maybe_prunes_out_of_range(self):
+        summary = summarize_columns([np.array([10, 20], dtype=np.uint64)])
+        assert not parse_predicate("f1 == 5").maybe(0, 2, summary)
+        assert not parse_predicate("f1 > 20").maybe(0, 2, summary)
+        # != prunes only an all-equal chunk.
+        constant = summarize_columns([np.array([7, 7], dtype=np.uint64)])
+        assert not parse_predicate("f1 != 7").maybe(0, 2, constant)
+        assert parse_predicate("f1 != 10").maybe(0, 2, summary)
+
+    def test_record_range_needs_no_summary(self):
+        pred = parse_predicate("record >= 100 and record < 200")
+        assert not pred.maybe(0, 100, None)
+        assert pred.maybe(150, 100, None)
+        assert not pred.maybe(200, 100, None)
+
+
+# -- skip index codec ---------------------------------------------------------
+
+
+class TestSkipIndexCodec:
+    def roundtrip(self, index: SkipIndex) -> SkipIndex:
+        decoded = SkipIndex.decode(index.encode())
+        assert decoded == index
+        return decoded
+
+    def test_encode_decode_roundtrip(self):
+        values = np.array([3, 9, 4096, 3], dtype=np.uint64)
+        self.roundtrip(
+            SkipIndex(
+                field_count=2,
+                chunks=[
+                    summarize_columns([values, values * 2]),
+                    ChunkSummary(0, None),  # unsummarized placeholder
+                ],
+            )
+        )
+
+    def test_roundtrip_without_blooms(self):
+        index = SkipIndex(
+            field_count=1,
+            bloom_bits=0,
+            chunks=[ChunkSummary(2, (FieldSummary(5, 9, None),))],
+        )
+        assert self.roundtrip(index).chunks[0].fields[0].bloom is None
+
+    def test_frame_roundtrip_and_corruption(self):
+        index = SkipIndex(field_count=1, bloom_bits=0, chunks=[])
+        frame = encode_index_frame(index)
+        parsed, end = parse_index_frame(frame, 0)
+        assert parsed == index and end == len(frame)
+        damaged = bytearray(frame)
+        damaged[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            parse_index_frame(bytes(damaged), 0)
+        with pytest.raises(TruncatedContainerError):
+            parse_index_frame(frame[:-3], 0)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(CompressedFormatError, match="version"):
+            SkipIndex.decode(bytes([99]))
+        good = SkipIndex(field_count=1, bloom_bits=0, chunks=[]).encode()
+        with pytest.raises(CompressedFormatError, match="trailing"):
+            SkipIndex.decode(good + b"\x00")
+
+    def test_bloom_membership(self):
+        values = np.array([0x1000, 0x2000, 0xDEADBEEF], dtype=np.uint64)
+        summary = summarize_columns([values], bloom_bits=1024)
+        bloom = summary.fields[0].bloom
+        for value in values.tolist():
+            assert bloom_maybe(bloom, 1024, value)
+        absent = sum(
+            bloom_maybe(bloom, 1024, v) for v in range(0x5000, 0x5100)
+        )
+        assert absent < 20  # 3 values in 1024 bits: false positives are rare
+
+
+# -- emission paths -----------------------------------------------------------
+
+
+class TestEmission:
+    def test_default_output_is_unchanged(self, engine, sorted_trace):
+        """Emission is opt-in: without the flag, bytes match the seed."""
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        explicit = engine.compress(
+            sorted_trace, chunk_records=CHUNK, container_version=3, skip_index=False
+        )
+        assert plain == explicit
+        assert decode_container(plain).skip_index is None
+
+    def test_v3_index_is_a_pure_suffix(self, engine, sorted_trace, indexed_v3):
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        assert indexed_v3[: len(plain)] == plain
+        container = decode_container(indexed_v3)
+        assert container.skip_index is not None
+        summarized, total = container.skip_index.coverage
+        assert summarized == total == len(container.chunks)
+
+    def test_v4_emission_and_scan(self, engine, sorted_trace, indexed_v4):
+        container = decode_container(indexed_v4)
+        assert container.skip_index is not None
+        scan = scan_stream(indexed_v4)
+        assert scan.index is not None
+        assert scan.index.coverage == (scan.chunk_count, scan.chunk_count)
+
+    def test_decompress_ignores_index(self, engine, sorted_trace, indexed_v3, indexed_v4):
+        assert engine.decompress(indexed_v3) == sorted_trace
+        assert engine.decompress(indexed_v4) == sorted_trace
+
+    def test_generated_module_decodes_indexed_v3(
+        self, engine, sorted_trace, indexed_v3
+    ):
+        """Pre-index readers must keep working: the generated Python
+        module's strict v3 decoder accepts (and CRC-verifies) the TCIX
+        suffix, rejects non-TCIX trailing garbage, and salvages past a
+        damaged frame."""
+        from repro.codegen import generate_python, load_python_module
+        from repro.model import build_model
+
+        module = load_python_module(generate_python(build_model(tcgen_a())))
+        assert module.decompress(indexed_v3) == sorted_trace
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        with pytest.raises(ValueError, match="trailing bytes"):
+            module.decompress(plain + b"JUNK")
+        with pytest.raises(ValueError, match="skip index frame"):
+            module.decompress(indexed_v3 + b"JUNK")
+        damaged = bytearray(indexed_v3)
+        damaged[-2] ^= 0xFF
+        with pytest.raises(ValueError, match="skip index frame"):
+            module.decompress(bytes(damaged))
+        assert module.decompress(bytes(damaged), salvage=True) == sorted_trace
+
+    def test_v2_ignores_flag(self, engine, sorted_trace):
+        blob = engine.compress(
+            sorted_trace, chunk_records=CHUNK, container_version=2, skip_index=True
+        )
+        assert decode_container(blob).skip_index is None
+
+    def test_streaming_close_writes_index(self, engine, sorted_trace):
+        sink = io.BytesIO()
+        stream = engine.open_stream(sink, chunk_records=CHUNK, skip_index=True)
+        stream.append(sorted_trace)
+        stream.close()
+        blob = sink.getvalue()
+        scan = scan_stream(blob)
+        assert scan.index is not None and scan.closed
+        assert decode_container(blob).skip_index is not None
+        assert engine.decompress(blob) == sorted_trace
+
+    def test_resumed_stream_has_partial_coverage(self, engine, sorted_trace, tmp_path):
+        path = tmp_path / "stream.tcz"
+        first = engine.open_stream(str(path), chunk_records=CHUNK, skip_index=True)
+        record_bytes = engine.format.record_bytes
+        half = engine.format.header_bytes + (4096 // 2) * record_bytes
+        first.append(sorted_trace[:half])
+        first.flush()  # durable but never closed: no index yet
+        del first
+        assert scan_stream(path.read_bytes()).index is None
+        second = engine.open_stream(
+            str(path), chunk_records=CHUNK, resume=True, skip_index=True
+        )
+        second.append(sorted_trace[half:])
+        second.close()
+        blob = path.read_bytes()
+        scan = scan_stream(blob)
+        assert scan.index is not None
+        summarized, total = scan.index.coverage
+        assert total == scan.chunk_count
+        assert 0 < summarized < total  # pre-resume chunks are placeholders
+        assert engine.decompress(blob) == sorted_trace
+        # Unsummarized chunks are decoded, never skipped: results still exact.
+        where = "pc >= 0x8000 and pc < 0x10000"
+        result = engine.query(blob, where, op="select")
+        assert result.records == ground_truth(engine, blob, where)
+
+    def test_corrupt_index_frame_is_fatal_strict_ignored_salvage(
+        self, engine, sorted_trace, indexed_v3
+    ):
+        container = decode_container(indexed_v3)
+        damaged = bytearray(indexed_v3)
+        damaged[-5] ^= 0xFF  # inside the TCIX frame, after the v3 trailer
+        with pytest.raises((ChecksumError, CompressedFormatError)):
+            decode_container(bytes(damaged), mode="strict")
+        report = DecodeReport()
+        salvaged = decode_container(bytes(damaged), mode="salvage", report=report)
+        assert salvaged.skip_index is None
+        assert len(salvaged.chunks) == len(container.chunks)
+        assert any("skip index" in note for note in report.notes)
+
+
+# -- pushdown execution -------------------------------------------------------
+
+
+class TestPushdown:
+    SELECTIVE = "pc >= 0x20000 and pc < 0x28000"
+
+    @pytest.mark.parametrize("fixture", ["indexed_v3", "indexed_v4"])
+    def test_selective_query_skips_most_chunks(self, request, engine, fixture):
+        blob = request.getfixturevalue(fixture)
+        result = engine.query(blob, self.SELECTIVE, op="select")
+        assert result.records == ground_truth(engine, blob, self.SELECTIVE)
+        stats = result.stats
+        assert stats.index_present
+        assert stats.decoded_chunks < stats.total_chunks * 0.2
+        assert stats.decoded_chunks + stats.skipped_chunks == stats.total_chunks
+
+    def test_point_lookup_uses_blooms(self, engine, sorted_trace, indexed_v3):
+        _, columns = unpack_records(engine.format, sorted_trace)
+        target = int(columns[1][1234])
+        result = engine.query(indexed_v3, f"f2 == {target}", op="count")
+        assert result.count == int((columns[1] == target).sum())
+        # The data column is random, so min/max covers every chunk; only
+        # the blooms can prove absence.
+        assert result.stats.skipped_chunks > result.stats.total_chunks // 2
+
+    def test_no_index_same_answer_full_scan(self, engine, sorted_trace):
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        result = engine.query(plain, self.SELECTIVE, op="select")
+        assert result.records == ground_truth(engine, plain, self.SELECTIVE)
+        assert not result.stats.index_present
+        assert result.stats.skipped_chunks == 0
+        assert result.stats.decoded_chunks == result.stats.total_chunks
+
+    def test_record_range_pushdown_without_index(self, engine, sorted_trace):
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        result = engine.query(plain, "record >= 1000 and record < 1100")
+        assert result.count == 100
+        assert result.records == ground_truth(
+            engine, plain, "record >= 1000 and record < 1100"
+        )
+        # Span bounds alone prove the skips — no index involved.
+        assert result.stats.decoded_chunks <= 2
+
+    def test_stale_index_is_ignored(self, engine, sorted_trace, indexed_v3):
+        container = decode_container(indexed_v3)
+        good = container.skip_index
+        # Wrong chunk count: a foreign index.
+        container.skip_index = SkipIndex(
+            field_count=good.field_count,
+            bloom_bits=good.bloom_bits,
+            chunks=good.chunks[:-1],
+        )
+        stale = container.encode()
+        result = engine.query(stale, self.SELECTIVE)
+        assert result.records == ground_truth(engine, indexed_v3, self.SELECTIVE)
+        assert result.stats.index_present
+        assert result.stats.indexed_chunks == 0
+        assert result.stats.skipped_chunks == 0
+        # Wrong field count: same degradation (unsummarized chunks keep
+        # the stale index encodable).
+        container.skip_index = SkipIndex(
+            field_count=5, chunks=[ChunkSummary(0, None) for _ in good.chunks]
+        )
+        assert engine.query(container.encode(), self.SELECTIVE).stats.indexed_chunks == 0
+
+    def test_wrong_record_count_summary_is_ignored_per_chunk(
+        self, engine, sorted_trace, indexed_v3
+    ):
+        container = decode_container(indexed_v3)
+        good = container.skip_index
+        chunks = list(good.chunks)
+        chunks[0] = ChunkSummary(chunks[0].record_count + 1, chunks[0].fields)
+        container.skip_index = SkipIndex(
+            field_count=good.field_count, bloom_bits=good.bloom_bits, chunks=chunks
+        )
+        blob = container.encode()
+        result = engine.query(blob, self.SELECTIVE)
+        assert result.records == ground_truth(engine, blob, self.SELECTIVE)
+        assert result.stats.indexed_chunks == result.stats.total_chunks - 1
+
+    def test_limit_stops_decoding_early(self, engine, indexed_v3):
+        result = engine.query(indexed_v3, None, op="select", limit=10)
+        assert len(result.records) == result.count == 10
+        assert result.stats.decoded_chunks == 1
+
+    def test_count_and_stats_ops(self, engine, indexed_v3):
+        expected = ground_truth(engine, indexed_v3, self.SELECTIVE)
+        count = engine.query(indexed_v3, self.SELECTIVE, op="count")
+        assert count.count == len(expected) and count.records == []
+        stats = engine.query(indexed_v3, self.SELECTIVE, op="stats")
+        assert stats.field_stats[0]["min"] == min(r[0] for r in expected)
+        assert stats.field_stats[0]["max"] == max(r[0] for r in expected)
+        assert stats.field_stats[1]["count"] == len(expected)
+        empty = engine.query(indexed_v3, "pc == 1", op="stats")
+        assert empty.count == 0 and empty.render()
+
+    def test_salvage_query_skips_damaged_chunks(self, engine, indexed_v3):
+        container = decode_container(indexed_v3)
+        damaged = bytearray(indexed_v3)
+        damaged[2000] ^= 0xFF  # somewhere inside an early chunk
+        with pytest.raises((ChecksumError, CompressedFormatError)):
+            engine.query(bytes(damaged), None, op="count")
+        result = engine.query(bytes(damaged), None, op="count", mode="salvage")
+        assert result.report.lost_chunks
+        lost = sum(
+            container.chunks[i].record_count for i in result.report.lost_chunks
+        )
+        assert result.count == sum(c.record_count for c in container.chunks) - lost
+
+    def test_query_matches_iter_records_numbering_under_salvage(
+        self, engine, indexed_v3
+    ):
+        from repro.runtime.streaming import iter_records
+
+        damaged = bytearray(indexed_v3)
+        damaged[2000] ^= 0xFF
+        survivors = list(
+            iter_records(engine.model.spec, bytes(damaged), mode="salvage")
+        )
+        result = engine.query(
+            bytes(damaged), "record < 100", op="select", mode="salvage"
+        )
+        assert result.records == survivors[:100]
+
+    def test_records_to_bytes_roundtrip(self, engine, indexed_v3):
+        result = engine.query(indexed_v3, "record < 7", op="select")
+        packed = records_to_bytes(engine.format, result.records)
+        assert len(packed) == 7 * engine.format.record_bytes
+        first = struct.unpack_from("<IQ", packed, 0)
+        assert tuple(first) == tuple(result.records[0])
+
+    def test_validation_errors(self, engine, indexed_v3):
+        with pytest.raises(ValueError, match="op"):
+            engine.query(indexed_v3, None, op="explain")
+        with pytest.raises(ValueError, match="limit"):
+            engine.query(indexed_v3, None, limit=0)
+        with pytest.raises(ValueError, match="mode"):
+            engine.query(indexed_v3, None, mode="loose")
+        with pytest.raises(PredicateError):
+            engine.query(indexed_v3, "f9 == 1")
+
+
+# -- offline index rebuild ----------------------------------------------------
+
+
+class TestRebuildIndex:
+    def test_rebuild_appends_index_without_touching_data(self, engine, sorted_trace):
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        indexed = rebuild_index(engine, plain)
+        assert indexed[: len(plain)] == plain
+        assert decode_container(indexed).skip_index is not None
+        assert engine.decompress(indexed) == sorted_trace
+
+    def test_rebuild_is_idempotent(self, engine, indexed_v3):
+        assert rebuild_index(engine, indexed_v3) == indexed_v3
+
+    def test_rebuild_closed_v4_stream(self, engine, sorted_trace):
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=4)
+        indexed = rebuild_index(engine, plain)
+        assert decode_container(indexed).skip_index is not None
+        assert engine.decompress(indexed) == sorted_trace
+
+    def test_rebuild_refuses_v1_v2_and_open_streams(self, engine, sorted_trace):
+        v1 = engine.compress(sorted_trace)
+        with pytest.raises(CompressedFormatError, match="recompress"):
+            rebuild_index(engine, v1)
+        v2 = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=2)
+        with pytest.raises(CompressedFormatError, match="recompress"):
+            rebuild_index(engine, v2)
+        sink = io.BytesIO()
+        stream = engine.open_stream(sink, chunk_records=CHUNK)
+        stream.append(sorted_trace)
+        stream.flush()  # durable but open
+        with pytest.raises(CompressedFormatError, match="close or resume"):
+            rebuild_index(engine, sink.getvalue())
+
+    def test_rebuild_bloom_bits_zero(self, engine, sorted_trace):
+        plain = engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        indexed = rebuild_index(engine, plain, bloom_bits=0)
+        index = decode_container(indexed).skip_index
+        assert index.bloom_bits == 0
+        result = engine.query(indexed, TestPushdown.SELECTIVE)
+        assert result.records == ground_truth(engine, indexed, TestPushdown.SELECTIVE)
+        assert result.stats.skipped_chunks > 0  # min/max pruning still works
+
+
+# -- the tcgen-query CLI ------------------------------------------------------
+
+
+class TestQueryCli:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.tcgen"
+        path.write_text(TCGEN_A_SPEC)
+        return str(path)
+
+    @pytest.fixture()
+    def archive(self, tmp_path, engine, sorted_trace):
+        path = tmp_path / "trace.tcz"
+        path.write_bytes(
+            engine.compress(sorted_trace, chunk_records=CHUNK, container_version=3)
+        )
+        return path
+
+    def run(self, *argv) -> int:
+        from repro.cli import query_main
+
+        return query_main([str(arg) for arg in argv])
+
+    def test_index_in_place_is_atomic_suffix(self, archive, spec_file, capsys):
+        before = archive.read_bytes()
+        assert self.run("index", archive, "--spec", spec_file) == 0
+        after = archive.read_bytes()
+        assert after[: len(before)] == before
+        assert "indexed" in capsys.readouterr().err
+        # Idempotent: a second run rewrites the same bytes.
+        assert self.run("index", archive, "--spec", spec_file) == 0
+        assert archive.read_bytes() == after
+
+    def test_index_refuses_v1(self, tmp_path, engine, sorted_trace, spec_file, capsys):
+        path = tmp_path / "v1.tcz"
+        path.write_bytes(engine.compress(sorted_trace))
+        assert self.run("index", path, "--spec", spec_file) == 2
+        assert "recompress" in capsys.readouterr().err
+
+    def test_count_and_select(self, archive, spec_file, engine, capsys):
+        assert self.run("index", archive, "--spec", spec_file) == 0
+        capsys.readouterr()
+        where = TestPushdown.SELECTIVE
+        assert self.run("count", archive, "--spec", spec_file, "--where", where) == 0
+        out = capsys.readouterr()
+        expected = ground_truth(engine, archive.read_bytes(), where)
+        assert out.out.strip() == str(len(expected))
+        assert "skipped" in out.err
+        assert (
+            self.run(
+                "select", archive, "--spec", spec_file, "--where", where, "--limit", 3
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert tuple(int(v) for v in lines[0].split("\t")) == expected[0]
+
+    def test_select_raw_output(self, archive, spec_file, engine, tmp_path, capsys):
+        out_file = tmp_path / "matches.bin"
+        assert (
+            self.run(
+                "select", archive, "--spec", spec_file,
+                "--where", "record < 4", "--raw", "-o", out_file,
+            )
+            == 0
+        )
+        assert len(out_file.read_bytes()) == 4 * engine.format.record_bytes
+
+    def test_stats_renders_to_stdout(self, archive, spec_file, capsys):
+        assert self.run("stats", archive, "--spec", spec_file) == 0
+        out = capsys.readouterr().out
+        assert "matched" in out and "f1:" in out
+
+    def test_salvage_damage_exit_code(self, archive, spec_file, capsys):
+        damaged = bytearray(archive.read_bytes())
+        damaged[2000] ^= 0xFF
+        archive.write_bytes(bytes(damaged))
+        assert self.run("count", archive, "--spec", spec_file) == 2  # strict fails
+        assert (
+            self.run("count", archive, "--spec", spec_file, "--salvage") == 2
+        )  # answered, but damage is reported via the exit code
+
+    def test_patterns_command(self, tmp_path, capsys):
+        blob = SequiturCompressor().compress(make_vpc_trace(n=3000))
+        path = tmp_path / "trace.sqt"
+        path.write_bytes(blob)
+        assert self.run("patterns", path, "--value", "0x1000") == 0
+        out = capsys.readouterr().out
+        assert "SEQUITUR grammar report" in out
+        assert "value 0x1000:" in out
+
+
+# -- grammar analytics --------------------------------------------------------
+
+
+class TestGrammarAnalytics:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return make_vpc_trace(n=4000, seed=5)
+
+    @pytest.fixture(scope="class")
+    def blob(self, trace):
+        return SequiturCompressor().compress(trace)
+
+    def expanded(self, trace):
+        _, columns = unpack_records(VPC_FORMAT, trace)
+        return columns[0].tolist(), columns[1].tolist()
+
+    def test_load_does_not_expand(self, blob, trace):
+        info = load_grammar(blob)
+        assert info.record_count == (len(trace) - 4) // VPC_FORMAT.record_bytes
+        # The whole point: grammar symbols are far fewer than trace entries.
+        assert info.pc.symbol_count < info.record_count / 4
+
+    def test_count_value_matches_expansion(self, blob, trace):
+        pcs, data = self.expanded(trace)
+        info = load_grammar(blob)
+        for value in (0x1000, 0x1000 + 4 * 52, 0xDEAD0000):
+            assert count_value(info.pc, value) == pcs.count(value)
+        assert count_value(info.data, data[17]) == data.count(data[17])
+
+    def test_rule_metrics_cover_the_trace(self, blob):
+        info = load_grammar(blob)
+        for bodies in info.pc.segments:
+            lengths, occurrences = rule_metrics(bodies)
+            # Rule 0 is the whole segment, used exactly once.
+            assert occurrences[0] == 1
+            total = sum(
+                length * occ
+                for rule, (length, occ) in enumerate(zip(lengths, occurrences))
+                if rule == 0
+            )
+            assert total == lengths[0]
+
+    def test_top_patterns_find_the_pc_loop(self, blob, trace):
+        pcs, _ = self.expanded(trace)
+        info = load_grammar(blob)
+        patterns = top_patterns(info.pc, k=5)
+        assert patterns, "loop-heavy trace must expose repeated patterns"
+        best = patterns[0]
+        assert best.occurrences >= 2 and best.length >= 2
+        assert best.coverage <= len(pcs)
+        # The preview holds actual trace values.
+        assert set(best.preview) <= set(pcs)
+
+    def test_analyze_renders(self, blob):
+        text = analyze(blob, sequence="pc", top=3)
+        assert "SEQUITUR grammar report" in text
+        assert "rules:" in text
+
+    def test_cyclic_grammar_rejected(self):
+        # Rule 0 references rule 1 which references rule 0.
+        with pytest.raises(CompressedFormatError, match="cyclic"):
+            _topo_order([[3], [1]])
+
+    def test_out_of_range_rule_rejected(self):
+        with pytest.raises(CompressedFormatError, match="out of range"):
+            _topo_order([[99]])
+
+
+# -- the query server op ------------------------------------------------------
+
+
+class TestServerOp:
+    @pytest.fixture(scope="class")
+    def handlers(self):
+        return Handlers(ServerConfig(), ServerMetrics())
+
+    def test_select_count_stats(self, handlers, engine, indexed_v3):
+        where = TestPushdown.SELECTIVE
+        expected = ground_truth(engine, indexed_v3, where)
+        meta, payload = handlers.run(
+            "query", {"spec": TCGEN_A_SPEC, "where": where, "op": "count"},
+            indexed_v3, None, None,
+        )
+        assert meta["count"] == len(expected) and payload == b""
+        assert meta["skipped_chunks"] > 0 and meta["index_present"]
+        meta, payload = handlers.run(
+            "query",
+            {"spec": TCGEN_A_SPEC, "where": where, "op": "select", "limit": 2},
+            indexed_v3, None, None,
+        )
+        assert meta["count"] == 2
+        assert payload == records_to_bytes(engine.format, expected[:2])
+        meta, payload = handlers.run(
+            "query", {"spec": TCGEN_A_SPEC, "where": where, "op": "stats"},
+            indexed_v3, None, None,
+        )
+        assert meta["field_stats"][0]["min"] == min(r[0] for r in expected)
+
+    def test_salvage_mode_reports(self, handlers, indexed_v3):
+        damaged = bytearray(indexed_v3)
+        damaged[2000] ^= 0xFF
+        meta, _ = handlers.run(
+            "query", {"spec": TCGEN_A_SPEC, "op": "count", "mode": "salvage"},
+            bytes(damaged), None, None,
+        )
+        assert meta["report"]["lost_chunks"]
+
+    def test_param_validation(self, handlers, indexed_v3):
+        base = {"spec": TCGEN_A_SPEC}
+        for params in (
+            {**base, "op": "explain"},
+            {**base, "mode": "loose"},
+            {**base, "where": 7},
+            {**base, "limit": 0},
+        ):
+            with pytest.raises(ProtocolError):
+                handlers.run("query", params, indexed_v3, None, None)
+
+    def test_predicate_error_maps_to_bad_request(self, handlers, indexed_v3):
+        with pytest.raises(PredicateError) as info:
+            handlers.run(
+                "query", {"spec": TCGEN_A_SPEC, "where": "f1 =="},
+                indexed_v3, None, None,
+            )
+        assert code_for_exception(info.value) == "bad_request"
+
+
+# -- native backend differential ---------------------------------------------
+
+
+from repro.codegen.compile import find_c_compiler  # noqa: E402
+
+needs_cc = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no C compiler on PATH"
+)
+
+
+@needs_cc
+def test_native_backend_query_differential(tmp_path, monkeypatch, sorted_trace):
+    monkeypatch.setenv("TCGEN_NATIVE", "1")
+    monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path))
+    native = TraceEngine(tcgen_a(), backend="native")
+    python = TraceEngine(tcgen_a(), backend="python")
+    blob = native.compress(
+        sorted_trace, chunk_records=CHUNK, container_version=3, skip_index=True
+    )
+    where = TestPushdown.SELECTIVE
+    native_result = native.query(blob, where)
+    python_result = python.query(blob, where)
+    assert native_result.records == python_result.records
+    assert native_result.stats.as_dict() == python_result.stats.as_dict()

@@ -1,0 +1,182 @@
+"""Property tests: ``engine.query`` must equal filtering a full decompress.
+
+The executor's whole contract is that the skip index is invisible in the
+results — across container generations, backends, salvage mode, and
+absent/stale/partial indexes, a query answers exactly what a full
+decompress followed by a record-by-record filter would.  Hypothesis
+drives randomized traces, chunkings, predicates, and index tampering at
+that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import parse_predicate
+from repro.query.predicate import RECORD_FIELD, And, Comparison, Or
+from repro.runtime.engine import TraceEngine
+from repro.runtime.streaming import iter_records
+from repro.spec import tcgen_a
+from repro.tio import VPC_FORMAT, decode_container, pack_records
+from repro.tio.skipindex import ChunkSummary, SkipIndex
+from repro.tio.traceformat import unpack_records
+
+#: Values predicates compare against — chosen to straddle the trace pool.
+LITERALS = (0, 1, 0x1000, 0x1010, 0x2000, 0x123456, 1 << 33, (1 << 40) - 1)
+
+#: Values traces are built from (heavy reuse, like real traces).
+POOL = np.array(
+    [0x1000, 0x1004, 0x1008, 0x100C, 0x1010, 0x2000, 0x123456, 1 << 33],
+    dtype=np.uint64,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return TraceEngine(tcgen_a())
+
+
+def make_trace(picks: list[int], offsets: list[int]) -> bytes:
+    pcs = POOL[np.array(picks) % len(POOL)]
+    data = pcs + np.array(offsets, dtype=np.uint64)
+    return pack_records(VPC_FORMAT, b"VPC3", [pcs, data])
+
+
+comparison = st.builds(
+    Comparison,
+    field=st.sampled_from([1, 2, RECORD_FIELD]),
+    op=st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+    value=st.sampled_from(LITERALS),
+)
+predicate = st.recursive(
+    comparison,
+    lambda inner: st.one_of(
+        st.builds(lambda a, b: And((a, b)), inner, inner),
+        st.builds(lambda a, b: Or((a, b)), inner, inner),
+    ),
+    max_leaves=4,
+)
+
+
+def expected_records(engine, blob: bytes, pred, mode: str) -> list[tuple]:
+    """Ground truth: decode everything, then filter — no index involved."""
+    if mode == "salvage":
+        records = list(iter_records(engine.model.spec, blob, mode="salvage"))
+    else:
+        raw = engine.decompress(blob)
+        _, columns = unpack_records(engine.format, raw)
+        records = list(zip(*(col.tolist() for col in columns)))
+    if pred is None:
+        return records
+    return [r for i, r in enumerate(records) if pred.matches(r, i)]
+
+
+def check(engine, blob: bytes, pred, mode: str = "strict") -> None:
+    result = engine.query(blob, pred, op="select", mode=mode)
+    assert result.records == expected_records(engine, blob, pred, mode)
+    count = engine.query(blob, pred, op="count", mode=mode)
+    assert count.count == result.count == len(result.records)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    picks=st.lists(st.integers(0, 255), min_size=1, max_size=300),
+    offsets=st.lists(st.integers(0, 7), min_size=1, max_size=300),
+    chunk_records=st.sampled_from([1, 7, 64, 1000]),
+    version=st.sampled_from([1, 2, 3, 4]),
+    skip_index=st.booleans(),
+    pred=st.one_of(st.none(), predicate),
+)
+def test_query_equals_filtered_decompress(
+    engine, picks, offsets, chunk_records, version, skip_index, pred
+):
+    offsets = (offsets * (len(picks) // len(offsets) + 1))[: len(picks)]
+    trace = make_trace(picks, offsets)
+    if version == 1:
+        blob = engine.compress(trace)
+    else:
+        blob = engine.compress(
+            trace,
+            chunk_records=chunk_records,
+            container_version=version,
+            skip_index=skip_index,
+        )
+    check(engine, blob, pred)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    picks=st.lists(st.integers(0, 255), min_size=40, max_size=300),
+    tamper=st.sampled_from(["absent", "stale_chunks", "stale_fields", "partial"]),
+    pred=predicate,
+)
+def test_tampered_index_never_changes_results(engine, picks, tamper, pred):
+    trace = make_trace(picks, [i % 5 for i in range(len(picks))])
+    blob = engine.compress(
+        trace, chunk_records=16, container_version=3, skip_index=True
+    )
+    container = decode_container(blob)
+    good = container.skip_index
+    if tamper == "absent":
+        container.skip_index = None
+    elif tamper == "stale_chunks":
+        container.skip_index = SkipIndex(
+            field_count=good.field_count,
+            bloom_bits=good.bloom_bits,
+            chunks=list(good.chunks) + [ChunkSummary(0, None)],
+        )
+    elif tamper == "stale_fields":
+        container.skip_index = SkipIndex(
+            field_count=good.field_count + 1,
+            chunks=[ChunkSummary(0, None) for _ in good.chunks],
+        )
+    else:  # partial: half the summaries blanked
+        chunks = [
+            c if i % 2 else ChunkSummary(0, None)
+            for i, c in enumerate(good.chunks)
+        ]
+        container.skip_index = SkipIndex(
+            field_count=good.field_count,
+            bloom_bits=good.bloom_bits,
+            chunks=chunks,
+        )
+    check(engine, container.encode(), pred)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    picks=st.lists(st.integers(0, 255), min_size=60, max_size=300),
+    damage=st.integers(0, 1_000_000),
+    pred=predicate,
+)
+def test_salvage_query_matches_salvaged_iteration(engine, picks, damage, pred):
+    trace = make_trace(picks, [i % 3 for i in range(len(picks))])
+    blob = engine.compress(
+        trace, chunk_records=16, container_version=3, skip_index=True
+    )
+    damaged = bytearray(blob)
+    damaged[damage % len(blob)] ^= 0xFF
+    check(engine, bytes(damaged), pred, mode="salvage")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    picks=st.lists(st.integers(0, 255), min_size=1, max_size=200),
+    where=st.sampled_from(
+        [
+            "pc == 0x1000",
+            "f2 >= 0x2000 and record < 50",
+            "pc < 0x1008 or f2 == 0x123456",
+            "record >= 10 and record < 90",
+        ]
+    ),
+)
+def test_text_predicates_roundtrip_through_parser(engine, picks, where):
+    trace = make_trace(picks, [0] * len(picks))
+    blob = engine.compress(trace, chunk_records=32, container_version=4)
+    pred = parse_predicate(where, pc_field=engine.format.pc_field or None)
+    result = engine.query(blob, where, op="select")
+    assert result.records == expected_records(engine, blob, pred, "strict")
