@@ -1,0 +1,136 @@
+"""IR-proven elision: does dropping proven-redundant ops buy speed?
+
+The dataflow analyses (:mod:`repro.ir.analysis`) let the backends elide
+masks and guards that are provably the identity — the level-1 chain
+store mask, the L1 line mask when the PC width already fits, the
+scratch-hash step-1 mask, and dead smart-update guards.  This bench
+compresses the trace suite with the generated Python module in both
+variants (``ir_facts=False`` = the pre-IR baseline, ``ir_facts=True`` =
+post-elision) and reports throughput plus the verified byte-identity of
+the output.
+
+Honest expectations: in the *Python* backend each elision removes one
+interpreted ``&`` per record per chain, a few percent at best and noisy
+below that; the C compiler would have folded some of these itself.  The
+interesting number is the static one — the cost model's op-count delta
+— which the report prints alongside the measured wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.codegen import generate_python, load_python_module
+from repro.ir import analyze_model, cost_model
+from repro.metrics import harmonic_mean
+from repro.model import build_model
+from repro.spec import tcgen_a
+
+from conftest import report
+
+#: Per-record op totals are static; measure on a suite subset.
+SUBSET = ("gcc", "mcf", "swim")
+
+
+#: Timing repetitions per workload; the best is kept (least noise).
+REPEATS = 3
+
+
+def _throughput(module, traces) -> tuple[float, float]:
+    """(records/s harmonic mean, total best-case seconds) over the subset."""
+    rates = []
+    total = 0.0
+    for workload, raw in traces.items():
+        if workload not in SUBSET:
+            continue
+        records = max(1, (len(raw) - 4) // 12)
+        best = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            module.compress(raw)
+            best = min(best, time.perf_counter() - start)
+        total += best
+        rates.append(records / best)
+    return harmonic_mean(rates), total
+
+
+def test_ir_elision_throughput(trace_suite):
+    model = build_model(tcgen_a())
+    base = load_python_module(generate_python(model, ir_facts=False))
+    lean = load_python_module(generate_python(model, ir_facts=True))
+
+    # Byte-identity first: the elisions must be invisible in the output.
+    identical = all(
+        base.compress(raw) == lean.compress(raw)
+        for traces in trace_suite.values()
+        for workload, raw in traces.items()
+        if workload in SUBSET
+    )
+    assert identical
+
+    counts = cost_model(analyze_model(model)).totals
+    lines = [
+        "IR-proven elision: generated Python backend, preset tcgen-a",
+        "",
+        f"static per-record op count (post-elision): {counts.total}"
+        f" ({counts.reads} reads, {counts.stores} stores,"
+        f" {counts.hash_steps} hash, {counts.compares} cmp)",
+        "",
+        f"{'variant':<28} {'rec/s (hmean)':>14} {'total s':>9}",
+    ]
+    rows = []
+    for label, module in (
+        ("ir_facts=False (pre-IR)", base),
+        ("ir_facts=True  (elided)", lean),
+    ):
+        rate, total = _throughput(
+            module, {w: r for t in trace_suite.values() for w, r in t.items()}
+        )
+        rows.append((label, rate, total))
+        lines.append(f"{label:<28} {rate:>14.0f} {total:>9.2f}")
+    speedup = rows[1][1] / rows[0][1]
+    lines += [
+        "",
+        f"python speedup: {speedup:.3f}x  (compressed output "
+        f"byte-identical: {'yes' if identical else 'NO'})",
+    ]
+    lines += _c_section(model, trace_suite)
+    lines += [
+        "",
+        "note: interpreted-Python deltas of a few percent are at the",
+        "noise floor of this harness — the masks the proofs remove are",
+        "single & ops the interpreter barely notices, and an optimizing",
+        "C compiler folds several of them on its own.  The elisions'",
+        "value is the proof machinery itself: the same facts that allow",
+        "them also catch tampered output (TC30x).",
+    ]
+    report("ir_elision", "\n".join(lines))
+
+
+def _c_section(model, trace_suite) -> list[str]:
+    """Measure the compiled C filter both ways, if a compiler exists."""
+    import tempfile
+
+    from repro.codegen import generate_c
+    from repro.codegen.compile import compile_c, find_c_compiler
+
+    if find_c_compiler() is None:
+        return ["", "C backend: skipped (no C compiler available)"]
+    out = ["", f"{'C filter variant':<28} {'rec/s (hmean)':>14} {'total s':>9}"]
+    rows = []
+    for label, facts in (
+        ("ir_facts=False (pre-IR)", False),
+        ("ir_facts=True  (elided)", True),
+    ):
+        with tempfile.TemporaryDirectory() as workdir:
+            binary = compile_c(
+                generate_c(model, ir_facts=facts), workdir=workdir
+            )
+            rate, total = _throughput(
+                binary,
+                {w: r for t in trace_suite.values() for w, r in t.items()},
+            )
+        rows.append(rate)
+        out.append(f"{label:<28} {rate:>14.0f} {total:>9.2f}")
+    out.append(f"\nc speedup: {rows[1] / rows[0]:.3f}x")
+    return out

@@ -332,6 +332,16 @@ def lint_main(argv: list[str] | None = None) -> int:
         help="emit diagnostics as deterministic JSON instead of text",
     )
     parser.add_argument(
+        "--sarif", action="store_true", dest="as_sarif",
+        help="emit diagnostics as SARIF 2.1.0 (for code-scanning uploads)",
+    )
+    parser.add_argument(
+        "--cost", action="store_true",
+        help="print the IR static cost model (per-record op counts per "
+        "field/predictor) for each spec; PATH may be a spec file or a "
+        "preset name (tcgen-a, tcgen-b)",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="treat warnings and notes as errors (exit 3)",
     )
@@ -365,6 +375,34 @@ def lint_main(argv: list[str] | None = None) -> int:
         from repro.lint.selfcheck import run_selfcheck
 
         return run_selfcheck(root=args.root, strict=args.strict)
+
+    if args.cost:
+        from repro.ir import analyze_model, cost_model, render_cost
+        from repro.model import build_model
+        from repro.spec import parse_spec
+        from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+        presets = {"tcgen-a": TCGEN_A_SPEC, "tcgen-b": TCGEN_B_SPEC}
+        sources: list[tuple[str, str]] = []
+        try:
+            for path in args.paths:
+                if path in presets:
+                    sources.append((path, presets[path]))
+                else:
+                    with open(path, encoding="utf-8") as handle:
+                        sources.append((path, handle.read()))
+            if not args.paths:
+                sources.append(("<stdin>", sys.stdin.read()))
+        except OSError as exc:
+            print(f"tcgen-lint: {exc}", file=sys.stderr)
+            return 1
+        try:
+            for title, text in sources:
+                model = build_model(parse_spec(text))
+                print(render_cost(cost_model(analyze_model(model)), title))
+        except ReproError as exc:
+            return _fail("tcgen-lint", exc)
+        return 0
 
     try:
         if args.asynccheck:
@@ -421,7 +459,11 @@ def lint_main(argv: list[str] | None = None) -> int:
         print(f"tcgen-lint: {exc}", file=sys.stderr)
         return 1
 
-    if args.as_json:
+    if args.as_sarif:
+        from repro.lint.sarif import render_sarif
+
+        print(render_sarif(diagnostics))
+    elif args.as_json:
         print(render_json(diagnostics))
     elif diagnostics:
         print(render_text(diagnostics))

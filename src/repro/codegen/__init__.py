@@ -48,14 +48,19 @@ __all__ = [
 
 
 def generate_python(
-    model: CompressorModel, codec: str = "bzip2", verify: bool = False
+    model: CompressorModel,
+    codec: str = "bzip2",
+    verify: bool = False,
+    ir_facts: bool = True,
 ) -> str:
     """Generate a specialized Python compressor module.
 
     With ``verify=True`` the emitted source is checked against the
-    codegen invariants before being returned.
+    codegen invariants before being returned.  ``ir_facts=False``
+    disables the IR-proven elisions and reproduces the pre-IR output
+    byte for byte (the differential-testing baseline).
     """
-    source = _generate_python(model, codec=codec)
+    source = _generate_python(model, codec=codec, ir_facts=ir_facts)
     if verify:
         from repro.lint.genverify import assert_verified
 
@@ -64,14 +69,18 @@ def generate_python(
 
 
 def generate_c(
-    model: CompressorModel, codec: str = "bzip2", verify: bool = False
+    model: CompressorModel,
+    codec: str = "bzip2",
+    verify: bool = False,
+    ir_facts: bool = True,
 ) -> str:
     """Generate a specialized C compressor source file.
 
     With ``verify=True`` the emitted source is checked against the
-    codegen invariants before being returned.
+    codegen invariants before being returned.  ``ir_facts=False``
+    disables the IR-proven elisions (differential-testing baseline).
     """
-    source = _generate_c(model, codec=codec)
+    source = _generate_c(model, codec=codec, ir_facts=ir_facts)
     if verify:
         from repro.lint.genverify import assert_verified
 
@@ -79,14 +88,17 @@ def generate_c(
     return source
 
 
-def generate_c_library(model: CompressorModel, verify: bool = False) -> str:
+def generate_c_library(
+    model: CompressorModel, verify: bool = False, ir_facts: bool = True
+) -> str:
     """Generate the shared-library (native fast path) C source.
 
     With ``verify=True`` the emitted source is checked against the
     codegen invariants — including the exported ABI's completeness —
-    before being returned.
+    before being returned.  ``ir_facts=False`` disables the IR-proven
+    elisions (differential-testing baseline).
     """
-    source = _generate_c_library(model)
+    source = _generate_c_library(model, ir_facts=ir_facts)
     if verify:
         from repro.lint.genverify import assert_verified
 

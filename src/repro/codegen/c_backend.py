@@ -45,13 +45,30 @@ def _fold_expr(var: str, width_bits: int, params: HashParams) -> str:
 
 
 class _CFieldEmitter:
-    """Emits C begin/commit logic for one field (mirrors the kernel)."""
+    """Emits C begin/commit logic for one field (mirrors the kernel).
 
-    def __init__(self, plan: FieldPlan, smart: bool) -> None:
+    ``facts`` is the field's :class:`repro.ir.analysis.FieldFacts` (or
+    None to reproduce the pre-IR output exactly, pinned by the
+    differential tests); with facts, provably redundant masks and
+    smart-update guards are elided.
+    """
+
+    def __init__(self, plan: FieldPlan, smart: bool, facts=None) -> None:
         self.plan = plan
         self.layout = plan.layout
         self.smart = smart
+        self.facts = facts
         self.f = self.layout.index
+
+    def _table_smart(self, table: str) -> bool:
+        if not self.smart:
+            return False
+        return self.facts is None or table not in self.facts.plain_store
+
+    def _table_depth(self, table: str, depth: int) -> int:
+        if self.facts is None:
+            return depth
+        return min(depth, self.facts.live_depth.get(table, depth))
 
     def _base_expr(self, line_var: str | None, span: int) -> str | None:
         if line_var is None:
@@ -74,7 +91,11 @@ class _CFieldEmitter:
         line_var = None
         if layout.l1_lines > 1:
             line_var = f"line{f}"
-            w.line(f"register u64 {line_var} = {pc_var} & {layout.l1_lines - 1}ULL;")
+            if self.facts is not None and self.facts.elide_line_mask:
+                # Range analysis proved pc < l1_lines: the mask is identity.
+                w.line(f"register u64 {line_var} = {pc_var};")
+            else:
+                w.line(f"register u64 {line_var} = {pc_var} & {layout.l1_lines - 1}ULL;")
 
         vars: dict = {
             "line": line_var,
@@ -186,7 +207,14 @@ class _CFieldEmitter:
             )
             mask = _hex64(params.order_mask(step))
             if step == 1:
-                w.line(f"u64 {hash_var} = ({fold}) & {mask};")
+                if (
+                    self.facts is not None
+                    and chain.name in self.facts.redundant_scratch_mask
+                ):
+                    # The fold is already narrower than the order-1 mask.
+                    w.line(f"u64 {hash_var} = {fold};")
+                else:
+                    w.line(f"u64 {hash_var} = ({fold}) & {mask};")
             else:
                 w.line(
                     f"{hash_var} = (({hash_var} << {params.shift}) ^ ({fold})) & {mask};"
@@ -212,7 +240,7 @@ class _CFieldEmitter:
                 w,
                 pred.l2.name,
                 vars["l2_bases"][pred.slot],
-                pred.depth,
+                self._table_depth(pred.l2.name, pred.depth),
                 update_value,
                 pred.l2.elem_bytes,
             )
@@ -227,7 +255,14 @@ class _CFieldEmitter:
             base = vars["lv_base"]
             if last is not self.plan.lasts[0]:
                 base = self._base_expr(vars["line"], last.depth)
-            self._emit_line_update(w, last.name, base, last.depth, value, last.elem_bytes)
+            self._emit_line_update(
+                w,
+                last.name,
+                base,
+                self._table_depth(last.name, last.depth),
+                value,
+                last.elem_bytes,
+            )
 
     def _emit_line_update(
         self,
@@ -249,7 +284,7 @@ class _CFieldEmitter:
                 )
             w.line(f"{first} = ({ctype}){value};")
 
-        if self.smart:
+        if self._table_smart(table):
             w.line(f"if ({first} != ({ctype}){value}) {{")
             w.indent()
             emit_body()
@@ -279,10 +314,14 @@ class _CFieldEmitter:
             temps.append((level, temp))
         for level, temp in temps:
             w.line(f"{chain.name}[{self._slot(base, level - 1)}] = ({ctype}){temp};")
-        w.line(
-            f"{chain.name}[{self._slot(base, 0)}] = "
-            f"({ctype})({fold_var} & {_hex64(params.order_mask(1))});"
-        )
+        if self.facts is not None and chain.name in self.facts.redundant_chain_store_mask:
+            # Range analysis: fold_bits <= k1, so the order-1 mask is identity.
+            w.line(f"{chain.name}[{self._slot(base, 0)}] = ({ctype}){fold_var};")
+        else:
+            w.line(
+                f"{chain.name}[{self._slot(base, 0)}] = "
+                f"({ctype})({fold_var} & {_hex64(params.order_mask(1))});"
+            )
 
     def _emit_history_shift(
         self, w: CodeWriter, chain: ChainStruct, base: str | None, feed: str
@@ -310,11 +349,29 @@ def _emit_value_write(w: CodeWriter, buffer: str, value: str, nbytes: int) -> No
         w.line(f"buffer_append_byte(&{buffer}, (u8)({shifted}));")
 
 
-def generate_c(model: CompressorModel, codec: str = "bzip2") -> str:
-    """Generate the source text of a specialized C compressor."""
+def _facts_by_field(model: CompressorModel, enabled: bool):
+    """Per-field IR facts for elision, or None for the pre-IR output."""
+    if not enabled:
+        return None
+    # Deferred import: repro.ir lowers through repro.codegen.plan.
+    from repro.ir import analyze_model
+
+    return analyze_model(model).fields
+
+
+def generate_c(
+    model: CompressorModel, codec: str = "bzip2", ir_facts: bool = True
+) -> str:
+    """Generate the source text of a specialized C compressor.
+
+    ``ir_facts=False`` disables the IR-analysis-guided elisions and
+    reproduces the pre-IR generator's output exactly; the differential
+    tests compare compressed output across both settings.
+    """
     codec_obj = codec_by_name(codec)
     if codec_obj.name == "lzma":
         raise CodegenError("the C backend supports bzip2, zlib, and identity codecs")
+    facts = _facts_by_field(model, ir_facts)
     plans = [plan_field(layout, model.options) for layout in model.fields]
     plan_by_index = {plan.layout.index: plan for plan in plans}
     order = [plan_by_index[layout.index] for layout in model.process_order]
@@ -357,8 +414,8 @@ def generate_c(model: CompressorModel, codec: str = "bzip2") -> str:
 
     _emit_c_utilities(w, codec_obj.name)
     _emit_c_tables(w, plans)
-    _emit_c_compress(w, model, plans, order)
-    _emit_c_decompress(w, model, plans, order)
+    _emit_c_compress(w, model, plans, order, facts)
+    _emit_c_decompress(w, model, plans, order, facts)
     _emit_c_main(w)
     return w.getvalue()
 
@@ -614,7 +671,11 @@ def _emit_c_tables(w: CodeWriter, plans: list[FieldPlan]) -> None:
 
 
 def _emit_c_compress(
-    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+    w: CodeWriter,
+    model: CompressorModel,
+    plans: list[FieldPlan],
+    order: list[FieldPlan],
+    facts_by_field=None,
 ) -> None:
     spec = model.spec
     pc_f = model.pc_field.index
@@ -646,7 +707,11 @@ def _emit_c_compress(
             for plan in order:
                 layout = plan.layout
                 f = layout.index
-                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                emitter = _CFieldEmitter(
+                    plan,
+                    model.options.smart_update,
+                    None if facts_by_field is None else facts_by_field.get(f),
+                )
                 pc_var = "0" if layout.is_pc else f"value{pc_f}"
                 vars = emitter.emit_begin(w, pc_var)
                 w.line(f"/* field {f}: match the value against the predictions */")
@@ -724,7 +789,11 @@ def _emit_c_compress(
 
 
 def _emit_c_decompress(
-    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+    w: CodeWriter,
+    model: CompressorModel,
+    plans: list[FieldPlan],
+    order: list[FieldPlan],
+    facts_by_field=None,
 ) -> None:
     spec = model.spec
     pc_f = model.pc_field.index
@@ -809,7 +878,11 @@ def _emit_c_decompress(
             for plan in order:
                 layout = plan.layout
                 f = layout.index
-                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                emitter = _CFieldEmitter(
+                    plan,
+                    model.options.smart_update,
+                    None if facts_by_field is None else facts_by_field.get(f),
+                )
                 pc_var = "0" if layout.is_pc else f"value{pc_f}"
                 vars = emitter.emit_begin(w, pc_var)
                 cb = layout.code_bytes
@@ -858,7 +931,7 @@ def _emit_c_decompress(
     w.line()
 
 
-def generate_c_library(model: CompressorModel) -> str:
+def generate_c_library(model: CompressorModel, ir_facts: bool = True) -> str:
     """Generate C source for the in-process shared-library fast path.
 
     Unlike :func:`generate_c` (a standalone stdin/stdout filter owning the
@@ -912,8 +985,9 @@ def generate_c_library(model: CompressorModel) -> str:
     w.line(f"static const u32 stream_count = {model.stream_count};")
     w.line()
     _emit_lib_utilities(w)
-    _emit_lib_compress(w, model, plans, order)
-    _emit_lib_decompress(w, model, plans, order)
+    facts = _facts_by_field(model, ir_facts)
+    _emit_lib_compress(w, model, plans, order, facts)
+    _emit_lib_decompress(w, model, plans, order, facts)
     _emit_lib_exports(w)
     return w.getvalue()
 
@@ -1086,7 +1160,11 @@ def _emit_lib_table_free(w: CodeWriter, allocations: list[tuple[str, str, int]])
 
 
 def _emit_lib_compress(
-    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+    w: CodeWriter,
+    model: CompressorModel,
+    plans: list[FieldPlan],
+    order: list[FieldPlan],
+    facts_by_field=None,
 ) -> None:
     pc_f = model.pc_field.index
     allocations = _lib_allocations(plans)
@@ -1126,7 +1204,11 @@ def _emit_lib_compress(
             for plan in order:
                 layout = plan.layout
                 f = layout.index
-                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                emitter = _CFieldEmitter(
+                    plan,
+                    model.options.smart_update,
+                    None if facts_by_field is None else facts_by_field.get(f),
+                )
                 pc_var = "0" if layout.is_pc else f"value{pc_f}"
                 vars = emitter.emit_begin(w, pc_var)
                 w.line(f"/* field {f}: match the value against the predictions */")
@@ -1198,7 +1280,11 @@ def _emit_lib_compress(
 
 
 def _emit_lib_decompress(
-    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+    w: CodeWriter,
+    model: CompressorModel,
+    plans: list[FieldPlan],
+    order: list[FieldPlan],
+    facts_by_field=None,
 ) -> None:
     pc_f = model.pc_field.index
     allocations = _lib_allocations(plans)
@@ -1276,7 +1362,11 @@ def _emit_lib_decompress(
             for plan in order:
                 layout = plan.layout
                 f = layout.index
-                emitter = _CFieldEmitter(plan, model.options.smart_update)
+                emitter = _CFieldEmitter(
+                    plan,
+                    model.options.smart_update,
+                    None if facts_by_field is None else facts_by_field.get(f),
+                )
                 pc_var = "0" if layout.is_pc else f"value{pc_f}"
                 vars = emitter.emit_begin(w, pc_var)
                 cb = layout.code_bytes

@@ -72,13 +72,32 @@ class _FieldVars:
 
 
 class _FieldEmitter:
-    """Emits the begin/commit logic for one field into a CodeWriter."""
+    """Emits the begin/commit logic for one field into a CodeWriter.
 
-    def __init__(self, plan: FieldPlan, policy_smart: bool) -> None:
+    ``facts`` is the field's :class:`repro.ir.analysis.FieldFacts` (or
+    None to reproduce the pre-IR output exactly, which the differential
+    tests pin).  With facts, masks and guards the range/liveness
+    analyses prove redundant are elided.
+    """
+
+    def __init__(self, plan: FieldPlan, policy_smart: bool, facts=None) -> None:
         self.plan = plan
         self.layout = plan.layout
         self.smart = policy_smart
+        self.facts = facts
         self.f = self.layout.index
+
+    def _table_smart(self, table: str) -> bool:
+        """Smart-update guard, unless liveness proved it useless."""
+        if not self.smart:
+            return False
+        return self.facts is None or table not in self.facts.plain_store
+
+    def _table_depth(self, table: str, depth: int) -> int:
+        """Rotation depth clipped to the live prefix."""
+        if self.facts is None:
+            return depth
+        return min(depth, self.facts.live_depth.get(table, depth))
 
     # -- small expression helpers -----------------------------------------
 
@@ -107,7 +126,11 @@ class _FieldEmitter:
         line_var = None
         if layout.l1_lines > 1:
             line_var = f"line{f}"
-            w.line(f"{line_var} = {pc_var} & {layout.l1_lines - 1}")
+            if self.facts is not None and self.facts.elide_line_mask:
+                # Range analysis proved pc < l1_lines: the mask is identity.
+                w.line(f"{line_var} = {pc_var}")
+            else:
+                w.line(f"{line_var} = {pc_var} & {layout.l1_lines - 1}")
 
         vars = _FieldVars(
             value=f"value{f}",
@@ -215,7 +238,14 @@ class _FieldEmitter:
             fold = _fold_expr(f"{chain.name}[{slot}]", self.layout.width_bits, params)
             mask = hex(params.order_mask(step))
             if step == 1:
-                w.line(f"{hash_var} = ({fold}) & {mask}")
+                if (
+                    self.facts is not None
+                    and chain.name in self.facts.redundant_scratch_mask
+                ):
+                    # The fold is already narrower than the order-1 mask.
+                    w.line(f"{hash_var} = {fold}")
+                else:
+                    w.line(f"{hash_var} = ({fold}) & {mask}")
             else:
                 w.line(f"{hash_var} = (({hash_var} << {params.shift}) ^ ({fold})) & {mask}")
         w.line(f"{out} = {hash_var}")
@@ -242,9 +272,9 @@ class _FieldEmitter:
                 w,
                 table=pred.l2.name,
                 base=vars.l2_bases[pred.slot],
-                depth=pred.depth,
+                depth=self._table_depth(pred.l2.name, pred.depth),
                 value=update_value,
-                smart=self.smart,
+                smart=self._table_smart(pred.l2.name),
             )
 
         # First-level chains (order across distinct structures is free).
@@ -267,9 +297,9 @@ class _FieldEmitter:
                 w,
                 table=last.name,
                 base=base,
-                depth=last.depth,
+                depth=self._table_depth(last.name, last.depth),
                 value=value,
-                smart=self.smart,
+                smart=self._table_smart(last.name),
             )
 
     def _emit_line_update(
@@ -309,9 +339,13 @@ class _FieldEmitter:
             temps.append((level, temp))
         for level, temp in temps:
             w.line(f"{chain.name}[{self._slot(base, level - 1)}] = {temp}")
-        w.line(
-            f"{chain.name}[{self._slot(base, 0)}] = {fold_var} & {hex(params.order_mask(1))}"
-        )
+        if self.facts is not None and chain.name in self.facts.redundant_chain_store_mask:
+            # Range analysis: fold_bits <= k1, so the order-1 mask is identity.
+            w.line(f"{chain.name}[{self._slot(base, 0)}] = {fold_var}")
+        else:
+            w.line(
+                f"{chain.name}[{self._slot(base, 0)}] = {fold_var} & {hex(params.order_mask(1))}"
+            )
 
     def _emit_history_shift(
         self, w: CodeWriter, chain: ChainStruct, base: str | None, feed: str
@@ -328,9 +362,22 @@ def _record_struct_format(model: CompressorModel) -> str:
     return "<" + "".join(_STRUCT_CODES[f.spec.bytes] for f in model.fields)
 
 
-def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
-    """Generate the source text of a specialized Python compressor module."""
+def generate_python(
+    model: CompressorModel, codec: str = "bzip2", ir_facts: bool = True
+) -> str:
+    """Generate the source text of a specialized Python compressor module.
+
+    ``ir_facts=False`` disables the IR-analysis-guided elisions and
+    reproduces the pre-IR generator's output exactly; the differential
+    tests compare compressed output across both settings.
+    """
     codec_obj = codec_by_name(codec)
+    facts_by_field = None
+    if ir_facts:
+        # Deferred import: repro.ir lowers through repro.codegen.plan.
+        from repro.ir import analyze_model
+
+        facts_by_field = analyze_model(model).fields
     plans = [plan_field(layout, model.options) for layout in model.fields]
     plan_by_index = {plan.layout.index: plan for plan in plans}
     order = [plan_by_index[layout.index] for layout in model.process_order]
@@ -397,9 +444,9 @@ def generate_python(model: CompressorModel, codec: str = "bzip2") -> str:
     _emit_parallel_helper(w)
     _emit_container_helpers(w, bool(spec.header_bits))
     _emit_fresh_tables(w, plans)
-    _emit_compress(w, model, plans, order)
+    _emit_compress(w, model, plans, order, facts_by_field)
     _emit_streaming(w, bool(spec.header_bits))
-    _emit_decompress(w, model, plans, order)
+    _emit_decompress(w, model, plans, order, facts_by_field)
     _emit_usage_report(w, model, plans)
     _emit_main(w)
     return w.getvalue()
@@ -1077,7 +1124,11 @@ def _emit_table_unpack(w: CodeWriter) -> None:
 
 
 def _emit_compress(
-    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+    w: CodeWriter,
+    model: CompressorModel,
+    plans: list[FieldPlan],
+    order: list[FieldPlan],
+    facts_by_field=None,
 ) -> None:
     spec = model.spec
     pc_f = model.pc_field.index
@@ -1096,7 +1147,11 @@ def _emit_compress(
             for plan in order:
                 layout = plan.layout
                 f = layout.index
-                emitter = _FieldEmitter(plan, model.options.smart_update)
+                emitter = _FieldEmitter(
+                    plan,
+                    model.options.smart_update,
+                    None if facts_by_field is None else facts_by_field.get(f),
+                )
                 pc_var = "0" if layout.is_pc else f"value{pc_f}"
                 vars = emitter.emit_begin(w, pc_var)
                 value = vars.value
@@ -1367,7 +1422,11 @@ def _emit_streaming(w: CodeWriter, has_header: bool) -> None:
 
 
 def _emit_decompress(
-    w: CodeWriter, model: CompressorModel, plans: list[FieldPlan], order: list[FieldPlan]
+    w: CodeWriter,
+    model: CompressorModel,
+    plans: list[FieldPlan],
+    order: list[FieldPlan],
+    facts_by_field=None,
 ) -> None:
     spec = model.spec
     pc_f = model.pc_field.index
@@ -1390,7 +1449,11 @@ def _emit_decompress(
             for plan in order:
                 layout = plan.layout
                 f = layout.index
-                emitter = _FieldEmitter(plan, model.options.smart_update)
+                emitter = _FieldEmitter(
+                    plan,
+                    model.options.smart_update,
+                    None if facts_by_field is None else facts_by_field.get(f),
+                )
                 pc_var = "0" if layout.is_pc else f"value{pc_f}"
                 vars = emitter.emit_begin(w, pc_var)
                 cb = layout.code_bytes

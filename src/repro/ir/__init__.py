@@ -1,0 +1,43 @@
+"""Kernel IR, lowering, and dataflow analyses for generated compressors.
+
+The pipeline is ``CompressorModel`` → :func:`lower_model` →
+:class:`KernelIR` → :func:`analyze_ir` / :func:`analyze_model` →
+:class:`ModelFacts`.  The facts feed three consumers:
+
+- both code generators, which elide provably redundant masks and
+  smart-update guards (:mod:`repro.codegen.python_backend`,
+  :mod:`repro.codegen.c_backend`);
+- ``genverify``, which checks emitted source against the analyzed IR
+  instead of against surface conventions (``TC3xx`` diagnostics);
+- the static cost model behind ``tcgen-lint --cost``
+  (:mod:`repro.ir.cost`).
+"""
+
+from repro.ir.analysis import (
+    FieldFacts,
+    ModelFacts,
+    TableFacts,
+    analyze_ir,
+    analyze_model,
+)
+from repro.ir.cost import CostReport, FieldCost, OpCounts, cost_model, render_cost
+from repro.ir.lower import lower_model
+from repro.ir.ops import KernelIR, TableDecl, TableRole, ValueRange, render_ir
+
+__all__ = [
+    "CostReport",
+    "FieldCost",
+    "FieldFacts",
+    "KernelIR",
+    "ModelFacts",
+    "OpCounts",
+    "TableDecl",
+    "TableFacts",
+    "TableRole",
+    "ValueRange",
+    "analyze_ir",
+    "analyze_model",
+    "cost_model",
+    "lower_model",
+    "render_ir",
+]

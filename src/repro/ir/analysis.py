@@ -1,0 +1,431 @@
+"""Dataflow analyses over the kernel IR (codes ``TC3xx``).
+
+Four passes, one result object:
+
+**Def-use / liveness** — which table slots are ever read (directly by a
+prediction or stride load, or transitively by a chain recombination /
+rotation toward a read slot).  A rotating update only needs to touch the
+live prefix of its line (``live_depth``), and a smart-update guard whose
+update rotates nothing (``live_depth == 1``) is provably useless: the
+guarded and plain stores leave identical table state, so the backends
+elide the guard.  A structure with no live reads at all is dead state —
+the paper's dead-code elimination, derived instead of hand-coded.
+
+**Value ranges / bit widths** — a forward abstract interpretation over
+per-record temps plus a fixpoint over per-slot table content (tables
+start zeroed; ranges only grow and are capped by the element type, so
+the iteration terminates).  It proves every table index stays inside
+``[0, lines)`` (``TC304`` when it cannot), every element fits its
+minimized type (``TC302`` overflow when it cannot), and marks masks the
+proof makes redundant — the level-1 chain store mask and narrow-field
+line masks — which the backends then drop.
+
+**Sharing verification** — the structural half of the paper's table
+sharing: every (D)FCM predictor's index must be served by a chain slot
+of its own order, and its second-level table must obey the
+``L2 * 2**(x-1)`` sizing rule (``TC306``).
+
+**Cost accounting** — per-record op counts per field and table-byte
+totals live in :mod:`repro.ir.cost`, computed from the same IR.
+
+``analyze_model`` is cached per (fingerprint, options) because codegen,
+genverify, and the CLI all want the same facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.ir.lower import lower_model
+from repro.ir.ops import (
+    AddMod,
+    ChainAbsorb,
+    FieldIR,
+    HashFold,
+    HistoryShift,
+    KernelIR,
+    LineIndex,
+    LoadField,
+    ScratchHash,
+    SubMod,
+    TableDecl,
+    TableRead,
+    TableUpdate,
+    ValueRange,
+)
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.model.layout import CompressorModel, storage_bytes
+
+#: Fixpoint safety valve; content ranges converge in 2-3 iterations.
+_MAX_ITERATIONS = 8
+
+
+@dataclass
+class TableFacts:
+    """Per-structure liveness and value-range facts."""
+
+    decl: TableDecl
+    read_slots: set[int] = dc_field(default_factory=set)
+    content: dict[int, ValueRange] = dc_field(default_factory=dict)
+
+    @property
+    def dead(self) -> bool:
+        """No read reaches this structure: every update to it is dead."""
+        return not self.read_slots
+
+    @property
+    def live_depth(self) -> int:
+        """Slots a rotating update must touch: the live prefix length.
+
+        A value stored at slot ``s`` migrates upward through rotation, so
+        it is observable iff some read slot is ``>= s``; writes beyond
+        the deepest read slot are dead.
+        """
+        if not self.read_slots:
+            return 0
+        return min(self.decl.span, max(self.read_slots) + 1)
+
+    @property
+    def value_range(self) -> ValueRange:
+        """Join of every slot's proven content range."""
+        out = ValueRange.const(0)
+        for rng in self.content.values():
+            out = out.join(rng)
+        return out
+
+    @property
+    def min_elem_bytes(self) -> int:
+        """Smallest storage width the proven content range fits."""
+        return storage_bytes(self.value_range.bits)
+
+
+@dataclass
+class FieldFacts:
+    """Per-field elision facts the backends consume."""
+
+    index: int
+    #: The ``pc & (l1 - 1)`` mask is provably the identity (narrow PC).
+    elide_line_mask: bool = False
+    #: Chains whose level-1 store mask the fold range makes redundant.
+    redundant_chain_store_mask: set[str] = dc_field(default_factory=set)
+    #: Chains whose scratch-hash step-1 mask is redundant (slow mode).
+    redundant_scratch_mask: set[str] = dc_field(default_factory=set)
+    #: Tables whose smart-update guard is provably useless (nothing to
+    #: rotate): emit a plain store instead.
+    plain_store: set[str] = dc_field(default_factory=set)
+    #: Rotating updates clipped to their live prefix (table -> depth).
+    live_depth: dict[str, int] = dc_field(default_factory=dict)
+
+
+@dataclass
+class ModelFacts:
+    """Everything the analyses proved about one lowered model."""
+
+    ir: KernelIR
+    tables: dict[str, TableFacts]
+    fields: dict[int, FieldFacts]
+    diagnostics: list[Diagnostic]
+
+    def field(self, index: int) -> FieldFacts:
+        return self.fields[index]
+
+    def update_writes(self) -> dict[str, int]:
+        """Per-record store statements each table's updates emit.
+
+        Rotations count their live prefix (``live_depth`` stores), chain
+        absorbs and history shifts one store per slot.  ``genverify``
+        holds generated kernels to exactly these counts — an extra store
+        is an injected dead update, a missing one a broken kernel.
+        """
+        writes: dict[str, int] = {name: 0 for name in self.ir.tables}
+        for fir in self.ir.fields:
+            for op in fir.commit:
+                if isinstance(op, TableUpdate):
+                    writes[op.table] += self.tables[op.table].live_depth or 1
+                elif isinstance(op, (ChainAbsorb, HistoryShift)):
+                    writes[op.table] += op.span
+        return writes
+
+
+def _fold_range(src: ValueRange, width_bits: int, fold_bits: int) -> ValueRange:
+    """Range of ``fold(src)``: identity for narrow fields, else masked."""
+    if width_bits <= fold_bits:
+        return src
+    return ValueRange(0, (1 << fold_bits) - 1)
+
+
+class _RangeWalker:
+    """One forward pass over a field's ops under a table-content state."""
+
+    def __init__(
+        self,
+        ir: KernelIR,
+        tables: dict[str, TableFacts],
+        temps: dict[str, ValueRange],
+        diagnostics: list[Diagnostic],
+        collect: bool,
+    ) -> None:
+        self.ir = ir
+        self.tables = tables
+        self.temps = temps
+        self.diagnostics = diagnostics
+        self.collect = collect  # final pass: record facts + diagnostics
+        self.changed = False
+
+    def _temp(self, name: str | None) -> ValueRange:
+        if name is None:
+            return ValueRange.const(0)
+        rng = self.temps.get(name)
+        if rng is None:
+            raise AssertionError(f"temp {name} read before definition")
+        return rng
+
+    def _content(self, table: str, slot: int) -> ValueRange:
+        facts = self.tables[table]
+        return facts.content.get(slot, ValueRange.const(0))
+
+    def _store(self, table: str, slot: int, rng: ValueRange) -> None:
+        # Ranges are NOT clipped to the element width: the content range
+        # records what the kernel tries to store, so an element too
+        # narrow for it surfaces as a TC302 overflow instead of being
+        # silently modelled as truncation.
+        facts = self.tables[table]
+        old = facts.content.get(slot)
+        new = rng if old is None else old.join(rng)
+        if old != new:
+            facts.content[slot] = new
+            self.changed = True
+
+    def _check_line(self, op, table: str, line: str | None) -> None:
+        if not self.collect:
+            return
+        decl = self.tables[table].decl
+        rng = self._temp(line)
+        if not rng.within(decl.lines - 1):
+            self.diagnostics.append(
+                Diagnostic(
+                    "<ir>", 1, 1, "TC304", Severity.ERROR,
+                    f"index {line or 0} into table {table} has proven range "
+                    f"[{rng.lo}, {rng.hi}] but the table holds {decl.lines} "
+                    f"line(s): bounds cannot be proved",
+                )
+            )
+
+    def field_pass(self, fir: FieldIR, facts: FieldFacts) -> None:
+        for op in fir.begin:
+            self._begin_op(fir, facts, op)
+        for op in fir.commit:
+            self._commit_op(fir, facts, op)
+
+    def _begin_op(self, fir: FieldIR, facts: FieldFacts, op) -> None:
+        if isinstance(op, LoadField):
+            self.temps[op.dest] = ValueRange.of_width(op.width_bits)
+        elif isinstance(op, LineIndex):
+            src = self._temp(op.src)
+            if self.collect and src.within(op.lines - 1):
+                facts.elide_line_mask = True
+            self.temps[op.dest] = src.masked(op.lines - 1)
+        elif isinstance(op, TableRead):
+            self._check_line(op, op.table, op.line)
+            if self.collect:
+                self.tables[op.table].read_slots.add(op.slot)
+                decl = self.tables[op.table].decl
+                if op.slot >= decl.span:
+                    self.diagnostics.append(
+                        Diagnostic(
+                            "<ir>", 1, 1, "TC304", Severity.ERROR,
+                            f"read of {op.table} slot {op.slot} exceeds the "
+                            f"declared span {decl.span}",
+                        )
+                    )
+            self.temps[op.dest] = self._content(op.table, op.slot)
+        elif isinstance(op, ScratchHash):
+            if self.collect:
+                self.tables[op.table].read_slots.update(range(op.order))
+                fold = _fold_range(
+                    self.tables[op.table].value_range, op.width_bits, op.fold_bits
+                )
+                if fold.within(op.masks[0]):
+                    facts.redundant_scratch_mask.add(op.table)
+            self.temps[op.dest] = ValueRange(0, op.masks[-1])
+        elif isinstance(op, AddMod):
+            self.temps[op.dest] = ValueRange(
+                self._temp(op.a).lo + self._temp(op.b).lo,
+                self._temp(op.a).hi + self._temp(op.b).hi,
+            ).masked(op.mask)
+        else:
+            raise AssertionError(f"unexpected begin op {op!r}")
+
+    def _commit_op(self, fir: FieldIR, facts: FieldFacts, op) -> None:
+        if isinstance(op, SubMod):
+            # Wrap-around subtraction covers the whole masked range.
+            self.temps[op.dest] = ValueRange(0, op.mask)
+        elif isinstance(op, HashFold):
+            self.temps[op.dest] = _fold_range(
+                self._temp(op.src), op.width_bits, op.fold_bits
+            )
+        elif isinstance(op, TableUpdate):
+            self._check_line(op, op.table, op.line)
+            src = self._temp(op.src)
+            for slot in range(op.depth - 1, 0, -1):
+                self._store(op.table, slot, self._content(op.table, slot - 1))
+            self._store(op.table, 0, src)
+        elif isinstance(op, ChainAbsorb):
+            self._check_line(op, op.table, op.line)
+            fold = self._temp(op.fold)
+            if self.collect and fold.within(op.masks[0]):
+                facts.redundant_chain_store_mask.add(op.table)
+            for level in range(op.span, 1, -1):
+                self._store(op.table, level - 1, ValueRange(0, op.masks[level - 1]))
+            self._store(op.table, 0, fold.masked(op.masks[0]))
+        elif isinstance(op, HistoryShift):
+            self._check_line(op, op.table, op.line)
+            src = self._temp(op.src)
+            for slot in range(op.span - 1, 0, -1):
+                self._store(op.table, slot, self._content(op.table, slot - 1))
+            self._store(op.table, 0, src)
+        else:
+            raise AssertionError(f"unexpected commit op {op!r}")
+
+
+def _chain_read_slots(ir: KernelIR, tables: dict[str, TableFacts]) -> None:
+    """Chain recombination reads: level ``k`` consumes slot ``k-2``."""
+    for fir in ir.fields:
+        for op in fir.commit:
+            if isinstance(op, ChainAbsorb):
+                tables[op.table].read_slots.update(range(op.span - 1))
+            elif isinstance(op, HistoryShift):
+                # The shift itself keeps slots alive only if something
+                # reads them later; handled by rotation liveness.
+                pass
+
+
+def _verify_sharing(
+    ir: KernelIR, tables: dict[str, TableFacts], out: list[Diagnostic]
+) -> None:
+    """The ``L2 * 2**(x-1)`` rule and chain-serves-every-order, structurally."""
+    for fir in ir.fields:
+        for pred in fir.predictors:
+            if pred.chain is None:
+                continue
+            chain = tables.get(pred.chain)
+            if chain is None:
+                out.append(
+                    Diagnostic(
+                        "<ir>", 1, 1, "TC306", Severity.ERROR,
+                        f"field {fir.index} predictor slot {pred.slot} claims "
+                        f"chain {pred.chain}, which is not declared",
+                    )
+                )
+                continue
+            if chain.decl.span < pred.order:
+                out.append(
+                    Diagnostic(
+                        "<ir>", 1, 1, "TC306", Severity.ERROR,
+                        f"chain {pred.chain} spans {chain.decl.span} slot(s) "
+                        f"but must serve order {pred.order} for field "
+                        f"{fir.index} predictor slot {pred.slot}",
+                    )
+                )
+            params = chain.decl.hash_params
+            if pred.l2 is not None and params is not None:
+                l2 = tables.get(pred.l2)
+                want = 1 << (params.k1 + pred.order - 1)
+                if l2 is not None and l2.decl.lines != want:
+                    out.append(
+                        Diagnostic(
+                            "<ir>", 1, 1, "TC306", Severity.ERROR,
+                            f"table {pred.l2} holds {l2.decl.lines} lines; the "
+                            f"L2 * 2**(x-1) rule requires {want} for an "
+                            f"order-{pred.order} predictor",
+                        )
+                    )
+
+
+def _verify_widths(
+    ir: KernelIR,
+    tables: dict[str, TableFacts],
+    minimize: bool,
+    out: list[Diagnostic],
+) -> None:
+    """Every element must fit its type; minimized types must be smallest."""
+    for name, facts in tables.items():
+        rng = facts.value_range
+        elem_bits = 8 * facts.decl.elem_bytes
+        if rng.bits > elem_bits:
+            out.append(
+                Diagnostic(
+                    "<ir>", 1, 1, "TC302", Severity.ERROR,
+                    f"table {name} stores values up to {rng.hi:#x} "
+                    f"({rng.bits} bits) in {elem_bits}-bit elements: overflow",
+                )
+            )
+        elif minimize and facts.decl.elem_bytes > facts.min_elem_bytes:
+            # Over-width wastes memory but can never corrupt output, so
+            # it is advisory — the planner deliberately rounds chain
+            # elements up to the order-mask width even when a narrow
+            # field's fold provably needs less.
+            out.append(
+                Diagnostic(
+                    "<ir>", 1, 1, "TC302", Severity.WARNING,
+                    f"table {name} uses {facts.decl.elem_bytes}-byte elements "
+                    f"but the proven value range fits "
+                    f"{facts.min_elem_bytes} byte(s)",
+                )
+            )
+
+
+def analyze_ir(ir: KernelIR, type_minimization: bool = True) -> ModelFacts:
+    """Run liveness, range, and sharing analysis over a lowered kernel."""
+    tables = {name: TableFacts(decl=decl) for name, decl in ir.tables.items()}
+    fields = {fir.index: FieldFacts(index=fir.index) for fir in ir.fields}
+    diagnostics: list[Diagnostic] = []
+
+    # Content-range fixpoint: iterate non-collecting passes until stable.
+    for _ in range(_MAX_ITERATIONS):
+        walker = _RangeWalker(ir, tables, {}, diagnostics, collect=False)
+        for fir in ir.fields:
+            walker.field_pass(fir, fields[fir.index])
+        if not walker.changed:
+            break
+
+    # Final collecting pass: record read slots, elisions, and bound proofs.
+    walker = _RangeWalker(ir, tables, {}, diagnostics, collect=True)
+    for fir in ir.fields:
+        walker.field_pass(fir, fields[fir.index])
+    _chain_read_slots(ir, tables)
+
+    # Liveness-derived facts per field.
+    for fir in ir.fields:
+        facts = fields[fir.index]
+        for op in fir.commit:
+            if not isinstance(op, TableUpdate):
+                continue
+            live = tables[op.table].live_depth
+            facts.live_depth[op.table] = live or 1
+            if op.guarded and live <= 1:
+                # Nothing rotates: the guard saves no work and the
+                # guarded/plain stores leave identical state.
+                facts.plain_store.add(op.table)
+
+    _verify_sharing(ir, tables, diagnostics)
+    _verify_widths(ir, tables, type_minimization, diagnostics)
+    return ModelFacts(
+        ir=ir, tables=tables, fields=fields, diagnostics=sorted(diagnostics)
+    )
+
+
+_FACTS_CACHE: dict[tuple, ModelFacts] = {}
+
+
+def analyze_model(model: CompressorModel) -> ModelFacts:
+    """Lower ``model`` and analyze it (cached per fingerprint + options)."""
+    key = (model.fingerprint(), tuple(sorted(vars(model.options).items())))
+    cached = _FACTS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    facts = analyze_ir(lower_model(model), model.options.type_minimization)
+    if len(_FACTS_CACHE) > 64:
+        _FACTS_CACHE.clear()
+    _FACTS_CACHE[key] = facts
+    return facts

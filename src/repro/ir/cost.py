@@ -1,0 +1,225 @@
+"""Static per-record cost model over the analyzed kernel IR.
+
+Counts the work one record costs per field — table reads, table stores,
+hash steps, arithmetic, compares, stream emits — directly from IR ops
+plus the liveness facts (guard elisions and live-depth clipping change
+the store and compare counts).  Exposed as ``tcgen-lint --cost``.
+
+The byte totals come from the IR's table declarations, so the property
+tests can hold them equal to :meth:`FieldPlan.table_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.analysis import FieldFacts, ModelFacts
+from repro.ir.ops import (
+    AddMod,
+    ChainAbsorb,
+    EmitCode,
+    EmitValue,
+    FieldIR,
+    HashFold,
+    HistoryShift,
+    LineIndex,
+    LoadField,
+    ScratchHash,
+    SubMod,
+    TableRead,
+    TableUpdate,
+)
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Per-record operation counts (one field, or totals)."""
+
+    reads: int = 0
+    stores: int = 0
+    hash_steps: int = 0
+    arith: int = 0
+    compares: int = 0
+    emits: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.reads + self.stores + self.hash_steps
+            + self.arith + self.compares + self.emits
+        )
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            self.reads + other.reads,
+            self.stores + other.stores,
+            self.hash_steps + other.hash_steps,
+            self.arith + other.arith,
+            self.compares + other.compares,
+            self.emits + other.emits,
+        )
+
+
+@dataclass(frozen=True)
+class PredictorCost:
+    """Begin-phase cost attributed to one predictor's prediction loads."""
+
+    slot: int
+    kind: str
+    order: int
+    depth: int
+    counts: OpCounts
+
+
+@dataclass(frozen=True)
+class FieldCost:
+    index: int
+    counts: OpCounts
+    predictors: tuple[PredictorCost, ...]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Whole-model static cost: per-field counts plus state footprint."""
+
+    fields: tuple[FieldCost, ...]
+    table_bytes: int
+
+    @property
+    def totals(self) -> OpCounts:
+        out = OpCounts()
+        for fc in self.fields:
+            out = out + fc.counts
+        return out
+
+
+def _op_counts(op, facts: FieldFacts) -> OpCounts:
+    """Cost of one IR op as the backends emit it, post-elision."""
+    if isinstance(op, LoadField):
+        return OpCounts(reads=1)
+    if isinstance(op, LineIndex):
+        return OpCounts(arith=0 if facts.elide_line_mask else 1)
+    if isinstance(op, TableRead):
+        return OpCounts(reads=1)
+    if isinstance(op, ScratchHash):
+        # Recomputes the order-k hash from raw history: k reads, k-1
+        # shift-xor recombinations, one fold, and the masking steps the
+        # range analysis could not elide.
+        masks = len(op.masks)
+        if op.table in facts.redundant_scratch_mask:
+            masks -= 1
+        fold = 1 if op.width_bits > op.fold_bits else 0
+        return OpCounts(
+            reads=op.order, hash_steps=op.order - 1 + fold, arith=masks
+        )
+    if isinstance(op, HashFold):
+        return OpCounts(hash_steps=1 if op.width_bits > op.fold_bits else 0)
+    if isinstance(op, (AddMod, SubMod)):
+        return OpCounts(arith=1)
+    if isinstance(op, TableUpdate):
+        depth = facts.live_depth.get(op.table, op.depth)
+        guard = 1 if op.guarded and op.table not in facts.plain_store else 0
+        # A rotation reads depth-1 slots to move them up one position.
+        return OpCounts(reads=depth - 1, stores=depth, compares=guard)
+    if isinstance(op, ChainAbsorb):
+        # Level k >= 2 reads slot k-2 and recombines; level 1 stores the
+        # fold (masked only if the range proof failed).
+        mask1 = 0 if op.table in facts.redundant_chain_store_mask else 1
+        return OpCounts(
+            reads=op.span - 1, stores=op.span,
+            hash_steps=op.span - 1, arith=mask1,
+        )
+    if isinstance(op, HistoryShift):
+        return OpCounts(reads=op.span - 1, stores=op.span)
+    if isinstance(op, (EmitCode, EmitValue)):
+        return OpCounts(emits=1)
+    raise AssertionError(f"uncosted op {op!r}")
+
+
+def _predictor_costs(
+    fir: FieldIR, facts: FieldFacts
+) -> tuple[PredictorCost, ...]:
+    """Attribute begin-phase ops to predictors by their temp names.
+
+    Lowering names every per-predictor temp ``index{f}_{slot}``,
+    ``last{f}_{slot}``, ``pred{f}_{code}``, or ``l2{f}_{code}``; shared
+    work (field load, line index, shared last read) stays field-level.
+    """
+    by_slot: dict[int, OpCounts] = {p.slot: OpCounts() for p in fir.predictors}
+    code_owner: dict[int, int] = {}
+    for pred in fir.predictors:
+        for code in range(pred.first_code, pred.first_code + pred.depth):
+            code_owner[code] = pred.slot
+
+    prefix_index = f"index{fir.index}_"
+    prefix_last = f"last{fir.index}_"
+    prefix_pred = f"pred{fir.index}_"
+    prefix_l2 = f"l2{fir.index}_"
+    for op in fir.begin:
+        dest = getattr(op, "dest", None)
+        if dest is None:
+            continue
+        slot: int | None = None
+        if dest.startswith(prefix_index) or dest.startswith(prefix_last):
+            slot = int(dest.rsplit("_", 1)[1])
+        elif dest.startswith(prefix_pred) or dest.startswith(prefix_l2):
+            slot = code_owner.get(int(dest.rsplit("_", 1)[1]))
+        if slot is not None and slot in by_slot:
+            by_slot[slot] = by_slot[slot] + _op_counts(op, facts)
+    return tuple(
+        PredictorCost(
+            slot=p.slot, kind=p.kind.value, order=p.order, depth=p.depth,
+            counts=by_slot[p.slot],
+        )
+        for p in fir.predictors
+    )
+
+
+def cost_model(facts: ModelFacts) -> CostReport:
+    """Per-record static op counts for every field, post-elision."""
+    fields = []
+    for fir in facts.ir.fields:
+        ffacts = facts.fields[fir.index]
+        counts = OpCounts()
+        for op in fir.begin:
+            counts = counts + _op_counts(op, ffacts)
+        if fir.select is not None:
+            counts = counts + OpCounts(compares=len(fir.select.candidates))
+        for op in fir.emits:
+            counts = counts + _op_counts(op, ffacts)
+        for op in fir.commit:
+            counts = counts + _op_counts(op, ffacts)
+        fields.append(
+            FieldCost(
+                index=fir.index,
+                counts=counts,
+                predictors=_predictor_costs(fir, ffacts),
+            )
+        )
+    return CostReport(
+        fields=tuple(sorted(fields, key=lambda fc: fc.index)),
+        table_bytes=facts.ir.table_bytes(),
+    )
+
+
+_COLUMNS = ("reads", "stores", "hash", "arith", "cmp", "emit", "total")
+
+
+def _row(label: str, c: OpCounts) -> str:
+    cells = (c.reads, c.stores, c.hash_steps, c.arith, c.compares, c.emits,
+             c.total)
+    return f"  {label:<22}" + "".join(f"{cell:>7}" for cell in cells)
+
+
+def render_cost(report: CostReport, title: str) -> str:
+    """Fixed-width cost table for ``tcgen-lint --cost``."""
+    lines = [f"{title}: static per-record op counts "
+             f"(state: {report.table_bytes} bytes)"]
+    lines.append("  " + " " * 22 + "".join(f"{col:>7}" for col in _COLUMNS))
+    for fc in report.fields:
+        lines.append(_row(f"field {fc.index}", fc.counts))
+        for pc in fc.predictors:
+            label = f"  {pc.kind}{pc.order}[{pc.depth}] slot {pc.slot}"
+            lines.append(_row(label, pc.counts))
+    lines.append(_row("total", report.totals))
+    return "\n".join(lines) + "\n"

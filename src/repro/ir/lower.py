@@ -1,0 +1,280 @@
+"""Lowering: ``CompressorModel`` (via its structure plan) → kernel IR.
+
+This is the single place the generated kernels' *shape* is decided.  The
+lowering consumes :func:`repro.codegen.plan.plan_field` — the same
+structure plan both backends consume — and produces one
+:class:`~repro.ir.ops.FieldIR` per field, mirroring the emitters'
+begin/select/commit phases op for op.  The analysis passes
+(:mod:`repro.ir.analysis`) then derive liveness, value-range, sharing,
+and cost facts from the IR, and the backends and ``genverify`` consume
+those facts instead of re-implementing the paper's §4 rules per backend.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import FieldPlan, plan_field
+from repro.ir.ops import (
+    AddMod,
+    ChainAbsorb,
+    EmitCode,
+    EmitValue,
+    FieldIR,
+    HashFold,
+    HistoryShift,
+    KernelIR,
+    LineIndex,
+    LoadField,
+    PredictorIR,
+    ScratchHash,
+    Select,
+    SubMod,
+    TableDecl,
+    TableRead,
+    TableRole,
+    TableUpdate,
+)
+from repro.model.layout import CompressorModel
+from repro.spec.ast import PredictorKind
+
+
+def _declare_tables(plan: FieldPlan) -> dict[str, TableDecl]:
+    decls: dict[str, TableDecl] = {}
+    for last in plan.lasts:
+        decls[last.name] = TableDecl(
+            name=last.name,
+            role=TableRole.LAST_VALUE,
+            lines=last.lines,
+            span=last.depth,
+            elem_bytes=last.elem_bytes,
+        )
+    for chain in plan.chains:
+        decls[chain.name] = TableDecl(
+            name=chain.name,
+            role=TableRole.CHAIN,
+            lines=chain.lines,
+            span=chain.span,
+            elem_bytes=chain.elem_bytes,
+            kind=chain.kind,
+            hash_params=chain.params,
+            fast=chain.fast,
+        )
+    for l2 in plan.l2s:
+        decls[l2.name] = TableDecl(
+            name=l2.name,
+            role=TableRole.L2,
+            lines=l2.lines,
+            span=l2.depth,
+            elem_bytes=l2.elem_bytes,
+        )
+    return decls
+
+
+def _lower_field(plan: FieldPlan, model: CompressorModel, pc_temp: str | None) -> FieldIR:
+    """Lower one field's begin/select/commit, mirroring the emitters."""
+    layout = plan.layout
+    f = layout.index
+    smart = model.options.smart_update
+    fir = FieldIR(
+        index=f,
+        width_bits=layout.width_bits,
+        is_pc=layout.is_pc,
+        l1_lines=layout.l1_lines,
+        predictors=[],
+    )
+    value = f"value{f}"
+    fir.begin.append(LoadField(dest=value, field=f, width_bits=layout.width_bits))
+
+    line: str | None = None
+    if layout.l1_lines > 1:
+        if pc_temp is None:
+            raise AssertionError("non-PC field lowered before the PC field")
+        line = f"line{f}"
+        fir.begin.append(LineIndex(dest=line, src=pc_temp, lines=layout.l1_lines))
+
+    lasts = plan.lasts
+    last_first: str | None = None
+    if lasts and layout.needs_stride:
+        last_first = f"last{f}"
+        fir.begin.append(
+            TableRead(dest=last_first, table=lasts[0].name, line=line, slot=0)
+        )
+
+    # Per-predictor L2 index temps (fast: chain read; slow: scratch hash).
+    index_temps: dict[int, str] = {}
+    for pred in plan.predictors:
+        if pred.chain is None:
+            continue
+        index_var = f"index{f}_{pred.slot}"
+        index_temps[pred.slot] = index_var
+        chain = pred.chain
+        if chain.fast:
+            fir.begin.append(
+                TableRead(
+                    dest=index_var, table=chain.name, line=line,
+                    slot=pred.order - 1,
+                )
+            )
+        else:
+            fir.begin.append(
+                ScratchHash(
+                    dest=index_var,
+                    table=chain.name,
+                    line=line,
+                    order=pred.order,
+                    shift=chain.params.shift,
+                    masks=tuple(
+                        chain.params.order_mask(step)
+                        for step in range(1, pred.order + 1)
+                    ),
+                    width_bits=layout.width_bits,
+                    fold_bits=chain.params.fold_bits,
+                )
+            )
+
+    # Prediction loads, one temp per identification code.
+    candidates: list[str] = []
+    code = 0
+    for pred in plan.predictors:
+        pir = PredictorIR(
+            slot=pred.slot,
+            kind=pred.kind,
+            order=pred.order,
+            depth=pred.depth,
+            first_code=code,
+            chain=pred.chain.name if pred.chain is not None else None,
+            l2=pred.l2.name if pred.l2 is not None else None,
+            last=pred.last.name if pred.last is not None else None,
+            index=index_temps.get(pred.slot),
+        )
+        fir.predictors.append(pir)
+        if pred.kind is PredictorKind.LV:
+            for slot in range(pred.depth):
+                pvar = f"pred{f}_{code}"
+                fir.begin.append(
+                    TableRead(dest=pvar, table=pred.last.name, line=line, slot=slot)
+                )
+                candidates.append(pvar)
+                code += 1
+            continue
+        index_var = index_temps[pred.slot]
+        if pred.kind is PredictorKind.FCM:
+            for slot in range(pred.depth):
+                pvar = f"pred{f}_{code}"
+                fir.begin.append(
+                    TableRead(dest=pvar, table=pred.l2.name, line=index_var, slot=slot)
+                )
+                candidates.append(pvar)
+                code += 1
+        else:  # DFCM: last + stride, masked to the field width
+            base_last = last_first
+            if pred.last is not lasts[0]:
+                base_last = f"last{f}_{pred.slot}"
+                fir.begin.append(
+                    TableRead(dest=base_last, table=pred.last.name, line=line, slot=0)
+                )
+            for slot in range(pred.depth):
+                l2_read = f"l2{f}_{code}"
+                fir.begin.append(
+                    TableRead(dest=l2_read, table=pred.l2.name, line=index_var, slot=slot)
+                )
+                pvar = f"pred{f}_{code}"
+                fir.begin.append(
+                    AddMod(dest=pvar, a=base_last, b=l2_read, mask=layout.mask)
+                )
+                candidates.append(pvar)
+                code += 1
+
+    fir.select = Select(
+        field=f, value=value, candidates=tuple(candidates),
+        miss_code=layout.miss_code,
+    )
+    fir.emits.append(EmitCode(field=f, code_bytes=layout.code_bytes))
+    fir.emits.append(EmitValue(field=f, src=value, value_bytes=layout.value_bytes))
+
+    # -- commit phase -------------------------------------------------------
+    stride: str | None = None
+    if layout.needs_stride:
+        stride = f"stride{f}"
+        fir.commit.append(
+            SubMod(dest=stride, a=value, b=last_first, mask=layout.mask)
+        )
+
+    # Second-level tables, in predictor order (mirrors the kernel).
+    for pred in plan.predictors:
+        if pred.l2 is None:
+            continue
+        src = value if pred.kind is PredictorKind.FCM else stride
+        fir.commit.append(
+            TableUpdate(
+                table=pred.l2.name,
+                line=index_temps[pred.slot],
+                depth=pred.depth,
+                src=src,
+                guarded=smart,
+            )
+        )
+
+    # First-level chains.
+    for chain in plan.chains:
+        feed = value if chain.kind is PredictorKind.FCM else stride
+        if chain.fast:
+            fold = f"fold_{chain.name}"
+            fir.commit.append(
+                HashFold(
+                    dest=fold, src=feed, width_bits=layout.width_bits,
+                    fold_bits=chain.params.fold_bits,
+                )
+            )
+            fir.commit.append(
+                ChainAbsorb(
+                    table=chain.name,
+                    line=line,
+                    span=chain.span,
+                    fold=fold,
+                    shift=chain.params.shift,
+                    masks=tuple(
+                        chain.params.order_mask(level)
+                        for level in range(1, chain.span + 1)
+                    ),
+                )
+            )
+        else:
+            fir.commit.append(
+                HistoryShift(table=chain.name, line=line, span=chain.span, src=feed)
+            )
+
+    # Last-value tables.
+    for last in plan.lasts:
+        fir.commit.append(
+            TableUpdate(
+                table=last.name, line=line, depth=last.depth, src=value,
+                guarded=smart,
+            )
+        )
+    return fir
+
+
+def lower_model(model: CompressorModel) -> KernelIR:
+    """Lower a resolved model into the kernel IR (fields in process order)."""
+    plans = {
+        layout.index: plan_field(layout, model.options) for layout in model.fields
+    }
+    tables: dict[str, TableDecl] = {}
+    for plan in plans.values():
+        tables.update(_declare_tables(plan))
+
+    ir = KernelIR(
+        fingerprint=model.fingerprint(),
+        tables=tables,
+        fields=[],
+        record_bytes=model.spec.record_bytes,
+        header_bytes=model.spec.header_bytes,
+        smart_update=model.options.smart_update,
+    )
+    pc_temp: str | None = None
+    for layout in model.process_order:
+        fir = _lower_field(plans[layout.index], model, pc_temp)
+        ir.fields.append(fir)
+        if layout.is_pc:
+            pc_temp = f"value{layout.index}"
+    return ir

@@ -1,0 +1,388 @@
+"""Typed kernel IR for generated trace compressors.
+
+The IR models the per-record kernel both code generators emit: for every
+field, an index/predict phase (*begin*), a compare-select against the
+true value (*select/emit*), and a table-update phase (*commit*).  Ops are
+deliberately coarse enough to mirror the emitters one-to-one — a
+rotating table update is one op, not ``depth`` stores — so liveness and
+cost facts map directly onto emitted statements, yet fine enough that a
+forward value-range walk can prove every table index in bounds and every
+element within its minimized type (:mod:`repro.ir.analysis`).
+
+Temps are named strings (``value2``, ``index2_0``, ``pred2_3``) chosen to
+match the locals the backends emit, which makes :func:`render_ir` output
+directly comparable to generated source during debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from enum import Enum
+
+from repro.predictors.hashing import HashParams
+from repro.spec.ast import PredictorKind
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """Inclusive integer interval ``[lo, hi]`` an expression can take."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty range [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def of_width(cls, bits: int) -> "ValueRange":
+        """The full range of a ``bits``-wide unsigned value."""
+        return cls(0, (1 << bits) - 1)
+
+    @classmethod
+    def const(cls, value: int) -> "ValueRange":
+        return cls(value, value)
+
+    def join(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def masked(self, mask: int) -> "ValueRange":
+        """Range after ``& mask`` (mask is ``2**k - 1``)."""
+        if self.hi <= mask:
+            return self
+        return ValueRange(0, mask)
+
+    def within(self, mask: int) -> bool:
+        """True when ``& mask`` is provably the identity on this range."""
+        return 0 <= self.lo and self.hi <= mask
+
+    @property
+    def bits(self) -> int:
+        """Bits needed to store any value in the range."""
+        return max(1, self.hi.bit_length())
+
+
+class TableRole(str, Enum):
+    """What a state structure holds."""
+
+    LAST_VALUE = "last_value"  # lines x depth most-recent values
+    CHAIN = "chain"  # lines x span partial hashes (fast) or history (slow)
+    L2 = "l2"  # hash-indexed second-level prediction table
+
+
+@dataclass(frozen=True)
+class TableDecl:
+    """One predictor state structure: a flat ``lines x span`` array."""
+
+    name: str
+    role: TableRole
+    lines: int  # first-level line count (L1 lines, or L2 lines for L2 tables)
+    span: int  # slots per line (depth for LV/L2, max order for chains)
+    elem_bytes: int
+    kind: PredictorKind | None = None  # feeding class for chains
+    hash_params: HashParams | None = None  # chains only
+    fast: bool = True  # chains only: incremental (True) or raw history
+
+    @property
+    def elements(self) -> int:
+        return self.lines * self.span
+
+    @property
+    def total_bytes(self) -> int:
+        return self.elements * self.elem_bytes
+
+
+# ---------------------------------------------------------------------------
+# Ops.  Every op that produces a value names its destination temp ``dest``;
+# operand temps are referenced by name.  ``line`` operands are the temp
+# holding the first-level line index, or None for constant line 0.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadField:
+    """``dest`` = the field's raw value from the current record."""
+
+    dest: str
+    field: int
+    width_bits: int
+
+
+@dataclass(frozen=True)
+class LineIndex:
+    """``dest = src & (lines - 1)`` — the L1 line selection mask."""
+
+    dest: str
+    src: str
+    lines: int
+
+
+@dataclass(frozen=True)
+class TableRead:
+    """``dest = table[line * span + slot]``."""
+
+    dest: str
+    table: str
+    line: str | None
+    slot: int
+
+
+@dataclass(frozen=True)
+class HashFold:
+    """``dest = fold(src)``: XOR-fold into ``fold_bits`` bits."""
+
+    dest: str
+    src: str
+    width_bits: int
+    fold_bits: int
+
+
+@dataclass(frozen=True)
+class ScratchHash:
+    """``dest`` = order-``order`` hash recomputed from raw history.
+
+    Slow-hash mode only: reads ``table`` slots ``0 .. order-1`` and folds
+    them through the shift-xor chain.  ``masks[k-1]`` is the mask applied
+    at step ``k``; the step-1 mask is provably redundant (the fold is
+    already narrower) and :mod:`repro.ir.analysis` marks it elidable.
+    """
+
+    dest: str
+    table: str
+    line: str | None
+    order: int
+    shift: int
+    masks: tuple[int, ...]
+    width_bits: int
+    fold_bits: int
+
+
+@dataclass(frozen=True)
+class AddMod:
+    """``dest = (a + b) & mask`` — DFCM prediction (last + stride)."""
+
+    dest: str
+    a: str
+    b: str
+    mask: int
+
+
+@dataclass(frozen=True)
+class SubMod:
+    """``dest = (a - b) & mask`` — the stride computation."""
+
+    dest: str
+    a: str
+    b: str
+    mask: int
+
+
+@dataclass(frozen=True)
+class TableUpdate:
+    """Rotate ``depth`` slots of one line and store ``src`` at slot 0.
+
+    ``guarded`` mirrors the paper's smart update: the whole rotation is
+    wrapped in ``if table[slot0] != src``.  Liveness may prove the guard
+    useless (``live_depth == 1``: nothing to rotate) or the deep slots
+    dead (``live_depth < depth``).
+    """
+
+    table: str
+    line: str | None
+    depth: int
+    src: str
+    guarded: bool
+
+
+@dataclass(frozen=True)
+class ChainAbsorb:
+    """Fast-hash absorb: recombine level ``k-1`` into level ``k``.
+
+    Writes all ``span`` slots; level ``k`` reads slot ``k-2`` (its own
+    previous value falls out of the masked window).  ``masks[k-1]`` is
+    the order-``k`` mask; the level-1 store mask is provably redundant.
+    """
+
+    table: str
+    line: str | None
+    span: int
+    fold: str  # temp holding the folded feed value
+    shift: int
+    masks: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HistoryShift:
+    """Slow-hash commit: shift the raw-history window and store ``src``."""
+
+    table: str
+    line: str | None
+    span: int
+    src: str
+
+
+@dataclass(frozen=True)
+class Select:
+    """Compare-select: match ``value`` against predictions, yield a code.
+
+    ``candidates[i]`` is the temp predicted by identification code ``i``;
+    a miss yields ``miss_code`` (and the raw value joins the value
+    stream).
+    """
+
+    field: int
+    value: str
+    candidates: tuple[str, ...]
+    miss_code: int
+
+
+@dataclass(frozen=True)
+class EmitCode:
+    """Append the selected code to the field's code stream."""
+
+    field: int
+    code_bytes: int
+
+
+@dataclass(frozen=True)
+class EmitValue:
+    """Append the unpredicted raw value to the field's value stream."""
+
+    field: int
+    src: str
+    value_bytes: int
+
+
+#: Ops allowed in the begin phase (indices + predictions).
+BeginOp = (
+    LoadField | LineIndex | TableRead | HashFold | ScratchHash | AddMod
+)
+#: Ops allowed in the commit phase (state updates).
+CommitOp = SubMod | HashFold | TableUpdate | ChainAbsorb | HistoryShift
+
+
+@dataclass(frozen=True)
+class PredictorIR:
+    """Per-predictor structural facts the sharing verifier checks."""
+
+    slot: int
+    kind: PredictorKind
+    order: int
+    depth: int
+    first_code: int
+    chain: str | None  # first-level structure serving the index
+    l2: str | None  # second-level table owning the predictions
+    last: str | None  # last-value table feeding LV/DFCM
+    index: str | None  # temp holding the L2 index (None for LV)
+
+
+@dataclass
+class FieldIR:
+    """One field's per-record kernel: begin, select/emit, commit."""
+
+    index: int
+    width_bits: int
+    is_pc: bool
+    l1_lines: int
+    predictors: list[PredictorIR]
+    begin: list[BeginOp] = dc_field(default_factory=list)
+    select: Select | None = None
+    emits: list[EmitCode | EmitValue] = dc_field(default_factory=list)
+    commit: list[CommitOp] = dc_field(default_factory=list)
+
+    @property
+    def ops(self) -> list:
+        out: list = list(self.begin)
+        if self.select is not None:
+            out.append(self.select)
+        out += self.emits
+        out += self.commit
+        return out
+
+
+@dataclass
+class KernelIR:
+    """The whole per-record loop: fields in processing order."""
+
+    fingerprint: int
+    tables: dict[str, TableDecl]
+    fields: list[FieldIR]  # processing order (PC first)
+    record_bytes: int
+    header_bytes: int
+    smart_update: bool
+
+    def field(self, index: int) -> FieldIR:
+        for f in self.fields:
+            if f.index == index:
+                return f
+        raise KeyError(f"no field {index} in IR")
+
+    def table_bytes(self) -> int:
+        return sum(decl.total_bytes for decl in self.tables.values())
+
+
+def render_ir(ir: KernelIR) -> str:
+    """Human-readable dump of the kernel IR (docs, tests, debugging)."""
+    lines = [f"kernel fingerprint={ir.fingerprint:#018x} "
+             f"record_bytes={ir.record_bytes} header_bytes={ir.header_bytes}"]
+    for decl in ir.tables.values():
+        extra = ""
+        if decl.hash_params is not None:
+            extra = (f" k1={decl.hash_params.k1} shift={decl.hash_params.shift}"
+                     f" fold_bits={decl.hash_params.fold_bits}"
+                     f" fast={int(decl.fast)}")
+        lines.append(
+            f"  table {decl.name}: {decl.role.value} "
+            f"{decl.lines}x{decl.span} u{8 * decl.elem_bytes}{extra}"
+        )
+    for field in ir.fields:
+        tag = " (pc)" if field.is_pc else ""
+        lines.append(f"  field {field.index}{tag}: "
+                     f"{field.width_bits}-bit, L1={field.l1_lines}")
+        for phase, ops in (("begin", field.begin),
+                           ("select", [field.select] if field.select else []),
+                           ("emit", field.emits),
+                           ("commit", field.commit)):
+            for op in ops:
+                lines.append(f"    [{phase}] {_render_op(op)}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_op(op) -> str:
+    if isinstance(op, LoadField):
+        return f"{op.dest} = load field{op.field} (u{op.width_bits})"
+    if isinstance(op, LineIndex):
+        return f"{op.dest} = {op.src} & {op.lines - 1:#x}"
+    if isinstance(op, TableRead):
+        return f"{op.dest} = {op.table}[{_slot(op.line, op.slot)}]"
+    if isinstance(op, HashFold):
+        return f"{op.dest} = fold{op.fold_bits}({op.src})"
+    if isinstance(op, ScratchHash):
+        return (f"{op.dest} = scratch-hash order {op.order} of "
+                f"{op.table}[{_slot(op.line, 0)}..]")
+    if isinstance(op, AddMod):
+        return f"{op.dest} = ({op.a} + {op.b}) & {op.mask:#x}"
+    if isinstance(op, SubMod):
+        return f"{op.dest} = ({op.a} - {op.b}) & {op.mask:#x}"
+    if isinstance(op, TableUpdate):
+        guard = " if-changed" if op.guarded else ""
+        return (f"update {op.table}[{_slot(op.line, 0)}] depth {op.depth} "
+                f"<- {op.src}{guard}")
+    if isinstance(op, ChainAbsorb):
+        return f"absorb {op.fold} into {op.table} span {op.span}"
+    if isinstance(op, HistoryShift):
+        return f"shift {op.src} into {op.table} span {op.span}"
+    if isinstance(op, Select):
+        return (f"code = select({op.value} vs {len(op.candidates)} "
+                f"predictions, miss={op.miss_code})")
+    if isinstance(op, EmitCode):
+        return f"emit code (u{8 * op.code_bytes})"
+    if isinstance(op, EmitValue):
+        return f"emit value {op.src} on miss (u{8 * op.value_bytes})"
+    return repr(op)
+
+
+def _slot(line: str | None, slot: int) -> str:
+    if line is None:
+        return str(slot)
+    return f"{line}, {slot}"

@@ -1,15 +1,17 @@
 """Concurrency lint for this package's own source (codes ``TC2xx``).
 
-The asyncio daemon (:mod:`repro.server`) and the worker pools
-(:mod:`repro.runtime.parallel`) mix three concurrency regimes — the event
-loop, thread executors, and process pools — which is exactly where silent
-hazards creep in during refactors.  This pass parses Python source with
-:mod:`ast` and flags three of them:
+The serving tier (:mod:`repro.server` — the asyncio daemon, the pre-fork
+supervisor, the HTTP gateway, the stream registry, the engine cache) and
+the worker pools (:mod:`repro.runtime.parallel`) mix three concurrency
+regimes — the event loop, thread executors, and process pools — which is
+exactly where silent hazards creep in during refactors.  This pass
+parses Python source with :mod:`ast` and flags four of them:
 
 ``TC201``
     A known-blocking call (``time.sleep``, ``subprocess.run``, sync
-    socket/urllib I/O) lexically inside an ``async def``.  Blocking the
-    event loop stalls every connection, not just the offender's.
+    socket/urllib I/O, ``fcntl`` file locks) lexically inside an
+    ``async def``.  Blocking the event loop stalls every connection, not
+    just the offender's.
 ``TC202``
     An ``await`` inside a non-async ``with`` whose context manager looks
     like a synchronous lock.  Parking a coroutine while holding a
@@ -19,6 +21,14 @@ hazards creep in during refactors.  This pass parses Python source with
     block.  An attribute counts as guarded when some method of the same
     class mutates it under ``with self.<lock>``; any unguarded mutation
     elsewhere (outside ``__init__``) is then a race.
+``TC204``
+    The task handle from ``asyncio.ensure_future`` /
+    ``asyncio.create_task`` is discarded — used as a bare expression
+    statement or returned from a ``lambda`` callback.  The event loop
+    keeps only weak references to tasks, so a fire-and-forget task can
+    be garbage-collected mid-flight and any exception it raises
+    silently vanishes.  Keep a reference (a task set with a
+    done-callback discard is the canonical shape).
 
 CI runs this over ``src/repro`` (see ``python -m repro.lint``), so the
 checks are tuned for zero false positives on the current codebase — they
@@ -48,8 +58,13 @@ BLOCKING_CALLS = frozenset(
         "urllib.request.urlopen",
         "requests.get",
         "requests.post",
+        "fcntl.lockf",
+        "fcntl.flock",
     }
 )
+
+#: Calls that spawn an asyncio task whose handle must be kept alive.
+TASK_SPAWNERS = frozenset({"asyncio.ensure_future", "asyncio.create_task"})
 
 #: Method names that mutate their receiver in place.
 _MUTATING_METHODS = frozenset(
@@ -130,7 +145,15 @@ class _FunctionChecker(ast.NodeVisitor):
         self._lock_depth = held
         self._async_depth = async_depth
 
-    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_lambda_spawn(node)
+        async_depth = self._async_depth
+        held = self._lock_depth
+        self._async_depth = 0  # sync helpers may block; they run on executors
+        self._lock_depth = 0
+        self.generic_visit(node)
+        self._lock_depth = held
+        self._async_depth = async_depth
 
     # -- the three hazards ---------------------------------------------------
 
@@ -163,6 +186,40 @@ class _FunctionChecker(ast.NodeVisitor):
                 "executor threads waiting for it",
             )
         self.generic_visit(node)
+
+    # -- TC204: fire-and-forget tasks ----------------------------------------
+
+    def _spawner_name(self, node: ast.expr) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        name = _dotted_name(node.func)
+        if name is None:
+            return None
+        if name in TASK_SPAWNERS or name.endswith("loop.create_task"):
+            return name
+        return None
+
+    def _flag_discarded_task(self, call: ast.expr, name: str) -> None:
+        self._add(
+            call, "TC204",
+            f"{name}() result discarded: the loop holds only a weak "
+            f"reference, so the task can be garbage-collected and its "
+            f"exceptions lost — keep the handle",
+        )
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        name = self._spawner_name(node.value)
+        if name is not None:
+            self._flag_discarded_task(node.value, name)
+        self.generic_visit(node)
+
+    def _check_lambda_spawn(self, node: ast.Lambda) -> None:
+        # ``lambda: asyncio.ensure_future(...)`` handed to a callback API
+        # (signal handlers, call_soon) returns the task to a caller that
+        # drops it — same hazard as a bare expression statement.
+        name = self._spawner_name(node.body)
+        if name is not None:
+            self._flag_discarded_task(node.body, name)
 
 
 class _ClassSharedStateChecker:

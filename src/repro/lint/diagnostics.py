@@ -68,10 +68,9 @@ CODES: dict[str, str] = {
     "TC024": "PC field indexes no table: every other field has L1 = 1",
     "TC025": "explicit table size repeats the default",
     "TC026": "flush window too small: tiny streaming chunks compress poorly",
+    "TC027": "disable comment names an unknown or retired diagnostic code",
     # -- TC1xx: codegen invariant verification --------------------------------
-    "TC101": "generated code declares a table the model does not call for",
     "TC102": "generated table missing or sized wrong",
-    "TC103": "generated table element type is not the smallest sufficient type",
     "TC104": "last-value table generated for a field without LV/DFCM predictors",
     "TC105": "stride code generated for a specification without DFCM predictors",
     "TC106": "header handling generated for a headerless specification",
@@ -82,6 +81,22 @@ CODES: dict[str, str] = {
     "TC201": "blocking call inside an async function",
     "TC202": "await while holding a synchronous lock",
     "TC203": "lock-guarded attribute mutated outside its lock's with block",
+    "TC204": "task handle discarded: spawned task may be garbage-collected",
+    # -- TC3xx: IR-founded verification (:mod:`repro.ir.analysis`) -------------
+    "TC301": "generated state allocation contradicts the analyzed IR",
+    "TC302": "element width contradicts the proven value range",
+    "TC303": "table store count contradicts IR liveness (dead or missing update)",
+    "TC304": "table index not provably within [0, lines)",
+    "TC305": "redundant mask the range analysis proves elidable",
+    "TC306": "table sharing violates the L2 * 2**(x-1) structural rule",
+}
+
+#: Codes that existed in earlier releases but were superseded.  They stay
+#: known to the suppression checker so a stale ``# tcgen: disable=`` names
+#: the replacement instead of being reported as a typo.
+RETIRED_CODES: dict[str, str] = {
+    "TC101": "superseded by TC301 (allocation checked against the analyzed IR)",
+    "TC103": "superseded by TC302 (element widths checked against proven ranges)",
 }
 
 
@@ -164,3 +179,36 @@ def apply_suppressions(
             continue
         kept.append(diag)
     return kept
+
+
+def check_suppressions(text: str, path: str) -> list[Diagnostic]:
+    """TC027: flag ``# tcgen: disable=`` comments that suppress nothing.
+
+    A typo'd or retired code in a disable comment silently mutes nothing
+    while looking like it does; retired codes additionally name their
+    replacement so the comment can be fixed rather than deleted.
+    """
+    out: list[Diagnostic] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        col = match.start() + 1
+        for part in match.group(1).split(","):
+            code = part.strip()
+            if not code or code == "all" or code in CODES:
+                continue
+            if code in RETIRED_CODES:
+                message = (
+                    f"disable comment names retired code {code}: "
+                    f"{RETIRED_CODES[code]}"
+                )
+            else:
+                message = (
+                    f"disable comment names unknown code {code}: "
+                    f"it suppresses nothing"
+                )
+            out.append(
+                Diagnostic(path, lineno, col, "TC027", Severity.WARNING, message)
+            )
+    return out

@@ -1,4 +1,4 @@
-"""Codegen invariant verification (codes ``TC1xx``).
+"""Codegen invariant verification (codes ``TC1xx`` and ``TC3xx``).
 
 The paper argues four code-generation optimizations hold for every
 generated compressor: smart update, type minimization, table sharing, and
@@ -9,22 +9,32 @@ machine-checks those claims against the *generated source itself*, not
 against the structure plan that produced it, so a bug in the planner or a
 backend cannot silently ship an unoptimized or wrongly-sized compressor.
 
-The Python backend is checked by parsing the generated module with
-:mod:`ast` and reading the table allocations out of ``_fresh_tables``;
-the C backend is checked structurally (declarations and the ``calloc``
-calls in ``allocate_tables``).  Expected structures are derived straight
-from the specification via the paper's rules whenever the model runs with
-table sharing and type minimization enabled; for ablated option sets the
-expectations come from the structure plan (which the ablation defines).
+Two layers of checks run over every backend's output:
+
+- **Surface checks (TC1xx)** parse the source directly — the Python
+  backend through :mod:`ast` (table allocations in ``_fresh_tables``),
+  the C backends structurally (declarations and ``calloc`` calls) — and
+  compare against the paper's own sizing rules, re-derived from the
+  specification when the full optimization set is active.
+- **IR-founded checks (TC3xx)** lower the model to the kernel IR
+  (:mod:`repro.ir`), run the liveness/range/sharing analyses, and hold
+  the emitted source to the *analyzed* facts: allocations must match the
+  IR's table declarations (TC301), element widths the proven value
+  ranges (TC302), and per-table update-store counts the liveness
+  results (TC303) — an extra store is an injected dead update, a missing
+  one a broken kernel.  Masks the range analysis proves redundant but
+  the source retains are reported as TC305 warnings.  Both backends are
+  checked against the same IR, not against each other.
 
 :func:`verify_generated` returns diagnostics; :func:`assert_verified`
-raises :class:`~repro.errors.CodegenError` on the first violation and is
+raises :class:`~repro.errors.CodegenError` on the first *error* and is
 what ``generate_python(..., verify=True)`` calls.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import replace
 import re
 
 from repro.codegen.plan import plan_field
@@ -35,6 +45,7 @@ from repro.spec.ast import PredictorKind
 
 #: array typecode / C type per element width, kept in sync with the backends.
 _PY_TYPECODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+_PY_ELEM_BYTES = {code: nbytes for nbytes, code in _PY_TYPECODES.items()}
 _C_TYPES = {1: "u8", 2: "u16", 4: "u32", 8: "u64"}
 
 
@@ -158,7 +169,7 @@ def _verify_tables(
     """Compare (elem_bytes, line, total_bytes) allocations to expectations."""
     for name, (elem, line, nbytes) in sorted(actual.items()):
         if name not in expected:
-            code = "TC101"
+            code = "TC301"
             message = f"table {name} is declared but the model does not call for it"
             for layout in model.fields:
                 only_fcm = all(
@@ -175,7 +186,7 @@ def _verify_tables(
             continue
         want_elem, want_count = expected[name]
         if elem != want_elem:
-            code = "TC103" if elem > want_elem else "TC102"
+            code = "TC302" if elem > want_elem else "TC102"
             add(
                 line, code,
                 f"table {name} uses {elem}-byte elements; the smallest "
@@ -207,21 +218,32 @@ def verify_generated(
     source is faithful to the model).
     """
     if backend == "python":
-        return _verify_python(model, source, path)
-    if backend == "c":
-        return _verify_c(model, source, path)
-    if backend == "c-library":
-        return _verify_c_library(model, source, path)
-    raise ValueError(
-        f"unknown backend {backend!r}; expected 'python', 'c', or 'c-library'"
-    )
+        out = _verify_python(model, source, path)
+    elif backend == "c":
+        out = _verify_c(model, source, path)
+    elif backend == "c-library":
+        out = _verify_c_library(model, source, path)
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'python', 'c', or 'c-library'"
+        )
+    out.extend(_verify_ir(model, source, backend, path))
+    return sorted(out)
 
 
 def assert_verified(
     model: CompressorModel, source: str, backend: str = "python"
 ) -> None:
-    """Raise :class:`~repro.errors.CodegenError` if verification fails."""
-    diagnostics = verify_generated(model, source, backend=backend)
+    """Raise :class:`~repro.errors.CodegenError` on verification *errors*.
+
+    Warnings (e.g. TC305 retained-redundant-mask) do not raise: the
+    pre-IR output is legal, just unoptimized.
+    """
+    diagnostics = [
+        d
+        for d in verify_generated(model, source, backend=backend)
+        if d.severity is Severity.ERROR
+    ]
     if diagnostics:
         details = "; ".join(d.render() for d in diagnostics[:5])
         raise CodegenError(
@@ -335,7 +357,7 @@ def _verify_c(model: CompressorModel, source: str, path: str) -> list[Diagnostic
         line = decl[1] if decl else line_of(match.start())
         if decl is not None and decl[0] != elem:
             add(
-                line, "TC103",
+                line, "TC302",
                 f"table {name} is declared {decl[0]}-byte but allocated "
                 f"{elem}-byte elements",
             )
@@ -407,7 +429,7 @@ def _verify_c_library(
         previous = declared.get(name)
         if previous is not None and previous[0] != elem:
             add(
-                line_of(match.start()), "TC103",
+                line_of(match.start()), "TC302",
                 f"table {name} is declared {previous[0]}-byte in one kernel "
                 f"but {elem}-byte in another",
             )
@@ -421,7 +443,7 @@ def _verify_c_library(
         decl_elem, decl_line = declared[name]
         if decl_elem != elem:
             add(
-                decl_line, "TC103",
+                decl_line, "TC302",
                 f"table {name} is declared {decl_elem}-byte but allocated "
                 f"{elem}-byte elements",
             )
@@ -460,3 +482,169 @@ def _verify_c_library(
                 f"generated library",
             )
     return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# IR-founded verification (TC3xx): the emitted source is held to the facts
+# the dataflow analyses proved about the lowered kernel, for every backend.
+# ---------------------------------------------------------------------------
+
+#: The two table-updating kernels each backend emits; every per-record
+#: table store appears exactly once in each.
+_PY_KERNELS = ("_compress_chunk", "_decompress_chunk")
+
+
+def _python_table_stores(source: str, tables: set[str]) -> dict[str, int]:
+    """Count subscript-store statements per table across both kernels."""
+    counts = {name: 0 for name in tables}
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return counts
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.FunctionDef) and node.name in _PY_KERNELS):
+            continue
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in counts
+                ):
+                    counts[target.value.id] += 1
+    return counts
+
+
+def _c_table_stores(source: str, tables: set[str]) -> dict[str, int]:
+    """Count ``table[...] = `` statements per table (both C kernels)."""
+    counts = {}
+    for name in tables:
+        pattern = re.compile(
+            rf"^\s*{re.escape(name)}\[[^\]]*\] = ", re.MULTILINE
+        )
+        counts[name] = len(pattern.findall(source))
+    return counts
+
+
+def _source_line(source: str, start: int) -> int:
+    return source[:start].count("\n") + 1
+
+
+def _verify_ir(
+    model: CompressorModel, source: str, backend: str, path: str
+) -> list[Diagnostic]:
+    """Check emitted source against the analyzed kernel IR (TC3xx).
+
+    The IR analyses themselves contribute any model-level findings
+    (range overflow, unprovable bounds, sharing violations); on top of
+    those, the emitted allocations must match the IR's table
+    declarations (TC301/TC302), the per-table store-statement counts
+    must match IR liveness (TC303 — an extra store is an injected dead
+    update), and masks the range analysis proved redundant but the
+    source retains are flagged TC305 (warning: legal, just unoptimized).
+    """
+    from repro.ir import analyze_model
+
+    facts = analyze_model(model)
+    out: list[Diagnostic] = [replace(d, path=path) for d in facts.diagnostics]
+
+    def add(
+        line: int, code: str, message: str, severity: Severity = Severity.ERROR
+    ) -> None:
+        out.append(Diagnostic(path, line, 1, code, severity, message))
+
+    # -- allocations against IR table declarations --------------------------
+    actual: dict[str, tuple[int, int, int]] = {}
+    if backend == "python":
+        try:
+            raw = _python_tables(ast.parse(source)) or {}
+        except SyntaxError:
+            return out
+        for name, (typecode, line, nbytes) in raw.items():
+            actual[name] = (_PY_ELEM_BYTES.get(typecode, 0), line, nbytes)
+    else:
+        for match in _C_CALLOC_RE.finditer(source):
+            name, ctype, count = match.group(1), match.group(2), int(match.group(3))
+            elem = _C_ELEM_BYTES[ctype]
+            # The library allocates in both kernels; identically-sized
+            # repeats collapse (inconsistency is the TC1xx layer's job).
+            actual[name] = (elem, _source_line(source, match.start()), elem * count)
+
+    for name, decl in sorted(facts.ir.tables.items()):
+        found = actual.get(name)
+        if found is None:
+            add(
+                1, "TC301",
+                f"the analyzed IR declares table {name} "
+                f"({decl.elements} x {decl.elem_bytes}-byte) but the "
+                f"generated source does not allocate it",
+            )
+            continue
+        elem, line, nbytes = found
+        if elem != decl.elem_bytes:
+            add(
+                line, "TC302",
+                f"table {name} is allocated with {elem}-byte elements; the "
+                f"IR range analysis calls for {decl.elem_bytes} byte(s)",
+            )
+        elif nbytes != decl.total_bytes:
+            add(
+                line, "TC301",
+                f"table {name} is allocated with {nbytes} bytes; the "
+                f"analyzed IR calls for {decl.total_bytes}",
+            )
+
+    # -- per-table store counts against IR liveness --------------------------
+    table_names = set(facts.ir.tables)
+    stores = (
+        _python_table_stores(source, table_names)
+        if backend == "python"
+        else _c_table_stores(source, table_names)
+    )
+    for name, per_record in sorted(facts.update_writes().items()):
+        want = 2 * per_record  # one compress + one decompress kernel
+        got = stores.get(name, 0)
+        if got != want:
+            kind = "dead update injected" if got > want else "update missing"
+            add(
+                1, "TC303",
+                f"table {name} has {got} store statement(s) across both "
+                f"kernels; IR liveness expects {want} ({kind})",
+            )
+
+    # -- masks the range analysis proved redundant (warnings) ----------------
+    for fir in facts.ir.fields:
+        ffacts = facts.fields[fir.index]
+        for name in sorted(ffacts.redundant_chain_store_mask):
+            if backend == "python":
+                pattern = rf"^\s*{re.escape(name)}\[[^\]]*\] = fold_{re.escape(name)} & 0x"
+            else:
+                pattern = (
+                    rf"^\s*{re.escape(name)}\[[^\]]*\] = "
+                    rf"\(u\d+\)\(fold_{re.escape(name)} & 0x"
+                )
+            match = re.search(pattern, source, re.MULTILINE)
+            if match is not None:
+                add(
+                    _source_line(source, match.start()), "TC305",
+                    f"level-1 store into {name} retains a mask the range "
+                    f"analysis proves redundant (fold is already narrower)",
+                    Severity.WARNING,
+                )
+        if ffacts.elide_line_mask:
+            l1 = fir.l1_lines - 1
+            if backend == "python":
+                pattern = rf"^\s*line{fir.index} = \w+ & {l1}$"
+            else:
+                pattern = rf"line{fir.index} = \w+ & {l1}ULL;"
+            match = re.search(pattern, source, re.MULTILINE)
+            if match is not None:
+                add(
+                    _source_line(source, match.start()), "TC305",
+                    f"field {fir.index} line index retains a mask the range "
+                    f"analysis proves redundant (PC is narrower than L1)",
+                    Severity.WARNING,
+                )
+    return out

@@ -1,0 +1,78 @@
+"""SARIF 2.1.0 rendering for ``tcgen-lint`` diagnostics.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+services ingest to annotate pull requests.  One run per invocation, one
+rule per diagnostic code actually reported (with the registry summary as
+the rule description), one result per diagnostic.  Output is
+deterministic — diagnostics and rules are sorted — so CI uploads diff
+cleanly run to run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import __version__
+from repro.lint.diagnostics import CODES, Diagnostic, Severity
+
+#: SARIF ``level`` per diagnostic severity.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_INFO_URI = "https://github.com/tcgen/tcgen/blob/main/docs/LINT.md"
+
+
+def render_sarif(diagnostics: list[Diagnostic]) -> str:
+    """Render diagnostics as a SARIF 2.1.0 document (deterministic)."""
+    ordered = sorted(diagnostics)
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": CODES[code]},
+            "helpUri": f"{_INFO_URI}#{code.lower()}",
+        }
+        for code in sorted({d.code for d in ordered})
+    ]
+    results = [
+        {
+            "ruleId": diag.code,
+            "level": _LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.path},
+                        "region": {
+                            "startLine": max(1, diag.line),
+                            "startColumn": max(1, diag.col),
+                        },
+                    }
+                }
+            ],
+        }
+        for diag in ordered
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "tcgen-lint",
+                        "version": __version__,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 
 from repro.errors import LexError, ParseError
-from repro.lint.diagnostics import Diagnostic, Severity, apply_suppressions
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    apply_suppressions,
+    check_suppressions,
+)
 from repro.spec.ast import DEFAULT_L1, DEFAULT_L2, PredictorKind, TraceSpec
 from repro.spec.tokens import Token
 from repro.spec.validate import (
@@ -106,25 +111,29 @@ def lint_spec_text(text: str, path: str = "<spec>") -> list[Diagnostic]:
 
     Lex and parse failures are reported as ``TC012``/``TC013`` diagnostics
     at the failing position instead of raising.  ``# tcgen: disable=CODE``
-    comments mute diagnostics on their line.
+    comments mute diagnostics on their line; disable comments naming
+    unknown or retired codes are themselves flagged (``TC027``).
     """
     from repro.spec.lexer import tokenize
     from repro.spec.parser import _Parser
 
+    meta = check_suppressions(text, path)
     try:
         tokens = tokenize(text)
     except LexError as exc:
-        return [
-            Diagnostic(path, exc.line, exc.column, "TC012", Severity.ERROR, str(exc))
-        ]
+        return sorted(
+            [Diagnostic(path, exc.line, exc.column, "TC012", Severity.ERROR, str(exc))]
+            + meta
+        )
     spans = _build_span_map(tokens)
     try:
         spec = _Parser(tokens).parse_description()
     except ParseError as exc:
-        return [
-            Diagnostic(path, exc.line, exc.column, "TC013", Severity.ERROR, str(exc))
-        ]
-    diagnostics = _lint_parsed(spec, spans, path)
+        return sorted(
+            [Diagnostic(path, exc.line, exc.column, "TC013", Severity.ERROR, str(exc))]
+            + meta
+        )
+    diagnostics = _lint_parsed(spec, spans, path) + meta
     if spans.header is not None and spec.header_bits == 0:
         diagnostics.append(
             Diagnostic(

@@ -155,6 +155,10 @@ class Supervisor:
         self.reuseport = False
         self._draining = False
         self._done: asyncio.Event | None = None
+        # Strong refs to in-flight restart/shutdown tasks: the loop keeps
+        # only weak ones, so without this set a task could be collected
+        # mid-backoff and its exceptions silently lost (TC204).
+        self._tasks: set[asyncio.Task] = set()
         self._gateway_sock: socket.socket | None = None
         self._http_server: asyncio.base_events.Server | None = None
         self._gateway = None
@@ -249,7 +253,13 @@ class Supervisor:
             else:
                 detail = f"exit status {os.WEXITSTATUS(status)}"
             _log(f"worker {slot.index} died ({detail}); restarting")
-            asyncio.ensure_future(self._restart(slot))
+            self._background(self._restart(slot))
+
+    def _background(self, coro) -> None:
+        """Spawn ``coro`` keeping a strong reference until it finishes."""
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
 
     async def _restart(self, slot: _WorkerSlot) -> None:
         uptime = time.monotonic() - slot.started_at
@@ -328,7 +338,7 @@ class Supervisor:
         loop.add_signal_handler(signal.SIGCHLD, self._on_sigchld)
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(
-                sig, lambda: asyncio.ensure_future(self._shutdown())
+                sig, lambda: self._background(self._shutdown())
             )
         if self.config.http_enabled:
             await self._start_gateway()

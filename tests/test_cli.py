@@ -400,3 +400,78 @@ class TestTcgenLint:
 
         assert lint_main([str(tmp_path / "nope.tc")]) == 1
         capsys.readouterr()
+
+
+class TestTcgenLintCost:
+    """``tcgen-lint --cost``: the IR static cost model."""
+
+    def test_preset_names_resolve(self, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main(["--cost", "tcgen-a", "tcgen-b"]) == 0
+        out = capsys.readouterr().out
+        assert "tcgen-a: static per-record op counts" in out
+        assert "tcgen-b: static per-record op counts" in out
+        assert "reads" in out and "total" in out
+
+    def test_spec_file(self, spec_file, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main(["--cost", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "static per-record op counts" in out
+        assert "field 1" in out
+
+    def test_state_bytes_reported(self, capsys):
+        from repro.model import build_model
+        from repro.spec import parse_spec, tcgen_a
+
+        from repro.cli import lint_main
+
+        lint_main(["--cost", "tcgen-a"])
+        out = capsys.readouterr().out
+        model = build_model(tcgen_a())
+        assert f"state: {model.table_bytes()} bytes" in out
+
+    def test_missing_file_is_tool_failure(self, tmp_path, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main(["--cost", str(tmp_path / "nope.tc")]) == 1
+        capsys.readouterr()
+
+    def test_invalid_spec_is_spec_failure(self, tmp_path, capsys):
+        from repro.cli import EXIT_SPEC, lint_main
+
+        bad = tmp_path / "bad.tc"
+        bad.write_text("not a spec\n")
+        assert lint_main(["--cost", str(bad)]) == EXIT_SPEC
+        capsys.readouterr()
+
+
+class TestTcgenLintSarif:
+    """``tcgen-lint --sarif``: code-scanning output."""
+
+    def test_sarif_document_on_stdout(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import EXIT_SPEC, lint_main
+
+        bad = tmp_path / "bad.tc"
+        bad.write_text(
+            "TCgen Trace Specification;\n"
+            "32-Bit Field 1 = {L1 = 3: LV[1]};\nPC = Field 1;\n"
+        )
+        assert lint_main(["--sarif", str(bad)]) == EXIT_SPEC
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "TC005" for r in results)
+
+    def test_clean_spec_yields_empty_run(self, spec_file, capsys):
+        import json
+
+        from repro.cli import lint_main
+
+        assert lint_main(["--sarif", spec_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []

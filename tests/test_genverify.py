@@ -173,3 +173,101 @@ class TestCatchesBrokenC:
         )
         codes = [d.code for d in verify_generated(model, broken, backend="c")]
         assert "TC106" in codes
+
+
+class TestIRFoundedVerification:
+    """TC3xx: the verifier re-checks emitted source against IR facts."""
+
+    def test_halved_python_table_is_tc301(self):
+        model = model_for("A")
+        source = generate_python(model)
+        match = re.search(r"_l2 = array\(\"\w\", bytes\((\d+) \* (\d+)\)\)", source)
+        assert match is not None
+        broken = (
+            source[: match.start(2)]
+            + str(int(match.group(2)) // 2)
+            + source[match.end(2):]
+        )
+        codes = {d.code for d in verify_generated(model, broken, backend="python")}
+        assert "TC301" in codes
+
+    def test_injected_dead_python_update_is_tc303(self):
+        # Duplicate a chain store inside the compress kernel: the store
+        # count then contradicts the IR's liveness-derived write count.
+        model = model_for("A")
+        source = generate_python(model)
+        line = next(
+            l for l in source.splitlines()
+            if re.match(r"\s*field1_fcm_chain\[0\] = ", l)
+        )
+        broken = source.replace(line, line + "\n" + line, 1)
+        diags = verify_generated(model, broken, backend="python")
+        tc303 = [d for d in diags if d.code == "TC303"]
+        assert tc303
+        assert "dead update injected" in tc303[0].message
+
+    def test_removed_python_update_is_tc303(self):
+        model = model_for("A")
+        source = generate_python(model)
+        line = next(
+            l for l in source.splitlines()
+            if re.match(r"\s*field2_lastvalue\[", l) and " = " in l
+        )
+        broken = source.replace(line + "\n", "", 1)
+        diags = verify_generated(model, broken, backend="python")
+        assert any(d.code == "TC303" for d in diags)
+
+    def test_widened_python_element_is_tc302(self):
+        model = model_for("A")
+        source = generate_python(model)
+        broken = source.replace('_l2 = array("I", bytes(4 * ', '_l2 = array("Q", bytes(8 * ', 1)
+        codes = {d.code for d in verify_generated(model, broken, backend="python")}
+        assert "TC302" in codes
+
+    def test_halved_c_table_is_tc301(self):
+        model = model_for("A")
+        source = generate_c(model)
+        match = re.search(r"_l2 = \(u\d+ \*\)calloc\((\d+), ", source)
+        assert match is not None
+        broken = (
+            source[: match.start(1)]
+            + str(int(match.group(1)) // 2)
+            + source[match.end(1):]
+        )
+        codes = {d.code for d in verify_generated(model, broken, backend="c")}
+        assert "TC301" in codes
+
+    def test_injected_dead_c_update_is_tc303(self):
+        model = model_for("A")
+        source = generate_c(model)
+        line = next(
+            l for l in source.splitlines()
+            if re.match(r"\s*field1_fcm_chain\[0\] = ", l)
+        )
+        broken = source.replace(line, line + "\n" + line, 1)
+        diags = verify_generated(model, broken, backend="c")
+        assert any(d.code == "TC303" for d in diags)
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_unelided_masks_are_tc305_warnings(self, preset):
+        # The pre-IR baseline retains masks the analysis proves
+        # redundant: reported as warnings, never as errors.
+        from repro.lint.diagnostics import Severity
+
+        model = model_for(preset)
+        source = generate_python(model, ir_facts=False)
+        diags = verify_generated(model, source, backend="python")
+        assert diags
+        assert all(d.code == "TC305" for d in diags)
+        assert all(d.severity is Severity.WARNING for d in diags)
+        # Warnings do not fail assert_verified.
+        assert_verified(model, source, backend="python")
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_elided_output_verifies_clean(self, preset):
+        model = model_for(preset)
+        for backend, source in (
+            ("python", generate_python(model)),
+            ("c", generate_c(model)),
+        ):
+            assert verify_generated(model, source, backend=backend) == []

@@ -1,0 +1,231 @@
+"""Tests for the kernel IR (``repro.ir``): lowering, analysis, cost.
+
+The IR is the foundation the TC3xx verification layer stands on, so the
+tests here prove three things: (1) lowering is faithful — the IR's state
+accounting agrees with the plan's; (2) the dataflow analyses prove the
+invariants the backends rely on (bounds, liveness, redundant masks) on
+every shipped preset; (3) deliberately tampered IR is *caught* — the
+analyses carry the burden of proof, not the generator's good behaviour.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.ir import (
+    ValueRange,
+    analyze_ir,
+    analyze_model,
+    cost_model,
+    lower_model,
+    render_cost,
+    render_ir,
+)
+from repro.codegen.plan import plan_field
+from repro.model import OptimizationOptions, build_model
+from repro.spec import parse_spec
+from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
+
+PRESETS = {"A": TCGEN_A_SPEC, "B": TCGEN_B_SPEC}
+
+ABLATIONS = {
+    "full": OptimizationOptions.full(),
+    "none": OptimizationOptions.none(),
+    "no-shared": OptimizationOptions.full().without("shared_tables"),
+    "no-fast-hash": OptimizationOptions.full().without("fast_hash"),
+    "no-type-min": OptimizationOptions.full().without("type_minimization"),
+}
+
+
+def model_for(preset, options=None):
+    return build_model(
+        parse_spec(PRESETS[preset]), options or OptimizationOptions.full()
+    )
+
+
+def planned_bytes(model):
+    """Ground-truth state footprint: what the generators actually emit.
+
+    (``model.table_bytes()`` is the layout-level estimate and assumes
+    fast-hash chain widths, so it diverges from the plan when
+    ``fast_hash`` is off — the plan is what the code allocates.)
+    """
+    return sum(
+        plan_field(layout, model.options).table_bytes()
+        for layout in model.fields
+    )
+
+
+class TestValueRange:
+    def test_of_width_and_const(self):
+        assert ValueRange.of_width(8) == ValueRange(0, 255)
+        assert ValueRange.const(7) == ValueRange(7, 7)
+
+    def test_join_is_hull(self):
+        assert ValueRange(0, 3).join(ValueRange(10, 20)) == ValueRange(0, 20)
+
+    def test_masked_clips_to_mask(self):
+        assert ValueRange(0, 1 << 40).masked(0xFF) == ValueRange(0, 0xFF)
+
+    def test_within_mask_identity(self):
+        assert ValueRange(0, 0xFF).within(0xFF)
+        assert not ValueRange(0, 0x100).within(0xFF)
+
+    def test_bits(self):
+        assert ValueRange(0, 255).bits == 8
+        assert ValueRange(0, 256).bits == 9
+        assert ValueRange(0, 0).bits == 1
+
+
+class TestLowering:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("ablation", sorted(ABLATIONS))
+    def test_state_accounting_matches_plan(self, preset, ablation):
+        model = model_for(preset, ABLATIONS[ablation])
+        ir = lower_model(model)
+        assert ir.table_bytes() == planned_bytes(model)
+        assert ir.fingerprint == model.fingerprint()
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_every_plan_table_declared(self, preset):
+        model = model_for(preset)
+        ir = lower_model(model)
+        planned = {}
+        for layout in model.fields:
+            plan = plan_field(layout, model.options)
+            for t in plan.lasts:
+                planned[t.name] = t.lines * t.depth * t.elem_bytes
+            for t in plan.chains:
+                planned[t.name] = t.lines * t.span * t.elem_bytes
+            for t in plan.l2s:
+                planned[t.name] = t.lines * t.depth * t.elem_bytes
+        assert set(ir.tables) == set(planned)
+        for name, decl in ir.tables.items():
+            assert decl.total_bytes == planned[name]
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_fields_in_processing_order_pc_first(self, preset):
+        model = model_for(preset)
+        ir = lower_model(model)
+        assert ir.fields[0].is_pc
+
+    def test_render_ir_mentions_every_table(self):
+        ir = lower_model(model_for("A"))
+        text = render_ir(ir)
+        for name in ir.tables:
+            assert name in text
+
+
+class TestAnalysisOnPresets:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    @pytest.mark.parametrize("ablation", sorted(ABLATIONS))
+    def test_presets_prove_clean(self, preset, ablation):
+        facts = analyze_model(model_for(preset, ABLATIONS[ablation]))
+        assert facts.diagnostics == []
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_bounds_proven_for_every_table(self, preset):
+        # The analysis records read slots only for indices it proved in
+        # range; a clean diagnostic list plus non-empty read slots on
+        # every live table is the bounds proof.
+        facts = analyze_model(model_for(preset))
+        assert facts.diagnostics == []
+        for tf in facts.tables.values():
+            assert not tf.dead
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_chain_store_masks_proven_redundant(self, preset):
+        # The level-1 chain store masks with order_mask(1), but the fold
+        # range already fits (fold_bits <= k1): provable for every chain.
+        facts = analyze_model(model_for(preset))
+        chains = [n for n in facts.ir.tables if n.endswith("_chain")]
+        assert chains
+        proved = set()
+        for ff in facts.fields.values():
+            proved |= ff.redundant_chain_store_mask
+        assert proved == set(chains)
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_update_writes_cover_live_tables(self, preset):
+        facts = analyze_model(model_for(preset))
+        writes = facts.update_writes()
+        assert set(writes) == set(facts.ir.tables)
+        assert all(count >= 1 for count in writes.values())
+
+    def test_analyze_model_is_cached(self):
+        model = model_for("A")
+        assert analyze_model(model) is analyze_model(model)
+
+    def test_cache_distinguishes_options(self):
+        a = analyze_model(model_for("A"))
+        b = analyze_model(model_for("A", OptimizationOptions.none()))
+        assert a is not b
+
+
+class TestTamperedIR:
+    """Each tamper class must be caught by dataflow, not pattern match."""
+
+    def _tamper(self, mutate):
+        model = model_for("A")
+        ir = lower_model(model)
+        name = next(
+            n for n, d in ir.tables.items() if d.role.value == "l2"
+        )
+        ir.tables[name] = mutate(ir.tables[name])
+        return analyze_ir(ir, type_minimization=True)
+
+    def test_halved_l2_breaks_bounds_and_sharing(self):
+        facts = self._tamper(lambda d: replace(d, lines=d.lines // 2))
+        codes = {d.code for d in facts.diagnostics}
+        assert "TC304" in codes
+        assert "TC306" in codes
+
+    def test_widened_element_is_tc302(self):
+        facts = self._tamper(lambda d: replace(d, elem_bytes=8))
+        codes = {d.code for d in facts.diagnostics}
+        assert "TC302" in codes
+
+    def test_narrowed_element_is_tc302(self):
+        facts = self._tamper(lambda d: replace(d, elem_bytes=1))
+        codes = {d.code for d in facts.diagnostics}
+        assert "TC302" in codes
+
+    def test_doubled_l2_breaks_sharing_rule(self):
+        facts = self._tamper(lambda d: replace(d, lines=d.lines * 2))
+        assert "TC306" in {d.code for d in facts.diagnostics}
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_table_bytes_agree_with_plan(self, preset):
+        model = model_for(preset)
+        report = cost_model(analyze_model(model))
+        assert report.table_bytes == planned_bytes(model)
+        assert report.table_bytes == model.table_bytes()
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_counts_are_positive_and_additive(self, preset):
+        report = cost_model(analyze_model(model_for(preset)))
+        assert report.totals.total > 0
+        assert report.totals.total == sum(
+            f.counts.total for f in report.fields
+        )
+
+    def test_elision_reduces_cost(self):
+        # Disabling the facts is not possible at the cost layer (costs are
+        # post-elision by construction), but type minimization off must
+        # not change op counts — only table bytes.
+        full = cost_model(analyze_model(model_for("A")))
+        fat = cost_model(
+            analyze_model(model_for("A", ABLATIONS["no-type-min"]))
+        )
+        assert full.totals.total == fat.totals.total
+        assert full.table_bytes < fat.table_bytes
+
+    def test_render_cost_is_a_table(self):
+        report = cost_model(analyze_model(model_for("A")))
+        text = render_cost(report, "tcgen-a")
+        assert "tcgen-a" in text
+        assert "reads" in text and "total" in text
+        for field in report.fields:
+            assert f"field {field.index}" in text

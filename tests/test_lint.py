@@ -370,3 +370,133 @@ class TestAsyncCheck:
 
         src = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
         assert check_paths([src]) == []
+
+    def test_tc204_discarded_ensure_future(self):
+        diags = check_source(
+            "import asyncio\n"
+            "def on_exit(self):\n"
+            "    asyncio.ensure_future(self.shutdown())\n"
+        )
+        assert codes_of(diags) == ["TC204"]
+
+    def test_tc204_discarded_create_task_in_lambda(self):
+        diags = check_source(
+            "import asyncio\n"
+            "def install(loop, self):\n"
+            "    loop.add_signal_handler(2, lambda: asyncio.create_task(self.stop()))\n"
+        )
+        assert codes_of(diags) == ["TC204"]
+
+    def test_kept_task_handle_is_fine(self):
+        diags = check_source(
+            "import asyncio\n"
+            "def spawn(self, coro):\n"
+            "    task = asyncio.ensure_future(coro)\n"
+            "    self._tasks.add(task)\n"
+            "    task.add_done_callback(self._tasks.discard)\n"
+        )
+        assert diags == []
+
+    def test_tc201_fcntl_lock_in_async(self):
+        diags = check_source(
+            "import fcntl\n"
+            "async def grab(handle):\n"
+            "    fcntl.lockf(handle, 2)\n"
+        )
+        assert codes_of(diags) == ["TC201"]
+
+
+# ---------------------------------------------------------------------------
+# Suppression meta-diagnostic (TC027)
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionMetaDiagnostic:
+    CLEAN = (
+        "32-Bit Field 1 = {{L2 = 1024: FCM3[2], FCM1[2]}};{marker}\n"
+        "PC = Field 1;\n"
+    )
+
+    def _lint_with_marker(self, marker):
+        return lint_spec_text(PREAMBLE + self.CLEAN.format(marker=marker))
+
+    def test_unknown_code_is_tc027(self):
+        diags = self._lint_with_marker("  # tcgen: disable=TC999")
+        assert codes_of(diags) == ["TC027"]
+        assert "TC999" in diags[0].message
+        assert "suppresses nothing" in diags[0].message
+
+    def test_retired_code_names_replacement(self):
+        diags = self._lint_with_marker("  # tcgen: disable=TC101")
+        assert codes_of(diags) == ["TC027"]
+        assert "TC301" in diags[0].message
+
+    def test_valid_code_and_disable_all_are_silent(self):
+        assert self._lint_with_marker("  # tcgen: disable=TC020") == []
+        assert self._lint_with_marker("  # tcgen: disable=all") == []
+
+    def test_tc027_reported_even_when_spec_fails_to_parse(self):
+        diags = lint_spec_text(
+            "# tcgen: disable=TC998\nnot a spec\n", path="bad.tc"
+        )
+        assert "TC027" in codes_of(diags)
+
+    def test_tc027_is_warning(self):
+        diags = self._lint_with_marker("  # tcgen: disable=TC999")
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+
+# ---------------------------------------------------------------------------
+# SARIF rendering
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def _diags(self):
+        return [
+            Diagnostic("a.tc", 3, 7, "TC005", Severity.ERROR, "bad size"),
+            Diagnostic("a.tc", 1, 1, "TC025", Severity.WARNING, "default"),
+        ]
+
+    def test_document_shape(self):
+        from repro.lint.sarif import render_sarif
+
+        doc = json.loads(render_sarif(self._diags()))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "tcgen-lint"
+        assert len(run["results"]) == 2
+
+    def test_rules_and_levels(self):
+        from repro.lint.sarif import render_sarif
+
+        doc = json.loads(render_sarif(self._diags()))
+        (run,) = doc["runs"]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules == {"TC005", "TC025"}
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels == {"TC005": "error", "TC025": "warning"}
+
+    def test_locations_are_one_based(self):
+        from repro.lint.sarif import render_sarif
+
+        diag = Diagnostic("x.tc", 0, 0, "TC012", Severity.ERROR, "m")
+        doc = json.loads(render_sarif([diag]))
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region == {"startLine": 1, "startColumn": 1}
+
+    def test_deterministic(self):
+        from repro.lint.sarif import render_sarif
+
+        diags = self._diags()
+        assert render_sarif(diags) == render_sarif(list(reversed(diags)))
+
+    def test_empty_is_valid(self):
+        from repro.lint.sarif import render_sarif
+
+        doc = json.loads(render_sarif([]))
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []

@@ -169,3 +169,56 @@ class TestBaselineProperties:
             assert compressor.decompress(compressor.compress(raw)) == raw, (
                 compressor.name
             )
+
+
+class TestIRProperties:
+    """The IR pipeline holds for *every* valid spec, not just presets."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace_specs(), option_variants)
+    def test_lint_clean_specs_survive_the_whole_pipeline(self, spec, options):
+        from repro.codegen import generate_c, generate_python
+        from repro.codegen.plan import plan_field
+        from repro.ir import analyze_ir, cost_model, lower_model
+        from repro.lint import has_errors, lint_spec_text
+
+        # Valid specs never lint as errors (warnings are fine).
+        assert not has_errors(lint_spec_text(format_spec(spec)))
+
+        model = build_model(spec, options)
+        ir = lower_model(model)
+        facts = analyze_ir(ir, model.options.type_minimization)
+
+        # The analyses prove every planner invariant on arbitrary specs:
+        # bounds, sharing, widths — an error here means the planner and
+        # the dataflow disagree about the code we are about to emit.
+        # (Warnings are allowed: the planner deliberately over-widens
+        # chain elements for narrow fields, which is advisory TC302.)
+        assert not has_errors(facts.diagnostics)
+
+        # The cost model's state accounting is exactly the plan's.
+        report = cost_model(facts)
+        assert report.table_bytes == sum(
+            plan_field(layout, model.options).table_bytes()
+            for layout in model.fields
+        )
+        assert report.totals.total > 0
+
+        # And both backends still generate from the same facts.
+        assert "def compress" in generate_python(model)
+        assert "int main(" in generate_c(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace_specs())
+    def test_elision_facts_are_sound_claims(self, spec):
+        from repro.ir import analyze_model
+
+        facts = analyze_model(build_model(spec, OptimizationOptions.full()))
+        for field_facts in facts.fields.values():
+            # A chain store mask may only be declared redundant for a
+            # chain the field actually owns.
+            for name in field_facts.redundant_chain_store_mask:
+                assert name in facts.ir.tables
+            for name, depth in field_facts.live_depth.items():
+                decl = facts.ir.tables[name]
+                assert 1 <= depth <= decl.span
