@@ -52,18 +52,23 @@ def test_generated_code_beats_generic_engine(benchmark, representative_trace):
 def _check_generated_vs_engine(representative_trace):
     """The codegen speed story: specialized generated code decompresses
     far faster than the generic interpreted engine running the same
-    specification (the analog of TCgen's edge over a naive tool)."""
+    specification (the analog of TCgen's edge over a naive tool).
+
+    Both sides are pinned to the Python substrate: under ``auto`` they
+    resolve to the *same* compiled kernel and the comparison collapses
+    to FFI timing noise — the claim under test is about code
+    specialization, not about the native backend."""
     import time
 
     from repro import generate_compressor, tcgen_a
     from repro.runtime import TraceEngine
 
     module = generate_compressor(tcgen_a())
-    engine = TraceEngine(tcgen_a())
+    engine = TraceEngine(tcgen_a(), backend="python")
     blob = module.compress(representative_trace)
 
     start = time.perf_counter()
-    module.decompress(blob)
+    module.decompress(blob, backend="python")
     generated = time.perf_counter() - start
     start = time.perf_counter()
     engine.decompress(blob)

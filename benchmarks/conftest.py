@@ -36,10 +36,18 @@ def suite_names() -> list[str]:
 
 
 def report(name: str, text: str) -> None:
-    """Register a rendered result table for the terminal summary."""
-    _reports.append((name, text))
+    """Register a rendered result table for the terminal summary.
+
+    Every committed results file leads with the host/backend provenance
+    header, so numbers from different machines or backend generations
+    are never compared blind.
+    """
+    from harness import host_provenance
+
+    stamped = host_provenance() + "\n\n" + text
+    _reports.append((name, stamped))
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(stamped + "\n")
 
 
 def pytest_terminal_summary(terminalreporter):

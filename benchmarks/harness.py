@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import platform
+
 from repro.baselines import all_compressors
 from repro.metrics import Measurement, ResultTable, measure
 
@@ -13,6 +16,42 @@ KIND_LABELS = {
 }
 
 _comparison_cache: dict[int, ResultTable] = {}
+
+_provenance_cache: list[str] = []
+
+
+def cpu_model() -> str:
+    """Best-effort CPU model string (``/proc/cpuinfo``, then platform)."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def host_provenance() -> str:
+    """Header lines stamped into every committed results file.
+
+    Throughput numbers are meaningless without the hardware and the
+    kernel backend that produced them; stamping both makes committed
+    results comparable across machines and backend generations.  The
+    backend line records what ``backend="auto"`` resolves to on this
+    host for the preset-A model (the default every bench inherits).
+    """
+    if not _provenance_cache:
+        from repro.runtime.engine import TraceEngine
+        from repro.spec import tcgen_a
+
+        engine = TraceEngine(tcgen_a())
+        _provenance_cache.append(
+            f"# host: {os.cpu_count()} cpu(s), {cpu_model()}\n"
+            f"# python {platform.python_version()}; "
+            f"backend auto -> {engine.backend}"
+        )
+    return _provenance_cache[0]
 
 
 def full_comparison(trace_suite) -> ResultTable:

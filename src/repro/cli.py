@@ -218,9 +218,10 @@ def bench_main(argv: list[str] | None = None) -> int:
         "('auto' = ~1 MB raw per chunk; default: flat v1 container)",
     )
     parser.add_argument(
-        "--backend", choices=("auto", "python", "native"), default="auto",
+        "--backend", choices=("auto", "python", "numpy", "native"), default="auto",
         help="kernel-stage backend for the TCgen entry: auto tries the "
-        "in-process compiled native kernels and falls back to python "
+        "in-process compiled native kernels, then the numpy columnar "
+        "kernels when the spec vectorizes well, then python "
         "(output bytes are identical either way)",
     )
     args = parser.parse_args(argv)
@@ -377,7 +378,7 @@ def lint_main(argv: list[str] | None = None) -> int:
         return run_selfcheck(root=args.root, strict=args.strict)
 
     if args.cost:
-        from repro.ir import analyze_model, cost_model, render_cost
+        from repro.ir import analyze_model, analyze_vectors, cost_model, render_cost
         from repro.model import build_model
         from repro.spec import parse_spec
         from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
@@ -399,7 +400,12 @@ def lint_main(argv: list[str] | None = None) -> int:
         try:
             for title, text in sources:
                 model = build_model(parse_spec(text))
-                print(render_cost(cost_model(analyze_model(model)), title))
+                facts = analyze_model(model)
+                print(
+                    render_cost(
+                        cost_model(facts), title, vectors=analyze_vectors(facts)
+                    )
+                )
         except ReproError as exc:
             return _fail("tcgen-lint", exc)
         return 0

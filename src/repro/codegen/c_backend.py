@@ -978,7 +978,7 @@ def generate_c_library(model: CompressorModel, ir_facts: bool = True) -> str:
     w.line("typedef unsigned int u32;")
     w.line("typedef unsigned long long u64;")
     w.line()
-    w.line("static const u32 abi_version = 1;")
+    w.line("static const u32 abi_version = 2;")
     w.line(f"static const u64 fingerprint = {_hex64(spec.fingerprint())};")
     w.line(f"static const u64 header_bytes = {spec.header_bytes};")
     w.line(f"static const u64 record_bytes = {spec.record_bytes};")
@@ -1545,6 +1545,152 @@ def _emit_lib_exports(w: CodeWriter) -> None:
         "u8 **out, size_t *out_length) {"
     ):
         w.line("return tcgen_chunk_decompress(bundle, length, out, out_length);")
+    w.line("}")
+    w.line()
+    w.line("/* Batched entry points (ABI 2): N chunks per call, one GIL")
+    w.line(" * release and one FFI crossing for the whole batch.  Input and")
+    w.line(" * output share the frame: varint chunk_count, then per chunk a")
+    w.line(" * varint byte length (record_count for compress input) followed")
+    w.line(" * by that chunk's payload. */")
+    w.line()
+    with w.block(
+        "int tcgen_batch_compress(const u8 *batch, size_t length, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("size_t pos = 0;")
+        w.line("u64 chunk_count;")
+        w.line("u64 i;")
+        w.line("buffer acc;")
+        w.line("if (out == NULL || out_length == NULL) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = NULL;")
+        w.line("*out_length = 0;")
+        w.line("if (batch == NULL && length != 0) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if (read_varint_checked(batch, length, &pos, &chunk_count)) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("buffer_init(&acc);")
+        w.line("buffer_write_varint(&acc, chunk_count);")
+        w.line("for (i = 0; i < chunk_count; i++) {")
+        w.indent()
+        w.line("u64 record_count;")
+        w.line("u8 *piece = NULL;")
+        w.line("size_t piece_length = 0;")
+        w.line("int status;")
+        w.line("if (read_varint_checked(batch, length, &pos, &record_count)) {")
+        w.indent()
+        w.line("free(acc.data);")
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if (record_count > (u64)((length - pos) / record_bytes)) {")
+        w.indent()
+        w.line("free(acc.data);")
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("status = kernel_compress(batch + pos, record_count, &piece, &piece_length);")
+        w.line("if (status != 0) {")
+        w.indent()
+        w.line("free(acc.data);")
+        w.line("return status;")
+        w.dedent()
+        w.line("}")
+        w.line("pos += (size_t)(record_count * record_bytes);")
+        w.line("buffer_write_varint(&acc, (u64)piece_length);")
+        w.line("buffer_append(&acc, piece, piece_length);")
+        w.line("free(piece);")
+        w.dedent()
+        w.line("}")
+        w.line("if (pos != length || acc.failed) {")
+        w.indent()
+        w.line("int failed = acc.failed;")
+        w.line("free(acc.data);")
+        w.line("return failed ? 2 : 1;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = acc.data;")
+        w.line("*out_length = acc.length;")
+        w.line("return 0;")
+    w.line("}")
+    w.line()
+    with w.block(
+        "int tcgen_batch_decompress(const u8 *batch, size_t length, "
+        "u8 **out, size_t *out_length) {"
+    ):
+        w.line("size_t pos = 0;")
+        w.line("u64 chunk_count;")
+        w.line("u64 i;")
+        w.line("buffer acc;")
+        w.line("if (out == NULL || out_length == NULL) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = NULL;")
+        w.line("*out_length = 0;")
+        w.line("if (batch == NULL && length != 0) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if (read_varint_checked(batch, length, &pos, &chunk_count)) {")
+        w.indent()
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("buffer_init(&acc);")
+        w.line("buffer_write_varint(&acc, chunk_count);")
+        w.line("for (i = 0; i < chunk_count; i++) {")
+        w.indent()
+        w.line("u64 bundle_length;")
+        w.line("u8 *piece = NULL;")
+        w.line("size_t piece_length = 0;")
+        w.line("int status;")
+        w.line("if (read_varint_checked(batch, length, &pos, &bundle_length)) {")
+        w.indent()
+        w.line("free(acc.data);")
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("if (bundle_length > (u64)(length - pos)) {")
+        w.indent()
+        w.line("free(acc.data);")
+        w.line("return 1;")
+        w.dedent()
+        w.line("}")
+        w.line("status = kernel_decompress(batch + pos, (size_t)bundle_length, &piece, &piece_length);")
+        w.line("if (status != 0) {")
+        w.indent()
+        w.line("free(acc.data);")
+        w.line("return status;")
+        w.dedent()
+        w.line("}")
+        w.line("pos += (size_t)bundle_length;")
+        w.line("buffer_write_varint(&acc, (u64)piece_length);")
+        w.line("buffer_append(&acc, piece, piece_length);")
+        w.line("free(piece);")
+        w.dedent()
+        w.line("}")
+        w.line("if (pos != length || acc.failed) {")
+        w.indent()
+        w.line("int failed = acc.failed;")
+        w.line("free(acc.data);")
+        w.line("return failed ? 2 : 1;")
+        w.dedent()
+        w.line("}")
+        w.line("*out = acc.data;")
+        w.line("*out_length = acc.length;")
+        w.line("return 0;")
     w.line("}")
 
 

@@ -55,7 +55,9 @@ except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
 #: Version of the C ABI this loader speaks; bumped with the emitter.
-ABI_VERSION = 1
+#: ABI 2 added the batched entry points (``tcgen_batch_compress`` /
+#: ``tcgen_batch_decompress``): N chunks per FFI crossing.
+ABI_VERSION = 2
 
 #: Default size cap for the on-disk artifact cache (LRU-pruned).
 DEFAULT_CACHE_MAX_BYTES = 256 * 1024 * 1024
@@ -376,6 +378,8 @@ class NativeKernel:
             "tcgen_chunk_compress",
             "tcgen_decompress",
             "tcgen_chunk_decompress",
+            "tcgen_batch_compress",
+            "tcgen_batch_decompress",
         ):
             fn = getattr(lib, name)
             fn.argtypes = [
@@ -427,6 +431,47 @@ class NativeKernel:
             ) from None
         count = (len(raw) - self.header_bytes) // self.record_bytes
         return self._parse_bundle(bundle, count)
+
+    def compress_batch(
+        self, slices: list[bytes]
+    ) -> list[tuple[list[bytes], list[list[int]]]]:
+        """Kernel-compress N record slices in one FFI crossing.
+
+        Equivalent to ``[compress_chunk(s) for s in slices]`` — the
+        chunks still run with fresh per-chunk state inside the library —
+        but pays the ctypes call overhead and GIL release once per batch
+        instead of once per chunk.
+        """
+        payload = bytearray()
+        _write_varint(payload, len(slices))
+        counts = []
+        for records in slices:
+            if len(records) % self.record_bytes:
+                raise TraceFormatError(
+                    f"record slice of {len(records)} bytes does not frame "
+                    f"into {self.record_bytes}-byte records"
+                )
+            count = len(records) // self.record_bytes
+            counts.append(count)
+            _write_varint(payload, count)
+            payload += records
+        try:
+            blob = self._call(self._lib.tcgen_batch_compress, bytes(payload))
+        except _StatusError as exc:
+            raise TraceFormatError(
+                f"native kernel rejected the record batch (status {exc.status})"
+            ) from None
+        returned, pos = _read_varint(blob, 0)
+        if returned != len(slices):
+            raise CompressedFormatError(
+                f"native batch returned {returned} chunks, expected {len(slices)}"
+            )
+        results = []
+        for count in counts:
+            piece_length, pos = _read_varint(blob, pos)
+            results.append(self._parse_bundle(blob[pos : pos + piece_length], count))
+            pos += piece_length
+        return results
 
     def _parse_bundle(
         self, bundle: bytes, expected_count: int
@@ -487,6 +532,55 @@ class NativeKernel:
                 f"native kernel returned {len(out)} bytes for {count} records"
             )
         return out
+
+    def decompress_batch(
+        self, items: list[tuple[int, list[bytes], list[bytes]]]
+    ) -> list[bytes]:
+        """Decode N chunks in one FFI crossing.
+
+        ``items`` are ``(record_count, codes, values)`` triples exactly as
+        :meth:`decompress_chunk` takes them; returns the per-chunk record
+        bytes in order.
+        """
+        payload = bytearray()
+        _write_varint(payload, len(items))
+        for count, codes, values in items:
+            bundle = bytearray()
+            _write_varint(bundle, count)
+            for code_stream, value_stream in zip(codes, values):
+                _write_varint(bundle, len(code_stream))
+                _write_varint(bundle, len(value_stream))
+            for code_stream, value_stream in zip(codes, values):
+                bundle += code_stream
+                bundle += value_stream
+            _write_varint(payload, len(bundle))
+            payload += bundle
+        try:
+            blob = self._call(self._lib.tcgen_batch_decompress, bytes(payload))
+        except _StatusError as exc:
+            if exc.status == 3:
+                raise CompressedFormatError(
+                    "native kernel: value stream exhausted or code out of range"
+                ) from None
+            raise CompressedFormatError(
+                f"native kernel rejected the batch bundle (status {exc.status})"
+            ) from None
+        returned, pos = _read_varint(blob, 0)
+        if returned != len(items):
+            raise CompressedFormatError(
+                f"native batch returned {returned} chunks, expected {len(items)}"
+            )
+        pieces = []
+        for count, _, _ in items:
+            piece_length, pos = _read_varint(blob, pos)
+            piece = blob[pos : pos + piece_length]
+            pos += piece_length
+            if len(piece) != count * self.record_bytes:
+                raise CompressedFormatError(
+                    f"native kernel returned {len(piece)} bytes for {count} records"
+                )
+            pieces.append(piece)
+        return pieces
 
 
 class _StatusError(Exception):

@@ -1,0 +1,414 @@
+"""The NumPy columnar backend: chunk-at-a-time vectorized kernels.
+
+Third codegen target next to the generated Python loop and the compiled
+C library.  A :class:`NumpyKernel` consumes the lowered IR facts
+(:mod:`repro.ir.vector`) for one resolved model and evaluates the
+per-record kernel as whole-column array operations wherever the IR
+proves there is no loop-carried table dependence:
+
+- records are unpacked with one ``np.frombuffer`` over a structured
+  dtype — per-field columns, no per-record Python;
+- fields whose predictors are all pure last-value with a constant L1
+  line compress via a *push mask* (SMART) or all-ones mask (ALWAYS),
+  an exclusive cumulative sum, and gathers over the pushed-value
+  sequence — slot ``k`` before record ``i`` is ``P[cum[i]-1-k]`` (or 0
+  on underflow, matching the zero-initialized tables);
+- the same fields decompress by resolving hit codes as a pointer forest
+  (``parent[i] = i-1-slot``) with pointer doubling, valid for ALWAYS at
+  any depth and for SMART at depth 1 (the guard-free ``plain_store``
+  case the liveness analysis proves);
+- every other field — (D)FCM hash chains, per-record line indices,
+  SMART depth > 1 on the decode side — runs a tight per-field scalar
+  loop over its column using the reference :class:`FieldKernel`.
+
+The kernel exposes exactly the :class:`repro.codegen.native.NativeKernel`
+interface (``compress_chunk`` / ``compress_trace`` / ``decompress_chunk``),
+so the engine, streaming reader, query executor, and generated modules
+drive it through their existing kernel branches.  Output is byte-identical
+to the pure-Python backend by construction: per-field processing with
+per-field state is a reordering of the record-major loop, and the
+vectorized paths are closed forms of the same table recurrences.
+
+``TCGEN_NUMPY=0`` disables the backend; failures raise
+:class:`~repro.errors.NumpyBackendError`, which ``backend="auto"``
+dispatch turns into a logged Python fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from repro.errors import CompressedFormatError, NumpyBackendError, TraceFormatError
+from repro.ir.analysis import analyze_model
+from repro.ir.vector import analyze_vectors
+from repro.model.layout import CompressorModel, FieldLayout
+from repro.runtime.kernel import FieldKernel
+
+_CODE_DTYPE = {1: "<u1", 2: "<u2", 4: "<u4"}
+_VALUE_DTYPE = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+_kernels: dict[tuple, "NumpyKernel"] = {}
+_kernels_lock = threading.Lock()
+
+
+def numpy_enabled() -> bool:
+    """False when the ``TCGEN_NUMPY=0`` escape hatch is set."""
+    return os.environ.get("TCGEN_NUMPY", "1") != "0"
+
+
+class _FieldPlan:
+    """Precomputed per-field facts the chunk kernels consume."""
+
+    __slots__ = (
+        "layout", "index", "is_pc", "code_bytes", "value_bytes", "mask",
+        "miss", "vector_compress", "vector_decompress", "slot_by_code",
+        "max_slot", "code_dtype", "value_dtype", "column_dtype",
+    )
+
+    def __init__(self, layout: FieldLayout, vector) -> None:
+        self.layout = layout
+        self.index = layout.index
+        self.is_pc = layout.is_pc
+        self.code_bytes = layout.code_bytes
+        self.value_bytes = layout.value_bytes
+        self.mask = layout.mask
+        self.miss = layout.miss_code
+        self.vector_compress = vector.vector_compress
+        self.vector_decompress = vector.vector_decompress
+        # For pure-LV fields, identification code j names slot j - first_code
+        # of its predictor; flattening per the dense code assignment.
+        slots: list[int] = []
+        for pred in layout.predictors:
+            slots.extend(range(pred.spec.depth))
+        self.slot_by_code = np.array(slots + [0], dtype=np.int64)
+        self.max_slot = max(slots, default=0)
+        self.code_dtype = np.dtype(_CODE_DTYPE[layout.code_bytes])
+        self.value_dtype = np.dtype(_VALUE_DTYPE[layout.value_bytes])
+        self.column_dtype = np.dtype(f"<u{layout.spec.bytes}")
+
+
+class NumpyKernel:
+    """A columnar kernel for one (spec, options) model.
+
+    Drop-in for :class:`~repro.codegen.native.NativeKernel`: same three
+    entry points, same stream/usage shapes, same byte output.
+    """
+
+    def __init__(self, model: CompressorModel) -> None:
+        if model.options.update_policy.value == "search":  # pragma: no cover
+            raise NumpyBackendError(
+                "the numpy backend bakes in smart/always updates"
+            )
+        self.model = model
+        self.record_bytes = model.spec.record_bytes
+        self.header_bytes = model.spec.header_bytes
+        self.fingerprint = model.fingerprint()
+        self.smart = model.options.smart_update
+        vectors = analyze_vectors(analyze_model(model))
+        self._plans = {
+            layout.index: _FieldPlan(layout, vectors.field(layout.index))
+            for layout in model.fields
+        }
+        self._record_dtype = np.dtype(
+            [
+                (f"f{pos}", f"<u{layout.spec.bytes}")
+                for pos, layout in enumerate(model.fields)
+            ]
+        )
+
+    # -- compression ---------------------------------------------------------
+
+    def compress_chunk(self, records: bytes) -> tuple[list[bytes], list[list[int]]]:
+        """Kernel-compress one headerless record slice.
+
+        Returns exactly what the Python ``_compress_chunk`` worker
+        returns: interleaved per-field (codes, values) streams plus
+        per-field usage counts.
+        """
+        if len(records) % self.record_bytes:
+            raise TraceFormatError(
+                f"record slice of {len(records)} bytes does not frame into "
+                f"{self.record_bytes}-byte records"
+            )
+        count = len(records) // self.record_bytes
+        model = self.model
+        if count:
+            body = np.frombuffer(records, dtype=self._record_dtype, count=count)
+            columns = {
+                layout.index: body[f"f{pos}"]
+                for pos, layout in enumerate(model.fields)
+            }
+        else:
+            columns = {
+                layout.index: np.zeros(0, dtype=self._plans[layout.index].column_dtype)
+                for layout in model.fields
+            }
+        pc_column = columns[model.pc_field.index]
+
+        results: dict[int, tuple[bytes, bytes, list[int]]] = {}
+        for layout in model.process_order:
+            plan = self._plans[layout.index]
+            column = columns[layout.index]
+            if plan.vector_compress:
+                results[layout.index] = self._compress_vector(plan, column)
+            else:
+                results[layout.index] = self._compress_scalar(
+                    plan, column, pc_column
+                )
+
+        streams: list[bytes] = []
+        usage: list[list[int]] = []
+        for layout in model.fields:
+            codes, values, counts = results[layout.index]
+            streams.append(codes)
+            streams.append(values)
+            usage.append(counts)
+        return streams, usage
+
+    def compress_trace(self, raw: bytes) -> tuple[list[bytes], list[list[int]]]:
+        """Kernel-compress a whole trace (skipping the header)."""
+        body = len(raw) - self.header_bytes
+        if body < 0 or body % self.record_bytes:
+            raise TraceFormatError(
+                f"trace of {len(raw)} bytes does not frame into a "
+                f"{self.header_bytes}-byte header plus "
+                f"{self.record_bytes}-byte records"
+            )
+        return self.compress_chunk(raw[self.header_bytes :])
+
+    def _compress_vector(
+        self, plan: _FieldPlan, column: np.ndarray
+    ) -> tuple[bytes, bytes, list[int]]:
+        """Columnar compress for a pure-LV constant-line field.
+
+        Closed form of the table recurrence: slot ``k`` before record
+        ``i`` equals ``P[cum[i]-1-k]`` where ``P`` is the sequence of
+        pushed values and ``cum`` the exclusive cumulative push count —
+        underflow reads the table's initial zeros.
+        """
+        n = len(column)
+        miss = plan.miss
+        if n == 0:
+            return b"", b"", [0] * (miss + 1)
+        v = column.astype(np.uint64)
+        if self.smart:
+            prev = np.empty(n, dtype=np.uint64)
+            prev[0] = 0
+            prev[1:] = v[:-1]
+            push = v != prev
+        else:
+            push = np.ones(n, dtype=bool)
+        pushed = v[push]
+        cum_ex = np.cumsum(push) - push  # pushes strictly before record i
+
+        codes = np.full(n, miss, dtype=np.int64)
+        slot_values: dict[int, np.ndarray] = {}
+        for k in range(plan.max_slot + 1):
+            idx = cum_ex - 1 - k
+            sv = np.zeros(n, dtype=np.uint64)
+            valid = idx >= 0
+            if pushed.size:
+                sv[valid] = pushed[idx[valid]]
+            slot_values[k] = sv
+        # Reverse order: earlier candidates overwrite later ones, which
+        # is exactly predictions.index(value) first-match semantics.
+        for code in range(miss - 1, -1, -1):
+            slot = int(plan.slot_by_code[code])
+            codes[slot_values[slot] == v] = code
+
+        counts = np.bincount(codes, minlength=miss + 1).tolist()
+        code_stream = codes.astype(plan.code_dtype).tobytes()
+        value_stream = v[codes == miss].astype(plan.value_dtype).tobytes()
+        return code_stream, value_stream, counts
+
+    def _compress_scalar(
+        self, plan: _FieldPlan, column: np.ndarray, pc_column: np.ndarray
+    ) -> tuple[bytes, bytes, list[int]]:
+        """Reference per-record loop over one field's column."""
+        kernel = FieldKernel(plan.layout, self.model.options)
+        begin, commit = kernel.begin, kernel.commit
+        values = column.tolist()
+        pcs = None if plan.is_pc else pc_column.tolist()
+        codes = bytearray()
+        misses = bytearray()
+        counts = [0] * (plan.miss + 1)
+        miss, cb, vb = plan.miss, plan.code_bytes, plan.value_bytes
+        for i in range(len(values)):
+            value = values[i]
+            predictions = begin(0 if pcs is None else pcs[i])
+            try:
+                code = predictions.index(value)
+            except ValueError:
+                code = miss
+                misses += value.to_bytes(vb, "little")
+            if cb == 1:
+                codes.append(code)
+            else:
+                codes += code.to_bytes(cb, "little")
+            counts[code] += 1
+            commit(value)
+        return bytes(codes), bytes(misses), counts
+
+    # -- decompression -------------------------------------------------------
+
+    def decompress_chunk(
+        self, count: int, codes: list[bytes], values: list[bytes]
+    ) -> bytes:
+        """Decode one chunk back to raw record bytes (no header)."""
+        model = self.model
+        decoded: dict[int, np.ndarray] = {}
+        pc_list: list[int] | None = None
+        for layout in model.process_order:
+            plan = self._plans[layout.index]
+            position = next(
+                pos for pos, lo in enumerate(model.fields) if lo.index == layout.index
+            )
+            code_stream = codes[position]
+            value_stream = values[position]
+            expected = count * plan.code_bytes
+            if len(code_stream) != expected:
+                raise CompressedFormatError(
+                    f"field {plan.index} code stream holds "
+                    f"{len(code_stream)} bytes, expected {expected}"
+                )
+            if plan.vector_decompress:
+                column = self._decompress_vector(plan, count, code_stream, value_stream)
+            else:
+                if pc_list is None and not plan.is_pc:
+                    pc_list = decoded[model.pc_field.index].tolist()
+                column = self._decompress_scalar(
+                    plan, count, code_stream, value_stream, pc_list
+                )
+            decoded[layout.index] = column
+            if plan.is_pc and not plan.vector_decompress:
+                # Scalar fields downstream index their tables by PC.
+                pc_list = column.tolist()
+
+        record = np.zeros(count, dtype=self._record_dtype)
+        for pos, layout in enumerate(model.fields):
+            record[f"f{pos}"] = decoded[layout.index].astype(
+                self._plans[layout.index].column_dtype, copy=False
+            )
+        return record.tobytes()
+
+    def _decompress_vector(
+        self, plan: _FieldPlan, count: int, code_stream: bytes, value_stream: bytes
+    ) -> np.ndarray:
+        """Columnar decode: hits form a pointer forest over record indices.
+
+        A hit with slot ``s`` at record ``i`` repeats the value decoded at
+        record ``i-1-s`` (ALWAYS semantics; SMART only reaches here at
+        depth 1, where both policies coincide).  Pointer doubling resolves
+        every chain to its root — a miss record or the zero-initialized
+        table — in ``O(log n)`` passes.
+        """
+        miss, vb = plan.miss, plan.value_bytes
+        code_arr = np.frombuffer(code_stream, dtype=plan.code_dtype).astype(np.int64)
+        over = code_arr > miss
+        if over.any():
+            i = int(np.argmax(over))
+            raise CompressedFormatError(
+                f"field {plan.index} record {i}: code {int(code_arr[i])} "
+                f"out of range 0..{miss}"
+            )
+        miss_mask = code_arr == miss
+        nmiss = int(miss_mask.sum())
+        if len(value_stream) < nmiss * vb:
+            short = len(value_stream) // vb
+            record = int(np.nonzero(miss_mask)[0][short])
+            raise CompressedFormatError(
+                f"field {plan.index} value stream exhausted at record {record}"
+            )
+        if len(value_stream) > nmiss * vb:
+            raise CompressedFormatError(
+                f"field {plan.index} value stream has "
+                f"{len(value_stream) - nmiss * vb} unconsumed bytes"
+            )
+        if count == 0:
+            return np.zeros(0, dtype=np.uint64)
+        miss_values = np.frombuffer(
+            value_stream, dtype=plan.value_dtype, count=nmiss
+        ).astype(np.uint64) & np.uint64(plan.mask)
+
+        indices = np.arange(count, dtype=np.int64)
+        slots = plan.slot_by_code[code_arr]
+        parent = indices - 1 - slots
+        root_value = np.zeros(count, dtype=np.uint64)
+        root_value[miss_mask] = miss_values
+        is_root = miss_mask | (parent < 0)
+        parent = np.where(is_root, indices, parent)
+        while True:
+            grandparent = parent[parent]
+            if np.array_equal(grandparent, parent):
+                break
+            parent = grandparent
+        return root_value[parent]
+
+    def _decompress_scalar(
+        self,
+        plan: _FieldPlan,
+        count: int,
+        code_stream: bytes,
+        value_stream: bytes,
+        pc_list: list[int] | None,
+    ) -> np.ndarray:
+        """Reference per-record decode loop over one field's streams."""
+        kernel = FieldKernel(plan.layout, self.model.options)
+        begin, commit = kernel.begin, kernel.commit
+        code_arr = np.frombuffer(code_stream, dtype=plan.code_dtype).tolist()
+        column = np.zeros(count, dtype=np.uint64)
+        pos = 0
+        miss, vb, mask = plan.miss, plan.value_bytes, plan.mask
+        findex = plan.index
+        int_from_bytes = int.from_bytes
+        for i in range(count):
+            predictions = begin(0 if pc_list is None else pc_list[i])
+            code = code_arr[i]
+            if code < miss:
+                value = predictions[code]
+            elif code == miss:
+                piece = value_stream[pos : pos + vb]
+                if len(piece) != vb:
+                    raise CompressedFormatError(
+                        f"field {findex} value stream exhausted at record {i}"
+                    )
+                value = int_from_bytes(piece, "little") & mask
+                pos += vb
+            else:
+                raise CompressedFormatError(
+                    f"field {findex} record {i}: code {code} out of range 0..{miss}"
+                )
+            commit(value)
+            column[i] = value
+        if pos != len(value_stream):
+            raise CompressedFormatError(
+                f"field {findex} value stream has "
+                f"{len(value_stream) - pos} unconsumed bytes"
+            )
+        return column
+
+
+def load_numpy_kernel(model: CompressorModel) -> NumpyKernel:
+    """Build (and memoize) the columnar kernel for ``model``.
+
+    Raises :class:`~repro.errors.NumpyBackendError` when the backend is
+    disabled via ``TCGEN_NUMPY=0``.  Unlike the native loader this never
+    compiles anything — construction only precomputes per-field plans.
+    """
+    if not numpy_enabled():
+        raise NumpyBackendError("numpy backend disabled via TCGEN_NUMPY=0")
+    key = (
+        model.fingerprint(),
+        tuple(sorted(vars(model.options).items())),
+    )
+    with _kernels_lock:
+        kernel = _kernels.get(key)
+        if kernel is None:
+            kernel = NumpyKernel(model)
+            if len(_kernels) > 64:
+                _kernels.clear()
+            _kernels[key] = kernel
+        return kernel

@@ -458,10 +458,14 @@ def _emit_native_helper(w: CodeWriter) -> None:
     The generated module stays stdlib-only and fully functional on its
     own; when the ``repro`` package that generated it is importable, the
     module can additionally borrow its native kernel loader so that
-    ``backend="auto"`` runs the compiled C kernels in-process.  Every
+    ``backend="auto"`` runs the compiled C kernels in-process, or the
+    NumPy columnar kernels when no native build is possible and the
+    spec's vectorizable fraction clears the dispatch threshold.  Every
     failure (no repro, no compiler, build error, ``TCGEN_NATIVE=0``)
     quietly resolves to the pure-Python path with a recorded reason.
     """
+    from repro.runtime.engine import NATIVE_BATCH_CHUNKS
+
     w.line("_native_state = [False, None, None]  # resolved, kernel, reason")
     w.line()
     with w.block("def _native_kernel():"):
@@ -486,16 +490,56 @@ def _emit_native_helper(w: CodeWriter) -> None:
             w.line("return None, _native_state[2]")
         w.line("return _native_state[1], None")
     w.line()
+    w.line("_numpy_state = [False, None, None, False]  # resolved, kernel, reason, auto_ok")
+    w.line()
+    with w.block("def _numpy_kernel():"):
+        w.line('"""(kernel, reason, auto_ok): the columnar kernel, if loadable."""')
+        with w.block("if _numpy_state[0]:"):
+            w.line("return _numpy_state[1], _numpy_state[2], _numpy_state[3]")
+        w.line("_numpy_state[0] = True")
+        with w.block('if os.environ.get("TCGEN_NUMPY", "1") == "0":'):
+            w.line('_numpy_state[2] = "numpy backend disabled via TCGEN_NUMPY=0"')
+            w.line("return None, _numpy_state[2], False")
+        with w.block("try:"):
+            w.line("from repro.codegen.numpy_backend import load_numpy_kernel")
+            w.line("from repro.ir.vector import AUTO_NUMPY_THRESHOLD, vectorizable_fraction")
+            w.line("from repro.model.layout import build_model")
+            w.line("from repro.model.optimize import OptimizationOptions")
+            w.line("from repro.spec.parser import parse_spec")
+            w.line("model = build_model(parse_spec(SPEC_TEXT), OptimizationOptions(**OPTIONS))")
+            with w.block("if model.fingerprint() != FINGERPRINT:"):
+                w.line('raise ValueError("rebuilt model fingerprint mismatch")')
+            w.line("_numpy_state[1] = load_numpy_kernel(model)")
+            w.line("_numpy_state[3] = vectorizable_fraction(model) >= AUTO_NUMPY_THRESHOLD")
+        with w.block("except Exception as exc:"):
+            w.line("_numpy_state[2] = str(exc) or exc.__class__.__name__")
+            w.line("return None, _numpy_state[2], False")
+        w.line("return _numpy_state[1], None, _numpy_state[3]")
+    w.line()
     with w.block("def _resolve_backend(backend):"):
-        w.line('"""Turn auto/python/native into (kernel-or-None); validate."""')
-        with w.block('if backend not in ("auto", "python", "native"):'):
-            w.line('raise ValueError("backend must be auto, python, or native; got %r" % (backend,))')
+        w.line('"""Turn auto/python/numpy/native into (kernel-or-None); validate."""')
+        with w.block('if backend not in ("auto", "python", "numpy", "native"):'):
+            w.line('raise ValueError("backend must be auto, python, numpy, or native; got %r" % (backend,))')
         with w.block('if backend == "python":'):
             w.line("return None")
+        with w.block('if backend == "numpy":'):
+            w.line("kernel, reason, _ = _numpy_kernel()")
+            with w.block("if kernel is None:"):
+                w.line('raise RuntimeError("numpy backend unavailable: %s" % reason)')
+            w.line("return kernel")
         w.line("kernel, reason = _native_kernel()")
         with w.block('if kernel is None and backend == "native":'):
             w.line('raise RuntimeError("native backend unavailable: %s" % reason)')
+        with w.block("if kernel is None:"):
+            w.line("columnar, _, auto_ok = _numpy_kernel()")
+            with w.block("if columnar is not None and auto_ok:"):
+                w.line("return columnar")
         w.line("return kernel")
+    w.line()
+    w.line(
+        f"_BATCH = {NATIVE_BATCH_CHUNKS}"
+        "  # chunks per native FFI crossing (ABI 2 batch entry points)"
+    )
     w.line()
 
 
@@ -1184,10 +1228,11 @@ def _emit_compress(
         w.line("    per chunk).")
         w.line("    ``workers`` parallelizes post-compression on a thread pool;")
         w.line("    output bytes are identical for any worker count.")
-        w.line('    ``backend`` picks the kernel stage: "python" (pure), "native"')
-        w.line("    (in-process compiled C; RuntimeError when unavailable), or")
-        w.line('    "auto" (native when loadable, else python). Output bytes are')
-        w.line("    identical for every backend.")
+        w.line('    ``backend`` picks the kernel stage: "python" (pure), "numpy"')
+        w.line('    (columnar NumPy kernels), "native" (in-process compiled C;')
+        w.line('    RuntimeError when unavailable), or "auto" (native when')
+        w.line("    loadable, else numpy when the spec vectorizes well, else")
+        w.line("    python). Output bytes are identical for every backend.")
         w.line('    """')
         w.line("global _last_usage")
         with w.block("if (len(raw) - HEADER_BYTES) % RECORD_BYTES:"):
@@ -1210,9 +1255,18 @@ def _emit_compress(
         w.line("kernel = _resolve_backend(backend)")
         with w.block("if kernel is not None:"):
             w.line(
-                "results = [kernel.compress_chunk("
-                "raw[pos : pos + count * RECORD_BYTES]) for pos, count in spans]"
+                "slices = [raw[pos : pos + count * RECORD_BYTES] "
+                "for pos, count in spans]"
             )
+            with w.block('if hasattr(kernel, "compress_batch"):'):
+                w.line("results = []")
+                with w.block("for i in range(0, len(slices), _BATCH):"):
+                    w.line(
+                        "results.extend(kernel.compress_batch("
+                        "slices[i : i + _BATCH]))"
+                    )
+            with w.block("else:"):
+                w.line("results = [kernel.compress_chunk(piece) for piece in slices]")
         with w.block("else:"):
             w.line("results = [_compress_chunk(raw, pos, count) for pos, count in spans]")
         sizes = ", ".join(
@@ -1495,8 +1549,8 @@ def _emit_decompress(
         w.line('    """')
         w.line("global _last_lost")
         w.line("_last_lost = []")
-        with w.block('if backend not in ("auto", "python", "native"):'):
-            w.line('raise ValueError("backend must be auto, python, or native; got %r" % (backend,))')
+        with w.block('if backend not in ("auto", "python", "numpy", "native"):'):
+            w.line('raise ValueError("backend must be auto, python, numpy, or native; got %r" % (backend,))')
         if spec.header_bits:
             unpack = "record_count, head_pair, chunks, lost"
         else:
@@ -1518,19 +1572,28 @@ def _emit_decompress(
                 w.line("out = bytearray()")
                 w.line("base = 0")
             w.line("kernel = _resolve_backend(backend)")
+            w.line("items = []")
             with w.block("for _index, count, cpairs in chunks:"):
                 w.line("streams = datas[base : base + len(cpairs)]")
                 with w.block("if kernel is not None:"):
-                    with w.block("try:"):
-                        w.line(
-                            "out += kernel.decompress_chunk("
-                            "count, streams[0::2], streams[1::2])"
-                        )
-                    with w.block("except Exception as exc:"):
-                        w.line("raise ValueError(str(exc))")
+                    w.line("items.append((count, streams[0::2], streams[1::2]))")
                 with w.block("else:"):
                     w.line("_decompress_chunk(count, streams, out)")
                 w.line("base += len(cpairs)")
+            with w.block("if kernel is not None:"):
+                with w.block("try:"):
+                    with w.block('if hasattr(kernel, "decompress_batch"):'):
+                        with w.block("for i in range(0, len(items), _BATCH):"):
+                            with w.block(
+                                "for piece in kernel.decompress_batch("
+                                "items[i : i + _BATCH]):"
+                            ):
+                                w.line("out += piece")
+                    with w.block("else:"):
+                        with w.block("for item in items:"):
+                            w.line("out += kernel.decompress_chunk(*item)")
+                with w.block("except Exception as exc:"):
+                    w.line("raise ValueError(str(exc))")
             w.line("return bytes(out)")
         with w.block("try:"):
             w.line(f"{unpack} = _decode_container(blob, salvage=True)")
@@ -1695,7 +1758,7 @@ def _emit_main(w: CodeWriter) -> None:
         w.line("    --chunk-records N (or 'auto') emits a chunked v3 container;")
         w.line("    --salvage skips damaged chunks on decode instead of failing;")
         w.line("    -o FILE writes atomically to FILE instead of stdout;")
-        w.line("    --backend auto|python|native picks the kernel stage.")
+        w.line("    --backend auto|python|numpy|native picks the kernel stage.")
         w.line("    Exit status: 0 success, 1 backend unavailable,")
         w.line("    2 corrupt or mismatched input.")
         w.line('    """')

@@ -63,6 +63,16 @@ class NativeBackendError(CodegenError):
     """
 
 
+class NumpyBackendError(CodegenError):
+    """Raised when the NumPy columnar backend cannot be used.
+
+    Covers the ``TCGEN_NUMPY=0`` escape hatch and (defensively) a missing
+    or broken NumPy installation.  With ``backend="auto"`` callers catch
+    this and fall back to the Python kernels; with ``backend="numpy"`` it
+    propagates.
+    """
+
+
 class TraceFormatError(ReproError):
     """Raised when raw trace bytes do not match the declared record format."""
 

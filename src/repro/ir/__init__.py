@@ -10,7 +10,9 @@ The pipeline is ``CompressorModel`` → :func:`lower_model` →
 - ``genverify``, which checks emitted source against the analyzed IR
   instead of against surface conventions (``TC3xx`` diagnostics);
 - the static cost model behind ``tcgen-lint --cost``
-  (:mod:`repro.ir.cost`).
+  (:mod:`repro.ir.cost`);
+- the vectorizability analysis behind the NumPy columnar backend and
+  the three-way ``backend="auto"`` dispatch (:mod:`repro.ir.vector`).
 """
 
 from repro.ir.analysis import (
@@ -23,11 +25,20 @@ from repro.ir.analysis import (
 from repro.ir.cost import CostReport, FieldCost, OpCounts, cost_model, render_cost
 from repro.ir.lower import lower_model
 from repro.ir.ops import KernelIR, TableDecl, TableRole, ValueRange, render_ir
+from repro.ir.vector import (
+    AUTO_NUMPY_THRESHOLD,
+    FieldVector,
+    VectorReport,
+    analyze_vectors,
+    vectorizable_fraction,
+)
 
 __all__ = [
+    "AUTO_NUMPY_THRESHOLD",
     "CostReport",
     "FieldCost",
     "FieldFacts",
+    "FieldVector",
     "KernelIR",
     "ModelFacts",
     "OpCounts",
@@ -35,9 +46,12 @@ __all__ = [
     "TableFacts",
     "TableRole",
     "ValueRange",
+    "VectorReport",
     "analyze_ir",
     "analyze_model",
+    "analyze_vectors",
     "cost_model",
     "lower_model",
     "render_ir",
+    "vectorizable_fraction",
 ]

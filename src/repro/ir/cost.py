@@ -205,21 +205,37 @@ def cost_model(facts: ModelFacts) -> CostReport:
 _COLUMNS = ("reads", "stores", "hash", "arith", "cmp", "emit", "total")
 
 
-def _row(label: str, c: OpCounts) -> str:
+def _row(label: str, c: OpCounts, tail: str = "") -> str:
     cells = (c.reads, c.stores, c.hash_steps, c.arith, c.compares, c.emits,
              c.total)
-    return f"  {label:<22}" + "".join(f"{cell:>7}" for cell in cells)
+    return f"  {label:<22}" + "".join(f"{cell:>7}" for cell in cells) + tail
 
 
-def render_cost(report: CostReport, title: str) -> str:
-    """Fixed-width cost table for ``tcgen-lint --cost``."""
+def render_cost(report: CostReport, title: str, vectors=None) -> str:
+    """Fixed-width cost table for ``tcgen-lint --cost``.
+
+    ``vectors`` is an optional :class:`repro.ir.vector.VectorReport`;
+    when given, field rows grow a ``vec`` column (``vec`` / ``vec-c`` /
+    ``scalar``) and the footer states the op-weighted fraction of kernel
+    work the NumPy columnar backend can lift for this spec.
+    """
     lines = [f"{title}: static per-record op counts "
              f"(state: {report.table_bytes} bytes)"]
-    lines.append("  " + " " * 22 + "".join(f"{col:>7}" for col in _COLUMNS))
+    header = "  " + " " * 22 + "".join(f"{col:>7}" for col in _COLUMNS)
+    if vectors is not None:
+        header += f"{'vec':>8}"
+    lines.append(header)
     for fc in report.fields:
-        lines.append(_row(f"field {fc.index}", fc.counts))
+        tail = ""
+        if vectors is not None:
+            tail = f"{vectors.field(fc.index).label:>8}"
+        lines.append(_row(f"field {fc.index}", fc.counts, tail))
         for pc in fc.predictors:
             label = f"  {pc.kind}{pc.order}[{pc.depth}] slot {pc.slot}"
             lines.append(_row(label, pc.counts))
     lines.append(_row("total", report.totals))
+    if vectors is not None:
+        lines.append(
+            f"  vectorizable fraction (op-weighted): {vectors.fraction:.2f}"
+        )
     return "\n".join(lines) + "\n"

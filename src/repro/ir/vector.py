@@ -1,0 +1,159 @@
+"""Vectorizability analysis over the kernel IR.
+
+Decides, per field, whether the per-record loop can be evaluated as a
+columnar (chunk-at-a-time) computation by the NumPy backend.  The
+criterion is purely structural and read off the lowered IR:
+
+- **compress**: a field vectorizes when every predictor is a pure
+  last-value predictor (no hash chain, no second-level table) *and* the
+  first-level line index is a constant.  The line is constant when the
+  field has a single L1 line, or when the field is the PC field (the
+  engine indexes the PC field with line 0 by protocol).  Under these
+  conditions the table contents before record ``i`` are a pure function
+  of the preceding column values: with the ALWAYS update policy slot
+  ``k`` holds ``v[i-1-k]``; with SMART the table is the stack of
+  *distinct consecutive* values, recoverable from a push mask and an
+  exclusive cumulative sum.  (D)FCM predictors carry a loop-borne hash
+  chain through a table whose index depends on prior values — those
+  fields stay on the scalar path.
+
+- **decompress**: additionally requires that hit codes can be resolved
+  without replaying the push stack.  That holds for the ALWAYS policy at
+  any depth (slot ``k`` at record ``i`` names record ``i-1-k``, so hits
+  form a pointer forest resolvable by pointer doubling), and for SMART
+  when the field's last-value depth is 1 — the case the liveness
+  analysis proves guard-free (``plain_store``), making it semantically
+  identical to ALWAYS.  SMART with depth > 1 would need the push history
+  that is itself being decoded, so it stays scalar on the decode side.
+
+The headline number, :func:`vectorizable_fraction`, weights each field by
+its static per-record op count (:mod:`repro.ir.cost`), so it estimates
+the share of kernel *work* the columnar backend can lift out of the
+interpreter — the fact ``backend="auto"`` dispatch thresholds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.analysis import ModelFacts, analyze_model
+from repro.ir.cost import cost_model
+from repro.ir.ops import FieldIR
+from repro.model.layout import CompressorModel
+
+#: Minimum op-weighted vectorizable fraction for ``backend="auto"`` to
+#: prefer the NumPy backend over the pure-Python kernels when no native
+#: build is available.
+AUTO_NUMPY_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class FieldVector:
+    """Vectorizability verdict for one field."""
+
+    index: int
+    vector_compress: bool
+    vector_decompress: bool
+    reason: str  # why the field is (or is not) columnar
+
+    @property
+    def label(self) -> str:
+        """Short cell for the cost table: vec / vec-c / scalar."""
+        if self.vector_compress and self.vector_decompress:
+            return "vec"
+        if self.vector_compress:
+            return "vec-c"
+        return "scalar"
+
+
+@dataclass(frozen=True)
+class VectorReport:
+    """Whole-model vectorizability: per-field verdicts plus the fraction."""
+
+    fields: tuple[FieldVector, ...]
+    fraction: float  # op-weighted share of vectorizable compress work
+
+    def field(self, index: int) -> FieldVector:
+        for fv in self.fields:
+            if fv.index == index:
+                return fv
+        raise KeyError(f"no field {index} in vector report")
+
+    @property
+    def all_scalar(self) -> bool:
+        return not any(fv.vector_compress for fv in self.fields)
+
+
+def _classify_field(fir: FieldIR, smart_update: bool) -> FieldVector:
+    impure = [
+        p for p in fir.predictors if p.chain is not None or p.l2 is not None
+    ]
+    if impure:
+        kinds = sorted({p.kind.value for p in impure})
+        return FieldVector(
+            index=fir.index,
+            vector_compress=False,
+            vector_decompress=False,
+            reason=(
+                f"{'/'.join(kinds)} hash chain is loop-carried "
+                f"(table index depends on prior records)"
+            ),
+        )
+    if fir.l1_lines != 1 and not fir.is_pc:
+        return FieldVector(
+            index=fir.index,
+            vector_compress=False,
+            vector_decompress=False,
+            reason=f"L1 line index varies per record ({fir.l1_lines} lines)",
+        )
+    max_depth = max((p.depth for p in fir.predictors), default=0)
+    if not smart_update:
+        return FieldVector(
+            index=fir.index,
+            vector_compress=True,
+            vector_decompress=True,
+            reason="pure last-value, constant line, ALWAYS update",
+        )
+    if max_depth <= 1:
+        return FieldVector(
+            index=fir.index,
+            vector_compress=True,
+            vector_decompress=True,
+            reason="pure last-value, depth 1 (guard-free plain store)",
+        )
+    return FieldVector(
+        index=fir.index,
+        vector_compress=True,
+        vector_decompress=False,
+        reason=(
+            f"pure last-value depth {max_depth} under SMART: columnar "
+            f"compress via push mask, decode needs the push history"
+        ),
+    )
+
+
+def analyze_vectors(facts: ModelFacts) -> VectorReport:
+    """Classify every field and compute the op-weighted fraction."""
+    verdicts = tuple(
+        sorted(
+            (
+                _classify_field(fir, facts.ir.smart_update)
+                for fir in facts.ir.fields
+            ),
+            key=lambda fv: fv.index,
+        )
+    )
+    report = cost_model(facts)
+    total = report.totals.total
+    lifted = sum(
+        fc.counts.total
+        for fc in report.fields
+        if next(fv for fv in verdicts if fv.index == fc.index).vector_compress
+    )
+    fraction = (lifted / total) if total else 0.0
+    return VectorReport(fields=verdicts, fraction=fraction)
+
+
+def vectorizable_fraction(model: CompressorModel) -> float:
+    """Convenience wrapper: fraction straight from a resolved model."""
+    return analyze_vectors(analyze_model(model)).fraction

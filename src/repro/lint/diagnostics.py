@@ -69,6 +69,7 @@ CODES: dict[str, str] = {
     "TC025": "explicit table size repeats the default",
     "TC026": "flush window too small: tiny streaming chunks compress poorly",
     "TC027": "disable comment names an unknown or retired diagnostic code",
+    "TC028": "all fields are scalar-bound: the numpy backend cannot vectorize this spec",
     # -- TC1xx: codegen invariant verification --------------------------------
     "TC102": "generated table missing or sized wrong",
     "TC104": "last-value table generated for a field without LV/DFCM predictors",

@@ -399,6 +399,8 @@ _C_LIB_EXPORTS = (
     "tcgen_chunk_compress",
     "tcgen_decompress",
     "tcgen_chunk_decompress",
+    "tcgen_batch_compress",
+    "tcgen_batch_decompress",
     "tcgen_free",
 )
 

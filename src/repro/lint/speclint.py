@@ -308,6 +308,27 @@ def _lint_parsed(spec: TraceSpec, spans: _SpanMap, path: str) -> list[Diagnostic
                 f"(got {fld.l1_size})",
             )
         _lint_predictors(fld, fspans, where, add)
+
+    # -- vectorizability (TC028) ---------------------------------------------
+    # Mirrors repro.ir.vector at the spec level: a field's compress loop
+    # vectorizes when every predictor is a pure last-value predictor and
+    # the L1 line index is constant (single line, or the PC field).
+    def _vectorizes(fld) -> bool:
+        return all(p.kind is PredictorKind.LV for p in fld.predictors) and (
+            fld.l1_size == 1 or (pc_exists and fld.index == spec.pc_field)
+        )
+
+    if (
+        spec.fields
+        and all(f.predictors for f in spec.fields)
+        and not any(_vectorizes(f) for f in spec.fields)
+    ):
+        add(
+            spans.field(0).decl, "TC028", Severity.INFO,
+            "every field carries a hash-table predictor or a per-record L1 "
+            "line index, so no field vectorizes: backend=\"numpy\" degrades "
+            "to per-field scalar loops and backend=\"auto\" will not pick it",
+        )
     return out
 
 

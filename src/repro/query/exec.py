@@ -9,7 +9,10 @@ always the same shape:
 3. for each chunk, ask the skip index whether the predicate could match
    anything inside it — if provably not, the chunk's streams are never
    post-decompressed or kernel-decoded,
-4. decode the surviving chunks lazily and filter record by record.
+4. decode the surviving chunks lazily and filter them — as one NumPy
+   boolean mask over the chunk's columns when an accelerated kernel
+   (native or numpy) decoded it, record by record otherwise.  The two
+   filters are record-for-record equivalent by construction.
 
 The skip index is only ever an accelerator.  It is ignored wholesale
 when its shape does not match the container (wrong field count or chunk
@@ -24,10 +27,12 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field as dataclass_field
 
+import numpy as np
+
 from repro.errors import CompressedFormatError
 from repro.query.predicate import parse_predicate, validate_predicate
 from repro.runtime.parallel import check_cancel
-from repro.runtime.streaming import _iter_chunk, _iter_chunk_native
+from repro.runtime.streaming import _chunk_raw, _iter_chunk
 from repro.tio.container import (
     DEFAULT_MAX_CHUNK_BYTES,
     DecodeReport,
@@ -198,6 +203,9 @@ def run_query(
     # the surviving sequence exactly like iter_records.
     indices = list(report.recovered_chunks) if salvage else range(len(chunked.chunks))
     stats.total_chunks = len(chunked.chunks)
+    record_dtype = np.dtype(
+        [(f"f{i + 1}", f"<u{layout.spec.bytes}") for i, layout in enumerate(model.fields)]
+    )
     absolute = 0
     for position, chunk in zip(indices, chunked.chunks):
         check_cancel(cancel)
@@ -215,6 +223,36 @@ def run_query(
             stats.skipped_chunks += 1
             absolute += chunk.record_count
             continue
+        if kernel is not None:
+            # Accelerated path: the kernel hands back raw record bytes,
+            # so the filter runs as one boolean mask over the columns
+            # instead of a Python call per record.
+            raw = _chunk_raw(kernel, chunk, position, per_chunk)
+            stats.decoded_chunks += 1
+            n = chunk.record_count
+            body = np.frombuffer(raw, dtype=record_dtype)
+            columns = [body[f"f{i + 1}"] for i in range(len(model.fields))]
+            mask = None
+            if predicate is not None:
+                mask = predicate.mask(columns, absolute, n)
+            matched = n if mask is None else int(np.count_nonzero(mask))
+            take = matched
+            scanned = n
+            if op == "select" and limit is not None and result.count + matched >= limit:
+                # Mirror the scalar loop, which stops at the limit-th
+                # match: records past it are never counted as scanned.
+                take = limit - result.count
+                last = take - 1 if mask is None else int(np.flatnonzero(mask)[take - 1])
+                scanned = last + 1
+            if op == "select" and take:
+                picked = body[:take] if mask is None else body[np.flatnonzero(mask)[:take]]
+                result.records.extend(picked.tolist())
+            result.count += take
+            if op == "stats" and matched:
+                _fold_stats_columns(result, columns, mask, len(model.fields))
+            stats.records_scanned += scanned
+            absolute += n
+            continue
         if salvage:
             try:
                 decoded = list(_iter_chunk(model, chunk, position, per_chunk))
@@ -222,11 +260,7 @@ def run_query(
                 report.demote(position, chunk.record_count, f"chunk decode failed: {exc}")
                 continue
         else:
-            decoded = (
-                _iter_chunk_native(model, kernel, chunk, position, per_chunk)
-                if kernel is not None
-                else _iter_chunk(model, chunk, position, per_chunk)
-            )
+            decoded = _iter_chunk(model, chunk, position, per_chunk)
         stats.decoded_chunks += 1
         for record in decoded:
             stats.records_scanned += 1
@@ -253,6 +287,22 @@ def _fold_stats(result: QueryResult, record: tuple, field_count: int) -> None:
             fs["min"] = value
         if fs["max"] is None or value > fs["max"]:
             fs["max"] = value
+
+
+def _fold_stats_columns(result: QueryResult, columns, mask, field_count: int) -> None:
+    """Vectorized :func:`_fold_stats` over a whole chunk's matches."""
+    if result.field_stats is None:
+        result.field_stats = [
+            {"min": None, "max": None, "count": 0} for _ in range(field_count)
+        ]
+    for fs, column in zip(result.field_stats, columns):
+        values = column if mask is None else column[mask]
+        fs["count"] += int(values.size)
+        lo, hi = int(values.min()), int(values.max())
+        if fs["min"] is None or lo < fs["min"]:
+            fs["min"] = lo
+        if fs["max"] is None or hi > fs["max"]:
+            fs["max"] = hi
 
 
 def _finish(result: QueryResult) -> QueryResult:

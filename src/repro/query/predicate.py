@@ -14,9 +14,12 @@ Grammar (precedence low to high)::
     factor := "(" expr ")" | field op literal
     op     := == | != | < | <= | > | >=
 
-Every AST node answers two questions:
+Every AST node answers three questions:
 
 - :meth:`matches` — does this concrete record match?  (the filter)
+- :meth:`mask` — which records of a decoded chunk match, evaluated as a
+  NumPy boolean mask over per-field columns?  (the vectorized filter;
+  record-for-record equivalent to :meth:`matches`)
 - :meth:`maybe` — *could* any record in a chunk match, given the chunk's
   skip-index summary?  (the pruner)
 
@@ -31,6 +34,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import PredicateError
 from repro.tio.skipindex import ChunkSummary, bloom_maybe
@@ -58,6 +63,36 @@ class Comparison:
     def matches(self, record: tuple, index: int) -> bool:
         actual = index if self.field == RECORD_FIELD else record[self.field - 1]
         value = self.value
+        if self.op == "==":
+            return actual == value
+        if self.op == "!=":
+            return actual != value
+        if self.op == "<":
+            return actual < value
+        if self.op == "<=":
+            return actual <= value
+        if self.op == ">":
+            return actual > value
+        return actual >= value
+
+    def mask(self, columns: list, start: int, count: int) -> "np.ndarray":
+        """Boolean match mask over a chunk's per-field columns.
+
+        ``columns[i]`` is the unsigned column of 1-based field ``i + 1``;
+        the record pseudo-field compares against ``start + position``.
+        Equivalent to calling :meth:`matches` on every record.
+        """
+        if self.field == RECORD_FIELD:
+            actual = np.arange(start, start + count, dtype=np.int64)
+        else:
+            actual = columns[self.field - 1]
+        value = self.value
+        # A literal beyond the column's dtype can't be lifted into the
+        # array comparison; resolve it by sign of the comparison instead
+        # (column values always fit their dtype, so the answer is uniform).
+        if value > int(np.iinfo(actual.dtype).max):
+            uniform = self.op in ("!=", "<", "<=")
+            return np.full(count, uniform, dtype=bool)
         if self.op == "==":
             return actual == value
         if self.op == "!=":
@@ -111,6 +146,12 @@ class And:
     def matches(self, record: tuple, index: int) -> bool:
         return all(p.matches(record, index) for p in self.parts)
 
+    def mask(self, columns: list, start: int, count: int) -> "np.ndarray":
+        out = self.parts[0].mask(columns, start, count)
+        for part in self.parts[1:]:
+            out = out & part.mask(columns, start, count)
+        return out
+
     def maybe(self, start: int, count: int, summary: "ChunkSummary | None") -> bool:
         return all(p.maybe(start, count, summary) for p in self.parts)
 
@@ -124,6 +165,12 @@ class Or:
 
     def matches(self, record: tuple, index: int) -> bool:
         return any(p.matches(record, index) for p in self.parts)
+
+    def mask(self, columns: list, start: int, count: int) -> "np.ndarray":
+        out = self.parts[0].mask(columns, start, count)
+        for part in self.parts[1:]:
+            out = out | part.mask(columns, start, count)
+        return out
 
     def maybe(self, start: int, count: int, summary: "ChunkSummary | None") -> bool:
         return any(p.maybe(start, count, summary) for p in self.parts)

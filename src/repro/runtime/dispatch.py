@@ -1,19 +1,26 @@
-"""Backend dispatch: choose the Python or native kernel stage.
+"""Backend dispatch: choose the Python, NumPy, or native kernel stage.
 
 Every entry point that runs prediction kernels (:class:`TraceEngine`,
 streaming, the generated Python modules, the server, ``autotune``)
-accepts ``backend="auto" | "python" | "native"``:
+accepts ``backend="auto" | "python" | "numpy" | "native"``:
 
 - ``"python"`` always runs the pure-Python :class:`FieldKernel` loop;
+- ``"numpy"`` runs the columnar chunk kernels
+  (:mod:`repro.codegen.numpy_backend`) and raises
+  :class:`~repro.errors.NumpyBackendError` when disabled;
 - ``"native"`` requires the in-process compiled kernel and raises
   :class:`~repro.errors.NativeBackendError` when it cannot be built or
   loaded;
-- ``"auto"`` (the default) tries native and falls back to Python, with
-  the reason logged once per resolution and carried in the returned
-  decision (surfaced as the ``backend`` label on server metrics).
+- ``"auto"`` (the default) tries native first, then numpy when the
+  spec's IR-proven vectorizable fraction clears
+  :data:`repro.ir.vector.AUTO_NUMPY_THRESHOLD` (a mostly scalar-bound
+  spec gains nothing from columnar dispatch overhead), then Python —
+  with the reason logged once per resolution and carried in the
+  returned decision (surfaced as the ``backend`` label on server
+  metrics).
 
 Resolution is the *only* observable difference between backends — the
-compressed output is byte-identical either way, so ``backend=`` can only
+compressed output is byte-identical every way, so ``backend=`` can only
 ever change throughput, never results.
 """
 
@@ -23,14 +30,15 @@ from dataclasses import dataclass
 import logging
 from typing import TYPE_CHECKING
 
-from repro.errors import NativeBackendError
+from repro.errors import NativeBackendError, NumpyBackendError
 from repro.model.layout import CompressorModel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.codegen.native import NativeKernel
+    from repro.codegen.numpy_backend import NumpyKernel
 
 #: Accepted values for every ``backend=`` parameter.
-BACKENDS = ("auto", "python", "native")
+BACKENDS = ("auto", "python", "numpy", "native")
 
 logger = logging.getLogger(__name__)
 
@@ -39,9 +47,9 @@ logger = logging.getLogger(__name__)
 class BackendDecision:
     """The resolved backend plus why it was chosen."""
 
-    backend: str  # "python" or "native" — never "auto"
+    backend: str  # "python", "numpy", or "native" — never "auto"
     reason: str
-    kernel: "NativeKernel | None" = None
+    kernel: "NativeKernel | NumpyKernel | None" = None
 
 
 def validate_backend(backend: str) -> str:
@@ -58,11 +66,12 @@ def resolve_backend(
     update_policy=None,
     compiler: str | None = None,
 ) -> BackendDecision:
-    """Resolve ``auto``/``python``/``native`` to a concrete decision.
+    """Resolve ``auto``/``python``/``numpy``/``native`` to a decision.
 
     ``update_policy`` forces Python when set: a custom table-update
-    policy is an interpreter-only experiment knob the generated C does
-    not model (the generated backends bake in ``options.smart_update``).
+    policy is an interpreter-only experiment knob the generated C and
+    the columnar kernels do not model (both bake in
+    ``options.smart_update``).
     """
     validate_backend(requested)
     if requested == "python":
@@ -72,9 +81,19 @@ def resolve_backend(
             raise NativeBackendError(
                 "a custom update_policy requires the python kernels"
             )
+        if requested == "numpy":
+            raise NumpyBackendError(
+                "a custom update_policy requires the python kernels"
+            )
         return BackendDecision(
             backend="python",
             reason="custom update_policy requires the python kernels",
+        )
+    if requested == "numpy":
+        from repro.codegen.numpy_backend import load_numpy_kernel
+
+        return BackendDecision(
+            backend="numpy", reason="requested", kernel=load_numpy_kernel(model)
         )
     from repro.codegen.native import load_native_kernel
 
@@ -83,11 +102,37 @@ def resolve_backend(
     except NativeBackendError as exc:
         if requested == "native":
             raise
-        reason = str(exc)
-        logger.info("native backend unavailable, using python: %s", reason)
-        return BackendDecision(backend="python", reason=reason)
+        return _auto_fallback(model, str(exc))
     return BackendDecision(
         backend="native",
         reason="requested" if requested == "native" else "compiler available, build ok",
         kernel=kernel,
     )
+
+
+def _auto_fallback(model: CompressorModel, native_reason: str) -> BackendDecision:
+    """``auto`` with no native build: numpy when the IR says it pays."""
+    from repro.ir.vector import AUTO_NUMPY_THRESHOLD, vectorizable_fraction
+
+    fraction = vectorizable_fraction(model)
+    if fraction >= AUTO_NUMPY_THRESHOLD:
+        from repro.codegen.numpy_backend import load_numpy_kernel
+
+        try:
+            kernel = load_numpy_kernel(model)
+        except NumpyBackendError as exc:
+            reason = f"{native_reason}; numpy unavailable: {exc}"
+            logger.info("falling back to python kernels: %s", reason)
+            return BackendDecision(backend="python", reason=reason)
+        reason = (
+            f"{native_reason}; vectorizable fraction {fraction:.2f} >= "
+            f"{AUTO_NUMPY_THRESHOLD:.2f}, using numpy columnar kernels"
+        )
+        logger.info("native backend unavailable, using numpy: %s", reason)
+        return BackendDecision(backend="numpy", reason=reason, kernel=kernel)
+    reason = (
+        f"{native_reason}; vectorizable fraction {fraction:.2f} < "
+        f"{AUTO_NUMPY_THRESHOLD:.2f}, using python kernels"
+    )
+    logger.info("native backend unavailable, using python: %s", reason)
+    return BackendDecision(backend="python", reason=reason)

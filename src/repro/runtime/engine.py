@@ -25,12 +25,15 @@ order.
 The ``backend=`` option selects the kernel-stage implementation (see
 :mod:`repro.runtime.dispatch`): ``"auto"`` (default) compiles the spec's
 generated C into an in-process shared library when a compiler is
-available and falls back to the Python kernels otherwise; ``"python"``
-and ``"native"`` force one side.  The choice never changes output bytes
-— only throughput.  With the native kernel active the chunk stage runs
-thread-parallel (the C code releases the GIL), so ``executor="process"``
-is unnecessary and ignored for that stage.  Salvage decode always runs
-the Python kernels: it is a recovery path, not a throughput path.
+available, falls back to the NumPy columnar kernels when the spec's
+IR-proven vectorizable fraction clears the dispatch threshold, and runs
+the pure-Python kernels otherwise; ``"python"``, ``"numpy"``, and
+``"native"`` force one implementation.  The choice never changes output
+bytes — only throughput.  With the native kernel active the chunk stage
+runs thread-parallel (the C code releases the GIL) and chunks are
+submitted in batches of :data:`NATIVE_BATCH_CHUNKS` per FFI call to
+amortize the crossing cost.  Salvage decode always runs the Python
+kernels: it is a recovery path, not a throughput path.
 
 This engine is the reference semantics; the generated Python and C
 compressors are specialized versions of this loop and must produce
@@ -68,6 +71,17 @@ from repro.tio.container import (
 from repro.tio.traceformat import TraceFormat, pack_records, unpack_records
 
 _UNSET = object()
+
+#: Chunks submitted per native FFI call (batched entry points, ABI 2).
+#: The effective batch additionally shrinks so every worker thread still
+#: gets work; batching only amortizes call overhead, never serializes.
+NATIVE_BATCH_CHUNKS = 8
+
+
+def _batch_spans(items: list, workers: int) -> list[list]:
+    """Split ``items`` into order-preserving batches for the native path."""
+    size = max(1, min(NATIVE_BATCH_CHUNKS, -(-len(items) // max(1, workers))))
+    return [items[i : i + size] for i in range(0, len(items), size)]
 
 
 class TraceEngine:
@@ -134,7 +148,7 @@ class TraceEngine:
 
     @property
     def backend(self) -> str:
-        """The resolved kernel backend: ``"python"`` or ``"native"``."""
+        """The resolved backend: ``"python"``, ``"numpy"``, or ``"native"``."""
         return self._backend().backend
 
     @property
@@ -226,6 +240,27 @@ class TraceEngine:
 
             if chunk_records is None:
                 results = [kernel.compress_trace(raw)]
+            elif hasattr(kernel, "compress_batch") and len(spans) > 1:
+                # Batched ABI: N chunks per GIL-release call.  Per-chunk
+                # state still resets inside the library, so the streams
+                # are identical to per-chunk calls.
+                def native_batch(batch):
+                    return kernel.compress_batch(
+                        [
+                            raw[base + start * record_size :
+                                base + (start + count) * record_size]
+                            for start, count in batch
+                        ]
+                    )
+
+                grouped = map_ordered(
+                    native_batch,
+                    _batch_spans(spans, workers),
+                    workers,
+                    kind="thread",
+                    cancel=cancel,
+                )
+                results = [result for group in grouped for result in group]
             else:
                 # The C kernel releases the GIL, so the chunk stage scales
                 # with a plain thread pool — no pickling, no process pool.
@@ -448,13 +483,23 @@ class TraceEngine:
         decision = self._backend()
         if decision.kernel is not None:
             kernel = decision.kernel
-            pieces = map_ordered(
-                lambda item: kernel.decompress_chunk(*item),
-                chunk_inputs,
-                workers,
-                kind="thread",
-                cancel=cancel,
-            )
+            if hasattr(kernel, "decompress_batch") and len(chunk_inputs) > 1:
+                grouped = map_ordered(
+                    kernel.decompress_batch,
+                    _batch_spans(chunk_inputs, workers),
+                    workers,
+                    kind="thread",
+                    cancel=cancel,
+                )
+                pieces = [piece for group in grouped for piece in group]
+            else:
+                pieces = map_ordered(
+                    lambda item: kernel.decompress_chunk(*item),
+                    chunk_inputs,
+                    workers,
+                    kind="thread",
+                    cancel=cancel,
+                )
             # The kernel emits exactly the little-endian packed record
             # bytes pack_records would produce — concatenation is the
             # whole assembly step.

@@ -16,6 +16,12 @@ chunk boundary, which is what makes mid-trace entry possible: seeking to
 record ``n`` replays at most ``chunk_records - 1`` predecessor records
 instead of the whole prefix.
 
+Like every kernel-running entry point, :func:`iter_records` accepts
+``backend="auto" | "python" | "numpy" | "native"``; ``auto`` resolves
+native -> numpy -> python per the dispatch rules in
+:mod:`repro.runtime.dispatch`, and the decoded records are identical
+for every backend.
+
 Example::
 
     from repro.runtime.streaming import iter_records
@@ -159,10 +165,8 @@ def iter_records(
 _STRUCT_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
 
 
-def _iter_chunk_native(
-    model, kernel, chunk, position: int, per_chunk: int
-) -> Iterator[tuple[int, ...]]:
-    """Decode one chunk with the compiled kernel, then unpack records."""
+def _chunk_raw(kernel, chunk, position: int, per_chunk: int) -> bytes:
+    """Decode one chunk to raw record bytes via a kernel (native or numpy)."""
     if len(chunk.streams) != per_chunk:
         raise CompressedFormatError(
             f"chunk {position}: expected {per_chunk} streams, "
@@ -170,7 +174,14 @@ def _iter_chunk_native(
         )
     codes = [_decode(payload) for payload in chunk.streams[0::2]]
     values = [_decode(payload) for payload in chunk.streams[1::2]]
-    raw = kernel.decompress_chunk(chunk.record_count, codes, values)
+    return kernel.decompress_chunk(chunk.record_count, codes, values)
+
+
+def _iter_chunk_native(
+    model, kernel, chunk, position: int, per_chunk: int
+) -> Iterator[tuple[int, ...]]:
+    """Decode one chunk with an accelerated kernel, then unpack records."""
+    raw = _chunk_raw(kernel, chunk, position, per_chunk)
     fmt = "<" + "".join(_STRUCT_CODES[f.spec.bytes] for f in model.fields)
     return struct.iter_unpack(fmt, raw)
 

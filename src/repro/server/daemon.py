@@ -875,10 +875,11 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="log a structured stats line this often (default: off)",
     )
     parser.add_argument(
-        "--backend", choices=("auto", "python", "native"), default=None,
+        "--backend", choices=("auto", "python", "numpy", "native"), default=None,
         help="kernel-stage backend: auto tries the in-process compiled "
-        "native kernels and falls back to python (default auto; "
-        "output bytes are identical either way)",
+        "native kernels, then the numpy columnar kernels when the spec "
+        "vectorizes well, then python (default auto; output bytes are "
+        "identical either way)",
     )
     args = parser.parse_args(argv)
     config = build_config(args)

@@ -164,7 +164,7 @@ class ServerConfig:
             cfg = replace(cfg, cache_size=1)
         if cfg.engine_workers < 0:
             cfg = replace(cfg, engine_workers=1)
-        if cfg.backend not in ("auto", "python", "native"):
+        if cfg.backend not in ("auto", "python", "numpy", "native"):
             cfg = replace(cfg, backend="auto")
         if cfg.workers < 0:
             cfg = replace(cfg, workers=0)

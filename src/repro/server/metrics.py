@@ -269,7 +269,7 @@ class ServerMetrics:
         self.backend_requests = self.registry.counter(
             "tcgen_backend_requests_total",
             "Kernel-stage requests finished, by resolved backend "
-            "(python or native).",
+            "(python, numpy, or native).",
             ("backend",),
         )
         self.engine_disk_hits = self.registry.counter(

@@ -467,11 +467,16 @@ class TestTcgenLintSarif:
         results = doc["runs"][0]["results"]
         assert any(r["ruleId"] == "TC005" for r in results)
 
-    def test_clean_spec_yields_empty_run(self, spec_file, capsys):
+    def test_clean_spec_yields_only_notes(self, spec_file, capsys):
         import json
 
         from repro.cli import lint_main
 
+        # The Figure-5 spec lints clean apart from the TC028 note (it is
+        # scalar-bound by design: every field carries a hash-table
+        # predictor, so the numpy backend has nothing to vectorize).
         assert lint_main(["--sarif", spec_file]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert doc["runs"][0]["results"] == []
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["TC028"]
+        assert all(r["level"] == "note" for r in results)

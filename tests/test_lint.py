@@ -200,11 +200,31 @@ class TestSpecLintCodes:
 
 
 class TestPresetsAreClean:
-    def test_shipped_presets_have_no_diagnostics(self):
+    def test_shipped_presets_have_no_warnings_or_errors(self):
+        # Both presets are deliberately FCM/DFCM-heavy, so the only
+        # diagnostic is the informational all-scalar-bound note (TC028).
         from repro.spec.presets import TCGEN_A_SPEC, TCGEN_B_SPEC
 
-        assert lint_spec_text(TCGEN_A_SPEC) == []
-        assert lint_spec_text(TCGEN_B_SPEC) == []
+        for text in (TCGEN_A_SPEC, TCGEN_B_SPEC):
+            diags = lint_spec_text(text)
+            assert codes_of(diags) == ["TC028"]
+            assert all(d.severity is Severity.INFO for d in diags)
+
+    def test_tc028_all_scalar_bound(self):
+        diags = lint(
+            "32-Bit Field 1 = {L1 = 1, L2 = 1024: FCM1[1]};\nPC = Field 1;\n"
+        )
+        (diag,) = [d for d in diags if d.code == "TC028"]
+        assert diag.severity is Severity.INFO
+        assert "no field vectorizes" in diag.message
+
+    def test_tc028_silent_when_any_field_vectorizes(self):
+        diags = lint(
+            "32-Bit Field 1 = {L2 = 1024: FCM1[1]};\n"
+            "64-Bit Field 2 = {L2 = 1024: LV[1]};\n"
+            "PC = Field 1;\n"
+        )
+        assert "TC028" not in codes_of(diags)
 
 
 # ---------------------------------------------------------------------------
@@ -413,8 +433,9 @@ class TestAsyncCheck:
 
 class TestSuppressionMetaDiagnostic:
     CLEAN = (
-        "32-Bit Field 1 = {{L2 = 1024: FCM3[2], FCM1[2]}};{marker}\n"
-        "PC = Field 1;\n"
+        "32-Bit Field 1 = {{L1 = 64, L2 = 1024: FCM3[2], FCM1[2]}};{marker}\n"
+        "64-Bit Field 2 = {{L2 = 1024: LV[1]}};\n"
+        "PC = Field 2;\n"
     )
 
     def _lint_with_marker(self, marker):

@@ -1,0 +1,286 @@
+"""The NumPy columnar backend: dispatch, differential byte-identity.
+
+Like the native backend, the numpy backend must be *unobservable* except
+for speed: every container produced or consumed through it is
+byte-identical to the pure-Python path.  These tests prove that over the
+preset spec matrix for v1-v4 containers and several worker counts,
+three-way against the native kernels where a compiler exists, and as a
+hypothesis property through the whole lint -> plan -> lower -> numpy
+pipeline.  The vectorized query filter is held to the same standard:
+mask evaluation must agree with the scalar ``matches`` on every record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.compile import find_c_compiler
+from repro.codegen.numpy_backend import NumpyKernel, load_numpy_kernel, numpy_enabled
+from repro.errors import NumpyBackendError
+from repro.ir import AUTO_NUMPY_THRESHOLD, analyze_model, analyze_vectors
+from repro.lint import has_errors, lint_spec_text
+from repro.model import OptimizationOptions, build_model
+from repro.runtime import TraceEngine
+from repro.runtime.dispatch import resolve_backend
+from repro.spec import format_spec, parse_spec, tcgen_a
+
+from conftest import SPEC_VARIANTS, spec_trace_for
+from test_properties import option_variants, specs_with_traces
+
+needs_cc = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no C compiler on PATH"
+)
+
+#: A spec the IR proves fully vectorizable (pure LV, constant L1 line).
+LV_SPEC = (
+    "TCgen Trace Specification;\n"
+    "32-Bit Header;\n"
+    "32-Bit Field 1 = {L1 = 1: LV[4]};\n"
+    "64-Bit Field 2 = {L1 = 1: LV[2], LV[1]};\n"
+    "PC = Field 1;\n"
+)
+
+
+@pytest.fixture(scope="module")
+def lv_spec():
+    return parse_spec(LV_SPEC)
+
+
+def _containers(engine, raw):
+    """One blob per container generation (v1 flat, v2, v3, v4)."""
+    return {
+        "v1": engine.compress(raw, chunk_records=None),
+        "v2": engine.compress(raw, chunk_records=150, container_version=2),
+        "v3": engine.compress(raw, chunk_records=150, container_version=3),
+        "v4": engine.compress(raw, chunk_records=150, container_version=4),
+    }
+
+
+# -- differential byte-identity ----------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_VARIANTS))
+def test_numpy_matches_python_across_containers_and_workers(name):
+    spec = SPEC_VARIANTS[name]()
+    raw = spec_trace_for(spec)
+    python = TraceEngine(spec, backend="python")
+    numpy_eng = TraceEngine(spec, backend="numpy")
+    assert numpy_eng.backend == "numpy"
+    reference = _containers(python, raw)
+    for workers in (1, 3):
+        numpy_eng.workers = workers
+        got = _containers(numpy_eng, raw)
+        assert got == reference, name
+        for version, blob in reference.items():
+            assert numpy_eng.decompress(blob) == raw, (name, version)
+            assert python.decompress(got[version]) == raw, (name, version)
+
+
+@needs_cc
+@pytest.mark.parametrize("name", ["tcgen_a", "no_header", "three_fields"])
+def test_three_way_byte_identity(name, tmp_path, monkeypatch):
+    monkeypatch.setenv("TCGEN_NATIVE", "1")
+    monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path))
+    spec = SPEC_VARIANTS[name]()
+    raw = spec_trace_for(spec)
+    blobs = {
+        backend: _containers(TraceEngine(spec, backend=backend), raw)
+        for backend in ("python", "numpy", "native")
+    }
+    assert blobs["numpy"] == blobs["python"]
+    assert blobs["native"] == blobs["python"]
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(specs_with_traces(), option_variants)
+def test_pipeline_lint_plan_lower_numpy_roundtrip(spec_and_trace, options):
+    """lint -> plan -> lower -> numpy codegen, as one hypothesis property."""
+    spec, raw = spec_and_trace
+    assert not has_errors(lint_spec_text(format_spec(spec)))
+    model = build_model(spec, options)
+    kernel = NumpyKernel(model)
+    engine = TraceEngine(spec, options, codec="zlib", backend="python")
+    numpy_eng = TraceEngine(spec, options, codec="zlib", backend="numpy")
+    assert numpy_eng._backend().kernel.fingerprint == kernel.fingerprint
+    blob = engine.compress(raw, chunk_records=64)
+    assert numpy_eng.compress(raw, chunk_records=64) == blob
+    assert numpy_eng.decompress(blob) == raw
+
+
+def test_usage_counters_match_python(lv_spec):
+    raw = spec_trace_for(lv_spec)
+    python = TraceEngine(lv_spec, backend="python")
+    numpy_eng = TraceEngine(lv_spec, backend="numpy")
+    python.compress(raw, chunk_records=100)
+    numpy_eng.compress(raw, chunk_records=100)
+    assert numpy_eng.last_usage == python.last_usage
+
+
+# -- dispatch ------------------------------------------------------------------
+
+
+def test_auto_prefers_numpy_for_vectorizable_spec(lv_spec, monkeypatch):
+    monkeypatch.setenv("TCGEN_NATIVE", "0")
+    engine = TraceEngine(lv_spec)
+    assert engine.backend == "numpy"
+    assert "vectorizable fraction" in engine.backend_reason
+    assert "TCGEN_NATIVE" in engine.backend_reason
+
+
+def test_auto_skips_numpy_for_scalar_bound_spec(monkeypatch):
+    monkeypatch.setenv("TCGEN_NATIVE", "0")
+    engine = TraceEngine(tcgen_a())
+    assert engine.backend == "python"
+    assert "vectorizable fraction 0.00" in engine.backend_reason
+
+
+def test_tcgen_numpy_escape_hatch(lv_spec, monkeypatch):
+    monkeypatch.setenv("TCGEN_NUMPY", "0")
+    assert not numpy_enabled()
+    with pytest.raises(NumpyBackendError, match="TCGEN_NUMPY"):
+        load_numpy_kernel(build_model(lv_spec, OptimizationOptions()))
+    monkeypatch.setenv("TCGEN_NATIVE", "0")
+    engine = TraceEngine(lv_spec)
+    assert engine.backend == "python"
+
+
+def test_update_policy_forces_python(lv_spec):
+    from repro.runtime.kernel import UpdatePolicy
+
+    model = build_model(lv_spec, OptimizationOptions())
+    with pytest.raises(NumpyBackendError, match="update_policy"):
+        resolve_backend("numpy", model, update_policy=UpdatePolicy.ALWAYS)
+    decision = resolve_backend("auto", model, update_policy=UpdatePolicy.ALWAYS)
+    assert decision.backend == "python"
+
+
+def test_kernel_cache_is_memoized(lv_spec):
+    model = build_model(lv_spec, OptimizationOptions())
+    assert load_numpy_kernel(model) is load_numpy_kernel(model)
+
+
+# -- vectorizability analysis --------------------------------------------------
+
+
+def test_vector_report_labels(lv_spec):
+    facts = analyze_model(build_model(lv_spec, OptimizationOptions()))
+    report = analyze_vectors(facts)
+    # Field 1: LV[4] under SMART -> compress-only; field 2 likewise.
+    assert report.field(1).vector_compress
+    assert report.fraction == 1.0
+    assert not report.all_scalar
+
+    scalar = analyze_vectors(analyze_model(build_model(tcgen_a())))
+    assert scalar.all_scalar
+    assert scalar.fraction == 0.0
+    assert all(fv.label == "scalar" for fv in scalar.fields)
+    assert 0.0 < AUTO_NUMPY_THRESHOLD <= 1.0
+
+
+def test_always_update_policy_vectorizes_decompress(lv_spec):
+    options = OptimizationOptions().without("smart_update")
+    report = analyze_vectors(analyze_model(build_model(lv_spec, options)))
+    assert all(fv.label == "vec" for fv in report.fields)
+
+
+# -- vectorized query filter ---------------------------------------------------
+
+
+def test_query_differential_python_vs_numpy(lv_spec):
+    raw = spec_trace_for(lv_spec)
+    python = TraceEngine(lv_spec, backend="python")
+    numpy_eng = TraceEngine(lv_spec, backend="numpy")
+    blob = python.compress(raw, chunk_records=97, skip_index=True)
+    for where in (None, "f1 == 0x400", "f2 > 0x2000 and record < 300", "pc >= 0x430 or f2 <= 5"):
+        for op in ("select", "count", "stats"):
+            for limit in (None, 5) if op == "select" else (None,):
+                ref = python.query(blob, where, op=op, limit=limit)
+                got = numpy_eng.query(blob, where, op=op, limit=limit)
+                assert got.count == ref.count
+                assert got.records == ref.records
+                assert got.field_stats == ref.field_stats
+                assert got.stats.as_dict() == ref.stats.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(0, 2**32 - 1),
+    st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+    st.sampled_from([0, 1, 2]),
+    st.integers(0, 2**66),
+    st.integers(0, 10_000),
+)
+def test_mask_equals_scalar_matches(seed, op, field_pos, literal, start):
+    """The exact-equivalence property: mask == per-record matches."""
+    from repro.query.predicate import RECORD_FIELD, And, Comparison, Or
+
+    rng = np.random.default_rng(seed)
+    n = 64
+    columns = [
+        rng.integers(0, 256, size=n).astype(np.uint8),
+        rng.integers(0, 1 << 32, size=n, dtype=np.uint64).astype("<u4"),
+        rng.integers(0, 1 << 63, size=n, dtype=np.uint64),
+    ]
+    field = RECORD_FIELD if field_pos == 0 else field_pos
+    leaf = Comparison(field, op, literal)
+    other = Comparison(2, "<", 1 << 20)
+    for pred in (leaf, And((leaf, other)), Or((leaf, other))):
+        mask = pred.mask(columns, start, n)
+        records = list(zip(*(col.tolist() for col in columns)))
+        expected = [
+            pred.matches(record, start + i) for i, record in enumerate(records)
+        ]
+        assert mask.tolist() == expected
+
+
+# -- batched native calls ------------------------------------------------------
+
+
+@needs_cc
+def test_native_batch_matches_per_chunk_calls(tmp_path, monkeypatch):
+    monkeypatch.setenv("TCGEN_NATIVE", "1")
+    monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path))
+    spec = SPEC_VARIANTS["tcgen_a"]()
+    raw = spec_trace_for(spec)
+    engine = TraceEngine(spec, backend="native")
+    kernel = engine._backend().kernel
+    record_bytes = engine.format.record_bytes
+    base = engine.format.header_bytes
+    slices = [
+        raw[base + start * record_bytes : base + (start + 120) * record_bytes]
+        for start in range(0, 480, 120)
+    ]
+    batched = kernel.compress_batch(slices)
+    singles = [kernel.compress_chunk(piece) for piece in slices]
+    assert batched == singles
+    items = [
+        (120, [c for c in streams[0::2]], [v for v in streams[1::2]])
+        for streams, _ in singles
+    ]
+    assert kernel.decompress_batch(items) == [
+        kernel.decompress_chunk(*item) for item in items
+    ]
+
+
+@needs_cc
+def test_engine_batched_native_is_byte_identical(tmp_path, monkeypatch):
+    monkeypatch.setenv("TCGEN_NATIVE", "1")
+    monkeypatch.setenv("TCGEN_CACHE_DIR", str(tmp_path))
+    spec = SPEC_VARIANTS["no_header"]()
+    raw = spec_trace_for(spec)
+    python = TraceEngine(spec, backend="python")
+    native = TraceEngine(spec, backend="native")
+    for workers in (1, 4):
+        native.workers = workers
+        blob = native.compress(raw, chunk_records=40)  # 15 chunks -> batches
+        assert blob == python.compress(raw, chunk_records=40)
+        assert native.decompress(blob) == raw
